@@ -1,0 +1,680 @@
+(* Experiment harness: regenerates every quantitative and qualitative
+   claim of the paper's evaluation (the paper is a 2-page overview with
+   no numbered tables; the experiment ids E1-E7 are defined in
+   DESIGN.md and EXPERIMENTS.md). Running this executable prints one
+   table per experiment, then times the computational kernels with
+   Bechamel. Passing experiment names as arguments (e.g. "E2 bench")
+   restricts the run. *)
+
+module Report = Mv_core.Report
+module Flow = Mv_core.Flow
+module Ctmc = Mv_markov.Ctmc
+module Imc = Mv_imc.Imc
+module To_ctmc = Mv_imc.To_ctmc
+module Phase = Mv_imc.Phase
+module Label = Mv_lts.Label
+module Lts = Mv_lts.Lts
+module Net = Mv_compose.Net
+
+let f = Report.float_cell
+let pc = Report.percent_cell
+
+(* ------------------------------------------------------------------ *)
+(* E1: FAME2 - MPI ping-pong latency prediction                        *)
+
+let e1_rates = Mv_fame.Benchmark.default_rates
+
+let e1_fame_mpi () =
+  let rows = ref [] in
+  List.iter
+    (fun topology ->
+       List.iter
+         (fun implementation ->
+            List.iter
+              (fun size ->
+                 let latency =
+                   Mv_fame.Benchmark.round_latency Mv_fame.Protocol.Msi topology
+                     implementation ~size ~rates:e1_rates
+                 in
+                 let serial =
+                   Mv_fame.Benchmark.latency_lower_bound Mv_fame.Protocol.Msi
+                     topology implementation ~size ~rates:e1_rates
+                 in
+                 rows :=
+                   [ Mv_fame.Topology.name topology;
+                     Mv_fame.Mpi.name implementation;
+                     string_of_int size; f latency; f serial ]
+                   :: !rows)
+              [ 1; 4; 16 ])
+         Mv_fame.Mpi.all)
+    Mv_fame.Topology.all;
+  Report.table
+    ~title:
+      "E1a  MPI ping-pong round latency: topologies x MPI implementation x \
+       message size (protocol MSI)"
+    ~header:[ "topology"; "mpi"; "size"; "latency"; "serial est." ]
+    (List.rev !rows);
+  let rows =
+    List.map
+      (fun variant ->
+         let latency size =
+           Mv_fame.Benchmark.round_latency variant Mv_fame.Topology.Bus
+             Mv_fame.Mpi.Eager ~size ~rates:e1_rates
+         in
+         let ops = Mv_fame.Mpi.ops_per_round Mv_fame.Mpi.Eager ~size:1 in
+         [ Mv_fame.Protocol.variant_name variant;
+           string_of_int (Mv_fame.Protocol.messages variant (ops @ ops));
+           f (latency 1); f (latency 4) ])
+      [ Mv_fame.Protocol.Msi; Mv_fame.Protocol.Mesi;
+        Mv_fame.Protocol.Msi_migratory ]
+  in
+  Report.table
+    ~title:
+      "E1b  MPI ping-pong latency: cache coherency protocols (bus, eager; \
+       msgs = flag-op messages of two cold rounds)"
+    ~header:[ "protocol"; "msgs"; "latency s=1"; "latency s=4" ]
+    rows;
+  let rows =
+    List.map
+      (fun topology ->
+         [ Mv_fame.Topology.name topology;
+           f (Mv_fame.Benchmark.barrier_latency Mv_fame.Protocol.Msi topology
+                ~rates:e1_rates) ])
+      Mv_fame.Topology.all
+  in
+  Report.table
+    ~title:"E1c  MPI barrier episode latency (MSI): topologies"
+    ~header:[ "topology"; "latency" ]
+    rows;
+  let rows =
+    List.concat_map
+      (fun topology ->
+         List.map
+           (fun benchmark ->
+              [ Mv_fame.Topology.name topology;
+                Mv_fame.Numa.benchmark_name benchmark;
+                f
+                  (Mv_fame.Numa.latency ~nodes:4 topology benchmark
+                     ~rates:e1_rates) ])
+           [ Mv_fame.Numa.Pair_pingpong 1; Mv_fame.Numa.Pair_pingpong 2;
+             Mv_fame.Numa.Token_ring ])
+      Mv_fame.Topology.all
+  in
+  Report.table
+    ~title:
+      "E1d  4-node NUMA (message endpoints + per-pair distance): ring \
+       ping-pong cost grows with partner distance, crossbar stays flat"
+    ~header:[ "topology"; "benchmark"; "latency" ]
+    rows;
+  let program_latency programs topology =
+    Mv_fame.Mpi_program.iteration_latency ~programs topology ~rates:e1_rates
+  in
+  let rows =
+    List.concat_map
+      (fun (name, programs) ->
+         List.map
+           (fun topology ->
+              [ name;
+                Mv_fame.Topology.name topology;
+                f (program_latency programs topology) ])
+           [ Mv_fame.Topology.Bus; Mv_fame.Topology.Crossbar ])
+      [
+        ("ping-pong (serial)", Mv_fame.Mpi_program.pingpong ~partner:1 ~size:2);
+        ("simultaneous ring (overlap)",
+         Mv_fame.Mpi_program.simultaneous_ring ~ranks:3 ~size:2);
+        ("work + barrier (BSP)",
+         Mv_fame.Mpi_program.work_barrier ~ranks:3 ~work_mean:0.1);
+      ]
+  in
+  Report.table
+    ~title:
+      "E1e  Concurrent MPI rank programs: overlapping communication widens \
+       the crossbar advantage (serial ping-pong vs simultaneous sends)"
+    ~header:[ "benchmark"; "topology"; "latency/iteration" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E2: xSTream - queue throughput, latency, occupancy                  *)
+
+let e2_arrival = 2.0
+let e2_service = 3.0
+
+let e2_xstream () =
+  let rows =
+    List.map
+      (fun capacity ->
+         let spec =
+           Mv_xstream.Queues.single ~arrival:e2_arrival ~service:e2_service
+             ~capacity
+         in
+         let s = Mv_xstream.Measures.summary spec ~capacity in
+         let k = Mv_xstream.Queues.system_capacity ~capacity in
+         let analytic =
+           Mv_xstream.Analytic.throughput ~arrival:e2_arrival ~service:e2_service
+             ~k
+         in
+         [ string_of_int capacity;
+           f s.Mv_xstream.Measures.throughput;
+           f analytic;
+           f s.Mv_xstream.Measures.mean_occupancy;
+           f s.Mv_xstream.Measures.mean_latency;
+           pc s.Mv_xstream.Measures.blocking ])
+      [ 2; 4; 8; 16 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E2a  xSTream single queue (arrival %.1f, service %.1f): capacity \
+          sweep; 'analytic' is the M/M/1/K closed form the pipeline must match"
+         e2_arrival e2_service)
+    ~header:
+      [ "capacity"; "throughput"; "analytic"; "mean occ"; "latency"; "P(full)" ]
+    rows;
+  (* occupancy distribution of one configuration: the 'occupancy within
+     xSTream queues' series *)
+  let capacity = 8 in
+  let spec =
+    Mv_xstream.Queues.single ~arrival:e2_arrival ~service:e2_service ~capacity
+  in
+  let dist = Mv_xstream.Measures.occupancy_distribution spec ~capacity in
+  Report.table
+    ~title:"E2b  xSTream queue occupancy distribution (capacity 8)"
+    ~header:[ "occupancy"; "probability" ]
+    (List.init (capacity + 1) (fun n -> [ string_of_int n; f dist.(n) ]));
+  (* load sweep at fixed capacity *)
+  let capacity = 4 in
+  let rows =
+    List.map
+      (fun arrival ->
+         let spec =
+           Mv_xstream.Queues.single ~arrival ~service:e2_service ~capacity
+         in
+         let s = Mv_xstream.Measures.summary spec ~capacity in
+         [ f (arrival /. e2_service);
+           f s.Mv_xstream.Measures.throughput;
+           f s.Mv_xstream.Measures.mean_occupancy;
+           f s.Mv_xstream.Measures.mean_latency ])
+      [ 0.9; 1.8; 2.7; 3.6; 4.5 ]
+  in
+  Report.table
+    ~title:"E2c  xSTream single queue (capacity 4): load sweep"
+    ~header:[ "rho"; "throughput"; "mean occ"; "latency" ]
+    rows;
+  (* tandem with a transfer stage, plus simulation cross-check *)
+  let spec =
+    Mv_xstream.Queues.tandem ~arrival:e2_arrival ~transfer:4.0
+      ~service:e2_service ~capacity1:3 ~capacity2:3
+  in
+  let perf = Flow.performance ~keep:[ "pop" ] spec in
+  let numeric = Flow.throughput perf ~gate:"pop" in
+  let simulated =
+    Mv_sim.Des.throughput perf.Flow.imc ~action:"pop" ~horizon:20_000.0
+      ~seed:11L
+  in
+  Report.table
+    ~title:"E2d  xSTream tandem (3+3 places, transfer rate 4.0): solver vs DES"
+    ~header:[ "measure"; "numerical"; "simulated" ]
+    [ [ "end-to-end throughput"; f numeric; f simulated ] ];
+  (* memory-backed queue: the spill/refill path throttles the stream *)
+  let rows =
+    List.map
+      (fun refill ->
+         let s =
+           Mv_xstream.Measures.spill_summary
+             (Mv_xstream.Queues.spill ~arrival:e2_arrival ~service:e2_service
+                ~refill ~hw_capacity:2 ~spill_capacity:4)
+         in
+         [ f refill;
+           f s.Mv_xstream.Measures.spill_throughput;
+           f s.Mv_xstream.Measures.mean_hw;
+           f s.Mv_xstream.Measures.mean_spilled;
+           pc s.Mv_xstream.Measures.spilling ])
+      [ 0.5; 1.0; 2.0; 4.0; 16.0 ]
+  in
+  Report.table
+    ~title:
+      "E2e  xSTream memory-backed queue (HW 2 + spill 4): refill-rate sweep"
+    ~header:[ "refill rate"; "throughput"; "mean HW"; "mean spilled"; "P(spilling)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3: functional verification results                                 *)
+
+let e3_verification () =
+  let check name spec properties =
+    let v = Flow.verify spec properties in
+    List.map
+      (fun r ->
+         [ name;
+           string_of_int (Lts.nb_states v.Flow.lts);
+           r.Flow.property_name;
+           (if r.Flow.holds then "holds" else "VIOLATED") ])
+      v.Flow.results
+  in
+  let equivalence name reference candidate =
+    let ok =
+      Mv_bisim.Branching.equivalent
+        (Mv_calc.State_space.lts reference)
+        (Mv_calc.State_space.lts candidate)
+    in
+    [ name;
+      string_of_int (Lts.nb_states (Mv_calc.State_space.lts candidate));
+      "branching equivalent to reference FIFO";
+      (if ok then "holds" else "VIOLATED") ]
+  in
+  let rows =
+    check "FAUST router (closed)"
+      (Mv_faust.Router.closed_spec ~id:"r")
+      (Mv_faust.Router.properties ~id:"r")
+    @ [ (let spec = Mv_faust.Router.single_packet_spec ~id:"r" ~input:0 ~dest:1 in
+         let name, formula = Mv_faust.Router.delivery_property ~id:"r" ~dest:1 in
+         let v = Flow.verify spec [ (name, formula) ] in
+         match v.Flow.results with
+         | [ r ] ->
+           [ "FAUST router (1 packet)";
+             string_of_int (Lts.nb_states v.Flow.lts);
+             r.Flow.property_name;
+             (if r.Flow.holds then "holds" else "VIOLATED") ]
+         | _ -> assert false) ]
+    @ [ equivalence "xSTream FIFO (reference)" (Mv_xstream.Queues.fifo_data ())
+          (Mv_xstream.Queues.fifo_data ());
+        equivalence "xSTream FIFO issue 1: drops when full"
+          (Mv_xstream.Queues.fifo_data ())
+          (Mv_xstream.Queues.fifo_lossy ());
+        equivalence "xSTream FIFO issue 2: reorders"
+          (Mv_xstream.Queues.fifo_data ())
+          (Mv_xstream.Queues.fifo_unordered ()) ]
+    @ [ (let flows = Mv_faust.Mesh.crossing_flows in
+         match
+           Mv_faust.Mesh.deadlock_witness Mv_faust.Mesh.Shared_buffer ~flows
+         with
+         | Some t ->
+           [ "FAUST 2x2 mesh (shared-buffer routers)";
+             "16";
+             Printf.sprintf "deadlock freedom (witness: %s)"
+               (Mv_lts.Trace.to_string t);
+             "VIOLATED" ]
+         | None ->
+           [ "FAUST 2x2 mesh (shared-buffer routers)"; "16";
+             "deadlock freedom"; "holds" ]) ]
+    @ (let flows = Mv_faust.Mesh.crossing_flows in
+       let spec = Mv_faust.Mesh.spec Mv_faust.Mesh.Port_buffered ~flows in
+       check "FAUST 2x2 mesh (port-buffered routers)" spec
+         (Mv_faust.Mesh.properties ~flows))
+    @ check "FAME2 MSI directory (correct)"
+        (Mv_fame.Distributed.spec Mv_fame.Distributed.Correct)
+        Mv_fame.Distributed.properties
+    @ check "FAME2 MSI directory (dropped inv)"
+        (Mv_fame.Distributed.spec Mv_fame.Distributed.Dropped_invalidation)
+        [ Mv_fame.Distributed.coherence ]
+    @ check "FAME2 MSI directory (grant-before-ack race)"
+        (Mv_fame.Distributed.spec Mv_fame.Distributed.Grant_before_ack)
+        [ Mv_fame.Distributed.coherence ]
+  in
+  Report.table
+    ~title:
+      "E3  Functional verification: FAUST router, xSTream queue issues, FAME2 \
+       coherence"
+    ~header:[ "model"; "states"; "property"; "result" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E4: fixed-delay approximation (space-accuracy tradeoff)             *)
+
+let e4_erlang () =
+  let delay = 1.0 in
+  let rows =
+    List.map
+      (fun phases ->
+         let dist = Phase.erlang_of_deterministic ~phases ~delay in
+         let imc = Phase.absorbing_imc dist in
+         let conv = To_ctmc.convert (Imc.hide_all imc) in
+         let ctmc = conv.To_ctmc.ctmc in
+         let targets = Ctmc.absorbing_states ctmc in
+         let mean = (Ctmc.mean_first_passage ctmc ~targets).(Ctmc.initial ctmc) in
+         let p_by t = Ctmc.reach_probability_by ctmc ~targets ~horizon:t in
+         [ string_of_int phases;
+           string_of_int (Imc.nb_states imc);
+           f (Phase.coefficient_of_variation dist);
+           f mean;
+           f (p_by (0.8 *. delay));
+           f (p_by delay);
+           f (p_by (1.2 *. delay)) ])
+      [ 1; 2; 4; 8; 16; 32; 64 ]
+  in
+  Report.table
+    ~title:
+      "E4  Fixed delay (d=1) as Erlang-k: state count vs accuracy (ideal: \
+       CV 0, P(T<=0.8d) 0, P(T<=1.2d) 1)"
+    ~header:
+      [ "k"; "states"; "CV"; "mean"; "P(T<=0.8d)"; "P(T<=d)"; "P(T<=1.2d)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E5: nondeterminism in the Markov solvers                            *)
+
+(* A contended resource: jobs arrive at rate lambda; a nondeterministic
+   dispatcher hands each job to a fast or a slow server. CADP's solvers
+   reject this IMC; the schedulers below handle it. *)
+let e5_model () =
+  let labels = Label.create () in
+  let fast = Label.intern labels "fast" and slow = Label.intern labels "slow" in
+  Imc.make ~nb_states:4 ~initial:0 ~labels
+    ~interactive:[ (1, fast, 2); (1, slow, 3) ]
+    ~markovian:[ (0, 2.0, 1); (2, 6.0, 0); (3, 1.5, 0) ]
+
+let e5_nondet () =
+  let imc = e5_model () in
+  let metric conv =
+    let pi = Ctmc.steady_state conv.To_ctmc.ctmc in
+    let t = Ctmc.throughputs conv.To_ctmc.ctmc ~pi in
+    List.fold_left (fun acc (_, v) -> acc +. v) 0.0 t
+  in
+  let fail_status =
+    match To_ctmc.convert ~scheduler:To_ctmc.Fail imc with
+    | _ -> "accepted"
+    | exception To_ctmc.Nondeterministic s ->
+      Printf.sprintf "rejected (state %d)" s
+  in
+  let uniform = metric (To_ctmc.convert ~scheduler:To_ctmc.Uniform imc) in
+  let lo, hi = Option.get (To_ctmc.bounds imc ~metric ~limit:1024) in
+  Report.table
+    ~title:
+      "E5  Nondeterministic IMC (dispatcher to fast/slow server): CADP-style \
+       rejection vs scheduler-based analyses (completed-jobs throughput)"
+    ~header:[ "analysis"; "result" ]
+    [
+      [ "CADP-style solver (Fail)"; fail_status ];
+      [ "uniform scheduler"; f uniform ];
+      [ "min over deterministic schedulers"; f lo ];
+      [ "max over deterministic schedulers"; f hi ];
+      [ "nondeterministic states";
+        string_of_int (List.length (To_ctmc.nondeterministic_states imc)) ];
+    ]
+
+let e5_mvl_model () =
+  Mv_calc.Parser.spec_of_string_checked
+    {|
+process Source := rate 2.0 ; submit ; Source
+process Dispatcher := submit ; (i ; tofast ; Dispatcher [] i ; toslow ; Dispatcher)
+process Fast := tofast ; rate 6.0 ; served ; Fast
+process Slow := toslow ; rate 1.5 ; served ; Slow
+init ((Source |[submit]| Dispatcher) |[tofast]| Fast) |[toslow]| Slow
+|}
+
+let e5_nondet_mvl () =
+  let lts = Mv_calc.State_space.lts (e5_mvl_model ()) in
+  let imc =
+    Mv_imc.Lump.minimize
+      (Imc.maximal_progress
+         (Imc.hide (Imc.of_lts lts) ~gates:[ "submit"; "tofast"; "toslow" ]))
+  in
+  let metric conv =
+    let pi = Ctmc.steady_state conv.To_ctmc.ctmc in
+    Ctmc.throughput conv.To_ctmc.ctmc ~pi ~action:"served"
+  in
+  let fail_status =
+    match To_ctmc.convert ~scheduler:To_ctmc.Fail imc with
+    | _ -> "accepted"
+    | exception To_ctmc.Nondeterministic _ -> "rejected (nondeterministic)"
+  in
+  let uniform = metric (To_ctmc.convert ~scheduler:To_ctmc.Uniform imc) in
+  let lo, hi = To_ctmc.local_bounds imc ~metric in
+  Report.table
+    ~title:
+      "E5b  The same question through the full MVL flow (dispatcher modeled \
+       in the calculus; the dispatcher commits internally before seeing \
+       the servers)"
+    ~header:[ "analysis"; "served-throughput" ]
+    [
+      [ "CADP-style solver (Fail)"; fail_status ];
+      [ "uniform scheduler"; f uniform ];
+      [ "min over schedulers (greedy policy search)"; f lo ];
+      [ "max over schedulers (greedy policy search)"; f hi ];
+      [ "nondeterministic states";
+        string_of_int (List.length (To_ctmc.nondeterministic_states imc)) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: compositional verification vs monolithic generation             *)
+
+let buffer_chain_node length =
+  let lts_of text =
+    Mv_calc.State_space.lts (Mv_calc.Parser.spec_of_string_checked text)
+  in
+  let buffer k =
+    let input = Printf.sprintf "g%d" k
+    and output = Printf.sprintf "g%d" (k + 1) in
+    Net.Leaf
+      ( Printf.sprintf "buf%d" k,
+        lts_of
+          (Printf.sprintf
+             "process B (n : int[0..2]) := [n < 2] -> %s ; B(n + 1) [] [n > 0] \
+              -> %s ; B(n - 1)\ninit B(0)"
+             input output) )
+  in
+  let rec build acc k =
+    if k >= length then acc
+    else
+      let gate = Printf.sprintf "g%d" k in
+      build (Net.Hide ([ gate ], Net.Par ([ gate ], acc, buffer k))) (k + 1)
+  in
+  build (buffer 0) 1
+
+let e6_compositional () =
+  let evaluate node =
+    let mono = Net.evaluate ~strategy:`Monolithic node in
+    let comp = Net.evaluate ~strategy:`Compositional node in
+    (mono, comp)
+  in
+  let row name (mono, comp) =
+    [ name;
+      string_of_int mono.Net.peak_states;
+      string_of_int comp.Net.peak_states;
+      string_of_int (Lts.nb_states comp.Net.result);
+      Printf.sprintf "%.1fx"
+        (float_of_int mono.Net.peak_states /. float_of_int comp.Net.peak_states)
+    ]
+  in
+  let rows =
+    List.map
+      (fun length ->
+         row
+           (Printf.sprintf "buffer chain x%d" length)
+           (evaluate (buffer_chain_node length)))
+      [ 2; 3; 4; 5; 6 ]
+    @ List.map
+        (fun length ->
+           row
+             (Printf.sprintf "FAUST router chain x%d" length)
+             (evaluate (Mv_faust.Noc.chain ~length)))
+        [ 2; 3 ]
+  in
+  Report.table
+    ~title:
+      "E6  State-space explosion: monolithic peak vs compositional \
+       (minimize-then-compose) peak"
+    ~header:[ "system"; "mono peak"; "comp peak"; "final"; "saving" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E7: generation alternated with minimization                         *)
+
+let e7_minimization () =
+  let measure name lts =
+    let strong = Mv_bisim.Strong.minimize lts in
+    let branching = Mv_bisim.Branching.minimize lts in
+    [ name;
+      string_of_int (Lts.nb_states lts);
+      string_of_int (Lts.nb_states strong);
+      string_of_int (Lts.nb_states branching) ]
+  in
+  let router = Mv_faust.Router.lts ~id:"r" in
+  let queue_spec =
+    Mv_xstream.Queues.single ~arrival:2.0 ~service:3.0 ~capacity:8
+  in
+  let queue_lts =
+    Lts.hide (Mv_calc.State_space.lts queue_spec) ~gates:[ "push" ]
+  in
+  let coherence =
+    Lts.hide_all_except
+      (Mv_calc.State_space.lts
+         (Mv_fame.Distributed.spec Mv_fame.Distributed.Correct))
+      ~gates:[ "read0"; "write0"; "read1"; "write1"; "error" ]
+  in
+  let rows =
+    [ measure "FAUST router (rq hidden)" router;
+      measure "xSTream queue (push hidden)" queue_lts;
+      measure "FAME2 coherence (protocol hidden)" coherence ]
+  in
+  Report.table
+    ~title:"E7a  Minimization: states before / strong / branching"
+    ~header:[ "model"; "original"; "strong"; "branching" ]
+    rows;
+  (* stochastic lumping inside the performance flow *)
+  let rows =
+    List.map
+      (fun capacity ->
+         let spec =
+           Mv_xstream.Queues.single ~arrival:2.0 ~service:3.0 ~capacity
+         in
+         let perf = Flow.performance ~keep:[ "pop" ] spec in
+         [ Printf.sprintf "queue capacity %d" capacity;
+           string_of_int (Imc.nb_states perf.Flow.imc);
+           string_of_int (Imc.nb_states perf.Flow.lumped);
+           string_of_int (Ctmc.nb_states perf.Flow.conversion.To_ctmc.ctmc) ])
+      [ 4; 8; 16 ]
+    @ [ (let perf =
+           Flow.performance ~keep:[ "done" ]
+             (Mv_xstream.Queues.dual_server ~arrival:3.0 ~service:2.0)
+         in
+         [ "2 identical engines (symmetry)";
+           string_of_int (Imc.nb_states perf.Flow.imc);
+           string_of_int (Imc.nb_states perf.Flow.lumped);
+           string_of_int (Ctmc.nb_states perf.Flow.conversion.To_ctmc.ctmc) ]) ]
+  in
+  Report.table
+    ~title:"E7b  Stochastic lumping in the performance flow (IMC -> CTMC)"
+    ~header:[ "model"; "IMC states"; "lumped"; "CTMC states" ]
+    rows;
+  (* compositional IMC construction (the paper's "alternates state
+     space generation and stochastic state space minimization") *)
+  let spec_of = Mv_calc.Parser.spec_of_string_checked in
+  let engine k =
+    Mv_imc.Network.of_spec
+      (Printf.sprintf "engine%d" k)
+      (spec_of "process E := grab ; rate 2.0 ; done ; E\ninit E")
+  in
+  let source =
+    Mv_imc.Network.of_spec "source"
+      (spec_of "process S := rate 6.0 ; grab ; S\ninit S")
+  in
+  let rows =
+    List.map
+      (fun engines ->
+         let bank =
+           Mv_imc.Network.par_list [] (List.init engines engine)
+         in
+         let node =
+           Mv_imc.Network.Hide
+             ([ "grab" ], Mv_imc.Network.Par ([ "grab" ], source, bank))
+         in
+         let mono = Mv_imc.Network.evaluate ~strategy:`Monolithic node in
+         let comp = Mv_imc.Network.evaluate ~strategy:`Compositional node in
+         [ Printf.sprintf "%d identical engines" engines;
+           string_of_int mono.Mv_imc.Network.peak_states;
+           string_of_int comp.Mv_imc.Network.peak_states;
+           string_of_int (Imc.nb_states comp.Mv_imc.Network.result) ])
+      [ 2; 3; 4; 5 ]
+  in
+  Report.table
+    ~title:
+      "E7c  Compositional IMC construction: peak states, monolithic vs \
+       lump-as-you-go"
+    ~header:[ "system"; "mono peak"; "comp peak"; "final (lumped)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per experiment                *)
+
+let bechamel_kernels () =
+  let open Bechamel in
+  let kernel name run = Test.make ~name (Staged.stage run) in
+  let tests =
+    Test.make_grouped ~name:"multival"
+      [
+        kernel "e1:fame-round-latency" (fun () ->
+            Mv_fame.Benchmark.round_latency Mv_fame.Protocol.Msi
+              Mv_fame.Topology.Bus Mv_fame.Mpi.Eager ~size:1 ~rates:e1_rates);
+        kernel "e2:xstream-summary" (fun () ->
+            Mv_xstream.Measures.summary
+              (Mv_xstream.Queues.single ~arrival:2.0 ~service:3.0 ~capacity:4)
+              ~capacity:4);
+        kernel "e3:router-verification" (fun () ->
+            Flow.verify
+              (Mv_faust.Router.closed_spec ~id:"b")
+              (Mv_faust.Router.properties ~id:"b"));
+        kernel "e4:erlang-32-passage" (fun () ->
+            let dist = Phase.erlang_of_deterministic ~phases:32 ~delay:1.0 in
+            let conv =
+              To_ctmc.convert (Imc.hide_all (Phase.absorbing_imc dist))
+            in
+            let ctmc = conv.To_ctmc.ctmc in
+            Ctmc.mean_first_passage ctmc ~targets:(Ctmc.absorbing_states ctmc));
+        kernel "e5:scheduler-bounds" (fun () ->
+            To_ctmc.bounds (e5_model ())
+              ~metric:(fun conv ->
+                  let pi = Ctmc.steady_state conv.To_ctmc.ctmc in
+                  Ctmc.throughput conv.To_ctmc.ctmc ~pi ~action:"fast")
+              ~limit:64);
+        kernel "e6:compositional-chain" (fun () ->
+            Net.evaluate ~strategy:`Compositional (buffer_chain_node 4));
+        kernel "e7:branching-minimize" (fun () ->
+            Mv_bisim.Branching.minimize (Mv_faust.Router.lts ~id:"b"));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+       let estimate =
+         match Analyze.OLS.estimates ols_result with
+         | Some (value :: _) -> Printf.sprintf "%.3f ms" (value /. 1e6)
+         | Some [] | None -> "n/a"
+       in
+       rows := [ name; estimate ] :: !rows)
+    results;
+  Report.table ~title:"Kernel timings (Bechamel OLS estimate per run)"
+    ~header:[ "kernel"; "time/run" ]
+    (List.sort compare !rows)
+
+let () =
+  let sections =
+    [ ("E1", e1_fame_mpi); ("E2", e2_xstream); ("E3", e3_verification);
+      ("E4", e4_erlang);
+      ("E5", fun () -> e5_nondet (); e5_nondet_mvl ());
+      ("E6", e6_compositional); ("E7", e7_minimization) ]
+  in
+  let raw_args =
+    match Array.to_list Sys.argv with _ :: args -> args | [] -> []
+  in
+  let only =
+    List.filter
+      (fun arg ->
+         match String.index_opt arg '=' with
+         | Some i when String.sub arg 0 i = "csv" ->
+           Report.set_csv_dir
+             (Some (String.sub arg (i + 1) (String.length arg - i - 1)));
+           false
+         | _ -> true)
+      raw_args
+  in
+  let wanted name = only = [] || List.mem name only in
+  List.iter (fun (name, run) -> if wanted name then run ()) sections;
+  if wanted "bench" then bechamel_kernels ()

@@ -1,0 +1,515 @@
+(* mval: command-line driver for the Multival flow (a CADP-workalike).
+
+   mval generate  model.mvl -o model.aut     state-space generation
+   mval minimize  model.aut -e branching     bisimulation minimization
+   mval compare   a.aut b.aut -e strong      equivalence check
+   mval check     model.mvl -f "<formula>"   mu-calculus model checking
+   mval solve     model.mvl -k pop           performance measures
+   mval info      model.(mvl|aut)            model statistics *)
+
+module Lts = Mv_lts.Lts
+module Aut = Mv_lts.Aut
+module Flow = Mv_core.Flow
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Load an LTS from either an .aut file or an MVL model. *)
+let load_lts ?max_states path =
+  if Filename.check_suffix path ".aut" then Aut.of_string (read_file path)
+  else Flow.generate ?max_states (Flow.model_of_text (read_file path))
+
+let write_lts output lts =
+  match output with
+  | None -> print_string (Aut.to_string lts)
+  | Some path ->
+    Aut.write_file path lts;
+    Printf.printf "wrote %s (%d states, %d transitions)\n" path
+      (Lts.nb_states lts) (Lts.nb_transitions lts)
+
+let handle_errors f =
+  try f () with
+  | Mv_calc.Parser.Parse_error msg | Mv_mcl.Parser.Parse_error msg ->
+    prerr_endline ("parse error: " ^ msg);
+    exit 2
+  | Mv_calc.Typecheck.Type_error msg ->
+    prerr_endline ("type error: " ^ msg);
+    exit 2
+  | Aut.Parse_error msg ->
+    prerr_endline ("aut parse error: " ^ msg);
+    exit 2
+  | Mv_lts.Explore.Too_many_states n ->
+    prerr_endline
+      (Printf.sprintf "state space exceeds %d states (raise --max-states)" n);
+    exit 3
+  | Sys_error msg ->
+    prerr_endline msg;
+    exit 2
+
+open Cmdliner
+
+let model_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"MODEL" ~doc:"MVL model (.mvl) or Aldebaran LTS (.aut).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .aut file (default: stdout).")
+
+let max_states_arg =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "max-states" ] ~docv:"N" ~doc:"State-space generation bound.")
+
+let equivalence_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("strong", `Strong); ("branching", `Branching);
+             ("divbranching", `Divbranching); ("weak", `Weak);
+             ("traces", `Traces) ])
+        `Branching
+    & info [ "e"; "equivalence" ] ~docv:"EQ"
+        ~doc:"Equivalence: $(b,strong), $(b,branching), \
+              $(b,divbranching) (divergence-sensitive), $(b,weak) or \
+              $(b,traces).")
+
+let hide_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "hide" ] ~docv:"GATES" ~doc:"Comma-separated gates to hide first.")
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let run model output max_states hide =
+    handle_errors (fun () ->
+        let lts = load_lts ~max_states model in
+        let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
+        write_lts output lts)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate the state space of an MVL model")
+    Term.(const run $ model_arg $ output_arg $ max_states_arg $ hide_arg)
+
+(* ---- minimize ---- *)
+
+let minimize_cmd =
+  let run model output max_states equivalence hide =
+    handle_errors (fun () ->
+        let lts = load_lts ~max_states model in
+        let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
+        let minimized =
+          match equivalence with
+          | `Strong -> Mv_bisim.Strong.minimize lts
+          | `Branching -> Mv_bisim.Branching.minimize lts
+          | `Divbranching ->
+            Mv_bisim.Branching.minimize ~divergence_sensitive:true lts
+          | `Weak -> Mv_bisim.Weak.minimize lts
+          | `Traces -> Mv_bisim.Traces.determinize lts
+        in
+        Printf.eprintf "%d -> %d states\n" (Lts.nb_states lts)
+          (Lts.nb_states minimized);
+        write_lts output minimized)
+  in
+  Cmd.v
+    (Cmd.info "minimize" ~doc:"Minimize modulo strong or branching bisimulation")
+    Term.(
+      const run $ model_arg $ output_arg $ max_states_arg $ equivalence_arg
+      $ hide_arg)
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let second_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"MODEL2" ~doc:"Second model.")
+  in
+  let run a b max_states equivalence =
+    handle_errors (fun () ->
+        let la = load_lts ~max_states a and lb = load_lts ~max_states b in
+        let equal =
+          match equivalence with
+          | `Strong -> Mv_bisim.Strong.equivalent la lb
+          | `Branching -> Mv_bisim.Branching.equivalent la lb
+          | `Divbranching ->
+            Mv_bisim.Branching.equivalent ~divergence_sensitive:true la lb
+          | `Weak -> Mv_bisim.Weak.equivalent la lb
+          | `Traces -> Mv_bisim.Traces.equivalent la lb
+        in
+        print_endline (if equal then "equivalent" else "NOT equivalent");
+        if (not equal) && equivalence = `Traces then begin
+          match Mv_bisim.Traces.counterexample la lb with
+          | Some trace ->
+            Printf.printf "first model performs: %s\n" (String.concat "; " trace)
+          | None -> (
+              match Mv_bisim.Traces.counterexample lb la with
+              | Some trace ->
+                Printf.printf "second model performs: %s\n"
+                  (String.concat "; " trace)
+              | None -> ())
+        end;
+        exit (if equal then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Check two models for bisimulation equivalence")
+    Term.(const run $ model_arg $ second_arg $ max_states_arg $ equivalence_arg)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let formulas_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "f"; "formula" ] ~docv:"FORMULA"
+          ~doc:"Mu-calculus formula (repeatable). See the mu-calculus grammar \
+                in lib/mcl/parser.mli.")
+  in
+  let deadlock_arg =
+    Arg.(value & flag & info [ "deadlock" ] ~doc:"Also check deadlock freedom.")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("fixpoint", `Fixpoint); ("bes", `Bes) ]) `Fixpoint
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Evaluation engine: direct $(b,fixpoint) iteration or a \
+             $(b,bes) (boolean equation system) translation.")
+  in
+  let run model max_states formulas deadlock engine =
+    handle_errors (fun () ->
+        let lts = load_lts ~max_states model in
+        let checks =
+          (if deadlock then
+             [ ("deadlock freedom", Mv_mcl.Formula.Macro.deadlock_free) ]
+           else [])
+          @ List.map (fun f -> (f, Mv_mcl.Parser.formula_of_string f)) formulas
+        in
+        if checks = [] then begin
+          prerr_endline "nothing to check (use --formula or --deadlock)";
+          exit 2
+        end;
+        let evaluate =
+          match engine with
+          | `Fixpoint -> Mv_mcl.Eval.holds
+          | `Bes -> Mv_mcl.Bes.holds
+        in
+        let failures = ref 0 in
+        List.iter
+          (fun (name, formula) ->
+             let holds = evaluate lts formula in
+             if not holds then begin
+               incr failures;
+               (* pick the most informative witness available: the
+                  shortest deadlock trace for the deadlock check, else
+                  a shortest path into the violating region (useful for
+                  invariants; path formulas often violate at the
+                  initial state itself, where no trace helps) *)
+               let witness =
+                 if name = "deadlock freedom" then
+                   Mv_lts.Trace.shortest_to_deadlock lts
+                 else
+                   match
+                     Mv_lts.Trace.shortest_to_violation lts
+                       ~sat:(Mv_mcl.Eval.sat lts formula)
+                   with
+                   | Some t when t.Mv_lts.Trace.labels <> [] -> Some t
+                   | Some _ | None -> None
+               in
+               match witness with
+               | Some t ->
+                 Printf.printf "%-60s VIOLATED (witness: %s)\n" name
+                   (Mv_lts.Trace.to_string t)
+               | None -> Printf.printf "%-60s VIOLATED\n" name
+             end
+             else Printf.printf "%-60s holds\n" name)
+          checks;
+        exit (if !failures = 0 then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Model-check mu-calculus formulas")
+    Term.(
+      const run $ model_arg $ max_states_arg $ formulas_arg $ deadlock_arg
+      $ engine_arg)
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let keep_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "k"; "keep" ] ~docv:"GATES"
+          ~doc:"Gates kept visible for throughput queries (comma-separated).")
+  in
+  let first_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "time-to-first" ] ~docv:"GATE"
+          ~doc:"Also report the mean time to the first occurrence of GATE.")
+  in
+  let scheduler_arg =
+    Arg.(
+      value
+      & opt (enum [ ("uniform", Mv_imc.To_ctmc.Uniform); ("fail", Mv_imc.To_ctmc.Fail) ])
+          Mv_imc.To_ctmc.Uniform
+      & info [ "scheduler" ] ~docv:"S"
+          ~doc:
+            "Resolution of nondeterministic immediate choices: \
+             $(b,uniform) (default) or $(b,fail) (reject, as CADP's \
+             solvers do).")
+  in
+  let run model max_states keep first scheduler =
+    handle_errors (fun () ->
+        let spec = Flow.model_of_text (read_file model) in
+        let perf =
+          try Flow.performance ~max_states ~keep ~scheduler spec
+          with Mv_imc.To_ctmc.Nondeterministic state ->
+            prerr_endline
+              (Printf.sprintf
+                 "rejected: nondeterministic vanishing state %d (rerun with \
+                  --scheduler uniform)"
+                 state);
+            exit 4
+        in
+        Printf.printf "IMC: %d states; lumped: %d; CTMC: %d\n"
+          (Mv_imc.Imc.nb_states perf.Flow.imc)
+          (Mv_imc.Imc.nb_states perf.Flow.lumped)
+          (Mv_markov.Ctmc.nb_states perf.Flow.conversion.Mv_imc.To_ctmc.ctmc);
+        (match perf.Flow.conversion.Mv_imc.To_ctmc.nondeterministic with
+         | [] -> ()
+         | states ->
+           Printf.printf
+             "note: %d statically nondeterministic vanishing state(s) \
+              (resolved by the scheduler if reached during elimination)\n"
+             (List.length states));
+        List.iter
+          (fun (action, value) -> Printf.printf "throughput %-20s %.6g\n" action value)
+          (Flow.throughputs perf);
+        match first with
+        | None -> ()
+        | Some gate ->
+          Printf.printf "mean time to first %-9s %.6g\n" gate
+            (Flow.time_to_first perf ~gate))
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Run the performance pipeline: IMC, lumping, CTMC, throughputs")
+    Term.(
+      const run $ model_arg $ max_states_arg $ keep_arg $ first_arg
+      $ scheduler_arg)
+
+(* ---- translate ---- *)
+
+let translate_cmd =
+  let prefix_arg =
+    Arg.(
+      value
+      & opt string "chp"
+      & info [ "prefix" ] ~docv:"PREFIX"
+          ~doc:"Name prefix for processes generated from CHP loops.")
+  in
+  let run model prefix =
+    handle_errors (fun () ->
+        let spec =
+          Mv_chp.Parser.spec_of_string ~prefix (read_file model)
+        in
+        print_string (Mv_calc.Ast.spec_to_string spec))
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Translate a CHP process (.chp) into MVL concrete syntax")
+    Term.(const run $ model_arg $ prefix_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let deadlock_arg =
+    Arg.(value & flag & info [ "deadlock" ] ~doc:"Witness trace to a deadlock.")
+  in
+  let action_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "action" ] ~docv:"GATE"
+          ~doc:"Witness trace ending in an action on GATE.")
+  in
+  let run model max_states deadlock action =
+    handle_errors (fun () ->
+        let lts = load_lts ~max_states model in
+        let report kind = function
+          | None -> Printf.printf "%-30s unreachable\n" kind
+          | Some t ->
+            Printf.printf "%-30s %s\n" kind (Mv_lts.Trace.to_string t)
+        in
+        if not deadlock && action = None then begin
+          prerr_endline "nothing to search (use --deadlock or --action)";
+          exit 2
+        end;
+        if deadlock then
+          report "shortest deadlock trace:" (Mv_lts.Trace.shortest_to_deadlock lts);
+        match action with
+        | None -> ()
+        | Some gate ->
+          report
+            (Printf.sprintf "shortest trace to %s:" gate)
+            (Mv_lts.Trace.shortest_to_action lts
+               ~action:(fun name -> Mv_lts.Label.gate name = gate)))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Exhibit shortest witness traces")
+    Term.(const run $ model_arg $ max_states_arg $ deadlock_arg $ action_arg)
+
+(* ---- script ---- *)
+
+let script_cmd =
+  let run model =
+    handle_errors (fun () ->
+        let steps =
+          try Mv_core.Svl.run_file model
+          with Mv_core.Svl.Parse_error msg ->
+            prerr_endline ("script parse error: " ^ msg);
+            exit 2
+        in
+        List.iter
+          (fun step ->
+             Printf.printf "%s %-60s %s\n"
+               (if step.Mv_core.Svl.ok then "[ ok ]" else "[FAIL]")
+               step.Mv_core.Svl.description step.Mv_core.Svl.detail)
+          steps;
+        exit (if Mv_core.Svl.all_ok steps then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "script" ~doc:"Run an SVL-style verification script")
+    Term.(const run $ model_arg)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let steps_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "steps" ] ~docv:"N" ~doc:"Number of transitions to walk.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (runs are reproducible).")
+  in
+  let timed_arg =
+    Arg.(
+      value & flag
+      & info [ "timed" ]
+          ~doc:
+            "Interpret 'rate' labels as exponential delays and print \
+             timestamps (stochastic simulation of the underlying IMC).")
+  in
+  let run model max_states steps seed timed =
+    handle_errors (fun () ->
+        let lts = load_lts ~max_states model in
+        let rng = Mv_util.Rng.create (Int64.of_int seed) in
+        if timed then begin
+          let imc = Mv_imc.Imc.of_lts lts in
+          let clock = ref 0.0 in
+          let state = ref (Mv_imc.Imc.initial imc) in
+          let labels = Mv_imc.Imc.labels imc in
+          (try
+             for _ = 1 to steps do
+               match Mv_imc.Imc.interactive_out imc !state with
+               | (label, dst) :: _ as choices ->
+                 let label, dst =
+                   if List.length choices = 1 then (label, dst)
+                   else List.nth choices (Mv_util.Rng.int rng (List.length choices))
+                 in
+                 Printf.printf "%10.4f  %s\n" !clock
+                   (Mv_lts.Label.name labels label);
+                 state := dst
+               | [] ->
+                 (match Mv_imc.Imc.markovian_out imc !state with
+                  | [] ->
+                    Printf.printf "%10.4f  <absorbing>\n" !clock;
+                    raise Exit
+                  | markovian ->
+                    let total =
+                      List.fold_left (fun acc (r, _) -> acc +. r) 0.0 markovian
+                    in
+                    clock := !clock +. Mv_util.Rng.exponential rng ~rate:total;
+                    let u = Mv_util.Rng.float rng *. total in
+                    let rec pick acc = function
+                      | [] -> assert false
+                      | [ (_, d) ] -> d
+                      | (r, d) :: rest ->
+                        if u < acc +. r then d else pick (acc +. r) rest
+                    in
+                    state := pick 0.0 markovian;
+                    Printf.printf "%10.4f  <delay>\n" !clock)
+             done
+           with Exit -> ())
+        end
+        else begin
+          let state = ref (Lts.initial lts) in
+          (try
+             for i = 1 to steps do
+               let moves =
+                 Lts.fold_out lts !state (fun l d acc -> (l, d) :: acc) []
+               in
+               match moves with
+               | [] ->
+                 Printf.printf "%4d  <deadlock>\n" i;
+                 raise Exit
+               | _ ->
+                 let label, dst =
+                   List.nth moves (Mv_util.Rng.int rng (List.length moves))
+                 in
+                 Printf.printf "%4d  %s\n" i
+                   (Mv_lts.Label.name (Lts.labels lts) label);
+                 state := dst
+             done
+           with Exit -> ())
+        end)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Random-walk simulation of a model")
+    Term.(
+      const run $ model_arg $ max_states_arg $ steps_arg $ seed_arg $ timed_arg)
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run model max_states =
+    handle_errors (fun () ->
+        let lts = load_lts ~max_states model in
+        Format.printf "%a@." Lts.pp lts;
+        Printf.printf "deadlock states: %d\n" (List.length (Lts.deadlocks lts));
+        print_endline "labels:";
+        List.iter (fun l -> Printf.printf "  %s\n" l) (Lts.occurring_labels lts))
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print model statistics")
+    Term.(const run $ model_arg $ max_states_arg)
+
+let () =
+  let default : unit Term.t = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "mval" ~version:"1.0.0"
+             ~doc:"Functional verification and performance evaluation of \
+                   asynchronous architectures (the Multival flow)")
+          [ generate_cmd; minimize_cmd; compare_cmd; check_cmd; solve_cmd;
+            translate_cmd; trace_cmd; simulate_cmd; script_cmd; info_cmd ]))

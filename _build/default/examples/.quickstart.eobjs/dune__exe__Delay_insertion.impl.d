@@ -1,0 +1,1 @@
+examples/delay_insertion.ml: List Mv_calc Mv_core Mv_imc Mv_markov Printf

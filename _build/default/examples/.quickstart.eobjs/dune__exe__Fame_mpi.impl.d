@@ -1,0 +1,1 @@
+examples/fame_mpi.ml: List Mv_core Mv_fame Mv_lts Printf

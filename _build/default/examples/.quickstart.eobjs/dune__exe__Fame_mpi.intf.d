@@ -1,0 +1,1 @@
+examples/fame_mpi.mli:

@@ -1,0 +1,1 @@
+examples/faust_noc.ml: Format List Mv_bisim Mv_compose Mv_core Mv_faust Mv_lts Printf

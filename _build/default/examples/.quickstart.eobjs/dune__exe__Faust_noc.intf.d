@@ -1,0 +1,1 @@
+examples/faust_noc.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mv_core Mv_lts Mv_mcl Mv_sim Printf

@@ -1,0 +1,1 @@
+examples/xstream_queues.ml: Array List Mv_bisim Mv_calc Mv_core Mv_xstream Printf

@@ -1,0 +1,1 @@
+examples/xstream_queues.mli:

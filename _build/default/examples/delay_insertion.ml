@@ -1,0 +1,97 @@
+(* The paper's performance-decoration methodology (SS4), step by step:
+   (1) localize the relevant delays in the functional model,
+   (2) expose the start and end of each delay as gates,
+   (3) instantiate each delay by synchronizing those gates with an
+       auxiliary process expressing the delay as a phase-type
+       distribution.
+   Then the space-accuracy tradeoff of approximating a FIXED delay by
+   Erlang-k chains (the open issue in the paper's conclusion).
+
+   Run with: dune exec examples/delay_insertion.exe *)
+
+module Flow = Mv_core.Flow
+module Phase = Mv_imc.Phase
+module Report = Mv_core.Report
+
+(* Step 1+2: the functional model, with the work delay exposed as the
+   gate pair begin_work / end_work. *)
+let functional_text =
+  {|
+process Worker := job ; begin_work ; end_work ; done ; Worker
+process Source := rate 2.0 ; job ; Source
+init hide begin_work, end_work, job in
+  ((Source |[job]| Worker) |[begin_work, end_work]| Delay)
+|}
+
+(* Step 3: instantiate the delay with a chosen phase-type process. *)
+let model_with distribution =
+  let spec = Mv_calc.Parser.spec_of_string functional_text in
+  let delay =
+    Phase.process distribution ~name:"Delay" ~start:"begin_work"
+      ~finish:"end_work"
+  in
+  let spec =
+    { spec with Mv_calc.Ast.processes = delay :: spec.Mv_calc.Ast.processes }
+  in
+  Mv_calc.Typecheck.check_spec spec;
+  spec
+
+let () =
+  (* any phase-type distribution slots into the same functional model *)
+  let rows =
+    List.map
+      (fun (name, distribution) ->
+         let perf = Flow.performance ~keep:[ "done" ] (model_with distribution) in
+         [ name;
+           string_of_int (Phase.nb_phases distribution);
+           Report.float_cell (Phase.mean distribution);
+           Report.float_cell (Phase.coefficient_of_variation distribution);
+           Report.float_cell (Flow.throughput perf ~gate:"done") ])
+      [
+        ("exponential(4)", Phase.Exponential 4.0);
+        ("erlang(4, 16)", Phase.Erlang (4, 16.0));
+        ("hypoexp [8; 8]", Phase.Hypoexponential [ 8.0; 8.0 ]);
+      ]
+  in
+  Report.table
+    ~title:
+      "one functional model, three service-time distributions (mean 0.25)"
+    ~header:[ "distribution"; "phases"; "mean"; "CV"; "throughput(done)" ]
+    rows;
+
+  (* the fixed-delay approximation: more phases, sharper distribution,
+     bigger chain - the space-accuracy tradeoff *)
+  let delay = 0.25 in
+  let rows =
+    List.map
+      (fun phases ->
+         let distribution = Phase.erlang_of_deterministic ~phases ~delay in
+         let perf =
+           Flow.performance ~keep:[ "done" ] (model_with distribution)
+         in
+         let ctmc_states =
+           Mv_markov.Ctmc.nb_states perf.Flow.conversion.Mv_imc.To_ctmc.ctmc
+         in
+         [ string_of_int phases;
+           string_of_int ctmc_states;
+           Report.float_cell (Phase.coefficient_of_variation distribution);
+           Report.float_cell (Flow.throughput perf ~gate:"done");
+           Report.float_cell
+             (Flow.probability_by perf ~gate:"done" ~horizon:(2.0 *. delay)) ])
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "fixed work time (d = %.2f) as Erlang-k inside the full model: \
+          state count vs distribution sharpness"
+         delay)
+    ~header:[ "k"; "CTMC states"; "CV"; "throughput"; "P(done by 2d)" ]
+    rows;
+  print_newline ();
+  print_endline
+    "Throughput rises slightly with k: less service variance means less\n\
+     blocking (the Pollaczek-Khinchine effect), converging to the true\n\
+     fixed-delay value, while the chain grows linearly in k - exactly the\n\
+     space-accuracy tradeoff the paper's conclusion names for fixed-time\n\
+     delays."

@@ -1,0 +1,1 @@
+lib/bisim/branching.ml: Array Hashtbl List Mv_lts Partition Quotient Union

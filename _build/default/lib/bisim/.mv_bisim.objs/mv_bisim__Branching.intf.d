@@ -1,0 +1,1 @@
+lib/bisim/branching.mli: Mv_lts Partition

@@ -1,0 +1,1 @@
+lib/bisim/partition.ml: Array Hashtbl

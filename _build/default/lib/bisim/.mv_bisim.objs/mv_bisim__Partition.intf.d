@@ -1,0 +1,1 @@
+lib/bisim/partition.mli:

@@ -1,0 +1,1 @@
+lib/bisim/quotient.ml: Array Mv_lts Partition

@@ -1,0 +1,1 @@
+lib/bisim/quotient.mli: Mv_lts Partition

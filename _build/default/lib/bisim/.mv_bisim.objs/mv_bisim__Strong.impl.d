@@ -1,0 +1,1 @@
+lib/bisim/strong.ml: Array List Mv_lts Partition Quotient Union

@@ -1,0 +1,1 @@
+lib/bisim/strong.mli: Mv_lts Partition

@@ -1,0 +1,1 @@
+lib/bisim/traces.ml: Hashtbl List Mv_lts Option Queue

@@ -1,0 +1,1 @@
+lib/bisim/traces.mli: Mv_lts

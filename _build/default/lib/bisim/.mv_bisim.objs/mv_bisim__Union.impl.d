@@ -1,0 +1,1 @@
+lib/bisim/union.ml: Mv_lts

@@ -1,0 +1,1 @@
+lib/bisim/union.mli: Mv_lts

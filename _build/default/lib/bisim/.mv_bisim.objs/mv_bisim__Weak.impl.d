@@ -1,0 +1,1 @@
+lib/bisim/weak.ml: Array Hashtbl List Mv_lts Partition Quotient Strong Union

@@ -1,0 +1,1 @@
+lib/bisim/weak.mli: Mv_lts Partition

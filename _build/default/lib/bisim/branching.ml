@@ -1,0 +1,157 @@
+module Lts = Mv_lts.Lts
+module Label = Mv_lts.Label
+module Scc = Mv_lts.Scc
+
+let tau_scc lts =
+  let iter_succ s f = Lts.iter_out lts s (fun l d -> if l = Label.tau then f d) in
+  Scc.compute ~nb_states:(Lts.nb_states lts) ~iter_succ
+
+let divergence_free lts =
+  let scc = tau_scc lts in
+  (* a tau cycle exists iff some tau-SCC is non-trivial or has a tau
+     self-loop *)
+  let size = Array.make scc.count 0 in
+  Array.iter (fun c -> size.(c) <- size.(c) + 1) scc.component;
+  let divergent = ref false in
+  Array.iter (fun members -> if members > 1 then divergent := true) size;
+  if not !divergent then
+    Lts.iter_transitions lts (fun s l d ->
+        if l = Label.tau && s = d then divergent := true);
+  not !divergent
+
+(* Collapse tau-SCCs. Tarjan numbers components in reverse topological
+   order of the condensation, so in the collapsed system every tau edge
+   goes from a higher id to a lower id: increasing id order is a valid
+   bottom-up processing order for signature inheritance. Also reports
+   which collapsed states are divergent (a nontrivial tau-SCC or a tau
+   self-loop). *)
+let collapse lts =
+  let scc = tau_scc lts in
+  let transitions = ref [] in
+  let divergent = Array.make scc.count false in
+  let size = Array.make scc.count 0 in
+  Array.iter (fun c -> size.(c) <- size.(c) + 1) scc.component;
+  Array.iteri (fun c members -> if members > 1 then divergent.(c) <- true) size;
+  Lts.iter_transitions lts (fun s l d ->
+      let cs = scc.component.(s) and cd = scc.component.(d) in
+      if l = Label.tau && cs = cd then divergent.(cs) <- true
+      else transitions := (cs, l, cd) :: !transitions);
+  let collapsed =
+    Lts.make ~nb_states:scc.count
+      ~initial:scc.component.(Lts.initial lts)
+      ~labels:(Lts.labels lts) !transitions
+  in
+  (collapsed, scc.component, divergent)
+
+let signatures ?(divergent = [||]) collapsed (p : Partition.t) =
+  let n = Lts.nb_states collapsed in
+  let sigs = Array.make n [] in
+  for s = 0 to n - 1 do
+    (* every tau successor d of s has d < s, so sigs.(d) is final *)
+    let direct =
+      Lts.fold_out collapsed s
+        (fun l d acc ->
+           if l = Label.tau && p.block_of.(d) = p.block_of.(s) then acc
+           else (l, p.block_of.(d)) :: acc)
+        []
+    in
+    let inherited =
+      Lts.fold_out collapsed s
+        (fun l d acc ->
+           if l = Label.tau && p.block_of.(d) = p.block_of.(s) then
+             List.rev_append sigs.(d) acc
+           else acc)
+        []
+    in
+    (* divergence sensitivity: a divergent state carries the marker
+       (-1, -1), which no real (label, block) pair can produce *)
+    let marker =
+      if Array.length divergent > 0 && divergent.(s) then [ (-1, -1) ] else []
+    in
+    sigs.(s) <- List.sort_uniq compare (marker @ List.rev_append direct inherited)
+  done;
+  sigs
+
+let refine ?divergent collapsed =
+  let n = Lts.nb_states collapsed in
+  let rec loop (p : Partition.t) =
+    let sigs = signatures ?divergent collapsed p in
+    let keys : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create 256 in
+    let block_of = Array.make n 0 in
+    let next = ref 0 in
+    for s = 0 to n - 1 do
+      let key = (p.block_of.(s), sigs.(s)) in
+      let id =
+        match Hashtbl.find_opt keys key with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.replace keys key id;
+          id
+      in
+      block_of.(s) <- id
+    done;
+    let p' : Partition.t = { block_of; count = !next } in
+    if p'.count = p.count then p' else loop p'
+  in
+  loop (Partition.trivial n)
+
+(* A state diverges iff some tau path reaches a tau-cycle: close the
+   SCC-level divergence backwards over the collapsed tau DAG
+   (increasing id order visits successors first). *)
+let divergence_closure collapsed divergent =
+  let n = Lts.nb_states collapsed in
+  let delta = Array.copy divergent in
+  for s = 0 to n - 1 do
+    Lts.iter_out collapsed s (fun l d ->
+        if l = Label.tau && delta.(d) then delta.(s) <- true)
+  done;
+  delta
+
+let partition ?(divergence_sensitive = false) lts =
+  let collapsed, component, divergent = collapse lts in
+  let p =
+    if divergence_sensitive then
+      refine ~divergent:(divergence_closure collapsed divergent) collapsed
+    else refine collapsed
+  in
+  {
+    Partition.block_of =
+      Array.init (Lts.nb_states lts) (fun s -> p.block_of.(component.(s)));
+    count = p.count;
+  }
+
+let minimize ?(divergence_sensitive = false) lts =
+  let p = partition ~divergence_sensitive lts in
+  let quotient = Quotient.weak lts p in
+  let quotient =
+    if not divergence_sensitive then quotient
+    else begin
+      (* restore a tau self-loop on every block containing a divergent
+         original state (inert taus inside a tau-SCC were dropped) *)
+      let _, component, divergent = collapse lts in
+      let needs_loop = Hashtbl.create 8 in
+      Array.iteri
+        (fun s c ->
+           if divergent.(c) then Hashtbl.replace needs_loop p.Partition.block_of.(s) ())
+        component;
+      if Hashtbl.length needs_loop = 0 then quotient
+      else begin
+        let transitions = ref [] in
+        Lts.iter_transitions quotient (fun s l d -> transitions := (s, l, d) :: !transitions);
+        Hashtbl.iter
+          (fun block () -> transitions := (block, Label.tau, block) :: !transitions)
+          needs_loop;
+        Lts.make ~nb_states:(Lts.nb_states quotient)
+          ~initial:(Lts.initial quotient)
+          ~labels:(Lts.labels quotient) !transitions
+      end
+    end
+  in
+  Lts.restrict_reachable quotient
+
+let equivalent ?(divergence_sensitive = false) a b =
+  let union, offset = Union.disjoint a b in
+  let p = partition ~divergence_sensitive union in
+  Partition.same_block p (Lts.initial a) (offset + Lts.initial b)

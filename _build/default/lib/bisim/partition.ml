@@ -1,0 +1,50 @@
+type t = { block_of : int array; count : int }
+
+let trivial nb_states = { block_of = Array.make nb_states 0; count = 1 }
+
+let of_classes ~nb_states class_of =
+  let dense = Hashtbl.create 64 in
+  let block_of = Array.make nb_states 0 in
+  let next = ref 0 in
+  for s = 0 to nb_states - 1 do
+    let c = class_of s in
+    let id =
+      match Hashtbl.find_opt dense c with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace dense c id;
+        id
+    in
+    block_of.(s) <- id
+  done;
+  { block_of; count = !next }
+
+let refine_step ~nb_states ~signature p =
+  let keys : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create 256 in
+  let block_of = Array.make nb_states 0 in
+  let next = ref 0 in
+  for s = 0 to nb_states - 1 do
+    let key = (p.block_of.(s), signature p s) in
+    let id =
+      match Hashtbl.find_opt keys key with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace keys key id;
+        id
+    in
+    block_of.(s) <- id
+  done;
+  { block_of; count = !next }
+
+let refine_until_stable ~nb_states ~signature p =
+  let rec loop p =
+    let p' = refine_step ~nb_states ~signature p in
+    if p'.count = p.count then p' else loop p'
+  in
+  loop p
+
+let same_block p a b = p.block_of.(a) = p.block_of.(b)

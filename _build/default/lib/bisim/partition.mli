@@ -1,0 +1,30 @@
+(** Partitions of state spaces and the generic signature-refinement
+    loop shared by the strong and branching minimizers.
+
+    A partition maps every state to a dense block id. Refinement
+    re-splits every block according to a caller-supplied signature
+    function and repeats until the number of blocks is stable; since
+    the new key always includes the old block id, every step is a
+    proper refinement and the loop terminates in at most [n] rounds. *)
+
+type t = {
+  block_of : int array; (** state -> block id in [0 .. count-1] *)
+  count : int;
+}
+
+(** All states in a single block. *)
+val trivial : int -> t
+
+(** [of_classes ~nb_states class_of] builds a partition from an
+    arbitrary labelling (ids are densified). *)
+val of_classes : nb_states:int -> (int -> int) -> t
+
+(** [refine_until_stable ~nb_states ~signature p] iterates refinement.
+    [signature p s] must return a canonical (sorted, duplicate-free)
+    representation of state [s]'s behaviour under partition [p];
+    states of one block with equal signatures stay together. *)
+val refine_until_stable :
+  nb_states:int -> signature:(t -> int -> (int * int) list) -> t -> t
+
+(** [same_block p a b]. *)
+val same_block : t -> int -> int -> bool

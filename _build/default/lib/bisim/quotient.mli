@@ -1,0 +1,10 @@
+(** Building quotient LTSs from partitions. *)
+
+(** [strong lts p] keeps one state per block and one copy of every
+    transition between blocks (self-loops included). *)
+val strong : Mv_lts.Lts.t -> Partition.t -> Mv_lts.Lts.t
+
+(** [weak lts p] is like {!strong} but drops inert tau transitions
+    (tau steps inside one block), as appropriate for branching
+    bisimulation quotients. *)
+val weak : Mv_lts.Lts.t -> Partition.t -> Mv_lts.Lts.t

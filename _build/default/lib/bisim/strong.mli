@@ -1,0 +1,17 @@
+(** Strong bisimulation.
+
+    Signature refinement in the style of Kanellakis-Smolka: the
+    signature of a state is its set of [(label, successor block)]
+    pairs. Adequate (O(m) per round, at most [n] rounds) for the model
+    sizes this toolchain targets. *)
+
+(** Coarsest strong-bisimulation partition. *)
+val partition : Mv_lts.Lts.t -> Partition.t
+
+(** Quotient by the coarsest partition, restricted to reachable
+    states. *)
+val minimize : Mv_lts.Lts.t -> Mv_lts.Lts.t
+
+(** [equivalent a b] — strong bisimilarity of the initial states.
+    Labels are matched by printed name. *)
+val equivalent : Mv_lts.Lts.t -> Mv_lts.Lts.t -> bool

@@ -1,0 +1,23 @@
+(** Weak trace (language) semantics: determinization, inclusion and
+    equivalence.
+
+    Coarser than branching bisimulation: only the sets of visible
+    action sequences matter; internal moves, deadlocks and divergence
+    are ignored. Useful as a sanity check ("the implementation performs
+    no sequence the specification forbids") when bisimulation is too
+    fine. Determinization is the classical subset construction over
+    tau-closures, so it can be exponential in the worst case. *)
+
+(** [determinize lts] — a deterministic LTS (no tau, at most one
+    successor per label from each state) with the same weak traces. *)
+val determinize : Mv_lts.Lts.t -> Mv_lts.Lts.t
+
+(** [included a b] — is every weak trace of [a] a weak trace of [b]? *)
+val included : Mv_lts.Lts.t -> Mv_lts.Lts.t -> bool
+
+(** [equivalent a b] — same weak trace sets. *)
+val equivalent : Mv_lts.Lts.t -> Mv_lts.Lts.t -> bool
+
+(** [counterexample a b] — a shortest trace of [a] that [b] cannot
+    perform ([None] when [included a b]). *)
+val counterexample : Mv_lts.Lts.t -> Mv_lts.Lts.t -> string list option

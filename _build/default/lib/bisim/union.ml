@@ -1,0 +1,20 @@
+module Lts = Mv_lts.Lts
+module Label = Mv_lts.Label
+
+let disjoint a b =
+  let labels = Label.create () in
+  let transitions = ref [] in
+  let offset = Lts.nb_states a in
+  Lts.iter_transitions a (fun s l d ->
+      transitions :=
+        (s, Label.intern labels (Label.name (Lts.labels a) l), d) :: !transitions);
+  Lts.iter_transitions b (fun s l d ->
+      transitions :=
+        (s + offset, Label.intern labels (Label.name (Lts.labels b) l), d + offset)
+        :: !transitions);
+  let union =
+    Lts.make
+      ~nb_states:(Lts.nb_states a + Lts.nb_states b)
+      ~initial:(Lts.initial a) ~labels !transitions
+  in
+  (union, offset)

@@ -1,0 +1,10 @@
+(** Disjoint union of two LTSs over a shared label table.
+
+    Equivalence checks run one refinement over the union and compare
+    the blocks of the two initial states. *)
+
+(** [disjoint a b] is [(union, offset)] where states of [a] keep their
+    ids, states of [b] are shifted by [offset = nb_states a], and
+    labels are unified by printed name. The union's initial state is
+    [a]'s. *)
+val disjoint : Mv_lts.Lts.t -> Mv_lts.Lts.t -> Mv_lts.Lts.t * int

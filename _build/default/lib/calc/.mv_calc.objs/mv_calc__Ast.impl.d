@@ -1,0 +1,1 @@
+lib/calc/ast.ml: Expr Format List String Ty Value

@@ -1,0 +1,1 @@
+lib/calc/ast.mli: Expr Format Ty Value

@@ -1,0 +1,1 @@
+lib/calc/expr.ml: Format List Value

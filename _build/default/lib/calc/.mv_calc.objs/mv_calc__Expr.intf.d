@@ -1,0 +1,1 @@
+lib/calc/expr.mli: Format Value

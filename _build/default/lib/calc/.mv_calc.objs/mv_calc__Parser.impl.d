@@ -1,0 +1,1 @@
+lib/calc/parser.ml: Ast Expr List Mv_util Printf Ty Typecheck Value

@@ -1,0 +1,1 @@
+lib/calc/parser.mli: Ast Expr Mv_util Ty

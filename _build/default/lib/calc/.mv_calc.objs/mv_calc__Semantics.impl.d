@@ -1,0 +1,1 @@
+lib/calc/semantics.ml: Ast Expr List Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/calc/semantics.mli: Ast Value

@@ -1,0 +1,1 @@
+lib/calc/state_space.ml: Ast Hashtbl List Marshal Mv_lts Queue Semantics

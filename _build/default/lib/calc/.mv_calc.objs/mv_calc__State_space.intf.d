@@ -1,0 +1,1 @@
+lib/calc/state_space.mli: Ast Mv_lts

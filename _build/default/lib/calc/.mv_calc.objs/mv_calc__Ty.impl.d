@@ -1,0 +1,1 @@
+lib/calc/ty.ml: Format List String Value

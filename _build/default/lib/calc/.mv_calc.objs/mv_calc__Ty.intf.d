@@ -1,0 +1,1 @@
+lib/calc/ty.mli: Format Value

@@ -1,0 +1,1 @@
+lib/calc/typecheck.ml: Ast Expr Format Hashtbl List Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/calc/typecheck.mli: Ast Expr Format Ty

@@ -1,0 +1,1 @@
+lib/calc/value.ml: Format Stdlib String

@@ -1,0 +1,1 @@
+lib/calc/value.mli: Format

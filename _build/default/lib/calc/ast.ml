@@ -1,0 +1,264 @@
+type offer = Send of Expr.t | Receive of string * Ty.t
+
+type sync = Gates of string list | All
+
+type behavior =
+  | Stop
+  | Exit of Expr.t list
+  | Prefix of action * behavior
+  | Rate of float * behavior
+  | Choice of behavior list
+  | Guard of Expr.t * behavior
+  | Par of sync * behavior * behavior
+  | Hide of string list * behavior
+  | Rename of (string * string) list * behavior
+  | Seq of behavior * (string * Ty.t) list * behavior
+  | Call of string * string list * Expr.t list
+
+and action = { gate : string; offers : offer list }
+
+type process = {
+  proc_name : string;
+  gates : string list;
+  params : (string * Ty.t) list;
+  body : behavior;
+}
+
+type spec = { enums : Ty.enums; processes : process list; init : behavior }
+
+let find_process spec name =
+  List.find_opt (fun p -> String.equal p.proc_name name) spec.processes
+
+let tau_gate = "i"
+let exit_label = "exit"
+
+let rec subst bindings b =
+  if bindings = [] then b
+  else
+    match b with
+    | Stop -> b
+    | Exit es -> Exit (List.map (Expr.subst bindings) es)
+    | Prefix (a, k) ->
+      let offers = List.map (subst_offer bindings) a.offers in
+      (* Receive binders shadow outer bindings in the continuation *)
+      let bound =
+        List.filter_map
+          (function Receive (x, _) -> Some x | Send _ -> None)
+          a.offers
+      in
+      let inner = List.filter (fun (x, _) -> not (List.mem x bound)) bindings in
+      Prefix ({ a with offers }, subst inner k)
+    | Rate (r, k) -> Rate (r, subst bindings k)
+    | Choice bs -> Choice (List.map (subst bindings) bs)
+    | Guard (e, k) -> Guard (Expr.subst bindings e, subst bindings k)
+    | Par (s, x, y) -> Par (s, subst bindings x, subst bindings y)
+    | Hide (gs, k) -> Hide (gs, subst bindings k)
+    | Rename (rs, k) -> Rename (rs, subst bindings k)
+    | Seq (x, accepts, y) ->
+      let bound = List.map fst accepts in
+      let inner = List.filter (fun (v, _) -> not (List.mem v bound)) bindings in
+      Seq (subst bindings x, accepts, subst inner y)
+    | Call (p, gate_args, args) ->
+      Call (p, gate_args, List.map (Expr.subst bindings) args)
+
+and subst_offer bindings = function
+  | Send e -> Send (Expr.subst bindings e)
+  | Receive _ as o -> o
+
+let normalize_expr e =
+  if Expr.free_vars e = [] then
+    match Expr.eval e with
+    | v -> Expr.Const v
+    | exception Expr.Eval_error _ -> e
+  else e
+
+let rec normalize b =
+  match b with
+  | Stop -> b
+  | Exit es -> Exit (List.map normalize_expr es)
+  | Prefix (a, k) ->
+    let offers =
+      List.map
+        (function
+          | Send e -> Send (normalize_expr e)
+          | Receive _ as o -> o)
+        a.offers
+    in
+    Prefix ({ a with offers }, normalize k)
+  | Rate (r, k) -> Rate (r, normalize k)
+  | Choice bs -> Choice (List.map normalize bs)
+  | Guard (e, k) -> Guard (normalize_expr e, normalize k)
+  | Par (s, x, y) -> Par (s, normalize x, normalize y)
+  | Hide (gs, k) -> Hide (gs, normalize k)
+  | Rename (rs, k) -> Rename (rs, normalize k)
+  | Seq (x, accepts, y) -> Seq (normalize x, accepts, normalize y)
+  | Call (p, gate_args, args) -> Call (p, gate_args, List.map normalize_expr args)
+
+(* Gate substitution. [hide] binds: substitution of a hidden name stops
+   underneath, and a hidden gate is renamed apart when some actual gate
+   of the substitution would be captured by it. The renaming appends
+   primes deterministically (never a global counter: state terms must
+   converge under repeated unfolding or exploration would diverge). *)
+let rec subst_gates map b =
+  if map = [] then b
+  else
+    let apply g = match List.assoc_opt g map with Some g' -> g' | None -> g in
+    match b with
+    | Stop | Exit _ -> b
+    | Prefix (a, k) ->
+      Prefix ({ a with gate = apply a.gate }, subst_gates map k)
+    | Rate (r, k) -> Rate (r, subst_gates map k)
+    | Choice bs -> Choice (List.map (subst_gates map) bs)
+    | Guard (e, k) -> Guard (e, subst_gates map k)
+    | Par (s, x, y) ->
+      let s' =
+        match s with Gates gs -> Gates (List.map apply gs) | All -> All
+      in
+      Par (s', subst_gates map x, subst_gates map y)
+    | Hide (gs, k) ->
+      let live = List.filter (fun (formal, _) -> not (List.mem formal gs)) map in
+      let captured =
+        List.filter (fun g -> List.exists (fun (_, actual) -> actual = g) live) gs
+      in
+      if captured = [] then Hide (gs, subst_gates live k)
+      else begin
+        (* rename the capturing hidden gates apart first *)
+        let actuals = List.map snd live in
+        let rec prime g =
+          let candidate = g ^ "'" in
+          if List.mem candidate actuals || List.mem candidate gs then
+            prime candidate
+          else candidate
+        in
+        let renaming = List.map (fun g -> (g, prime g)) captured in
+        let gs' =
+          List.map
+            (fun g -> match List.assoc_opt g renaming with
+               | Some g' -> g'
+               | None -> g)
+            gs
+        in
+        Hide (gs', subst_gates live (subst_gates renaming k))
+      end
+    | Rename (pairs, k) ->
+      Rename
+        (List.map (fun (old_gate, new_gate) -> (apply old_gate, apply new_gate)) pairs,
+         subst_gates map k)
+    | Seq (x, accepts, y) -> Seq (subst_gates map x, accepts, subst_gates map y)
+    | Call (p, gate_args, args) -> Call (p, List.map apply gate_args, args)
+
+let act gate offers k = Prefix ({ gate; offers }, k)
+let vint n = Expr.Const (Value.VInt n)
+let vbool b = Expr.Const (Value.VBool b)
+let venum c = Expr.Const (Value.VEnum c)
+let var x = Expr.Var x
+
+let choice bs =
+  let rec flatten acc = function
+    | [] -> acc
+    | Stop :: rest -> flatten acc rest
+    | Choice inner :: rest -> flatten (flatten acc inner) rest
+    | b :: rest -> flatten (b :: acc) rest
+  in
+  match List.rev (flatten [] bs) with
+  | [] -> Stop
+  | [ b ] -> b
+  | bs -> Choice bs
+
+let par gates a b = Par (Gates gates, a, b)
+
+let interleave = function
+  | [] -> Exit []
+  | b :: rest -> List.fold_left (fun acc x -> Par (Gates [], acc, x)) b rest
+
+let par_all gates = function
+  | [] -> Exit []
+  | b :: rest -> List.fold_left (fun acc x -> Par (Gates gates, acc, x)) b rest
+
+let pp_gates fmt gates =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    Format.pp_print_string fmt gates
+
+let pp_offer fmt = function
+  | Send e -> Format.fprintf fmt " !%a" Expr.pp e
+  | Receive (x, ty) -> Format.fprintf fmt " ?%s:%a" x Ty.pp ty
+
+let rec pp_behavior fmt = function
+  | Stop -> Format.pp_print_string fmt "stop"
+  | Exit [] -> Format.pp_print_string fmt "exit"
+  | Exit es ->
+    Format.fprintf fmt "exit(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         Expr.pp)
+      es
+  | Prefix (a, k) ->
+    Format.fprintf fmt "(%s%a ; %a)" a.gate
+      (fun fmt -> List.iter (pp_offer fmt))
+      a.offers pp_behavior k
+  | Rate (r, k) -> Format.fprintf fmt "(rate %.12g ; %a)" r pp_behavior k
+  | Choice bs ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " [] ")
+         pp_behavior)
+      bs
+  | Guard (e, k) -> Format.fprintf fmt "([%a] -> %a)" Expr.pp e pp_behavior k
+  | Par (Gates [], x, y) ->
+    Format.fprintf fmt "(%a ||| %a)" pp_behavior x pp_behavior y
+  | Par (Gates gs, x, y) ->
+    Format.fprintf fmt "(%a |[%a]| %a)" pp_behavior x pp_gates gs pp_behavior y
+  | Par (All, x, y) -> Format.fprintf fmt "(%a || %a)" pp_behavior x pp_behavior y
+  | Hide (gs, k) -> Format.fprintf fmt "(hide %a in %a)" pp_gates gs pp_behavior k
+  | Rename (rs, k) ->
+    let pp_pair fmt (old_gate, new_gate) =
+      Format.fprintf fmt "%s -> %s" old_gate new_gate
+    in
+    Format.fprintf fmt "(rename %a in %a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_pair)
+      rs pp_behavior k
+  | Seq (x, [], y) -> Format.fprintf fmt "(%a >> %a)" pp_behavior x pp_behavior y
+  | Seq (x, accepts, y) ->
+    let pp_accept fmt (v, ty) = Format.fprintf fmt "%s : %a" v Ty.pp ty in
+    Format.fprintf fmt "(%a >> accept %a in %a)" pp_behavior x
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_accept)
+      accepts pp_behavior y
+  | Call (p, [], []) -> Format.pp_print_string fmt p
+  | Call (p, gate_args, args) ->
+    Format.pp_print_string fmt p;
+    if gate_args <> [] then Format.fprintf fmt "[%a]" pp_gates gate_args;
+    if args <> [] then
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Expr.pp)
+        args
+
+let pp_spec fmt spec =
+  List.iter
+    (fun (name, constructors) ->
+       Format.fprintf fmt "type %s = { %s }@." name
+         (String.concat ", " constructors))
+    spec.enums;
+  List.iter
+    (fun p ->
+       Format.fprintf fmt "process %s" p.proc_name;
+       if p.gates <> [] then Format.fprintf fmt " [%a]" pp_gates p.gates;
+       if p.params <> [] then begin
+         let pp_param fmt (x, ty) = Format.fprintf fmt "%s : %a" x Ty.pp ty in
+         Format.fprintf fmt " (%a)"
+           (Format.pp_print_list
+              ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+              pp_param)
+           p.params
+       end;
+       Format.fprintf fmt " :=@.  %a@." pp_behavior p.body)
+    spec.processes;
+  Format.fprintf fmt "init %a@." pp_behavior spec.init
+
+let spec_to_string spec = Format.asprintf "%a" pp_spec spec

@@ -1,0 +1,113 @@
+(** Abstract syntax of MVL behaviours and specifications.
+
+    MVL is the LOTOS-like modeling language of the flow: multiway
+    rendezvous on gates with value offers, guarded choice, parallel
+    composition over a synchronization set, hiding, renaming,
+    sequential composition through successful termination, process
+    instantiation with data parameters, and a Markovian delay prefix
+    ([rate lambda]) used to decorate functional models with stochastic
+    timing. *)
+
+type offer =
+  | Send of Expr.t (** [!e] *)
+  | Receive of string * Ty.t (** [?x:T] — expanded over the finite domain *)
+
+type sync =
+  | Gates of string list (** [|\[g1,...\]|]; [Gates \[\]] is pure interleaving *)
+  | All (** [||]: synchronize on every visible gate *)
+
+type behavior =
+  | Stop
+  | Exit of Expr.t list
+      (** successful termination, optionally passing values
+          ([exit] / [exit(e1, ...)]; emits the [exit] action) *)
+  | Prefix of action * behavior (** [g !e ?x:T ; B] *)
+  | Rate of float * behavior (** Markovian delay, then [B] *)
+  | Choice of behavior list
+  | Guard of Expr.t * behavior (** [\[e\] -> B] *)
+  | Par of sync * behavior * behavior
+  | Hide of string list * behavior
+  | Rename of (string * string) list * behavior (** [(old, new)] pairs *)
+  | Seq of behavior * (string * Ty.t) list * behavior
+      (** [B1 >> accept x : ty, ... in B2]: on termination of [B1] its
+          exit values are bound to the accept variables (the exit
+          itself becomes tau) *)
+  | Call of string * string list * Expr.t list
+      (** [P \[g1,...\](e1,...)]: process instantiation with actual
+          gates and value arguments *)
+
+and action = { gate : string; offers : offer list }
+
+type process = {
+  proc_name : string;
+  gates : string list; (** formal gate parameters (may be empty) *)
+  params : (string * Ty.t) list;
+  body : behavior;
+}
+
+type spec = {
+  enums : Ty.enums;
+  processes : process list;
+  init : behavior;
+}
+
+(** [find_process spec name]. *)
+val find_process : spec -> string -> process option
+
+(** [subst bindings b] replaces free data variables by constants,
+    respecting [Receive] binders. *)
+val subst : (string * Value.t) list -> behavior -> behavior
+
+(** [subst_gates map b] replaces gate names ([(formal, actual)] pairs):
+    action gates, synchronization sets, hide/rename lists and call gate
+    arguments. Gates bound by [hide] shadow the substitution; hidden
+    gates are alpha-renamed when an actual name would be captured. *)
+val subst_gates : (string * string) list -> behavior -> behavior
+
+(** [normalize b] evaluates every closed expression in [b] to a
+    constant (expressions that fail to evaluate are kept as-is, so
+    runtime errors still surface during exploration). Exploration
+    normalizes every state term: without it, [Queue(1 - 1)] and
+    [Queue(0)] would be distinct states. *)
+val normalize : behavior -> behavior
+
+(** Gate named ["i"]: an internal-action prefix. *)
+val tau_gate : string
+
+(** The distinguished label of successful termination. *)
+val exit_label : string
+
+(** {1 Construction helpers}
+
+    Combinators used by the embedded models (case studies, tests). *)
+
+(** [act gate offers b] is [Prefix ({gate; offers}, b)]. *)
+val act : string -> offer list -> behavior -> behavior
+
+(** [send e] is [Send e] on a literal value. *)
+val vint : int -> Expr.t
+
+val vbool : bool -> Expr.t
+val venum : string -> Expr.t
+val var : string -> Expr.t
+
+(** [choice bs] flattens nested choices and drops [Stop] branches
+    (neutral element). [choice \[\]] is [Stop]. *)
+val choice : behavior list -> behavior
+
+(** [par gates a b] synchronizes [a] and [b] on [gates]. *)
+val par : string list -> behavior -> behavior -> behavior
+
+(** [interleave bs] composes all behaviours with no synchronization. *)
+val interleave : behavior list -> behavior
+
+(** [par_all gates bs] left-associates [par gates] over [bs]. *)
+val par_all : string list -> behavior list -> behavior
+
+val pp_behavior : Format.formatter -> behavior -> unit
+
+(** Print a complete specification in parseable MVL concrete syntax
+    (types, processes, init). *)
+val pp_spec : Format.formatter -> spec -> unit
+
+val spec_to_string : spec -> string

@@ -1,0 +1,86 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Unop of [ `Neg | `Not ] * t
+  | Binop of binop * t * t
+  | If of t * t * t
+
+exception Eval_error of string
+
+let fail msg = raise (Eval_error msg)
+
+let as_int = function
+  | Value.VInt n -> n
+  | v -> fail ("expected integer, got " ^ Value.to_string v)
+
+let as_bool = function
+  | Value.VBool b -> b
+  | v -> fail ("expected boolean, got " ^ Value.to_string v)
+
+let rec eval = function
+  | Const v -> v
+  | Var x -> fail ("unbound variable " ^ x)
+  | Unop (`Neg, e) -> Value.VInt (-as_int (eval e))
+  | Unop (`Not, e) -> Value.VBool (not (as_bool (eval e)))
+  | If (c, t, e) -> if as_bool (eval c) then eval t else eval e
+  | Binop (op, a, b) -> (
+      match op with
+      | Add -> Value.VInt (as_int (eval a) + as_int (eval b))
+      | Sub -> Value.VInt (as_int (eval a) - as_int (eval b))
+      | Mul -> Value.VInt (as_int (eval a) * as_int (eval b))
+      | Div ->
+        let d = as_int (eval b) in
+        if d = 0 then fail "division by zero";
+        Value.VInt (as_int (eval a) / d)
+      | Mod ->
+        let d = as_int (eval b) in
+        if d = 0 then fail "modulo by zero";
+        Value.VInt (as_int (eval a) mod d)
+      | Lt -> Value.VBool (as_int (eval a) < as_int (eval b))
+      | Le -> Value.VBool (as_int (eval a) <= as_int (eval b))
+      | Gt -> Value.VBool (as_int (eval a) > as_int (eval b))
+      | Ge -> Value.VBool (as_int (eval a) >= as_int (eval b))
+      | Eq -> Value.VBool (Value.equal (eval a) (eval b))
+      | Ne -> Value.VBool (not (Value.equal (eval a) (eval b)))
+      | And -> Value.VBool (as_bool (eval a) && as_bool (eval b))
+      | Or -> Value.VBool (as_bool (eval a) || as_bool (eval b)))
+
+let eval_bool e = as_bool (eval e)
+
+let rec free_vars_acc acc = function
+  | Const _ -> acc
+  | Var x -> if List.mem x acc then acc else x :: acc
+  | Unop (_, e) -> free_vars_acc acc e
+  | Binop (_, a, b) -> free_vars_acc (free_vars_acc acc a) b
+  | If (c, t, e) -> free_vars_acc (free_vars_acc (free_vars_acc acc c) t) e
+
+let free_vars e = List.rev (free_vars_acc [] e)
+
+let rec subst bindings e =
+  match e with
+  | Const _ -> e
+  | Var x -> (
+      match List.assoc_opt x bindings with
+      | Some v -> Const v
+      | None -> e)
+  | Unop (op, inner) -> Unop (op, subst bindings inner)
+  | Binop (op, a, b) -> Binop (op, subst bindings a, subst bindings b)
+  | If (c, t, els) -> If (subst bindings c, subst bindings t, subst bindings els)
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or"
+
+let rec pp fmt = function
+  | Const v -> Value.pp fmt v
+  | Var x -> Format.pp_print_string fmt x
+  | Unop (`Neg, e) -> Format.fprintf fmt "(- %a)" pp e
+  | Unop (`Not, e) -> Format.fprintf fmt "(not %a)" pp e
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp a (binop_symbol op) pp b
+  | If (c, t, e) -> Format.fprintf fmt "(if %a then %a else %a)" pp c pp t pp e

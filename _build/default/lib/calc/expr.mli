@@ -1,0 +1,34 @@
+(** Data expressions over {!Value}.
+
+    Enum constructors appear as [Const (VEnum c)] after resolution; the
+    parser emits [Var] for every identifier and {!Typecheck} resolves
+    identifiers that name enum constructors. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Unop of [ `Neg | `Not ] * t
+  | Binop of binop * t * t
+  | If of t * t * t
+
+exception Eval_error of string
+
+(** [eval e] evaluates a closed expression. Raises {!Eval_error} on
+    free variables, type mismatches, division by zero. *)
+val eval : t -> Value.t
+
+(** [eval_bool e] — evaluates and requires a boolean. *)
+val eval_bool : t -> bool
+
+(** Free variables, without duplicates. *)
+val free_vars : t -> string list
+
+(** [subst bindings e] replaces free variables by constants. *)
+val subst : (string * Value.t) list -> t -> t
+
+val pp : Format.formatter -> t -> unit

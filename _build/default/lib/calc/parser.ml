@@ -1,0 +1,478 @@
+module Lex = Mv_util.Lexing_util
+
+exception Parse_error of string
+
+let symbols =
+  [ "|["; "]|"; "|||"; "||"; "[]"; "->"; ">>"; ":="; ".."; "=="; "!=";
+    "<="; ">="; ";"; "!"; "?"; ":"; ","; "("; ")"; "["; "]"; "{"; "}";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "|" ]
+
+let keywords =
+  [ "type"; "process"; "init"; "stop"; "exit"; "hide"; "rename"; "in";
+    "rate"; "if"; "then"; "else"; "true"; "false"; "not"; "and"; "or";
+    "bool"; "int"; "const"; "choice"; "accept" ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec parse_expr lex = parse_or lex
+
+and parse_or lex =
+  let left = parse_and lex in
+  match Lex.peek lex with
+  | Lex.Ident "or" ->
+    ignore (Lex.next lex);
+    Expr.Binop (Expr.Or, left, parse_or lex)
+  | _ -> left
+
+and parse_and lex =
+  let left = parse_not lex in
+  match Lex.peek lex with
+  | Lex.Ident "and" ->
+    ignore (Lex.next lex);
+    Expr.Binop (Expr.And, left, parse_and lex)
+  | _ -> left
+
+and parse_not lex =
+  match Lex.peek lex with
+  | Lex.Ident "not" ->
+    ignore (Lex.next lex);
+    Expr.Unop (`Not, parse_not lex)
+  | _ -> parse_comparison lex
+
+and parse_comparison lex =
+  let left = parse_sum lex in
+  let op p = ignore (Lex.next lex); Some p in
+  let operator =
+    match Lex.peek lex with
+    | Lex.Punct "==" -> op Expr.Eq
+    | Lex.Punct "!=" -> op Expr.Ne
+    | Lex.Punct "<" -> op Expr.Lt
+    | Lex.Punct "<=" -> op Expr.Le
+    | Lex.Punct ">" -> op Expr.Gt
+    | Lex.Punct ">=" -> op Expr.Ge
+    | _ -> None
+  in
+  match operator with
+  | Some op -> Expr.Binop (op, left, parse_sum lex)
+  | None -> left
+
+and parse_sum lex =
+  let rec loop left =
+    match Lex.peek lex with
+    | Lex.Punct "+" ->
+      ignore (Lex.next lex);
+      loop (Expr.Binop (Expr.Add, left, parse_product lex))
+    | Lex.Punct "-" ->
+      ignore (Lex.next lex);
+      loop (Expr.Binop (Expr.Sub, left, parse_product lex))
+    | _ -> left
+  in
+  loop (parse_product lex)
+
+and parse_product lex =
+  let rec loop left =
+    match Lex.peek lex with
+    | Lex.Punct "*" ->
+      ignore (Lex.next lex);
+      loop (Expr.Binop (Expr.Mul, left, parse_unary lex))
+    | Lex.Punct "/" ->
+      ignore (Lex.next lex);
+      loop (Expr.Binop (Expr.Div, left, parse_unary lex))
+    | Lex.Punct "%" ->
+      ignore (Lex.next lex);
+      loop (Expr.Binop (Expr.Mod, left, parse_unary lex))
+    | _ -> left
+  in
+  loop (parse_unary lex)
+
+and parse_unary lex =
+  match Lex.peek lex with
+  | Lex.Punct "-" ->
+    ignore (Lex.next lex);
+    Expr.Unop (`Neg, parse_unary lex)
+  | _ -> parse_atom lex
+
+and parse_atom lex =
+  match Lex.next lex with
+  | Lex.Int n -> Expr.Const (Value.VInt n)
+  | Lex.Ident "true" -> Expr.Const (Value.VBool true)
+  | Lex.Ident "false" -> Expr.Const (Value.VBool false)
+  | Lex.Ident "if" ->
+    let c = parse_expr lex in
+    (match Lex.next lex with
+     | Lex.Ident "then" -> ()
+     | _ -> Lex.error lex "expected 'then'");
+    let t = parse_expr lex in
+    (match Lex.next lex with
+     | Lex.Ident "else" -> ()
+     | _ -> Lex.error lex "expected 'else'");
+    Expr.If (c, t, parse_expr lex)
+  | Lex.Ident x when not (List.mem x keywords) -> Expr.Var x
+  | Lex.Punct "(" ->
+    let e = parse_expr lex in
+    Lex.expect lex ")";
+    e
+  | _ -> Lex.error lex "unexpected token in expression"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let parse_signed_int lex =
+  let negative = Lex.eat lex "-" in
+  match Lex.next lex with
+  | Lex.Int n -> if negative then -n else n
+  | _ -> Lex.error lex "expected integer"
+
+let parse_ty lex =
+  match Lex.next lex with
+  | Lex.Ident "bool" -> Ty.TBool
+  | Lex.Ident "int" ->
+    Lex.expect lex "[";
+    let lo = parse_signed_int lex in
+    Lex.expect lex "..";
+    let hi = parse_signed_int lex in
+    Lex.expect lex "]";
+    Ty.TIntRange (lo, hi)
+  | Lex.Ident name when not (List.mem name keywords) -> Ty.TEnum name
+  | _ -> Lex.error lex "expected a type"
+
+(* ------------------------------------------------------------------ *)
+(* Behaviours                                                          *)
+
+let parse_gate_list lex =
+  let rec loop acc =
+    let g = Lex.expect_ident lex in
+    if Lex.eat lex "," then loop (g :: acc) else List.rev (g :: acc)
+  in
+  loop []
+
+let rec parse_behavior lex = parse_par lex
+
+and parse_par lex =
+  let rec loop left =
+    match Lex.peek lex with
+    | Lex.Punct "|||" ->
+      ignore (Lex.next lex);
+      loop (Ast.Par (Ast.Gates [], left, parse_seq lex))
+    | Lex.Punct "||" ->
+      ignore (Lex.next lex);
+      loop (Ast.Par (Ast.All, left, parse_seq lex))
+    | Lex.Punct "|[" ->
+      ignore (Lex.next lex);
+      let gates = parse_gate_list lex in
+      Lex.expect lex "]|";
+      loop (Ast.Par (Ast.Gates gates, left, parse_seq lex))
+    | _ -> left
+  in
+  loop (parse_seq lex)
+
+and parse_seq lex =
+  let left = parse_choice lex in
+  if Lex.eat lex ">>" then begin
+    let accepts =
+      match Lex.peek lex with
+      | Lex.Ident "accept" ->
+        ignore (Lex.next lex);
+        let rec loop acc =
+          let v = Lex.expect_ident lex in
+          Lex.expect lex ":";
+          let ty = parse_ty lex in
+          if Lex.eat lex "," then loop ((v, ty) :: acc)
+          else List.rev ((v, ty) :: acc)
+        in
+        let accepts = loop [] in
+        (match Lex.next lex with
+         | Lex.Ident "in" -> ()
+         | _ -> Lex.error lex "expected 'in'");
+        accepts
+      | _ -> []
+    in
+    Ast.Seq (left, accepts, parse_seq lex)
+  end
+  else left
+
+and parse_choice lex =
+  let first = parse_prefix lex in
+  let rec loop acc =
+    if Lex.eat lex "[]" then loop (parse_prefix lex :: acc) else List.rev acc
+  in
+  match loop [ first ] with
+  | [ only ] -> only
+  | branches -> Ast.Choice branches
+
+and parse_offers lex =
+  let rec loop acc =
+    match Lex.peek lex with
+    | Lex.Punct "!" ->
+      ignore (Lex.next lex);
+      loop (Ast.Send (parse_sum lex) :: acc)
+    | Lex.Punct "?" ->
+      ignore (Lex.next lex);
+      let x = Lex.expect_ident lex in
+      Lex.expect lex ":";
+      let ty = parse_ty lex in
+      loop (Ast.Receive (x, ty) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+and parse_prefix lex =
+  match Lex.peek lex with
+  | Lex.Ident "choice" ->
+    (* value choice: desugared into one branch per domain element;
+       the domain must not mention enum types (their constructors are
+       resolved later, but the range is known at parse time only for
+       bool/int) *)
+    ignore (Lex.next lex);
+    let x = Lex.expect_ident lex in
+    Lex.expect lex ":";
+    let ty = parse_ty lex in
+    Lex.expect lex "[]";
+    let body = parse_prefix lex in
+    let domain =
+      match ty with
+      | Ty.TBool | Ty.TIntRange _ -> Ty.domain [] ty
+      | Ty.TEnum _ ->
+        Lex.error lex
+          "choice over an enum type is not supported (use int or bool)"
+    in
+    Ast.choice
+      (List.map (fun value -> Ast.subst [ (x, value) ] body) domain)
+  | Lex.Ident "stop" -> ignore (Lex.next lex); Ast.Stop
+  | Lex.Ident "exit" ->
+    ignore (Lex.next lex);
+    if Lex.eat lex "(" then begin
+      let rec args acc =
+        let e = parse_expr lex in
+        if Lex.eat lex "," then args (e :: acc) else List.rev (e :: acc)
+      in
+      let values = args [] in
+      Lex.expect lex ")";
+      Ast.Exit values
+    end
+    else Ast.Exit []
+  | Lex.Ident "hide" ->
+    ignore (Lex.next lex);
+    let gates = parse_gate_list lex in
+    (match Lex.next lex with
+     | Lex.Ident "in" -> ()
+     | _ -> Lex.error lex "expected 'in'");
+    Ast.Hide (gates, parse_behavior lex)
+  | Lex.Ident "rename" ->
+    ignore (Lex.next lex);
+    let rec pairs acc =
+      let old_gate = Lex.expect_ident lex in
+      Lex.expect lex "->";
+      let new_gate = Lex.expect_ident lex in
+      if Lex.eat lex "," then pairs ((old_gate, new_gate) :: acc)
+      else List.rev ((old_gate, new_gate) :: acc)
+    in
+    let renaming = pairs [] in
+    (match Lex.next lex with
+     | Lex.Ident "in" -> ()
+     | _ -> Lex.error lex "expected 'in'");
+    Ast.Rename (renaming, parse_behavior lex)
+  | Lex.Ident "rate" ->
+    ignore (Lex.next lex);
+    let r =
+      match Lex.next lex with
+      | Lex.Float f -> f
+      | Lex.Int n -> float_of_int n
+      | _ -> Lex.error lex "expected a rate value"
+    in
+    Lex.expect lex ";";
+    Ast.Rate (r, parse_prefix lex)
+  | Lex.Punct "[" ->
+    ignore (Lex.next lex);
+    let e = parse_expr lex in
+    Lex.expect lex "]";
+    Lex.expect lex "->";
+    Ast.Guard (e, parse_prefix lex)
+  | Lex.Punct "(" ->
+    ignore (Lex.next lex);
+    let b = parse_behavior lex in
+    Lex.expect lex ")";
+    b
+  | Lex.Ident name when not (List.mem name keywords) ->
+    ignore (Lex.next lex);
+    (match Lex.peek lex with
+     | Lex.Punct "!" | Lex.Punct "?" | Lex.Punct ";" ->
+       let offers = parse_offers lex in
+       Lex.expect lex ";";
+       Ast.Prefix ({ Ast.gate = name; offers }, parse_prefix lex)
+     | Lex.Punct "[" | Lex.Punct "(" ->
+       let gate_args =
+         if Lex.eat lex "[" then begin
+           let gates = parse_gate_list lex in
+           Lex.expect lex "]";
+           gates
+         end
+         else []
+       in
+       let arguments =
+         if Lex.eat lex "(" then begin
+           let rec args acc =
+             let e = parse_expr lex in
+             if Lex.eat lex "," then args (e :: acc) else List.rev (e :: acc)
+           in
+           let arguments = args [] in
+           Lex.expect lex ")";
+           arguments
+         end
+         else []
+       in
+       Ast.Call (name, gate_args, arguments)
+     | _ -> Ast.Call (name, [], []))
+  | _ -> Lex.error lex "unexpected token in behaviour"
+
+(* ------------------------------------------------------------------ *)
+(* Specifications                                                      *)
+
+let parse_params lex =
+  if Lex.eat lex "(" then begin
+    let rec loop acc =
+      let x = Lex.expect_ident lex in
+      Lex.expect lex ":";
+      let ty = parse_ty lex in
+      if Lex.eat lex "," then loop ((x, ty) :: acc)
+      else begin
+        Lex.expect lex ")";
+        List.rev ((x, ty) :: acc)
+      end
+    in
+    loop []
+  end
+  else []
+
+let rec parse_spec lex =
+  let enums = ref [] in
+  let processes = ref [] in
+  let consts = ref [] in
+  let init = ref None in
+  let rec loop () =
+    match Lex.peek lex with
+    | Lex.Eof -> ()
+    | Lex.Ident "type" ->
+      ignore (Lex.next lex);
+      let name = Lex.expect_ident lex in
+      Lex.expect lex "=";
+      Lex.expect lex "{";
+      let rec constructors acc =
+        let c = Lex.expect_ident lex in
+        if Lex.eat lex "," then constructors (c :: acc)
+        else begin
+          Lex.expect lex "}";
+          List.rev (c :: acc)
+        end
+      in
+      enums := (name, constructors []) :: !enums;
+      loop ()
+    | Lex.Ident "const" ->
+      ignore (Lex.next lex);
+      let name = Lex.expect_ident lex in
+      Lex.expect lex "=";
+      let value = parse_expr lex in
+      consts := (name, value) :: !consts;
+      loop ()
+    | Lex.Ident "process" ->
+      ignore (Lex.next lex);
+      let name = Lex.expect_ident lex in
+      let gates =
+        if Lex.eat lex "[" then begin
+          let gates = parse_gate_list lex in
+          Lex.expect lex "]";
+          gates
+        end
+        else []
+      in
+      let params = parse_params lex in
+      Lex.expect lex ":=";
+      let body = parse_behavior lex in
+      processes := { Ast.proc_name = name; gates; params; body } :: !processes;
+      loop ()
+    | Lex.Ident "init" ->
+      ignore (Lex.next lex);
+      (match !init with
+       | Some _ -> Lex.error lex "duplicate init declaration"
+       | None -> init := Some (parse_behavior lex));
+      loop ()
+    | _ -> Lex.error lex "expected 'type', 'const', 'process' or 'init'"
+  in
+  loop ();
+  match !init with
+  | None -> Lex.error lex "missing init declaration"
+  | Some init ->
+    let spec =
+      { Ast.enums = List.rev !enums; processes = List.rev !processes; init }
+    in
+    apply_consts spec (List.rev !consts)
+
+(* Constant declarations are substituted away at parse time: each
+   const expression is evaluated in order (earlier constants and enum
+   constructors are in scope), then every process body and the init
+   behaviour get the resulting bindings (process parameters shadow
+   constants of the same name). *)
+and apply_consts spec consts =
+  if consts = [] then spec
+  else begin
+    let constructor_declared c =
+      List.exists (fun (_, cs) -> List.mem c cs) spec.Ast.enums
+    in
+    let rec resolve e =
+      match e with
+      | Expr.Const _ -> e
+      | Expr.Var x -> if constructor_declared x then Expr.Const (Value.VEnum x) else e
+      | Expr.Unop (op, inner) -> Expr.Unop (op, resolve inner)
+      | Expr.Binop (op, a, b) -> Expr.Binop (op, resolve a, resolve b)
+      | Expr.If (c, t, els) -> Expr.If (resolve c, resolve t, resolve els)
+    in
+    let bindings =
+      List.fold_left
+        (fun bindings (name, expr) ->
+           let closed = Expr.subst bindings (resolve expr) in
+           match Expr.eval closed with
+           | v -> (name, v) :: bindings
+           | exception Expr.Eval_error msg ->
+             raise
+               (Parse_error (Printf.sprintf "const %s: %s" name msg)))
+        [] consts
+    in
+    let subst_process (p : Ast.process) =
+      let shadowed = List.map fst p.params in
+      let live =
+        List.filter (fun (x, _) -> not (List.mem x shadowed)) bindings
+      in
+      { p with Ast.body = Ast.subst live p.body }
+    in
+    {
+      spec with
+      Ast.processes = List.map subst_process spec.Ast.processes;
+      init = Ast.subst bindings spec.Ast.init;
+    }
+  end
+
+let run parse text =
+  try
+    let lex = Lex.make ~symbols text in
+    let result = parse lex in
+    (match Lex.peek lex with
+     | Lex.Eof -> ()
+     | _ -> Lex.error lex "trailing input");
+    result
+  with Lex.Lex_error msg -> raise (Parse_error msg)
+
+let parse_expr_from = parse_expr
+let parse_sum_from = parse_sum
+let parse_ty_from = parse_ty
+
+let spec_of_string text = run parse_spec text
+
+let behavior_of_string text = run parse_behavior text
+
+let expr_of_string text = run parse_expr text
+
+let spec_of_string_checked text =
+  let spec = Typecheck.resolve_spec (spec_of_string text) in
+  Typecheck.check_spec spec;
+  spec

@@ -1,0 +1,62 @@
+(** Concrete syntax of MVL specifications.
+
+    {v
+    spec      ::= decl* "init" behavior
+    decl      ::= "type" NAME "=" "{" NAME ("," NAME)* "}"
+                | "process" NAME gparams? params? ":=" behavior
+    gparams   ::= "[" GATE ("," GATE)* "]"
+    params    ::= "(" NAME ":" ty ("," NAME ":" ty)* ")"
+    ty        ::= "bool" | "int" "[" SINT ".." SINT "]" | NAME
+
+    behavior  ::= behavior parop behavior      (lowest precedence)
+                | behavior ">>" behavior
+                | behavior ">>" "accept" NAME ":" ty ("," NAME ":" ty)* "in" behavior
+                | behavior "[]" behavior
+                | "stop" | "exit" | "exit" "(" expr ("," expr)* ")"
+                | GATE offer* ";" behavior
+                | "rate" NUM ";" behavior
+                | "[" expr "]" "->" behavior
+                | "choice" NAME ":" ty "[]" behavior   (one branch per value)
+                | "hide" GATE ("," GATE)* "in" behavior
+                | "rename" GATE "->" GATE ("," GATE "->" GATE)* "in" behavior
+                | NAME gargs? | NAME gargs? "(" expr ("," expr)* ")"
+                | "(" behavior ")"
+    gargs     ::= "[" GATE ("," GATE)* "]"
+    parop     ::= "|||" | "||" | "|[" GATE ("," GATE)* "]|"
+    offer     ::= "!" sum-expr | "?" NAME ":" ty
+    v}
+
+    Expressions use the usual precedences
+    ([or < and < not < comparisons < + - < * / % < unary -]) plus
+    [if e then e else e]. Offer values after [!] are parsed at additive
+    level; parenthesize comparisons. Comments are [(* ... *)]. *)
+
+exception Parse_error of string
+
+(** Parse a full specification (no typechecking; combine with
+    {!Typecheck.resolve_spec} and {!Typecheck.check_spec}). *)
+val spec_of_string : string -> Ast.spec
+
+(** Parse a behaviour in an empty declaration context. *)
+val behavior_of_string : string -> Ast.behavior
+
+(** Parse a data expression. *)
+val expr_of_string : string -> Expr.t
+
+(** {1 Sub-parsers}
+
+    Re-usable entry points for front-ends that embed MVL expressions
+    and types in their own syntax (the CHP parser does). The scanner
+    must have been created with at least the punctuation of
+    {!symbols}. *)
+
+(** The punctuation tokens of the MVL grammar. *)
+val symbols : string list
+
+val parse_expr_from : Mv_util.Lexing_util.t -> Expr.t
+val parse_sum_from : Mv_util.Lexing_util.t -> Expr.t
+val parse_ty_from : Mv_util.Lexing_util.t -> Ty.t
+
+(** Parse, resolve enum constructors, and typecheck in one step.
+    Raises {!Parse_error} or {!Typecheck.Type_error}. *)
+val spec_of_string_checked : string -> Ast.spec

@@ -1,0 +1,26 @@
+(** Structural operational semantics of MVL behaviours.
+
+    [moves spec b] computes the outgoing transitions of a closed
+    behaviour term. Input offers are expanded over their finite
+    domains; value matching in synchronizations falls out of the
+    expansion (only moves with identical ground labels synchronize). *)
+
+type move_label =
+  | Tau
+  | Exit_move of Value.t list (** termination, with its exit values *)
+  | Rate_move of float
+  | Act of string * string list (** gate, printed offer values *)
+
+exception Semantics_error of string
+
+(** Raised when unfolding process calls more than the fuel bound
+    without reaching an action (unguarded recursion such as
+    [process P := P]). *)
+exception Unguarded_recursion of string
+
+(** Printed label: ["i"], ["exit"], ["rate 2.5"], ["PUSH !3"]. *)
+val label_string : move_label -> string
+
+(** Outgoing moves of a behaviour. [fuel] bounds call unfolding
+    (default 100). *)
+val moves : ?fuel:int -> Ast.spec -> Ast.behavior -> (move_label * Ast.behavior) list

@@ -1,0 +1,68 @@
+module Explore = Mv_lts.Explore
+
+type outcome = {
+  lts : Mv_lts.Lts.t;
+  terms : Ast.behavior array;
+  truncated : bool;
+}
+
+module Term_state = struct
+  type t = Ast.behavior
+
+  let equal = ( = )
+
+  (* [Hashtbl.hash] only examines a bounded number of nodes, so the
+     states of a large composition (which differ deep inside the term)
+     would all collide and degenerate the state table to linear
+     probing. Hashing the marshalled representation covers the whole
+     term at linear cost. *)
+  let hash t = Hashtbl.hash (Marshal.to_string t [ Marshal.No_sharing ])
+end
+
+module Term_explore = Explore.Make (Term_state)
+
+let generate ?(max_states = 1_000_000) spec =
+  let successors behavior =
+    List.map
+      (fun (label, next) -> (Semantics.label_string label, Ast.normalize next))
+      (Semantics.moves spec behavior)
+  in
+  let result =
+    Term_explore.run ~max_states ~on_truncate:`Raise
+      ~initial:(Ast.normalize spec.Ast.init) ~successors ()
+  in
+  { lts = result.Explore.lts;
+    terms = result.Explore.states;
+    truncated = result.Explore.truncated }
+
+let lts ?max_states spec = (generate ?max_states spec).lts
+
+let first_deadlock ?(max_states = 1_000_000) spec =
+  let module Table = Hashtbl.Make (Term_state) in
+  let seen = Table.create 1024 in
+  let queue = Queue.create () in
+  let initial = Ast.normalize spec.Ast.init in
+  Table.replace seen initial ();
+  Queue.add (initial, []) queue;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let term, trace_rev = Queue.pop queue in
+       let moves = Semantics.moves spec term in
+       if moves = [] then begin
+         result := Some (List.rev trace_rev);
+         raise Exit
+       end;
+       List.iter
+         (fun (label, next) ->
+            let next = Ast.normalize next in
+            if not (Table.mem seen next) then begin
+              if Table.length seen >= max_states then
+                raise (Mv_lts.Explore.Too_many_states max_states);
+              Table.replace seen next ();
+              Queue.add (next, Semantics.label_string label :: trace_rev) queue
+            end)
+         moves
+     done
+   with Exit -> ());
+  !result

@@ -1,0 +1,33 @@
+(** State-space generation: from an MVL specification to an explicit
+    LTS (the CADP "generator" step of the flow).
+
+    States are closed behaviour terms, hashed structurally. Markovian
+    [rate] prefixes appear as ["rate <lambda>"] labels; the IMC layer
+    ({!Mv_imc}) recognizes and decodes them.
+
+    Modeling caveat: a [hide] (or [rename]) {e inside} a recursive body
+    accumulates one binder per unfolding and never converges to a
+    finite term set; place recursion outside the binder (e.g.
+    [(hide h in ...) >> P] or hide at the composition level). *)
+
+type outcome = {
+  lts : Mv_lts.Lts.t;
+  terms : Ast.behavior array; (** LTS state -> behaviour term *)
+  truncated : bool;
+}
+
+(** [generate ?max_states spec] explores breadth-first from
+    [spec.init]. Default bound: 1_000_000 states; reaching it raises
+    {!Mv_lts.Explore.Too_many_states}. *)
+val generate : ?max_states:int -> Ast.spec -> outcome
+
+(** [lts ?max_states spec] is [(generate spec).lts]. *)
+val lts : ?max_states:int -> Ast.spec -> Mv_lts.Lts.t
+
+(** [first_deadlock ?max_states spec] searches breadth-first for a
+    deadlocked state {e during} generation and stops at the first hit,
+    returning a shortest action trace to it (so large live portions of
+    the state space need not be fully built when a deadlock is
+    shallow). [None] when the whole (bounded) state space is
+    deadlock-free. *)
+val first_deadlock : ?max_states:int -> Ast.spec -> string list option

@@ -1,0 +1,35 @@
+type t = TBool | TIntRange of int * int | TEnum of string
+
+type enums = (string * string list) list
+
+let equal a b =
+  match a, b with
+  | TBool, TBool -> true
+  | TIntRange (l1, h1), TIntRange (l2, h2) -> l1 = l2 && h1 = h2
+  | TEnum n1, TEnum n2 -> String.equal n1 n2
+  | (TBool | TIntRange _ | TEnum _), _ -> false
+
+let constructors enums name =
+  match List.assoc_opt name enums with
+  | Some cs -> cs
+  | None -> invalid_arg ("Ty.domain: undeclared enum type " ^ name)
+
+let domain enums = function
+  | TBool -> [ Value.VBool false; Value.VBool true ]
+  | TIntRange (lo, hi) ->
+    if lo > hi then invalid_arg "Ty.domain: empty range";
+    List.init (hi - lo + 1) (fun i -> Value.VInt (lo + i))
+  | TEnum name -> List.map (fun c -> Value.VEnum c) (constructors enums name)
+
+let check_value enums ty v =
+  match ty, v with
+  | TBool, Value.VBool _ -> true
+  | TIntRange (lo, hi), Value.VInt n -> lo <= n && n <= hi
+  | TEnum name, Value.VEnum c -> List.mem c (constructors enums name)
+  | (TBool | TIntRange _ | TEnum _), (Value.VBool _ | Value.VInt _ | Value.VEnum _)
+    -> false
+
+let pp fmt = function
+  | TBool -> Format.pp_print_string fmt "bool"
+  | TIntRange (lo, hi) -> Format.fprintf fmt "int[%d..%d]" lo hi
+  | TEnum name -> Format.pp_print_string fmt name

@@ -1,0 +1,25 @@
+(** Data types of the MVL value language.
+
+    All types are finite so that input offers ([?x:T]) can be expanded
+    during state-space generation. Enum types are referenced by name and
+    resolved against the specification's declarations. *)
+
+type t =
+  | TBool
+  | TIntRange of int * int (** inclusive bounds *)
+  | TEnum of string (** declared enum type, by name *)
+
+(** Enum declarations: type name -> constructor names. *)
+type enums = (string * string list) list
+
+val equal : t -> t -> bool
+
+(** [domain enums ty] enumerates the values of [ty] in a canonical
+    order. Raises [Invalid_argument] for an undeclared enum or an empty
+    range. *)
+val domain : enums -> t -> Value.t list
+
+(** [check_value enums ty v] — does [v] inhabit [ty]? *)
+val check_value : enums -> t -> Value.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,247 @@
+exception Type_error of string
+
+type kind = KBool | KInt | KEnum of string
+
+let fail msg = raise (Type_error msg)
+
+let pp_kind fmt = function
+  | KBool -> Format.pp_print_string fmt "bool"
+  | KInt -> Format.pp_print_string fmt "int"
+  | KEnum name -> Format.pp_print_string fmt name
+
+let kind_name = function
+  | KBool -> "bool"
+  | KInt -> "int"
+  | KEnum name -> name
+
+let kind_of_ty = function
+  | Ty.TBool -> KBool
+  | Ty.TIntRange _ -> KInt
+  | Ty.TEnum name -> KEnum name
+
+(* ------------------------------------------------------------------ *)
+(* Enum constructor resolution                                         *)
+
+let constructor_table (spec : Ast.spec) =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (ty_name, constructors) ->
+       List.iter
+         (fun c ->
+            if Hashtbl.mem table c then
+              fail (Printf.sprintf "enum constructor %s declared twice" c);
+            Hashtbl.replace table c ty_name)
+         constructors)
+    spec.Ast.enums;
+  table
+
+let rec resolve_expr table bound e =
+  match e with
+  | Expr.Const _ -> e
+  | Expr.Var x ->
+    if (not (List.mem x bound)) && Hashtbl.mem table x then
+      Expr.Const (Value.VEnum x)
+    else e
+  | Expr.Unop (op, inner) -> Expr.Unop (op, resolve_expr table bound inner)
+  | Expr.Binop (op, a, b) ->
+    Expr.Binop (op, resolve_expr table bound a, resolve_expr table bound b)
+  | Expr.If (c, t, els) ->
+    Expr.If
+      ( resolve_expr table bound c,
+        resolve_expr table bound t,
+        resolve_expr table bound els )
+
+let rec resolve_behavior table bound b =
+  match b with
+  | Ast.Stop -> b
+  | Ast.Exit es -> Ast.Exit (List.map (resolve_expr table bound) es)
+  | Ast.Prefix (action, k) ->
+    let bound', offers =
+      List.fold_left
+        (fun (bound, offers) offer ->
+           match offer with
+           | Ast.Send e -> (bound, Ast.Send (resolve_expr table bound e) :: offers)
+           | Ast.Receive (x, _ty) -> (x :: bound, offer :: offers))
+        (bound, []) action.offers
+    in
+    Ast.Prefix
+      ({ action with offers = List.rev offers }, resolve_behavior table bound' k)
+  | Ast.Rate (r, k) -> Ast.Rate (r, resolve_behavior table bound k)
+  | Ast.Choice bs -> Ast.Choice (List.map (resolve_behavior table bound) bs)
+  | Ast.Guard (e, k) ->
+    Ast.Guard (resolve_expr table bound e, resolve_behavior table bound k)
+  | Ast.Par (s, x, y) ->
+    Ast.Par (s, resolve_behavior table bound x, resolve_behavior table bound y)
+  | Ast.Hide (gs, k) -> Ast.Hide (gs, resolve_behavior table bound k)
+  | Ast.Rename (rs, k) -> Ast.Rename (rs, resolve_behavior table bound k)
+  | Ast.Seq (x, accepts, y) ->
+    let bound' = List.map fst accepts @ bound in
+    Ast.Seq
+      (resolve_behavior table bound x, accepts, resolve_behavior table bound' y)
+  | Ast.Call (p, gate_args, args) ->
+    Ast.Call (p, gate_args, List.map (resolve_expr table bound) args)
+
+let resolve_spec spec =
+  let table = constructor_table spec in
+  let resolve_process (p : Ast.process) =
+    let bound = List.map fst p.params in
+    { p with Ast.body = resolve_behavior table bound p.body }
+  in
+  {
+    spec with
+    Ast.processes = List.map resolve_process spec.Ast.processes;
+    init = resolve_behavior table [] spec.Ast.init;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Kind checking                                                       *)
+
+let enum_of_constructor spec c =
+  let found =
+    List.find_opt (fun (_, constructors) -> List.mem c constructors) spec.Ast.enums
+  in
+  match found with
+  | Some (name, _) -> KEnum name
+  | None -> fail ("unknown enum constructor " ^ c)
+
+let rec infer spec env e =
+  match e with
+  | Expr.Const (Value.VBool _) -> KBool
+  | Expr.Const (Value.VInt _) -> KInt
+  | Expr.Const (Value.VEnum c) -> enum_of_constructor spec c
+  | Expr.Var x -> (
+      match List.assoc_opt x env with
+      | Some k -> k
+      | None -> fail ("unbound variable " ^ x))
+  | Expr.Unop (`Neg, inner) -> expect spec env inner KInt; KInt
+  | Expr.Unop (`Not, inner) -> expect spec env inner KBool; KBool
+  | Expr.Binop ((Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Mod), a, b) ->
+    expect spec env a KInt; expect spec env b KInt; KInt
+  | Expr.Binop ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), a, b) ->
+    expect spec env a KInt; expect spec env b KInt; KBool
+  | Expr.Binop ((Expr.Eq | Expr.Ne), a, b) ->
+    let ka = infer spec env a and kb = infer spec env b in
+    if ka <> kb then
+      fail
+        (Printf.sprintf "comparison of %s and %s" (kind_name ka) (kind_name kb));
+    KBool
+  | Expr.Binop ((Expr.And | Expr.Or), a, b) ->
+    expect spec env a KBool; expect spec env b KBool; KBool
+  | Expr.If (c, t, els) ->
+    expect spec env c KBool;
+    let kt = infer spec env t and ke = infer spec env els in
+    if kt <> ke then
+      fail
+        (Printf.sprintf "if branches have kinds %s and %s" (kind_name kt)
+           (kind_name ke));
+    kt
+
+and expect spec env e k =
+  let k' = infer spec env e in
+  if k <> k' then
+    fail (Printf.sprintf "expected %s, found %s" (kind_name k) (kind_name k'))
+
+let check_ty spec = function
+  | Ty.TBool -> ()
+  | Ty.TIntRange (lo, hi) ->
+    if lo > hi then fail (Printf.sprintf "empty range int[%d..%d]" lo hi)
+  | Ty.TEnum name ->
+    if not (List.mem_assoc name spec.Ast.enums) then
+      fail ("undeclared enum type " ^ name)
+
+let rec check_behavior spec env b =
+  match b with
+  | Ast.Stop -> ()
+  | Ast.Exit es -> List.iter (fun e -> ignore (infer spec env e)) es
+  | Ast.Prefix (action, k) ->
+    if String.equal action.gate Ast.tau_gate && action.offers <> [] then
+      fail "the internal gate i takes no offers";
+    let env' =
+      List.fold_left
+        (fun env offer ->
+           match offer with
+           | Ast.Send e ->
+             ignore (infer spec env e);
+             env
+           | Ast.Receive (x, ty) ->
+             check_ty spec ty;
+             (x, kind_of_ty ty) :: env)
+        env action.offers
+    in
+    check_behavior spec env' k
+  | Ast.Rate (r, k) ->
+    if r <= 0.0 then fail "rate must be positive";
+    check_behavior spec env k
+  | Ast.Choice bs -> List.iter (check_behavior spec env) bs
+  | Ast.Guard (e, k) -> expect spec env e KBool; check_behavior spec env k
+  | Ast.Par (_, x, y) ->
+    check_behavior spec env x;
+    check_behavior spec env y
+  | Ast.Seq (x, accepts, y) ->
+    check_behavior spec env x;
+    List.iter (fun (_, ty) -> check_ty spec ty) accepts;
+    let env' =
+      List.map (fun (v, ty) -> (v, kind_of_ty ty)) accepts @ env
+    in
+    check_behavior spec env' y
+  | Ast.Hide (_, k) | Ast.Rename (_, k) -> check_behavior spec env k
+  | Ast.Call (name, gate_args, args) -> (
+      match Ast.find_process spec name with
+      | None -> fail ("unknown process " ^ name)
+      | Some proc ->
+        if List.length proc.gates <> List.length gate_args then
+          fail
+            (Printf.sprintf "process %s expects %d gate argument(s), got %d"
+               name (List.length proc.gates) (List.length gate_args));
+        List.iter
+          (fun g ->
+             if g = Ast.tau_gate || g = Ast.exit_label then
+               fail ("gate argument cannot be the reserved name " ^ g))
+          gate_args;
+        if List.length proc.params <> List.length args then
+          fail
+            (Printf.sprintf "process %s expects %d argument(s), got %d" name
+               (List.length proc.params) (List.length args));
+        List.iter2
+          (fun (param, ty) arg ->
+             let expected = kind_of_ty ty in
+             let found = infer spec env arg in
+             if expected <> found then
+               fail
+                 (Printf.sprintf "argument %s of %s: expected %s, found %s" param
+                    name (kind_name expected) (kind_name found)))
+          proc.params args)
+
+let check_spec spec =
+  ignore (constructor_table spec);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, constructors) ->
+       if Hashtbl.mem seen name then fail ("enum type " ^ name ^ " declared twice");
+       Hashtbl.replace seen name ();
+       if constructors = [] then fail ("enum type " ^ name ^ " has no constructors"))
+    spec.Ast.enums;
+  let seen_proc = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Ast.process) ->
+       if Hashtbl.mem seen_proc p.proc_name then
+         fail ("process " ^ p.proc_name ^ " declared twice");
+       Hashtbl.replace seen_proc p.proc_name ();
+       let seen_gate = Hashtbl.create 4 in
+       List.iter
+         (fun g ->
+            if g = Ast.tau_gate || g = Ast.exit_label then
+              fail
+                (Printf.sprintf "process %s: formal gate %s is reserved"
+                   p.proc_name g);
+            if Hashtbl.mem seen_gate g then
+              fail
+                (Printf.sprintf "process %s: duplicate formal gate %s"
+                   p.proc_name g);
+            Hashtbl.replace seen_gate g ())
+         p.gates;
+       List.iter (fun (_, ty) -> check_ty spec ty) p.params;
+       let env = List.map (fun (x, ty) -> (x, kind_of_ty ty)) p.params in
+       check_behavior spec env p.body)
+    spec.Ast.processes;
+  check_behavior spec [] spec.Ast.init

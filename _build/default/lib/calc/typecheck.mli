@@ -1,0 +1,33 @@
+(** Static checks on MVL specifications.
+
+    Two passes:
+    - {!resolve_spec} turns identifiers that name declared enum
+      constructors into constants (the parser cannot distinguish them
+      from variables);
+    - {!check_spec} verifies well-formedness: unique process and enum
+      names, declared enum types, bound variables, kind-correct
+      expressions, boolean guards, call arities, and positive rates.
+
+    Expression typing is by {e kind} ([bool], [int], or a named enum);
+    integer range bounds are only enforced at binding sites (process
+    arguments are range-checked dynamically during exploration). *)
+
+exception Type_error of string
+
+type kind = KBool | KInt | KEnum of string
+
+(** Resolve enum constructors in every expression of the spec (bound
+    variables shadow constructors). Raises {!Type_error} if an enum
+    constructor is declared twice across types. *)
+val resolve_spec : Ast.spec -> Ast.spec
+
+(** Check the whole specification. *)
+val check_spec : Ast.spec -> unit
+
+(** [infer spec env e] — kind of [e] under variable kinds [env]. *)
+val infer : Ast.spec -> (string * kind) list -> Expr.t -> kind
+
+(** Kind of a declared type. *)
+val kind_of_ty : Ty.t -> kind
+
+val pp_kind : Format.formatter -> kind -> unit

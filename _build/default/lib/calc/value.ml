@@ -1,0 +1,17 @@
+type t = VBool of bool | VInt of int | VEnum of string
+
+let equal a b =
+  match a, b with
+  | VBool x, VBool y -> x = y
+  | VInt x, VInt y -> x = y
+  | VEnum x, VEnum y -> String.equal x y
+  | (VBool _ | VInt _ | VEnum _), _ -> false
+
+let compare = Stdlib.compare
+
+let to_string = function
+  | VBool b -> string_of_bool b
+  | VInt n -> string_of_int n
+  | VEnum c -> c
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,14 @@
+(** Ground values. *)
+
+type t =
+  | VBool of bool
+  | VInt of int
+  | VEnum of string (** constructor name *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Printed form used inside transition labels ([true], [42], [RED]). *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/chp/chp.ml: List Mv_calc Printf String

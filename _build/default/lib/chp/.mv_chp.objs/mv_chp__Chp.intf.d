@@ -1,0 +1,1 @@
+lib/chp/chp.mli: Mv_calc

@@ -1,0 +1,1 @@
+lib/chp/parser.ml: Chp List Mv_calc Mv_util

@@ -1,0 +1,1 @@
+lib/chp/parser.mli: Chp Mv_calc

@@ -1,0 +1,115 @@
+module Ast = Mv_calc.Ast
+module Expr = Mv_calc.Expr
+module Ty = Mv_calc.Ty
+
+type process =
+  | Skip
+  | Send of string * Expr.t
+  | Receive of string * string * Ty.t
+  | Seq of process * process
+  | Par of process * process
+  | Select of (Expr.t * process) list
+  | Loop of process
+
+exception Translation_error of string
+
+let rec channels_acc acc = function
+  | Skip -> acc
+  | Send (c, _) | Receive (c, _, _) -> c :: acc
+  | Seq (p, q) | Par (p, q) -> channels_acc (channels_acc acc p) q
+  | Select cases ->
+    List.fold_left (fun acc (_, p) -> channels_acc acc p) acc cases
+  | Loop p -> channels_acc acc p
+
+let channels p = List.sort_uniq compare (channels_acc [] p)
+
+(* Free data variables of a behaviour (used to reject loops that
+   capture variables bound outside: an MVL process definition must be
+   closed). *)
+let rec behavior_free_vars bound acc b =
+  match b with
+  | Ast.Stop -> acc
+  | Ast.Exit es ->
+    List.fold_left
+      (fun acc e ->
+         List.filter (fun x -> not (List.mem x bound)) (Expr.free_vars e) @ acc)
+      acc es
+  | Ast.Prefix (action, k) ->
+    let acc, bound =
+      List.fold_left
+        (fun (acc, bound) offer ->
+           match offer with
+           | Ast.Send e ->
+             let free =
+               List.filter (fun x -> not (List.mem x bound)) (Expr.free_vars e)
+             in
+             (free @ acc, bound)
+           | Ast.Receive (x, _) -> (acc, x :: bound))
+        (acc, bound) action.offers
+    in
+    behavior_free_vars bound acc k
+  | Ast.Rate (_, k) -> behavior_free_vars bound acc k
+  | Ast.Choice bs -> List.fold_left (behavior_free_vars bound) acc bs
+  | Ast.Guard (e, k) ->
+    let free = List.filter (fun x -> not (List.mem x bound)) (Expr.free_vars e) in
+    behavior_free_vars bound (free @ acc) k
+  | Ast.Par (_, x, y) ->
+    behavior_free_vars bound (behavior_free_vars bound acc x) y
+  | Ast.Seq (x, accepts, y) ->
+    let bound' = List.map fst accepts @ bound in
+    behavior_free_vars bound' (behavior_free_vars bound acc x) y
+  | Ast.Hide (_, k) | Ast.Rename (_, k) -> behavior_free_vars bound acc k
+  | Ast.Call (_, _, args) ->
+    List.fold_left
+      (fun acc e ->
+         List.filter (fun x -> not (List.mem x bound)) (Expr.free_vars e) @ acc)
+      acc args
+
+let translate ~prefix p =
+  let definitions = ref [] in
+  let counter = ref 0 in
+  let fresh_name () =
+    incr counter;
+    Printf.sprintf "%s_loop_%d" prefix !counter
+  in
+  let rec compile p k =
+    match p with
+    | Skip -> k
+    | Send (c, e) -> Ast.act c [ Ast.Send e ] k
+    | Receive (c, x, ty) -> Ast.act c [ Ast.Receive (x, ty) ] k
+    | Seq (a, b) -> compile a (compile b k)
+    | Par (a, b) ->
+      let shared =
+        List.filter (fun c -> List.mem c (channels b)) (channels a)
+      in
+      let inner =
+        Ast.Par (Ast.Gates shared, compile a (Ast.Exit []), compile b (Ast.Exit []))
+      in
+      (match k with
+       | Ast.Exit [] -> inner
+       | _ -> Ast.Seq (inner, [], k))
+    | Select cases ->
+      Ast.choice
+        (List.map (fun (guard, body) -> Ast.Guard (guard, compile body k)) cases)
+    | Loop body ->
+      let name = fresh_name () in
+      let def_body = compile body (Ast.Call (name, [], [])) in
+      let free = behavior_free_vars [] [] def_body in
+      if free <> [] then
+        raise
+          (Translation_error
+             (Printf.sprintf
+                "loop body captures variables bound outside the loop: %s"
+                (String.concat ", " (List.sort_uniq compare free))));
+      definitions :=
+        { Ast.proc_name = name; gates = []; params = []; body = def_body } :: !definitions;
+      (* code after an infinite repetition is unreachable; [k] is
+         dropped, as in CHP *)
+      Ast.Call (name, [], [])
+  in
+  let behavior = compile p (Ast.Exit []) in
+  (behavior, List.rev !definitions)
+
+let spec ~prefix ?(enums = []) p =
+  let init, processes = translate ~prefix p in
+  { Ast.enums; processes; init }

@@ -1,0 +1,35 @@
+(** CHP: the asynchronous-hardware process language of the flow.
+
+    The FAUST router of the paper was modeled in CHP and translated
+    automatically into LOTOS (Salaün-Serwe, IFM 2005); this module
+    provides the same pipeline at reduced scale: a CHP process AST and
+    a structural translation into MVL. Channels become gates,
+    communications become rendezvous, [;] maps to MVL sequential
+    composition, [*\[P\]] to guarded recursion, and parallel composition
+    synchronizes on shared channels. Probes and shared variables are
+    out of scope (the models in this repository do not need them). *)
+
+type process =
+  | Skip
+  | Send of string * Mv_calc.Expr.t (** [C!e] *)
+  | Receive of string * string * Mv_calc.Ty.t (** [C?x:T] *)
+  | Seq of process * process
+  | Par of process * process (** synchronize on shared channels *)
+  | Select of (Mv_calc.Expr.t * process) list (** [\[g1 -> P1 | ...\]] *)
+  | Loop of process (** [*\[P\]]: repeat forever *)
+
+(** Raised when a process has no closed translation (currently: a loop
+    body capturing a variable bound outside the loop). *)
+exception Translation_error of string
+
+(** Channels a process communicates on (sorted, no duplicates). *)
+val channels : process -> string list
+
+(** [translate ~prefix p] compiles [p] to an MVL behaviour plus the
+    auxiliary process definitions created for loops. Generated process
+    names start with [prefix]. *)
+val translate : prefix:string -> process -> Mv_calc.Ast.behavior * Mv_calc.Ast.process list
+
+(** [spec ~prefix ?enums p] packages the translation as a complete
+    specification with [init] the translated behaviour. *)
+val spec : prefix:string -> ?enums:Mv_calc.Ty.enums -> process -> Mv_calc.Ast.spec

@@ -1,0 +1,71 @@
+module Lex = Mv_util.Lexing_util
+module Mvl = Mv_calc.Parser
+
+exception Parse_error of string
+
+let symbols = "*[" :: Mvl.symbols
+
+let keywords = [ "skip" ]
+
+let rec parse_process lex = parse_par lex
+
+and parse_par lex =
+  let left = parse_seq lex in
+  if Lex.eat lex "||" then Chp.Par (left, parse_par lex) else left
+
+and parse_seq lex =
+  let left = parse_atom lex in
+  if Lex.eat lex ";" then Chp.Seq (left, parse_seq lex) else left
+
+and parse_atom lex =
+  match Lex.peek lex with
+  | Lex.Ident "skip" ->
+    ignore (Lex.next lex);
+    Chp.Skip
+  | Lex.Punct "(" ->
+    ignore (Lex.next lex);
+    let p = parse_process lex in
+    Lex.expect lex ")";
+    p
+  | Lex.Punct "*[" ->
+    ignore (Lex.next lex);
+    let body = parse_process lex in
+    Lex.expect lex "]";
+    Chp.Loop body
+  | Lex.Punct "[" ->
+    ignore (Lex.next lex);
+    let rec branches acc =
+      let guard = Mvl.parse_expr_from lex in
+      Lex.expect lex "->";
+      let body = parse_process lex in
+      if Lex.eat lex "|" then branches ((guard, body) :: acc)
+      else begin
+        Lex.expect lex "]";
+        List.rev ((guard, body) :: acc)
+      end
+    in
+    Chp.Select (branches [])
+  | Lex.Ident channel when not (List.mem channel keywords) -> (
+      ignore (Lex.next lex);
+      match Lex.next lex with
+      | Lex.Punct "!" -> Chp.Send (channel, Mvl.parse_sum_from lex)
+      | Lex.Punct "?" ->
+        let x = Lex.expect_ident lex in
+        Lex.expect lex ":";
+        Chp.Receive (channel, x, Mvl.parse_ty_from lex)
+      | _ -> Lex.error lex "expected ! or ? after a channel name"
+    )
+  | _ -> Lex.error lex "unexpected token in CHP process"
+
+let process_of_string text =
+  try
+    let lex = Lex.make ~symbols text in
+    let p = parse_process lex in
+    (match Lex.peek lex with
+     | Lex.Eof -> ()
+     | _ -> Lex.error lex "trailing input");
+    p
+  with Lex.Lex_error msg -> raise (Parse_error msg)
+
+let spec_of_string ~prefix ?enums text =
+  Chp.spec ~prefix ?enums (process_of_string text)

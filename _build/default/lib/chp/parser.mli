@@ -1,0 +1,26 @@
+(** Concrete CHP syntax.
+
+    {v
+    P ::= P "||" P                      (parallel, lowest precedence)
+        | P ";" P                       (sequence)
+        | "skip"
+        | CHAN "!" sum-expr             (send)
+        | CHAN "?" NAME ":" ty          (receive)
+        | "*[" P "]"                    (repeat forever)
+        | "[" g "->" P ("|" g "->" P)* "]"   (guarded selection)
+        | "(" P ")"
+    v}
+
+    Expressions and types use the MVL grammar
+    ({!Mv_calc.Parser}). Comments are [(* ... *)]. Example — a one-slot
+    repeater:
+    {v *[ in?x:int[0..1] ; out!x ] v} *)
+
+exception Parse_error of string
+
+val process_of_string : string -> Chp.process
+
+(** Parse and translate in one step:
+    [spec_of_string ~prefix ?enums text]. *)
+val spec_of_string :
+  prefix:string -> ?enums:Mv_calc.Ty.enums -> string -> Mv_calc.Ast.spec

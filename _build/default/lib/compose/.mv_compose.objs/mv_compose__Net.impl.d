@@ -1,0 +1,1 @@
+lib/compose/net.ml: List Mv_bisim Mv_lts Option Parallel Printf String

@@ -1,0 +1,1 @@
+lib/compose/net.mli: Mv_lts

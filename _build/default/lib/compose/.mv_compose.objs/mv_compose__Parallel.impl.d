@@ -1,0 +1,1 @@
+lib/compose/parallel.ml: Array Hashtbl List Mv_lts Queue

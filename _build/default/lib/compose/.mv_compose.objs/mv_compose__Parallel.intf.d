@@ -1,0 +1,1 @@
+lib/compose/parallel.mli: Mv_lts

@@ -1,0 +1,74 @@
+module Lts = Mv_lts.Lts
+
+type node =
+  | Leaf of string * Lts.t
+  | Par of string list * node * node
+  | Hide of string list * node
+  | Rename of (string * string) list * node
+
+type strategy = [ `Monolithic | `Compositional ]
+
+type step = { description : string; states : int; transitions : int }
+
+type report = {
+  result : Lts.t;
+  steps : step list;
+  peak_states : int;
+}
+
+let rec describe = function
+  | Leaf (name, _) -> name
+  | Par (gates, a, b) ->
+    Printf.sprintf "(%s |[%s]| %s)" (describe a) (String.concat "," gates)
+      (describe b)
+  | Hide (gates, n) ->
+    Printf.sprintf "(hide %s in %s)" (String.concat "," gates) (describe n)
+  | Rename (_, n) -> Printf.sprintf "(rename in %s)" (describe n)
+
+let evaluate ~strategy node =
+  let steps = ref [] in
+  let record description lts =
+    steps :=
+      { description; states = Lts.nb_states lts;
+        transitions = Lts.nb_transitions lts }
+      :: !steps;
+    lts
+  in
+  let reduce description lts =
+    match strategy with
+    | `Monolithic -> record description lts
+    | `Compositional ->
+      let lts = record description lts in
+      record (description ^ " [min]") (Mv_bisim.Branching.minimize lts)
+  in
+  let rec eval node =
+    match node with
+    | Leaf (name, lts) -> reduce name lts
+    | Par (gates, a, b) ->
+      let la = eval a and lb = eval b in
+      reduce (describe node) (Parallel.compose ~sync:gates la lb)
+    | Hide (gates, n) ->
+      let inner = eval n in
+      reduce (describe node) (Lts.hide inner ~gates)
+    | Rename (pairs, n) ->
+      let inner = eval n in
+      let renaming name =
+        List.assoc_opt (Mv_lts.Label.gate name) pairs
+        |> Option.map (fun g ->
+            (* keep offers, replace the gate *)
+            match String.index_opt name ' ' with
+            | None -> g
+            | Some i -> g ^ String.sub name i (String.length name - i))
+      in
+      reduce (describe node) (Lts.rename inner renaming)
+  in
+  let result = eval node in
+  let steps = List.rev !steps in
+  let peak_states =
+    List.fold_left (fun acc s -> max acc s.states) 0 steps
+  in
+  { result; steps; peak_states }
+
+let par_list gates = function
+  | [] -> invalid_arg "Net.par_list: empty"
+  | n :: rest -> List.fold_left (fun acc x -> Par (gates, acc, x)) n rest

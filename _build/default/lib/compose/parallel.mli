@@ -1,0 +1,9 @@
+(** Parallel composition of explicit LTSs.
+
+    [compose ~sync a b] builds the reachable product: transitions whose
+    label gate belongs to [sync] must be matched by an identical label
+    on the other side; all other transitions (tau included) interleave.
+    The [exit] label is {e not} treated specially at this level — add
+    ["exit"] to [sync] to make termination synchronous. *)
+
+val compose : sync:string list -> Mv_lts.Lts.t -> Mv_lts.Lts.t -> Mv_lts.Lts.t

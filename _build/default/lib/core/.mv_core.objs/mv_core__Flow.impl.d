@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Lazy List Mv_bisim Mv_calc Mv_compose Mv_imc Mv_lts Mv_markov Mv_mcl Printf

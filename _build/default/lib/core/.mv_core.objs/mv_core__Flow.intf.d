@@ -1,0 +1,1 @@
+lib/core/flow.mli: Lazy Mv_calc Mv_compose Mv_imc Mv_lts Mv_mcl

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Char Filename Fun List Printf String Sys

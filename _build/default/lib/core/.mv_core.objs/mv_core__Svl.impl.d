@@ -1,0 +1,1 @@
+lib/core/svl.ml: Filename Flow Fun List Mv_bisim Mv_compose Mv_lts Mv_mcl Mv_util Printexc Printf String

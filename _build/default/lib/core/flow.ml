@@ -1,0 +1,155 @@
+module Lts = Mv_lts.Lts
+module Label = Mv_lts.Label
+module Imc = Mv_imc.Imc
+module To_ctmc = Mv_imc.To_ctmc
+module Ctmc = Mv_markov.Ctmc
+
+let model_of_text text = Mv_calc.Parser.spec_of_string_checked text
+
+let generate ?max_states spec = Mv_calc.State_space.lts ?max_states spec
+
+(* Split the top-level parallel/hide skeleton of the initial behaviour
+   into a composition network; everything below any other construct is
+   generated as one leaf. *)
+let generate_compositional ?max_states spec =
+  let leaf_counter = ref 0 in
+  let rec decompose (behavior : Mv_calc.Ast.behavior) =
+    match behavior with
+    | Mv_calc.Ast.Par (Mv_calc.Ast.Gates gates, a, b) ->
+      Mv_compose.Net.Par (gates, decompose a, decompose b)
+    | Mv_calc.Ast.Hide (gates, inner) ->
+      Mv_compose.Net.Hide (gates, decompose inner)
+    | Mv_calc.Ast.Stop | Mv_calc.Ast.Exit _ | Mv_calc.Ast.Prefix _
+    | Mv_calc.Ast.Rate _ | Mv_calc.Ast.Choice _ | Mv_calc.Ast.Guard _
+    | Mv_calc.Ast.Par (Mv_calc.Ast.All, _, _) | Mv_calc.Ast.Rename _
+    | Mv_calc.Ast.Seq _ | Mv_calc.Ast.Call _ ->
+      incr leaf_counter;
+      let name = Printf.sprintf "component%d" !leaf_counter in
+      Mv_compose.Net.Leaf
+        ( name,
+          Mv_calc.State_space.lts ?max_states
+            { spec with Mv_calc.Ast.init = behavior } )
+  in
+  Mv_compose.Net.evaluate ~strategy:`Compositional
+    (decompose spec.Mv_calc.Ast.init)
+
+(* ------------------------------------------------------------------ *)
+(* Verification pipeline                                               *)
+
+type property_result = {
+  property_name : string;
+  formula : Mv_mcl.Formula.t;
+  holds : bool;
+}
+
+type verification = {
+  lts : Lts.t;
+  minimized : Lts.t;
+  deadlock_states : int list;
+  results : property_result list;
+}
+
+let verify ?max_states ?(hide = []) spec properties =
+  let lts = generate ?max_states spec in
+  let abstracted = if hide = [] then lts else Lts.hide lts ~gates:hide in
+  let minimized = Mv_bisim.Branching.minimize abstracted in
+  let results =
+    List.map
+      (fun (property_name, formula) ->
+         { property_name; formula; holds = Mv_mcl.Eval.holds lts formula })
+      properties
+  in
+  { lts; minimized; deadlock_states = Lts.deadlocks lts; results }
+
+let all_hold v = List.for_all (fun r -> r.holds) v.results
+
+let deadlock_witness v = Mv_lts.Trace.shortest_to_deadlock v.lts
+
+let action_witness v ~gate =
+  Mv_lts.Trace.shortest_to_action v.lts ~action:(fun name ->
+      Label.gate name = gate)
+
+(* ------------------------------------------------------------------ *)
+(* Performance pipeline                                                *)
+
+type performance = {
+  imc : Imc.t;
+  lumped : Imc.t;
+  conversion : To_ctmc.result;
+  steady : float array Lazy.t;
+}
+
+let performance_of_imc ?(keep = []) ?(scheduler = To_ctmc.Uniform) imc =
+  let visible_kept name = List.mem (Label.gate name) keep in
+  let hidden =
+    (* hide every gate not in [keep] *)
+    let labels = Imc.labels imc in
+    let gates = ref [] in
+    for l = 1 to Label.count labels - 1 do
+      let gate = Label.gate (Label.name labels l) in
+      if (not (visible_kept (Label.name labels l))) && not (List.mem gate !gates)
+      then gates := gate :: !gates
+    done;
+    Imc.hide imc ~gates:!gates
+  in
+  let progressed = Imc.maximal_progress hidden in
+  let lumped = Mv_imc.Lump.minimize progressed in
+  let conversion = To_ctmc.convert ~scheduler lumped in
+  {
+    imc;
+    lumped;
+    conversion;
+    steady = lazy (Ctmc.steady_state conversion.To_ctmc.ctmc);
+  }
+
+let performance ?max_states ?keep ?scheduler spec =
+  let lts = generate ?max_states spec in
+  performance_of_imc ?keep ?scheduler (Imc.of_lts lts)
+
+let throughput perf ~gate =
+  let pi = Lazy.force perf.steady in
+  let ctmc = perf.conversion.To_ctmc.ctmc in
+  List.fold_left
+    (fun acc (action, value) ->
+       if Label.gate action = gate then acc +. value else acc)
+    0.0
+    (Ctmc.throughputs ctmc ~pi)
+
+let throughputs perf =
+  let pi = Lazy.force perf.steady in
+  Ctmc.throughputs perf.conversion.To_ctmc.ctmc ~pi
+
+(* Redirect every transition tagged with an action on [gate] to a
+   fresh absorbing state; first-passage to it is the time to the first
+   occurrence of the action. *)
+let first_action_ctmc ctmc ~gate =
+  let n = Ctmc.nb_states ctmc in
+  let absorbing = n in
+  let transitions = ref [] in
+  Ctmc.iter_transitions ctmc (fun tr ->
+      let tagged =
+        List.exists (fun a -> Label.gate a = gate) tr.Ctmc.actions
+      in
+      let tr = if tagged then { tr with Ctmc.dst = absorbing } else tr in
+      transitions := tr :: !transitions);
+  let redirected =
+    Ctmc.make ~nb_states:(n + 1) ~initial:(Ctmc.initial ctmc) !transitions
+  in
+  (redirected, absorbing)
+
+let time_to_first perf ~gate =
+  let redirected, absorbing =
+    first_action_ctmc perf.conversion.To_ctmc.ctmc ~gate
+  in
+  let hitting = Ctmc.mean_first_passage redirected ~targets:[ absorbing ] in
+  hitting.(Ctmc.initial redirected)
+
+let probability_by perf ~gate ~horizon =
+  let redirected, absorbing =
+    first_action_ctmc perf.conversion.To_ctmc.ctmc ~gate
+  in
+  Ctmc.reach_probability_by redirected ~targets:[ absorbing ] ~horizon
+
+let expected_reward perf reward =
+  let pi = Lazy.force perf.steady in
+  Ctmc.expected_reward perf.conversion.To_ctmc.ctmc ~pi reward

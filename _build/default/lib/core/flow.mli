@@ -1,0 +1,118 @@
+(** The Multival flow (the paper's primary contribution).
+
+    Two pipelines over one formal model:
+
+    {b Functional verification} (paper §3):
+    model -> state-space generation -> (branching) minimization ->
+    temporal-logic model checking / equivalence checking.
+
+    {b Performance evaluation} (paper §4): the functional model is
+    decorated with phase-type delays ([rate] prefixes or
+    {!Mv_imc.Phase.process} delay processes synchronized on gates),
+    generated into an IMC, minimized by stochastic lumping, closed
+    (hiding + maximal progress), transformed into an action-tagged
+    CTMC, and solved for steady-state or time-dependent measures and
+    action throughputs. *)
+
+(** {1 Model entry points} *)
+
+(** Parse + resolve + typecheck an MVL source text. *)
+val model_of_text : string -> Mv_calc.Ast.spec
+
+(** State-space generation. *)
+val generate : ?max_states:int -> Mv_calc.Ast.spec -> Mv_lts.Lts.t
+
+(** Compositional generation (the automated form of the paper's §3
+    approach): the top-level parallel/hide structure of [spec.init] is
+    turned into a composition network whose leaves are generated
+    separately, then combined with minimize-before-compose
+    ({!Mv_compose.Net}). The result is branching-equivalent to
+    {!generate} but the peak intermediate size can be exponentially
+    smaller. Only [|\[...\]|] and [hide] nodes are split; any other
+    construct becomes a leaf. *)
+val generate_compositional :
+  ?max_states:int -> Mv_calc.Ast.spec -> Mv_compose.Net.report
+
+(** {1 Functional verification} *)
+
+type property_result = {
+  property_name : string;
+  formula : Mv_mcl.Formula.t;
+  holds : bool;
+}
+
+type verification = {
+  lts : Mv_lts.Lts.t; (** generated state space *)
+  minimized : Mv_lts.Lts.t; (** branching-bisimulation quotient *)
+  deadlock_states : int list; (** deadlocks of the full LTS *)
+  results : property_result list; (** checked on the full LTS *)
+}
+
+(** [verify ?max_states ?hide spec properties] runs the verification
+    pipeline. [hide] lists gates abstracted to tau before
+    minimization (checking still runs on the unhidden LTS). *)
+val verify :
+  ?max_states:int ->
+  ?hide:string list ->
+  Mv_calc.Ast.spec ->
+  (string * Mv_mcl.Formula.t) list ->
+  verification
+
+(** [all_hold v]. *)
+val all_hold : verification -> bool
+
+(** Shortest trace into a deadlock of the generated LTS ([None] when
+    deadlock-free). *)
+val deadlock_witness : verification -> Mv_lts.Trace.t option
+
+(** Shortest trace whose last action is on [gate] ([None] when no such
+    action is reachable). *)
+val action_witness : verification -> gate:string -> Mv_lts.Trace.t option
+
+(** {1 Performance evaluation} *)
+
+type performance = {
+  imc : Mv_imc.Imc.t; (** decoded from the generated LTS *)
+  lumped : Mv_imc.Imc.t; (** after stochastic minimization *)
+  conversion : Mv_imc.To_ctmc.result;
+  steady : float array Lazy.t; (** steady-state of the CTMC *)
+}
+
+(** [performance ?max_states ?keep ?scheduler spec] runs the
+    performance pipeline. Gates in [keep] stay visible through hiding
+    and become the action tags available for throughput queries; every
+    other gate is hidden. *)
+val performance :
+  ?max_states:int ->
+  ?keep:string list ->
+  ?scheduler:Mv_imc.To_ctmc.scheduler ->
+  Mv_calc.Ast.spec ->
+  performance
+
+(** [performance_of_imc ?keep ?scheduler imc] — same pipeline entered
+    at the IMC level (for compositionally built IMCs). *)
+val performance_of_imc :
+  ?keep:string list ->
+  ?scheduler:Mv_imc.To_ctmc.scheduler ->
+  Mv_imc.Imc.t ->
+  performance
+
+(** Long-run occurrence rate of actions on gate [gate] (summed over
+    offer values). The gate must be in [keep]. *)
+val throughput : performance -> gate:string -> float
+
+(** All visible-action throughputs, by label. *)
+val throughputs : performance -> (string * float) list
+
+(** Mean time until the first occurrence of an action on [gate],
+    starting from the initial state ([infinity] if it may never
+    occur). *)
+val time_to_first : performance -> gate:string -> float
+
+(** Probability that an action on [gate] has occurred by [horizon]. *)
+val probability_by : performance -> gate:string -> horizon:float -> float
+
+(** Expected steady-state reward over CTMC states; the reward is given
+    on CTMC state ids (see [conversion] for the mapping back to IMC
+    states). *)
+val expected_reward : performance -> (int -> float) -> float

@@ -1,0 +1,79 @@
+let float_cell v =
+  if v <> v then "nan"
+  else if v = infinity then "inf"
+  else if v = neg_infinity then "-inf"
+  else Printf.sprintf "%.4g" v
+
+let percent_cell v = Printf.sprintf "%.2f%%" (100.0 *. v)
+
+let csv_dir = ref None
+
+let set_csv_dir dir = csv_dir := dir
+
+let slug title =
+  let buffer = Buffer.create (String.length title) in
+  String.iter
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char buffer (Char.lowercase_ascii c)
+       | ' ' | '-' | '_' | '/' ->
+         if Buffer.length buffer > 0 && Buffer.nth buffer (Buffer.length buffer - 1) <> '-'
+         then Buffer.add_char buffer '-'
+       | _ -> ())
+    title;
+  let s = Buffer.contents buffer in
+  let s = if String.length s > 60 then String.sub s 0 60 else s in
+  if s = "" then "table" else s
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~title ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (slug title ^ ".csv") in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+         List.iter
+           (fun row ->
+              output_string oc (String.concat "," (List.map csv_escape row));
+              output_char oc '\n')
+           (header :: rows))
+
+let table ~title ~header rows =
+  List.iter
+    (fun row ->
+       if List.length row <> List.length header then
+         invalid_arg "Report.table: row arity mismatch")
+    rows;
+  let all = header :: rows in
+  let arity = List.length header in
+  let widths =
+    List.init arity (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+  in
+  let print_row cells =
+    let padded =
+      List.mapi
+        (fun i cell -> cell ^ String.make (List.nth widths i - String.length cell) ' ')
+        cells
+    in
+    print_endline ("| " ^ String.concat " | " padded ^ " |")
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  write_csv ~title ~header rows;
+  print_newline ();
+  print_endline ("== " ^ title);
+  print_endline rule;
+  print_row header;
+  print_endline rule;
+  List.iter print_row rows;
+  print_endline rule

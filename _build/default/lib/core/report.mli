@@ -1,0 +1,21 @@
+(** Plain-text tables for the experiment harness and the examples.
+
+    The benchmark executable prints one table per reproduced
+    experiment; this module keeps the formatting in one place. *)
+
+(** [table ~title ~header rows] prints an aligned table to stdout.
+    Every row must have the same arity as [header]. When a CSV
+    directory is configured ({!set_csv_dir}), the table is also written
+    there as [<slug-of-title>.csv]. *)
+val table : title:string -> header:string list -> string list list -> unit
+
+(** Configure a directory to mirror every printed table as a CSV file
+    (created if missing); [None] disables mirroring. *)
+val set_csv_dir : string option -> unit
+
+(** Format a float with 4 significant digits (the precision used in
+    experiment tables). *)
+val float_cell : float -> string
+
+(** Format as a percentage with two decimals. *)
+val percent_cell : float -> string

@@ -1,0 +1,337 @@
+module Lex = Mv_util.Lexing_util
+module Lts = Mv_lts.Lts
+
+type step = { description : string; ok : bool; detail : string }
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Abstract syntax                                                     *)
+
+type equivalence = Strong | Branching | Divbranching | Weak | Traces
+
+type statement =
+  | Generate of { target : string; source : string; hide : string list }
+  | Reduction of { target : string; equivalence : equivalence; source : string }
+  | Composition of { target : string; left : string; gates : string list; right : string }
+  | Hide of { target : string; gates : string list; source : string }
+  | Check of { formula : [ `Deadlock | `Formula of string ]; source : string }
+  | Compare of { left : string; right : string; equivalence : equivalence }
+  | Solve of { source : string; keep : string list }
+  | Expect_throughput of {
+      source : string;
+      gate : string;
+      lo : float;
+      hi : float;
+    }
+
+let equivalence_name = function
+  | Strong -> "strong"
+  | Branching -> "branching"
+  | Divbranching -> "divbranching"
+  | Weak -> "weak"
+  | Traces -> "traces"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let symbols = [ "|["; "]|"; "=="; "="; ";"; "," ]
+
+let parse_equivalence lex =
+  match Lex.next lex with
+  | Lex.Ident "strong" -> Strong
+  | Lex.Ident "branching" -> Branching
+  | Lex.Ident "divbranching" -> Divbranching
+  | Lex.Ident "weak" -> Weak
+  | Lex.Ident "traces" -> Traces
+  | _ -> Lex.error lex "expected an equivalence name"
+
+let expect_string lex what =
+  match Lex.next lex with
+  | Lex.Str s -> s
+  | _ -> Lex.error lex ("expected a quoted " ^ what)
+
+let expect_keyword lex kw =
+  match Lex.next lex with
+  | Lex.Ident k when k = kw -> ()
+  | _ -> Lex.error lex (Printf.sprintf "expected '%s'" kw)
+
+let parse_gate_list lex =
+  let rec loop acc =
+    let g = Lex.expect_ident lex in
+    if Lex.eat lex "," then loop (g :: acc) else List.rev (g :: acc)
+  in
+  loop []
+
+let parse_statement lex =
+  match Lex.peek lex with
+  | Lex.Str target -> (
+      ignore (Lex.next lex);
+      Lex.expect lex "=";
+      match Lex.next lex with
+      | Lex.Ident "generate" ->
+        let source = expect_string lex "model file" in
+        let hide =
+          match Lex.peek lex with
+          | Lex.Ident "hide" ->
+            ignore (Lex.next lex);
+            parse_gate_list lex
+          | _ -> []
+        in
+        Generate { target; source; hide }
+      | Lex.Ident "composition" ->
+        expect_keyword lex "of";
+        let left = expect_string lex "model file" in
+        Lex.expect lex "|[";
+        let gates = parse_gate_list lex in
+        Lex.expect lex "]|";
+        let right = expect_string lex "model file" in
+        Composition { target; left; gates; right }
+      | Lex.Ident "hide" ->
+        let gates = parse_gate_list lex in
+        expect_keyword lex "in";
+        let source = expect_string lex "model file" in
+        Hide { target; gates; source }
+      | Lex.Ident eq
+        when List.mem eq [ "strong"; "branching"; "divbranching"; "weak"; "traces" ]
+        ->
+        let equivalence =
+          match eq with
+          | "strong" -> Strong
+          | "branching" -> Branching
+          | "divbranching" -> Divbranching
+          | "weak" -> Weak
+          | _ -> Traces
+        in
+        expect_keyword lex "reduction";
+        expect_keyword lex "of";
+        let source = expect_string lex "model file" in
+        Reduction { target; equivalence; source }
+      | _ -> Lex.error lex "expected generate/reduction/composition/hide")
+  | Lex.Ident "check" ->
+    ignore (Lex.next lex);
+    let formula =
+      match Lex.next lex with
+      | Lex.Ident "deadlock" -> `Deadlock
+      | Lex.Str text -> `Formula text
+      | _ -> Lex.error lex "expected 'deadlock' or a quoted formula"
+    in
+    expect_keyword lex "of";
+    let source = expect_string lex "model file" in
+    Check { formula; source }
+  | Lex.Ident "compare" ->
+    ignore (Lex.next lex);
+    let left = expect_string lex "model file" in
+    Lex.expect lex "==";
+    let right = expect_string lex "model file" in
+    expect_keyword lex "modulo";
+    let equivalence = parse_equivalence lex in
+    Compare { left; right; equivalence }
+  | Lex.Ident "expect" ->
+    ignore (Lex.next lex);
+    expect_keyword lex "throughput";
+    let gate = Lex.expect_ident lex in
+    expect_keyword lex "of";
+    let source = expect_string lex "model file" in
+    expect_keyword lex "in";
+    Lex.expect lex "[";
+    let number () =
+      match Lex.next lex with
+      | Lex.Float f -> f
+      | Lex.Int n -> float_of_int n
+      | _ -> Lex.error lex "expected a number"
+    in
+    let lo = number () in
+    Lex.expect lex ",";
+    let hi = number () in
+    Lex.expect lex "]";
+    Expect_throughput { source; gate; lo; hi }
+  | Lex.Ident "solve" ->
+    ignore (Lex.next lex);
+    let source = expect_string lex "model file" in
+    expect_keyword lex "keep";
+    let keep = parse_gate_list lex in
+    Solve { source; keep }
+  | _ -> Lex.error lex "expected a statement"
+
+let parse_script text =
+  let lex = Lex.make ~symbols text in
+  let rec loop acc =
+    match Lex.peek lex with
+    | Lex.Eof -> List.rev acc
+    | _ ->
+      let stmt = parse_statement lex in
+      Lex.expect lex ";";
+      loop (stmt :: acc)
+  in
+  try loop [] with Lex.Lex_error msg -> raise (Parse_error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_lts ~dir path =
+  let full = if Filename.is_relative path then Filename.concat dir path else path in
+  if Filename.check_suffix full ".aut" then Mv_lts.Aut.of_string (read_file full)
+  else Flow.generate (Flow.model_of_text (read_file full))
+
+let single_to_double_quotes text =
+  String.map (fun c -> if c = '\'' then '"' else c) text
+
+let minimize equivalence lts =
+  match equivalence with
+  | Strong -> Mv_bisim.Strong.minimize lts
+  | Branching -> Mv_bisim.Branching.minimize lts
+  | Divbranching -> Mv_bisim.Branching.minimize ~divergence_sensitive:true lts
+  | Weak -> Mv_bisim.Weak.minimize lts
+  | Traces -> Mv_bisim.Traces.determinize lts
+
+let equivalent equivalence a b =
+  match equivalence with
+  | Strong -> Mv_bisim.Strong.equivalent a b
+  | Branching -> Mv_bisim.Branching.equivalent a b
+  | Divbranching -> Mv_bisim.Branching.equivalent ~divergence_sensitive:true a b
+  | Weak -> Mv_bisim.Weak.equivalent a b
+  | Traces -> Mv_bisim.Traces.equivalent a b
+
+let save ~dir path lts =
+  let full = if Filename.is_relative path then Filename.concat dir path else path in
+  Mv_lts.Aut.write_file full lts
+
+let execute_expect ~dir ~source ~gate ~lo ~hi =
+  let full =
+    if Filename.is_relative source then Filename.concat dir source else source
+  in
+  let perf =
+    Flow.performance ~keep:[ gate ] (Flow.model_of_text (read_file full))
+  in
+  let value = Flow.throughput perf ~gate in
+  let ok = value >= lo && value <= hi in
+  {
+    description =
+      Printf.sprintf "expect throughput %s of %S in [%g, %g]" gate source lo hi;
+    ok;
+    detail = Printf.sprintf "%.6g%s" value (if ok then "" else " OUT OF RANGE");
+  }
+
+let execute ~dir statement =
+  match statement with
+  | Expect_throughput { source; gate; lo; hi } ->
+    execute_expect ~dir ~source ~gate ~lo ~hi
+  | Generate { target; source; hide } ->
+    let lts = load_lts ~dir source in
+    let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
+    save ~dir target lts;
+    {
+      description = Printf.sprintf "%S = generate %S" target source;
+      ok = true;
+      detail =
+        Printf.sprintf "%d states, %d transitions" (Lts.nb_states lts)
+          (Lts.nb_transitions lts);
+    }
+  | Reduction { target; equivalence; source } ->
+    let lts = load_lts ~dir source in
+    let reduced = minimize equivalence lts in
+    save ~dir target reduced;
+    {
+      description =
+        Printf.sprintf "%S = %s reduction of %S" target
+          (equivalence_name equivalence) source;
+      ok = true;
+      detail =
+        Printf.sprintf "%d -> %d states" (Lts.nb_states lts)
+          (Lts.nb_states reduced);
+    }
+  | Composition { target; left; gates; right } ->
+    let product =
+      Mv_compose.Parallel.compose ~sync:gates (load_lts ~dir left)
+        (load_lts ~dir right)
+    in
+    save ~dir target product;
+    {
+      description =
+        Printf.sprintf "%S = composition of %S |[%s]| %S" target left
+          (String.concat "," gates) right;
+      ok = true;
+      detail = Printf.sprintf "%d states" (Lts.nb_states product);
+    }
+  | Hide { target; gates; source } ->
+    let lts = Lts.hide (load_lts ~dir source) ~gates in
+    save ~dir target lts;
+    {
+      description =
+        Printf.sprintf "%S = hide %s in %S" target (String.concat "," gates)
+          source;
+      ok = true;
+      detail = Printf.sprintf "%d states" (Lts.nb_states lts);
+    }
+  | Check { formula; source } ->
+    let lts = load_lts ~dir source in
+    let name, parsed =
+      match formula with
+      | `Deadlock -> ("deadlock freedom", Mv_mcl.Formula.Macro.deadlock_free)
+      | `Formula text ->
+        (text, Mv_mcl.Parser.formula_of_string (single_to_double_quotes text))
+    in
+    let holds = Mv_mcl.Eval.holds lts parsed in
+    {
+      description = Printf.sprintf "check %s of %S" name source;
+      ok = holds;
+      detail = (if holds then "holds" else "VIOLATED");
+    }
+  | Compare { left; right; equivalence } ->
+    let la = load_lts ~dir left and lb = load_lts ~dir right in
+    let equal = equivalent equivalence la lb in
+    {
+      description =
+        Printf.sprintf "compare %S == %S modulo %s" left right
+          (equivalence_name equivalence);
+      ok = equal;
+      detail = (if equal then "equivalent" else "NOT equivalent");
+    }
+  | Solve { source; keep } ->
+    let full =
+      if Filename.is_relative source then Filename.concat dir source else source
+    in
+    let perf = Flow.performance ~keep (Flow.model_of_text (read_file full)) in
+    let throughputs = Flow.throughputs perf in
+    {
+      description = Printf.sprintf "solve %S keep %s" source (String.concat "," keep);
+      ok = true;
+      detail =
+        String.concat "; "
+          (List.map
+             (fun (action, value) -> Printf.sprintf "%s: %.6g" action value)
+             throughputs);
+    }
+
+let run_string ?(dir = ".") text =
+  let statements = parse_script text in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | statement :: rest -> (
+        match execute ~dir statement with
+        | step -> loop (step :: acc) rest
+        | exception exn ->
+          (* hard error: report and stop *)
+          let step =
+            {
+              description = "script step";
+              ok = false;
+              detail = Printexc.to_string exn;
+            }
+          in
+          List.rev (step :: acc))
+  in
+  loop [] statements
+
+let run_file path =
+  let text = read_file path in
+  run_string ~dir:(Filename.dirname path) text
+
+let all_ok steps = List.for_all (fun s -> s.ok) steps

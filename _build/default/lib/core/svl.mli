@@ -1,0 +1,56 @@
+(** SVL-style verification scripts.
+
+    CADP orchestrates its tools with SVL scripts; this is the
+    equivalent for the Multival flow: a small declarative language
+    whose values are model files on disk ([.mvl] sources or [.aut]
+    LTSs). One statement per step, separated by [;]:
+
+    {v
+    (* generation, with optional hiding *)
+    "queue.aut" = generate "queue.mvl" hide push, pop ;
+
+    (* minimization: strong | branching | divbranching | weak | traces *)
+    "min.aut" = branching reduction of "queue.aut" ;
+
+    (* LTS-level composition and hiding *)
+    "net.aut" = composition of "a.aut" |[g, h]| "b.aut" ;
+    "abs.aut" = hide g, h in "net.aut" ;
+
+    (* model checking (deadlock, or any mu-calculus formula) *)
+    check deadlock of "queue.aut" ;
+    check "[ true* . 'error' ] false" of "net.aut" ;
+
+    (* equivalence checking *)
+    compare "min.aut" == "queue.aut" modulo branching ;
+
+    (* the performance pipeline: prints throughputs of the kept gates *)
+    solve "queue.mvl" keep pop ;
+
+    (* regression assertion on a performance measure *)
+    expect throughput pop of "queue.mvl" in [1.8, 2.0] ;
+    v}
+
+    Mu-calculus formulas are quoted like file names; inside them, use
+    single quotes for action labels (['error !1']) — they are converted
+    to the double quotes the formula parser expects. Relative paths are
+    resolved against the script's directory. Comments are [(* ... *)]. *)
+
+type step = {
+  description : string;
+  ok : bool;
+  detail : string; (** human-readable result or error *)
+}
+
+exception Parse_error of string
+
+(** Run a script from text. [dir] anchors relative paths (default:
+    current directory). Execution continues past failed checks but
+    stops at the first hard error (unreadable file, parse error in a
+    model), which is reported as a failed step. *)
+val run_string : ?dir:string -> string -> step list
+
+(** Run a script file (paths resolve against its directory). *)
+val run_file : string -> step list
+
+(** [all_ok steps]. *)
+val all_ok : step list -> bool

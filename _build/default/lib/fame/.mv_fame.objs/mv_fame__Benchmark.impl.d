@@ -1,0 +1,1 @@
+lib/fame/benchmark.ml: List Mpi Mv_calc Mv_core Printf Protocol Topology

@@ -1,0 +1,1 @@
+lib/fame/benchmark.mli: Mpi Mv_calc Protocol Topology

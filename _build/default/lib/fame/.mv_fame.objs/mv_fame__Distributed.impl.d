@@ -1,0 +1,1 @@
+lib/fame/distributed.ml: Mv_calc Mv_mcl Printf

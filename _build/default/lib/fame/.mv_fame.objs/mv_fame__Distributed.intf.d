@@ -1,0 +1,1 @@
+lib/fame/distributed.mli: Mv_calc Mv_mcl

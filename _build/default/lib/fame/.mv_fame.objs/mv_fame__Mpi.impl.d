@@ -1,0 +1,1 @@
+lib/fame/mpi.ml: Buffer List Printf Protocol

@@ -1,0 +1,1 @@
+lib/fame/mpi.mli: Protocol

@@ -1,0 +1,1 @@
+lib/fame/mpi_program.ml: Benchmark List Mv_calc Mv_core Numa Printf String Sys Topology

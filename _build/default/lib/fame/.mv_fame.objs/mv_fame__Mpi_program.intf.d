@@ -1,0 +1,1 @@
+lib/fame/mpi_program.mli: Benchmark Mv_calc Topology

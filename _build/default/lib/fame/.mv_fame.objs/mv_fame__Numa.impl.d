@@ -1,0 +1,1 @@
+lib/fame/numa.ml: Benchmark Buffer Fun Hashtbl List Mv_calc Mv_core Printf Protocol String Topology

@@ -1,0 +1,1 @@
+lib/fame/numa.mli: Benchmark Mv_calc Protocol Topology

@@ -1,0 +1,1 @@
+lib/fame/protocol.ml: Buffer List Printf String

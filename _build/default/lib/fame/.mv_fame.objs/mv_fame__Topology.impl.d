@@ -1,0 +1,1 @@
+lib/fame/topology.ml: List Mv_calc Printf String

@@ -1,0 +1,1 @@
+lib/fame/topology.mli: Mv_calc

@@ -1,0 +1,56 @@
+type rates = { xfer_rate : float; bg_rate : float; copy_rate : float }
+
+let default_rates = { xfer_rate = 100.0; bg_rate = 40.0; copy_rate = 30.0 }
+
+let spec variant topology implementation ~size ~rates =
+  let text =
+    Protocol.line_process variant
+    ^ Topology.process_text topology ~xfer_rate:rates.xfer_rate
+        ~bg_rate:rates.bg_rate
+    ^ Mpi.driver_text implementation ~size ~copy_rate:rates.copy_rate
+    ^ Printf.sprintf
+        "init (Round |[read0, write0, read1, write1]| Line(II)) |[xfer]| %s\n"
+        (if Topology.contended topology then "(Net |[bgxfer]| Bg)" else "Net")
+  in
+  Mv_calc.Parser.spec_of_string_checked text
+
+let round_latency variant topology implementation ~size ~rates =
+  let model = spec variant topology implementation ~size ~rates in
+  let perf = Mv_core.Flow.performance ~keep:[ "round" ] model in
+  1.0 /. Mv_core.Flow.throughput perf ~gate:"round"
+
+let barrier_latency variant topology ~rates =
+  let text =
+    Protocol.line_process variant
+    ^ Topology.process_text topology ~xfer_rate:rates.xfer_rate
+        ~bg_rate:rates.bg_rate
+    ^ Mpi.barrier_driver_text ()
+    ^ Printf.sprintf
+        "init (Round |[read0, write0, read1, write1]| Line(II)) |[xfer]| %s\n"
+        (if Topology.contended topology then "(Net |[bgxfer]| Bg)" else "Net")
+  in
+  let model = Mv_calc.Parser.spec_of_string_checked text in
+  let perf = Mv_core.Flow.performance ~keep:[ "round" ] model in
+  1.0 /. Mv_core.Flow.throughput perf ~gate:"round"
+
+let latency_lower_bound variant topology implementation ~size ~rates =
+  (* steady-state rounds repeat, so fold the per-round message count
+     starting from the steady entry state: run one warmup round *)
+  let ops = Mpi.ops_per_round implementation ~size in
+  let warm_state =
+    List.fold_left
+      (fun state op -> fst (Protocol.step variant state op))
+      Protocol.II ops
+  in
+  let steady_messages =
+    List.fold_left
+      (fun (state, acc) op ->
+         let next, m = Protocol.step variant state op in
+         (next, acc + m))
+      (warm_state, 0) ops
+    |> snd
+  in
+  let hop_time = float_of_int (Topology.hops topology) /. rates.xfer_rate in
+  let payload = Mpi.payload_xfers_per_round implementation ~size in
+  (float_of_int (steady_messages + payload) *. hop_time)
+  +. (float_of_int (Mpi.copies_per_round implementation ~size) /. rates.copy_rate)

@@ -1,0 +1,40 @@
+(** The FAME2 MPI ping-pong benchmark assembled end to end: driver +
+    coherence protocol + interconnect topology, predicted through the
+    performance pipeline (the paper: "Bull was able to predict the
+    latency of an MPI benchmark in different topologies, different
+    software implementations of the MPI primitives, and different
+    cache coherency protocols"). *)
+
+type rates = {
+  xfer_rate : float; (** interconnect per-hop service rate *)
+  bg_rate : float; (** background traffic intensity (contended media) *)
+  copy_rate : float; (** local memory-copy rate (per word) *)
+}
+
+val default_rates : rates
+
+(** Full MVL specification of one benchmark configuration. *)
+val spec :
+  Protocol.variant ->
+  Topology.t ->
+  Mpi.implementation ->
+  size:int ->
+  rates:rates ->
+  Mv_calc.Ast.spec
+
+(** Mean round-trip latency: [1 / throughput(round)]. *)
+val round_latency :
+  Protocol.variant ->
+  Topology.t ->
+  Mpi.implementation ->
+  size:int ->
+  rates:rates ->
+  float
+
+(** Analytic lower bound (no contention, no queueing): messages x hops
+    / xfer_rate + copies / copy_rate, for table sanity columns. *)
+val latency_lower_bound :
+  Protocol.variant -> Topology.t -> Mpi.implementation -> size:int -> rates:rates -> float
+
+(** Mean latency of one barrier episode (see {!Mpi.barrier_ops}). *)
+val barrier_latency : Protocol.variant -> Topology.t -> rates:rates -> float

@@ -1,0 +1,137 @@
+module Formula = Mv_mcl.Formula
+module Action = Mv_mcl.Action_formula
+
+type bug = Correct | Dropped_invalidation | Grant_before_ack
+
+(* Cache [i]: MSI with explicit wait states. A cache waiting for an
+   exclusive grant must still answer invalidations (the upgrade race),
+   and so must a cache that has committed to upgrading but has not yet
+   won the request channel ([Up]): without the latter the directory
+   can wait forever for an invalidation ack while the cache waits for
+   the directory — the deadlock this model originally exposed. *)
+let cache_text i =
+  Printf.sprintf
+    {|
+process Cache%dI :=
+    read%d ; req%d !RS ; Wait%dS
+ [] write%d ; req%d !RM ; Wait%dM
+process Wait%dS := grant%d ?g:gr ; Cache%dS
+process Wait%dM :=
+    grant%d ?g:gr ; Cache%dM
+ [] inv%d ; iack%d ; Wait%dM
+process Up%d :=
+    req%d !RM ; Wait%dM
+ [] inv%d ; iack%d ; Up%d
+process Cache%dS :=
+    read%d ; Cache%dS
+ [] write%d ; Up%d
+ [] inv%d ; iack%d ; Cache%dI
+process Cache%dM :=
+    read%d ; Cache%dM
+ [] write%d ; Cache%dM
+ [] wb%d ; wdata%d ; Cache%dI
+process Cpu%d := read%d ; Cpu%d [] write%d ; Cpu%d
+|}
+    i i i i i i i
+    i i i
+    i i i i i i
+    i i i i i i
+    i i i i i i i i
+    i i i i i i i i
+    i i i i i
+
+(* Directory: one transaction at a time. [o] is the request kind, the
+   state tracks the owner/sharers of the single modeled line. *)
+let serve_text bug ~me ~other =
+  let invalidate_path st =
+    match bug with
+    | Correct ->
+      Printf.sprintf " [] [o == RM and st == %s] -> inv%d ; iack%d ; grant%d !GM ; Dir(DM%d)\n"
+        st other other me me
+    | Dropped_invalidation ->
+      (* the injected functional issue: the sharer is never told *)
+      Printf.sprintf " [] [o == RM and st == %s] -> grant%d !GM ; Dir(DM%d)\n" st
+        me me
+    | Grant_before_ack ->
+      (* the grant races ahead of the acknowledgement *)
+      Printf.sprintf
+        " [] [o == RM and st == %s] -> inv%d ; grant%d !GM ; iack%d ; Dir(DM%d)\n"
+        st other me other me
+  in
+  let s_me = Printf.sprintf "DS%d" me
+  and s_other = Printf.sprintf "DS%d" other
+  and m_me = Printf.sprintf "DM%d" me
+  and m_other = Printf.sprintf "DM%d" other in
+  Printf.sprintf "process Serve%d (st : dstate, o : op) :=\n" me
+  ^ Printf.sprintf "    [o == RS and st == DI] -> grant%d !GS ; Dir(%s)\n" me s_me
+  ^ Printf.sprintf " [] [o == RS and st == %s] -> grant%d !GS ; Dir(%s)\n" s_me me s_me
+  ^ Printf.sprintf " [] [o == RS and st == %s] -> grant%d !GS ; Dir(DSB)\n" s_other me
+  ^ Printf.sprintf " [] [o == RS and st == DSB] -> grant%d !GS ; Dir(DSB)\n" me
+  ^ Printf.sprintf " [] [o == RS and st == %s] -> grant%d !GS ; Dir(%s)\n" m_me me m_me
+  (* the owner writes back to Invalid, so only the requester shares *)
+  ^ Printf.sprintf " [] [o == RS and st == %s] -> wb%d ; wdata%d ; grant%d !GS ; Dir(%s)\n"
+      m_other other other me s_me
+  ^ Printf.sprintf " [] [o == RM and st == DI] -> grant%d !GM ; Dir(%s)\n" me m_me
+  ^ Printf.sprintf " [] [o == RM and st == %s] -> grant%d !GM ; Dir(%s)\n" s_me me m_me
+  ^ invalidate_path s_other
+  ^ invalidate_path "DSB"
+  ^ Printf.sprintf " [] [o == RM and st == %s] -> grant%d !GM ; Dir(%s)\n" m_me me m_me
+  ^ Printf.sprintf " [] [o == RM and st == %s] -> wb%d ; wdata%d ; grant%d !GM ; Dir(%s)\n"
+      m_other other other me m_me
+
+let directory_text bug =
+  {|
+process Dir (st : dstate) :=
+    req0 ?o:op ; Serve0(st, o)
+ [] req1 ?o:op ; Serve1(st, o)
+|}
+  ^ serve_text bug ~me:0 ~other:1
+  ^ serve_text bug ~me:1 ~other:0
+
+(* Monitor: tracks both caches' states from the protocol messages it
+   overhears (3-way rendezvous on grants, invalidation acks and
+   write-backs) and reports any M/M or M/S overlap. *)
+let monitor_text =
+  {|
+process Mon (s0 : cst, s1 : cst) :=
+    grant0 ?g:gr ; ([g == GS] -> Chk(CS, s1) [] [g == GM] -> Chk(CM, s1))
+ [] grant1 ?g:gr ; ([g == GS] -> Chk(s0, CS) [] [g == GM] -> Chk(s0, CM))
+ [] iack0 ; Mon(CI, s1)
+ [] iack1 ; Mon(s0, CI)
+ [] wdata0 ; Mon(CI, s1)
+ [] wdata1 ; Mon(s0, CI)
+process Chk (s0 : cst, s1 : cst) :=
+    [(s0 == CM and not (s1 == CI)) or (s1 == CM and not (s0 == CI))] -> error ; stop
+ [] [not ((s0 == CM and not (s1 == CI)) or (s1 == CM and not (s0 == CI)))] -> i ; Mon(s0, s1)
+|}
+
+let spec bug =
+  let text =
+    "type op = { RS, RM }\ntype gr = { GS, GM }\n"
+    ^ "type dstate = { DI, DS0, DS1, DSB, DM0, DM1 }\n"
+    ^ "type cst = { CI, CS, CM }\n"
+    ^ cache_text 0 ^ cache_text 1 ^ directory_text bug ^ monitor_text
+    ^ {|
+init
+  ((Cpu0 ||| Cpu1)
+   |[read0, write0, read1, write1]|
+   ((Cache0I ||| Cache1I)
+    |[req0, grant0, inv0, iack0, wb0, wdata0, req1, grant1, inv1, iack1, wb1, wdata1]|
+    Dir(DI)))
+  |[grant0, grant1, iack0, iack1, wdata0, wdata1]|
+  Mon(CI, CI)
+|}
+  in
+  Mv_calc.Parser.spec_of_string_checked text
+
+let coherence =
+  ("coherence: no M/M or M/S overlap", Formula.Macro.never (Action.Gate "error"))
+
+let properties =
+  [
+    coherence;
+    ("deadlock freedom", Formula.Macro.deadlock_free);
+    ( "a write can always eventually be performed",
+      Formula.Macro.always
+        (Formula.Macro.possibly (Formula.Macro.can_do (Action.Gate "write0"))) );
+  ]

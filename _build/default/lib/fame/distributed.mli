@@ -1,0 +1,40 @@
+(** Distributed (message-passing) MSI directory protocol for
+    verification.
+
+    Unlike {!Protocol} (which keeps the joint state exact for
+    performance prediction), this model gives each cache and the
+    directory their own processes communicating over request / grant /
+    invalidate / write-back channels, so the protocol races are real:
+    in particular a cache that requested an upgrade can receive an
+    invalidation for the very line it is waiting on and must answer it
+    before its grant arrives.
+
+    A monitor process observes each cache entering and leaving the
+    Modified state and emits [error] if both caches are Modified at
+    once; the coherence theorem is [never error] plus deadlock
+    freedom. The [Dropped_invalidation] bug variant (the directory
+    grants exclusivity without invalidating the sharer) is caught by
+    the same check — the paper's workflow of finding "functional
+    issues" by model checking. *)
+
+type bug =
+  | Correct
+  | Dropped_invalidation
+      (** directory skips the invalidate/ack exchange when granting
+          exclusive over a shared line *)
+  | Grant_before_ack
+      (** directory sends the invalidation but grants exclusivity
+          without waiting for the acknowledgement — the transient
+          window where both caches believe they own the line *)
+
+(** The complete closed specification: 2 CPUs + 2 caches + directory +
+    monitor. *)
+val spec : bug -> Mv_calc.Ast.spec
+
+(** Properties expected of the correct protocol: coherence (never
+    [error]), deadlock freedom, and "a write request can always be
+    granted eventually" (AG EF). *)
+val properties : (string * Mv_mcl.Formula.t) list
+
+(** The coherence property alone (fails on [Dropped_invalidation]). *)
+val coherence : string * Mv_mcl.Formula.t

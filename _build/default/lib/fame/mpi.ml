@@ -1,0 +1,90 @@
+type implementation = Eager | Rendezvous
+
+let name = function Eager -> "eager" | Rendezvous -> "rendezvous"
+let all = [ Eager; Rendezvous ]
+
+(* Steps of a transfer:
+   - [Op]: a flag operation through the coherence protocol (the flag
+     lines are contended, so their cost depends on protocol state);
+   - [Payload]: one payload word moving through the interconnect (a
+     write miss and a read miss on a private line: the protocol cost
+     is constant, so it is modeled as raw transfers);
+   - [Copy]: a local mailbox-to-user-buffer copy (eager only). *)
+type step = Op of Protocol.op | Payload | Copy
+
+(* write miss (request + data) + read miss (request + data) *)
+let xfers_per_word = 4
+
+let transfer implementation ~src ~dst ~size =
+  let flag_write who = Op (Protocol.Write who) in
+  let flag_read who = Op (Protocol.Read who) in
+  let payload = List.init size (fun _ -> Payload) in
+  let copies n = List.init n (fun _ -> Copy) in
+  match implementation with
+  | Eager ->
+    (* payload into the mailbox, completion flag, poll, copy out *)
+    payload @ [ flag_write src; flag_read dst ] @ copies size
+  | Rendezvous ->
+    (* request / ready handshake, then payload straight to the user
+       buffer, then completion flag *)
+    [ flag_write src; flag_read dst; flag_write dst; flag_read src ]
+    @ payload
+    @ [ flag_write src; flag_read dst ]
+
+let round implementation ~size =
+  transfer implementation ~src:0 ~dst:1 ~size
+  @ transfer implementation ~src:1 ~dst:0 ~size
+
+let ops_per_round implementation ~size =
+  List.filter_map
+    (function Op op -> Some op | Copy | Payload -> None)
+    (round implementation ~size)
+
+let copies_per_round implementation ~size =
+  List.length
+    (List.filter (function Copy -> true | Op _ | Payload -> false)
+       (round implementation ~size))
+
+let payload_xfers_per_round implementation ~size =
+  xfers_per_word
+  * List.length
+      (List.filter (function Payload -> true | Op _ | Copy -> false)
+         (round implementation ~size))
+
+(* Centralized barrier: both nodes bump the counter line, the last
+   one writes the release flag, then both read it. On a single modeled
+   line the counter and the flag coincide; the operation sequence
+   keeps the protocol traffic faithful. *)
+let barrier_ops () =
+  [ Protocol.Write 0; Protocol.Write 1; (* arrivals *)
+    Protocol.Write 1; (* release written by the last arriver *)
+    Protocol.Read 0; Protocol.Read 1 (* both observe the release *) ]
+
+let op_gate = function
+  | Protocol.Read i -> Printf.sprintf "read%d" i
+  | Protocol.Write i -> Printf.sprintf "write%d" i
+
+let barrier_driver_text () =
+  let buffer = Buffer.create 128 in
+  Buffer.add_string buffer "process Round := ";
+  List.iter
+    (fun op -> Buffer.add_string buffer (op_gate op ^ " ; "))
+    (barrier_ops ());
+  Buffer.add_string buffer "round ; Round\n";
+  Buffer.contents buffer
+
+let driver_text implementation ~size ~copy_rate =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "process Round := ";
+  List.iter
+    (fun step ->
+       match step with
+       | Op op -> Buffer.add_string buffer (op_gate op ^ " ; ")
+       | Payload ->
+         for _ = 1 to xfers_per_word do
+           Buffer.add_string buffer "xfer ; "
+         done
+       | Copy -> Buffer.add_string buffer (Printf.sprintf "rate %.12g ; " copy_rate))
+    (round implementation ~size);
+  Buffer.add_string buffer "round ; Round\n";
+  Buffer.contents buffer

@@ -1,0 +1,45 @@
+(** The MPI software layer over shared memory: two implementations of
+    point-to-point messaging, as sequences of cache operations (the
+    paper's "different software implementations of the MPI
+    primitives").
+
+    - [Eager]: the sender writes payload and flag into the mailbox
+      immediately; the receiver polls the flag, reads the payload and
+      {e copies it} into the user buffer (one local copy delay per
+      word).
+    - [Rendezvous]: a ready-handshake first (two flag round trips),
+      then the payload moves directly into the user buffer — no copy,
+      but extra protocol latency.
+
+    Eager wins on small messages, rendezvous on large ones; the
+    crossover is the shape the benchmark tables reproduce. *)
+
+type implementation = Eager | Rendezvous
+
+val name : implementation -> string
+val all : implementation list
+
+(** Flag operations (through the coherence protocol) of one ping-pong
+    round ([size] words per direction), in order. Payload words and
+    local copies are not flag operations and do not appear here. *)
+val ops_per_round : implementation -> size:int -> Protocol.op list
+
+(** Local copy delays per round (eager only). *)
+val copies_per_round : implementation -> size:int -> int
+
+(** Raw interconnect transfers for the payload words of one round
+    (each word is a write miss plus a read miss on a private line). *)
+val payload_xfers_per_round : implementation -> size:int -> int
+
+(** MVL text of the benchmark driver: [process Round := ... round ;
+    Round] issuing the operation gates in order, with [rate copy_rate]
+    prefixes for local copies. *)
+val driver_text : implementation -> size:int -> copy_rate:float -> string
+
+(** Cache operations of one centralized-barrier episode (both nodes
+    increment the arrival counter line; the last arrival writes the
+    release flag; both nodes read it). *)
+val barrier_ops : unit -> Protocol.op list
+
+(** Driver for the barrier benchmark ([round] marks each episode). *)
+val barrier_driver_text : unit -> string

@@ -1,0 +1,232 @@
+type instruction =
+  | Send of { dst : int; size : int }
+  | Recv of { src : int; size : int }
+  | Barrier
+  | Work of float
+  | Loop of int * instruction list
+
+type program = instruction list
+
+let channel_gate ~src ~dst = Printf.sprintf "ch_%d_%d" src dst
+let deliver_gate ~src ~dst = Printf.sprintf "dv_%d_%d" src dst
+let arrive_gate rank = Printf.sprintf "arr%d" rank
+let release_gate rank = Printf.sprintf "rel%d" rank
+
+let rec validate ~ranks ~rank = function
+  | Send { dst; size } ->
+    if dst < 0 || dst >= ranks then invalid_arg "Mpi_program: dst out of range";
+    if dst = rank then invalid_arg "Mpi_program: self-send";
+    if size < 0 then invalid_arg "Mpi_program: negative size"
+  | Recv { src; size } ->
+    if src < 0 || src >= ranks then invalid_arg "Mpi_program: src out of range";
+    if src = rank then invalid_arg "Mpi_program: self-receive";
+    if size < 0 then invalid_arg "Mpi_program: negative size"
+  | Barrier -> ()
+  | Work mean -> if mean <= 0.0 then invalid_arg "Mpi_program: work mean"
+  | Loop (n, body) ->
+    if n < 1 then invalid_arg "Mpi_program: loop count";
+    List.iter (validate ~ranks ~rank) body
+
+let rec uses_barrier = function
+  | [] -> false
+  | Barrier :: _ -> true
+  | Loop (_, body) :: rest -> uses_barrier body || uses_barrier rest
+  | (Send _ | Recv _ | Work _) :: rest -> uses_barrier rest
+
+let rec channels_used ~rank acc = function
+  | [] -> acc
+  | Send { dst; _ } :: rest -> channels_used ~rank ((rank, dst) :: acc) rest
+  | Recv { src; _ } :: rest -> channels_used ~rank ((src, rank) :: acc) rest
+  | Loop (_, body) :: rest ->
+    channels_used ~rank (channels_used ~rank acc body) rest
+  | (Barrier | Work _) :: rest -> channels_used ~rank acc rest
+
+(* one rank's program compiled to MVL text, continuation-passing;
+   loops become auxiliary processes with a countdown parameter *)
+let xfer_gate ~topology ~rank =
+  (* a shared medium (bus, ring) has one transfer server; a crossbar
+     gives every sender a dedicated path *)
+  if Topology.contended topology then "xfer"
+  else Printf.sprintf "xfer%d" rank
+
+let compile_rank ~ranks ~topology ~rank program ~definitions =
+  let loop_counter = ref 0 in
+  let payload_text ~dst ~size =
+    let hops = Numa.hops ~nodes:ranks topology ~src:rank ~dst in
+    if hops = 0 || size = 0 then ""
+    else
+      String.concat ""
+        (List.init size (fun _ ->
+             Printf.sprintf "%s !%d ; " (xfer_gate ~topology ~rank) hops))
+  in
+  let rec compile instructions continuation =
+    match instructions with
+    | [] -> continuation
+    | Send { dst; size } :: rest ->
+      payload_text ~dst ~size
+      ^ channel_gate ~src:rank ~dst
+      ^ " ; "
+      ^ compile rest continuation
+    | Recv { src; _ } :: rest ->
+      deliver_gate ~src ~dst:rank ^ " ; " ^ compile rest continuation
+    | Barrier :: rest ->
+      arrive_gate rank ^ " ; " ^ release_gate rank ^ " ; "
+      ^ compile rest continuation
+    | Work mean :: rest ->
+      Printf.sprintf "rate %.12g ; " (1.0 /. mean) ^ compile rest continuation
+    | Loop (n, body) :: rest ->
+      incr loop_counter;
+      let name = Printf.sprintf "Rank%d_loop%d" rank !loop_counter in
+      let exit_branch =
+        Printf.sprintf "[c == 0] -> %s" (compile rest continuation)
+      in
+      let body_text =
+        compile body (Printf.sprintf "%s(c - 1)" name)
+      in
+      definitions :=
+        Printf.sprintf "process %s (c : int[0..%d]) :=\n    %s\n [] [c > 0] -> %s\n"
+          name n exit_branch body_text
+        :: !definitions;
+      Printf.sprintf "%s(%d)" name n
+  in
+  let top_name = Printf.sprintf "Rank%d" rank in
+  let tail = if rank = 0 then "round ; " ^ top_name else top_name in
+  (* compile first: it pushes the loop definitions this one refers to *)
+  let body = compile program tail in
+  definitions := Printf.sprintf "process %s := %s\n" top_name body :: !definitions;
+  top_name
+
+let spec ~programs topology ~rates =
+  let ranks = List.length programs in
+  if ranks < 2 || ranks > 4 then invalid_arg "Mpi_program.spec: 2 to 4 ranks";
+  List.iteri
+    (fun rank program -> List.iter (validate ~ranks ~rank) program)
+    programs;
+  let definitions = ref [] in
+  let rank_names =
+    List.mapi
+      (fun rank program ->
+         compile_rank ~ranks ~topology ~rank program ~definitions)
+      programs
+  in
+  let channels =
+    List.sort_uniq compare
+      (List.concat
+         (List.mapi
+            (fun rank program -> channels_used ~rank [] program)
+            programs))
+  in
+  List.iter
+    (fun (src, dst) ->
+       definitions :=
+         Printf.sprintf "process Buf_%d_%d := %s ; %s ; Buf_%d_%d\n" src dst
+           (channel_gate ~src ~dst) (deliver_gate ~src ~dst) src dst
+         :: !definitions)
+    channels;
+  let barrier_needed = List.exists uses_barrier programs in
+  if barrier_needed then begin
+    let joins =
+      String.concat " ||| "
+        (List.init ranks (fun r -> Printf.sprintf "(%s ; exit)" (arrive_gate r)))
+    in
+    let releases =
+      String.concat " ; " (List.init ranks release_gate) ^ " ; Coord"
+    in
+    definitions :=
+      Printf.sprintf "process Coord := (%s) >> (%s)\n" joins releases
+      :: !definitions
+  end;
+  let max_hops = max 1 (ranks / 2) in
+  if Topology.contended topology then begin
+    definitions :=
+      Printf.sprintf
+        {|process Net :=
+    xfer ?h:int[1..%d] ; NetServe(h)
+ [] bgxfer ; rate %.12g ; Net
+process NetServe (h : int[0..%d]) :=
+    [h == 0] -> Net
+ [] [h > 0] -> rate %.12g ; NetServe(h - 1)
+|}
+        max_hops rates.Benchmark.xfer_rate max_hops rates.Benchmark.xfer_rate
+      :: !definitions;
+    definitions :=
+      Printf.sprintf "process Bg := rate %.12g ; bgxfer ; Bg\n"
+        rates.Benchmark.bg_rate
+      :: !definitions
+  end
+  else
+    (* dedicated crossbar links: one gate-parameterized server per rank *)
+    definitions :=
+      Printf.sprintf
+        {|process Net [link] :=
+    link ?h:int[1..%d] ; NetServe[link](h)
+process NetServe [link] (h : int[0..%d]) :=
+    [h == 0] -> Net[link]
+ [] [h > 0] -> rate %.12g ; NetServe[link](h - 1)
+|}
+        max_hops max_hops rates.Benchmark.xfer_rate
+      :: !definitions;
+  (* composition: ranks interleaved; channel/barrier gates synchronized
+     with the buffers and the coordinator; xfer with the interconnect *)
+  let rank_composite = String.concat " ||| " rank_names in
+  let middle_parts =
+    List.map (fun (s, d) -> Printf.sprintf "Buf_%d_%d" s d) channels
+    @ (if barrier_needed then [ "Coord" ] else [])
+  in
+  let sync_gates =
+    List.concat_map
+      (fun (s, d) -> [ channel_gate ~src:s ~dst:d; deliver_gate ~src:s ~dst:d ])
+      channels
+    @ (if barrier_needed then
+         List.init ranks arrive_gate @ List.init ranks release_gate
+       else [])
+  in
+  let system =
+    if middle_parts = [] then Printf.sprintf "(%s)" rank_composite
+    else
+      Printf.sprintf "((%s) |[%s]| (%s))" rank_composite
+        (String.concat ", " sync_gates)
+        (String.concat " ||| " middle_parts)
+  in
+  let net, xfer_sync =
+    if Topology.contended topology then ("(Net |[bgxfer]| Bg)", "xfer")
+    else
+      ( "("
+        ^ String.concat " ||| "
+            (List.init ranks (fun r -> Printf.sprintf "Net[xfer%d]" r))
+        ^ ")",
+        String.concat ", " (List.init ranks (fun r -> Printf.sprintf "xfer%d" r))
+      )
+  in
+  let text =
+    String.concat "" (List.rev !definitions)
+    ^ Printf.sprintf "init %s |[%s]| %s\n" system xfer_sync net
+  in
+  if Sys.getenv_opt "MV_DEBUG_SPEC" <> None then prerr_endline text;
+  Mv_calc.Parser.spec_of_string_checked text
+
+let iteration_latency ~programs topology ~rates =
+  let model = spec ~programs topology ~rates in
+  let perf = Mv_core.Flow.performance ~keep:[ "round" ] model in
+  1.0 /. Mv_core.Flow.throughput perf ~gate:"round"
+
+(* ---- prebuilt benchmarks ---- *)
+
+let pingpong ~partner ~size =
+  if partner < 1 then invalid_arg "Mpi_program.pingpong: partner";
+  let ranks = partner + 1 in
+  List.init ranks (fun rank ->
+      if rank = 0 then
+        [ Send { dst = partner; size }; Recv { src = partner; size } ]
+      else if rank = partner then
+        [ Recv { src = 0; size }; Send { dst = 0; size } ]
+      else [ Work 10.0 ] (* intermediate ranks idle (slow local ticking) *))
+
+let simultaneous_ring ~ranks ~size =
+  List.init ranks (fun rank ->
+      let right = (rank + 1) mod ranks in
+      let left = (rank + ranks - 1) mod ranks in
+      [ Send { dst = right; size }; Recv { src = left; size } ])
+
+let work_barrier ~ranks ~work_mean =
+  List.init ranks (fun _ -> [ Work work_mean; Barrier ])

@@ -1,0 +1,63 @@
+(** MPI benchmark {e programs} over the FAME2 substrate — the paper's
+    "MPI software layer and MPI benchmark applications to be run over
+    FAME2 mainframes" (§2).
+
+    Each rank runs its own program; ranks execute {e concurrently} and
+    interact only through messages and barriers, so communication can
+    genuinely overlap (unlike the serialized single-driver benchmarks
+    of {!Mpi}): two ranks sending simultaneously contend on a bus but
+    not on a crossbar.
+
+    Semantics of the primitives:
+    - [Send { dst; size }]: pushes [size] payload words through the
+      interconnect (hop count from the topology and rank distance,
+      as in {!Numa.hops}), then hands a token to the (1-deep) channel
+      buffer — an {e eager} send: it does not wait for the receiver,
+      but a second send on the same channel blocks until the first was
+      received.
+    - [Recv { src; size = _ }]: consumes the token (the payload cost is
+      charged at the sender).
+    - [Barrier]: central coordinator; all ranks arrive, then all are
+      released.
+    - [Work mean]: local computation, exponential with the given mean.
+    - [Loop (n, body)]: repeat [body] n times.
+
+    Rank 0's program is wrapped in an implicit outer loop that emits a
+    [round] action at each iteration; the other ranks loop implicitly
+    as well, so steady-state throughput of [round] gives the mean time
+    per iteration. *)
+
+type instruction =
+  | Send of { dst : int; size : int }
+  | Recv of { src : int; size : int }
+  | Barrier
+  | Work of float (** mean duration *)
+  | Loop of int * instruction list
+
+type program = instruction list
+
+(** [spec ~programs topology ~rates] — one program per rank (2 to 4
+    ranks). Raises [Invalid_argument] on bad ranks, self-sends, or
+    unmatched loops deeper than the supported nesting (loops may nest
+    arbitrarily). *)
+val spec :
+  programs:program list ->
+  Topology.t ->
+  rates:Benchmark.rates ->
+  Mv_calc.Ast.spec
+
+(** Mean time per outer iteration (= 1 / throughput(round)). *)
+val iteration_latency :
+  programs:program list -> Topology.t -> rates:Benchmark.rates -> float
+
+(** {1 Prebuilt benchmark programs} *)
+
+(** Classic ping-pong between ranks 0 and [partner]. *)
+val pingpong : partner:int -> size:int -> program list
+
+(** All ranks send to their right neighbour simultaneously — the
+    full-duplex overlap test where topologies differ the most. *)
+val simultaneous_ring : ranks:int -> size:int -> program list
+
+(** Compute-then-barrier iterations (bulk-synchronous skeleton). *)
+val work_barrier : ranks:int -> work_mean:float -> program list

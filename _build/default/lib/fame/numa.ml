@@ -1,0 +1,178 @@
+type line_state = { owner : int option; sharers : int }
+
+let initial_state = { owner = None; sharers = 0 }
+
+let home = 0
+
+let bit node = 1 lsl node
+
+let member mask node = mask land bit node <> 0
+
+let check_node ~nodes node =
+  if node < 0 || node >= nodes then invalid_arg "Numa: node out of range"
+
+(* Directory-based MSI. Message endpoints, in causal order:
+   requester -> home, then home-driven forwards/invalidations, then
+   data/acks back to the requester. *)
+let step ~nodes state op =
+  let node, is_write =
+    match op with
+    | Protocol.Read node -> (node, false)
+    | Protocol.Write node -> (node, true)
+  in
+  check_node ~nodes node;
+  match state.owner, is_write with
+  | Some holder, _ when holder = node -> (state, []) (* M hit *)
+  | None, false when member state.sharers node -> (state, []) (* S hit *)
+  | Some holder, false ->
+    (* read miss on a modified line: fetch + owner downgrade *)
+    ( { owner = None; sharers = bit holder lor bit node },
+      [ (node, home); (home, holder); (holder, node); (holder, home) ] )
+  | None, false ->
+    (* clean read miss: data from home memory *)
+    ( { state with sharers = state.sharers lor bit node },
+      [ (node, home); (home, node) ] )
+  | Some holder, true ->
+    (* write miss on a modified line: ownership transfer *)
+    ( { owner = Some node; sharers = bit node },
+      [ (node, home); (home, holder); (holder, node); (holder, home) ] )
+  | None, true ->
+    (* write: invalidate every other sharer, then grant *)
+    let other_sharers =
+      List.filter
+        (fun s -> s <> node && member state.sharers s)
+        (List.init nodes Fun.id)
+    in
+    let invalidations =
+      List.concat_map (fun s -> [ (home, s); (s, node) ]) other_sharers
+    in
+    ( { owner = Some node; sharers = bit node },
+      ((node, home) :: invalidations) @ [ (home, node) ] )
+
+let hops ~nodes topology ~src ~dst =
+  if src = dst then 0
+  else
+    match topology with
+    | Topology.Bus | Topology.Crossbar -> 1
+    | Topology.Ring ->
+      let forward = (dst - src + nodes) mod nodes in
+      min forward (nodes - forward)
+
+type benchmark = Token_ring | Pair_pingpong of int
+
+let benchmark_name = function
+  | Token_ring -> "token ring"
+  | Pair_pingpong partner -> Printf.sprintf "ping-pong 0<->%d" partner
+
+let benchmark_ops ~nodes = function
+  | Token_ring ->
+    (* node i hands the token to i+1: write by i, read by the next *)
+    List.concat_map
+      (fun i ->
+         [ Protocol.Write i; Protocol.Read ((i + 1) mod nodes) ])
+      (List.init nodes Fun.id)
+  | Pair_pingpong partner ->
+    check_node ~nodes partner;
+    if partner = 0 then invalid_arg "Numa: partner must differ from node 0";
+    [ Protocol.Write 0; Protocol.Read partner; Protocol.Write partner;
+      Protocol.Read 0 ]
+
+(* Enumerate the reachable line states under the benchmark's operation
+   alphabet and assign dense ids. *)
+let enumerate ~nodes ops_alphabet =
+  let ids = Hashtbl.create 32 in
+  let order = ref [] in
+  let next = ref 0 in
+  let rec visit state =
+    if not (Hashtbl.mem ids state) then begin
+      Hashtbl.replace ids state !next;
+      incr next;
+      order := state :: !order;
+      List.iter (fun op -> visit (fst (step ~nodes state op))) ops_alphabet
+    end
+  in
+  visit initial_state;
+  (ids, List.rev !order)
+
+let op_gate = function
+  | Protocol.Read i -> Printf.sprintf "read%d" i
+  | Protocol.Write i -> Printf.sprintf "write%d" i
+
+let spec ~nodes topology benchmark ~rates =
+  if nodes < 2 || nodes > 4 then invalid_arg "Numa.spec: 2 to 4 nodes";
+  let ops = benchmark_ops ~nodes benchmark in
+  let alphabet = List.sort_uniq compare ops in
+  let ids, states = enumerate ~nodes alphabet in
+  let id_of state = Hashtbl.find ids state in
+  let buffer = Buffer.create 4096 in
+  let max_state = List.length states - 1 in
+  let max_hops = max 1 (nodes / 2) in
+  (* the line process: dispatch on the operation gates, then per-state
+     branches performing one hop-labelled transfer per message *)
+  Buffer.add_string buffer
+    (Printf.sprintf "process Line (st : int[0..%d]) :=\n" max_state);
+  List.iteri
+    (fun i op ->
+       Buffer.add_string buffer
+         (Printf.sprintf " %s %s ; Do_%s(st)\n"
+            (if i = 0 then "  " else "[]")
+            (op_gate op) (op_gate op)))
+    alphabet;
+  List.iter
+    (fun op ->
+       Buffer.add_string buffer
+         (Printf.sprintf "process Do_%s (st : int[0..%d]) :=\n" (op_gate op)
+            max_state);
+       List.iteri
+         (fun i state ->
+            let next_state, messages = step ~nodes state op in
+            let transfers =
+              String.concat ""
+                (List.map
+                   (fun (src, dst) ->
+                      let h = hops ~nodes topology ~src ~dst in
+                      if h = 0 then "" else Printf.sprintf "xfer !%d ; " h)
+                   messages)
+            in
+            Buffer.add_string buffer
+              (Printf.sprintf " %s [st == %d] -> %sLine(%d)\n"
+                 (if i = 0 then "  " else "[]")
+                 (id_of state) transfers (id_of next_state)))
+         states)
+    alphabet;
+  (* hop-aware interconnect *)
+  Buffer.add_string buffer
+    (Printf.sprintf
+       {|
+process Net :=
+    xfer ?h:int[1..%d] ; Serve(h)
+%s
+process Serve (h : int[0..%d]) :=
+    [h == 0] -> Net
+ [] [h > 0] -> rate %.12g ; Serve(h - 1)
+|}
+       max_hops
+       (if Topology.contended topology then
+          Printf.sprintf " [] bgxfer ; rate %.12g ; Net"
+            rates.Benchmark.xfer_rate
+        else "")
+       max_hops rates.Benchmark.xfer_rate);
+  if Topology.contended topology then
+    Buffer.add_string buffer
+      (Printf.sprintf "process Bg := rate %.12g ; bgxfer ; Bg\n"
+         rates.Benchmark.bg_rate);
+  (* the benchmark driver *)
+  Buffer.add_string buffer "process Round := ";
+  List.iter (fun op -> Buffer.add_string buffer (op_gate op ^ " ; ")) ops;
+  Buffer.add_string buffer "round ; Round\n";
+  let op_gates = String.concat ", " (List.map op_gate alphabet) in
+  Buffer.add_string buffer
+    (Printf.sprintf "init (Round |[%s]| Line(%d)) |[xfer]| %s\n" op_gates
+       (id_of initial_state)
+       (if Topology.contended topology then "(Net |[bgxfer]| Bg)" else "Net"));
+  Mv_calc.Parser.spec_of_string_checked (Buffer.contents buffer)
+
+let latency ~nodes topology benchmark ~rates =
+  let model = spec ~nodes topology benchmark ~rates in
+  let perf = Mv_core.Flow.performance ~keep:[ "round" ] model in
+  1.0 /. Mv_core.Flow.throughput perf ~gate:"round"

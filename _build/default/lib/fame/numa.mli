@@ -1,0 +1,46 @@
+(** N-node CC-NUMA coherence (directory-based MSI with message
+    endpoints) — the scaled-up FAME2 model.
+
+    Unlike the two-node {!Protocol} engine (which only counts
+    messages), this model tracks {e who talks to whom}: each protocol
+    message is a [(source, destination)] pair, the line's home
+    directory lives on node 0, and the interconnect charges a
+    topology-dependent number of hops per message (ring distance,
+    single bus transaction, dedicated crossbar path). NUMA effects
+    fall out naturally: node 0 reaches its home directory for free,
+    and on a ring the cost of a ping-pong grows with the partner's
+    distance.
+
+    State space: with [nodes <= 4] the joint line state (owner +
+    sharer set) stays small enough for exhaustive generation. *)
+
+(** Joint state of one cache line across all nodes. [owner = Some j]
+    means node [j] holds it Modified (and is the only sharer);
+    otherwise [sharers] is the bitmask of nodes holding it Shared. *)
+type line_state = { owner : int option; sharers : int }
+
+val initial_state : line_state
+
+(** [step ~nodes state op] — next state and protocol messages as
+    [(src, dst)] node pairs (the directory is node 0). Raises
+    [Invalid_argument] for a node outside [0 .. nodes-1]. *)
+val step : nodes:int -> line_state -> Protocol.op -> line_state * (int * int) list
+
+(** Hops charged for one message on a topology ([0] = node-local, no
+    interconnect use). *)
+val hops : nodes:int -> Topology.t -> src:int -> dst:int -> int
+
+type benchmark =
+  | Token_ring (** the token circulates 0 -> 1 -> ... -> N-1 -> 0 *)
+  | Pair_pingpong of int (** node 0 ping-pongs with the given partner *)
+
+val benchmark_name : benchmark -> string
+
+(** Full MVL model: benchmark driver + enumerated line process +
+    hop-aware interconnect. *)
+val spec :
+  nodes:int -> Topology.t -> benchmark -> rates:Benchmark.rates -> Mv_calc.Ast.spec
+
+(** Mean latency of one benchmark round. *)
+val latency :
+  nodes:int -> Topology.t -> benchmark -> rates:Benchmark.rates -> float

@@ -1,0 +1,107 @@
+type variant = Msi | Mesi | Msi_migratory
+
+type op = Read of int | Write of int
+
+type state = II | SI | IS | SS | MI | IM | EI | IE
+
+let state_name = function
+  | II -> "II" | SI -> "SI" | IS -> "IS" | SS -> "SS"
+  | MI -> "MI" | IM -> "IM" | EI -> "EI" | IE -> "IE"
+
+let all_states = [ II; SI; IS; SS; MI; IM; EI; IE ]
+
+let variant_name = function
+  | Msi -> "MSI"
+  | Mesi -> "MESI"
+  | Msi_migratory -> "MSI+migratory"
+
+(* Transfer counts: request, data, invalidate, ack, and write-back
+   each count as one interconnect message. *)
+
+(* node-0 operations; node-1 is handled by mirroring *)
+let step0 variant state op0 =
+  match variant, op0, state with
+  (* ---- reads ---- *)
+  | Msi, `R, (II | EI) -> (SI, 2) (* miss: request + data *)
+  | Msi, `R, (IE | IS) -> (SS, 2)
+  | (Msi | Mesi | Msi_migratory), `R, SI -> (SI, 0)
+  | (Msi | Mesi | Msi_migratory), `R, SS -> (SS, 0)
+  | (Msi | Mesi | Msi_migratory), `R, MI -> (MI, 0)
+  | Msi, `R, IM -> (SS, 3) (* request + write-back + data *)
+  | Mesi, `R, II -> (EI, 2) (* exclusive-clean fill *)
+  | Mesi, `R, EI -> (EI, 0)
+  | Mesi, `R, IE -> (SS, 2) (* remote E degrades to shared, clean *)
+  | Mesi, `R, IS -> (SS, 2)
+  | Mesi, `R, IM -> (SS, 3)
+  | Msi_migratory, `R, (II | EI) -> (SI, 2)
+  | Msi_migratory, `R, (IE | IS) -> (SS, 2)
+  | Msi_migratory, `R, IM -> (MI, 3) (* ownership migrates to the reader *)
+  (* ---- writes ---- *)
+  | (Msi | Msi_migratory), `W, (II | EI) -> (MI, 2) (* request + data *)
+  | (Msi | Mesi | Msi_migratory), `W, SI -> (MI, 1) (* upgrade *)
+  | (Msi | Msi_migratory), `W, (IS | IE) -> (MI, 4) (* req + inv + ack + data *)
+  | (Msi | Mesi | Msi_migratory), `W, SS -> (MI, 3) (* upgrade + inv + ack *)
+  | (Msi | Mesi | Msi_migratory), `W, MI -> (MI, 0)
+  | (Msi | Mesi | Msi_migratory), `W, IM -> (MI, 3) (* req + write-back + data *)
+  | Mesi, `W, II -> (MI, 2)
+  | Mesi, `W, EI -> (MI, 0) (* silent upgrade: the MESI gain *)
+  | Mesi, `W, (IS | IE) -> (MI, 4)
+
+let mirror = function
+  | II -> II | SS -> SS
+  | SI -> IS | IS -> SI
+  | MI -> IM | IM -> MI
+  | EI -> IE | IE -> EI
+
+let step variant state = function
+  | Read 0 -> step0 variant state `R
+  | Write 0 -> step0 variant state `W
+  | Read 1 ->
+    let next, messages = step0 variant (mirror state) `R in
+    (mirror next, messages)
+  | Write 1 ->
+    let next, messages = step0 variant (mirror state) `W in
+    (mirror next, messages)
+  | Read _ | Write _ -> invalid_arg "Protocol.step: node must be 0 or 1"
+
+let messages variant ops =
+  let _, total =
+    List.fold_left
+      (fun (state, acc) op ->
+         let next, m = step variant state op in
+         (next, acc + m))
+      (II, 0) ops
+  in
+  total
+
+let line_process variant =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "type lstate = { II, SI, IS, SS, MI, IM, EI, IE }\n";
+  let op_gate = function
+    | Read i -> Printf.sprintf "read%d" i
+    | Write i -> Printf.sprintf "write%d" i
+  in
+  let ops = [ Read 0; Read 1; Write 0; Write 1 ] in
+  Buffer.add_string buffer "process Line (st : lstate) :=\n";
+  List.iteri
+    (fun i op ->
+       Buffer.add_string buffer
+         (Printf.sprintf " %s %s ; Do_%s(st)\n"
+            (if i = 0 then "  " else "[]")
+            (op_gate op) (op_gate op)))
+    ops;
+  List.iter
+    (fun op ->
+       Buffer.add_string buffer
+         (Printf.sprintf "process Do_%s (st : lstate) :=\n" (op_gate op));
+       List.iteri
+         (fun i state ->
+            let next, m = step variant state op in
+            let transfers = String.concat "" (List.init m (fun _ -> "xfer ; ")) in
+            Buffer.add_string buffer
+              (Printf.sprintf " %s [st == %s] -> %sLine(%s)\n"
+                 (if i = 0 then "  " else "[]")
+                 (state_name state) transfers (state_name next)))
+         all_states)
+    ops;
+  Buffer.contents buffer

@@ -1,0 +1,46 @@
+(** Cache-coherence protocol engine (performance model).
+
+    For latency prediction the two-node protocol is modeled by its
+    joint line state (the cross product of both caches' MSI/MESI
+    states is small and the directory keeps it exact); each CPU
+    operation triggers a number of interconnect transfers that depends
+    on the protocol variant and the current state. The generated MVL
+    [Line] process accepts an operation gate, performs one [xfer]
+    rendezvous per protocol message (served by the topology process,
+    which adds the delays), and returns to its dispatch state.
+
+    For the message-race verification model see {!Distributed}. *)
+
+type variant =
+  | Msi
+  | Mesi (** adds the Exclusive state: silent upgrade on private lines *)
+  | Msi_migratory
+      (** migratory-sharing optimization: a read of a remotely-modified
+          line transfers ownership instead of downgrading to shared *)
+
+type op =
+  | Read of int (** node 0 or 1 *)
+  | Write of int
+
+(** Joint line states (node0 state, node1 state); [E*] states are only
+    reachable under [Mesi]. *)
+type state = II | SI | IS | SS | MI | IM | EI | IE
+
+val state_name : state -> string
+val all_states : state list
+
+(** [step variant state op] is [(next_state, nb_messages)]: the number
+    of interconnect transfers the operation costs (0 = cache hit). *)
+val step : variant -> state -> op -> state * int
+
+(** [line_process variant] is the MVL text of the [Line] process
+    (dispatching on gates [read0], [read1], [write0], [write1], doing
+    [xfer] per message) together with the enum declaration it needs.
+    The process is named ["Line"] and takes the current joint state. *)
+val line_process : variant -> string
+
+(** Messages per operation, for analytic sanity checks:
+    [messages variant ops] folds {!step} from [II]. *)
+val messages : variant -> op list -> int
+
+val variant_name : variant -> string

@@ -1,0 +1,34 @@
+module Ast = Mv_calc.Ast
+
+type t = Bus | Ring | Crossbar
+
+let name = function Bus -> "bus" | Ring -> "ring" | Crossbar -> "crossbar"
+let all = [ Bus; Ring; Crossbar ]
+
+let hops = function Bus -> 1 | Ring -> 2 | Crossbar -> 1
+let contended = function Bus | Ring -> true | Crossbar -> false
+
+let service_text topology ~xfer_rate =
+  String.concat ""
+    (List.init (hops topology) (fun _ -> Printf.sprintf "rate %.12g ; " xfer_rate))
+
+let process_text topology ~xfer_rate ~bg_rate =
+  let serve = service_text topology ~xfer_rate in
+  if contended topology then
+    Printf.sprintf
+      {|
+process Net :=
+    xfer ; %sNet
+ [] bgxfer ; %sNet
+process Bg := rate %.12g ; bgxfer ; Bg
+|}
+      serve serve bg_rate
+  else
+    Printf.sprintf {|
+process Net := xfer ; %sNet
+|} serve
+
+let net_behavior topology =
+  if contended topology then
+    Ast.Par (Ast.Gates [ "bgxfer" ], Ast.Call ("Net", [], []), Ast.Call ("Bg", [], []))
+  else Ast.Call ("Net", [], [])

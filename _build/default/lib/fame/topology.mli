@@ -1,0 +1,35 @@
+(** Interconnect topologies.
+
+    Every protocol message is one [xfer] rendezvous served by the
+    interconnect process; the topology decides how many exponential
+    hops a transfer takes and whether background traffic contends for
+    the same resource:
+
+    - [Bus]: one hop on a shared medium; background traffic (rate
+      [bg_rate]) competes for the single server;
+    - [Ring]: two hops per transfer (average hop count of a 4-node
+      ring), same shared-medium contention;
+    - [Crossbar]: one hop on a dedicated path, no contention.
+
+    [xfer_rate] is the per-hop service rate. *)
+
+type t = Bus | Ring | Crossbar
+
+val name : t -> string
+val all : t list
+
+(** [process_text topology ~xfer_rate ~bg_rate] — MVL text of the
+    interconnect process (named ["Net"], serving gate [xfer]) and, when
+    the topology contends, a background traffic source (["Bg"], gate
+    [bgxfer]). *)
+val process_text : t -> xfer_rate:float -> bg_rate:float -> string
+
+(** The parallel composition of ["Net"] with its traffic source (to be
+    synchronized with the protocol on [xfer]). *)
+val net_behavior : t -> Mv_calc.Ast.behavior
+
+(** Average hops per transfer (analytic helper). *)
+val hops : t -> int
+
+(** Whether background traffic shares the medium. *)
+val contended : t -> bool

@@ -1,0 +1,1 @@
+lib/faust/mesh.ml: List Mv_calc Mv_lts Mv_mcl Printf String

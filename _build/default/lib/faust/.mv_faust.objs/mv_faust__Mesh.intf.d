@@ -1,0 +1,1 @@
+lib/faust/mesh.mli: Mv_calc Mv_lts Mv_mcl

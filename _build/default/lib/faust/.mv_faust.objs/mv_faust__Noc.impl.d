@@ -1,0 +1,1 @@
+lib/faust/noc.ml: Buffer Mv_calc Mv_compose Mv_core Printf Router

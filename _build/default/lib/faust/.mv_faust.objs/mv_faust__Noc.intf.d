@@ -1,0 +1,1 @@
+lib/faust/noc.mli: Mv_calc Mv_compose

@@ -1,0 +1,1 @@
+lib/faust/router.ml: Mv_calc Mv_chp Mv_mcl Printf

@@ -1,0 +1,1 @@
+lib/faust/router.mli: Mv_calc Mv_chp Mv_lts Mv_mcl

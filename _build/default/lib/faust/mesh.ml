@@ -1,0 +1,143 @@
+module Formula = Mv_mcl.Formula
+module Action = Mv_mcl.Action_formula
+
+type design = Shared_buffer | Port_buffered
+
+let design_name = function
+  | Shared_buffer -> "shared buffer"
+  | Port_buffered -> "port buffered"
+
+let code ~x ~y = x + (2 * y)
+
+let node_name ~x ~y = Printf.sprintf "%d%d" x y
+
+let local_in ~x ~y = Printf.sprintf "l%si" (node_name ~x ~y)
+let local_out ~x ~y = Printf.sprintf "l%so" (node_name ~x ~y)
+
+(* One packet slot shared by the whole router: the design the deadlock
+   checker rejects. *)
+let shared_buffer_router =
+  {|
+process Router [lin, lout, xin, xout, yin, yout] (myx : int[0..1], myy : int[0..1]) :=
+    lin ?d:int[0..3] ; Fwd[lin, lout, xin, xout, yin, yout](myx, myy, d)
+ [] xin ?d:int[0..3] ; Fwd[lin, lout, xin, xout, yin, yout](myx, myy, d)
+ [] yin ?d:int[0..3] ; Fwd[lin, lout, xin, xout, yin, yout](myx, myy, d)
+process Fwd [lin, lout, xin, xout, yin, yout] (myx : int[0..1], myy : int[0..1], d : int[0..3]) :=
+    [d % 2 != myx] -> xout !d ; Router[lin, lout, xin, xout, yin, yout](myx, myy)
+ [] [d % 2 == myx and d / 2 != myy] -> yout !d ; Router[lin, lout, xin, xout, yin, yout](myx, myy)
+ [] [d % 2 == myx and d / 2 == myy] -> lout !d ; Router[lin, lout, xin, xout, yin, yout](myx, myy)
+|}
+
+(* One slot per input port (per-link input latches, as in FAUST):
+   XY routing's acyclic channel dependencies make this deadlock-free. *)
+let port_buffered_router =
+  {|
+process Port [input, lout, xout, yout] (myx : int[0..1], myy : int[0..1]) :=
+    input ?d:int[0..3] ;
+    (   [d % 2 != myx] -> xout !d ; Port[input, lout, xout, yout](myx, myy)
+     [] [d % 2 == myx and d / 2 != myy] -> yout !d ; Port[input, lout, xout, yout](myx, myy)
+     [] [d % 2 == myx and d / 2 == myy] -> lout !d ; Port[input, lout, xout, yout](myx, myy))
+|}
+
+let environment =
+  {|
+process Src [inject] (d : int[0..3]) := inject !d ; Src[inject](d)
+process Sink [out] := out ?d:int[0..3] ; Sink[out]
+|}
+
+type flow = { node : int * int; dest : int * int }
+
+let crossing_flows =
+  [ { node = (0, 0); dest = (1, 1) }; { node = (1, 0); dest = (0, 0) } ]
+
+(* router instance gates: (lin, lout, xin, xout, yin, yout) per node *)
+let wiring = function
+  | 0, 0 -> ("l00i", "l00o", "xb", "xa", "yb", "ya")
+  | 1, 0 -> ("l10i", "l10o", "xa", "xb", "yd", "yc")
+  | 0, 1 -> ("l01i", "l01o", "xd", "xc", "ya", "yb")
+  | 1, 1 -> ("l11i", "l11o", "xc", "xd", "yc", "yd")
+  | _ -> invalid_arg "Mesh: coordinates must be in the 2x2 grid"
+
+let router_instance design (x, y) =
+  let lin, lout, xin, xout, yin, yout = wiring (x, y) in
+  match design with
+  | Shared_buffer ->
+    Printf.sprintf "Router[%s, %s, %s, %s, %s, %s](%d, %d)" lin lout xin xout
+      yin yout x y
+  | Port_buffered ->
+    Printf.sprintf
+      "(Port[%s, %s, %s, %s](%d, %d) ||| Port[%s, %s, %s, %s](%d, %d) ||| \
+       Port[%s, %s, %s, %s](%d, %d))"
+      lin lout xout yout x y xin lout xout yout x y yin lout xout yout x y
+
+let all_nodes = [ (0, 0); (1, 0); (0, 1); (1, 1) ]
+
+let spec design ~flows =
+  if flows = [] then invalid_arg "Mesh.spec: at least one flow";
+  List.iter
+    (fun { node; dest } ->
+       ignore (wiring node);
+       ignore (wiring dest))
+    flows;
+  let router = router_instance design in
+  let mesh =
+    Printf.sprintf
+      "((%s |[xa, xb]| %s) |[ya, yb, yc, yd]| (%s |[xc, xd]| %s))"
+      (router (0, 0)) (router (1, 0)) (router (0, 1)) (router (1, 1))
+  in
+  let srcs =
+    String.concat " ||| "
+      (List.map
+         (fun { node = x, y; dest = dx, dy } ->
+            Printf.sprintf "Src[%s](%d)" (local_in ~x ~y) (code ~x:dx ~y:dy))
+         flows)
+  in
+  let sinks =
+    String.concat " ||| "
+      (List.map (fun (x, y) -> Printf.sprintf "Sink[%s]" (local_out ~x ~y))
+         all_nodes)
+  in
+  (* every local input participates in the source synchronization, so
+     the inputs of nodes without a flow are closed off (an unsynced
+     open gate would act as a saturating source) *)
+  let inject_gates =
+    String.concat ", " (List.map (fun (x, y) -> local_in ~x ~y) all_nodes)
+  in
+  let out_gates =
+    String.concat ", " (List.map (fun (x, y) -> local_out ~x ~y) all_nodes)
+  in
+  let text =
+    (match design with
+     | Shared_buffer -> shared_buffer_router
+     | Port_buffered -> port_buffered_router)
+    ^ environment
+    ^ Printf.sprintf "init ((%s) |[%s]| %s) |[%s]| (%s)\n" srcs inject_gates
+        mesh out_gates sinks
+  in
+  Mv_calc.Parser.spec_of_string_checked text
+
+let properties ~flows =
+  let no_misdelivery =
+    List.map
+      (fun (x, y) ->
+         let out = local_out ~x ~y in
+         let own = Printf.sprintf "%s !%d" out (code ~x ~y) in
+         ( Printf.sprintf "only packets for (%d,%d) exit at %s" x y out,
+           Formula.Macro.never
+             (Action.And (Action.Gate out, Action.Not (Action.Name own))) ))
+      all_nodes
+  in
+  let deliverable =
+    List.map
+      (fun { node = sx, sy; dest = x, y } ->
+         let label = Printf.sprintf "%s !%d" (local_out ~x ~y) (code ~x ~y) in
+         ( Printf.sprintf "flow (%d,%d)->(%d,%d): delivery reachable" sx sy x y,
+           Formula.Macro.possibly (Formula.Macro.can_do (Action.Name label)) ))
+      flows
+  in
+  (("mesh deadlock freedom", Formula.Macro.deadlock_free) :: no_misdelivery)
+  @ deliverable
+
+let deadlock_witness design ~flows =
+  let lts = Mv_calc.State_space.lts (spec design ~flows) in
+  Mv_lts.Trace.shortest_to_deadlock lts

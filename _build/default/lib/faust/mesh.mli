@@ -1,0 +1,45 @@
+(** A 2x2 FAUST-like mesh with XY routing.
+
+    Destinations are encoded as [d = x + 2*y] in [0..3]. Every router
+    applies XY (dimension-ordered) routing: correct the x coordinate
+    first, then y, then deliver locally. Two router designs:
+
+    - {b single-buffer} ([Shared_buffer]): one packet slot per router,
+      shared by all input ports. XY ordering does not protect shared
+      buffers: two routers each holding a packet destined for the other
+      wait forever — the classical head-of-line deadlock, which the
+      deadlock checker finds with a short witness trace.
+    - {b port-buffered} ([Port_buffered]): one independent slot per
+      input port (the FAUST routers have per-link input latches). The
+      channel dependency graph of XY routing is acyclic (x-links ->
+      y-links -> local), so the mesh is deadlock-free.
+
+    Routers are instances of {e one} gate-parameterized MVL process —
+    the structural modeling style of the paper ("bottom-up using
+    composition of sub-modules"). *)
+
+type design = Shared_buffer | Port_buffered
+
+val design_name : design -> string
+
+(** A traffic flow: packets enter at the local port of [node] and are
+    addressed to [dest] (a node). *)
+type flow = { node : int * int; dest : int * int }
+
+(** The two crossing flows that exhibit the shared-buffer deadlock:
+    (0,0) -> (1,1) and (1,0) -> (0,0). *)
+val crossing_flows : flow list
+
+(** [spec design ~flows] — the closed mesh: one repeating source per
+    flow, sinks everywhere. Raises [Invalid_argument] on coordinates
+    outside the 2x2 grid. *)
+val spec : design -> flows:flow list -> Mv_calc.Ast.spec
+
+(** The mesh-level properties: deadlock freedom, no misdelivery (a
+    packet only exits at its destination), and reachability of delivery
+    for every flow. *)
+val properties : flows:flow list -> (string * Mv_mcl.Formula.t) list
+
+(** Shortest deadlock witness of the closed mesh ([None] when
+    deadlock-free). *)
+val deadlock_witness : design -> flows:flow list -> Mv_lts.Trace.t option

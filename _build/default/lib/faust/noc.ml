@@ -1,0 +1,75 @@
+module Net = Mv_compose.Net
+
+let link k = Printf.sprintf "link%d" k
+
+let chain ~length =
+  if length < 1 then invalid_arg "Noc.chain: length";
+  let router k =
+    let id = Printf.sprintf "r%d" k in
+    let base = Net.Leaf (id, Router.lts ~id) in
+    let renames =
+      (if k > 0 then [ (Printf.sprintf "in0_%s" id, link (k - 1)) ] else [])
+      @
+      if k < length - 1 then [ (Printf.sprintf "out1_%s" id, link k) ] else []
+    in
+    if renames = [] then base else Net.Rename (renames, base)
+  in
+  (* each link is hidden as soon as both endpoints are connected, so
+     the compositional strategy can collapse it before the next
+     product *)
+  let rec build acc k =
+    if k >= length then acc
+    else
+      build
+        (Net.Hide ([ link (k - 1) ], Net.Par ([ link (k - 1) ], acc, router k)))
+        (k + 1)
+  in
+  build (router 0) 1
+
+let hop_chain_spec ~hops ~inject ~hop_rate ~cross =
+  if hops < 1 then invalid_arg "Noc.hop_chain_spec: hops";
+  if inject <= 0.0 || hop_rate <= 0.0 then invalid_arg "Noc.hop_chain_spec: rates";
+  let buffer = Buffer.create 512 in
+  let enter k = Printf.sprintf "enter%d" k in
+  let next_gate k = if k = hops - 1 then "deliver" else enter (k + 1) in
+  Buffer.add_string buffer
+    (Printf.sprintf "process Packet := rate %.12g ; %s ; deliver ; Packet\n"
+       inject (enter 0));
+  for k = 0 to hops - 1 do
+    let serve = Printf.sprintf "%s ; rate %.12g ; %s ; Hop%d" (enter k) hop_rate
+        (next_gate k) k
+    in
+    match cross with
+    | None ->
+      Buffer.add_string buffer (Printf.sprintf "process Hop%d := %s\n" k serve)
+    | Some gamma ->
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "process Hop%d := (%s) [] (xin%d ; rate %.12g ; Hop%d)\n" k serve k
+           hop_rate k);
+      Buffer.add_string buffer
+        (Printf.sprintf "process Cross%d := rate %.12g ; xin%d ; Cross%d\n" k
+           gamma k k)
+  done;
+  (* right-nest the hops: Hop_k |[enter_{k+1}]| (...), each with its
+     cross-traffic source when contended *)
+  let hop_with_cross k =
+    match cross with
+    | None -> Printf.sprintf "Hop%d" k
+    | Some _ -> Printf.sprintf "(Hop%d |[xin%d]| Cross%d)" k k k
+  in
+  let rec nest k =
+    if k = hops - 1 then hop_with_cross k
+    else
+      Printf.sprintf "(%s |[%s]| %s)" (hop_with_cross k) (enter (k + 1))
+        (nest (k + 1))
+  in
+  Buffer.add_string buffer
+    (Printf.sprintf "init Packet |[%s, deliver]| %s\n" (enter 0) (nest 0));
+  Mv_calc.Parser.spec_of_string_checked (Buffer.contents buffer)
+
+let mean_packet_latency ~hops ~inject ~hop_rate ~cross =
+  let spec = hop_chain_spec ~hops ~inject ~hop_rate ~cross in
+  let perf = Mv_core.Flow.performance ~keep:[ "deliver" ] spec in
+  let throughput = Mv_core.Flow.throughput perf ~gate:"deliver" in
+  (1.0 /. throughput) -. (1.0 /. inject)

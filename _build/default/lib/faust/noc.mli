@@ -1,0 +1,29 @@
+(** NoC structures built from routers, and the timed hop-latency
+    model.
+
+    {!chain} links [length] routers in a pipeline (output port 1 of
+    router [k] feeds input port 0 of router [k+1]) and is the workload
+    of the compositional-verification experiment: the monolithic
+    product explodes with the chain length while the
+    minimize-then-compose strategy stays flat.
+
+    {!hop_chain_spec} is the stochastic single-packet model used for
+    latency prediction: a closed loop where a packet traverses [hops]
+    exponential router stages (optionally contended by cross traffic)
+    and returns to the injector. Mean end-to-end latency is exact by
+    renewal analysis: [1/throughput(deliver) - 1/inject]. *)
+
+(** [chain ~length] — composition network over router LTSs; all
+    external ports stay visible, link gates are hidden. *)
+val chain : length:int -> Mv_compose.Net.node
+
+(** [hop_chain_spec ~hops ~inject ~hop_rate ~cross] — [cross] is the
+    rate of interfering traffic at every stage ([None] = no
+    contention). Gates kept visible: [deliver]. *)
+val hop_chain_spec :
+  hops:int -> inject:float -> hop_rate:float -> cross:float option -> Mv_calc.Ast.spec
+
+(** Mean packet latency of {!hop_chain_spec} through the performance
+    pipeline. *)
+val mean_packet_latency :
+  hops:int -> inject:float -> hop_rate:float -> cross:float option -> float

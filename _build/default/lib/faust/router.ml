@@ -1,0 +1,141 @@
+module Chp = Mv_chp.Chp
+module Ast = Mv_calc.Ast
+module Expr = Mv_calc.Expr
+module Ty = Mv_calc.Ty
+module Formula = Mv_mcl.Formula
+module Action = Mv_mcl.Action_formula
+
+let dest_ty = Ty.TIntRange (0, 1)
+
+let channel name ~id = Printf.sprintf "%s_%s" name id
+
+(* Input controller [i]: read a packet header, forward it to the
+   requested output's arbiter. *)
+let input_controller ~id i =
+  let d = Printf.sprintf "d%d" i in
+  Chp.Loop
+    (Chp.Seq
+       ( Chp.Receive (channel (Printf.sprintf "in%d" i) ~id, d, dest_ty),
+         Chp.Select
+           [
+             ( Expr.Binop (Expr.Eq, Expr.Var d, Ast.vint 0),
+               Chp.Send (channel (Printf.sprintf "rq%d0" i) ~id, Expr.Var d) );
+             ( Expr.Binop (Expr.Eq, Expr.Var d, Ast.vint 1),
+               Chp.Send (channel (Printf.sprintf "rq%d1" i) ~id, Expr.Var d) );
+           ] ))
+
+(* Output arbiter [o]: serve whichever input controller offers a
+   packet (communication-guarded selection). *)
+let output_arbiter ~id o =
+  let x = Printf.sprintf "x%d" o in
+  let branch i =
+    ( Ast.vbool true,
+      Chp.Seq
+        ( Chp.Receive (channel (Printf.sprintf "rq%d%d" i o) ~id, x, dest_ty),
+          Chp.Send (channel (Printf.sprintf "out%d" o) ~id, Expr.Var x) ) )
+  in
+  Chp.Loop (Chp.Select [ branch 0; branch 1 ])
+
+let chp ~id =
+  Chp.Par
+    ( Chp.Par (input_controller ~id 0, input_controller ~id 1),
+      Chp.Par (output_arbiter ~id 0, output_arbiter ~id 1) )
+
+let spec ~id = Chp.spec ~prefix:("router_" ^ id) (chp ~id)
+
+let internal_gates ~id =
+  [ channel "rq00" ~id; channel "rq01" ~id; channel "rq10" ~id;
+    channel "rq11" ~id ]
+
+let environment_text ~id =
+  Printf.sprintf
+    {|
+process Src0 := %s !0 ; Src0 [] %s !1 ; Src0
+process Src1 := %s !0 ; Src1 [] %s !1 ; Src1
+process Sink0 := %s ?x:int[0..1] ; Sink0
+process Sink1 := %s ?x:int[0..1] ; Sink1
+|}
+    (channel "in0" ~id) (channel "in0" ~id) (channel "in1" ~id)
+    (channel "in1" ~id) (channel "out0" ~id) (channel "out1" ~id)
+
+let closed_spec ~id =
+  let router = spec ~id in
+  let env = Mv_calc.Parser.spec_of_string_checked (environment_text ~id ^ "\ninit stop\n") in
+  let init =
+    Ast.Par
+      ( Ast.Gates [ channel "in0" ~id; channel "in1" ~id ],
+        Ast.Par (Ast.Gates [], Ast.Call ("Src0", [], []), Ast.Call ("Src1", [], [])),
+        Ast.Par
+          ( Ast.Gates [ channel "out0" ~id; channel "out1" ~id ],
+            Ast.Hide (internal_gates ~id, router.Ast.init),
+            Ast.Par (Ast.Gates [], Ast.Call ("Sink0", [], []), Ast.Call ("Sink1", [], []))
+          ) )
+  in
+  {
+    Ast.enums = [];
+    processes = router.Ast.processes @ env.Ast.processes;
+    init;
+  }
+
+(* A single packet injected at [input] with destination [dest], quiet
+   otherwise: used for the inevitable-delivery property (which needs
+   the absence of competing infinite traffic to hold without fairness
+   assumptions). *)
+let single_packet_spec ~id ~input ~dest =
+  if input < 0 || input > 1 || dest < 0 || dest > 1 then
+    invalid_arg "Router.single_packet_spec";
+  let router = spec ~id in
+  let src =
+    Ast.act (channel (Printf.sprintf "in%d" input) ~id) [ Ast.Send (Ast.vint dest) ]
+      Ast.Stop
+  in
+  let sinks_text =
+    Printf.sprintf
+      {|
+process Sink0 := %s ?x:int[0..1] ; Sink0
+process Sink1 := %s ?x:int[0..1] ; Sink1
+|}
+      (channel "out0" ~id) (channel "out1" ~id)
+  in
+  let env = Mv_calc.Parser.spec_of_string_checked (sinks_text ^ "\ninit stop\n") in
+  let init =
+    Ast.Par
+      ( Ast.Gates [ channel "in0" ~id; channel "in1" ~id ],
+        src,
+        Ast.Par
+          ( Ast.Gates [ channel "out0" ~id; channel "out1" ~id ],
+            Ast.Hide (internal_gates ~id, router.Ast.init),
+            Ast.Par (Ast.Gates [], Ast.Call ("Sink0", [], []), Ast.Call ("Sink1", [], []))
+          ) )
+  in
+  { Ast.enums = []; processes = router.Ast.processes @ env.Ast.processes; init }
+
+let properties ~id =
+  let out o = channel (Printf.sprintf "out%d" o) ~id in
+  let misroute o wrong =
+    Formula.Macro.never (Action.Name (Printf.sprintf "%s !%d" (out o) wrong))
+  in
+  [
+    ("deadlock freedom", Formula.Macro.deadlock_free);
+    ("no misroute to port 0", misroute 0 1);
+    ("no misroute to port 1", misroute 1 0);
+    ( "packet for 0 keeps delivery reachable",
+      Formula.Macro.always
+        (Formula.Implies
+           ( Formula.Macro.can_do (Action.Gate (channel "in0" ~id)),
+             Formula.Macro.possibly
+               (Formula.Macro.can_do (Action.Gate (out 0)))
+             )) );
+  ]
+
+let delivery_property ~id ~dest =
+  ( Printf.sprintf "single packet to %d is inevitably delivered" dest,
+    Formula.Macro.inevitably_action
+      (Action.Gate (channel (Printf.sprintf "out%d" dest) ~id)) )
+
+let lts ~id =
+  let open_router = spec ~id in
+  let hidden =
+    { open_router with Ast.init = Ast.Hide (internal_gates ~id, open_router.Ast.init) }
+  in
+  Mv_calc.State_space.lts hidden

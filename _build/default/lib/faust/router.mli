@@ -1,0 +1,44 @@
+(** A FAUST-like asynchronous network-on-chip router, modeled in CHP
+    and translated to MVL (the pipeline of the paper's §2-3: the FAUST
+    router "has been verified formally" from its CHP description).
+
+    The scaled-down router has two input ports and two output ports.
+    Each input controller reads a packet (its header is the destination
+    port, 0 or 1) and forwards it to the requested output; each output
+    port arbitrates between the two inputs. All communication is
+    asynchronous rendezvous.
+
+    Channels of [chp ~id]:
+    - inputs [in0_<id>], [in1_<id>] (payload: destination [0..1]);
+    - outputs [out0_<id>], [out1_<id>];
+    - internal request channels [rq<i><o>_<id>]. *)
+
+(** The CHP description of one router. *)
+val chp : id:string -> Mv_chp.Chp.process
+
+(** Translated MVL specification of one router (init = router alone,
+    open on its channels). *)
+val spec : id:string -> Mv_calc.Ast.spec
+
+(** Router composed with saturating traffic sources on both inputs and
+    sinks on both outputs — the closed system used for verification. *)
+val closed_spec : id:string -> Mv_calc.Ast.spec
+
+(** One packet injected at [input] with destination [dest], everything
+    else quiet. Inevitable delivery holds on this scenario without
+    fairness assumptions (under saturating cross-traffic it would
+    not). *)
+val single_packet_spec : id:string -> input:int -> dest:int -> Mv_calc.Ast.spec
+
+(** The functional properties checked on {!closed_spec}:
+    deadlock-freedom, no misrouting (a packet with destination [d]
+    never exits at the other port), and reachability of delivery. *)
+val properties : id:string -> (string * Mv_mcl.Formula.t) list
+
+(** Property for {!single_packet_spec}: the packet is inevitably
+    delivered at port [dest]. *)
+val delivery_property : id:string -> dest:int -> string * Mv_mcl.Formula.t
+
+(** Generated LTS of one router with internal request channels hidden
+    (a leaf for mesh composition). *)
+val lts : id:string -> Mv_lts.Lts.t

@@ -1,0 +1,1 @@
+lib/imc/imc.ml: Array Format Hashtbl List Mv_lts Printf Queue String

@@ -1,0 +1,1 @@
+lib/imc/imc.mli: Format Mv_lts

@@ -1,0 +1,1 @@
+lib/imc/lump.ml: Array Hashtbl Imc List Mv_bisim Mv_lts Option Printf

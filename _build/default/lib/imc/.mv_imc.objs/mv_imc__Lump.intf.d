@@ -1,0 +1,1 @@
+lib/imc/lump.mli: Imc Mv_bisim

@@ -1,0 +1,1 @@
+lib/imc/network.ml: Imc List Lump Mv_calc Printf String

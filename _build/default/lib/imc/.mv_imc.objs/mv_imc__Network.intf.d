@@ -1,0 +1,1 @@
+lib/imc/network.mli: Imc Mv_calc

@@ -1,0 +1,1 @@
+lib/imc/phase.ml: Array Imc List Mv_calc Mv_lts

@@ -1,0 +1,1 @@
+lib/imc/phase.mli: Imc Mv_calc

@@ -1,0 +1,1 @@
+lib/imc/to_ctmc.ml: Array Hashtbl Imc List Mv_lts Mv_markov Mv_util Option

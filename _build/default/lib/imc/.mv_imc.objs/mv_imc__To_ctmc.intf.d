@@ -1,0 +1,1 @@
+lib/imc/to_ctmc.mli: Imc Mv_markov

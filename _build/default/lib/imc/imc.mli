@@ -1,0 +1,79 @@
+(** Interactive Markov Chains (Hermanns, LNCS 2428).
+
+    An IMC combines interactive transitions (labelled, subject to
+    synchronization, tau included) with Markovian transitions
+    (exponential rates). This module provides the operations of the
+    performance-evaluation flow: decoding ["rate <lambda>"] labels from
+    generated LTSs, parallel composition, hiding, and the maximal
+    progress cut. *)
+
+type t
+
+(** [make ~nb_states ~initial ~labels ~interactive ~markovian] —
+    [interactive] are [(src, label_id, dst)] over [labels], [markovian]
+    are [(src, rate, dst)] with positive rates. *)
+val make :
+  nb_states:int ->
+  initial:int ->
+  labels:Mv_lts.Label.table ->
+  interactive:(int * int * int) list ->
+  markovian:(int * float * int) list ->
+  t
+
+val nb_states : t -> int
+val initial : t -> int
+val labels : t -> Mv_lts.Label.table
+val nb_interactive : t -> int
+val nb_markovian : t -> int
+
+val iter_interactive : t -> (int -> int -> int -> unit) -> unit
+
+val iter_markovian : t -> (int -> float -> int -> unit) -> unit
+
+(** Outgoing interactive transitions of one state, as
+    [(label, dst)]. *)
+val interactive_out : t -> int -> (int * int) list
+
+(** Outgoing Markovian transitions of one state, as [(rate, dst)]. *)
+val markovian_out : t -> int -> (float * int) list
+
+(** {1 Conversions} *)
+
+(** The gate used to encode Markovian transitions in LTS labels. *)
+val rate_gate : string
+
+(** [of_lts lts] decodes an LTS whose ["rate <lambda>"] labels denote
+    Markovian transitions (as produced by {!Mv_calc.State_space} on
+    specifications with [Rate] prefixes). *)
+val of_lts : Mv_lts.Lts.t -> t
+
+(** [to_lts imc] encodes Markovian transitions back into
+    ["rate <lambda>"] labels (used to reuse LTS-level algorithms). *)
+val to_lts : t -> Mv_lts.Lts.t
+
+(** {1 Operators} *)
+
+(** [hide imc ~gates] — interactive labels whose gate is in [gates]
+    become tau. *)
+val hide : t -> gates:string list -> t
+
+(** Hide every visible interactive label. *)
+val hide_all : t -> t
+
+(** [par ~sync a b] — parallel composition, synchronizing interactive
+    transitions whose gate belongs to [sync] (labels must match
+    exactly); Markovian transitions always interleave. Only reachable
+    product states are built. *)
+val par : sync:string list -> t -> t -> t
+
+(** [maximal_progress imc] removes Markovian transitions from every
+    state that has an outgoing tau: internal moves are immediate and
+    pre-empt exponential delays. (Sound on closed systems: apply after
+    hiding.) *)
+val maximal_progress : t -> t
+
+(** States with at least one interactive transition, after
+    {!maximal_progress} these are the vanishing states. *)
+val unstable_states : t -> int list
+
+val pp : Format.formatter -> t -> unit

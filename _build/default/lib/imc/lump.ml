@@ -1,0 +1,107 @@
+module Partition = Mv_bisim.Partition
+module Label = Mv_lts.Label
+
+(* Rates enter signatures as strings rounded to 12 significant digits;
+   see the interface for the rationale. *)
+let rate_key r = Printf.sprintf "%.12e" r
+
+let signatures imc (p : Partition.t) =
+  let n = Imc.nb_states imc in
+  let interactive_sig = Array.make n [] in
+  Imc.iter_interactive imc (fun s l d ->
+      interactive_sig.(s) <- (l, p.block_of.(d)) :: interactive_sig.(s));
+  let markov_acc : (int, float) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 4)
+  in
+  Imc.iter_markovian imc (fun s r d ->
+      let block = p.block_of.(d) in
+      let current = Option.value ~default:0.0 (Hashtbl.find_opt markov_acc.(s) block) in
+      Hashtbl.replace markov_acc.(s) block (current +. r));
+  Array.init n (fun s ->
+      let interactive = List.sort_uniq compare interactive_sig.(s) in
+      let markovian =
+        Hashtbl.fold (fun block r acc -> (block, rate_key r) :: acc) markov_acc.(s) []
+        |> List.sort compare
+      in
+      (interactive, markovian))
+
+let partition imc =
+  let n = Imc.nb_states imc in
+  let rec loop (p : Partition.t) =
+    let sigs = signatures imc p in
+    let keys = Hashtbl.create 256 in
+    let block_of = Array.make n 0 in
+    let next = ref 0 in
+    for s = 0 to n - 1 do
+      let key = (p.block_of.(s), sigs.(s)) in
+      let id =
+        match Hashtbl.find_opt keys key with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.replace keys key id;
+          id
+      in
+      block_of.(s) <- id
+    done;
+    let p' : Partition.t = { block_of; count = !next } in
+    if p'.count = p.count then p' else loop p'
+  in
+  loop (Partition.trivial n)
+
+let quotient imc (p : Partition.t) =
+  let interactive = ref [] in
+  Imc.iter_interactive imc (fun s l d ->
+      interactive := (p.block_of.(s), l, p.block_of.(d)) :: !interactive);
+  (* Markovian rates: sum over the transitions of one representative
+     per block (lumpability guarantees any representative agrees). *)
+  let representative = Array.make p.count (-1) in
+  for s = Imc.nb_states imc - 1 downto 0 do
+    representative.(p.block_of.(s)) <- s
+  done;
+  let markovian = ref [] in
+  Array.iteri
+    (fun block s ->
+       if s >= 0 then begin
+         let acc = Hashtbl.create 4 in
+         List.iter
+           (fun (r, d) ->
+              let dst = p.block_of.(d) in
+              let current = Option.value ~default:0.0 (Hashtbl.find_opt acc dst) in
+              Hashtbl.replace acc dst (current +. r))
+           (Imc.markovian_out imc s);
+         Hashtbl.iter (fun dst r -> markovian := (block, r, dst) :: !markovian) acc
+       end)
+    representative;
+  Imc.make ~nb_states:p.count
+    ~initial:p.block_of.(Imc.initial imc)
+    ~labels:(Imc.labels imc)
+    ~interactive:(List.sort_uniq compare !interactive)
+    ~markovian:!markovian
+
+let minimize imc = quotient imc (partition imc)
+
+let equivalent a b =
+  (* direct disjoint union (keeps Markovian multiplicities intact) *)
+  let offset = Imc.nb_states a in
+  let labels = Label.create () in
+  let interactive = ref [] and markovian = ref [] in
+  Imc.iter_interactive a (fun s l d ->
+      interactive :=
+        (s, Label.intern labels (Label.name (Imc.labels a) l), d) :: !interactive);
+  Imc.iter_markovian a (fun s r d -> markovian := (s, r, d) :: !markovian);
+  Imc.iter_interactive b (fun s l d ->
+      interactive :=
+        (s + offset, Label.intern labels (Label.name (Imc.labels b) l), d + offset)
+        :: !interactive);
+  Imc.iter_markovian b (fun s r d ->
+      markovian := (s + offset, r, d + offset) :: !markovian);
+  let union =
+    Imc.make
+      ~nb_states:(offset + Imc.nb_states b)
+      ~initial:(Imc.initial a) ~labels ~interactive:!interactive
+      ~markovian:!markovian
+  in
+  let p = partition union in
+  Partition.same_block p (Imc.initial a) (offset + Imc.initial b)

@@ -1,0 +1,22 @@
+(** Stochastic bisimulation minimization of IMCs.
+
+    The equivalence refines strong bisimulation on interactive
+    transitions with ordinary lumpability on Markovian rates: two
+    states are equivalent when they have the same [(label, block)]
+    interactive moves and the same cumulative rate into every block.
+
+    This is the "stochastic state space minimization" step that the
+    flow alternates with generation. Cumulative rates are compared
+    after rounding to 12 significant digits, so rate sums that differ
+    only by floating-point association are lumped together. *)
+
+(** Coarsest stochastic-bisimulation partition. *)
+val partition : Imc.t -> Mv_bisim.Partition.t
+
+(** Quotient IMC (reachable part): one state per block, interactive
+    transitions deduplicated, Markovian rates summed per target
+    block. *)
+val minimize : Imc.t -> Imc.t
+
+(** [equivalent a b] — stochastic bisimilarity of initial states. *)
+val equivalent : Imc.t -> Imc.t -> bool

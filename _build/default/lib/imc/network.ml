@@ -1,0 +1,65 @@
+type node =
+  | Leaf of string * Imc.t
+  | Par of string list * node * node
+  | Hide of string list * node
+
+type strategy = [ `Monolithic | `Compositional ]
+
+type step = {
+  description : string;
+  states : int;
+  interactive : int;
+  markovian : int;
+}
+
+type report = {
+  result : Imc.t;
+  steps : step list;
+  peak_states : int;
+}
+
+let rec describe = function
+  | Leaf (name, _) -> name
+  | Par (gates, a, b) ->
+    Printf.sprintf "(%s |[%s]| %s)" (describe a) (String.concat "," gates)
+      (describe b)
+  | Hide (gates, n) ->
+    Printf.sprintf "(hide %s in %s)" (String.concat "," gates) (describe n)
+
+let evaluate ~strategy node =
+  let steps = ref [] in
+  let record description imc =
+    steps :=
+      { description; states = Imc.nb_states imc;
+        interactive = Imc.nb_interactive imc;
+        markovian = Imc.nb_markovian imc }
+      :: !steps;
+    imc
+  in
+  let reduce description imc =
+    match strategy with
+    | `Monolithic -> record description imc
+    | `Compositional ->
+      let imc = record description imc in
+      record (description ^ " [lump]") (Lump.minimize imc)
+  in
+  let rec eval = function
+    | Leaf (name, imc) -> reduce name imc
+    | Par (gates, a, b) ->
+      let ia = eval a and ib = eval b in
+      reduce (describe (Par (gates, a, b))) (Imc.par ~sync:gates ia ib)
+    | Hide (gates, n) ->
+      let inner = eval n in
+      reduce (describe (Hide (gates, n))) (Imc.hide inner ~gates)
+  in
+  let result = eval node in
+  let steps = List.rev !steps in
+  let peak_states = List.fold_left (fun acc s -> max acc s.states) 0 steps in
+  { result; steps; peak_states }
+
+let of_spec name spec =
+  Leaf (name, Imc.of_lts (Mv_calc.State_space.lts spec))
+
+let par_list gates = function
+  | [] -> invalid_arg "Network.par_list: empty"
+  | n :: rest -> List.fold_left (fun acc x -> Par (gates, acc, x)) n rest

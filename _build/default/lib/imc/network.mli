@@ -1,0 +1,38 @@
+(** Compositional IMC construction — the §4 core of the paper's flow:
+    "the decorated model is turned into an IMC using a compositional
+    approach (which alternates state space generation and stochastic
+    state space minimization)".
+
+    A network is an expression over IMC leaves; [`Compositional]
+    evaluation lumps every intermediate IMC (stochastic bisimulation)
+    before composing further, keeping the peak size small;
+    [`Monolithic] composes first and never minimizes. Both yield
+    stochastically bisimilar results. *)
+
+type node =
+  | Leaf of string * Imc.t
+  | Par of string list * node * node (** synchronization gate set *)
+  | Hide of string list * node
+
+type strategy = [ `Monolithic | `Compositional ]
+
+type step = {
+  description : string;
+  states : int;
+  interactive : int;
+  markovian : int;
+}
+
+type report = {
+  result : Imc.t;
+  steps : step list; (** in evaluation order *)
+  peak_states : int;
+}
+
+val evaluate : strategy:strategy -> node -> report
+
+(** [of_spec name spec] — generate a leaf from an MVL specification. *)
+val of_spec : string -> Mv_calc.Ast.spec -> node
+
+(** [par_list gates nodes] left-associates [Par gates]. *)
+val par_list : string list -> node list -> node

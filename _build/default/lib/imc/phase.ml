@@ -1,0 +1,60 @@
+module Ast = Mv_calc.Ast
+module Label = Mv_lts.Label
+
+type t =
+  | Exponential of float
+  | Erlang of int * float
+  | Hypoexponential of float list
+
+let validate = function
+  | Exponential r -> if r <= 0.0 then invalid_arg "Phase: rate must be positive"
+  | Erlang (k, r) ->
+    if k <= 0 then invalid_arg "Phase: Erlang needs at least one phase";
+    if r <= 0.0 then invalid_arg "Phase: rate must be positive"
+  | Hypoexponential rs ->
+    if rs = [] then invalid_arg "Phase: empty hypoexponential";
+    List.iter (fun r -> if r <= 0.0 then invalid_arg "Phase: rate must be positive") rs
+
+let rates dist =
+  validate dist;
+  match dist with
+  | Exponential r -> [ r ]
+  | Erlang (k, r) -> List.init k (fun _ -> r)
+  | Hypoexponential rs -> rs
+
+let mean dist = List.fold_left (fun acc r -> acc +. (1.0 /. r)) 0.0 (rates dist)
+
+let variance dist =
+  List.fold_left (fun acc r -> acc +. (1.0 /. (r *. r))) 0.0 (rates dist)
+
+let coefficient_of_variation dist = sqrt (variance dist) /. mean dist
+
+let nb_phases dist = List.length (rates dist)
+
+let erlang_of_deterministic ~phases ~delay =
+  if phases <= 0 then invalid_arg "Phase.erlang_of_deterministic: phases";
+  if delay <= 0.0 then invalid_arg "Phase.erlang_of_deterministic: delay";
+  Erlang (phases, float_of_int phases /. delay)
+
+let behavior dist k =
+  List.fold_right (fun r acc -> Ast.Rate (r, acc)) (rates dist) k
+
+let process dist ~name ~start ~finish =
+  let body =
+    Ast.act start []
+      (behavior dist (Ast.act finish [] (Ast.Call (name, [], []))))
+  in
+  { Ast.proc_name = name; gates = []; params = []; body }
+
+let absorbing_imc dist =
+  let phase_rates = Array.of_list (rates dist) in
+  let k = Array.length phase_rates in
+  (* states 0..k-1 are phases, k is "delay elapsed", k+1 absorbing *)
+  let labels = Label.create () in
+  let done_label = Label.intern labels "done" in
+  let markovian =
+    List.init k (fun i -> (i, phase_rates.(i), i + 1))
+  in
+  Imc.make ~nb_states:(k + 2) ~initial:0 ~labels
+    ~interactive:[ (k, done_label, k + 1) ]
+    ~markovian

@@ -1,0 +1,45 @@
+(** Phase-type distributions and their insertion into models.
+
+    The paper's flow instantiates each localized delay "by synchronizing
+    LOTOS gates with an auxiliary LOTOS process expressing the delay as
+    a phase-type distribution"; {!process} builds exactly that auxiliary
+    process. Fixed-time (deterministic) delays have no exact finite
+    representation: {!erlang_of_deterministic} gives the standard
+    Erlang-k approximation whose space-accuracy tradeoff the paper's
+    conclusion discusses (coefficient of variation 1/sqrt k with k
+    states). *)
+
+type t =
+  | Exponential of float
+  | Erlang of int * float (** [Erlang (k, lambda)]: k phases of rate lambda *)
+  | Hypoexponential of float list (** distinct-rate phases in sequence *)
+
+val mean : t -> float
+val variance : t -> float
+
+(** Coefficient of variation (stddev / mean). *)
+val coefficient_of_variation : t -> float
+
+(** Number of states the phase-type chain occupies. *)
+val nb_phases : t -> int
+
+(** [erlang_of_deterministic ~phases ~delay] approximates a fixed
+    delay: mean [delay], CV [1/sqrt phases]. *)
+val erlang_of_deterministic : phases:int -> delay:float -> t
+
+(** The sequence of rates of the phase chain. *)
+val rates : t -> float list
+
+(** [process dist ~name ~start ~finish] is an MVL process declaration
+    [name := start ; <phases> ; finish ; name] — synchronize [start]
+    and [finish] with the functional model to instantiate the delay. *)
+val process : t -> name:string -> start:string -> finish:string -> Mv_calc.Ast.process
+
+(** [behavior dist k] is the delay phases as a behaviour prefix ending
+    in [k] (for inline use). *)
+val behavior : t -> Mv_calc.Ast.behavior -> Mv_calc.Ast.behavior
+
+(** [absorbing_imc dist] is the IMC of the bare delay: phases then a
+    single ["done"]-labelled move to an absorbing state (used by the
+    Erlang accuracy experiment). *)
+val absorbing_imc : t -> Imc.t

@@ -1,0 +1,265 @@
+module Label = Mv_lts.Label
+module Ctmc = Mv_markov.Ctmc
+
+type scheduler =
+  | Fail
+  | Uniform
+  | Deterministic of (int -> int)
+
+type result = {
+  ctmc : Ctmc.t;
+  ctmc_state_of_imc : int array;
+  imc_state_of_ctmc : int array;
+  nondeterministic : int list;
+  urgency_cut : int list;
+}
+
+exception Nondeterministic of int
+exception Divergence of int
+
+let nondeterministic_states imc =
+  List.filter
+    (fun s -> List.length (Imc.interactive_out imc s) >= 2)
+    (Imc.unstable_states imc)
+
+(* Follow immediate transitions from [start] until tangible states,
+   multiplying branch probabilities and collecting visible labels.
+   Entries are merged by (target, action sequence). *)
+let closure imc ~scheduler ~is_tangible start =
+  let labels = Imc.labels imc in
+  let emitted : (int * string list, float) Hashtbl.t = Hashtbl.create 8 in
+  let expansions = ref 0 in
+  let total = ref 0.0 in
+  let rec expand state prob actions_rev =
+    if prob < 1e-14 then ()
+    else if is_tangible state then begin
+      let key = (state, List.rev actions_rev) in
+      let current = Option.value ~default:0.0 (Hashtbl.find_opt emitted key) in
+      Hashtbl.replace emitted key (current +. prob);
+      total := !total +. prob
+    end
+    else begin
+      incr expansions;
+      if !expansions > 200_000 then raise (Divergence start);
+      let choices = Imc.interactive_out imc state in
+      let follow p (label, dst) =
+        let actions_rev =
+          if label = Label.tau then actions_rev
+          else Label.name labels label :: actions_rev
+        in
+        expand dst p actions_rev
+      in
+      match choices, scheduler with
+      | [], _ -> assert false (* vanishing states have choices *)
+      | [ only ], _ -> follow prob only
+      | _ :: _ :: _, Fail -> raise (Nondeterministic state)
+      | _ :: _ :: _, Uniform ->
+        let p = prob /. float_of_int (List.length choices) in
+        List.iter (follow p) choices
+      | _ :: _ :: _, Deterministic choose ->
+        let index = choose state in
+        (match List.nth_opt choices index with
+         | Some choice -> follow prob choice
+         | None -> invalid_arg "To_ctmc: scheduler index out of range")
+    end
+  in
+  expand start 1.0 [];
+  if !total < 1.0 -. 1e-6 then raise (Divergence start);
+  (* renormalize the epsilon lost to the probability floor *)
+  Hashtbl.fold (fun (dst, actions) p acc -> (dst, actions, p /. !total) :: acc)
+    emitted []
+
+let convert ?(scheduler = Uniform) imc =
+  let n = Imc.nb_states imc in
+  let has_interactive = Array.make n false in
+  Imc.iter_interactive imc (fun s _ _ -> has_interactive.(s) <- true);
+  let is_tangible s = not has_interactive.(s) in
+  let urgency_cut = ref [] in
+  let has_markovian = Array.make n false in
+  Imc.iter_markovian imc (fun s _ _ -> has_markovian.(s) <- true);
+  for s = n - 1 downto 0 do
+    if has_interactive.(s) && has_markovian.(s) then urgency_cut := s :: !urgency_cut
+  done;
+  (* number the tangible states *)
+  let ctmc_state_of_imc = Array.make n (-1) in
+  let tangible_count = ref 0 in
+  for s = 0 to n - 1 do
+    if is_tangible s then begin
+      ctmc_state_of_imc.(s) <- !tangible_count;
+      incr tangible_count
+    end
+  done;
+  let closure_cache : (int, (int * string list * float) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let closure_of s =
+    match Hashtbl.find_opt closure_cache s with
+    | Some c -> c
+    | None ->
+      let c = closure imc ~scheduler ~is_tangible s in
+      Hashtbl.replace closure_cache s c;
+      c
+  in
+  let transitions = ref [] in
+  Imc.iter_markovian imc (fun s r u ->
+      if is_tangible s then begin
+        if is_tangible u then
+          transitions :=
+            { Ctmc.src = ctmc_state_of_imc.(s); rate = r; actions = [];
+              dst = ctmc_state_of_imc.(u) }
+            :: !transitions
+        else
+          List.iter
+            (fun (dst, actions, p) ->
+               transitions :=
+                 { Ctmc.src = ctmc_state_of_imc.(s); rate = r *. p; actions;
+                   dst = ctmc_state_of_imc.(dst) }
+                 :: !transitions)
+            (closure_of u)
+      end);
+  (* initial state *)
+  let imc_initial = Imc.initial imc in
+  let artificial, initial_targets =
+    if is_tangible imc_initial then (false, [])
+    else begin
+      match closure_of imc_initial with
+      | [ (dst, _, p) ] when p > 1.0 -. 1e-9 -> (false, [ (dst, [], 1.0) ])
+      | targets -> (true, targets)
+    end
+  in
+  let nb_ctmc =
+    !tangible_count + (if artificial then 1 else 0)
+  in
+  let initial_ctmc =
+    if is_tangible imc_initial then ctmc_state_of_imc.(imc_initial)
+    else if artificial then !tangible_count
+    else
+      match initial_targets with
+      | [ (dst, _, _) ] -> ctmc_state_of_imc.(dst)
+      | _ -> assert false
+  in
+  if artificial then begin
+    (* leave the artificial state at a rate far above any model rate *)
+    let escape_rate = 1e9 in
+    List.iter
+      (fun (dst, actions, p) ->
+         transitions :=
+           { Ctmc.src = !tangible_count; rate = escape_rate *. p; actions;
+             dst = ctmc_state_of_imc.(dst) }
+           :: !transitions)
+      initial_targets
+  end;
+  let imc_state_of_ctmc = Array.make nb_ctmc (-1) in
+  Array.iteri
+    (fun imc_state c -> if c >= 0 then imc_state_of_ctmc.(c) <- imc_state)
+    ctmc_state_of_imc;
+  {
+    ctmc = Ctmc.make ~nb_states:nb_ctmc ~initial:initial_ctmc !transitions;
+    ctmc_state_of_imc;
+    imc_state_of_ctmc;
+    nondeterministic = nondeterministic_states imc;
+    urgency_cut = !urgency_cut;
+  }
+
+let bounds imc ~metric ~limit =
+  let nondet = nondeterministic_states imc in
+  let choice_counts =
+    List.map (fun s -> List.length (Imc.interactive_out imc s)) nondet
+  in
+  let space =
+    List.fold_left
+      (fun acc c -> if acc > limit then acc else acc * c)
+      1 choice_counts
+  in
+  if space > limit then None
+  else begin
+    let nondet = Array.of_list nondet in
+    let counts = Array.of_list choice_counts in
+    let k = Array.length nondet in
+    let assignment = Array.make k 0 in
+    let lo = ref infinity and hi = ref neg_infinity in
+    let evaluate () =
+      let choose s =
+        let rec find i =
+          if i >= k then 0 else if nondet.(i) = s then assignment.(i) else find (i + 1)
+        in
+        find 0
+      in
+      let value = metric (convert ~scheduler:(Deterministic choose) imc) in
+      if value < !lo then lo := value;
+      if value > !hi then hi := value
+    in
+    let rec enumerate i =
+      if i = k then evaluate ()
+      else
+        for c = 0 to counts.(i) - 1 do
+          assignment.(i) <- c;
+          enumerate (i + 1)
+        done
+    in
+    enumerate 0;
+    Some (!lo, !hi)
+  end
+
+let local_search ~better ~max_sweeps ~rng imc ~metric =
+  let nondet = Array.of_list (nondeterministic_states imc) in
+  let counts =
+    Array.map (fun s -> List.length (Imc.interactive_out imc s)) nondet
+  in
+  let k = Array.length nondet in
+  let assignment =
+    Array.init k (fun i ->
+        match rng with
+        | None -> 0
+        | Some rng -> Mv_util.Rng.int rng counts.(i))
+  in
+  let choose s =
+    let rec find i =
+      if i >= k then 0 else if nondet.(i) = s then assignment.(i) else find (i + 1)
+    in
+    find 0
+  in
+  let evaluate () = metric (convert ~scheduler:(Deterministic choose) imc) in
+  let current = ref (evaluate ()) in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  while !improved && !sweeps < max_sweeps do
+    improved := false;
+    incr sweeps;
+    for i = 0 to k - 1 do
+      let original = assignment.(i) in
+      for c = 0 to counts.(i) - 1 do
+        if c <> assignment.(i) then begin
+          let saved = assignment.(i) in
+          assignment.(i) <- c;
+          let value = evaluate () in
+          if better value !current then begin
+            current := value;
+            improved := true
+          end
+          else assignment.(i) <- saved
+        end
+      done;
+      ignore original
+    done
+  done;
+  !current
+
+let local_bounds ?(max_sweeps = 20) ?(restarts = 4) imc ~metric =
+  let search better start =
+    local_search ~better ~max_sweeps ~rng:start imc ~metric
+  in
+  let multi better pick =
+    let deterministic = search better None in
+    let rng = Mv_util.Rng.create 0x5EEDL in
+    let rec loop best remaining =
+      if remaining = 0 then best
+      else
+        let candidate = search better (Some (Mv_util.Rng.split rng)) in
+        loop (pick best candidate) (remaining - 1)
+    in
+    loop deterministic restarts
+  in
+  let lo = multi (fun a b -> a < b -. 1e-12) min in
+  let hi = multi (fun a b -> a > b +. 1e-12) max in
+  (lo, hi)

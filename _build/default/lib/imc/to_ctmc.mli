@@ -1,0 +1,74 @@
+(** From IMC to an action-tagged CTMC by vanishing-state elimination.
+
+    After closing the system (hide + maximal progress), interactive
+    transitions are {e immediate}: a state with outgoing interactive
+    transitions ("vanishing") is left in zero time. The conversion
+    eliminates vanishing states, folding the visible labels crossed on
+    the way into action tags of the resulting CTMC transitions, so that
+    {!Mv_markov.Ctmc.throughput} can attribute throughputs to actions —
+    the quantity the paper's flow reports.
+
+    Nondeterminism (a vanishing state with several interactive
+    transitions) is exactly the open issue named in the paper's
+    conclusion ("new algorithms to handle nondeterminism, currently not
+    accepted by the Markov solvers of CADP"): the [Fail] scheduler
+    reproduces CADP's rejection, [Uniform] resolves uniformly at
+    random, [Deterministic] applies a memoryless scheduler, and
+    {!bounds} sweeps all deterministic schedulers for min/max bounds. *)
+
+type scheduler =
+  | Fail (** raise {!Nondeterministic} on any nondeterministic state *)
+  | Uniform (** split probability equally among the choices *)
+  | Deterministic of (int -> int)
+      (** for each vanishing IMC state, the index of the chosen
+          transition in {!Imc.interactive_out} order *)
+
+type result = {
+  ctmc : Mv_markov.Ctmc.t;
+  ctmc_state_of_imc : int array; (** [-1] for vanishing states *)
+  imc_state_of_ctmc : int array; (** [-1] for the artificial initial *)
+  nondeterministic : int list;
+      (** vanishing states with >= 2 choices (statically; [Fail] only
+          rejects those actually reached during elimination) *)
+  urgency_cut : int list;
+      (** states where Markovian transitions were discarded because an
+          immediate interactive transition pre-empts them *)
+}
+
+exception Nondeterministic of int
+
+(** Raised when probability mass loops forever among vanishing states
+    (a cycle of immediate transitions with no exit). *)
+exception Divergence of int
+
+val convert : ?scheduler:scheduler -> Imc.t -> result
+
+(** Vanishing states with several choices. [Fail] rejects one of these
+    only when the elimination actually reaches it (a statically
+    nondeterministic state may be unreachable from every tangible
+    state). *)
+val nondeterministic_states : Imc.t -> int list
+
+(** [bounds imc ~metric ~limit] evaluates [metric] under every
+    deterministic memoryless scheduler and returns [(min, max)], or
+    [None] when the scheduler space exceeds [limit]. *)
+val bounds :
+  Imc.t -> metric:(result -> float) -> limit:int -> (float * float) option
+
+(** [local_bounds imc ~metric] — min/max of [metric] over
+    deterministic memoryless schedulers by greedy policy improvement:
+    starting from the first-choice scheduler, repeatedly flip the
+    choice of one nondeterministic state when the exactly-evaluated
+    metric improves, until a sweep changes nothing. Each accepted flip
+    strictly improves the metric, so the search terminates; the result
+    is a local optimum (it coincides with the exhaustive {!bounds} on
+    every model small enough to compare — see the tests — but is not
+    guaranteed globally optimal). Scales where exhaustive enumeration
+    cannot. Random restarts ([restarts], default 4, deterministic
+    seeds) mitigate local optima. @param max_sweeps default [20] *)
+val local_bounds :
+  ?max_sweeps:int ->
+  ?restarts:int ->
+  Imc.t ->
+  metric:(result -> float) ->
+  float * float

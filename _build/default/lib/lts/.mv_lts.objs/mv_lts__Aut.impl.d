@@ -1,0 +1,1 @@
+lib/lts/aut.ml: Buffer Fun Label Lts Printf String

@@ -1,0 +1,1 @@
+lib/lts/aut.mli: Lts

@@ -1,0 +1,1 @@
+lib/lts/explore.ml: Array Hashtbl Label List Lts Queue

@@ -1,0 +1,1 @@
+lib/lts/lts.ml: Array Format Hashtbl Label List Mv_util

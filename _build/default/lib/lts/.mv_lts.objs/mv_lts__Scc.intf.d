@@ -1,0 +1,1 @@
+lib/lts/scc.mli:

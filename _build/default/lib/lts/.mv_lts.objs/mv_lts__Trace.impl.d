@@ -1,0 +1,1 @@
+lib/lts/trace.ml: Array Label List Lts Mv_util Option Queue String

@@ -1,0 +1,1 @@
+lib/lts/trace.mli: Lts Mv_util

@@ -1,0 +1,23 @@
+(** Aldebaran [.aut] reader and writer (the textual LTS exchange format
+    used by CADP).
+
+    Format:
+    {v
+    des (initial, nb_transitions, nb_states)
+    (src, "label", dst)
+    ...
+    v}
+    Labels are written quoted; on input both quoted and bare labels are
+    accepted, and ["i"] denotes tau. *)
+
+exception Parse_error of string
+
+(** Serialize to the [.aut] syntax. *)
+val to_string : Lts.t -> string
+
+(** Parse from the [.aut] syntax. Raises {!Parse_error} on malformed
+    input. *)
+val of_string : string -> Lts.t
+
+val write_file : string -> Lts.t -> unit
+val read_file : string -> Lts.t

@@ -1,0 +1,64 @@
+module type STATE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+type 'state outcome = {
+  lts : Lts.t;
+  states : 'state array;
+  truncated : bool;
+}
+
+exception Too_many_states of int
+
+module Make (S : STATE) = struct
+  module Table = Hashtbl.Make (S)
+
+  let run ?(max_states = 1_000_000) ?(on_truncate = `Stop) ~initial ~successors
+      () =
+    let ids = Table.create 1024 in
+    let states = ref [] in
+    let nb = ref 0 in
+    let truncated = ref false in
+    let frontier = Queue.create () in
+    let id_of state =
+      match Table.find_opt ids state with
+      | Some id -> Some id
+      | None ->
+        if !nb >= max_states then begin
+          (match on_truncate with
+           | `Raise -> raise (Too_many_states max_states)
+           | `Stop -> truncated := true);
+          None
+        end
+        else begin
+          let id = !nb in
+          incr nb;
+          Table.add ids state id;
+          states := state :: !states;
+          Queue.add (id, state) frontier;
+          Some id
+        end
+    in
+    (match id_of initial with
+     | Some 0 -> ()
+     | Some _ | None -> assert false);
+    let labels = Label.create () in
+    let transitions = ref [] in
+    while not (Queue.is_empty frontier) do
+      let src, state = Queue.pop frontier in
+      let moves = successors state in
+      List.iter
+        (fun (label, dst_state) ->
+           match id_of dst_state with
+           | Some dst ->
+             transitions := (src, Label.intern labels label, dst) :: !transitions
+           | None -> ())
+        moves
+    done;
+    let states_array = Array.of_list (List.rev !states) in
+    let lts = Lts.make ~nb_states:!nb ~initial:0 ~labels !transitions in
+    { lts; states = states_array; truncated = !truncated }
+end

@@ -1,0 +1,40 @@
+(** Generic on-the-fly state-space exploration.
+
+    The MVL interpreter, the CHP translation, the case-study model
+    builders and the composition engine all enumerate reachable states
+    of some abstract machine; this functor turns any [(initial,
+    successors)] description into an explicit {!Lts.t} using
+    breadth-first search with hashed canonical states. *)
+
+module type STATE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+type 'state outcome = {
+  lts : Lts.t;
+  states : 'state array; (** LTS state id -> abstract state *)
+  truncated : bool; (** true when [max_states] stopped the search *)
+}
+
+exception Too_many_states of int
+
+module Make (S : STATE) : sig
+  (** [run ?max_states ?on_truncate ~initial ~successors ()] explores
+      breadth-first from [initial]. [successors s] lists the labelled
+      moves of [s] (label is a printed name; ["i"] is tau).
+
+      When more than [max_states] (default 1_000_000) states are
+      reached: with [on_truncate = `Stop] (default) the frontier is
+      abandoned and [truncated] is true (transitions into discovered
+      states are kept); with [`Raise] {!Too_many_states} is raised. *)
+  val run :
+    ?max_states:int ->
+    ?on_truncate:[ `Stop | `Raise ] ->
+    initial:S.t ->
+    successors:(S.t -> (string * S.t) list) ->
+    unit ->
+    S.t outcome
+end

@@ -1,0 +1,58 @@
+type table = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_index : string array;
+  mutable used : int;
+}
+
+(* [by_index] is a growable array managed inline: [used] entries are
+   valid. *)
+
+let tau = 0
+let tau_name = "i"
+
+let create () =
+  let t =
+    { by_name = Hashtbl.create 64; by_index = Array.make 16 ""; used = 0 }
+  in
+  let add name =
+    Hashtbl.replace t.by_name name t.used;
+    t.by_index.(t.used) <- name;
+    t.used <- t.used + 1
+  in
+  add tau_name;
+  t
+
+let intern t name =
+  let name = if name = "tau" then tau_name else name in
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None ->
+    if t.used = Array.length t.by_index then begin
+      let bigger = Array.make (2 * t.used) "" in
+      Array.blit t.by_index 0 bigger 0 t.used;
+      t.by_index <- bigger
+    end;
+    let i = t.used in
+    Hashtbl.replace t.by_name name i;
+    t.by_index.(i) <- name;
+    t.used <- t.used + 1;
+    i
+
+let find t name =
+  let name = if name = "tau" then tau_name else name in
+  Hashtbl.find_opt t.by_name name
+
+let name t i =
+  if i < 0 || i >= t.used then invalid_arg "Label.name";
+  t.by_index.(i)
+
+let count t = t.used
+
+let copy t =
+  { by_name = Hashtbl.copy t.by_name;
+    by_index = Array.copy t.by_index; used = t.used }
+
+let gate label =
+  match String.index_opt label ' ' with
+  | None -> label
+  | Some i -> String.sub label 0 i

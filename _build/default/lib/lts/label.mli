@@ -1,0 +1,39 @@
+(** Interned transition labels.
+
+    Following the CADP convention, the internal action is the
+    distinguished label ["i"] (tau) and always has index {!tau}. A label
+    is an arbitrary string; gate experiments such as ["PUSH !3"] are
+    stored verbatim. *)
+
+type table
+
+(** Index of the internal (tau) action; equal to [0] in every table. *)
+val tau : int
+
+(** The printed name of the internal action. *)
+val tau_name : string
+
+(** A fresh table containing only tau. *)
+val create : unit -> table
+
+(** [intern tbl name] returns the index of [name], creating it if
+    needed. Interning ["i"] returns {!tau}. *)
+val intern : table -> string -> int
+
+(** [find tbl name] is the existing index of [name], or [None]. *)
+val find : table -> string -> int option
+
+(** [name tbl idx] is the printed form of label [idx]. Raises
+    [Invalid_argument] on unknown indices. *)
+val name : table -> int -> string
+
+(** Number of distinct labels (including tau). *)
+val count : table -> int
+
+(** An independent copy (later interning in one table does not affect
+    the other). *)
+val copy : table -> table
+
+(** [gate label] is the gate part of a label: the prefix before the
+    first space (["PUSH !3"] has gate ["PUSH"]). *)
+val gate : string -> string

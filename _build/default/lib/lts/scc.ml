@@ -1,0 +1,80 @@
+type result = { component : int array; count : int }
+
+(* Iterative Tarjan. The explicit work stack stores (state, successor
+   cursor); successors of each state are materialized once when the
+   state is opened, since the [iter_succ] interface is callback-based. *)
+let compute ~nb_states ~iter_succ =
+  let index = Array.make nb_states (-1) in
+  let lowlink = Array.make nb_states 0 in
+  let on_stack = Array.make nb_states false in
+  let component = Array.make nb_states (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_component = ref 0 in
+  let succs = Array.make nb_states [||] in
+  let open_state v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    let out = ref [] in
+    iter_succ v (fun w -> out := w :: !out);
+    succs.(v) <- Array.of_list !out
+  in
+  let close_state v =
+    (* pop the SCC rooted at v *)
+    let c = !next_component in
+    incr next_component;
+    let rec pop () =
+      match !stack with
+      | [] -> assert false
+      | w :: rest ->
+        stack := rest;
+        on_stack.(w) <- false;
+        component.(w) <- c;
+        if w <> v then pop ()
+    in
+    pop ()
+  in
+  let run root =
+    if index.(root) < 0 then begin
+      let work = ref [ (root, ref 0) ] in
+      open_state root;
+      let rec loop () =
+        match !work with
+        | [] -> ()
+        | (v, cursor) :: rest ->
+          if !cursor < Array.length succs.(v) then begin
+            let w = succs.(v).(!cursor) in
+            incr cursor;
+            if index.(w) < 0 then begin
+              open_state w;
+              work := (w, ref 0) :: !work
+            end
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w);
+            loop ()
+          end
+          else begin
+            if lowlink.(v) = index.(v) then close_state v;
+            work := rest;
+            (match rest with
+             | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+             | [] -> ());
+            loop ()
+          end
+      in
+      loop ()
+    end
+  in
+  for s = 0 to nb_states - 1 do run s done;
+  { component; count = !next_component }
+
+let bottom ~nb_states ~iter_succ result =
+  let is_bottom = Array.make result.count true in
+  for s = 0 to nb_states - 1 do
+    iter_succ s (fun d ->
+        if result.component.(d) <> result.component.(s) then
+          is_bottom.(result.component.(s)) <- false)
+  done;
+  is_bottom

@@ -1,0 +1,25 @@
+(** Strongly connected components (iterative Tarjan).
+
+    Used for bottom strongly connected component (BSCC) analysis of
+    Markov chains and for tau-cycle compression before branching
+    bisimulation. *)
+
+type result = {
+  component : int array; (** state -> component id, ids in [0 .. count-1] *)
+  count : int;
+}
+
+(** [compute ~nb_states ~iter_succ] runs Tarjan's algorithm.
+    [iter_succ s f] must apply [f] to every successor of [s].
+    Component ids are assigned in reverse topological order: if there is
+    an edge from component [a] to component [b <> a] then
+    [a > b]. *)
+val compute : nb_states:int -> iter_succ:(int -> (int -> unit) -> unit) -> result
+
+(** [bottom ~nb_states ~iter_succ result] flags the bottom components:
+    [bottom.(c)] is true iff no edge leaves component [c]. *)
+val bottom :
+  nb_states:int ->
+  iter_succ:(int -> (int -> unit) -> unit) ->
+  result ->
+  bool array

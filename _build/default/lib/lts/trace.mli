@@ -1,0 +1,31 @@
+(** Diagnostic traces (the CADP "exhibitor" role).
+
+    When a safety property fails — a deadlock is reachable, a forbidden
+    action can occur — the verification engineer needs a shortest
+    witness execution, not just a boolean. Traces are action-label
+    sequences from the initial state, computed by breadth-first search
+    (hence of minimal length). *)
+
+type t = {
+  labels : string list; (** printed labels along the trace, in order *)
+  destination : int; (** state reached *)
+}
+
+(** [shortest_to_state lts ~goal] — shortest trace reaching a state
+    satisfying [goal], or [None] when no such state is reachable. *)
+val shortest_to_state : Lts.t -> goal:(int -> bool) -> t option
+
+(** [shortest_to_action lts ~action] — shortest trace whose {e last}
+    label satisfies [action] (a predicate on printed labels). *)
+val shortest_to_action : Lts.t -> action:(string -> bool) -> t option
+
+(** Shortest trace into a deadlock state. *)
+val shortest_to_deadlock : Lts.t -> t option
+
+(** [shortest_to_violation lts ~sat] — shortest trace to a state
+    outside the satisfying set of a state formula (helper for
+    invariant counterexamples: pass [Mv_mcl.Eval.sat lts invariant]). *)
+val shortest_to_violation : Lts.t -> sat:Mv_util.Bitset.t -> t option
+
+(** Render as ["a; b; c"] (["<empty>"] for the empty trace). *)
+val to_string : t -> string

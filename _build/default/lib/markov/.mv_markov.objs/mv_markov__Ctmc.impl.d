@@ -1,0 +1,1 @@
+lib/markov/ctmc.ml: Array Dtmc Format Hashtbl List Mv_lts Mv_util Option Poisson Sparse

@@ -1,0 +1,1 @@
+lib/markov/sparse.ml: Array List

@@ -1,0 +1,105 @@
+(** Continuous-time Markov chains with action-tagged transitions.
+
+    This is the back end of the performance-evaluation flow: an IMC
+    whose interactive behaviour has been closed becomes a CTMC whose
+    transitions may carry the visible action labels crossed during the
+    closure, so that {e transition throughputs} (the quantity reported
+    by the paper's flow) can be attributed to actions.
+
+    Self-loop transitions are legal: they do not influence the
+    probability distribution but do contribute to action throughputs. *)
+
+type transition = {
+  src : int;
+  rate : float; (** strictly positive *)
+  actions : string list; (** visible actions attributed to this move *)
+  dst : int;
+}
+
+type t
+
+(** [make ~nb_states ~initial transitions] — rates must be positive.
+    Parallel transitions are kept separate (their action tags differ in
+    general). *)
+val make : nb_states:int -> initial:int -> transition list -> t
+
+val nb_states : t -> int
+val nb_transitions : t -> int
+val initial : t -> int
+val iter_transitions : t -> (transition -> unit) -> unit
+
+(** [exit_rate t] — total rate out of each state, excluding self-loops
+    (which do not affect the stochastic process). *)
+val exit_rates : t -> float array
+
+(** States with no outgoing non-self transition. *)
+val absorbing_states : t -> int list
+
+(** Embedded jump chain (absorbing states get a self-loop). *)
+val embedded : t -> Dtmc.t
+
+(** {1 Bottom strongly connected components} *)
+
+(** [bsccs t] lists the BSCCs of the underlying digraph (self-loops
+    ignored); singleton absorbing states are BSCCs. *)
+val bsccs : t -> int list list
+
+(** {1 Steady-state analysis}
+
+    General chains are handled by BSCC decomposition: the steady-state
+    vector is the mixture of per-BSCC stationary distributions weighted
+    by the probability of absorption into each BSCC from the initial
+    state. *)
+
+val steady_state : ?tolerance:float -> ?max_iterations:int -> t -> float array
+
+(** {1 Transient analysis} *)
+
+(** [transient t ~horizon] is the state distribution at time [horizon],
+    by uniformization. [epsilon] bounds the truncation error (default
+    [1e-10]). *)
+val transient : ?epsilon:float -> t -> horizon:float -> float array
+
+(** {1 First-passage analysis} *)
+
+(** [mean_first_passage t ~targets] gives, for every state, the
+    expected time to first reach [targets] (list of states). States
+    that cannot reach the targets get [infinity]; target states get
+    [0]. *)
+val mean_first_passage :
+  ?tolerance:float -> ?max_iterations:int -> t -> targets:int list -> float array
+
+(** [reach_probability_by t ~targets ~horizon] is the probability of
+    having entered [targets] by time [horizon], starting from the
+    initial state (targets are made absorbing). *)
+val reach_probability_by :
+  ?epsilon:float -> t -> targets:int list -> horizon:float -> float
+
+(** [accumulated_reward t ~reward ~targets] gives, for every state,
+    the expected reward accumulated at rate [reward s] per time unit
+    until first reaching [targets] ([infinity] when the targets may
+    never be reached). [mean_first_passage] is the special case
+    [reward = fun _ -> 1.0]. *)
+val accumulated_reward :
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  t ->
+  reward:(int -> float) ->
+  targets:int list ->
+  float array
+
+(** {1 Rewards and throughputs} *)
+
+(** [throughput t ~pi ~action] is the long-run occurrence rate of
+    [action]: the sum over transitions tagged with it of
+    [pi.(src) *. rate] (a tag occurring twice on one transition counts
+    twice). *)
+val throughput : t -> pi:float array -> action:string -> float
+
+(** All actions with their throughputs, sorted by action name. *)
+val throughputs : t -> pi:float array -> (string * float) list
+
+(** [expected_reward t ~pi reward] is [sum_s pi.(s) *. reward s]. *)
+val expected_reward : t -> pi:float array -> (int -> float) -> float
+
+val pp : Format.formatter -> t -> unit

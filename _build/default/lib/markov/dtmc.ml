@@ -1,0 +1,65 @@
+type t = { nb_states : int; initial : int; matrix : Sparse.t }
+
+let make ~nb_states ~initial entries =
+  if initial < 0 || initial >= nb_states then invalid_arg "Dtmc.make: initial";
+  let matrix = Sparse.of_triples ~rows:nb_states ~cols:nb_states entries in
+  let sums = Sparse.row_sums matrix in
+  let fixups = ref [] in
+  Array.iteri
+    (fun i s ->
+       if abs_float s < 1e-9 then fixups := (i, i, 1.0) :: !fixups
+       else if abs_float (s -. 1.0) > 1e-9 then
+         invalid_arg
+           (Printf.sprintf "Dtmc.make: row %d sums to %g (expected 1)" i s))
+    sums;
+  let matrix =
+    if !fixups = [] then matrix
+    else begin
+      let entries = ref !fixups in
+      for i = 0 to nb_states - 1 do
+        Sparse.iter_row matrix i (fun j v -> entries := (i, j, v) :: !entries)
+      done;
+      Sparse.of_triples ~rows:nb_states ~cols:nb_states !entries
+    end
+  in
+  { nb_states; initial; matrix }
+
+let nb_states t = t.nb_states
+let initial t = t.initial
+let matrix t = t.matrix
+let step t dist = Sparse.mul_left t.matrix dist
+
+let distribution_after t n =
+  let dist = Array.make t.nb_states 0.0 in
+  dist.(t.initial) <- 1.0;
+  let current = ref dist in
+  for _ = 1 to n do
+    current := step t !current
+  done;
+  !current
+
+let steady_state ?(tolerance = 1e-12) ?(max_iterations = 200_000) t =
+  (* Gauss-Seidel on pi = pi P, i.e. for each j:
+     pi_j = (sum_{i<>j} pi_i p_ij) / (1 - p_jj), renormalized each sweep. *)
+  let transposed = Sparse.transpose t.matrix in
+  let n = t.nb_states in
+  let pi = Array.make n (1.0 /. float_of_int n) in
+  let iteration = ref 0 in
+  let delta = ref infinity in
+  while !delta > tolerance && !iteration < max_iterations do
+    delta := 0.0;
+    for j = 0 to n - 1 do
+      let incoming = ref 0.0 in
+      let self = ref 0.0 in
+      Sparse.iter_row transposed j (fun i p ->
+          if i = j then self := p else incoming := !incoming +. (pi.(i) *. p));
+      let denominator = 1.0 -. !self in
+      let updated = if denominator <= 1e-15 then pi.(j) else !incoming /. denominator in
+      delta := max !delta (abs_float (updated -. pi.(j)));
+      pi.(j) <- updated
+    done;
+    let total = Array.fold_left ( +. ) 0.0 pi in
+    if total > 0.0 then Array.iteri (fun j v -> pi.(j) <- v /. total) pi;
+    incr iteration
+  done;
+  pi

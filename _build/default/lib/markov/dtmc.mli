@@ -1,0 +1,33 @@
+(** Discrete-time Markov chains.
+
+    Thin layer over {!Sparse}: row-stochastic matrix plus an initial
+    distribution. Used for embedded jump chains and for tests of the
+    numerical core. *)
+
+type t
+
+(** [make ~nb_states ~initial entries] builds a DTMC from probability
+    triples [(src, dst, p)]. Rows must sum to 1 within [1e-9] (rows
+    summing to 0 are treated as absorbing: a self-loop is added). *)
+val make : nb_states:int -> initial:int -> (int * int * float) list -> t
+
+val nb_states : t -> int
+val initial : t -> int
+
+(** Transition matrix. *)
+val matrix : t -> Sparse.t
+
+(** [step t dist] propagates a distribution one step. *)
+val step : t -> float array -> float array
+
+(** [distribution_after t n] iterates [n] steps from the initial point
+    distribution. *)
+val distribution_after : t -> int -> float array
+
+(** Long-run distribution by Gauss-Seidel sweeps (requires the chain
+    restricted to its recurrent class to be irreducible; for general
+    chains use the CTMC layer which performs BSCC analysis).
+    @param tolerance convergence threshold on the max component change
+    (default [1e-12])
+    @param max_iterations default [200_000] *)
+val steady_state : ?tolerance:float -> ?max_iterations:int -> t -> float array

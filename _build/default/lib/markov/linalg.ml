@@ -1,0 +1,68 @@
+exception Singular
+
+let solve a b =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    Array.iter
+      (fun row -> if Array.length row <> n then invalid_arg "Linalg.solve: shape")
+      a;
+    if Array.length b <> n then invalid_arg "Linalg.solve: shape";
+    (* working copies *)
+    let m = Array.map Array.copy a in
+    let x = Array.copy b in
+    for col = 0 to n - 1 do
+      (* partial pivoting *)
+      let pivot = ref col in
+      for row = col + 1 to n - 1 do
+        if abs_float m.(row).(col) > abs_float m.(!pivot).(col) then pivot := row
+      done;
+      if abs_float m.(!pivot).(col) < 1e-12 then raise Singular;
+      if !pivot <> col then begin
+        let tmp = m.(col) in
+        m.(col) <- m.(!pivot);
+        m.(!pivot) <- tmp;
+        let tb = x.(col) in
+        x.(col) <- x.(!pivot);
+        x.(!pivot) <- tb
+      end;
+      for row = col + 1 to n - 1 do
+        let factor = m.(row).(col) /. m.(col).(col) in
+        if factor <> 0.0 then begin
+          for k = col to n - 1 do
+            m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+          done;
+          x.(row) <- x.(row) -. (factor *. x.(col))
+        end
+      done
+    done;
+    (* back substitution *)
+    for row = n - 1 downto 0 do
+      for k = row + 1 to n - 1 do
+        x.(row) <- x.(row) -. (m.(row).(k) *. x.(k))
+      done;
+      x.(row) <- x.(row) /. m.(row).(row)
+    done;
+    x
+  end
+
+let steady_state_exact ctmc =
+  let n = Ctmc.nb_states ctmc in
+  if n > 2_000 then invalid_arg "Linalg.steady_state_exact: too large";
+  (match Ctmc.bsccs ctmc with
+   | [ single ] when List.length single = n -> ()
+   | _ -> invalid_arg "Linalg.steady_state_exact: chain is not irreducible");
+  (* rows of A: columns of the generator (pi Q = 0 transposed), with
+     the last equation replaced by sum(pi) = 1 *)
+  let a = Array.make_matrix n n 0.0 in
+  Ctmc.iter_transitions ctmc (fun tr ->
+      if tr.Ctmc.src <> tr.Ctmc.dst then begin
+        a.(tr.Ctmc.dst).(tr.Ctmc.src) <- a.(tr.Ctmc.dst).(tr.Ctmc.src) +. tr.Ctmc.rate;
+        a.(tr.Ctmc.src).(tr.Ctmc.src) <- a.(tr.Ctmc.src).(tr.Ctmc.src) -. tr.Ctmc.rate
+      end);
+  let b = Array.make n 0.0 in
+  for col = 0 to n - 1 do
+    a.(n - 1).(col) <- 1.0
+  done;
+  b.(n - 1) <- 1.0;
+  solve a b

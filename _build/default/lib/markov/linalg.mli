@@ -1,0 +1,21 @@
+(** Small dense linear algebra: exact solves used to cross-check the
+    iterative Markov solvers.
+
+    Gauss-Seidel is the production path (it scales and is what the
+    CADP-era tools use); the dense LU solve here is the oracle the
+    property tests compare it against, and a fallback for small
+    ill-conditioned chains. *)
+
+exception Singular
+
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting. [a] is square, row-major, and is {e not} modified.
+    Raises {!Singular} when no pivot exceeds [1e-12]. *)
+val solve : float array array -> float array -> float array
+
+(** [steady_state_exact ctmc] — the stationary distribution of an
+    {e irreducible} CTMC by a direct solve of the balance equations
+    (one equation replaced by normalization). Raises
+    [Invalid_argument] when the chain is reducible or has more than
+    [2_000] states. *)
+val steady_state_exact : Ctmc.t -> float array

@@ -1,0 +1,50 @@
+type t = { left : int; right : int; weights : float array }
+
+(* Work outward from the mode m = floor q with un-normalized ratios,
+   then normalize; this avoids the underflow of e^{-q} for large q. *)
+let weights ~q ~epsilon =
+  if q < 0.0 then invalid_arg "Poisson.weights";
+  if q = 0.0 then { left = 0; right = 0; weights = [| 1.0 |] }
+  else begin
+    let mode = int_of_float q in
+    (* expand the window until the (normalized) tail mass is below
+       epsilon; we over-approximate the needed width via Chebyshev-like
+       growth, then trim. *)
+    let width = ref (max 4 (int_of_float (6.0 *. sqrt q) + 4)) in
+    let rec attempt () =
+      let left = max 0 (mode - !width) in
+      let right = mode + !width in
+      let size = right - left + 1 in
+      let w = Array.make size 0.0 in
+      w.(mode - left) <- 1.0;
+      (* downward from the mode: w_{k-1} = w_k * k / q *)
+      for k = mode - left - 1 downto 0 do
+        let index = float_of_int (k + left + 1) in
+        w.(k) <- w.(k + 1) *. index /. q
+      done;
+      (* upward from the mode: w_{k+1} = w_k * q / (k+1) *)
+      for k = mode - left + 1 to size - 1 do
+        let index = float_of_int (k + left) in
+        w.(k) <- w.(k - 1) *. q /. index
+      done;
+      let total = Array.fold_left ( +. ) 0.0 w in
+      let boundary_mass = (w.(0) +. w.(size - 1)) /. total in
+      if boundary_mass > epsilon /. 2.0 && !width < 1_000_000 then begin
+        width := !width * 2;
+        attempt ()
+      end
+      else begin
+        Array.iteri (fun i v -> w.(i) <- v /. total) w;
+        (* trim negligible tails to keep the transient loop short *)
+        let threshold = epsilon /. float_of_int (4 * size) in
+        let first = ref 0 and last = ref (size - 1) in
+        while !first < size - 1 && w.(!first) < threshold do incr first done;
+        while !last > !first && w.(!last) < threshold do decr last done;
+        let trimmed = Array.sub w !first (!last - !first + 1) in
+        let total' = Array.fold_left ( +. ) 0.0 trimmed in
+        Array.iteri (fun i v -> trimmed.(i) <- v /. total') trimmed;
+        { left = left + !first; right = left + !last; weights = trimmed }
+      end
+    in
+    attempt ()
+  end

@@ -1,0 +1,18 @@
+(** Truncated Poisson weights for uniformization (a simplified
+    Fox-Glynn computation).
+
+    Transient analysis of a CTMC by uniformization needs the Poisson
+    probabilities [e^{-q} q^k / k!] for [k] in a window that captures
+    [1 - epsilon] of the mass; computing them by the obvious recurrence
+    underflows for large [q], so the weights are accumulated from the
+    mode and normalized. *)
+
+type t = {
+  left : int; (** first index with non-negligible weight *)
+  right : int; (** last index *)
+  weights : float array; (** [weights.(k - left)] is Poisson(q)[k] *)
+}
+
+(** [weights ~q ~epsilon] for [q >= 0]. The returned weights sum to 1
+    up to [epsilon]. For [q = 0] the result is the point mass at 0. *)
+val weights : q:float -> epsilon:float -> t

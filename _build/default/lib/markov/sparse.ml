@@ -1,0 +1,104 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+let of_triples ~rows ~cols entries =
+  let compare_entry (r1, c1, _) (r2, c2, _) =
+    match compare r1 r2 with 0 -> compare c1 c2 | c -> c
+  in
+  let sorted = List.sort compare_entry entries in
+  (* merge duplicates *)
+  let merged = ref [] in
+  List.iter
+    (fun (r, c, v) ->
+       if r < 0 || r >= rows || c < 0 || c >= cols then
+         invalid_arg "Sparse.of_triples: index out of range";
+       match !merged with
+       | (r', c', v') :: rest when r' = r && c' = c ->
+         merged := (r, c, v +. v') :: rest
+       | _ -> merged := (r, c, v) :: !merged)
+    sorted;
+  let entries = List.rev !merged in
+  let n = List.length entries in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make (max n 1) 0 in
+  let values = Array.make (max n 1) 0.0 in
+  List.iteri
+    (fun i (r, c, v) ->
+       row_ptr.(r + 1) <- row_ptr.(r + 1) + 1;
+       col_idx.(i) <- c;
+       values.(i) <- v)
+    entries;
+  for r = 1 to rows do
+    row_ptr.(r) <- row_ptr.(r) + row_ptr.(r - 1)
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let rows m = m.rows
+let cols m = m.cols
+let nb_entries m = m.row_ptr.(m.rows)
+
+let get m i j =
+  let rec search lo hi =
+    if lo >= hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      if m.col_idx.(mid) = j then m.values.(mid)
+      else if m.col_idx.(mid) < j then search (mid + 1) hi
+      else search lo mid
+  in
+  search m.row_ptr.(i) m.row_ptr.(i + 1)
+
+let iter_row m i f =
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_idx.(k) m.values.(k)
+  done
+
+let mul_left m x =
+  if Array.length x <> m.rows then invalid_arg "Sparse.mul_left";
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        y.(m.col_idx.(k)) <- y.(m.col_idx.(k)) +. (xi *. m.values.(k))
+      done
+  done;
+  y
+
+let mul_right m x =
+  if Array.length x <> m.cols then invalid_arg "Sparse.mul_right";
+  let y = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    let acc = ref 0.0 in
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let transpose m =
+  let entries = ref [] in
+  for i = 0 to m.rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      entries := (m.col_idx.(k), i, m.values.(k)) :: !entries
+    done
+  done;
+  of_triples ~rows:m.cols ~cols:m.rows !entries
+
+let row_sums m =
+  let sums = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      sums.(i) <- sums.(i) +. m.values.(k)
+    done
+  done;
+  sums
+
+let scale m c =
+  { m with values = Array.map (fun v -> v *. c) m.values }

@@ -1,0 +1,38 @@
+(** Compressed-sparse-row matrices over floats.
+
+    The Markov solvers only need a handful of operations: building from
+    triples, left vector-matrix products (distribution propagation),
+    transposition (for Gauss-Seidel sweeps over in-transitions), and row
+    iteration. *)
+
+type t
+
+(** [of_triples ~rows ~cols entries] builds a CSR matrix. Duplicate
+    coordinates are summed. *)
+val of_triples : rows:int -> cols:int -> (int * int * float) list -> t
+
+val rows : t -> int
+val cols : t -> int
+val nb_entries : t -> int
+
+(** [get m i j] — O(log row size). *)
+val get : t -> int -> int -> float
+
+(** [iter_row m i f] applies [f j v] over the entries of row [i] in
+    column order. *)
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+
+(** [mul_left m x] is the row vector [x·m]. [x] must have length
+    [rows m]; the result has length [cols m]. *)
+val mul_left : t -> float array -> float array
+
+(** [mul_right m x] is the column vector [m·x]. *)
+val mul_right : t -> float array -> float array
+
+val transpose : t -> t
+
+(** [row_sums m] is the vector of row sums. *)
+val row_sums : t -> float array
+
+(** [scale m c] multiplies every entry by [c]. *)
+val scale : t -> float -> t

@@ -1,0 +1,1 @@
+lib/mcl/action_formula.ml: Format Mv_lts Mv_util

@@ -1,0 +1,1 @@
+lib/mcl/action_formula.mli: Format Mv_lts Mv_util

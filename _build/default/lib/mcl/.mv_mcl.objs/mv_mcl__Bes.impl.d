@@ -1,0 +1,1 @@
+lib/mcl/bes.ml: Action_formula Array Formula Fun Hashtbl List Mv_lts Mv_util Queue

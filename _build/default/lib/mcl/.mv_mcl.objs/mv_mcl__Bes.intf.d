@@ -1,0 +1,1 @@
+lib/mcl/bes.mli: Formula Mv_lts Mv_util

@@ -1,0 +1,1 @@
+lib/mcl/eval.ml: Action_formula Formula Hashtbl List Mv_lts Mv_util

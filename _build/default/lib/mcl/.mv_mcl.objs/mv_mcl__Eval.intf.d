@@ -1,0 +1,1 @@
+lib/mcl/eval.mli: Formula Mv_lts Mv_util

@@ -1,0 +1,1 @@
+lib/mcl/formula.ml: Action_formula Format List Printf Set String

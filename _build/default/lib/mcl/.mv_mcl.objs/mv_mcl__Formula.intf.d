@@ -1,0 +1,1 @@
+lib/mcl/formula.mli: Action_formula Format

@@ -1,0 +1,1 @@
+lib/mcl/parser.ml: Action_formula Formula List Mv_util Printf

@@ -1,0 +1,1 @@
+lib/mcl/parser.mli: Action_formula Formula

@@ -1,0 +1,45 @@
+module Label = Mv_lts.Label
+module Lts = Mv_lts.Lts
+module Bitset = Mv_util.Bitset
+
+type t =
+  | Any
+  | None_
+  | Tau
+  | Visible
+  | Name of string
+  | Gate of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let rec matches labels formula label_id =
+  match formula with
+  | Any -> true
+  | None_ -> false
+  | Tau -> label_id = Label.tau
+  | Visible -> label_id <> Label.tau
+  | Name n -> Label.name labels label_id = n
+  | Gate g -> Label.gate (Label.name labels label_id) = g
+  | Not f -> not (matches labels f label_id)
+  | And (a, b) -> matches labels a label_id && matches labels b label_id
+  | Or (a, b) -> matches labels a label_id || matches labels b label_id
+
+let compile lts formula =
+  let labels = Lts.labels lts in
+  let set = Bitset.create (Label.count labels) in
+  for l = 0 to Label.count labels - 1 do
+    if matches labels formula l then Bitset.add set l
+  done;
+  set
+
+let rec pp fmt = function
+  | Any -> Format.pp_print_string fmt "true"
+  | None_ -> Format.pp_print_string fmt "false"
+  | Tau -> Format.pp_print_string fmt "tau"
+  | Visible -> Format.pp_print_string fmt "visible"
+  | Name n -> Format.fprintf fmt "%S" n
+  | Gate g -> Format.pp_print_string fmt g
+  | Not f -> Format.fprintf fmt "(not %a)" pp f
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b

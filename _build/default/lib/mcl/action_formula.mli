@@ -1,0 +1,26 @@
+(** Predicates over transition labels (the [alpha] in [<alpha>] and
+    [\[alpha\]] modalities).
+
+    Atoms match either a full printed label, a gate (the prefix before
+    the first space, so [Gate "PUSH"] matches ["PUSH !3"]), or tau. *)
+
+type t =
+  | Any (** every action, tau included *)
+  | None_ (** no action *)
+  | Tau
+  | Visible (** every action except tau *)
+  | Name of string (** exact printed label *)
+  | Gate of string (** label gate equality *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+(** [matches labels formula label_id] — does label [label_id] of table
+    [labels] satisfy [formula]? *)
+val matches : Mv_lts.Label.table -> t -> int -> bool
+
+(** [compile lts formula] precomputes the satisfying label set of the
+    LTS's table, for repeated use during fixpoint evaluation. *)
+val compile : Mv_lts.Lts.t -> t -> Mv_util.Bitset.t
+
+val pp : Format.formatter -> t -> unit

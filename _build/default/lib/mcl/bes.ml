@@ -1,0 +1,380 @@
+module Lts = Mv_lts.Lts
+module Bitset = Mv_util.Bitset
+
+(* Internal representation: one boolean variable per (subformula,
+   state); variable ids are [sub * nb_states + state]. Every equation
+   is a pure conjunction or disjunction over variables and constants
+   (constants are folded during construction). *)
+
+type rhs =
+  | Const of bool
+  | Disj of int list
+  | Conj of int list
+
+type t = {
+  lts : Lts.t;
+  nb_subs : int;
+  rhs : rhs array; (* per variable *)
+  block : int array; (* per subformula *)
+  sign : bool array; (* per block: true = nu (greatest), false = mu *)
+  nb_blocks : int;
+}
+
+type stats = { variables : int; blocks : int }
+
+let stats t =
+  { variables = Array.length t.rhs; blocks = t.nb_blocks }
+
+(* Fold constants into a disjunction/conjunction. *)
+let disj operands =
+  if List.exists (fun o -> o = None) operands then Const true
+  else
+    match List.filter_map Fun.id operands with
+    | [] -> Const false
+    | vs -> Disj vs
+
+let conj operands =
+  if List.exists (fun o -> o = None) operands then Const false
+  else
+    match List.filter_map Fun.id operands with
+    | [] -> Const true
+    | vs -> Conj vs
+
+let rec translate lts formula =
+  Formula.check formula;
+  let n = Lts.nb_states lts in
+  (* number the subformulas (closed [Not]/[Implies] arguments are
+     solved recursively and enter as constants) *)
+  let subs : (Formula.t * int) list ref = ref [] in
+  let nb_subs = ref 0 in
+  let block_of_sub : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_block = ref 0 in
+  let binders : (string * int) list ref = ref [] in
+  (* assign ids depth-first; [block] is the enclosing block id,
+     [sign] its polarity (true = nu) *)
+  let rec number (f : Formula.t) ~block ~sign =
+    let id = !nb_subs in
+    incr nb_subs;
+    subs := (f, id) :: !subs;
+    Hashtbl.replace block_of_sub id block;
+    (match f with
+     | Formula.True | Formula.False | Formula.Var _ | Formula.Not _ -> ()
+     | Formula.Implies (_, b) -> number b ~block ~sign
+     | Formula.And (a, b) | Formula.Or (a, b) ->
+       number a ~block ~sign;
+       number b ~block ~sign
+     | Formula.Diamond (_, inner) | Formula.Box (_, inner) ->
+       number inner ~block ~sign
+     | Formula.Mu (x, inner) ->
+       let inner_block =
+         if sign = false then block
+         else begin
+           incr next_block;
+           !next_block
+         end
+       in
+       Hashtbl.replace block_of_sub id inner_block;
+       binders := (x, id) :: !binders;
+       number inner ~block:inner_block ~sign:false;
+       binders := List.tl !binders
+     | Formula.Nu (x, inner) ->
+       let inner_block =
+         if sign = true then block
+         else begin
+           incr next_block;
+           !next_block
+         end
+       in
+       Hashtbl.replace block_of_sub id inner_block;
+       binders := (x, id) :: !binders;
+       number inner ~block:inner_block ~sign:true;
+       binders := List.tl !binders);
+    ignore id
+  in
+  (* the binder environment is only correct during the traversal, so
+     record, for Var nodes, the id of their binder as we go *)
+  let var_binder : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec record_vars (f : Formula.t) id_counter =
+    (* re-walk in the same order as [number] to attach binder ids *)
+    let id = !id_counter in
+    incr id_counter;
+    match f with
+    | Formula.True | Formula.False | Formula.Not _ -> ()
+    | Formula.Var x ->
+      (match List.assoc_opt x !binders with
+       | Some binder -> Hashtbl.replace var_binder id binder
+       | None -> assert false)
+    | Formula.Implies (_, b) -> record_vars b id_counter
+    | Formula.And (a, b) | Formula.Or (a, b) ->
+      record_vars a id_counter;
+      record_vars b id_counter
+    | Formula.Diamond (_, inner) | Formula.Box (_, inner) ->
+      record_vars inner id_counter
+    | Formula.Mu (x, inner) | Formula.Nu (x, inner) ->
+      binders := (x, id) :: !binders;
+      record_vars inner id_counter;
+      binders := List.tl !binders
+  in
+  number formula ~block:0 ~sign:true;
+  binders := [];
+  record_vars formula (ref 0);
+  let nb_subs = !nb_subs in
+  let sub_formula = Array.make nb_subs Formula.True in
+  List.iter (fun (f, id) -> sub_formula.(id) <- f) !subs;
+  let block = Array.init nb_subs (fun id -> Hashtbl.find block_of_sub id) in
+  let nb_blocks = !next_block + 1 in
+  (* block polarity: any fixpoint subformula fixes it; default nu *)
+  let sign = Array.make nb_blocks true in
+  Array.iteri
+    (fun id f ->
+       match (f : Formula.t) with
+       | Formula.Mu _ -> sign.(block.(id)) <- false
+       | Formula.Nu _ -> sign.(block.(id)) <- true
+       | _ -> ())
+    sub_formula;
+  (* equations; closed negative subformulas are solved recursively *)
+  let var sub state = (sub * n) + state in
+  let rhs = Array.make (nb_subs * n) (Const false) in
+  let compiled = Hashtbl.create 8 in
+  let action_set alpha =
+    match Hashtbl.find_opt compiled alpha with
+    | Some set -> set
+    | None ->
+      let set = Action_formula.compile lts alpha in
+      Hashtbl.replace compiled alpha set;
+      set
+  in
+  let rec solve_closed f =
+    (* a fresh, independent system for the closed argument *)
+    solve (translate_checked lts f)
+  and fill id =
+    let next_id = ref (id + 1) in
+    let child () =
+      let c = !next_id in
+      (* advance past the whole subtree rooted at c *)
+      let rec size (f : Formula.t) =
+        1
+        +
+        match f with
+        | Formula.True | Formula.False | Formula.Var _ | Formula.Not _ -> 0
+        | Formula.Implies (_, b) -> size b
+        | Formula.And (a, b) | Formula.Or (a, b) -> size a + size b
+        | Formula.Diamond (_, i) | Formula.Box (_, i) -> size i
+        | Formula.Mu (_, i) | Formula.Nu (_, i) -> size i
+      in
+      next_id := !next_id + size sub_formula.(c);
+      c
+    in
+    (match sub_formula.(id) with
+     | Formula.True ->
+       for s = 0 to n - 1 do rhs.(var id s) <- Const true done
+     | Formula.False ->
+       for s = 0 to n - 1 do rhs.(var id s) <- Const false done
+     | Formula.Not inner ->
+       let set = solve_closed inner in
+       for s = 0 to n - 1 do
+         rhs.(var id s) <- Const (not (Bitset.mem set s))
+       done
+     | Formula.Implies (a, _b) ->
+       let left = solve_closed a in
+       let cb = child () in
+       fill cb;
+       for s = 0 to n - 1 do
+         rhs.(var id s) <-
+           (if Bitset.mem left s then Disj [ var cb s ] else Const true)
+       done
+     | Formula.And (_, _) ->
+       let ca = child () in
+       fill ca;
+       let cb = child () in
+       fill cb;
+       for s = 0 to n - 1 do
+         rhs.(var id s) <- Conj [ var ca s; var cb s ]
+       done
+     | Formula.Or (_, _) ->
+       let ca = child () in
+       fill ca;
+       let cb = child () in
+       fill cb;
+       for s = 0 to n - 1 do
+         rhs.(var id s) <- Disj [ var ca s; var cb s ]
+       done
+     | Formula.Diamond (alpha, _) ->
+       let ci = child () in
+       fill ci;
+       let set = action_set alpha in
+       for s = 0 to n - 1 do
+         let succs =
+           Lts.fold_out lts s
+             (fun label dst acc ->
+                if Bitset.mem set label then Some (var ci dst) :: acc else acc)
+             []
+         in
+         rhs.(var id s) <- disj succs
+       done
+     | Formula.Box (alpha, _) ->
+       let ci = child () in
+       fill ci;
+       let set = action_set alpha in
+       for s = 0 to n - 1 do
+         let succs =
+           Lts.fold_out lts s
+             (fun label dst acc ->
+                if Bitset.mem set label then Some (var ci dst) :: acc else acc)
+             []
+         in
+         rhs.(var id s) <- conj succs
+       done
+     | Formula.Mu (_, _) | Formula.Nu (_, _) ->
+       let ci = child () in
+       fill ci;
+       for s = 0 to n - 1 do
+         rhs.(var id s) <- Disj [ var ci s ]
+       done
+     | Formula.Var _ ->
+       let binder = Hashtbl.find var_binder id in
+       for s = 0 to n - 1 do
+         rhs.(var id s) <- Disj [ var binder s ]
+       done)
+  and translate_checked lts f =
+    (* recursion entry for closed arguments *)
+    translate lts f
+  in
+  fill 0;
+  { lts; nb_subs; rhs; block; sign; nb_blocks }
+
+and solve t =
+  let n = Lts.nb_states t.lts in
+  let nb_vars = Array.length t.rhs in
+  let block_of_var v = t.block.(v / n) in
+  let value = Array.make nb_vars false in
+  (* reverse dependencies, restricted to same-block edges (deeper
+     blocks are solved before they are read) *)
+  let dependents = Array.make nb_vars [] in
+  Array.iteri
+    (fun v r ->
+       let record operands =
+         List.iter
+           (fun w ->
+              if block_of_var w = block_of_var v then
+                dependents.(w) <- v :: dependents.(w))
+           operands
+       in
+       match r with Const _ -> () | Disj ops | Conj ops -> record ops)
+    t.rhs;
+  (* solve blocks innermost-first (DFS numbering: children deeper) *)
+  for b = t.nb_blocks - 1 downto 0 do
+    let nu = t.sign.(b) in
+    let members = ref [] in
+    for v = nb_vars - 1 downto 0 do
+      if block_of_var v = b then members := v :: !members
+    done;
+    (* literal value of an operand as seen from this block: in-block
+       operands are tracked by counters; others are already final *)
+    let external_value w = value.(w) in
+    let in_block w = block_of_var w = b in
+    if nu then begin
+      (* greatest model: start true, propagate falsity *)
+      let counter = Array.make nb_vars 0 in
+      let queue = Queue.create () in
+      List.iter (fun v -> value.(v) <- true) !members;
+      List.iter
+        (fun v ->
+           match t.rhs.(v) with
+           | Const c -> if not c then Queue.add v queue
+           | Disj ops ->
+             (* false when every operand is false *)
+             let pending =
+               List.length (List.filter in_block ops)
+             in
+             let external_true =
+               List.exists (fun w -> (not (in_block w)) && external_value w) ops
+             in
+             if external_true then counter.(v) <- -1 (* permanently true *)
+             else begin
+               counter.(v) <- pending;
+               if pending = 0 then Queue.add v queue
+             end
+           | Conj ops ->
+             let external_false =
+               List.exists
+                 (fun w -> (not (in_block w)) && not (external_value w))
+                 ops
+             in
+             if external_false then Queue.add v queue)
+        !members;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        if value.(v) then begin
+          value.(v) <- false;
+          List.iter
+            (fun w ->
+               if value.(w) then
+                 match t.rhs.(w) with
+                 | Conj _ -> Queue.add w queue
+                 | Disj _ ->
+                   if counter.(w) > 0 then begin
+                     counter.(w) <- counter.(w) - 1;
+                     if counter.(w) = 0 then Queue.add w queue
+                   end
+                 | Const _ -> ())
+            dependents.(v)
+        end
+      done
+    end
+    else begin
+      (* least model: start false, propagate truth *)
+      let counter = Array.make nb_vars 0 in
+      let queue = Queue.create () in
+      List.iter
+        (fun v ->
+           match t.rhs.(v) with
+           | Const c -> if c then Queue.add v queue
+           | Conj ops ->
+             let pending = List.length (List.filter in_block ops) in
+             let external_false =
+               List.exists
+                 (fun w -> (not (in_block w)) && not (external_value w))
+                 ops
+             in
+             if external_false then counter.(v) <- -1 (* permanently false *)
+             else begin
+               counter.(v) <- pending;
+               if pending = 0 then Queue.add v queue
+             end
+           | Disj ops ->
+             let external_true =
+               List.exists (fun w -> (not (in_block w)) && external_value w) ops
+             in
+             if external_true then Queue.add v queue)
+        !members;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        if not value.(v) then begin
+          value.(v) <- true;
+          List.iter
+            (fun w ->
+               if not value.(w) then
+                 match t.rhs.(w) with
+                 | Disj _ -> Queue.add w queue
+                 | Conj _ ->
+                   if counter.(w) > 0 then begin
+                     counter.(w) <- counter.(w) - 1;
+                     if counter.(w) = 0 then Queue.add w queue
+                   end
+                 | Const _ -> ())
+            dependents.(v)
+        end
+      done
+    end
+  done;
+  let result = Bitset.create n in
+  for s = 0 to n - 1 do
+    if value.(s) then Bitset.add result s (* variables of subformula 0 *)
+  done;
+  result
+
+let holds lts formula =
+  Bitset.mem (solve (translate lts formula)) (Lts.initial lts)
+
+let sat lts formula = solve (translate lts formula)

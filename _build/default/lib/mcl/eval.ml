@@ -1,0 +1,92 @@
+module Lts = Mv_lts.Lts
+module Bitset = Mv_util.Bitset
+
+(* The modalities iterate over all transitions once per call; the
+   per-formula compiled action sets make the label test O(1). *)
+
+let diamond lts action_set target =
+  let n = Lts.nb_states lts in
+  let result = Bitset.create n in
+  Lts.iter_transitions lts (fun src label dst ->
+      if Bitset.mem action_set label && Bitset.mem target dst then
+        Bitset.add result src);
+  result
+
+let box lts action_set target =
+  (* s satisfies [alpha]phi iff no alpha-move leaves phi *)
+  let n = Lts.nb_states lts in
+  let violating = Bitset.create n in
+  Lts.iter_transitions lts (fun src label dst ->
+      if Bitset.mem action_set label && not (Bitset.mem target dst) then
+        Bitset.add violating src);
+  Bitset.complement violating;
+  violating
+
+let sat lts formula =
+  Formula.check formula;
+  let n = Lts.nb_states lts in
+  let compiled = Hashtbl.create 16 in
+  let action_set alpha =
+    match Hashtbl.find_opt compiled alpha with
+    | Some set -> set
+    | None ->
+      let set = Action_formula.compile lts alpha in
+      Hashtbl.replace compiled alpha set;
+      set
+  in
+  let rec eval env formula =
+    match formula with
+    | Formula.True -> Bitset.full n
+    | Formula.False -> Bitset.create n
+    | Formula.Var x -> (
+        match List.assoc_opt x env with
+        | Some set -> Bitset.copy set
+        | None -> assert false (* ruled out by Formula.check *))
+    | Formula.Not inner ->
+      let set = eval env inner in
+      Bitset.complement set;
+      set
+    | Formula.And (a, b) ->
+      let sa = eval env a in
+      Bitset.inter_into ~into:sa (eval env b);
+      sa
+    | Formula.Or (a, b) ->
+      let sa = eval env a in
+      Bitset.union_into ~into:sa (eval env b);
+      sa
+    | Formula.Implies (a, b) ->
+      let sa = eval env a in
+      Bitset.complement sa;
+      Bitset.union_into ~into:sa (eval env b);
+      sa
+    | Formula.Diamond (alpha, inner) ->
+      diamond lts (action_set alpha) (eval env inner)
+    | Formula.Box (alpha, inner) -> box lts (action_set alpha) (eval env inner)
+    | Formula.Mu (x, inner) -> fixpoint env x inner (Bitset.create n)
+    | Formula.Nu (x, inner) -> fixpoint env x inner (Bitset.full n)
+  and fixpoint env x inner start =
+    let current = ref start in
+    let stable = ref false in
+    while not !stable do
+      let next = eval ((x, !current) :: env) inner in
+      if Bitset.equal next !current then stable := true else current := next
+    done;
+    !current
+  in
+  eval [] formula
+
+let holds lts formula = Bitset.mem (sat lts formula) (Lts.initial lts)
+
+let witnesses lts formula ~limit =
+  let set = sat lts formula in
+  let out = ref [] in
+  let count = ref 0 in
+  (try
+     Bitset.iter
+       (fun s ->
+          if !count >= limit then raise Exit;
+          incr count;
+          out := s :: !out)
+       set
+   with Exit -> ());
+  List.rev !out

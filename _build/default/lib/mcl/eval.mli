@@ -1,0 +1,19 @@
+(** Global fixpoint evaluation of alternation-free formulas over an
+    explicit LTS.
+
+    Straightforward Knaster-Tarski iteration on dense bitsets; nested
+    fixpoints are re-evaluated under each environment, which is
+    quadratic in the worst case but entirely adequate for the
+    alternation-free formulas and model sizes of this flow. *)
+
+(** [sat lts formula] is the set of states satisfying [formula].
+    Raises {!Formula.Ill_formed} when [formula] violates the
+    restrictions of {!Formula.check}. *)
+val sat : Mv_lts.Lts.t -> Formula.t -> Mv_util.Bitset.t
+
+(** [holds lts formula] — does the initial state satisfy it? *)
+val holds : Mv_lts.Lts.t -> Formula.t -> bool
+
+(** [witnesses lts formula ~limit] lists up to [limit] satisfying
+    states (diagnostic helper). *)
+val witnesses : Mv_lts.Lts.t -> Formula.t -> limit:int -> int list

@@ -1,0 +1,159 @@
+module Lex = Mv_util.Lexing_util
+
+exception Parse_error of string
+
+let symbols = [ "=>"; "<"; ">"; "["; "]"; "("; ")"; "."; "|"; "*" ]
+
+let rec parse_action_or lex =
+  let left = parse_action_and lex in
+  match Lex.peek lex with
+  | Lex.Ident "or" ->
+    ignore (Lex.next lex);
+    Action_formula.Or (left, parse_action_or lex)
+  | _ -> left
+
+and parse_action_and lex =
+  let left = parse_action_atom lex in
+  match Lex.peek lex with
+  | Lex.Ident "and" ->
+    ignore (Lex.next lex);
+    Action_formula.And (left, parse_action_and lex)
+  | _ -> left
+
+and parse_action_atom lex =
+  match Lex.next lex with
+  | Lex.Ident "not" -> Action_formula.Not (parse_action_atom lex)
+  | Lex.Ident "true" | Lex.Ident "any" -> Action_formula.Any
+  | Lex.Ident "false" -> Action_formula.None_
+  | Lex.Ident "tau" -> Action_formula.Tau
+  | Lex.Ident "visible" -> Action_formula.Visible
+  | Lex.Ident gate -> Action_formula.Gate gate
+  | Lex.Str label -> Action_formula.Name label
+  | Lex.Punct "(" ->
+    let inner = parse_action_or lex in
+    Lex.expect lex ")";
+    inner
+  | tok ->
+    Lex.error lex
+      (Printf.sprintf "unexpected token in action formula: %s"
+         (match tok with
+          | Lex.Punct p -> Printf.sprintf "%S" p
+          | Lex.Int n -> string_of_int n
+          | Lex.Float f -> string_of_float f
+          | Lex.Eof -> "end of input"
+          | Lex.Ident _ | Lex.Str _ -> assert false))
+
+let keywords = [ "true"; "false"; "not"; "and"; "or"; "mu"; "nu"; "deadlock_free" ]
+
+(* Regular formulas inside modalities: alternation < sequence < star.
+   Atoms are action formulas; a parenthesis at regex level groups a
+   regex (use [not (...)] for boolean grouping over actions). *)
+let rec parse_regex lex = parse_regex_alt lex
+
+and parse_regex_alt lex =
+  let left = parse_regex_seq lex in
+  if Lex.eat lex "|" then Formula.Regex.Alt (left, parse_regex_alt lex)
+  else left
+
+and parse_regex_seq lex =
+  let left = parse_regex_star lex in
+  if Lex.eat lex "." then Formula.Regex.Seq (left, parse_regex_seq lex)
+  else left
+
+and parse_regex_star lex =
+  let rec stars r = if Lex.eat lex "*" then stars (Formula.Regex.Star r) else r in
+  stars (parse_regex_atom lex)
+
+and parse_regex_atom lex =
+  match Lex.peek lex with
+  | Lex.Punct "(" ->
+    ignore (Lex.next lex);
+    let r = parse_regex lex in
+    Lex.expect lex ")";
+    r
+  | _ -> Formula.Regex.Act (parse_action_atom lex)
+
+let rec parse_implies lex =
+  let left = parse_or lex in
+  if Lex.eat lex "=>" then Formula.Implies (left, parse_implies lex) else left
+
+and parse_or lex =
+  let left = parse_and lex in
+  match Lex.peek lex with
+  | Lex.Ident "or" ->
+    ignore (Lex.next lex);
+    Formula.Or (left, parse_or lex)
+  | _ -> left
+
+and parse_and lex =
+  let left = parse_unary lex in
+  match Lex.peek lex with
+  | Lex.Ident "and" ->
+    ignore (Lex.next lex);
+    Formula.And (left, parse_and lex)
+  | _ -> left
+
+and parse_unary lex =
+  match Lex.peek lex with
+  | Lex.Ident "not" ->
+    ignore (Lex.next lex);
+    Formula.Not (parse_unary lex)
+  | Lex.Punct "<" ->
+    ignore (Lex.next lex);
+    let r = parse_regex lex in
+    Lex.expect lex ">";
+    Formula.Regex.diamond r (parse_unary lex)
+  | Lex.Punct "[" ->
+    ignore (Lex.next lex);
+    let r = parse_regex lex in
+    Lex.expect lex "]";
+    Formula.Regex.box r (parse_unary lex)
+  | Lex.Ident "mu" ->
+    ignore (Lex.next lex);
+    let x = Lex.expect_ident lex in
+    Lex.expect lex ".";
+    Formula.Mu (x, parse_implies lex)
+  | Lex.Ident "nu" ->
+    ignore (Lex.next lex);
+    let x = Lex.expect_ident lex in
+    Lex.expect lex ".";
+    Formula.Nu (x, parse_implies lex)
+  | _ -> parse_atom lex
+
+and parse_atom lex =
+  match Lex.next lex with
+  | Lex.Ident "true" -> Formula.True
+  | Lex.Ident "false" -> Formula.False
+  | Lex.Ident "deadlock_free" -> Formula.Macro.deadlock_free
+  | Lex.Ident x when not (List.mem x keywords) -> Formula.Var x
+  | Lex.Punct "(" ->
+    let inner = parse_implies lex in
+    Lex.expect lex ")";
+    inner
+  | tok ->
+    Lex.error lex
+      (Printf.sprintf "unexpected token in formula: %s"
+         (match tok with
+          | Lex.Ident i -> i
+          | Lex.Punct p -> Printf.sprintf "%S" p
+          | Lex.Int n -> string_of_int n
+          | Lex.Float f -> string_of_float f
+          | Lex.Str s -> Printf.sprintf "%S" s
+          | Lex.Eof -> "end of input"))
+
+let run parse text =
+  try
+    let lex = Lex.make ~symbols text in
+    let result = parse lex in
+    (match Lex.peek lex with
+     | Lex.Eof -> ()
+     | _ -> Lex.error lex "trailing input after formula");
+    result
+  with Lex.Lex_error msg -> raise (Parse_error msg)
+
+let formula_of_string text =
+  let f = run parse_implies text in
+  Formula.check f;
+  f
+
+let action_of_string text = run parse_action_or text

@@ -1,0 +1,33 @@
+(** Concrete syntax for state formulas.
+
+    {v
+    form ::= form "=>" form            (right associative, lowest)
+           | form "or" form | form "and" form
+           | "not" form
+           | "<" reg ">" form | "[" reg "]" form
+           | "mu" VAR "." form | "nu" VAR "." form
+           | "true" | "false" | "deadlock_free" | VAR | "(" form ")"
+    reg  ::= reg "|" reg               (union)
+           | reg "." reg               (sequence)
+           | reg "*"                   (iteration)
+           | atom | "(" reg ")"
+    atom ::= "true" | "any" | "false" | "tau" | "visible"
+           | IDENT             (gate match, e.g. PUSH)
+           | STRING            (exact label, e.g. "PUSH !3")
+           | "not" atom        (boolean negation; group with not (...))
+    act  ::= act "or" act | act "and" act | "not" act
+           | atoms as above | "(" act ")"
+    v}
+
+    Modalities contain {e regular formulas}: [\[true* . error\] false]
+    is the safety idiom "no error ever". Single-action modalities are
+    the special case of a one-atom regex. [action_of_string] parses the
+    full boolean action grammar ([act]).
+
+    Comments are OCaml-style [(* ... *)]. *)
+
+exception Parse_error of string
+
+val formula_of_string : string -> Formula.t
+
+val action_of_string : string -> Action_formula.t

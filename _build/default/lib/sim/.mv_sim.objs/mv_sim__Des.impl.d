@@ -1,0 +1,1 @@
+lib/sim/des.ml: Array List Mv_imc Mv_lts Mv_util

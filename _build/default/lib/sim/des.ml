@@ -1,0 +1,98 @@
+module Imc = Mv_imc.Imc
+module Label = Mv_lts.Label
+module Rng = Mv_util.Rng
+
+type stats = { mean : float; stddev : float; replications : int }
+
+(* One simulation step from [state]: immediate interactive transitions
+   (uniform choice) pre-empt Markovian races. Returns the next state,
+   the elapsed time, and the visible action crossed (if any); [None]
+   when the state is absorbing. *)
+let step imc rng state =
+  match Imc.interactive_out imc state with
+  | [] -> (
+      match Imc.markovian_out imc state with
+      | [] -> None
+      | markovian ->
+        let total = List.fold_left (fun acc (r, _) -> acc +. r) 0.0 markovian in
+        let delay = Rng.exponential rng ~rate:total in
+        (* choose the winning transition proportionally to its rate *)
+        let u = Rng.float rng *. total in
+        let rec pick acc = function
+          | [] -> assert false
+          | [ (_, d) ] -> d
+          | (r, d) :: rest -> if u < acc +. r then d else pick (acc +. r) rest
+        in
+        Some (pick 0.0 markovian, delay, None))
+  | choices ->
+    let index = Rng.int rng (List.length choices) in
+    let label, dst = List.nth choices index in
+    let action =
+      if label = Label.tau then None
+      else Some (Label.name (Imc.labels imc) label)
+    in
+    Some (dst, 0.0, action)
+
+let throughput imc ~action ~horizon ~seed =
+  let rng = Rng.create seed in
+  let rec run state time count =
+    if time >= horizon then count
+    else
+      match step imc rng state with
+      | None -> count
+      | Some (next, delay, crossed) ->
+        let count = if crossed = Some action then count + 1 else count in
+        run next (time +. delay) count
+  in
+  float_of_int (run (Imc.initial imc) 0.0 0) /. horizon
+
+let statistics samples =
+  let replications = Array.length samples in
+  let mean = Array.fold_left ( +. ) 0.0 samples /. float_of_int replications in
+  let variance =
+    if replications < 2 then 0.0
+    else
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples
+      /. float_of_int (replications - 1)
+  in
+  { mean; stddev = sqrt variance; replications }
+
+let throughput_stats imc ~action ~horizon ~replications ~seed =
+  if replications <= 0 then invalid_arg "Des.throughput_stats: replications";
+  let master = Rng.create seed in
+  let samples =
+    Array.init replications (fun _ ->
+        throughput imc ~action ~horizon ~seed:(Rng.next_int64 master))
+  in
+  statistics samples
+
+let mean_first_passage ?(max_time = 1e6) imc ~targets ~replications ~seed =
+  if replications <= 0 then invalid_arg "Des.mean_first_passage: replications";
+  let rng = Rng.create seed in
+  let one_replication () =
+    let rec run state time =
+      if targets state then time
+      else if time >= max_time then max_time
+      else
+        match step imc rng state with
+        | None -> max_time
+        | Some (next, delay, _) -> run next (time +. delay)
+    in
+    run (Imc.initial imc) 0.0
+  in
+  statistics (Array.init replications (fun _ -> one_replication ()))
+
+let occupancy imc ~reward ~horizon ~seed =
+  let rng = Rng.create seed in
+  let rec run state time acc =
+    if time >= horizon then acc
+    else
+      match step imc rng state with
+      | None ->
+        (* absorbing: the current reward holds for the remaining time *)
+        acc +. ((horizon -. time) *. reward state)
+      | Some (next, delay, _) ->
+        let slice = min delay (horizon -. time) in
+        run next (time +. delay) (acc +. (slice *. reward state))
+  in
+  run (Imc.initial imc) 0.0 0.0 /. horizon

@@ -1,0 +1,50 @@
+(** Discrete-event simulation of IMCs.
+
+    The paper's flow solves Markov chains numerically; this simulator
+    provides an independent estimate of the same measures (throughput,
+    first-passage latency, occupancy) so that the numerical pipeline
+    can be cross-validated. Interactive transitions are immediate and
+    chosen uniformly at random; Markovian transitions race with
+    exponential delays. Deterministic given the seed. *)
+
+type stats = {
+  mean : float;
+  stddev : float; (** sample standard deviation across replications *)
+  replications : int;
+}
+
+(** [throughput imc ~action ~horizon ~seed] counts occurrences of
+    visible action [action] on one trajectory of duration [horizon]
+    and divides by the elapsed time. The trajectory stops early in an
+    absorbing state (count is then divided by the full horizon). *)
+val throughput : Mv_imc.Imc.t -> action:string -> horizon:float -> seed:int64 -> float
+
+(** [throughput_stats imc ~action ~horizon ~replications ~seed] runs
+    independent replications of {!throughput} (seeds derived from
+    [seed]) and reports their mean and sample standard deviation (use
+    [1.96 *. stddev /. sqrt replications] for a ~95% confidence
+    half-width). *)
+val throughput_stats :
+  Mv_imc.Imc.t ->
+  action:string ->
+  horizon:float ->
+  replications:int ->
+  seed:int64 ->
+  stats
+
+(** [mean_first_passage imc ~targets ~replications ~seed] averages the
+    time to first enter a state satisfying [targets] (predicate on IMC
+    states) over independent replications, restarting from the initial
+    state. [max_time] (default [1e6]) aborts a replication (counted at
+    the bound). *)
+val mean_first_passage :
+  ?max_time:float ->
+  Mv_imc.Imc.t ->
+  targets:(int -> bool) ->
+  replications:int ->
+  seed:int64 ->
+  stats
+
+(** [occupancy imc ~reward ~horizon ~seed] is the time average of
+    [reward state] along one trajectory of duration [horizon]. *)
+val occupancy : Mv_imc.Imc.t -> reward:(int -> float) -> horizon:float -> seed:int64 -> float

@@ -1,0 +1,1 @@
+lib/util/lexing_util.ml: Buffer List Printf String

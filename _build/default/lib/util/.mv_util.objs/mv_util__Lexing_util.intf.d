@@ -1,0 +1,1 @@
+lib/util/lexing_util.mli:

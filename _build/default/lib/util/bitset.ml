@@ -1,0 +1,111 @@
+type t = { words : Bytes.t; n : int }
+
+(* One byte per 8 elements; the trailing byte is kept normalized (bits
+   beyond [n] stay 0) so that [equal] and [cardinal] can work on raw
+   bytes. *)
+
+let nbytes n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make (nbytes n) '\000'; n }
+
+let capacity s = s.n
+
+let mem s i =
+  i >= 0 && i < s.n
+  && Char.code (Bytes.unsafe_get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let check s i name = if i < 0 || i >= s.n then invalid_arg ("Bitset." ^ name)
+
+let add s i =
+  check s i "add";
+  let b = i lsr 3 in
+  Bytes.unsafe_set s.words b
+    (Char.chr (Char.code (Bytes.unsafe_get s.words b) lor (1 lsl (i land 7))))
+
+let remove s i =
+  check s i "remove";
+  let b = i lsr 3 in
+  Bytes.unsafe_set s.words b
+    (Char.chr
+       (Char.code (Bytes.unsafe_get s.words b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let full n =
+  let s = create n in
+  for i = 0 to n - 1 do add s i done;
+  s
+
+let popcount_byte = Array.init 256 (fun c ->
+  let rec count c = if c = 0 then 0 else (c land 1) + count (c lsr 1) in
+  count c)
+
+let cardinal s =
+  let total = ref 0 in
+  for b = 0 to Bytes.length s.words - 1 do
+    total := !total + popcount_byte.(Char.code (Bytes.unsafe_get s.words b))
+  done;
+  !total
+
+let copy s = { words = Bytes.copy s.words; n = s.n }
+
+let same_universe a b name = if a.n <> b.n then invalid_arg ("Bitset." ^ name)
+
+let equal a b =
+  same_universe a b "equal";
+  Bytes.equal a.words b.words
+
+let union_into ~into src =
+  same_universe into src "union_into";
+  for b = 0 to Bytes.length into.words - 1 do
+    Bytes.unsafe_set into.words b
+      (Char.chr
+         (Char.code (Bytes.unsafe_get into.words b)
+          lor Char.code (Bytes.unsafe_get src.words b)))
+  done
+
+let inter_into ~into src =
+  same_universe into src "inter_into";
+  for b = 0 to Bytes.length into.words - 1 do
+    Bytes.unsafe_set into.words b
+      (Char.chr
+         (Char.code (Bytes.unsafe_get into.words b)
+          land Char.code (Bytes.unsafe_get src.words b)))
+  done
+
+let complement s =
+  for b = 0 to Bytes.length s.words - 1 do
+    Bytes.unsafe_set s.words b
+      (Char.chr (lnot (Char.code (Bytes.unsafe_get s.words b)) land 0xff))
+  done;
+  (* renormalize the trailing partial byte *)
+  for i = s.n to (Bytes.length s.words * 8) - 1 do
+    let b = i lsr 3 in
+    Bytes.unsafe_set s.words b
+      (Char.chr
+         (Char.code (Bytes.unsafe_get s.words b) land lnot (1 lsl (i land 7)) land 0xff))
+  done
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if mem s i then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let is_empty s =
+  let rec scan b =
+    b >= Bytes.length s.words
+    || (Char.code (Bytes.unsafe_get s.words b) = 0 && scan (b + 1))
+  in
+  scan 0
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n members =
+  let s = create n in
+  List.iter (add s) members;
+  s

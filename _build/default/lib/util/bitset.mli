@@ -1,0 +1,47 @@
+(** Dense bitsets over [0 .. n-1].
+
+    The mu-calculus evaluator and the reachability analyses manipulate
+    state sets of a fixed universe size; a packed representation keeps
+    the fixpoint iterations cheap. *)
+
+type t
+
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+val create : int -> t
+
+(** Universe size the set was created with. *)
+val capacity : t -> int
+
+(** [full n] is the set containing all of [0 .. n-1]. *)
+val full : int -> t
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+(** Number of elements in the set. *)
+val cardinal : t -> int
+
+val copy : t -> t
+
+(** [equal a b] — both sets must share the same universe size. *)
+val equal : t -> t -> bool
+
+(** In-place union: [union_into ~into src] adds all of [src] to [into]. *)
+val union_into : into:t -> t -> unit
+
+(** In-place intersection. *)
+val inter_into : into:t -> t -> unit
+
+(** In-place complement with respect to the universe. *)
+val complement : t -> unit
+
+(** [iter f s] applies [f] to members in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over members in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val is_empty : t -> bool
+val to_list : t -> int list
+val of_list : int -> int list -> t

@@ -1,0 +1,157 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Punct of string
+  | Eof
+
+exception Lex_error of string
+
+type t = {
+  text : string;
+  symbols : string list; (* longest first *)
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;
+  mutable tok_line : int;
+}
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let fail line msg = raise (Lex_error (Printf.sprintf "line %d: %s" line msg))
+
+let rec skip_space t =
+  if t.pos < String.length t.text then
+    match t.text.[t.pos] with
+    | ' ' | '\t' | '\r' -> t.pos <- t.pos + 1; skip_space t
+    | '\n' -> t.pos <- t.pos + 1; t.line <- t.line + 1; skip_space t
+    | '(' when t.pos + 1 < String.length t.text && t.text.[t.pos + 1] = '*' ->
+      skip_comment t 0; skip_space t
+    | _ -> ()
+
+and skip_comment t depth =
+  (* called with pos on "(*"; nests *)
+  t.pos <- t.pos + 2;
+  let rec scan () =
+    if t.pos + 1 >= String.length t.text then fail t.line "unterminated comment"
+    else if t.text.[t.pos] = '*' && t.text.[t.pos + 1] = ')' then t.pos <- t.pos + 2
+    else if t.text.[t.pos] = '(' && t.text.[t.pos + 1] = '*' then begin
+      skip_comment t (depth + 1); scan ()
+    end else begin
+      if t.text.[t.pos] = '\n' then t.line <- t.line + 1;
+      t.pos <- t.pos + 1;
+      scan ()
+    end
+  in
+  scan ()
+
+let match_symbol t =
+  let remaining = String.length t.text - t.pos in
+  let matches sym =
+    String.length sym <= remaining
+    && String.sub t.text t.pos (String.length sym) = sym
+  in
+  List.find_opt matches t.symbols
+
+let scan t =
+  skip_space t;
+  t.tok_line <- t.line;
+  if t.pos >= String.length t.text then Eof
+  else
+    let c = t.text.[t.pos] in
+    if is_ident_start c then begin
+      let start = t.pos in
+      while t.pos < String.length t.text && is_ident_char t.text.[t.pos] do
+        t.pos <- t.pos + 1
+      done;
+      Ident (String.sub t.text start (t.pos - start))
+    end
+    else if is_digit c then begin
+      let start = t.pos in
+      while t.pos < String.length t.text && is_digit t.text.[t.pos] do
+        t.pos <- t.pos + 1
+      done;
+      let is_float =
+        t.pos + 1 < String.length t.text
+        && t.text.[t.pos] = '.'
+        && is_digit t.text.[t.pos + 1]
+      in
+      if is_float then begin
+        t.pos <- t.pos + 1;
+        while t.pos < String.length t.text && is_digit t.text.[t.pos] do
+          t.pos <- t.pos + 1
+        done;
+        Float (float_of_string (String.sub t.text start (t.pos - start)))
+      end
+      else Int (int_of_string (String.sub t.text start (t.pos - start)))
+    end
+    else if c = '"' then begin
+      t.pos <- t.pos + 1;
+      let buffer = Buffer.create 16 in
+      let rec scan () =
+        if t.pos >= String.length t.text then fail t.line "unterminated string"
+        else
+          match t.text.[t.pos] with
+          | '"' -> t.pos <- t.pos + 1
+          | '\\' when t.pos + 1 < String.length t.text ->
+            Buffer.add_char buffer t.text.[t.pos + 1];
+            t.pos <- t.pos + 2;
+            scan ()
+          | '\n' -> fail t.line "newline in string"
+          | ch ->
+            Buffer.add_char buffer ch;
+            t.pos <- t.pos + 1;
+            scan ()
+      in
+      scan ();
+      Str (Buffer.contents buffer)
+    end
+    else
+      match match_symbol t with
+      | Some sym -> t.pos <- t.pos + String.length sym; Punct sym
+      | None -> t.pos <- t.pos + 1; Punct (String.make 1 c)
+
+let make ~symbols text =
+  let by_length_desc a b = compare (String.length b) (String.length a) in
+  let t =
+    { text; symbols = List.sort by_length_desc symbols;
+      pos = 0; line = 1; tok = Eof; tok_line = 1 }
+  in
+  t.tok <- scan t;
+  t
+
+let peek t = t.tok
+let line t = t.tok_line
+
+let next t =
+  let tok = t.tok in
+  t.tok <- scan t;
+  tok
+
+let string_of_token = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Str s -> Printf.sprintf "string %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Float f -> Printf.sprintf "float %g" f
+  | Punct p -> Printf.sprintf "%S" p
+  | Eof -> "end of input"
+
+let error t msg = fail t.tok_line msg
+
+let expect t p =
+  match next t with
+  | Punct q when q = p -> ()
+  | tok -> error t (Printf.sprintf "expected %S, got %s" p (string_of_token tok))
+
+let expect_ident t =
+  match next t with
+  | Ident s -> s
+  | tok -> error t (Printf.sprintf "expected identifier, got %s" (string_of_token tok))
+
+let eat t p =
+  match t.tok with
+  | Punct q when q = p -> ignore (next t); true
+  | Ident _ | Int _ | Float _ | Str _ | Punct _ | Eof -> false

@@ -1,0 +1,49 @@
+(** A tiny hand-rolled scanner shared by the MVL, CHP and mu-calculus
+    parsers.
+
+    Tokenization rules: identifiers are [[A-Za-z_][A-Za-z0-9_']*],
+    numbers are decimal integers or floats, punctuation is matched
+    greedily against a caller-supplied list of multi-character symbols,
+    ["(*"]..["*)"] comments nest, and whitespace separates tokens. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Str of string (** double-quoted; backslash escapes the next char *)
+  | Punct of string
+  | Eof
+
+(** Raised on malformed input; carries a human-readable message with a
+    line number. *)
+exception Lex_error of string
+
+type t
+
+(** [make ~symbols text] prepares a scanner. [symbols] lists the
+    multi-character punctuation tokens (e.g. ["|[", "]|", "->", ":="]);
+    single characters always lex as one-character [Punct]. *)
+val make : symbols:string list -> string -> t
+
+(** Current lookahead token without consuming it. *)
+val peek : t -> token
+
+(** Consume and return the current token. *)
+val next : t -> token
+
+(** 1-based line of the current lookahead (for error messages). *)
+val line : t -> int
+
+(** [expect t p] consumes the next token and fails with [Lex_error]
+    unless it is [Punct p]. *)
+val expect : t -> string -> unit
+
+(** [expect_ident t] consumes an identifier or fails. *)
+val expect_ident : t -> string
+
+(** [eat t p] consumes a [Punct p] if it is the lookahead and reports
+    whether it did. *)
+val eat : t -> string -> bool
+
+(** [error t msg] raises [Lex_error] mentioning the current line. *)
+val error : t -> string -> 'a

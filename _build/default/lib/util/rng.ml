@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* splitmix64 (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let float t =
+  (* take the top 53 bits for a uniform double in [0, 1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  let f = float t in
+  let i = int_of_float (f *. float_of_int bound) in
+  if i >= bound then bound - 1 else i
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential";
+  let u = float t in
+  (* 1 - u is in (0, 1], so the log is finite *)
+  -.log (1.0 -. u) /. rate
+
+let split t = create (next_int64 t)

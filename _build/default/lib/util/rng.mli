@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The discrete-event simulator needs reproducible streams that do not
+    depend on the global [Random] state; splitmix64 is small, fast and
+    has well-understood statistical quality for simulation purposes. *)
+
+type t
+
+(** [create seed] is a fresh generator. Equal seeds give equal
+    streams. *)
+val create : int64 -> t
+
+(** Next raw 64-bit value. *)
+val next_int64 : t -> int64
+
+(** Uniform float in [[0, 1)]. *)
+val float : t -> float
+
+(** [int t bound] is uniform in [[0, bound-1]]. [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [exponential t ~rate] samples an exponential delay with the given
+    rate (mean [1 /. rate]). [rate] must be positive. *)
+val exponential : t -> rate:float -> float
+
+(** [split t] derives an independent generator, advancing [t]. *)
+val split : t -> t

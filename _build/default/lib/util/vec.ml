@@ -1,0 +1,33 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length v = v.len
+
+let ensure v n =
+  if n > Array.length v.data then begin
+    let capacity = max n (2 * Array.length v.data) in
+    let data = Array.make capacity 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let check v i name =
+  if i < 0 || i >= v.len then invalid_arg ("Vec." ^ name)
+
+let get v i = check v i "get"; v.data.(i)
+let set v i x = check v i "set"; v.data.(i) <- x
+let to_array v = Array.sub v.data 0 v.len
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let clear v = v.len <- 0

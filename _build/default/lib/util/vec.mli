@@ -1,0 +1,33 @@
+(** Growable arrays of unboxed integers.
+
+    Used throughout the state-space generation and minimization code,
+    where transition lists grow incrementally and OCaml 5.1 has no
+    [Dynarray]. *)
+
+type t
+
+(** [create ()] is an empty vector. *)
+val create : ?capacity:int -> unit -> t
+
+(** Number of elements currently stored. *)
+val length : t -> int
+
+(** [push v x] appends [x] at the end of [v]. *)
+val push : t -> int -> unit
+
+(** [get v i] is the [i]-th element. Raises [Invalid_argument] when out
+    of bounds. *)
+val get : t -> int -> int
+
+(** [set v i x] overwrites the [i]-th element. Raises
+    [Invalid_argument] when out of bounds. *)
+val set : t -> int -> int -> unit
+
+(** [to_array v] is a fresh array with the contents of [v]. *)
+val to_array : t -> int array
+
+(** [iter f v] applies [f] to every element in insertion order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [clear v] removes all elements (capacity is retained). *)
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/xstream/analytic.mli:

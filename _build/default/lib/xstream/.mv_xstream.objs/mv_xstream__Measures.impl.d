@@ -1,0 +1,1 @@
+lib/xstream/measures.ml: Array List Mv_calc Mv_core Mv_imc Mv_markov Queues String

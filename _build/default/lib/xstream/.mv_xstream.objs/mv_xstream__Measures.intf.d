@@ -1,0 +1,1 @@
+lib/xstream/measures.mli: Mv_calc

@@ -1,0 +1,1 @@
+lib/xstream/queues.ml: Mv_calc Printf

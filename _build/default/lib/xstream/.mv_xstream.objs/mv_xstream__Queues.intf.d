@@ -1,0 +1,1 @@
+lib/xstream/queues.mli: Mv_calc

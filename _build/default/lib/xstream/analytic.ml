@@ -1,0 +1,21 @@
+let pi ~arrival ~service ~k =
+  if arrival <= 0.0 || service <= 0.0 then invalid_arg "Analytic.pi: rates";
+  if k < 1 then invalid_arg "Analytic.pi: k";
+  let rho = arrival /. service in
+  let weights = Array.init (k + 1) (fun m -> rho ** float_of_int m) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  Array.map (fun w -> w /. total) weights
+
+let blocking ~arrival ~service ~k = (pi ~arrival ~service ~k).(k)
+
+let throughput ~arrival ~service ~k =
+  arrival *. (1.0 -. blocking ~arrival ~service ~k)
+
+let mean_jobs ~arrival ~service ~k =
+  let dist = pi ~arrival ~service ~k in
+  let total = ref 0.0 in
+  Array.iteri (fun m p -> total := !total +. (float_of_int m *. p)) dist;
+  !total
+
+let mean_latency ~arrival ~service ~k =
+  mean_jobs ~arrival ~service ~k /. throughput ~arrival ~service ~k

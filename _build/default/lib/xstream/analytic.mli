@@ -1,0 +1,19 @@
+(** Closed-form M/M/1/K results, used to validate the numerical
+    pipeline end to end (generator -> IMC -> lumping -> CTMC -> solver
+    must agree with these formulas on single-queue models). *)
+
+(** [pi ~arrival ~service ~k] is the stationary distribution of the
+    number of jobs in an M/M/1/K system, indices [0..k]. *)
+val pi : arrival:float -> service:float -> k:int -> float array
+
+(** Accepted-arrival (= departure) rate: [arrival *. (1 - pi.(k))]. *)
+val throughput : arrival:float -> service:float -> k:int -> float
+
+(** Blocking probability [pi.(k)]. *)
+val blocking : arrival:float -> service:float -> k:int -> float
+
+(** Expected number of jobs in system. *)
+val mean_jobs : arrival:float -> service:float -> k:int -> float
+
+(** Mean sojourn time of accepted jobs (Little's law). *)
+val mean_latency : arrival:float -> service:float -> k:int -> float

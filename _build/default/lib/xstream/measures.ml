@@ -1,0 +1,114 @@
+module Ast = Mv_calc.Ast
+module Expr = Mv_calc.Expr
+module Value = Mv_calc.Value
+module Imc = Mv_imc.Imc
+module To_ctmc = Mv_imc.To_ctmc
+module Ctmc = Mv_markov.Ctmc
+
+type summary = {
+  throughput : float;
+  mean_occupancy : float;
+  mean_latency : float;
+  blocking : float;
+}
+
+let rec occupancy_of_term ~queue term =
+  match term with
+  | Ast.Call (name, _, Expr.Const (Value.VInt n) :: _) when String.equal name queue ->
+    Some n
+  | Ast.Call _ | Ast.Stop | Ast.Exit _ -> None
+  | Ast.Prefix (_, k) | Ast.Rate (_, k) | Ast.Guard (_, k)
+  | Ast.Hide (_, k) | Ast.Rename (_, k) ->
+    occupancy_of_term ~queue k
+  | Ast.Choice bs ->
+    List.fold_left
+      (fun acc b ->
+         match acc with Some _ -> acc | None -> occupancy_of_term ~queue b)
+      None bs
+  | Ast.Par (_, x, y) | Ast.Seq (x, _, y) -> (
+      match occupancy_of_term ~queue x with
+      | Some n -> Some n
+      | None -> occupancy_of_term ~queue y)
+
+let occupancy_distribution ?(queue = Queues.queue_process_name) spec ~capacity =
+  let outcome = Mv_calc.State_space.generate spec in
+  let imc = Imc.of_lts outcome.Mv_calc.State_space.lts in
+  let progressed = Imc.maximal_progress (Imc.hide_all imc) in
+  let conv = To_ctmc.convert progressed in
+  let pi = Ctmc.steady_state conv.To_ctmc.ctmc in
+  let dist = Array.make (capacity + 1) 0.0 in
+  Array.iteri
+    (fun imc_state ctmc_state ->
+       if ctmc_state >= 0 then
+         match
+           occupancy_of_term ~queue outcome.Mv_calc.State_space.terms.(imc_state)
+         with
+         | Some n when n >= 0 && n <= capacity ->
+           dist.(n) <- dist.(n) +. pi.(ctmc_state)
+         | Some _ | None -> ())
+    conv.To_ctmc.ctmc_state_of_imc;
+  (* the mass on states without a readable occupancy (artificial
+     initial only) is negligible; renormalize nonetheless *)
+  let total = Array.fold_left ( +. ) 0.0 dist in
+  if total > 0.0 then Array.map (fun p -> p /. total) dist else dist
+
+let summary ?(queue = Queues.queue_process_name) spec ~capacity =
+  let perf = Mv_core.Flow.performance ~keep:[ "pop" ] spec in
+  let throughput = Mv_core.Flow.throughput perf ~gate:"pop" in
+  let dist = occupancy_distribution ~queue spec ~capacity in
+  let mean_occupancy = ref 0.0 in
+  Array.iteri
+    (fun n p -> mean_occupancy := !mean_occupancy +. (float_of_int n *. p))
+    dist;
+  {
+    throughput;
+    mean_occupancy = !mean_occupancy;
+    mean_latency = !mean_occupancy /. throughput;
+    blocking = dist.(capacity);
+  }
+
+type spill_summary = {
+  spill_throughput : float;
+  mean_hw : float;
+  mean_spilled : float;
+  spilling : float;
+}
+
+let rec spill_of_term term =
+  match term with
+  | Ast.Call ("Queue", _, Expr.Const (Value.VInt hw) :: Expr.Const (Value.VInt sp) :: _)
+    -> Some (hw, sp)
+  | Ast.Call _ | Ast.Stop | Ast.Exit _ -> None
+  | Ast.Prefix (_, k) | Ast.Rate (_, k) | Ast.Guard (_, k)
+  | Ast.Hide (_, k) | Ast.Rename (_, k) -> spill_of_term k
+  | Ast.Choice bs ->
+    List.fold_left
+      (fun acc b -> match acc with Some _ -> acc | None -> spill_of_term b)
+      None bs
+  | Ast.Par (_, x, y) | Ast.Seq (x, _, y) -> (
+      match spill_of_term x with Some v -> Some v | None -> spill_of_term y)
+
+let spill_summary spec =
+  let outcome = Mv_calc.State_space.generate spec in
+  let imc = Imc.of_lts outcome.Mv_calc.State_space.lts in
+  let progressed = Imc.maximal_progress (Imc.hide_all imc) in
+  let conv = To_ctmc.convert progressed in
+  let pi = Ctmc.steady_state conv.To_ctmc.ctmc in
+  let mean_hw = ref 0.0 and mean_spilled = ref 0.0 and spilling = ref 0.0 in
+  Array.iteri
+    (fun imc_state ctmc_state ->
+       if ctmc_state >= 0 then
+         match spill_of_term outcome.Mv_calc.State_space.terms.(imc_state) with
+         | Some (hw, sp) ->
+           mean_hw := !mean_hw +. (float_of_int hw *. pi.(ctmc_state));
+           mean_spilled := !mean_spilled +. (float_of_int sp *. pi.(ctmc_state));
+           if sp > 0 then spilling := !spilling +. pi.(ctmc_state)
+         | None -> ())
+    conv.To_ctmc.ctmc_state_of_imc;
+  let perf = Mv_core.Flow.performance ~keep:[ "pop" ] spec in
+  {
+    spill_throughput = Mv_core.Flow.throughput perf ~gate:"pop";
+    mean_hw = !mean_hw;
+    mean_spilled = !mean_spilled;
+    spilling = !spilling;
+  }

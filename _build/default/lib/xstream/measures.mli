@@ -1,0 +1,42 @@
+(** Performance measures of the queue models, computed through the
+    full flow (generation -> IMC -> CTMC -> steady state).
+
+    Occupancy needs the queue length of each state, which the lumped
+    chain no longer knows; [occupancy_distribution] therefore runs the
+    conversion without lumping and reads the occupancy out of the
+    behaviour terms. *)
+
+type summary = {
+  throughput : float; (** accepted-job rate (pop actions per time unit) *)
+  mean_occupancy : float; (** average number of jobs in the queue *)
+  mean_latency : float; (** queue sojourn time of accepted jobs (Little) *)
+  blocking : float; (** steady-state probability that the queue is full *)
+}
+
+(** [occupancy_of_term ~queue term] extracts the first argument of the
+    pending call to process [queue] inside [term] ([None] if the term
+    has no such call — e.g. mid-rendezvous shapes). *)
+val occupancy_of_term : queue:string -> Mv_calc.Ast.behavior -> int option
+
+(** [occupancy_distribution ?queue spec ~capacity] — steady-state
+    distribution of the occupancy of queue process [queue] (default
+    ["Queue"]), indices [0..capacity]. *)
+val occupancy_distribution :
+  ?queue:string -> Mv_calc.Ast.spec -> capacity:int -> float array
+
+(** [summary spec ~capacity] — throughput, occupancy, latency and
+    blocking of the queue named ["Queue"] in [spec]. The spec must use
+    the [pop] gate for departures. *)
+val summary : ?queue:string -> Mv_calc.Ast.spec -> capacity:int -> summary
+
+type spill_summary = {
+  spill_throughput : float; (** pop rate *)
+  mean_hw : float; (** average items in the hardware FIFO *)
+  mean_spilled : float; (** average items parked in memory *)
+  spilling : float; (** steady-state probability that the spill region
+                        is non-empty *)
+}
+
+(** Statistics of a {!Queues.spill} model (reads both [Queue]
+    arguments out of the state terms). *)
+val spill_summary : Mv_calc.Ast.spec -> spill_summary

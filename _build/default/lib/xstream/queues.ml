@@ -1,0 +1,135 @@
+let queue_process_name = "Queue"
+
+let spec_of_text = Mv_calc.Parser.spec_of_string_checked
+
+let single ~arrival ~service ~capacity =
+  if capacity < 1 then invalid_arg "Queues.single: capacity";
+  if arrival <= 0.0 || service <= 0.0 then invalid_arg "Queues.single: rates";
+  spec_of_text
+    (Printf.sprintf
+       {|
+process Producer := rate %.12g ; push ; Producer
+process Consumer := pop ; rate %.12g ; Consumer
+process Queue (n : int[0..%d]) :=
+    [n < %d] -> push ; Queue(n + 1)
+ [] [n > 0] -> pop ; Queue(n - 1)
+init (Producer |[push]| Queue(0)) |[pop]| Consumer
+|}
+       arrival service capacity capacity)
+
+let system_capacity ~capacity = capacity + 2
+
+let tandem ~arrival ~transfer ~service ~capacity1 ~capacity2 =
+  if capacity1 < 1 || capacity2 < 1 then invalid_arg "Queues.tandem: capacity";
+  if arrival <= 0.0 || transfer <= 0.0 || service <= 0.0 then
+    invalid_arg "Queues.tandem: rates";
+  spec_of_text
+    (Printf.sprintf
+       {|
+process Producer := rate %.12g ; push ; Producer
+process Mover := mid ; rate %.12g ; push2 ; Mover
+process Consumer := pop ; rate %.12g ; Consumer
+process Queue (n : int[0..%d]) :=
+    [n < %d] -> push ; Queue(n + 1)
+ [] [n > 0] -> mid ; Queue(n - 1)
+process Queue2 (n : int[0..%d]) :=
+    [n < %d] -> push2 ; Queue2(n + 1)
+ [] [n > 0] -> pop ; Queue2(n - 1)
+init ((Producer |[push]| Queue(0)) |[mid]| (Mover |[push2]| Queue2(0))) |[pop]| Consumer
+|}
+       arrival transfer service capacity1 capacity1 capacity2 capacity2)
+
+let credit ~arrival ~service ~capacity ~credits =
+  if credits < 1 || credits > capacity then invalid_arg "Queues.credit: credits";
+  if arrival <= 0.0 || service <= 0.0 then invalid_arg "Queues.credit: rates";
+  spec_of_text
+    (Printf.sprintf
+       {|
+process Producer := rate %.12g ; grant ; push ; Producer
+process Consumer := pop ; free ; rate %.12g ; Consumer
+process Credits (c : int[0..%d]) :=
+    [c > 0] -> grant ; Credits(c - 1)
+ [] [c < %d] -> free ; Credits(c + 1)
+process Queue (n : int[0..%d]) :=
+    [n < %d] -> push ; Queue(n + 1)
+ [] [n > 0] -> pop ; Queue(n - 1)
+init ((Producer |[grant, push]| (Credits(%d) ||| Queue(0))) |[pop, free]| Consumer)
+|}
+       arrival service credits credits capacity capacity credits)
+
+let multi_producer ~arrival0 ~arrival1 ~service ~capacity =
+  if capacity < 1 then invalid_arg "Queues.multi_producer: capacity";
+  if arrival0 <= 0.0 || arrival1 <= 0.0 || service <= 0.0 then
+    invalid_arg "Queues.multi_producer: rates";
+  spec_of_text
+    (Printf.sprintf
+       {|
+process Producer0 := rate %.12g ; push0 ; Producer0
+process Producer1 := rate %.12g ; push1 ; Producer1
+process Consumer := pop ; rate %.12g ; Consumer
+process Queue (n : int[0..%d]) :=
+    [n < %d] -> push0 ; Queue(n + 1)
+ [] [n < %d] -> push1 ; Queue(n + 1)
+ [] [n > 0] -> pop ; Queue(n - 1)
+init ((Producer0 ||| Producer1) |[push0, push1]| Queue(0)) |[pop]| Consumer
+|}
+       arrival0 arrival1 service capacity capacity capacity)
+
+let dual_server ~arrival ~service =
+  if arrival <= 0.0 || service <= 0.0 then invalid_arg "Queues.dual_server: rates";
+  spec_of_text
+    (Printf.sprintf
+       {|
+process Source := rate %.12g ; grab ; Source
+process Engine := grab ; rate %.12g ; done ; Engine
+init Source |[grab]| (Engine ||| Engine)
+|}
+       arrival service)
+
+let spill ~arrival ~service ~refill ~hw_capacity ~spill_capacity =
+  if hw_capacity < 1 || spill_capacity < 1 then invalid_arg "Queues.spill: capacities";
+  if arrival <= 0.0 || service <= 0.0 || refill <= 0.0 then
+    invalid_arg "Queues.spill: rates";
+  spec_of_text
+    (Printf.sprintf
+       {|
+process Producer := rate %.12g ; push ; Producer
+process Consumer := pop ; rate %.12g ; Consumer
+process Refiller := rate %.12g ; refill ; Refiller
+process Queue (hw : int[0..%d], sp : int[0..%d]) :=
+    [hw < %d and sp == 0] -> push ; Queue(hw + 1, sp)
+ [] [hw == %d and sp < %d] -> push ; Queue(hw, sp + 1)
+ [] [hw > 0] -> pop ; Queue(hw - 1, sp)
+ [] [hw < %d and sp > 0] -> refill ; Queue(hw + 1, sp - 1)
+init ((Producer |[push]| Queue(0, 0)) |[refill]| Refiller) |[pop]| Consumer
+|}
+       arrival service refill hw_capacity spill_capacity hw_capacity
+       hw_capacity spill_capacity hw_capacity)
+
+(* Data FIFOs: slots hold -1 (empty) or a value in 0..1; [h] is the
+   head (next to pop), [t] the tail. *)
+
+let fifo_header =
+  {|
+process Fifo (h : int[-1..1], t : int[-1..1]) :=
+    [h == -1] -> push ?x:int[0..1] ; Fifo(x, -1)
+ [] [h >= 0 and t == -1] -> push ?x:int[0..1] ; Fifo(h, x)
+ [] [h >= 0 and t == -1] -> pop !h ; Fifo(-1, -1)
+ [] [h >= 0 and t >= 0] -> pop !h ; Fifo(t, -1)
+|}
+
+let fifo_data () = spec_of_text (fifo_header ^ "\ninit Fifo(-1, -1)\n")
+
+let fifo_lossy () =
+  spec_of_text
+    (fifo_header
+     ^ {| [] [h >= 0 and t >= 0] -> push ?x:int[0..1] ; Fifo(h, t)
+init Fifo(-1, -1)
+|})
+
+let fifo_unordered () =
+  spec_of_text
+    (fifo_header
+     ^ {| [] [h >= 0 and t >= 0] -> pop !t ; Fifo(h, -1)
+init Fifo(-1, -1)
+|})

@@ -1,0 +1,93 @@
+(** xSTream-like queue models.
+
+    The xSTream architecture moves streaming data through hardware
+    FIFO queues with flow control; the paper's performance questions
+    are their latency, throughput and occupancy. These builders produce
+    MVL specifications for:
+
+    - a single bounded queue between a Poisson producer and an
+      exponential consumer ([single]);
+    - a two-stage tandem with an exponential transfer stage ([tandem]);
+    - a credit-window variant in which the producer needs a credit to
+      push and pops return credits ([credit]);
+    - small data-carrying FIFOs including the two {e injected
+      functional issues} used by the verification experiment
+      ([fifo_data], [fifo_lossy], [fifo_unordered]): a queue that drops
+      on overflow and a queue that re-orders, both caught by
+      equivalence checking against [fifo_data].
+
+    Gates: [push], [pop] (stage 2 of the tandem uses [push2]/[pop]).
+    The name of the queue process is ["Queue"] in all stochastic
+    models, with the current occupancy as its first parameter (see
+    {!Measures.occupancy_of_term}). *)
+
+val queue_process_name : string
+
+(** [single ~arrival ~service ~capacity] — producer (rate [arrival],
+    then [push]) | queue([capacity]) | consumer ([pop], then rate
+    [service]). Together the producer and consumer slots make the
+    system an M/M/1/K with [K = capacity + 2] jobs. *)
+val single : arrival:float -> service:float -> capacity:int -> Mv_calc.Ast.spec
+
+(** System capacity of {!single} in M/M/1/K terms. *)
+val system_capacity : capacity:int -> int
+
+(** [tandem ~arrival ~transfer ~service ~capacity1 ~capacity2] — two
+    queues connected by a transfer stage of rate [transfer]. Gates:
+    [push], [mid], [pop]. Queue processes: ["Queue"] and ["Queue2"]. *)
+val tandem :
+  arrival:float ->
+  transfer:float ->
+  service:float ->
+  capacity1:int ->
+  capacity2:int ->
+  Mv_calc.Ast.spec
+
+(** [credit ~arrival ~service ~capacity ~credits] — the producer
+    acquires a [grant] before each [push]; each [pop] emits a [free]
+    that returns the credit. [credits <= capacity] keeps the queue from
+    overflowing by construction. *)
+val credit :
+  arrival:float -> service:float -> capacity:int -> credits:int -> Mv_calc.Ast.spec
+
+(** [multi_producer ~arrival0 ~arrival1 ~service ~capacity] — two
+    producers with distinct rates contend for one queue; pushes stay
+    distinguishable as [push0] / [push1]. Demonstrates (confluent)
+    nondeterministic arbitration inside the performance pipeline. *)
+val multi_producer :
+  arrival0:float ->
+  arrival1:float ->
+  service:float ->
+  capacity:int ->
+  Mv_calc.Ast.spec
+
+(** [dual_server ~arrival ~service] — one Poisson source dispatched to
+    two {e identical} exponential engines. The two engines are
+    symmetric, so stochastic lumping halves the chain - the showcase
+    for the minimization step of the performance flow. Gates: [grab]
+    (dispatch), [done] (completion). *)
+val dual_server : arrival:float -> service:float -> Mv_calc.Ast.spec
+
+(** [spill ~arrival ~service ~refill ~hw_capacity ~spill_capacity] —
+    an xSTream queue with memory backing: the hardware FIFO holds
+    [hw_capacity] items; overflow goes to a memory spill region of
+    [spill_capacity] items and is pulled back by a rate-[refill]
+    refiller when the FIFO drains. Consumers only pop from the FIFO, so
+    a slow refill path throttles the whole stream. Queue process:
+    ["Queue"] with arguments [(hw, spilled)]. *)
+val spill :
+  arrival:float ->
+  service:float ->
+  refill:float ->
+  hw_capacity:int ->
+  spill_capacity:int ->
+  Mv_calc.Ast.spec
+
+(** Correct 2-place data FIFO over values [0..1] (untimed). *)
+val fifo_data : unit -> Mv_calc.Ast.spec
+
+(** Functional issue 1: accepts pushes when full and drops them. *)
+val fifo_lossy : unit -> Mv_calc.Ast.spec
+
+(** Functional issue 2: buffered items can overtake each other. *)
+val fifo_unordered : unit -> Mv_calc.Ast.spec

@@ -1,0 +1,1 @@
+test/test_bisim.ml: Alcotest List Mv_bisim Mv_lts QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_calc.ml: Alcotest Format List Mv_bisim Mv_calc Mv_lts Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_calc_laws.ml: Format Mv_bisim Mv_calc QCheck2 QCheck_alcotest

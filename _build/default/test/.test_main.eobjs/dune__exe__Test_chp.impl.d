@@ -1,0 +1,1 @@
+test/test_chp.ml: Alcotest List Mv_bisim Mv_calc Mv_chp Mv_lts

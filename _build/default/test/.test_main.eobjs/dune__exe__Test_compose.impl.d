@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest List Mv_bisim Mv_calc Mv_compose Mv_lts Printf QCheck2 QCheck_alcotest String

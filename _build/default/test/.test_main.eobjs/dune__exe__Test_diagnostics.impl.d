@@ -1,0 +1,1 @@
+test/test_diagnostics.ml: Alcotest List Mv_bisim Mv_calc Mv_lts Mv_xstream

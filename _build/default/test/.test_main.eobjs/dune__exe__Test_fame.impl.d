@@ -1,0 +1,1 @@
+test/test_fame.ml: Alcotest Fun Hashtbl List Mv_core Mv_fame Mv_lts Printf

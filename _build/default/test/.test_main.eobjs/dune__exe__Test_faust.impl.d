@@ -1,0 +1,1 @@
+test/test_faust.ml: Alcotest List Mv_bisim Mv_calc Mv_compose Mv_core Mv_faust Mv_lts Mv_mcl Printf String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest List Mv_bisim Mv_calc Mv_compose Mv_core Mv_imc Mv_lts Mv_markov Mv_mcl Mv_sim Mv_xstream Printf

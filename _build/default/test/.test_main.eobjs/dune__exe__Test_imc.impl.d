@@ -1,0 +1,1 @@
+test/test_imc.ml: Alcotest Array List Mv_calc Mv_core Mv_imc Mv_lts Mv_markov Mv_xstream Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lts.ml: Alcotest Array Astring Format Hashtbl Int List Mv_lts Mv_util Option Printf QCheck2 QCheck_alcotest

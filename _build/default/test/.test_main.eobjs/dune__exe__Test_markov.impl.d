@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array List Mv_markov Mv_xstream Printf QCheck2 QCheck_alcotest

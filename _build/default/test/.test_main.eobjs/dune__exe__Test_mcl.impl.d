@@ -1,0 +1,1 @@
+test/test_mcl.ml: Alcotest List Mv_lts Mv_mcl Mv_util Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Astring Filename Fun List Mv_bisim Mv_calc Mv_core Mv_fame Mv_faust Mv_lts Mv_xstream String Sys Unix

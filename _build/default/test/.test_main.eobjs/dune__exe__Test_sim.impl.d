@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Mv_imc Mv_lts Mv_sim Mv_xstream Printf

@@ -1,0 +1,1 @@
+test/test_svl.ml: Alcotest Array Astring Filename Fun List Mv_core Sys

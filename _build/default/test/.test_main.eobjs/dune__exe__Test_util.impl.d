@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest List Mv_util Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_xstream.ml: Alcotest Array List Mv_bisim Mv_calc Mv_core Mv_imc Mv_lts Mv_mcl Mv_xstream Printf QCheck2 QCheck_alcotest

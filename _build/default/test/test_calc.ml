@@ -1,0 +1,541 @@
+(* Tests for mv_calc: values, expressions, parser, typechecker,
+   SOS semantics, and state-space generation. *)
+
+module Ast = Mv_calc.Ast
+module Expr = Mv_calc.Expr
+module Value = Mv_calc.Value
+module Ty = Mv_calc.Ty
+module Parser = Mv_calc.Parser
+module Typecheck = Mv_calc.Typecheck
+module Semantics = Mv_calc.Semantics
+module State_space = Mv_calc.State_space
+module Lts = Mv_lts.Lts
+
+let parse = Parser.spec_of_string_checked
+
+let nb_states text = Lts.nb_states (State_space.lts (parse text))
+
+let test_value_printing () =
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.VInt 42));
+  Alcotest.(check string) "bool" "true" (Value.to_string (Value.VBool true));
+  Alcotest.(check string) "enum" "RED" (Value.to_string (Value.VEnum "RED"))
+
+let test_ty_domain () =
+  let enums = [ ("color", [ "RED"; "GREEN" ]) ] in
+  Alcotest.(check int) "bool domain" 2 (List.length (Ty.domain enums Ty.TBool));
+  Alcotest.(check int) "range domain" 5
+    (List.length (Ty.domain enums (Ty.TIntRange (-2, 2))));
+  Alcotest.(check int) "enum domain" 2
+    (List.length (Ty.domain enums (Ty.TEnum "color")));
+  Alcotest.check_raises "empty range" (Invalid_argument "Ty.domain: empty range")
+    (fun () -> ignore (Ty.domain enums (Ty.TIntRange (3, 1))));
+  Alcotest.(check bool) "check_value" true
+    (Ty.check_value enums (Ty.TIntRange (0, 3)) (Value.VInt 2));
+  Alcotest.(check bool) "check_value out" false
+    (Ty.check_value enums (Ty.TIntRange (0, 3)) (Value.VInt 4))
+
+let eval_str text = Expr.eval (Parser.expr_of_string text)
+
+let test_expr_eval () =
+  Alcotest.(check bool) "arith" true
+    (Value.equal (eval_str "2 + 3 * 4") (Value.VInt 14));
+  Alcotest.(check bool) "parens" true
+    (Value.equal (eval_str "(2 + 3) * 4") (Value.VInt 20));
+  Alcotest.(check bool) "unary minus" true
+    (Value.equal (eval_str "-3 + 5") (Value.VInt 2));
+  Alcotest.(check bool) "mod" true
+    (Value.equal (eval_str "7 % 3") (Value.VInt 1));
+  Alcotest.(check bool) "comparison" true
+    (Value.equal (eval_str "2 + 2 <= 4") (Value.VBool true));
+  Alcotest.(check bool) "boolean" true
+    (Value.equal (eval_str "true and not false") (Value.VBool true));
+  Alcotest.(check bool) "precedence or/and" true
+    (Value.equal (eval_str "true or false and false") (Value.VBool true));
+  Alcotest.(check bool) "if" true
+    (Value.equal (eval_str "if 1 < 2 then 10 else 20") (Value.VInt 10))
+
+let test_expr_errors () =
+  (try
+     ignore (eval_str "1 / 0");
+     Alcotest.fail "expected Eval_error"
+   with Expr.Eval_error _ -> ());
+  (try
+     ignore (eval_str "x + 1");
+     Alcotest.fail "expected Eval_error (unbound)"
+   with Expr.Eval_error _ -> ());
+  try
+    ignore (eval_str "1 + true");
+    Alcotest.fail "expected Eval_error (type)"
+  with Expr.Eval_error _ -> ()
+
+let test_expr_subst () =
+  let e = Parser.expr_of_string "x + y * x" in
+  Alcotest.(check (list string)) "free vars" [ "x"; "y" ] (Expr.free_vars e);
+  let closed = Expr.subst [ ("x", Value.VInt 2); ("y", Value.VInt 5) ] e in
+  Alcotest.(check bool) "substituted" true
+    (Value.equal (Expr.eval closed) (Value.VInt 12))
+
+let test_spec_parse_basics () =
+  let spec =
+    parse
+      {|
+type color = { RED, GREEN }
+process Blink (c : color) :=
+    show !c ; ([c == RED] -> Blink(GREEN) [] [c == GREEN] -> Blink(RED))
+init Blink(RED)
+|}
+  in
+  Alcotest.(check int) "1 process" 1 (List.length spec.Ast.processes);
+  let lts = State_space.lts spec in
+  (* the raw graph keeps the initial call term distinct from the
+     post-show choice terms *)
+  Alcotest.(check int) "3 raw states" 3 (Lts.nb_states lts);
+  Alcotest.(check int) "2 states after minimization" 2
+    (Lts.nb_states (Mv_bisim.Strong.minimize lts));
+  Alcotest.(check (list string)) "labels" [ "show !GREEN"; "show !RED" ]
+    (Mv_lts.Lts.occurring_labels lts)
+
+let test_parser_errors () =
+  List.iter
+    (fun text ->
+       try
+         ignore (Parser.spec_of_string text);
+         Alcotest.fail ("expected parse error on: " ^ text)
+       with Parser.Parse_error _ -> ())
+    [
+      "init";
+      "process P := stop";
+      (* missing init *)
+      "init stop init stop";
+      "process P stop init P";
+      "init a ; ";
+    ]
+
+let test_typecheck_errors () =
+  List.iter
+    (fun text ->
+       try
+         ignore (parse text);
+         Alcotest.fail ("expected type error on: " ^ text)
+       with Typecheck.Type_error _ -> ())
+    [
+      "init unknown_process";
+      "process P (x : int[0..2]) := stop\ninit P";
+      (* arity *)
+      "process P := [1] -> stop\ninit P";
+      (* non-bool guard *)
+      "init g !(1 + true) ; stop";
+      (* ill-typed offer *)
+      "process P := g ?x:zzz ; stop\ninit P";
+      (* unknown enum *)
+      "type t = { A }\ntype u = { A }\ninit stop";
+      (* duplicate constructor *)
+      "process P := stop\nprocess P := stop\ninit P";
+      (* duplicate process *)
+      "init rate 0 ; stop" (* non-positive rate is a type error *);
+    ]
+
+let test_enum_resolution_shadowing () =
+  (* a receive variable shadows an enum constructor of the same name *)
+  let spec =
+    parse
+      {|
+type t = { A, B }
+process P := g ?A:int[0..1] ; h !A ; stop
+init P
+|}
+  in
+  let lts = State_space.lts spec in
+  (* h must offer the received integer, not the constructor *)
+  Alcotest.(check (list string)) "labels"
+    [ "g !0"; "g !1"; "h !0"; "h !1" ]
+    (Lts.occurring_labels lts)
+
+let test_semantics_moves () =
+  let spec = parse "init (a ; stop) [] (i ; stop) [] rate 2.5 ; stop" in
+  let moves = Semantics.moves spec spec.Ast.init in
+  let labels =
+    List.sort compare (List.map (fun (l, _) -> Semantics.label_string l) moves)
+  in
+  Alcotest.(check (list string)) "moves" [ "a"; "i"; "rate 2.5" ] labels
+
+let test_semantics_guard_and_choice () =
+  let spec = parse "init ([1 < 2] -> a ; stop) [] ([2 < 1] -> b ; stop)" in
+  let moves = Semantics.moves spec spec.Ast.init in
+  Alcotest.(check int) "only true guard" 1 (List.length moves)
+
+let test_semantics_sync_values () =
+  (* !1 can only sync with a matching receive value *)
+  let spec = parse "init (g !1 ; stop) |[g]| (g ?x:int[0..3] ; h !x ; stop)" in
+  let lts = State_space.lts spec in
+  Alcotest.(check (list string)) "synced labels" [ "g !1"; "h !1" ]
+    (Lts.occurring_labels lts);
+  (* mismatched value deadlocks immediately *)
+  let stuck = parse "init (g !7 ; stop) |[g]| (g ?x:int[0..3] ; stop)" in
+  Alcotest.(check int) "no sync possible" 1 (Lts.nb_states (State_space.lts stuck))
+
+let test_semantics_exit_seq () =
+  let spec = parse "init (a ; exit) >> (b ; stop)" in
+  let lts = State_space.lts spec in
+  (* a, then tau (from exit), then b *)
+  Alcotest.(check (list string)) "labels" [ "a"; "b"; "i" ]
+    (Lts.occurring_labels lts);
+  Alcotest.(check int) "4 states" 4 (Lts.nb_states lts)
+
+let test_semantics_exit_syncs_in_par () =
+  (* exit synchronizes across |||: both sides must terminate *)
+  let spec = parse "init ((a ; exit) ||| (b ; exit)) >> (c ; stop)" in
+  let lts = State_space.lts spec in
+  Alcotest.(check (list string)) "labels" [ "a"; "b"; "c"; "i" ]
+    (Lts.occurring_labels lts)
+
+let test_semantics_hide_rename () =
+  let spec = parse "init hide g in (g !1 ; h !2 ; stop)" in
+  Alcotest.(check (list string)) "hidden" [ "h !2"; "i" ]
+    (Lts.occurring_labels (State_space.lts spec));
+  let spec2 = parse "init rename g -> k in (g !1 ; stop)" in
+  Alcotest.(check (list string)) "renamed" [ "k !1" ]
+    (Lts.occurring_labels (State_space.lts spec2))
+
+let test_unguarded_recursion () =
+  let spec = parse "process P := P\ninit P" in
+  try
+    ignore (State_space.lts spec);
+    Alcotest.fail "expected Unguarded_recursion"
+  with Semantics.Unguarded_recursion _ -> ()
+
+let test_normalization_collapses_states () =
+  (* without expression normalization, Queue(1-1) and Queue(0) would
+     be distinct states *)
+  let text =
+    {|
+process Queue (n : int[0..2]) :=
+    [n < 2] -> push ; Queue(n + 1)
+ [] [n > 0] -> pop ; Queue(n - 1)
+init Queue(0)
+|}
+  in
+  Alcotest.(check int) "3 states" 3 (nb_states text)
+
+let test_max_states_bound () =
+  let text = {|
+process P (n : int[0..100]) := t ; P(if n < 100 then n + 1 else 0)
+init P(0)
+|} in
+  try
+    ignore (State_space.lts ~max_states:10 (parse text));
+    Alcotest.fail "expected Too_many_states"
+  with Mv_lts.Explore.Too_many_states _ -> ()
+
+let test_pp_parse_round_trip () =
+  (* printing a behaviour and re-parsing it yields the same term *)
+  let behaviors =
+    [
+      "stop";
+      "exit";
+      "(a !1 ; stop)";
+      "(g ?x:int[0..3] ; (h !(x + 1) ; stop))";
+      "((a ; stop) [] (b ; stop))";
+      "((a ; stop) |[a, b]| (b ; stop))";
+      "((a ; stop) ||| stop)";
+      "(hide g in (g ; stop))";
+      "(rename g -> h in (g ; stop))";
+      "((a ; exit) >> (b ; stop))";
+      "(rate 2.5 ; stop)";
+      "([1 < 2] -> (a ; stop))";
+    ]
+  in
+  List.iter
+    (fun text ->
+       let b = Parser.behavior_of_string text in
+       let printed = Format.asprintf "%a" Ast.pp_behavior b in
+       let reparsed = Parser.behavior_of_string printed in
+       Alcotest.(check bool)
+         (Printf.sprintf "round trip: %s -> %s" text printed)
+         true (b = reparsed))
+    behaviors
+
+let test_comments_and_whitespace () =
+  let spec =
+    parse "(* a comment (* nested *) *)\ninit (* mid *) a ; stop (* end *)"
+  in
+  Alcotest.(check int) "parsed through comments" 2
+    (Lts.nb_states (State_space.lts spec))
+
+(* Property: the state count of an interleaving of independent cyclic
+   processes is the product of the component sizes. *)
+let interleaving_prop =
+  QCheck2.Test.make ~name:"interleaving multiplies state counts" ~count:20
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 1 4))
+    (fun (n, m) ->
+       let cyclic name k gate =
+         Printf.sprintf "process %s (x : int[0..%d]) := %s ; %s((x + 1) %% %d)\n"
+           name (k - 1) gate name k
+       in
+       let text =
+         cyclic "P" n "a" ^ cyclic "Q" m "b" ^ "init P(0) ||| Q(0)"
+       in
+       nb_states text = n * m)
+
+
+(* ---- gate parameters ---- *)
+
+let test_gate_parameters_basic () =
+  (* one buffer definition, two instances wired in a chain *)
+  let text =
+    {|
+process Buf [input, output] (n : int[0..2]) :=
+    [n < 2] -> input ; Buf[input, output](n + 1)
+ [] [n > 0] -> output ; Buf[input, output](n - 1)
+init hide mid in (Buf[a, mid](0) |[mid]| Buf[mid, b](0))
+|}
+  in
+  let lts = State_space.lts (parse text) in
+  Alcotest.(check (list string)) "gates instantiated" [ "a"; "b"; "i" ]
+    (Lts.occurring_labels lts);
+  (* the chain is branching-equivalent to itself built from two
+     textually distinct buffers *)
+  let direct =
+    parse
+      {|
+process Buf1 (n : int[0..2]) :=
+    [n < 2] -> a ; Buf1(n + 1) [] [n > 0] -> mid ; Buf1(n - 1)
+process Buf2 (n : int[0..2]) :=
+    [n < 2] -> mid ; Buf2(n + 1) [] [n > 0] -> b ; Buf2(n - 1)
+init hide mid in (Buf1(0) |[mid]| Buf2(0))
+|}
+  in
+  Alcotest.(check bool) "equivalent to hand-written instances" true
+    (Mv_bisim.Branching.equivalent lts (State_space.lts direct))
+
+let test_gate_parameters_capture_avoided () =
+  (* calling P[h] must not capture the actual gate h under the local
+     hide h binder. (The recursion stays outside the hide: a hide
+     inside a recursive body would nest new binders on every unfolding
+     and diverge, for gate parameters and plain recursion alike.) *)
+  let text =
+    {|
+process P [g] := (hide h in (g ; h ; exit)) >> P[g]
+init P[h]
+|}
+  in
+  let lts = State_space.lts (parse text) in
+  Alcotest.(check (list string)) "outer h stays visible" [ "h"; "i" ]
+    (Lts.occurring_labels lts)
+
+let test_gate_parameters_errors () =
+  List.iter
+    (fun text ->
+       try
+         ignore (parse text);
+         Alcotest.fail ("expected type error on: " ^ text)
+       with Typecheck.Type_error _ -> ())
+    [
+      "process P [g] := g ; P[g]\ninit P";
+      (* missing gate arg *)
+      "process P := stop\ninit P[a]";
+      (* unexpected gate arg *)
+      "process P [g] := g ; stop\ninit P[i]";
+      (* reserved gate *)
+      "process P [g, g] := g ; stop\ninit P[a]" (* duplicate formal *);
+    ]
+
+let test_gate_parameters_round_trip () =
+  let b = Parser.behavior_of_string "P[a, b](1 + 1)" in
+  let printed = Format.asprintf "%a" Ast.pp_behavior b in
+  Alcotest.(check bool) "pp/parse round trip with gates" true
+    (b = Parser.behavior_of_string printed)
+
+(* ---- constants ---- *)
+
+let test_const_declarations () =
+  let text =
+    {|
+type mode = { FAST, SLOW }
+const LIMIT = 2 + 1
+const START = LIMIT - 3
+const M = FAST
+process Count (n : int[0..3]) :=
+    [n < LIMIT] -> tick ; Count(n + 1)
+ [] [n == LIMIT] -> show !M ; Count(START)
+init Count(START)
+|}
+  in
+  let lts = State_space.lts (parse text) in
+  Alcotest.(check int) "LIMIT+1 states" 4 (Lts.nb_states lts);
+  Alcotest.(check bool) "enum const resolved" true
+    (List.mem "show !FAST" (Lts.occurring_labels lts))
+
+let test_const_shadowed_by_param () =
+  let text =
+    {|
+const n = 7
+process P (n : int[0..1]) := g !n ; P(n)
+init P(0)
+|}
+  in
+  let lts = State_space.lts (parse text) in
+  Alcotest.(check (list string)) "param wins" [ "g !0" ]
+    (Lts.occurring_labels lts)
+
+let test_offer_binding_order () =
+  (* a receive earlier in the same action is visible to later sends *)
+  let spec = parse "init g ?x:int[1..2] !(x + 1) ; stop" in
+  Alcotest.(check (list string)) "bound within action" [ "g !1 !2"; "g !2 !3" ]
+    (Lts.occurring_labels (State_space.lts spec))
+
+let test_runtime_guard_error () =
+  (* a guard that divides by zero surfaces as a semantics error *)
+  let spec = parse "process P (n : int[0..1]) := [1 / n == 1] -> g ; P(n)\ninit P(0)" in
+  try
+    ignore (State_space.lts spec);
+    Alcotest.fail "expected Semantics_error"
+  with Mv_calc.Semantics.Semantics_error _ -> ()
+
+let test_partial_exit_blocks () =
+  (* exit synchronizes: if one side cannot terminate, neither can the
+     composition *)
+  let spec = parse "init ((a ; exit) ||| (b ; stop)) >> (c ; stop)" in
+  let lts = State_space.lts spec in
+  Alcotest.(check bool) "c never happens" false
+    (List.mem "c" (Lts.occurring_labels lts))
+
+let test_rename_chained () =
+  (* inner rename maps f to g; the outer one then maps that g to h *)
+  let spec = parse "init rename g -> h in rename f -> g in (f ; stop)" in
+  Alcotest.(check (list string)) "renames compose outward" [ "h" ]
+    (Lts.occurring_labels (State_space.lts spec))
+
+let test_exit_values () =
+  (* exit values flow through >> accept *)
+  let spec = parse "init (a ; exit(2 + 1)) >> accept n : int[0..5] in out !n ; stop" in
+  let lts = State_space.lts spec in
+  Alcotest.(check (list string)) "value passed" [ "a"; "i"; "out !3" ]
+    (Lts.occurring_labels lts);
+  (* exit values must agree to synchronize *)
+  let agree = parse "init (exit(1) ||| exit(1)) >> accept n : int[0..3] in g !n ; stop" in
+  Alcotest.(check bool) "matching exits join" true
+    (List.mem "g !1" (Lts.occurring_labels (State_space.lts agree)));
+  let disagree = parse "init (exit(1) ||| exit(2)) >> accept n : int[0..3] in g !n ; stop" in
+  Alcotest.(check (list string)) "mismatched exits block" []
+    (Lts.occurring_labels (State_space.lts disagree));
+  (* arity mismatch is a runtime semantics error *)
+  let bad = parse "init exit(1) >> (g ; stop)" in
+  (try
+     ignore (State_space.lts bad);
+     Alcotest.fail "expected Semantics_error"
+   with Semantics.Semantics_error _ -> ());
+  (* open exit (not consumed by >>) shows its values in the label *)
+  let open_exit = parse "init exit(4, true)" in
+  Alcotest.(check (list string)) "labelled exit" [ "exit !4 !true" ]
+    (Lts.occurring_labels (State_space.lts open_exit))
+
+let test_first_deadlock () =
+  Alcotest.(check (option (list string))) "shallow deadlock found"
+    (Some [ "a"; "b" ])
+    (State_space.first_deadlock (parse "init a ; b ; stop"));
+  Alcotest.(check (option (list string))) "live system" None
+    (State_space.first_deadlock (parse "process P := a ; P\ninit P"));
+  (* matches the post-hoc trace search *)
+  let spec = parse "init (a ; stop) [] (b ; c ; stop)" in
+  let on_the_fly = Option.get (State_space.first_deadlock spec) in
+  let post_hoc =
+    Option.get (Mv_lts.Trace.shortest_to_deadlock (State_space.lts spec))
+  in
+  Alcotest.(check int) "same depth" (List.length post_hoc.Mv_lts.Trace.labels)
+    (List.length on_the_fly)
+
+let test_choice_sugar () =
+  (* choice x : int[0..2] [] g !x ; stop == three explicit branches *)
+  let sugared = parse "init choice x : int[0..2] [] g !x ; stop" in
+  let explicit = parse "init (g !0 ; stop) [] (g !1 ; stop) [] (g !2 ; stop)" in
+  Alcotest.(check bool) "desugared equivalently" true
+    (Mv_bisim.Strong.equivalent (State_space.lts sugared)
+       (State_space.lts explicit));
+  let booleans = parse "init choice b : bool [] flag !b ; stop" in
+  Alcotest.(check (list string)) "bool choice"
+    [ "flag !false"; "flag !true" ]
+    (Lts.occurring_labels (State_space.lts booleans));
+  try
+    ignore (parse "type t = { A }\ninit choice x : t [] g !x ; stop");
+    Alcotest.fail "expected parse error on enum choice"
+  with Parser.Parse_error _ -> ()
+
+let test_spec_pp_round_trip () =
+  let text =
+    {|
+type color = { RED, GREEN }
+process Buf [input, output] (n : int[0..2], c : color) :=
+    [n < 2] -> input ; Buf[input, output](n + 1, c)
+ [] [n > 0] -> output !c ; Buf[input, output](n - 1, c)
+init hide m in (Buf[a, m](0, RED) |[m]| Buf[m, b](0, GREEN))
+|}
+  in
+  let spec = parse text in
+  let printed = Mv_calc.Ast.spec_to_string spec in
+  let reparsed = Parser.spec_of_string_checked printed in
+  Alcotest.(check bool) "round-tripped spec is strongly equivalent" true
+    (Mv_bisim.Strong.equivalent (State_space.lts spec) (State_space.lts reparsed))
+
+let test_const_errors () =
+  (try
+     ignore (parse "const C = 1 / 0
+init stop");
+     Alcotest.fail "expected parse error"
+   with Parser.Parse_error _ -> ());
+  try
+    ignore (parse "const C = x + 1
+init stop");
+    Alcotest.fail "expected parse error (unbound)"
+  with Parser.Parse_error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "value printing" `Quick test_value_printing;
+    Alcotest.test_case "type domains" `Quick test_ty_domain;
+    Alcotest.test_case "expression evaluation" `Quick test_expr_eval;
+    Alcotest.test_case "expression errors" `Quick test_expr_errors;
+    Alcotest.test_case "expression subst/free vars" `Quick test_expr_subst;
+    Alcotest.test_case "spec parsing basics" `Quick test_spec_parse_basics;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "typecheck errors" `Quick test_typecheck_errors;
+    Alcotest.test_case "enum resolution respects shadowing" `Quick
+      test_enum_resolution_shadowing;
+    Alcotest.test_case "semantics: basic moves" `Quick test_semantics_moves;
+    Alcotest.test_case "semantics: guards in choice" `Quick
+      test_semantics_guard_and_choice;
+    Alcotest.test_case "semantics: value negotiation" `Quick
+      test_semantics_sync_values;
+    Alcotest.test_case "semantics: exit and >>" `Quick test_semantics_exit_seq;
+    Alcotest.test_case "semantics: exit syncs in par" `Quick
+      test_semantics_exit_syncs_in_par;
+    Alcotest.test_case "semantics: hide/rename" `Quick test_semantics_hide_rename;
+    Alcotest.test_case "unguarded recursion detected" `Quick
+      test_unguarded_recursion;
+    Alcotest.test_case "normalization collapses states" `Quick
+      test_normalization_collapses_states;
+    Alcotest.test_case "max_states bound" `Quick test_max_states_bound;
+    Alcotest.test_case "pp/parse round trip" `Quick test_pp_parse_round_trip;
+    Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+    QCheck_alcotest.to_alcotest interleaving_prop;
+    Alcotest.test_case "gate parameters: instantiation" `Quick
+      test_gate_parameters_basic;
+    Alcotest.test_case "gate parameters: capture avoided" `Quick
+      test_gate_parameters_capture_avoided;
+    Alcotest.test_case "gate parameters: errors" `Quick
+      test_gate_parameters_errors;
+    Alcotest.test_case "gate parameters: round trip" `Quick
+      test_gate_parameters_round_trip;
+    Alcotest.test_case "const declarations" `Quick test_const_declarations;
+    Alcotest.test_case "const shadowed by params" `Quick
+      test_const_shadowed_by_param;
+    Alcotest.test_case "const errors" `Quick test_const_errors;
+    Alcotest.test_case "spec pp round trip" `Quick test_spec_pp_round_trip;
+    Alcotest.test_case "choice-over-values sugar" `Quick test_choice_sugar;
+    Alcotest.test_case "exit values" `Quick test_exit_values;
+    Alcotest.test_case "on-the-fly deadlock search" `Quick test_first_deadlock;
+    Alcotest.test_case "offer binding order" `Quick test_offer_binding_order;
+    Alcotest.test_case "runtime guard error" `Quick test_runtime_guard_error;
+    Alcotest.test_case "partial exit blocks" `Quick test_partial_exit_blocks;
+    Alcotest.test_case "rename chains" `Quick test_rename_chained;
+  ]

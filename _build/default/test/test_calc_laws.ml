@@ -1,0 +1,95 @@
+(* Algebraic laws of the MVL calculus, checked on randomly generated
+   behaviour terms: the parallel operators are commutative and
+   associative modulo strong bisimulation, choice is commutative and
+   absorbs stop, hiding is idempotent, normalization is idempotent,
+   and printing followed by parsing is the identity. *)
+
+module Ast = Mv_calc.Ast
+module Parser = Mv_calc.Parser
+module State_space = Mv_calc.State_space
+module Strong = Mv_bisim.Strong
+
+let gates = [ "a"; "b"; "c" ]
+
+(* closed, guarded, recursion-free behaviours (finite by construction) *)
+let behavior_gen =
+  let open QCheck2.Gen in
+  let gate = oneofl gates in
+  let atom =
+    oneof
+      [ return Ast.Stop;
+        return (Ast.Exit []);
+        map (fun g -> Ast.act g [] Ast.Stop) gate;
+        map2 (fun g v -> Ast.act g [ Ast.Send (Ast.vint v) ] Ast.Stop) gate
+          (int_bound 2);
+        map2 (fun g h -> Ast.act g [] (Ast.act h [] Ast.Stop)) gate gate ]
+  in
+  let rec build depth =
+    if depth = 0 then atom
+    else
+      let sub = build (depth - 1) in
+      oneof
+        [ atom;
+          map2 (fun x y -> Ast.Choice [ x; y ]) sub sub;
+          map3 (fun gs x y -> Ast.Par (Ast.Gates gs, x, y))
+            (oneofl [ []; [ "a" ]; [ "a"; "b" ] ])
+            sub sub;
+          map2 (fun x y -> Ast.Par (Ast.All, x, y)) sub sub;
+          map2 (fun g x -> Ast.Hide ([ g ], x)) gate sub;
+          map2 (fun x y -> Ast.Seq (x, [], y)) sub sub;
+          map (fun x -> Ast.Guard (Ast.vbool true, x)) sub ]
+  in
+  build 3
+
+let lts_of behavior =
+  State_space.lts { Ast.enums = []; processes = []; init = behavior }
+
+let equivalent a b = Strong.equivalent (lts_of a) (lts_of b)
+
+let law name count gen predicate =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen predicate)
+
+let pair2 = QCheck2.Gen.pair behavior_gen behavior_gen
+let triple3 = QCheck2.Gen.triple behavior_gen behavior_gen behavior_gen
+
+let suite =
+  [
+    law "||| is commutative (modulo strong bisimulation)" 40 pair2
+      (fun (p, q) ->
+         equivalent (Ast.Par (Ast.Gates [], p, q)) (Ast.Par (Ast.Gates [], q, p)));
+    law "||| is associative" 25 triple3 (fun (p, q, r) ->
+        equivalent
+          (Ast.Par (Ast.Gates [], Ast.Par (Ast.Gates [], p, q), r))
+          (Ast.Par (Ast.Gates [], p, Ast.Par (Ast.Gates [], q, r))));
+    law "|[G]| is commutative" 40 pair2 (fun (p, q) ->
+        let g = Ast.Gates [ "a"; "b" ] in
+        equivalent (Ast.Par (g, p, q)) (Ast.Par (g, q, p)));
+    law "choice is commutative" 40 pair2 (fun (p, q) ->
+        equivalent (Ast.Choice [ p; q ]) (Ast.Choice [ q; p ]));
+    law "stop is neutral for choice" 40 behavior_gen (fun p ->
+        equivalent (Ast.Choice [ p; Ast.Stop ]) p);
+    law "choice is idempotent" 40 behavior_gen (fun p ->
+        equivalent (Ast.Choice [ p; p ]) p);
+    law "hiding is idempotent" 40 behavior_gen (fun p ->
+        equivalent
+          (Ast.Hide ([ "a" ], Ast.Hide ([ "a" ], p)))
+          (Ast.Hide ([ "a" ], p)));
+    law "hiding all gates then one more changes nothing" 40 behavior_gen
+      (fun p ->
+         equivalent
+           (Ast.Hide (gates, p))
+           (Ast.Hide ([ "c" ], Ast.Hide (gates, p))));
+    law "normalize is idempotent" 60 behavior_gen (fun p ->
+        Ast.normalize (Ast.normalize p) = Ast.normalize p);
+    law "normalize preserves behaviour" 40 behavior_gen (fun p ->
+        equivalent (Ast.normalize p) p);
+    law "print/parse round trip" 60 behavior_gen (fun p ->
+        let printed = Format.asprintf "%a" Ast.pp_behavior p in
+        Parser.behavior_of_string printed = p);
+    law "gate substitution respects renaming equivalence" 40 behavior_gen
+      (fun p ->
+         (* renaming a to a fresh gate and hiding it equals hiding a *)
+         equivalent
+           (Ast.Hide ([ "z" ], Ast.subst_gates [ ("a", "z") ] p))
+           (Ast.Hide ([ "a" ], p)));
+  ]

@@ -1,0 +1,171 @@
+(* Tests for mv_chp: channel analysis and translation to MVL. *)
+
+module Chp = Mv_chp.Chp
+module Ast = Mv_calc.Ast
+module Ty = Mv_calc.Ty
+module State_space = Mv_calc.State_space
+module Lts = Mv_lts.Lts
+
+let int01 = Ty.TIntRange (0, 1)
+
+let test_channels () =
+  let p =
+    Chp.Seq
+      ( Chp.Send ("c", Ast.vint 1),
+        Chp.Par (Chp.Receive ("d", "x", int01), Chp.Send ("c", Ast.vint 0)) )
+  in
+  Alcotest.(check (list string)) "channels" [ "c"; "d" ] (Chp.channels p)
+
+let lts_of p = State_space.lts (Chp.spec ~prefix:"t" p)
+
+let test_skip_send_seq () =
+  let p = Chp.Seq (Chp.Send ("c", Ast.vint 1), Chp.Send ("d", Ast.vint 0)) in
+  let lts = lts_of p in
+  Alcotest.(check (list string)) "labels" [ "c !1"; "d !0"; "exit" ]
+    (Lts.occurring_labels lts);
+  (* skip is the unit of sequence *)
+  let q = Chp.Seq (Chp.Skip, p) in
+  Alcotest.(check bool) "skip unit" true
+    (Mv_bisim.Strong.equivalent lts (lts_of q))
+
+let test_receive_binds () =
+  (* C?x ; D!x : the received value flows to the send *)
+  let p =
+    Chp.Seq (Chp.Receive ("c", "x", int01), Chp.Send ("d", Mv_calc.Expr.Var "x"))
+  in
+  let lts = lts_of p in
+  Alcotest.(check (list string)) "value flows"
+    [ "c !0"; "c !1"; "d !0"; "d !1"; "exit" ]
+    (Lts.occurring_labels lts)
+
+let test_par_syncs_shared_channels () =
+  (* sender and receiver share channel c: they communicate *)
+  let p =
+    Chp.Par
+      ( Chp.Send ("c", Ast.vint 1),
+        Chp.Seq (Chp.Receive ("c", "x", int01), Chp.Send ("out", Mv_calc.Expr.Var "x"))
+      )
+  in
+  let lts = lts_of p in
+  Alcotest.(check (list string)) "rendezvous" [ "c !1"; "exit"; "out !1" ]
+    (Lts.occurring_labels lts)
+
+let test_par_interleaves_disjoint () =
+  let p = Chp.Par (Chp.Send ("a", Ast.vint 0), Chp.Send ("b", Ast.vint 0)) in
+  let lts = lts_of p in
+  (* 2x2 grid plus the joint exit *)
+  Alcotest.(check int) "interleaving states" 5 (Lts.nb_states lts)
+
+let test_select_guards () =
+  let p =
+    Chp.Select
+      [
+        (Ast.vbool true, Chp.Send ("yes", Ast.vint 0));
+        (Ast.vbool false, Chp.Send ("no", Ast.vint 0));
+      ]
+  in
+  Alcotest.(check (list string)) "only true branch" [ "exit"; "yes !0" ]
+    (Lts.occurring_labels (lts_of p))
+
+let test_loop () =
+  let p = Chp.Loop (Chp.Send ("tick", Ast.vint 0)) in
+  let lts = lts_of p in
+  Alcotest.(check (list string)) "loops forever" [ "tick !0" ]
+    (Lts.occurring_labels lts);
+  Alcotest.(check (list int)) "no deadlock" [] (Lts.deadlocks lts)
+
+let test_loop_capture_rejected () =
+  (* *[D!x] with x bound outside the loop has no closed translation *)
+  let p =
+    Chp.Seq
+      ( Chp.Receive ("c", "x", int01),
+        Chp.Loop (Chp.Send ("d", Mv_calc.Expr.Var "x")) )
+  in
+  try
+    ignore (Chp.translate ~prefix:"t" p);
+    Alcotest.fail "expected Translation_error"
+  with Mv_chp.Chp.Translation_error _ -> ()
+
+let test_communication_choice () =
+  (* arbiter shape: selection whose branches start with receives *)
+  let p =
+    Chp.Loop
+      (Chp.Select
+         [
+           (Ast.vbool true,
+            Chp.Seq (Chp.Receive ("a", "x", int01), Chp.Send ("o", Mv_calc.Expr.Var "x")));
+           (Ast.vbool true,
+            Chp.Seq (Chp.Receive ("b", "y", int01), Chp.Send ("o", Mv_calc.Expr.Var "y")));
+         ])
+  in
+  let lts = lts_of p in
+  Alcotest.(check (list string)) "serves both"
+    [ "a !0"; "a !1"; "b !0"; "b !1"; "o !0"; "o !1" ]
+    (Lts.occurring_labels lts)
+
+(* ---- concrete CHP syntax ---- *)
+
+let test_parser_basic () =
+  let p = Mv_chp.Parser.process_of_string "c!1 ; d?x:int[0..1] ; e!x" in
+  let lts = lts_of p in
+  Alcotest.(check (list string)) "labels"
+    [ "c !1"; "d !0"; "d !1"; "e !0"; "e !1"; "exit" ]
+    (Lts.occurring_labels lts)
+
+let test_parser_repeater () =
+  let spec =
+    Mv_chp.Parser.spec_of_string ~prefix:"rep" "*[ a?x:int[0..1] ; b!x ]"
+  in
+  let lts = Mv_calc.State_space.lts spec in
+  Alcotest.(check (list int)) "loops" [] (Lts.deadlocks lts);
+  Alcotest.(check (list string)) "labels" [ "a !0"; "a !1"; "b !0"; "b !1" ]
+    (Lts.occurring_labels lts)
+
+let test_parser_selection_and_par () =
+  let text = "*[ [ true -> a?x:int[0..0] ; o!x | true -> b?y:int[0..0] ; o!y ] ] || *[ a!0 ]" in
+  let spec = Mv_chp.Parser.spec_of_string ~prefix:"arb" text in
+  let lts = Mv_calc.State_space.lts spec in
+  (* channel a is shared, so it synchronizes; b stays open *)
+  Alcotest.(check bool) "a served" true
+    (List.mem "a !0" (Lts.occurring_labels lts));
+  Alcotest.(check bool) "o produced" true
+    (List.mem "o !0" (Lts.occurring_labels lts))
+
+let test_parser_agrees_with_ast () =
+  let parsed = Mv_chp.Parser.process_of_string "c!1 ; skip ; d!2" in
+  let direct =
+    Chp.Seq (Chp.Send ("c", Ast.vint 1), Chp.Seq (Chp.Skip, Chp.Send ("d", Ast.vint 2)))
+  in
+  Alcotest.(check bool) "equivalent translations" true
+    (Mv_bisim.Strong.equivalent (lts_of parsed) (lts_of direct))
+
+let test_parser_errors () =
+  List.iter
+    (fun text ->
+       try
+         ignore (Mv_chp.Parser.process_of_string text);
+         Alcotest.fail ("expected parse error on: " ^ text)
+       with Mv_chp.Parser.Parse_error _ -> ())
+    [ "c!"; "c?x"; "*[ skip"; "[ true -> skip"; "skip skip"; "" ]
+
+let suite =
+  [
+    Alcotest.test_case "channels" `Quick test_channels;
+    Alcotest.test_case "skip/send/seq" `Quick test_skip_send_seq;
+    Alcotest.test_case "receive binds across seq" `Quick test_receive_binds;
+    Alcotest.test_case "par syncs shared channels" `Quick
+      test_par_syncs_shared_channels;
+    Alcotest.test_case "par interleaves disjoint" `Quick
+      test_par_interleaves_disjoint;
+    Alcotest.test_case "select guards" `Quick test_select_guards;
+    Alcotest.test_case "loop" `Quick test_loop;
+    Alcotest.test_case "loop capture rejected" `Quick test_loop_capture_rejected;
+    Alcotest.test_case "communication choice" `Quick test_communication_choice;
+    Alcotest.test_case "parser: basics" `Quick test_parser_basic;
+    Alcotest.test_case "parser: repeater" `Quick test_parser_repeater;
+    Alcotest.test_case "parser: selection + par" `Quick
+      test_parser_selection_and_par;
+    Alcotest.test_case "parser: agrees with AST" `Quick
+      test_parser_agrees_with_ast;
+    Alcotest.test_case "parser: errors" `Quick test_parser_errors;
+  ]

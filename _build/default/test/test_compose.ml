@@ -1,0 +1,128 @@
+(* Tests for mv_compose: LTS parallel composition and the two
+   compositional-verification strategies. *)
+
+module Lts = Mv_lts.Lts
+module Label = Mv_lts.Label
+module Parallel = Mv_compose.Parallel
+module Net = Mv_compose.Net
+module Parser = Mv_calc.Parser
+module State_space = Mv_calc.State_space
+
+let lts_of text = State_space.lts (Parser.spec_of_string_checked text)
+
+let test_compose_matches_calculus () =
+  (* composing generated component LTSs must agree (up to strong
+     bisimulation) with generating the composed specification *)
+  let left = lts_of "process P := a ; b ; P\ninit P" in
+  let right = lts_of "process Q := b ; c ; Q\ninit Q" in
+  let composed = Parallel.compose ~sync:[ "b" ] left right in
+  let direct =
+    lts_of
+      "process P := a ; b ; P\nprocess Q := b ; c ; Q\ninit P |[b]| Q"
+  in
+  Alcotest.(check bool) "agrees with calculus" true
+    (Mv_bisim.Strong.equivalent composed direct)
+
+let test_compose_value_matching () =
+  let left = lts_of "init g !1 ; stop" in
+  let right = lts_of "init g !2 ; stop" in
+  let composed = Parallel.compose ~sync:[ "g" ] left right in
+  (* values differ: no synchronization possible *)
+  Alcotest.(check int) "deadlocked" 1 (Lts.nb_states composed)
+
+let test_compose_interleaving () =
+  let left = lts_of "process P := a ; P\ninit P" in
+  let right = lts_of "process Q := b ; Q\ninit Q" in
+  let composed = Parallel.compose ~sync:[] left right in
+  Alcotest.(check int) "product of cycles" 1 (Lts.nb_states composed);
+  Alcotest.(check int) "both actions" 2 (Lts.nb_transitions composed)
+
+let tandem_node length =
+  (* a chain of 1-place buffers: buffer k forwards g<k> to g<k+1> *)
+  let buffer k =
+    let input = Printf.sprintf "g%d" k and output = Printf.sprintf "g%d" (k + 1) in
+    Net.Leaf
+      ( Printf.sprintf "buf%d" k,
+        lts_of
+          (Printf.sprintf "process B := %s ; %s ; B\ninit B" input output) )
+  in
+  let rec build acc k =
+    if k >= length then acc
+    else
+      let gate = Printf.sprintf "g%d" k in
+      build (Net.Hide ([ gate ], Net.Par ([ gate ], acc, buffer k))) (k + 1)
+  in
+  build (buffer 0) 1
+
+let test_strategies_agree () =
+  let node = tandem_node 4 in
+  let mono = Net.evaluate ~strategy:`Monolithic node in
+  let comp = Net.evaluate ~strategy:`Compositional node in
+  Alcotest.(check bool) "branching equivalent" true
+    (Mv_bisim.Branching.equivalent mono.Net.result comp.Net.result);
+  Alcotest.(check bool) "compositional not larger" true
+    (comp.Net.peak_states <= mono.Net.peak_states);
+  Alcotest.(check bool) "steps recorded" true (List.length comp.Net.steps > 0)
+
+let test_rename_node () =
+  let leaf = Net.Leaf ("p", lts_of "init g !1 ; stop") in
+  let renamed = Net.Rename ([ ("g", "h") ], leaf) in
+  let report = Net.evaluate ~strategy:`Monolithic renamed in
+  Alcotest.(check (list string)) "gate renamed, offer kept" [ "h !1" ]
+    (Lts.occurring_labels report.Net.result)
+
+let test_hide_node () =
+  let leaf = Net.Leaf ("p", lts_of "init g !1 ; h !2 ; stop") in
+  let report = Net.evaluate ~strategy:`Monolithic (Net.Hide ([ "g" ], leaf)) in
+  Alcotest.(check (list string)) "hidden" [ "h !2"; "i" ]
+    (Lts.occurring_labels report.Net.result)
+
+let test_par_list () =
+  let leaf text = Net.Leaf (text, lts_of ("process P := " ^ text ^ " ; P\ninit P")) in
+  let node = Net.par_list [] [ leaf "a"; leaf "b"; leaf "c" ] in
+  let report = Net.evaluate ~strategy:`Monolithic node in
+  Alcotest.(check int) "three interleaved loops" 1
+    (Lts.nb_states report.Net.result);
+  Alcotest.(check int) "three actions" 3 (Lts.nb_transitions report.Net.result)
+
+(* Property: Parallel.compose agrees with the calculus semantics of
+   |[gates]| on randomly chosen small cyclic processes. *)
+let compose_agreement_prop =
+  let gen =
+    QCheck2.Gen.(
+      let gate = oneofl [ "a"; "b"; "c" ] in
+      let* g1 = gate and* g2 = gate and* g3 = gate and* g4 = gate in
+      let* sync = oneofl [ []; [ "a" ]; [ "b" ]; [ "a"; "b"; "c" ] ] in
+      return ((g1, g2), (g3, g4), sync))
+  in
+  QCheck2.Test.make ~name:"Parallel.compose agrees with MVL semantics" ~count:40
+    gen
+    (fun ((g1, g2), (g3, g4), sync) ->
+       let proc name x y =
+         Printf.sprintf "process %s := %s ; %s ; %s\n" name x y name
+       in
+       let left = lts_of (proc "P" g1 g2 ^ "init P") in
+       let right = lts_of (proc "Q" g3 g4 ^ "init Q") in
+       let composed = Parallel.compose ~sync left right in
+       let sync_text = String.concat ", " sync in
+       let direct =
+         lts_of
+           (proc "P" g1 g2 ^ proc "Q" g3 g4
+            ^
+            if sync = [] then "init P ||| Q"
+            else Printf.sprintf "init P |[%s]| Q" sync_text)
+       in
+       Mv_bisim.Strong.equivalent composed direct)
+
+let suite =
+  [
+    Alcotest.test_case "compose matches calculus" `Quick
+      test_compose_matches_calculus;
+    Alcotest.test_case "value matching" `Quick test_compose_value_matching;
+    Alcotest.test_case "interleaving" `Quick test_compose_interleaving;
+    Alcotest.test_case "strategies agree" `Quick test_strategies_agree;
+    Alcotest.test_case "rename node" `Quick test_rename_node;
+    Alcotest.test_case "hide node" `Quick test_hide_node;
+    Alcotest.test_case "par_list" `Quick test_par_list;
+    QCheck_alcotest.to_alcotest compose_agreement_prop;
+  ]

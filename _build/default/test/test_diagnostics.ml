@@ -1,0 +1,134 @@
+(* Tests for the diagnostic layers: witness traces (Mv_lts.Trace) and
+   weak-trace semantics (Mv_bisim.Traces). *)
+
+module Lts = Mv_lts.Lts
+module Label = Mv_lts.Label
+module Trace = Mv_lts.Trace
+module Traces = Mv_bisim.Traces
+
+let build transitions ~nb_states ~initial =
+  let labels = Label.create () in
+  let interned =
+    List.map (fun (s, l, d) -> (s, Label.intern labels l, d)) transitions
+  in
+  Lts.make ~nb_states ~initial ~labels interned
+
+
+(* ---- Trace ---- *)
+
+let test_shortest_to_deadlock () =
+  (* two routes to deadlock state 3: length 3 via 1-2, length 2 via 4 *)
+  let lts =
+    build ~nb_states:5 ~initial:0
+      [ (0, "a", 1); (1, "b", 2); (2, "c", 3); (0, "x", 4); (4, "y", 3) ]
+  in
+  match Trace.shortest_to_deadlock lts with
+  | None -> Alcotest.fail "deadlock exists"
+  | Some t ->
+    Alcotest.(check (list string)) "shortest" [ "x"; "y" ] t.Trace.labels;
+    Alcotest.(check int) "destination" 3 t.Trace.destination
+
+let test_no_deadlock_trace () =
+  let lts = build ~nb_states:1 ~initial:0 [ (0, "a", 0) ] in
+  Alcotest.(check bool) "no deadlock" true
+    (Trace.shortest_to_deadlock lts = None)
+
+let test_shortest_to_action () =
+  let lts =
+    build ~nb_states:4 ~initial:0
+      [ (0, "a", 1); (1, "error", 2); (0, "error", 3) ]
+  in
+  match Trace.shortest_to_action lts ~action:(fun l -> l = "error") with
+  | None -> Alcotest.fail "error reachable"
+  | Some t -> Alcotest.(check (list string)) "direct" [ "error" ] t.Trace.labels
+
+let test_unreachable_goal () =
+  let lts = build ~nb_states:2 ~initial:0 [ (0, "a", 0) ] in
+  Alcotest.(check bool) "unreachable state" true
+    (Trace.shortest_to_state lts ~goal:(fun s -> s = 1) = None);
+  Alcotest.(check bool) "absent action" true
+    (Trace.shortest_to_action lts ~action:(fun l -> l = "zz") = None)
+
+let test_to_string () =
+  let lts = build ~nb_states:2 ~initial:0 [ (0, "a", 1) ] in
+  (match Trace.shortest_to_state lts ~goal:(fun s -> s = 1) with
+   | Some t -> Alcotest.(check string) "rendering" "a" (Trace.to_string t)
+   | None -> Alcotest.fail "reachable");
+  match Trace.shortest_to_state lts ~goal:(fun s -> s = 0) with
+  | Some t -> Alcotest.(check string) "empty" "<empty>" (Trace.to_string t)
+  | None -> Alcotest.fail "initial"
+
+(* ---- Traces (weak trace semantics) ---- *)
+
+let test_determinize () =
+  (* nondeterministic a-split determinizes to a single a-successor *)
+  let lts =
+    build ~nb_states:4 ~initial:0
+      [ (0, "a", 1); (0, "a", 2); (1, "b", 3); (2, "c", 3) ]
+  in
+  let det = Traces.determinize lts in
+  Alcotest.(check int) "merged successor" 1
+    (Lts.fold_out det (Lts.initial det) (fun _ _ acc -> acc + 1) 0);
+  Alcotest.(check bool) "still trace equivalent" true (Traces.equivalent lts det)
+
+let test_determinize_tau_closure () =
+  (* i;a and a have the same weak traces *)
+  let with_tau = build ~nb_states:3 ~initial:0 [ (0, "i", 1); (1, "a", 2) ] in
+  let direct = build ~nb_states:2 ~initial:0 [ (0, "a", 1) ] in
+  Alcotest.(check bool) "tau closed" true (Traces.equivalent with_tau direct)
+
+let test_trace_vs_bisimulation () =
+  (* a;(b+c) vs a;b + a;c: trace equivalent but not branching
+     equivalent - the classical separating example *)
+  let merged =
+    build ~nb_states:3 ~initial:0 [ (0, "a", 1); (1, "b", 2); (1, "c", 2) ]
+  in
+  let split =
+    build ~nb_states:4 ~initial:0
+      [ (0, "a", 1); (0, "a", 2); (1, "b", 3); (2, "c", 3) ]
+  in
+  Alcotest.(check bool) "trace equivalent" true (Traces.equivalent merged split);
+  Alcotest.(check bool) "not branching equivalent" false
+    (Mv_bisim.Branching.equivalent merged split)
+
+let test_inclusion_counterexample () =
+  let spec = build ~nb_states:2 ~initial:0 [ (0, "a", 1); (1, "a", 0) ] in
+  let impl =
+    build ~nb_states:2 ~initial:0 [ (0, "a", 1); (1, "a", 0); (1, "oops", 0) ]
+  in
+  Alcotest.(check bool) "spec included in impl" true (Traces.included spec impl);
+  Alcotest.(check bool) "impl not included in spec" false
+    (Traces.included impl spec);
+  Alcotest.(check (option (list string))) "counterexample" (Some [ "a"; "oops" ])
+    (Traces.counterexample impl spec)
+
+let test_lossy_fifo_trace_level () =
+  (* reordering is visible at trace level *)
+  let reference = Mv_calc.State_space.lts (Mv_xstream.Queues.fifo_data ()) in
+  let unordered = Mv_calc.State_space.lts (Mv_xstream.Queues.fifo_unordered ()) in
+  Alcotest.(check bool) "reorder produces new traces" false
+    (Traces.included unordered reference);
+  match Traces.counterexample unordered reference with
+  | None -> Alcotest.fail "expected counterexample"
+  | Some trace ->
+    (* the witness must end with an out-of-order pop *)
+    Alcotest.(check bool) "witness mentions pop" true
+      (List.exists (fun l -> Mv_lts.Label.gate l = "pop") trace)
+
+let suite =
+  [
+    Alcotest.test_case "shortest trace to deadlock" `Quick
+      test_shortest_to_deadlock;
+    Alcotest.test_case "no deadlock, no trace" `Quick test_no_deadlock_trace;
+    Alcotest.test_case "shortest trace to action" `Quick test_shortest_to_action;
+    Alcotest.test_case "unreachable goal" `Quick test_unreachable_goal;
+    Alcotest.test_case "trace rendering" `Quick test_to_string;
+    Alcotest.test_case "determinize" `Quick test_determinize;
+    Alcotest.test_case "determinize tau closure" `Quick
+      test_determinize_tau_closure;
+    Alcotest.test_case "trace vs bisimulation" `Quick test_trace_vs_bisimulation;
+    Alcotest.test_case "inclusion + counterexample" `Quick
+      test_inclusion_counterexample;
+    Alcotest.test_case "queue issues at trace level" `Quick
+      test_lossy_fifo_trace_level;
+  ]

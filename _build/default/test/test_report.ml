@@ -1,0 +1,115 @@
+(* Tests for the report/table layer and for file-level I/O paths that
+   the other suites exercise only in memory. *)
+
+module Report = Mv_core.Report
+
+let with_capture f =
+  (* Report prints to stdout; redirect it to a temp file *)
+  let path = Filename.temp_file "mv_report" ".txt" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+        flush stdout;
+        Unix.dup2 saved Unix.stdout;
+        Unix.close saved;
+        Unix.close fd)
+    f;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  contents
+
+let test_table_layout () =
+  let output =
+    with_capture (fun () ->
+        Report.table ~title:"demo" ~header:[ "col"; "value" ]
+          [ [ "a"; "1" ]; [ "longer"; "2" ] ])
+  in
+  Alcotest.(check bool) "title present" true
+    (String.length output > 0
+     && Astring.String.is_infix ~affix:"== demo" output);
+  Alcotest.(check bool) "cells padded" true
+    (Astring.String.is_infix ~affix:"| longer | 2     |" output)
+
+let test_table_arity () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Report.table: row arity mismatch") (fun () ->
+      Report.table ~title:"bad" ~header:[ "a"; "b" ] [ [ "only" ] ])
+
+let test_csv_mirroring () =
+  let dir = Filename.temp_file "mv_csv" "" in
+  Sys.remove dir;
+  Report.set_csv_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () -> Report.set_csv_dir None)
+    (fun () ->
+       ignore
+         (with_capture (fun () ->
+              Report.table ~title:"My Table (x/y)" ~header:[ "a"; "b" ]
+                [ [ "1,5"; "plain" ] ])));
+  let files = Sys.readdir dir in
+  Alcotest.(check int) "one csv written" 1 (Array.length files);
+  let ic = open_in (Filename.concat dir files.(0)) in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "csv quoted" "a,b\n\"1,5\",plain\n" contents
+
+let test_cells () =
+  Alcotest.(check string) "float" "1.234" (Report.float_cell 1.2341);
+  Alcotest.(check string) "inf" "inf" (Report.float_cell infinity);
+  Alcotest.(check string) "nan" "nan" (Report.float_cell nan);
+  Alcotest.(check string) "percent" "12.35%" (Report.percent_cell 0.12345)
+
+let test_aut_file_round_trip () =
+  let spec =
+    Mv_calc.Parser.spec_of_string_checked "process P := a ; b ; P\ninit P"
+  in
+  let lts = Mv_calc.State_space.lts spec in
+  let path = Filename.temp_file "mv_aut" ".aut" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Mv_lts.Aut.write_file path lts;
+       let back = Mv_lts.Aut.read_file path in
+       Alcotest.(check bool) "equivalent after file round trip" true
+         (Mv_bisim.Strong.equivalent lts back))
+
+(* the text generators of the case studies produce valid, re-parseable
+   MVL: print the generated spec and check behavioural equality *)
+let test_generated_specs_round_trip () =
+  let specs =
+    [
+      Mv_fame.Numa.spec ~nodes:3 Mv_fame.Topology.Ring Mv_fame.Numa.Token_ring
+        ~rates:Mv_fame.Benchmark.default_rates;
+      Mv_fame.Mpi_program.spec
+        ~programs:(Mv_fame.Mpi_program.pingpong ~partner:1 ~size:1)
+        Mv_fame.Topology.Crossbar ~rates:Mv_fame.Benchmark.default_rates;
+      Mv_faust.Mesh.spec Mv_faust.Mesh.Shared_buffer
+        ~flows:Mv_faust.Mesh.crossing_flows;
+      Mv_xstream.Queues.spill ~arrival:2.0 ~service:3.0 ~refill:1.0
+        ~hw_capacity:2 ~spill_capacity:2;
+    ]
+  in
+  List.iter
+    (fun spec ->
+       let printed = Mv_calc.Ast.spec_to_string spec in
+       let reparsed = Mv_calc.Parser.spec_of_string_checked printed in
+       Alcotest.(check bool) "round-tripped generated spec" true
+         (Mv_bisim.Strong.equivalent
+            (Mv_calc.State_space.lts spec)
+            (Mv_calc.State_space.lts reparsed)))
+    specs
+
+let suite =
+  [
+    Alcotest.test_case "table layout" `Quick test_table_layout;
+    Alcotest.test_case "table arity" `Quick test_table_arity;
+    Alcotest.test_case "csv mirroring" `Quick test_csv_mirroring;
+    Alcotest.test_case "cell formatting" `Quick test_cells;
+    Alcotest.test_case "aut file round trip" `Quick test_aut_file_round_trip;
+    Alcotest.test_case "generated specs re-parse" `Quick
+      test_generated_specs_round_trip;
+  ]

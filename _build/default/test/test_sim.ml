@@ -1,0 +1,100 @@
+(* Tests for mv_sim: the discrete-event simulator cross-validated
+   against closed forms and the numerical solvers. *)
+
+module Des = Mv_sim.Des
+module Imc = Mv_imc.Imc
+module Phase = Mv_imc.Phase
+module Label = Mv_lts.Label
+
+let mm1k_imc ~arrival ~service ~k =
+  (* birth-death IMC with a "serve"-labelled immediate action after
+     each departure would complicate the chain; instead tag departures
+     by going through a vanishing state *)
+  let labels = Label.create () in
+  let serve = Label.intern labels "serve" in
+  (* states 0..k tangible; k+1..2k vanishing "departure" states *)
+  let vanishing m = k + m in
+  let markovian = ref [] in
+  let interactive = ref [] in
+  for m = 0 to k - 1 do
+    markovian := (m, arrival, m + 1) :: !markovian
+  done;
+  for m = 1 to k do
+    markovian := (m, service, vanishing m) :: !markovian;
+    interactive := (vanishing m, serve, m - 1) :: !interactive
+  done;
+  Imc.make ~nb_states:(2 * k + 1) ~initial:0 ~labels ~interactive:!interactive
+    ~markovian:!markovian
+
+let test_throughput_vs_analytic () =
+  let arrival = 2.0 and service = 3.0 and k = 4 in
+  let imc = mm1k_imc ~arrival ~service ~k in
+  let simulated =
+    Des.throughput imc ~action:"serve" ~horizon:50_000.0 ~seed:2024L
+  in
+  let analytic = Mv_xstream.Analytic.throughput ~arrival ~service ~k in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated %.4f vs analytic %.4f" simulated analytic)
+    true
+    (abs_float (simulated -. analytic) /. analytic < 0.03)
+
+let test_first_passage_vs_erlang () =
+  let dist = Phase.Erlang (5, 10.0) in
+  let imc = Phase.absorbing_imc dist in
+  let absorbing = Imc.nb_states imc - 1 in
+  let stats =
+    Des.mean_first_passage imc ~targets:(fun s -> s = absorbing)
+      ~replications:4000 ~seed:7L
+  in
+  let expected = Phase.mean dist in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated %.4f vs %.4f" stats.Des.mean expected)
+    true
+    (abs_float (stats.Des.mean -. expected) /. expected < 0.05);
+  Alcotest.(check int) "replications" 4000 stats.Des.replications;
+  Alcotest.(check bool) "stddev positive" true (stats.Des.stddev > 0.0)
+
+let test_occupancy_vs_analytic () =
+  let arrival = 2.0 and service = 3.0 and k = 4 in
+  let imc = mm1k_imc ~arrival ~service ~k in
+  let simulated =
+    Des.occupancy imc
+      ~reward:(fun s -> if s <= k then float_of_int s else float_of_int (s - k))
+      ~horizon:50_000.0 ~seed:99L
+  in
+  let analytic = Mv_xstream.Analytic.mean_jobs ~arrival ~service ~k in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated %.4f vs analytic %.4f" simulated analytic)
+    true
+    (abs_float (simulated -. analytic) /. analytic < 0.03)
+
+let test_absorbing_stops () =
+  (* trajectory reaching an absorbing state stops early *)
+  let labels = Label.create () in
+  let imc =
+    Imc.make ~nb_states:2 ~initial:0 ~labels ~interactive:[]
+      ~markovian:[ (0, 1.0, 1) ]
+  in
+  let tput = Des.throughput imc ~action:"never" ~horizon:100.0 ~seed:1L in
+  Alcotest.(check (float 0.0)) "no occurrences" 0.0 tput;
+  let stats =
+    Des.mean_first_passage imc ~max_time:50.0 ~targets:(fun _ -> false)
+      ~replications:3 ~seed:1L
+  in
+  Alcotest.(check (float 0.0)) "aborted at bound" 50.0 stats.Des.mean
+
+let test_determinism () =
+  let imc = mm1k_imc ~arrival:1.0 ~service:2.0 ~k:3 in
+  let a = Des.throughput imc ~action:"serve" ~horizon:100.0 ~seed:5L in
+  let b = Des.throughput imc ~action:"serve" ~horizon:100.0 ~seed:5L in
+  Alcotest.(check (float 0.0)) "same seed, same result" a b
+
+let suite =
+  [
+    Alcotest.test_case "throughput vs analytic" `Slow test_throughput_vs_analytic;
+    Alcotest.test_case "first passage vs Erlang" `Slow
+      test_first_passage_vs_erlang;
+    Alcotest.test_case "occupancy vs analytic" `Slow test_occupancy_vs_analytic;
+    Alcotest.test_case "absorbing trajectories" `Quick test_absorbing_stops;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

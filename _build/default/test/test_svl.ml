@@ -1,0 +1,130 @@
+(* Tests for the SVL-style verification scripts. *)
+
+module Svl = Mv_core.Svl
+
+let queue_model =
+  {|
+process Producer := rate 2.0 ; push ; Producer
+process Consumer := pop ; rate 3.0 ; Consumer
+process Queue (n : int[0..2]) :=
+    [n < 2] -> push ; Queue(n + 1)
+ [] [n > 0] -> pop ; Queue(n - 1)
+init (Producer |[push]| Queue(0)) |[pop]| Consumer
+|}
+
+let in_sandbox f =
+  let dir = Filename.temp_file "mv_svl" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "queue.mvl") in
+  output_string oc queue_model;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_full_flow () =
+  in_sandbox (fun dir ->
+      let steps =
+        Svl.run_string ~dir
+          {|
+"q.aut"   = generate "queue.mvl" hide push ;
+"min.aut" = branching reduction of "q.aut" ;
+check deadlock of "q.aut" ;
+compare "min.aut" == "q.aut" modulo branching ;
+solve "queue.mvl" keep pop ;
+|}
+      in
+      Alcotest.(check int) "five steps" 5 (List.length steps);
+      Alcotest.(check bool) "all ok" true (Svl.all_ok steps);
+      Alcotest.(check bool) "aut files written" true
+        (Sys.file_exists (Filename.concat dir "q.aut")
+         && Sys.file_exists (Filename.concat dir "min.aut"));
+      (* the solve step reports the known M/M/1/K throughput *)
+      let solve_step = List.nth steps 4 in
+      Alcotest.(check bool) "throughput reported" true
+        (Astring.String.is_infix ~affix:"pop: 1.8" solve_step.Svl.detail))
+
+let test_failing_check () =
+  in_sandbox (fun dir ->
+      let steps =
+        Svl.run_string ~dir
+          {|
+"q.aut" = generate "queue.mvl" ;
+check "[ true* . pop ] false" of "q.aut" ;
+check deadlock of "q.aut" ;
+|}
+      in
+      Alcotest.(check int) "continues past failures" 3 (List.length steps);
+      Alcotest.(check bool) "script not ok" false (Svl.all_ok steps);
+      let violated = List.nth steps 1 in
+      Alcotest.(check bool) "violation flagged" false violated.Svl.ok)
+
+let test_composition_statement () =
+  in_sandbox (fun dir ->
+      let steps =
+        Svl.run_string ~dir
+          {|
+"q.aut" = generate "queue.mvl" ;
+"qq.aut" = composition of "q.aut" |[pop]| "q.aut" ;
+"h.aut" = hide pop in "qq.aut" ;
+|}
+      in
+      Alcotest.(check bool) "all ok" true (Svl.all_ok steps))
+
+let test_hard_error_stops () =
+  in_sandbox (fun dir ->
+      let steps =
+        Svl.run_string ~dir
+          {|
+"q.aut" = generate "missing.mvl" ;
+check deadlock of "q.aut" ;
+|}
+      in
+      (* the unreadable file is reported and execution stops *)
+      Alcotest.(check int) "stopped" 1 (List.length steps);
+      Alcotest.(check bool) "reported as failure" false (Svl.all_ok steps))
+
+let test_expect_throughput () =
+  in_sandbox (fun dir ->
+      let steps =
+        Svl.run_string ~dir
+          {|
+expect throughput pop of "queue.mvl" in [1.8, 1.9] ;
+expect throughput pop of "queue.mvl" in [0.0, 0.5] ;
+|}
+      in
+      (match steps with
+       | [ ok_step; fail_step ] ->
+         Alcotest.(check bool) "in range" true ok_step.Svl.ok;
+         Alcotest.(check bool) "out of range" false fail_step.Svl.ok;
+         Alcotest.(check bool) "flagged" true
+           (Astring.String.is_infix ~affix:"OUT OF RANGE" fail_step.Svl.detail)
+       | _ -> Alcotest.fail "expected two steps"))
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+       try
+         ignore (Svl.run_string text);
+         Alcotest.fail ("expected parse error on: " ^ text)
+       with Svl.Parse_error _ -> ())
+    [
+      "\"a.aut\" = generate ;";
+      "check of \"x.aut\" ;";
+      "compare \"a\" \"b\" modulo strong ;";
+      "\"a.aut\" = zebra reduction of \"b.aut\" ;";
+      "\"a.aut\" = generate \"b.mvl\"" (* missing ; *);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "full flow" `Quick test_full_flow;
+    Alcotest.test_case "failing check" `Quick test_failing_check;
+    Alcotest.test_case "composition + hide" `Quick test_composition_statement;
+    Alcotest.test_case "hard error stops" `Quick test_hard_error_stops;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "expect throughput" `Quick test_expect_throughput;
+  ]
