@@ -595,6 +595,71 @@ let e7_minimization () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E8: multicore scaling of the parallel engines                       *)
+
+(* Wall-clock times for the pool-enabled phases at 1/2/4 domains. The
+   outputs are identical whatever the pool size (that is the Mv_par
+   contract, cross-checked in test/test_par.ml); this table only
+   reports timing. On a single-core container the speedup column
+   honestly hovers around 1.0x (or below: domains add overhead without
+   adding parallelism) — run on a multicore host to see the scaling. *)
+let e8_scaling () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let with_domains domains f =
+    if domains = 1 then f None
+    else Mv_par.Pool.with_pool ~domains (fun pool -> f (Some pool))
+  in
+  let fame_spec = Mv_fame.Distributed.spec Mv_fame.Distributed.Correct in
+  let faust_spec =
+    Mv_faust.Mesh.spec Mv_faust.Mesh.Port_buffered
+      ~flows:Mv_faust.Mesh.crossing_flows
+  in
+  let queue_spec =
+    Mv_xstream.Queues.tandem ~arrival:e2_arrival ~transfer:4.0
+      ~service:e2_service ~capacity1:4 ~capacity2:4
+  in
+  let tasks =
+    [ ("FAME2 MSI directory: generate",
+       fun pool () -> ignore (Flow.generate ?pool fame_spec));
+      ("FAUST 2x2 mesh: generate + branching min.",
+       fun pool () ->
+         ignore (Mv_bisim.Branching.minimize ?pool
+                   (Flow.generate ?pool faust_spec)));
+      ("xSTream tandem: performance solve",
+       fun pool () ->
+         let perf = Flow.performance ?pool ~keep:[ "pop" ] queue_spec in
+         ignore (Flow.throughputs perf)) ]
+  in
+  let rows =
+    List.map
+      (fun (name, task) ->
+         let timings =
+           List.map
+             (fun domains ->
+                with_domains domains (fun pool -> time (task pool)))
+             [ 1; 2; 4 ]
+         in
+         match timings with
+         | [ t1; t2; t4 ] ->
+           [ name; f t1; f t2; f t4;
+             Printf.sprintf "%.2fx" (t1 /. t4) ]
+         | _ -> assert false)
+      tasks
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E8  Multicore scaling (wall-clock seconds; host reports %d \
+          recommended domains)"
+         (Mv_par.Pool.auto ()))
+    ~header:[ "phase"; "-j 1"; "-j 2"; "-j 4"; "speedup (j4/j1)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per experiment                *)
 
 let bechamel_kernels () =
@@ -659,7 +724,8 @@ let () =
     [ ("E1", e1_fame_mpi); ("E2", e2_xstream); ("E3", e3_verification);
       ("E4", e4_erlang);
       ("E5", fun () -> e5_nondet (); e5_nondet_mvl ());
-      ("E6", e6_compositional); ("E7", e7_minimization) ]
+      ("E6", e6_compositional); ("E7", e7_minimization);
+      ("E8", e8_scaling) ]
   in
   let raw_args =
     match Array.to_list Sys.argv with _ :: args -> args | [] -> []

@@ -18,9 +18,21 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Load an LTS from either an .aut file or an MVL model. *)
-let load_lts ?max_states path =
+let load_lts ?pool ?max_states path =
   if Filename.check_suffix path ".aut" then Aut.of_string (read_file path)
-  else Flow.generate ?max_states (Flow.model_of_text (read_file path))
+  else Flow.generate ?pool ?max_states (Flow.model_of_text (read_file path))
+
+(* Run [f] with the pool requested by -j: none for -j 1 (fully
+   sequential), one worker domain per core for -j 0. Every command
+   produces the same output whatever the pool size. *)
+let with_jobs jobs f =
+  if jobs = 1 then f None
+  else
+    let domains = if jobs = 0 then Mv_par.Pool.auto () else jobs in
+    let pool = Mv_par.Pool.create ~domains in
+    Fun.protect
+      ~finally:(fun () -> Mv_par.Pool.shutdown pool)
+      (fun () -> f (Some pool))
 
 let write_lts output lts =
   match output with
@@ -89,44 +101,59 @@ let hide_arg =
     & opt (list string) []
     & info [ "hide" ] ~docv:"GATES" ~doc:"Comma-separated gates to hide first.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel phases (generation, \
+           refinement, solving): $(b,1) is fully sequential (default), \
+           $(b,0) uses one domain per core. The output is identical \
+           for every N.")
+
 (* ---- generate ---- *)
 
 let generate_cmd =
-  let run model output max_states hide =
+  let run model output max_states hide jobs =
     handle_errors (fun () ->
-        let lts = load_lts ~max_states model in
-        let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
-        write_lts output lts)
+        with_jobs jobs (fun pool ->
+            let lts = load_lts ?pool ~max_states model in
+            let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
+            write_lts output lts))
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate the state space of an MVL model")
-    Term.(const run $ model_arg $ output_arg $ max_states_arg $ hide_arg)
+    Term.(
+      const run $ model_arg $ output_arg $ max_states_arg $ hide_arg $ jobs_arg)
 
 (* ---- minimize ---- *)
 
 let minimize_cmd =
-  let run model output max_states equivalence hide =
+  let run model output max_states equivalence hide jobs =
     handle_errors (fun () ->
-        let lts = load_lts ~max_states model in
-        let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
-        let minimized =
-          match equivalence with
-          | `Strong -> Mv_bisim.Strong.minimize lts
-          | `Branching -> Mv_bisim.Branching.minimize lts
-          | `Divbranching ->
-            Mv_bisim.Branching.minimize ~divergence_sensitive:true lts
-          | `Weak -> Mv_bisim.Weak.minimize lts
-          | `Traces -> Mv_bisim.Traces.determinize lts
-        in
-        Printf.eprintf "%d -> %d states\n" (Lts.nb_states lts)
-          (Lts.nb_states minimized);
-        write_lts output minimized)
+        with_jobs jobs (fun pool ->
+            let lts = load_lts ?pool ~max_states model in
+            let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
+            let minimized =
+              match equivalence with
+              | `Strong -> Mv_bisim.Strong.minimize ?pool lts
+              | `Branching -> Mv_bisim.Branching.minimize ?pool lts
+              | `Divbranching ->
+                Mv_bisim.Branching.minimize ?pool ~divergence_sensitive:true
+                  lts
+              | `Weak -> Mv_bisim.Weak.minimize ?pool lts
+              | `Traces -> Mv_bisim.Traces.determinize lts
+            in
+            Printf.eprintf "%d -> %d states\n" (Lts.nb_states lts)
+              (Lts.nb_states minimized);
+            write_lts output minimized))
   in
   Cmd.v
     (Cmd.info "minimize" ~doc:"Minimize modulo strong or branching bisimulation")
     Term.(
       const run $ model_arg $ output_arg $ max_states_arg $ equivalence_arg
-      $ hide_arg)
+      $ hide_arg $ jobs_arg)
 
 (* ---- compare ---- *)
 
@@ -137,35 +164,41 @@ let compare_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"MODEL2" ~doc:"Second model.")
   in
-  let run a b max_states equivalence =
+  let run a b max_states equivalence jobs =
     handle_errors (fun () ->
-        let la = load_lts ~max_states a and lb = load_lts ~max_states b in
-        let equal =
-          match equivalence with
-          | `Strong -> Mv_bisim.Strong.equivalent la lb
-          | `Branching -> Mv_bisim.Branching.equivalent la lb
-          | `Divbranching ->
-            Mv_bisim.Branching.equivalent ~divergence_sensitive:true la lb
-          | `Weak -> Mv_bisim.Weak.equivalent la lb
-          | `Traces -> Mv_bisim.Traces.equivalent la lb
-        in
-        print_endline (if equal then "equivalent" else "NOT equivalent");
-        if (not equal) && equivalence = `Traces then begin
-          match Mv_bisim.Traces.counterexample la lb with
-          | Some trace ->
-            Printf.printf "first model performs: %s\n" (String.concat "; " trace)
-          | None -> (
-              match Mv_bisim.Traces.counterexample lb la with
+        with_jobs jobs (fun pool ->
+            let la = load_lts ?pool ~max_states a
+            and lb = load_lts ?pool ~max_states b in
+            let equal =
+              match equivalence with
+              | `Strong -> Mv_bisim.Strong.equivalent ?pool la lb
+              | `Branching -> Mv_bisim.Branching.equivalent ?pool la lb
+              | `Divbranching ->
+                Mv_bisim.Branching.equivalent ?pool
+                  ~divergence_sensitive:true la lb
+              | `Weak -> Mv_bisim.Weak.equivalent ?pool la lb
+              | `Traces -> Mv_bisim.Traces.equivalent la lb
+            in
+            print_endline (if equal then "equivalent" else "NOT equivalent");
+            if (not equal) && equivalence = `Traces then begin
+              match Mv_bisim.Traces.counterexample la lb with
               | Some trace ->
-                Printf.printf "second model performs: %s\n"
+                Printf.printf "first model performs: %s\n"
                   (String.concat "; " trace)
-              | None -> ())
-        end;
-        exit (if equal then 0 else 1))
+              | None -> (
+                  match Mv_bisim.Traces.counterexample lb la with
+                  | Some trace ->
+                    Printf.printf "second model performs: %s\n"
+                      (String.concat "; " trace)
+                  | None -> ())
+            end;
+            exit (if equal then 0 else 1)))
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Check two models for bisimulation equivalence")
-    Term.(const run $ model_arg $ second_arg $ max_states_arg $ equivalence_arg)
+    Term.(
+      const run $ model_arg $ second_arg $ max_states_arg $ equivalence_arg
+      $ jobs_arg)
 
 (* ---- check ---- *)
 
@@ -274,45 +307,47 @@ let solve_cmd =
              $(b,uniform) (default) or $(b,fail) (reject, as CADP's \
              solvers do).")
   in
-  let run model max_states keep first scheduler =
+  let run model max_states keep first scheduler jobs =
     handle_errors (fun () ->
-        let spec = Flow.model_of_text (read_file model) in
-        let perf =
-          try Flow.performance ~max_states ~keep ~scheduler spec
-          with Mv_imc.To_ctmc.Nondeterministic state ->
-            prerr_endline
-              (Printf.sprintf
-                 "rejected: nondeterministic vanishing state %d (rerun with \
-                  --scheduler uniform)"
-                 state);
-            exit 4
-        in
-        Printf.printf "IMC: %d states; lumped: %d; CTMC: %d\n"
-          (Mv_imc.Imc.nb_states perf.Flow.imc)
-          (Mv_imc.Imc.nb_states perf.Flow.lumped)
-          (Mv_markov.Ctmc.nb_states perf.Flow.conversion.Mv_imc.To_ctmc.ctmc);
-        (match perf.Flow.conversion.Mv_imc.To_ctmc.nondeterministic with
-         | [] -> ()
-         | states ->
-           Printf.printf
-             "note: %d statically nondeterministic vanishing state(s) \
-              (resolved by the scheduler if reached during elimination)\n"
-             (List.length states));
-        List.iter
-          (fun (action, value) -> Printf.printf "throughput %-20s %.6g\n" action value)
-          (Flow.throughputs perf);
-        match first with
-        | None -> ()
-        | Some gate ->
-          Printf.printf "mean time to first %-9s %.6g\n" gate
-            (Flow.time_to_first perf ~gate))
+        with_jobs jobs (fun pool ->
+            let spec = Flow.model_of_text (read_file model) in
+            let perf =
+              try Flow.performance ?pool ~max_states ~keep ~scheduler spec
+              with Mv_imc.To_ctmc.Nondeterministic state ->
+                prerr_endline
+                  (Printf.sprintf
+                     "rejected: nondeterministic vanishing state %d (rerun \
+                      with --scheduler uniform)"
+                     state);
+                exit 4
+            in
+            Printf.printf "IMC: %d states; lumped: %d; CTMC: %d\n"
+              (Mv_imc.Imc.nb_states perf.Flow.imc)
+              (Mv_imc.Imc.nb_states perf.Flow.lumped)
+              (Mv_markov.Ctmc.nb_states perf.Flow.conversion.Mv_imc.To_ctmc.ctmc);
+            (match perf.Flow.conversion.Mv_imc.To_ctmc.nondeterministic with
+             | [] -> ()
+             | states ->
+               Printf.printf
+                 "note: %d statically nondeterministic vanishing state(s) \
+                  (resolved by the scheduler if reached during elimination)\n"
+                 (List.length states));
+            List.iter
+              (fun (action, value) ->
+                 Printf.printf "throughput %-20s %.6g\n" action value)
+              (Flow.throughputs perf);
+            match first with
+            | None -> ()
+            | Some gate ->
+              Printf.printf "mean time to first %-9s %.6g\n" gate
+                (Flow.time_to_first perf ~gate)))
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the performance pipeline: IMC, lumping, CTMC, throughputs")
     Term.(
       const run $ model_arg $ max_states_arg $ keep_arg $ first_arg
-      $ scheduler_arg)
+      $ scheduler_arg $ jobs_arg)
 
 (* ---- translate ---- *)
 

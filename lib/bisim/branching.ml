@@ -43,10 +43,10 @@ let collapse lts =
   in
   (collapsed, scc.component, divergent)
 
-let signatures ?(divergent = [||]) collapsed (p : Partition.t) =
+let signatures ?pool ?(divergent = [||]) collapsed (p : Partition.t) =
   let n = Lts.nb_states collapsed in
   let sigs = Array.make n [] in
-  for s = 0 to n - 1 do
+  let compute s =
     (* every tau successor d of s has d < s, so sigs.(d) is final *)
     let direct =
       Lts.fold_out collapsed s
@@ -69,13 +69,56 @@ let signatures ?(divergent = [||]) collapsed (p : Partition.t) =
       if Array.length divergent > 0 && divergent.(s) then [ (-1, -1) ] else []
     in
     sigs.(s) <- List.sort_uniq compare (marker @ List.rev_append direct inherited)
-  done;
+  in
+  (match pool with
+   | Some pool when Mv_par.Pool.size pool > 1 && n > 64 ->
+     (* Signature inheritance follows inert tau edges, so states are
+        scheduled by their height in the inert-tau DAG: everything at
+        one height depends only on strictly lower heights, making each
+        height an independent parallel batch. Heights are recomputed
+        per round (inertness depends on the current partition); one
+        sequential O(m) pass suffices because tau edges always point
+        to lower state ids. *)
+     let height = Array.make n 0 in
+     let max_height = ref 0 in
+     for s = 0 to n - 1 do
+       let h =
+         Lts.fold_out collapsed s
+           (fun l d acc ->
+              if l = Label.tau && p.block_of.(d) = p.block_of.(s) then
+                max acc (height.(d) + 1)
+              else acc)
+           0
+       in
+       height.(s) <- h;
+       if h > !max_height then max_height := h
+     done;
+     let offsets = Array.make (!max_height + 2) 0 in
+     Array.iter (fun h -> offsets.(h + 1) <- offsets.(h + 1) + 1) height;
+     for h = 1 to !max_height + 1 do
+       offsets.(h) <- offsets.(h) + offsets.(h - 1)
+     done;
+     let by_height = Array.make n 0 in
+     let fill = Array.copy offsets in
+     for s = 0 to n - 1 do
+       let h = height.(s) in
+       by_height.(fill.(h)) <- s;
+       fill.(h) <- fill.(h) + 1
+     done;
+     for h = 0 to !max_height do
+       Mv_par.Par.parallel_for pool ~lo:offsets.(h) ~hi:offsets.(h + 1)
+         (fun i -> compute by_height.(i))
+     done
+   | _ ->
+     for s = 0 to n - 1 do
+       compute s
+     done);
   sigs
 
-let refine ?divergent collapsed =
+let refine ?pool ?divergent collapsed =
   let n = Lts.nb_states collapsed in
   let rec loop (p : Partition.t) =
-    let sigs = signatures ?divergent collapsed p in
+    let sigs = signatures ?pool ?divergent collapsed p in
     let keys : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create 256 in
     let block_of = Array.make n 0 in
     let next = ref 0 in
@@ -109,12 +152,12 @@ let divergence_closure collapsed divergent =
   done;
   delta
 
-let partition ?(divergence_sensitive = false) lts =
+let partition ?pool ?(divergence_sensitive = false) lts =
   let collapsed, component, divergent = collapse lts in
   let p =
     if divergence_sensitive then
-      refine ~divergent:(divergence_closure collapsed divergent) collapsed
-    else refine collapsed
+      refine ?pool ~divergent:(divergence_closure collapsed divergent) collapsed
+    else refine ?pool collapsed
   in
   {
     Partition.block_of =
@@ -122,8 +165,8 @@ let partition ?(divergence_sensitive = false) lts =
     count = p.count;
   }
 
-let minimize ?(divergence_sensitive = false) lts =
-  let p = partition ~divergence_sensitive lts in
+let minimize ?pool ?(divergence_sensitive = false) lts =
+  let p = partition ?pool ~divergence_sensitive lts in
   let quotient = Quotient.weak lts p in
   let quotient =
     if not divergence_sensitive then quotient
@@ -151,7 +194,7 @@ let minimize ?(divergence_sensitive = false) lts =
   in
   Lts.restrict_reachable quotient
 
-let equivalent ?(divergence_sensitive = false) a b =
+let equivalent ?pool ?(divergence_sensitive = false) a b =
   let union, offset = Union.disjoint a b in
-  let p = partition ~divergence_sensitive union in
+  let p = partition ?pool ~divergence_sensitive union in
   Partition.same_block p (Lts.initial a) (offset + Lts.initial b)

@@ -6,22 +6,34 @@
     graph acyclic; each refinement round then computes signatures in
     one pass over a topological order of the tau DAG. The signature of
     a state is the set of [(label, block)] moves reachable through
-    inert tau steps, excluding inert tau itself. *)
+    inert tau steps, excluding inert tau itself.
+
+    The optional [pool] parallelizes each round: states are batched by
+    height in the inert-tau DAG and every batch's signatures are
+    computed on all pool domains. The partition, quotient and verdict
+    are identical to the sequential ones. *)
 
 (** Coarsest branching-bisimulation partition of the {e original}
     states. With [divergence_sensitive:true] (default [false]) the
     equivalence additionally distinguishes states that can diverge
     (perform infinitely many taus) from those that cannot — CADP's
     "divbranching", the variant that preserves livelocks. *)
-val partition : ?divergence_sensitive:bool -> Mv_lts.Lts.t -> Partition.t
+val partition :
+  ?pool:Mv_par.Pool.t -> ?divergence_sensitive:bool -> Mv_lts.Lts.t -> Partition.t
 
 (** Quotient (inert taus removed; under divergence sensitivity each
     divergent block keeps a tau self-loop), restricted to reachable
     states. *)
-val minimize : ?divergence_sensitive:bool -> Mv_lts.Lts.t -> Mv_lts.Lts.t
+val minimize :
+  ?pool:Mv_par.Pool.t -> ?divergence_sensitive:bool -> Mv_lts.Lts.t -> Mv_lts.Lts.t
 
 (** Branching bisimilarity of the initial states of two LTSs. *)
-val equivalent : ?divergence_sensitive:bool -> Mv_lts.Lts.t -> Mv_lts.Lts.t -> bool
+val equivalent :
+  ?pool:Mv_par.Pool.t ->
+  ?divergence_sensitive:bool ->
+  Mv_lts.Lts.t ->
+  Mv_lts.Lts.t ->
+  bool
 
 (** [divergence_free lts] is true when the LTS has no tau cycle
     (callers that need divergence-sensitive results can check this

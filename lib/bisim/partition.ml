@@ -21,12 +21,28 @@ let of_classes ~nb_states class_of =
   done;
   { block_of; count = !next }
 
-let refine_step ~nb_states ~signature p =
+(* Parallelizing a refinement round: signature computation is
+   per-state independent (the map phase, where all the fold/sort work
+   is) and fans out over the pool; the densification of (old block,
+   signature) keys into new block ids stays sequential in state order,
+   which is what makes the resulting ids — and hence every later
+   round — identical to the sequential algorithm's. *)
+let signatures_of ?pool ~nb_states ~signature p =
+  match pool with
+  | Some pool when Mv_par.Pool.size pool > 1 && nb_states > 64 ->
+    let sigs = Array.make nb_states [] in
+    Mv_par.Par.parallel_for pool ~lo:0 ~hi:nb_states (fun s ->
+        sigs.(s) <- signature p s);
+    fun s -> sigs.(s)
+  | _ -> fun s -> signature p s
+
+let refine_step ?pool ~nb_states ~signature p =
+  let signature_of = signatures_of ?pool ~nb_states ~signature p in
   let keys : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create 256 in
   let block_of = Array.make nb_states 0 in
   let next = ref 0 in
   for s = 0 to nb_states - 1 do
-    let key = (p.block_of.(s), signature p s) in
+    let key = (p.block_of.(s), signature_of s) in
     let id =
       match Hashtbl.find_opt keys key with
       | Some id -> id
@@ -40,9 +56,9 @@ let refine_step ~nb_states ~signature p =
   done;
   { block_of; count = !next }
 
-let refine_until_stable ~nb_states ~signature p =
+let refine_until_stable ?pool ~nb_states ~signature p =
   let rec loop p =
-    let p' = refine_step ~nb_states ~signature p in
+    let p' = refine_step ?pool ~nb_states ~signature p in
     if p'.count = p.count then p' else loop p'
   in
   loop p

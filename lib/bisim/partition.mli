@@ -19,12 +19,21 @@ val trivial : int -> t
     arbitrary labelling (ids are densified). *)
 val of_classes : nb_states:int -> (int -> int) -> t
 
-(** [refine_until_stable ~nb_states ~signature p] iterates refinement.
-    [signature p s] must return a canonical (sorted, duplicate-free)
-    representation of state [s]'s behaviour under partition [p];
-    states of one block with equal signatures stay together. *)
+(** [refine_until_stable ?pool ~nb_states ~signature p] iterates
+    refinement. [signature p s] must return a canonical (sorted,
+    duplicate-free) representation of state [s]'s behaviour under
+    partition [p]; states of one block with equal signatures stay
+    together. With a [pool] of size > 1 each round's signatures are
+    computed on all pool domains ([signature] must then be safe to
+    call concurrently — it may read the shared partition and LTS but
+    not write); block ids are still assigned sequentially in state
+    order, so the result is identical to the sequential one. *)
 val refine_until_stable :
-  nb_states:int -> signature:(t -> int -> (int * int) list) -> t -> t
+  ?pool:Mv_par.Pool.t ->
+  nb_states:int ->
+  signature:(t -> int -> (int * int) list) ->
+  t ->
+  t
 
 (** [same_block p a b]. *)
 val same_block : t -> int -> int -> bool

@@ -4,15 +4,15 @@ let signature lts (p : Partition.t) s =
   let pairs = Lts.fold_out lts s (fun l d acc -> (l, p.block_of.(d)) :: acc) [] in
   List.sort_uniq compare pairs
 
-let partition lts =
-  Partition.refine_until_stable ~nb_states:(Lts.nb_states lts)
+let partition ?pool lts =
+  Partition.refine_until_stable ?pool ~nb_states:(Lts.nb_states lts)
     ~signature:(signature lts)
     (Partition.trivial (Lts.nb_states lts))
 
-let minimize lts =
-  Lts.restrict_reachable (Quotient.strong lts (partition lts))
+let minimize ?pool lts =
+  Lts.restrict_reachable (Quotient.strong lts (partition ?pool lts))
 
-let equivalent a b =
+let equivalent ?pool a b =
   let union, offset = Union.disjoint a b in
-  let p = partition union in
+  let p = partition ?pool union in
   Partition.same_block p (Lts.initial a) (offset + Lts.initial b)

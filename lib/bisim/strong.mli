@@ -3,15 +3,20 @@
     Signature refinement in the style of Kanellakis-Smolka: the
     signature of a state is its set of [(label, successor block)]
     pairs. Adequate (O(m) per round, at most [n] rounds) for the model
-    sizes this toolchain targets. *)
+    sizes this toolchain targets.
+
+    The optional [pool] fans each round's signature computation out
+    over the pool domains (signatures are per-state independent); the
+    partition, quotient and verdict are identical to the sequential
+    ones. *)
 
 (** Coarsest strong-bisimulation partition. *)
-val partition : Mv_lts.Lts.t -> Partition.t
+val partition : ?pool:Mv_par.Pool.t -> Mv_lts.Lts.t -> Partition.t
 
 (** Quotient by the coarsest partition, restricted to reachable
     states. *)
-val minimize : Mv_lts.Lts.t -> Mv_lts.Lts.t
+val minimize : ?pool:Mv_par.Pool.t -> Mv_lts.Lts.t -> Mv_lts.Lts.t
 
 (** [equivalent a b] — strong bisimilarity of the initial states.
     Labels are matched by printed name. *)
-val equivalent : Mv_lts.Lts.t -> Mv_lts.Lts.t -> bool
+val equivalent : ?pool:Mv_par.Pool.t -> Mv_lts.Lts.t -> Mv_lts.Lts.t -> bool

@@ -16,13 +16,17 @@ type outcome = {
   truncated : bool;
 }
 
-(** [generate ?max_states spec] explores breadth-first from
+(** [generate ?pool ?max_states spec] explores breadth-first from
     [spec.init]. Default bound: 1_000_000 states; reaching it raises
-    {!Mv_lts.Explore.Too_many_states}. *)
-val generate : ?max_states:int -> Ast.spec -> outcome
+    {!Mv_lts.Explore.Too_many_states}. With a [pool] of size > 1 the
+    frontier levels are expanded on all pool domains (MVL semantics is
+    pure, so concurrent [Semantics.moves] calls are safe); the
+    resulting LTS — numbering, transitions, labels — is identical to
+    the sequential one (see {!Mv_lts.Explore.Make.run}). *)
+val generate : ?pool:Mv_par.Pool.t -> ?max_states:int -> Ast.spec -> outcome
 
-(** [lts ?max_states spec] is [(generate spec).lts]. *)
-val lts : ?max_states:int -> Ast.spec -> Mv_lts.Lts.t
+(** [lts ?pool ?max_states spec] is [(generate spec).lts]. *)
+val lts : ?pool:Mv_par.Pool.t -> ?max_states:int -> Ast.spec -> Mv_lts.Lts.t
 
 (** [first_deadlock ?max_states spec] searches breadth-first for a
     deadlocked state {e during} generation and stops at the first hit,

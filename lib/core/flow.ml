@@ -6,7 +6,8 @@ module Ctmc = Mv_markov.Ctmc
 
 let model_of_text text = Mv_calc.Parser.spec_of_string_checked text
 
-let generate ?max_states spec = Mv_calc.State_space.lts ?max_states spec
+let generate ?pool ?max_states spec =
+  Mv_calc.State_space.lts ?pool ?max_states spec
 
 (* Split the top-level parallel/hide skeleton of the initial behaviour
    into a composition network; everything below any other construct is
@@ -49,10 +50,10 @@ type verification = {
   results : property_result list;
 }
 
-let verify ?max_states ?(hide = []) spec properties =
-  let lts = generate ?max_states spec in
+let verify ?pool ?max_states ?(hide = []) spec properties =
+  let lts = generate ?pool ?max_states spec in
   let abstracted = if hide = [] then lts else Lts.hide lts ~gates:hide in
-  let minimized = Mv_bisim.Branching.minimize abstracted in
+  let minimized = Mv_bisim.Branching.minimize ?pool abstracted in
   let results =
     List.map
       (fun (property_name, formula) ->
@@ -79,7 +80,7 @@ type performance = {
   steady : float array Lazy.t;
 }
 
-let performance_of_imc ?(keep = []) ?(scheduler = To_ctmc.Uniform) imc =
+let performance_of_imc ?pool ?(keep = []) ?(scheduler = To_ctmc.Uniform) imc =
   let visible_kept name = List.mem (Label.gate name) keep in
   let hidden =
     (* hide every gate not in [keep] *)
@@ -99,12 +100,12 @@ let performance_of_imc ?(keep = []) ?(scheduler = To_ctmc.Uniform) imc =
     imc;
     lumped;
     conversion;
-    steady = lazy (Ctmc.steady_state conversion.To_ctmc.ctmc);
+    steady = lazy (Ctmc.steady_state ?pool conversion.To_ctmc.ctmc);
   }
 
-let performance ?max_states ?keep ?scheduler spec =
-  let lts = generate ?max_states spec in
-  performance_of_imc ?keep ?scheduler (Imc.of_lts lts)
+let performance ?pool ?max_states ?keep ?scheduler spec =
+  let lts = generate ?pool ?max_states spec in
+  performance_of_imc ?pool ?keep ?scheduler (Imc.of_lts lts)
 
 let throughput perf ~gate =
   let pi = Lazy.force perf.steady in

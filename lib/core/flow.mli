@@ -19,8 +19,11 @@
 (** Parse + resolve + typecheck an MVL source text. *)
 val model_of_text : string -> Mv_calc.Ast.spec
 
-(** State-space generation. *)
-val generate : ?max_states:int -> Mv_calc.Ast.spec -> Mv_lts.Lts.t
+(** State-space generation. [pool] parallelizes the exploration; the
+    resulting LTS is identical to the sequential one (see
+    {!Mv_calc.State_space.generate}). *)
+val generate :
+  ?pool:Mv_par.Pool.t -> ?max_states:int -> Mv_calc.Ast.spec -> Mv_lts.Lts.t
 
 (** Compositional generation (the automated form of the paper's §3
     approach): the top-level parallel/hide structure of [spec.init] is
@@ -52,6 +55,7 @@ type verification = {
     pipeline. [hide] lists gates abstracted to tau before
     minimization (checking still runs on the unhidden LTS). *)
 val verify :
+  ?pool:Mv_par.Pool.t ->
   ?max_states:int ->
   ?hide:string list ->
   Mv_calc.Ast.spec ->
@@ -81,8 +85,11 @@ type performance = {
 (** [performance ?max_states ?keep ?scheduler spec] runs the
     performance pipeline. Gates in [keep] stay visible through hiding
     and become the action tags available for throughput queries; every
-    other gate is hidden. *)
+    other gate is hidden. When a [pool] is given it is captured by the
+    [steady] lazy, so force it (e.g. via {!throughputs}) before
+    shutting the pool down. *)
 val performance :
+  ?pool:Mv_par.Pool.t ->
   ?max_states:int ->
   ?keep:string list ->
   ?scheduler:Mv_imc.To_ctmc.scheduler ->
@@ -92,6 +99,7 @@ val performance :
 (** [performance_of_imc ?keep ?scheduler imc] — same pipeline entered
     at the IMC level (for compositionally built IMCs). *)
 val performance_of_imc :
+  ?pool:Mv_par.Pool.t ->
   ?keep:string list ->
   ?scheduler:Mv_imc.To_ctmc.scheduler ->
   Mv_imc.Imc.t ->

@@ -22,15 +22,27 @@ type 'state outcome = {
 exception Too_many_states of int
 
 module Make (S : STATE) : sig
-  (** [run ?max_states ?on_truncate ~initial ~successors ()] explores
-      breadth-first from [initial]. [successors s] lists the labelled
-      moves of [s] (label is a printed name; ["i"] is tau).
+  (** [run ?pool ?max_states ?on_truncate ~initial ~successors ()]
+      explores breadth-first from [initial]. [successors s] lists the
+      labelled moves of [s] (label is a printed name; ["i"] is tau).
 
       When more than [max_states] (default 1_000_000) states are
       reached: with [on_truncate = `Stop] (default) the frontier is
       abandoned and [truncated] is true (transitions into discovered
-      states are kept); with [`Raise] {!Too_many_states} is raised. *)
+      states are kept); with [`Raise] {!Too_many_states} is raised.
+
+      With a [pool] of size > 1 the search switches to
+      level-synchronous parallel BFS: each frontier level is expanded
+      concurrently (the calls to [successors] — the dominant cost —
+      run on all domains, deduplicating states through a sharded
+      concurrent table), then a cheap sequential post-pass replays the
+      canonical breadth-first numbering over the in-memory successor
+      lists. The outcome — state numbering, transition set, label
+      table, states array, truncation behaviour — is {e identical} to
+      the sequential one; [successors] must be safe to call
+      concurrently (pure functions are). *)
   val run :
+    ?pool:Mv_par.Pool.t ->
     ?max_states:int ->
     ?on_truncate:[ `Stop | `Raise ] ->
     initial:S.t ->

@@ -87,11 +87,23 @@ let bsccs t =
   done;
   !out
 
-(* Gauss-Seidel stationary solve restricted to an irreducible subset:
+(* Stationary solve restricted to an irreducible subset:
    pi_j = (sum_{i in subset, i<>j} pi_i q_ij) / E_j. The in-adjacency is
-   materialized once per call. *)
-let steady_state_on_subset t ?(tolerance = 1e-13) ?(max_iterations = 200_000)
-    subset =
+   materialized once per call.
+
+   Sequential path: Gauss-Seidel (in-place sweeps). Pooled path: damped
+   Jacobi — every state's update reads only the previous iterate, so
+   states are independent within a sweep and the sweep parallelizes.
+   The undamped Jacobi operator has the spectrum of the embedded jump
+   chain (unit spectral radius, possibly complex eigenvalues on the
+   unit circle for periodic structure), so a damping factor < 1 is
+   required for convergence; the residual tested against [tolerance]
+   is the undamped one, making the stopping criterion comparable to
+   Gauss-Seidel's. Scheduling never affects the result: each sweep
+   writes disjoint slots and the reductions (residual, normalization)
+   are sequential, so any pool size gives bit-identical vectors. *)
+let steady_state_on_subset t ?pool ?(tolerance = 1e-13)
+    ?(max_iterations = 200_000) subset =
   match subset with
   | [] -> invalid_arg "Ctmc.steady_state_on_subset: empty"
   | [ s ] ->
@@ -116,23 +128,58 @@ let steady_state_on_subset t ?(tolerance = 1e-13) ?(max_iterations = 200_000)
     List.iter (fun s -> pi.(s) <- 1.0 /. float_of_int size) subset;
     let iteration = ref 0 in
     let delta = ref infinity in
-    while !delta > tolerance && !iteration < max_iterations do
-      delta := 0.0;
-      List.iter
-        (fun j ->
-           if exit.(j) > 0.0 then begin
-             let flow = ref 0.0 in
-             List.iter (fun (i, q) -> flow := !flow +. (pi.(i) *. q)) incoming.(j);
-             let updated = !flow /. exit.(j) in
-             delta := max !delta (abs_float (updated -. pi.(j)));
-             pi.(j) <- updated
-           end)
-        subset;
-      let total = ref 0.0 in
-      List.iter (fun s -> total := !total +. pi.(s)) subset;
-      if !total > 0.0 then List.iter (fun s -> pi.(s) <- pi.(s) /. !total) subset;
-      incr iteration
-    done;
+    (match pool with
+     | Some pool when Mv_par.Pool.size pool > 1 && size > 64 ->
+       let states = Array.of_list subset in
+       let next = Array.make t.nb_states 0.0 in
+       let residual = Array.make size 0.0 in
+       let omega = 0.7 in
+       while !delta > tolerance && !iteration < max_iterations do
+         Mv_par.Par.parallel_for pool ~lo:0 ~hi:size (fun k ->
+             let j = states.(k) in
+             if exit.(j) > 0.0 then begin
+               let flow = ref 0.0 in
+               List.iter
+                 (fun (i, q) -> flow := !flow +. (pi.(i) *. q))
+                 incoming.(j);
+               let updated = !flow /. exit.(j) in
+               residual.(k) <- abs_float (updated -. pi.(j));
+               next.(j) <- ((1.0 -. omega) *. pi.(j)) +. (omega *. updated)
+             end
+             else begin
+               residual.(k) <- 0.0;
+               next.(j) <- pi.(j)
+             end);
+         delta := 0.0;
+         Array.iter (fun r -> if r > !delta then delta := r) residual;
+         let total = ref 0.0 in
+         Array.iter (fun j -> total := !total +. next.(j)) states;
+         if !total > 0.0 then
+           Array.iter (fun j -> pi.(j) <- next.(j) /. !total) states
+         else Array.iter (fun j -> pi.(j) <- next.(j)) states;
+         incr iteration
+       done
+     | _ ->
+       while !delta > tolerance && !iteration < max_iterations do
+         delta := 0.0;
+         List.iter
+           (fun j ->
+              if exit.(j) > 0.0 then begin
+                let flow = ref 0.0 in
+                List.iter
+                  (fun (i, q) -> flow := !flow +. (pi.(i) *. q))
+                  incoming.(j);
+                let updated = !flow /. exit.(j) in
+                delta := max !delta (abs_float (updated -. pi.(j)));
+                pi.(j) <- updated
+              end)
+           subset;
+         let total = ref 0.0 in
+         List.iter (fun s -> total := !total +. pi.(s)) subset;
+         if !total > 0.0 then
+           List.iter (fun s -> pi.(s) <- pi.(s) /. !total) subset;
+         incr iteration
+       done);
     pi
 
 (* Probability, from each state, of eventual absorption into a given
@@ -178,11 +225,12 @@ let absorption_probabilities t bscc_list =
   done;
   prob
 
-let steady_state ?(tolerance = 1e-13) ?(max_iterations = 200_000) t =
+let steady_state ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000) t =
   let bottom = bsccs t in
   match bottom with
   | [] -> assert false (* every finite digraph has a bottom SCC *)
-  | [ single ] -> steady_state_on_subset t ~tolerance ~max_iterations single
+  | [ single ] ->
+    steady_state_on_subset t ?pool ~tolerance ~max_iterations single
   | _ ->
     let reach = absorption_probabilities t bottom in
     let pi = Array.make t.nb_states 0.0 in
@@ -191,7 +239,7 @@ let steady_state ?(tolerance = 1e-13) ?(max_iterations = 200_000) t =
          let alpha = reach.(k).(t.initial) in
          if alpha > 0.0 then begin
            let local =
-             steady_state_on_subset t ~tolerance ~max_iterations members
+             steady_state_on_subset t ?pool ~tolerance ~max_iterations members
            in
            List.iter (fun s -> pi.(s) <- pi.(s) +. (alpha *. local.(s))) members
          end)
@@ -217,7 +265,7 @@ let uniformization_matrix t =
     Some (lambda, Sparse.of_triples ~rows:t.nb_states ~cols:t.nb_states !entries)
   end
 
-let transient ?(epsilon = 1e-10) t ~horizon =
+let transient ?pool ?(epsilon = 1e-10) t ~horizon =
   if horizon < 0.0 then invalid_arg "Ctmc.transient: negative horizon";
   let point = Array.make t.nb_states 0.0 in
   point.(t.initial) <- 1.0;
@@ -236,7 +284,7 @@ let transient ?(epsilon = 1e-10) t ~horizon =
             (fun s v -> result.(s) <- result.(s) +. (w *. v))
             !current
         end;
-        if k < weights.right then current := Sparse.mul_left p !current
+        if k < weights.right then current := Sparse.mul_left ?pool p !current
       done;
       result
     end

@@ -49,16 +49,30 @@ val bsccs : t -> int list list
     General chains are handled by BSCC decomposition: the steady-state
     vector is the mixture of per-BSCC stationary distributions weighted
     by the probability of absorption into each BSCC from the initial
-    state. *)
+    state.
 
-val steady_state : ?tolerance:float -> ?max_iterations:int -> t -> float array
+    With a [pool] of size [> 1], each (large enough) BSCC is solved by
+    a parallel damped-Jacobi sweep instead of sequential Gauss-Seidel;
+    the result is deterministic for a given pool (independent of
+    scheduling and pool size) and agrees with the sequential vector to
+    within the iteration tolerance. *)
+
+val steady_state :
+  ?pool:Mv_par.Pool.t ->
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  t ->
+  float array
 
 (** {1 Transient analysis} *)
 
 (** [transient t ~horizon] is the state distribution at time [horizon],
     by uniformization. [epsilon] bounds the truncation error (default
-    [1e-10]). *)
-val transient : ?epsilon:float -> t -> horizon:float -> float array
+    [1e-10]). Under [pool] the per-step products run in parallel and
+    are bit-identical to the sequential ones (see
+    {!Sparse.mul_left}). *)
+val transient :
+  ?pool:Mv_par.Pool.t -> ?epsilon:float -> t -> horizon:float -> float array
 
 (** {1 First-passage analysis} *)
 

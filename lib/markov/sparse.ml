@@ -4,6 +4,9 @@ type t = {
   row_ptr : int array; (* length rows+1 *)
   col_idx : int array;
   values : float array;
+  mutable transposed : t option;
+      (* cache for pooled [mul_left]; built lazily by the calling
+         domain, then only read (the CSR arrays are immutable) *)
 }
 
 let of_triples ~rows ~cols entries =
@@ -36,7 +39,7 @@ let of_triples ~rows ~cols entries =
   for r = 1 to rows do
     row_ptr.(r) <- row_ptr.(r) + row_ptr.(r - 1)
   done;
-  { rows; cols; row_ptr; col_idx; values }
+  { rows; cols; row_ptr; col_idx; values; transposed = None }
 
 let rows m = m.rows
 let cols m = m.cols
@@ -58,28 +61,27 @@ let iter_row m i f =
     f m.col_idx.(k) m.values.(k)
   done
 
-let mul_left m x =
-  if Array.length x <> m.rows then invalid_arg "Sparse.mul_left";
-  let y = Array.make m.cols 0.0 in
-  for i = 0 to m.rows - 1 do
-    let xi = x.(i) in
-    if xi <> 0.0 then
-      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-        y.(m.col_idx.(k)) <- y.(m.col_idx.(k)) +. (xi *. m.values.(k))
-      done
+(* One output row as a dot product, accumulating left-to-right in
+   column order. Shared by the sequential and pooled paths of
+   [mul_right] so both sum in the same order (bitwise equality). *)
+let dot_row m x i =
+  let acc = ref 0.0 in
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
   done;
-  y
+  !acc
 
-let mul_right m x =
+let mul_right ?pool m x =
   if Array.length x <> m.cols then invalid_arg "Sparse.mul_right";
   let y = Array.make m.rows 0.0 in
-  for i = 0 to m.rows - 1 do
-    let acc = ref 0.0 in
-    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-      acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
-    done;
-    y.(i) <- !acc
-  done;
+  (match pool with
+   | Some pool when Mv_par.Pool.size pool > 1 && m.rows > 64 ->
+     Mv_par.Par.parallel_for pool ~lo:0 ~hi:m.rows (fun i ->
+         y.(i) <- dot_row m x i)
+   | _ ->
+     for i = 0 to m.rows - 1 do
+       y.(i) <- dot_row m x i
+     done);
   y
 
 let transpose m =
@@ -91,6 +93,41 @@ let transpose m =
   done;
   of_triples ~rows:m.cols ~cols:m.rows !entries
 
+let transposed m =
+  match m.transposed with
+  | Some t -> t
+  | None ->
+    let t = transpose m in
+    m.transposed <- Some t;
+    t
+
+(* The pooled path computes [y.(j)] as the dot product of column [j]
+   (a row of the cached transpose, whose entries are sorted by source
+   row) with [x]. The sequential path scatters rows in ascending
+   order, so each [y.(j)] also accumulates its contributions in
+   ascending source-row order: both paths perform the same additions
+   in the same order and the results are bit-identical (the sequential
+   [xi <> 0.0] skip only elides exact [+. 0.0] no-ops). *)
+let mul_left ?pool m x =
+  if Array.length x <> m.rows then invalid_arg "Sparse.mul_left";
+  match pool with
+  | Some pool when Mv_par.Pool.size pool > 1 && m.cols > 64 ->
+    let mt = transposed m in
+    let y = Array.make m.cols 0.0 in
+    Mv_par.Par.parallel_for pool ~lo:0 ~hi:m.cols (fun j ->
+        y.(j) <- dot_row mt x j);
+    y
+  | _ ->
+    let y = Array.make m.cols 0.0 in
+    for i = 0 to m.rows - 1 do
+      let xi = x.(i) in
+      if xi <> 0.0 then
+        for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+          y.(m.col_idx.(k)) <- y.(m.col_idx.(k)) +. (xi *. m.values.(k))
+        done
+    done;
+    y
+
 let row_sums m =
   let sums = Array.make m.rows 0.0 in
   for i = 0 to m.rows - 1 do
@@ -101,4 +138,4 @@ let row_sums m =
   sums
 
 let scale m c =
-  { m with values = Array.map (fun v -> v *. c) m.values }
+  { m with values = Array.map (fun v -> v *. c) m.values; transposed = None }

@@ -23,11 +23,16 @@ val get : t -> int -> int -> float
 val iter_row : t -> int -> (int -> float -> unit) -> unit
 
 (** [mul_left m x] is the row vector [x·m]. [x] must have length
-    [rows m]; the result has length [cols m]. *)
-val mul_left : t -> float array -> float array
+    [rows m]; the result has length [cols m]. With a [pool] of size
+    [> 1] the product is computed in parallel from a cached transpose;
+    every entry of the result is bit-identical to the sequential one
+    because both paths accumulate each output in ascending source-row
+    order. *)
+val mul_left : ?pool:Mv_par.Pool.t -> t -> float array -> float array
 
-(** [mul_right m x] is the column vector [m·x]. *)
-val mul_right : t -> float array -> float array
+(** [mul_right m x] is the column vector [m·x]. Row-parallel under
+    [pool], bit-identical to the sequential product. *)
+val mul_right : ?pool:Mv_par.Pool.t -> t -> float array -> float array
 
 val transpose : t -> t
 

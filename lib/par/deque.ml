@@ -1,0 +1,51 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable top : int; (* index of the oldest item *)
+  mutable size : int;
+  lock : Mutex.t;
+}
+
+let create () = { buf = Array.make 8 None; top = 0; size = 0; lock = Mutex.create () }
+
+let with_lock d f =
+  Mutex.lock d.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
+
+let grow d =
+  let cap = Array.length d.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to d.size - 1 do
+    buf.(i) <- d.buf.((d.top + i) mod cap)
+  done;
+  d.buf <- buf;
+  d.top <- 0
+
+let push d x =
+  with_lock d (fun () ->
+      if d.size = Array.length d.buf then grow d;
+      d.buf.((d.top + d.size) mod Array.length d.buf) <- Some x;
+      d.size <- d.size + 1)
+
+let pop d =
+  with_lock d (fun () ->
+      if d.size = 0 then None
+      else begin
+        let i = (d.top + d.size - 1) mod Array.length d.buf in
+        let x = d.buf.(i) in
+        d.buf.(i) <- None;
+        d.size <- d.size - 1;
+        x
+      end)
+
+let steal d =
+  with_lock d (fun () ->
+      if d.size = 0 then None
+      else begin
+        let x = d.buf.(d.top) in
+        d.buf.(d.top) <- None;
+        d.top <- (d.top + 1) mod Array.length d.buf;
+        d.size <- d.size - 1;
+        x
+      end)
+
+let length d = with_lock d (fun () -> d.size)

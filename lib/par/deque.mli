@@ -1,0 +1,30 @@
+(** Work-stealing deques.
+
+    Each pool worker owns one deque: the owner pushes and pops work at
+    the bottom (LIFO, cache-friendly), idle workers steal from the top
+    (FIFO, so thieves take the oldest — typically largest-granularity —
+    item). The implementation is a mutex-protected ring buffer: with
+    chunk-grained work items the lock is taken a few hundred times per
+    parallel region, so contention is negligible and the simplicity
+    pays for itself (no fences to reason about beyond the lock). *)
+
+type 'a t
+
+(** An empty deque. *)
+val create : unit -> 'a t
+
+(** [push d x] appends [x] at the owner end. Safe from any domain
+    (the pool only pushes before releasing workers, but tests push
+    concurrently). *)
+val push : 'a t -> 'a -> unit
+
+(** [pop d] removes the most recently pushed item (owner end), or
+    [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** [steal d] removes the oldest item (thief end), or [None] when
+    empty. *)
+val steal : 'a t -> 'a option
+
+(** Current number of items (a snapshot; other domains may race). *)
+val length : 'a t -> int

@@ -1,0 +1,107 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable epoch : int; (* bumped per job; wakes parked workers *)
+  mutable pending : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let record_failure pool exn =
+  Mutex.lock pool.mutex;
+  if pool.failure = None then pool.failure <- Some exn;
+  Mutex.unlock pool.mutex
+
+let worker pool index =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while pool.epoch = !last && not pool.stop do
+      Condition.wait pool.start pool.mutex
+    done;
+    if pool.stop then begin
+      running := false;
+      Mutex.unlock pool.mutex
+    end
+    else begin
+      last := pool.epoch;
+      let job = Option.get pool.job in
+      Mutex.unlock pool.mutex;
+      (try job index with exn -> record_failure pool exn);
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.finished;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create ~domains =
+  let size = max 1 domains in
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      epoch = 0;
+      pending = 0;
+      failure = None;
+      stop = false;
+      domains = [||];
+    }
+  in
+  pool.domains <-
+    Array.init (size - 1) (fun i -> Domain.spawn (fun () -> worker pool i));
+  pool
+
+let size pool = pool.size
+
+let run pool f =
+  if pool.size = 1 then f 0
+  else begin
+    Mutex.lock pool.mutex;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    pool.job <- Some f;
+    pool.failure <- None;
+    pool.pending <- pool.size - 1;
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.start;
+    Mutex.unlock pool.mutex;
+    (* the caller is the last worker *)
+    let own_failure =
+      match f (pool.size - 1) with () -> None | exception exn -> Some exn
+    in
+    Mutex.lock pool.mutex;
+    while pool.pending > 0 do
+      Condition.wait pool.finished pool.mutex
+    done;
+    let failure = pool.failure in
+    pool.job <- None;
+    Mutex.unlock pool.mutex;
+    match own_failure, failure with
+    | Some exn, _ | None, Some exn -> raise exn
+    | None, None -> ()
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.start;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let auto () = Domain.recommended_domain_count ()

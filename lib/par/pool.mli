@@ -1,0 +1,43 @@
+(** A fixed-size pool of worker domains.
+
+    OCaml domains are heavyweight (each maps to an OS thread with its
+    own minor heap), so the engines in this repository never spawn them
+    per task: a pool is created once per command invocation ([mval -j
+    N]) and every parallel region reuses its domains. A pool of size 1
+    spawns no domains at all and runs jobs inline, which is how the
+    default [-j 1] configuration keeps the sequential behaviour (and
+    performance) of the pre-parallel code paths.
+
+    Workers are parked on a condition variable between jobs. [run] is
+    a synchronous fork-join: the calling domain participates as the
+    last worker, so a pool of size [n] uses exactly [n] domains during
+    a job. Exceptions raised by workers are re-raised in [run] (the
+    first one wins). The mutex/condition handshake establishes the
+    happens-before edges that make worker writes (e.g. into disjoint
+    array slots) visible to the caller after [run] returns. *)
+
+type t
+
+(** [create ~domains] — a pool of [domains] workers ([domains - 1]
+    spawned domains plus the caller). Values < 1 are clamped to 1. *)
+val create : domains:int -> t
+
+(** Number of workers (including the calling domain). *)
+val size : t -> int
+
+(** [run pool f] executes [f 0], ..., [f (size - 1)] concurrently, one
+    call per worker, and returns when all have finished. Nested [run]
+    on the same pool is not allowed. *)
+val run : t -> (int -> unit) -> unit
+
+(** Park-and-join all spawned domains. The pool must not be used
+    afterwards. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] — [create], run [f pool], always
+    [shutdown]. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a
+
+(** The runtime's recommended domain count for this machine (for
+    [-j 0]-style auto selection). *)
+val auto : unit -> int

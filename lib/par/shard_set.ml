@@ -1,0 +1,99 @@
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (H : HASHED) = struct
+  module Table = Hashtbl.Make (H)
+
+  type shard = {
+    lock : Mutex.t;
+    slots : int Table.t; (* element -> slot *)
+    mutable elements : H.t array; (* slot -> element; filler beyond [size] *)
+    mutable size : int;
+  }
+
+  type t = {
+    shards : shard array;
+    mask : int;
+  }
+
+  let create ?(shards = 64) () =
+    let rec pow2 n = if n >= shards then n else pow2 (2 * n) in
+    let n = pow2 1 in
+    {
+      shards =
+        Array.init n (fun _ ->
+            {
+              lock = Mutex.create ();
+              slots = Table.create 256;
+              elements = [||];
+              size = 0;
+            });
+      mask = n - 1;
+    }
+
+  let nb_shards t = Array.length t.shards
+
+  let shard_of t x = t.shards.(H.hash x land t.mask)
+
+  let add t x =
+    let nb = Array.length t.shards in
+    let index = H.hash x land t.mask in
+    let shard = t.shards.(index) in
+    Mutex.lock shard.lock;
+    let result =
+      match Table.find_opt shard.slots x with
+      | Some slot -> ((slot * nb) + index, false)
+      | None ->
+        let slot = shard.size in
+        if slot = Array.length shard.elements then begin
+          let cap = max 16 (2 * slot) in
+          let elements = Array.make cap x in
+          Array.blit shard.elements 0 elements 0 slot;
+          shard.elements <- elements
+        end;
+        shard.elements.(slot) <- x;
+        shard.size <- slot + 1;
+        Table.add shard.slots x slot;
+        ((slot * nb) + index, true)
+    in
+    Mutex.unlock shard.lock;
+    result
+
+  let find t x =
+    let shard = shard_of t x in
+    Mutex.lock shard.lock;
+    let slot = Table.find_opt shard.slots x in
+    Mutex.unlock shard.lock;
+    Option.map (fun s -> (s * Array.length t.shards) + (H.hash x land t.mask)) slot
+
+  let mem t x = find t x <> None
+
+  let get t id =
+    let nb = Array.length t.shards in
+    t.shards.(id mod nb).elements.(id / nb)
+
+  let cardinal t =
+    Array.fold_left
+      (fun acc shard ->
+         Mutex.lock shard.lock;
+         let n = shard.size in
+         Mutex.unlock shard.lock;
+         acc + n)
+      0 t.shards
+
+  let id_bound t =
+    let widest =
+      Array.fold_left
+        (fun acc shard ->
+           Mutex.lock shard.lock;
+           let n = shard.size in
+           Mutex.unlock shard.lock;
+           max acc n)
+        0 t.shards
+    in
+    widest * Array.length t.shards
+end

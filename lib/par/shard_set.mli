@@ -1,0 +1,52 @@
+(** Sharded concurrent hash sets with dense-ish integer ids.
+
+    The parallel state-space generator needs one operation under
+    contention: atomically test-and-insert a state, learning its id
+    and whether it was new. The set is split into [2^k] independently
+    locked shards selected by the element hash, so concurrent inserts
+    of distinct states almost never collide on a lock. Ids encode the
+    shard in the low bits ([slot * nb_shards + shard]); they are
+    stable, unique, and bounded by {!id_bound}, which makes them
+    usable as indices into caller-side side tables (grown between
+    parallel phases).
+
+    Ids are {e not} discovery-ordered — the exploration engine
+    re-numbers states canonically in a sequential post-pass. *)
+
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (H : HASHED) : sig
+  type t
+
+  (** [create ()] — [shards] (default 64) is rounded up to a power of
+      two. *)
+  val create : ?shards:int -> unit -> t
+
+  val nb_shards : t -> int
+
+  (** [add t x] returns [(id, fresh)]: the id of [x] (newly assigned
+      when [fresh]). Linearizable. *)
+  val add : t -> H.t -> int * bool
+
+  (** [find t x] — the id of [x] if present. *)
+  val find : t -> H.t -> int option
+
+  val mem : t -> H.t -> bool
+
+  (** [get t id] — the element with id [id]. Unsafe for ids never
+      returned by [add]. *)
+  val get : t -> int -> H.t
+
+  (** Number of elements. Exact when no [add] is racing. *)
+  val cardinal : t -> int
+
+  (** Exclusive upper bound on every id returned so far (when no [add]
+      is racing). At most [nb_shards] times the cardinal in the worst
+      hash skew; within a few percent of it for well-hashed elements. *)
+  val id_bound : t -> int
+end

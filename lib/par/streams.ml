@@ -1,0 +1,7 @@
+module Rng = Mv_util.Rng
+
+let replications ~seed n =
+  let master = Rng.create seed in
+  Array.init n (fun _ -> Rng.split master)
+
+let per_worker ~seed pool = replications ~seed (Pool.size pool)

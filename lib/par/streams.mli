@@ -1,0 +1,22 @@
+(** Splittable per-worker random streams.
+
+    Monte-Carlo engines that fan replications out over a pool must not
+    share one {!Mv_util.Rng.t}: the interleaving (and hence every
+    sample) would depend on scheduling. Instead a master generator is
+    split sequentially, {e up front}, into one independent stream per
+    unit of work; stream [i] then depends only on [seed] and [i], so
+    results are bit-identical at any pool size — including 1, where
+    splitting reproduces the historical sequential seeding
+    ([Rng.split] derives exactly the seeds the sequential code drew
+    with [next_int64]). *)
+
+(** [replications ~seed n] — [n] independent generators split off a
+    master seeded with [seed]. Stream [i] is a function of [(seed, i)]
+    only. *)
+val replications : seed:int64 -> int -> Mv_util.Rng.t array
+
+(** [per_worker ~seed pool] — one stream per pool worker, for
+    embarrassingly parallel sampling where work items need no
+    individual stream identity (statistics then depend on the pool
+    size; use {!replications} when they must not). *)
+val per_worker : seed:int64 -> Pool.t -> Mv_util.Rng.t array

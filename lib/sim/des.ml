@@ -33,8 +33,7 @@ let step imc rng state =
     in
     Some (dst, 0.0, action)
 
-let throughput imc ~action ~horizon ~seed =
-  let rng = Rng.create seed in
+let throughput_rng imc ~action ~horizon rng =
   let rec run state time count =
     if time >= horizon then count
     else
@@ -45,6 +44,9 @@ let throughput imc ~action ~horizon ~seed =
         run next (time +. delay) count
   in
   float_of_int (run (Imc.initial imc) 0.0 0) /. horizon
+
+let throughput imc ~action ~horizon ~seed =
+  throughput_rng imc ~action ~horizon (Rng.create seed)
 
 let statistics samples =
   let replications = Array.length samples in
@@ -57,19 +59,32 @@ let statistics samples =
   in
   { mean; stddev = sqrt variance; replications }
 
-let throughput_stats imc ~action ~horizon ~replications ~seed =
-  if replications <= 0 then invalid_arg "Des.throughput_stats: replications";
-  let master = Rng.create seed in
-  let samples =
-    Array.init replications (fun _ ->
-        throughput imc ~action ~horizon ~seed:(Rng.next_int64 master))
-  in
+(* Replications draw from split RNG streams (one independent stream
+   per replication, all derived from [seed]), so each sample depends
+   only on its own stream: running them on a pool gives bit-identical
+   statistics to the sequential loop, for any pool size. *)
+let run_replications ?pool ~replications ~seed sample =
+  let rngs = Mv_par.Streams.replications ~seed replications in
+  let samples = Array.make replications 0.0 in
+  (match pool with
+   | Some pool when Mv_par.Pool.size pool > 1 && replications > 1 ->
+     Mv_par.Par.parallel_for pool ~lo:0 ~hi:replications (fun i ->
+         samples.(i) <- sample rngs.(i))
+   | _ ->
+     for i = 0 to replications - 1 do
+       samples.(i) <- sample rngs.(i)
+     done);
   statistics samples
 
-let mean_first_passage ?(max_time = 1e6) imc ~targets ~replications ~seed =
+let throughput_stats ?pool imc ~action ~horizon ~replications ~seed =
+  if replications <= 0 then invalid_arg "Des.throughput_stats: replications";
+  run_replications ?pool ~replications ~seed (fun rng ->
+      throughput_rng imc ~action ~horizon rng)
+
+let mean_first_passage ?pool ?(max_time = 1e6) imc ~targets ~replications ~seed
+    =
   if replications <= 0 then invalid_arg "Des.mean_first_passage: replications";
-  let rng = Rng.create seed in
-  let one_replication () =
+  let one_replication rng =
     let rec run state time =
       if targets state then time
       else if time >= max_time then max_time
@@ -80,7 +95,7 @@ let mean_first_passage ?(max_time = 1e6) imc ~targets ~replications ~seed =
     in
     run (Imc.initial imc) 0.0
   in
-  statistics (Array.init replications (fun _ -> one_replication ()))
+  run_replications ?pool ~replications ~seed one_replication
 
 let occupancy imc ~reward ~horizon ~seed =
   let rng = Rng.create seed in

@@ -20,11 +20,14 @@ type stats = {
 val throughput : Mv_imc.Imc.t -> action:string -> horizon:float -> seed:int64 -> float
 
 (** [throughput_stats imc ~action ~horizon ~replications ~seed] runs
-    independent replications of {!throughput} (seeds derived from
-    [seed]) and reports their mean and sample standard deviation (use
-    [1.96 *. stddev /. sqrt replications] for a ~95% confidence
-    half-width). *)
+    independent replications of {!throughput} (each on its own RNG
+    stream split from [seed]) and reports their mean and sample
+    standard deviation (use [1.96 *. stddev /. sqrt replications] for
+    a ~95% confidence half-width). With a [pool], replications run in
+    parallel; the statistics are bit-identical to the sequential
+    run. *)
 val throughput_stats :
+  ?pool:Mv_par.Pool.t ->
   Mv_imc.Imc.t ->
   action:string ->
   horizon:float ->
@@ -34,10 +37,12 @@ val throughput_stats :
 
 (** [mean_first_passage imc ~targets ~replications ~seed] averages the
     time to first enter a state satisfying [targets] (predicate on IMC
-    states) over independent replications, restarting from the initial
-    state. [max_time] (default [1e6]) aborts a replication (counted at
-    the bound). *)
+    states) over independent replications (one split RNG stream each),
+    restarting from the initial state. [max_time] (default [1e6])
+    aborts a replication (counted at the bound). [pool] parallelizes
+    the replications without changing the statistics. *)
 val mean_first_passage :
+  ?pool:Mv_par.Pool.t ->
   ?max_time:float ->
   Mv_imc.Imc.t ->
   targets:(int -> bool) ->

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "multival"
     [
       ("util", Test_util.suite);
+      ("par", Test_par.suite);
       ("lts", Test_lts.suite);
       ("markov", Test_markov.suite);
       ("bisim", Test_bisim.suite);

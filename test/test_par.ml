@@ -1,0 +1,334 @@
+(* Tests for mv_par (deque, pool, loops, shard set) and for the
+   determinism contract of every pool-enabled engine: whatever -j N,
+   generation yields the identical LTS, refinement the identical
+   partition, and the solvers the same vectors (bitwise for the
+   matrix/replication paths, <= 1e-12 vs the sequential Gauss-Seidel
+   for the steady-state solver). *)
+
+module Pool = Mv_par.Pool
+module Par = Mv_par.Par
+module Deque = Mv_par.Deque
+module Ctmc = Mv_markov.Ctmc
+module Lts = Mv_lts.Lts
+module Aut = Mv_lts.Aut
+
+let with_pool domains f = Pool.with_pool ~domains f
+
+(* ---- deque ---- *)
+
+let test_deque_lifo_fifo () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Deque.length d);
+  Alcotest.(check (option int)) "pop newest" (Some 4) (Deque.pop d);
+  Alcotest.(check (option int)) "steal oldest" (Some 1) (Deque.steal d);
+  Alcotest.(check (option int)) "pop" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "steal" (Some 2) (Deque.steal d);
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal d)
+
+let test_deque_growth () =
+  let d = Deque.create () in
+  for i = 0 to 999 do
+    Deque.push d i
+  done;
+  (* drain alternately from both ends *)
+  let popped = ref [] in
+  for _ = 0 to 499 do
+    popped := Option.get (Deque.steal d) :: !popped;
+    popped := Option.get (Deque.pop d) :: !popped
+  done;
+  Alcotest.(check int) "drained" 0 (Deque.length d);
+  Alcotest.(check int) "all items" 1000 (List.length !popped);
+  Alcotest.(check (list int)) "each once" (List.init 1000 Fun.id)
+    (List.sort compare !popped)
+
+(* ---- pool ---- *)
+
+let test_pool_runs_all_workers () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check int) "size" 4 (Pool.size pool);
+      let hits = Array.make 4 0 in
+      Pool.run pool (fun w -> hits.(w) <- hits.(w) + 1);
+      Alcotest.(check (array int)) "each worker once" [| 1; 1; 1; 1 |] hits;
+      Pool.run pool (fun w -> hits.(w) <- hits.(w) + 1);
+      Alcotest.(check (array int)) "reusable" [| 2; 2; 2; 2 |] hits)
+
+let test_pool_clamps_and_inline () =
+  with_pool (-3) (fun pool -> Alcotest.(check int) "clamped" 1 (Pool.size pool));
+  with_pool 1 (fun pool ->
+      let ran = ref false in
+      Pool.run pool (fun w ->
+          Alcotest.(check int) "inline worker id" 0 w;
+          ran := true);
+      Alcotest.(check bool) "ran inline" true !ran)
+
+exception Boom
+
+let test_pool_propagates_exception () =
+  with_pool 3 (fun pool ->
+      Alcotest.check_raises "worker exception" Boom (fun () ->
+          Pool.run pool (fun w -> if w = 1 then raise Boom));
+      (* the pool survives a failed job *)
+      let count = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr count);
+      Alcotest.(check int) "usable after failure" 3 (Atomic.get count))
+
+(* ---- parallel loops ---- *)
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun domains ->
+       with_pool domains (fun pool ->
+           let out = Array.make 1000 0 in
+           Par.parallel_for pool ~lo:0 ~hi:1000 (fun i -> out.(i) <- i * i);
+           Alcotest.(check (array int))
+             (Printf.sprintf "squares at -j %d" domains)
+             (Array.init 1000 (fun i -> i * i))
+             out))
+    [ 1; 2; 4 ]
+
+let test_map_reduce_deterministic () =
+  (* a float reduction whose result is order-sensitive: all pool sizes
+     must agree bitwise (same chunking, same fold order) *)
+  let run domains =
+    with_pool domains (fun pool ->
+        Par.map_reduce pool ~lo:1 ~hi:100_001
+          ~map:(fun i -> 1.0 /. float_of_int i)
+          ~reduce:( +. ) ~init:0.0)
+  in
+  let h1 = run 1 and h2 = run 2 and h4 = run 4 in
+  Alcotest.(check bool) "harmonic j1=j2" true (h1 = h2);
+  Alcotest.(check bool) "harmonic j1=j4" true (h1 = h4);
+  Alcotest.(check bool) "plausible value" true (abs_float (h1 -. 12.09) < 0.01)
+
+let test_parallel_chunks_partition () =
+  with_pool 4 (fun pool ->
+      let seen = Array.make 100 0 in
+      Par.parallel_chunks ~chunk_size:7 pool ~lo:0 ~hi:100 (fun a b ->
+          for i = a to b - 1 do
+            seen.(i) <- seen.(i) + 1
+          done);
+      Alcotest.(check (array int)) "each index once" (Array.make 100 1) seen)
+
+(* ---- shard set ---- *)
+
+module Int_set = Mv_par.Shard_set.Make (struct
+    type t = int
+
+    let equal = Int.equal
+    let hash = Hashtbl.hash
+  end)
+
+let test_shard_set_sequential () =
+  let s = Int_set.create ~shards:8 () in
+  let id0, fresh0 = Int_set.add s 42 in
+  let id0', fresh0' = Int_set.add s 42 in
+  Alcotest.(check bool) "first add fresh" true fresh0;
+  Alcotest.(check bool) "second add stale" false fresh0';
+  Alcotest.(check int) "stable id" id0 id0';
+  Alcotest.(check (option int)) "find" (Some id0) (Int_set.find s 42);
+  Alcotest.(check (option int)) "absent" None (Int_set.find s 7);
+  Alcotest.(check bool) "mem" true (Int_set.mem s 42);
+  Alcotest.(check int) "get roundtrip" 42 (Int_set.get s id0);
+  Alcotest.(check int) "cardinal" 1 (Int_set.cardinal s)
+
+let test_shard_set_concurrent () =
+  let s = Int_set.create () in
+  let n = 10_000 in
+  with_pool 4 (fun pool ->
+      (* every element inserted twice, racing *)
+      Par.parallel_for pool ~lo:0 ~hi:(2 * n) (fun i ->
+          ignore (Int_set.add s (i mod n))));
+  Alcotest.(check int) "cardinal" n (Int_set.cardinal s);
+  Alcotest.(check bool) "id_bound sane" true (Int_set.id_bound s >= n);
+  (* ids are unique and roundtrip through get *)
+  let ids = Hashtbl.create n in
+  for x = 0 to n - 1 do
+    let id = Option.get (Int_set.find s x) in
+    Alcotest.(check bool) "id in bound" true (id < Int_set.id_bound s);
+    Alcotest.(check bool) "id unique" false (Hashtbl.mem ids id);
+    Hashtbl.replace ids id ();
+    Alcotest.(check int) "get" x (Int_set.get s id)
+  done
+
+(* ---- split streams ---- *)
+
+let test_streams_reproducible () =
+  let draw rngs = Array.map (fun rng -> Mv_util.Rng.float rng) rngs in
+  let a = draw (Mv_par.Streams.replications ~seed:5L 16) in
+  let b = draw (Mv_par.Streams.replications ~seed:5L 16) in
+  let c = draw (Mv_par.Streams.replications ~seed:6L 16) in
+  Alcotest.(check bool) "same seed, same streams" true (a = b);
+  Alcotest.(check bool) "different seed" true (a <> c);
+  let distinct =
+    Array.for_all Fun.id
+      (Array.mapi (fun i x -> i = 0 || x <> a.(i - 1)) a)
+  in
+  Alcotest.(check bool) "streams differ pairwise" true distinct
+
+(* ---- generation determinism across pool sizes ---- *)
+
+let tandem_spec () =
+  Mv_xstream.Queues.tandem ~arrival:2.0 ~transfer:4.0 ~service:3.0 ~capacity1:3
+    ~capacity2:3
+
+let fame_spec () = Mv_fame.Distributed.spec Mv_fame.Distributed.Correct
+
+let generate ?pool spec = Mv_calc.State_space.lts ?pool spec
+
+let test_generation_identical () =
+  List.iter
+    (fun (name, spec) ->
+       let reference = Aut.to_string (generate spec) in
+       List.iter
+         (fun domains ->
+            let parallel =
+              with_pool domains (fun pool -> Aut.to_string (generate ~pool spec))
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "%s at -j %d" name domains)
+              reference parallel)
+         [ 2; 4 ])
+    [ ("tandem", tandem_spec ()); ("fame-distributed", fame_spec ()) ]
+
+let test_generation_truncation_identical () =
+  let spec = tandem_spec () in
+  let count ?pool () =
+    match Mv_calc.State_space.lts ?pool ~max_states:10 spec with
+    | _ -> Alcotest.fail "expected truncation"
+    | exception Mv_lts.Explore.Too_many_states n -> n
+  in
+  let sequential = count () in
+  let parallel = with_pool 4 (fun pool -> count ~pool ()) in
+  Alcotest.(check int) "same bound reported" sequential parallel
+
+(* ---- refinement determinism ---- *)
+
+let test_partitions_identical () =
+  let lts = Lts.hide (generate (tandem_spec ())) ~gates:[ "push" ] in
+  let check_partition name (p : Mv_bisim.Partition.t)
+      (q : Mv_bisim.Partition.t) =
+    Alcotest.(check int) (name ^ " count") p.count q.count;
+    Alcotest.(check (array int)) (name ^ " blocks") p.block_of q.block_of
+  in
+  let strong = Mv_bisim.Strong.partition lts in
+  let branching = Mv_bisim.Branching.partition lts in
+  let divbranching =
+    Mv_bisim.Branching.partition ~divergence_sensitive:true lts
+  in
+  List.iter
+    (fun domains ->
+       with_pool domains (fun pool ->
+           check_partition
+             (Printf.sprintf "strong -j %d" domains)
+             strong
+             (Mv_bisim.Strong.partition ~pool lts);
+           check_partition
+             (Printf.sprintf "branching -j %d" domains)
+             branching
+             (Mv_bisim.Branching.partition ~pool lts);
+           check_partition
+             (Printf.sprintf "divbranching -j %d" domains)
+             divbranching
+             (Mv_bisim.Branching.partition ~pool ~divergence_sensitive:true
+                lts)))
+    [ 2; 4 ]
+
+(* ---- solver determinism ---- *)
+
+(* A birth-death chain big enough (> 64 states) to engage the parallel
+   Jacobi and mat-vec paths. *)
+let chain n =
+  let transitions = ref [] in
+  for s = 0 to n - 2 do
+    transitions :=
+      { Ctmc.src = s; rate = 1.0 +. (0.01 *. float_of_int s);
+        actions = [ "up" ]; dst = s + 1 }
+      :: { Ctmc.src = s + 1; rate = 2.0 +. (0.03 *. float_of_int s);
+           actions = []; dst = s }
+      :: !transitions
+  done;
+  Ctmc.make ~nb_states:n ~initial:0 !transitions
+
+let max_abs_diff a b =
+  let d = ref 0.0 in
+  Array.iteri (fun i x -> d := max !d (abs_float (x -. b.(i)))) a;
+  !d
+
+let test_steady_state_matches_sequential () =
+  let c = chain 100 in
+  let reference = Ctmc.steady_state c in
+  let total = Array.fold_left ( +. ) 0.0 reference in
+  Alcotest.(check bool) "normalized" true (abs_float (total -. 1.0) < 1e-9);
+  let pi2 = with_pool 2 (fun pool -> Ctmc.steady_state ~pool c) in
+  let pi4 = with_pool 4 (fun pool -> Ctmc.steady_state ~pool c) in
+  Alcotest.(check bool) "jacobi(j2) vs gauss-seidel" true
+    (max_abs_diff reference pi2 <= 1e-12);
+  (* the Jacobi iteration itself is scheduling-independent: bitwise *)
+  Alcotest.(check bool) "j2 = j4 bitwise" true (pi2 = pi4)
+
+let test_transient_bitwise () =
+  let c = chain 100 in
+  let reference = Ctmc.transient c ~horizon:0.7 in
+  List.iter
+    (fun domains ->
+       let dist = with_pool domains (fun pool -> Ctmc.transient ~pool c ~horizon:0.7) in
+       Alcotest.(check bool)
+         (Printf.sprintf "transient -j %d bitwise" domains)
+         true (reference = dist))
+    [ 2; 4 ]
+
+let test_des_replications_bitwise () =
+  let perf = Mv_core.Flow.performance ~keep:[ "pop" ] (tandem_spec ()) in
+  let imc = perf.Mv_core.Flow.imc in
+  let reference =
+    Mv_sim.Des.throughput_stats imc ~action:"pop" ~horizon:200.0
+      ~replications:20 ~seed:17L
+  in
+  List.iter
+    (fun domains ->
+       let stats =
+         with_pool domains (fun pool ->
+             Mv_sim.Des.throughput_stats ~pool imc ~action:"pop" ~horizon:200.0
+               ~replications:20 ~seed:17L)
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "throughput stats -j %d bitwise" domains)
+         true (reference = stats))
+    [ 2; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "deque lifo/fifo ends" `Quick test_deque_lifo_fifo;
+    Alcotest.test_case "deque growth + drain" `Quick test_deque_growth;
+    Alcotest.test_case "pool runs every worker" `Quick test_pool_runs_all_workers;
+    Alcotest.test_case "pool clamps size; size 1 inline" `Quick
+      test_pool_clamps_and_inline;
+    Alcotest.test_case "pool propagates exceptions" `Quick
+      test_pool_propagates_exception;
+    Alcotest.test_case "parallel_for covers range" `Quick
+      test_parallel_for_covers_range;
+    Alcotest.test_case "map_reduce pool-size independent" `Quick
+      test_map_reduce_deterministic;
+    Alcotest.test_case "parallel_chunks partitions range" `Quick
+      test_parallel_chunks_partition;
+    Alcotest.test_case "shard set sequential ops" `Quick
+      test_shard_set_sequential;
+    Alcotest.test_case "shard set concurrent inserts" `Quick
+      test_shard_set_concurrent;
+    Alcotest.test_case "split streams reproducible" `Quick
+      test_streams_reproducible;
+    Alcotest.test_case "generation identical at any -j" `Quick
+      test_generation_identical;
+    Alcotest.test_case "truncation identical at any -j" `Quick
+      test_generation_truncation_identical;
+    Alcotest.test_case "partitions identical at any -j" `Quick
+      test_partitions_identical;
+    Alcotest.test_case "steady state: jacobi vs gauss-seidel" `Quick
+      test_steady_state_matches_sequential;
+    Alcotest.test_case "transient bitwise at any -j" `Quick
+      test_transient_bitwise;
+    Alcotest.test_case "DES replications bitwise at any -j" `Quick
+      test_des_replications_bitwise;
+  ]

@@ -133,6 +133,41 @@ let test_rng_invalid () =
   Alcotest.check_raises "rate 0" (Invalid_argument "Rng.exponential") (fun () ->
       ignore (Rng.exponential rng ~rate:0.0))
 
+(* Statistical independence smoke test for split streams (the
+   per-replication seeding of the parallel simulator): two streams
+   split off the same master look uniform and uncorrelated. *)
+let test_rng_split_independence () =
+  let master = Rng.create 2024L in
+  let a = Rng.split master in
+  let b = Rng.split master in
+  let n = 10_000 in
+  let xs = Array.init n (fun _ -> Rng.float a) in
+  let ys = Array.init n (fun _ -> Rng.float b) in
+  let mean arr = Array.fold_left ( +. ) 0.0 arr /. float_of_int n in
+  let mx = mean xs and my = mean ys in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean a %.4f uniform" mx)
+    true
+    (abs_float (mx -. 0.5) < 0.02);
+  Alcotest.(check bool)
+    (Printf.sprintf "mean b %.4f uniform" my)
+    true
+    (abs_float (my -. 0.5) < 0.02);
+  let cov = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+  for i = 0 to n - 1 do
+    cov := !cov +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    vx := !vx +. ((xs.(i) -. mx) ** 2.0);
+    vy := !vy +. ((ys.(i) -. my) ** 2.0)
+  done;
+  let corr = !cov /. sqrt (!vx *. !vy) in
+  (* the paired-draw sample correlation sits inside the ~3/sqrt(n)
+     noise band around zero for independent streams *)
+  Alcotest.(check bool)
+    (Printf.sprintf "correlation %.4f near zero" corr)
+    true
+    (abs_float corr < 0.03);
+  Alcotest.(check bool) "streams distinct" true (xs <> ys)
+
 let suite =
   [
     Alcotest.test_case "vec push/get/set" `Quick test_vec_push_get;
@@ -147,4 +182,6 @@ let suite =
     Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
     Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential_mean;
     Alcotest.test_case "rng invalid args" `Quick test_rng_invalid;
+    Alcotest.test_case "rng split independence" `Quick
+      test_rng_split_independence;
   ]
