@@ -5,6 +5,7 @@
    mval compare   a.aut b.aut -e strong      equivalence check
    mval check     model.mvl -f "<formula>"   mu-calculus model checking
    mval solve     model.mvl -k pop           performance measures
+   mval lint      model.mvl                  static analysis
    mval info      model.(mvl|aut)            model statistics *)
 
 module Lts = Mv_lts.Lts
@@ -61,6 +62,31 @@ let handle_errors f =
     prerr_endline msg;
     exit 2
 
+module Lint = Mv_lint.Lint
+module Diagnostic = Mv_lint.Diagnostic
+
+(* Pre-flight lint of the .mvl sources a command is about to explore.
+   Warnings are reported but do not block; lint errors abort (they
+   would fail during exploration anyway, only later and with less
+   context). --no-lint skips the pass entirely. *)
+let lint_gate ~no_lint paths =
+  if not no_lint then
+    List.iter
+      (fun path ->
+         if Filename.check_suffix path ".mvl" then begin
+           let ds = Lint.check_text (read_file path) in
+           List.iter
+             (fun d -> prerr_endline (Diagnostic.render ~file:path d))
+             ds;
+           if Lint.has_errors ds then begin
+             prerr_endline
+               (Printf.sprintf
+                  "%s: lint found errors (use --no-lint to bypass)" path);
+             exit 2
+           end
+         end)
+      paths
+
 open Cmdliner
 
 let model_arg =
@@ -112,11 +138,20 @@ let jobs_arg =
            $(b,0) uses one domain per core. The output is identical \
            for every N.")
 
+let no_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ]
+        ~doc:
+          "Skip the static-analysis pass that normally runs on MVL \
+           sources before exploration (see $(b,mval lint)).")
+
 (* ---- generate ---- *)
 
 let generate_cmd =
-  let run model output max_states hide jobs =
+  let run model output max_states hide jobs no_lint =
     handle_errors (fun () ->
+        lint_gate ~no_lint [ model ];
         with_jobs jobs (fun pool ->
             let lts = load_lts ?pool ~max_states model in
             let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
@@ -125,13 +160,15 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate the state space of an MVL model")
     Term.(
-      const run $ model_arg $ output_arg $ max_states_arg $ hide_arg $ jobs_arg)
+      const run $ model_arg $ output_arg $ max_states_arg $ hide_arg $ jobs_arg
+      $ no_lint_arg)
 
 (* ---- minimize ---- *)
 
 let minimize_cmd =
-  let run model output max_states equivalence hide jobs =
+  let run model output max_states equivalence hide jobs no_lint =
     handle_errors (fun () ->
+        lint_gate ~no_lint [ model ];
         with_jobs jobs (fun pool ->
             let lts = load_lts ?pool ~max_states model in
             let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
@@ -153,7 +190,7 @@ let minimize_cmd =
     (Cmd.info "minimize" ~doc:"Minimize modulo strong or branching bisimulation")
     Term.(
       const run $ model_arg $ output_arg $ max_states_arg $ equivalence_arg
-      $ hide_arg $ jobs_arg)
+      $ hide_arg $ jobs_arg $ no_lint_arg)
 
 (* ---- compare ---- *)
 
@@ -223,8 +260,9 @@ let check_cmd =
             "Evaluation engine: direct $(b,fixpoint) iteration or a \
              $(b,bes) (boolean equation system) translation.")
   in
-  let run model max_states formulas deadlock engine =
+  let run model max_states formulas deadlock engine no_lint =
     handle_errors (fun () ->
+        lint_gate ~no_lint [ model ];
         let lts = load_lts ~max_states model in
         let checks =
           (if deadlock then
@@ -277,7 +315,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Model-check mu-calculus formulas")
     Term.(
       const run $ model_arg $ max_states_arg $ formulas_arg $ deadlock_arg
-      $ engine_arg)
+      $ engine_arg $ no_lint_arg)
 
 (* ---- solve ---- *)
 
@@ -307,8 +345,9 @@ let solve_cmd =
              $(b,uniform) (default) or $(b,fail) (reject, as CADP's \
              solvers do).")
   in
-  let run model max_states keep first scheduler jobs =
+  let run model max_states keep first scheduler jobs no_lint =
     handle_errors (fun () ->
+        lint_gate ~no_lint [ model ];
         with_jobs jobs (fun pool ->
             let spec = Flow.model_of_text (read_file model) in
             let perf =
@@ -347,7 +386,7 @@ let solve_cmd =
        ~doc:"Run the performance pipeline: IMC, lumping, CTMC, throughputs")
     Term.(
       const run $ model_arg $ max_states_arg $ keep_arg $ first_arg
-      $ scheduler_arg $ jobs_arg)
+      $ scheduler_arg $ jobs_arg $ no_lint_arg)
 
 (* ---- translate ---- *)
 
@@ -413,8 +452,12 @@ let trace_cmd =
 (* ---- script ---- *)
 
 let script_cmd =
-  let run model =
+  let run model no_lint =
     handle_errors (fun () ->
+        (try lint_gate ~no_lint (Mv_core.Svl.model_sources_of_file model)
+         with Mv_core.Svl.Parse_error msg ->
+           prerr_endline ("script parse error: " ^ msg);
+           exit 2);
         let steps =
           try Mv_core.Svl.run_file model
           with Mv_core.Svl.Parse_error msg ->
@@ -431,7 +474,7 @@ let script_cmd =
   in
   Cmd.v
     (Cmd.info "script" ~doc:"Run an SVL-style verification script")
-    Term.(const run $ model_arg)
+    Term.(const run $ model_arg $ no_lint_arg)
 
 (* ---- simulate ---- *)
 
@@ -523,11 +566,127 @@ let simulate_cmd =
     Term.(
       const run $ model_arg $ max_states_arg $ steps_arg $ seed_arg $ timed_arg)
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print diagnostics as a JSON array of objects with fields \
+             $(b,code), $(b,severity), $(b,line) and $(b,message).")
+  in
+  let warn_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "W" ] ~docv:"SPEC"
+          ~doc:
+            "Diagnostic policy, repeatable. $(b,-W CODE=LEVEL) \
+             reclassifies a rule (LEVEL is $(b,error), $(b,warning), \
+             $(b,info) or $(b,ignore)), e.g. $(b,-W MVL005=ignore). \
+             The bare spec $(b,-Werror) makes any warning fail the run \
+             with exit code 1.")
+  in
+  let max_phases_arg =
+    Arg.(
+      value
+      & opt int Lint.default_config.Lint.max_phase_product
+      & info [ "max-phases" ] ~docv:"N"
+          ~doc:
+            "Threshold for MVL012: the estimated number of phase-type \
+             combinations across the parallel components of init above \
+             which a warning is emitted.")
+  in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on a clean specification (no errors; no \
+                            warnings when $(b,-Werror) is set).";
+      Cmd.Exit.info 1 ~doc:"when $(b,-Werror) is set and warnings were \
+                            reported.";
+      Cmd.Exit.info 2 ~doc:"when errors were reported (or the model \
+                            does not parse).";
+    ]
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Static analysis of an MVL specification: every typechecker \
+         problem plus call-graph, gate-usage, guard/interval and \
+         stochastic well-formedness diagnostics, each with a stable \
+         rule code and a source line. The same pass runs automatically \
+         before $(b,generate), $(b,minimize), $(b,check), $(b,solve) \
+         and $(b,script) (disable with $(b,--no-lint)); only \
+         error-severity diagnostics block those commands.";
+      `S "RULES";
+      `Pre
+        (String.concat "\n"
+           (List.map
+              (fun r ->
+                 Printf.sprintf "%s  %-7s  %s" r.Lint.code
+                   (Diagnostic.severity_name r.Lint.default_severity)
+                   r.Lint.title)
+              Lint.rules));
+      `P "The full catalogue, with examples and fixes, is in doc/lint.md.";
+    ]
+  in
+  let run model json warn max_phases =
+    handle_errors (fun () ->
+        let config =
+          List.fold_left
+            (fun config spec ->
+               if spec = "error" then { config with Lint.werror = true }
+               else
+                 match Lint.parse_override spec with
+                 | Some ov ->
+                   { config with
+                     Lint.overrides = config.Lint.overrides @ [ ov ] }
+                 | None ->
+                   prerr_endline
+                     (Printf.sprintf
+                        "invalid -W argument %S (expected CODE=LEVEL or \
+                         'error')"
+                        spec);
+                   exit 2)
+            { Lint.default_config with Lint.max_phase_product = max_phases }
+            warn
+        in
+        let ds = Lint.check_text ~config (read_file model) in
+        if json then print_string (Diagnostic.to_json ds)
+        else begin
+          List.iter
+            (fun d -> print_endline (Diagnostic.render ~file:model d))
+            ds;
+          print_endline
+            (if ds = [] then "clean" else Diagnostic.summary ds)
+        end;
+        exit (Lint.exit_code ~config ds))
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Statically analyse an MVL model" ~exits ~man)
+    Term.(const run $ model_arg $ json_arg $ warn_arg $ max_phases_arg)
+
 (* ---- info ---- *)
 
 let info_cmd =
-  let run model max_states =
+  let lint_flag =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:"Also print a one-line lint summary (MVL models only).")
+  in
+  let run model max_states lint =
     handle_errors (fun () ->
+        (* lint first: the summary survives even when the model is too
+           broken to generate *)
+        if lint then
+          if Filename.check_suffix model ".mvl" then
+            let ds = Lint.check_text (read_file model) in
+            Printf.printf "lint: %s\n"
+              (if ds = [] then "clean" else Diagnostic.summary ds)
+          else print_endline "lint: not an MVL source";
         let lts = load_lts ~max_states model in
         Format.printf "%a@." Lts.pp lts;
         Printf.printf "deadlock states: %d\n" (List.length (Lts.deadlocks lts));
@@ -536,7 +695,7 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Print model statistics")
-    Term.(const run $ model_arg $ max_states_arg)
+    Term.(const run $ model_arg $ max_states_arg $ lint_flag)
 
 let () =
   let default : unit Term.t = Term.(ret (const (`Help (`Pager, None)))) in
@@ -547,4 +706,5 @@ let () =
              ~doc:"Functional verification and performance evaluation of \
                    asynchronous architectures (the Multival flow)")
           [ generate_cmd; minimize_cmd; compare_cmd; check_cmd; solve_cmd;
-            translate_cmd; trace_cmd; simulate_cmd; script_cmd; info_cmd ]))
+            translate_cmd; trace_cmd; simulate_cmd; script_cmd; lint_cmd;
+            info_cmd ]))

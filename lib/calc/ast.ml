@@ -14,6 +14,7 @@ type behavior =
   | Rename of (string * string) list * behavior
   | Seq of behavior * (string * Ty.t) list * behavior
   | Call of string * string list * Expr.t list
+  | At of int * behavior
 
 and action = { gate : string; offers : offer list }
 
@@ -31,6 +32,39 @@ let find_process spec name =
 
 let tau_gate = "i"
 let exit_label = "exit"
+
+(* [At] nodes are pure source annotations: every semantic traversal
+   treats [At (_, b)] as [b]. They are stripped before exploration so
+   that state terms reached through different source lines still
+   converge. *)
+let rec strip_locs b =
+  match b with
+  | At (_, k) -> strip_locs k
+  | Stop | Exit _ -> b
+  | Prefix (a, k) -> Prefix (a, strip_locs k)
+  | Rate (r, k) -> Rate (r, strip_locs k)
+  | Choice bs -> Choice (List.map strip_locs bs)
+  | Guard (e, k) -> Guard (e, strip_locs k)
+  | Par (s, x, y) -> Par (s, strip_locs x, strip_locs y)
+  | Hide (gs, k) -> Hide (gs, strip_locs k)
+  | Rename (rs, k) -> Rename (rs, strip_locs k)
+  | Seq (x, accepts, y) -> Seq (strip_locs x, accepts, strip_locs y)
+  | Call _ -> b
+
+let strip_locs_spec spec =
+  {
+    spec with
+    processes =
+      List.map (fun p -> { p with body = strip_locs p.body }) spec.processes;
+    init = strip_locs spec.init;
+  }
+
+(* Outermost annotation, if any. *)
+let loc_of = function At (line, _) -> Some line | _ -> None
+
+(* Peel the outer [At] wrappers (the immediate constructor underneath
+   is the interesting one for analyses that dispatch on shape). *)
+let rec skip_locs = function At (_, k) -> skip_locs k | b -> b
 
 let rec subst bindings b =
   if bindings = [] then b
@@ -60,6 +94,7 @@ let rec subst bindings b =
       Seq (subst bindings x, accepts, subst inner y)
     | Call (p, gate_args, args) ->
       Call (p, gate_args, List.map (Expr.subst bindings) args)
+    | At (line, k) -> At (line, subst bindings k)
 
 and subst_offer bindings = function
   | Send e -> Send (Expr.subst bindings e)
@@ -93,6 +128,7 @@ let rec normalize b =
   | Rename (rs, k) -> Rename (rs, normalize k)
   | Seq (x, accepts, y) -> Seq (normalize x, accepts, normalize y)
   | Call (p, gate_args, args) -> Call (p, gate_args, List.map normalize_expr args)
+  | At (_, k) -> normalize k
 
 (* Gate substitution. [hide] binds: substitution of a hidden name stops
    underneath, and a hidden gate is renamed apart when some actual gate
@@ -146,6 +182,7 @@ let rec subst_gates map b =
          subst_gates map k)
     | Seq (x, accepts, y) -> Seq (subst_gates map x, accepts, subst_gates map y)
     | Call (p, gate_args, args) -> Call (p, List.map apply gate_args, args)
+    | At (line, k) -> At (line, subst_gates map k)
 
 let act gate offers k = Prefix ({ gate; offers }, k)
 let vint n = Expr.Const (Value.VInt n)
@@ -156,7 +193,7 @@ let var x = Expr.Var x
 let choice bs =
   let rec flatten acc = function
     | [] -> acc
-    | Stop :: rest -> flatten acc rest
+    | Stop :: rest | At (_, Stop) :: rest -> flatten acc rest
     | Choice inner :: rest -> flatten (flatten acc inner) rest
     | b :: rest -> flatten (b :: acc) rest
   in
@@ -185,6 +222,7 @@ let pp_offer fmt = function
   | Receive (x, ty) -> Format.fprintf fmt " ?%s:%a" x Ty.pp ty
 
 let rec pp_behavior fmt = function
+  | At (_, k) -> pp_behavior fmt k
   | Stop -> Format.pp_print_string fmt "stop"
   | Exit [] -> Format.pp_print_string fmt "exit"
   | Exit es ->

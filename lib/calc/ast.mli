@@ -35,6 +35,10 @@ type behavior =
   | Call of string * string list * Expr.t list
       (** [P \[g1,...\](e1,...)]: process instantiation with actual
           gates and value arguments *)
+  | At of int * behavior
+      (** source-line annotation (1-based), produced by the located
+          parser entry points and consumed by diagnostics; semantically
+          transparent and stripped before exploration *)
 
 and action = { gate : string; offers : offer list }
 
@@ -70,6 +74,25 @@ val subst_gates : (string * string) list -> behavior -> behavior
     normalizes every state term: without it, [Queue(1 - 1)] and
     [Queue(0)] would be distinct states. *)
 val normalize : behavior -> behavior
+
+(** {1 Source locations}
+
+    [At] nodes only carry line information for diagnostics. Every
+    semantic operation treats them as transparent, and exploration
+    strips them ({!normalize} does too) so that state terms reached
+    through different source lines still converge. *)
+
+(** Remove every [At] node. *)
+val strip_locs : behavior -> behavior
+
+(** {!strip_locs} over all process bodies and the init behaviour. *)
+val strip_locs_spec : spec -> spec
+
+(** Line of the outermost [At] annotation, if any. *)
+val loc_of : behavior -> int option
+
+(** Peel outer [At] wrappers only (to dispatch on the real shape). *)
+val skip_locs : behavior -> behavior
 
 (** Gate named ["i"]: an internal-action prefix. *)
 val tau_gate : string

@@ -147,28 +147,35 @@ let parse_gate_list lex =
   in
   loop []
 
+(* Every sub-behaviour is wrapped in an [Ast.At] annotation carrying
+   its starting line (binary operators carry the operator's line).
+   The public entry points strip them; the [_located] variants keep
+   them for diagnostics. *)
+
 let rec parse_behavior lex = parse_par lex
 
 and parse_par lex =
   let rec loop left =
+    let line = Lex.line lex in
     match Lex.peek lex with
     | Lex.Punct "|||" ->
       ignore (Lex.next lex);
-      loop (Ast.Par (Ast.Gates [], left, parse_seq lex))
+      loop (Ast.At (line, Ast.Par (Ast.Gates [], left, parse_seq lex)))
     | Lex.Punct "||" ->
       ignore (Lex.next lex);
-      loop (Ast.Par (Ast.All, left, parse_seq lex))
+      loop (Ast.At (line, Ast.Par (Ast.All, left, parse_seq lex)))
     | Lex.Punct "|[" ->
       ignore (Lex.next lex);
       let gates = parse_gate_list lex in
       Lex.expect lex "]|";
-      loop (Ast.Par (Ast.Gates gates, left, parse_seq lex))
+      loop (Ast.At (line, Ast.Par (Ast.Gates gates, left, parse_seq lex)))
     | _ -> left
   in
   loop (parse_seq lex)
 
 and parse_seq lex =
   let left = parse_choice lex in
+  let line = Lex.line lex in
   if Lex.eat lex ">>" then begin
     let accepts =
       match Lex.peek lex with
@@ -188,18 +195,19 @@ and parse_seq lex =
         accepts
       | _ -> []
     in
-    Ast.Seq (left, accepts, parse_seq lex)
+    Ast.At (line, Ast.Seq (left, accepts, parse_seq lex))
   end
   else left
 
 and parse_choice lex =
+  let line = Lex.line lex in
   let first = parse_prefix lex in
   let rec loop acc =
     if Lex.eat lex "[]" then loop (parse_prefix lex :: acc) else List.rev acc
   in
   match loop [ first ] with
   | [ only ] -> only
-  | branches -> Ast.Choice branches
+  | branches -> Ast.At (line, Ast.Choice branches)
 
 and parse_offers lex =
   let rec loop acc =
@@ -218,6 +226,12 @@ and parse_offers lex =
   loop []
 
 and parse_prefix lex =
+  let line = Lex.line lex in
+  match parse_prefix_raw lex with
+  | Ast.At _ as b -> b
+  | b -> Ast.At (line, b)
+
+and parse_prefix_raw lex =
   match Lex.peek lex with
   | Lex.Ident "choice" ->
     (* value choice: desugared into one branch per domain element;
@@ -369,13 +383,15 @@ let rec parse_spec lex =
       enums := (name, constructors []) :: !enums;
       loop ()
     | Lex.Ident "const" ->
+      let line = Lex.line lex in
       ignore (Lex.next lex);
       let name = Lex.expect_ident lex in
       Lex.expect lex "=";
       let value = parse_expr lex in
-      consts := (name, value) :: !consts;
+      consts := (name, value, line) :: !consts;
       loop ()
     | Lex.Ident "process" ->
+      let line = Lex.line lex in
       ignore (Lex.next lex);
       let name = Lex.expect_ident lex in
       let gates =
@@ -388,14 +404,17 @@ let rec parse_spec lex =
       in
       let params = parse_params lex in
       Lex.expect lex ":=";
-      let body = parse_behavior lex in
+      (* double annotation: the outer [At] carries the header line (the
+         per-process location), the inner one the body's own line *)
+      let body = Ast.At (line, parse_behavior lex) in
       processes := { Ast.proc_name = name; gates; params; body } :: !processes;
       loop ()
     | Lex.Ident "init" ->
+      let line = Lex.line lex in
       ignore (Lex.next lex);
       (match !init with
        | Some _ -> Lex.error lex "duplicate init declaration"
-       | None -> init := Some (parse_behavior lex));
+       | None -> init := Some (Ast.At (line, parse_behavior lex)));
       loop ()
     | _ -> Lex.error lex "expected 'type', 'const', 'process' or 'init'"
   in
@@ -429,13 +448,14 @@ and apply_consts spec consts =
     in
     let bindings =
       List.fold_left
-        (fun bindings (name, expr) ->
+        (fun bindings (name, expr, line) ->
            let closed = Expr.subst bindings (resolve expr) in
            match Expr.eval closed with
            | v -> (name, v) :: bindings
            | exception Expr.Eval_error msg ->
              raise
-               (Parse_error (Printf.sprintf "const %s: %s" name msg)))
+               (Parse_error
+                  (Printf.sprintf "line %d: const %s: %s" line name msg)))
         [] consts
     in
     let subst_process (p : Ast.process) =
@@ -466,13 +486,22 @@ let parse_expr_from = parse_expr
 let parse_sum_from = parse_sum
 let parse_ty_from = parse_ty
 
-let spec_of_string text = run parse_spec text
+(* Located variants keep the [Ast.At] line annotations (for Mv_lint
+   and for typechecking with line numbers); the historical entry
+   points strip them, so downstream consumers — in particular the
+   state-term equality of exploration — see location-free terms. *)
 
-let behavior_of_string text = run parse_behavior text
+let spec_of_string_located text = run parse_spec text
+
+let behavior_of_string_located text = run parse_behavior text
+
+let spec_of_string text = Ast.strip_locs_spec (spec_of_string_located text)
+
+let behavior_of_string text = Ast.strip_locs (behavior_of_string_located text)
 
 let expr_of_string text = run parse_expr text
 
 let spec_of_string_checked text =
-  let spec = Typecheck.resolve_spec (spec_of_string text) in
-  Typecheck.check_spec spec;
-  spec
+  let located = Typecheck.resolve_spec (spec_of_string_located text) in
+  Typecheck.check_spec located;
+  Ast.strip_locs_spec located

@@ -34,11 +34,23 @@
 exception Parse_error of string
 
 (** Parse a full specification (no typechecking; combine with
-    {!Typecheck.resolve_spec} and {!Typecheck.check_spec}). *)
+    {!Typecheck.resolve_spec} and {!Typecheck.check_spec}). The result
+    carries no {!Ast.At} annotations. *)
 val spec_of_string : string -> Ast.spec
 
 (** Parse a behaviour in an empty declaration context. *)
 val behavior_of_string : string -> Ast.behavior
+
+(** {1 Located variants}
+
+    Same grammars, but every sub-behaviour is wrapped in an {!Ast.At}
+    annotation carrying its 1-based source line (process bodies carry
+    the header line on the outermost annotation). This is what
+    [Mv_lint] and the collecting typechecker consume; strip with
+    {!Ast.strip_locs_spec} before exploration. *)
+
+val spec_of_string_located : string -> Ast.spec
+val behavior_of_string_located : string -> Ast.behavior
 
 (** Parse a data expression. *)
 val expr_of_string : string -> Expr.t

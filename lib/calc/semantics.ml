@@ -43,6 +43,7 @@ let expand_offers enums offers =
 let rec moves ?(fuel = 100) spec behavior =
   let recur = moves ~fuel spec in
   match behavior with
+  | Ast.At (_, k) -> recur k
   | Ast.Stop -> []
   | Ast.Exit es ->
     let values =

@@ -2,7 +2,20 @@ exception Type_error of string
 
 type kind = KBool | KInt | KEnum of string
 
-let fail msg = raise (Type_error msg)
+type problem = { line : int option; code : string; message : string }
+
+(* Stable diagnostic codes (shared with Mv_lint, which renders them):
+   MVL001 covers every kind/well-formedness error, MVL002 singles out
+   calls to undefined processes so the lint call-graph pass does not
+   report them twice. *)
+let code_type = "MVL001"
+let code_undefined_process = "MVL002"
+
+(* Internal, expression/statement-granular failure; collected into
+   [problem]s by the spec-level traversal. *)
+exception Fail of string * string (* code, message *)
+
+let fail msg = raise (Fail (code_type, msg))
 
 let pp_kind fmt = function
   | KBool -> Format.pp_print_string fmt "bool"
@@ -22,15 +35,25 @@ let kind_of_ty = function
 (* ------------------------------------------------------------------ *)
 (* Enum constructor resolution                                         *)
 
-let constructor_table (spec : Ast.spec) =
+(* Map constructors to their enum type; duplicates keep the first
+   declaration and are reported through [report] (resolution must
+   still produce a usable table for the later passes). *)
+let constructor_table ?report (spec : Ast.spec) =
   let table = Hashtbl.create 16 in
   List.iter
     (fun (ty_name, constructors) ->
        List.iter
          (fun c ->
-            if Hashtbl.mem table c then
-              fail (Printf.sprintf "enum constructor %s declared twice" c);
-            Hashtbl.replace table c ty_name)
+            if Hashtbl.mem table c then (
+              match report with
+              | Some emit ->
+                emit None code_type
+                  (Printf.sprintf "enum constructor %s declared twice" c)
+              | None ->
+                raise
+                  (Type_error
+                     (Printf.sprintf "enum constructor %s declared twice" c)))
+            else Hashtbl.replace table c ty_name)
          constructors)
     spec.Ast.enums;
   table
@@ -80,6 +103,7 @@ let rec resolve_behavior table bound b =
       (resolve_behavior table bound x, accepts, resolve_behavior table bound' y)
   | Ast.Call (p, gate_args, args) ->
     Ast.Call (p, gate_args, List.map (resolve_expr table bound) args)
+  | Ast.At (line, k) -> Ast.At (line, resolve_behavior table bound k)
 
 let resolve_spec spec =
   let table = constructor_table spec in
@@ -104,7 +128,7 @@ let enum_of_constructor spec c =
   | Some (name, _) -> KEnum name
   | None -> fail ("unknown enum constructor " ^ c)
 
-let rec infer spec env e =
+let rec infer_exn spec env e =
   match e with
   | Expr.Const (Value.VBool _) -> KBool
   | Expr.Const (Value.VInt _) -> KInt
@@ -120,7 +144,7 @@ let rec infer spec env e =
   | Expr.Binop ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), a, b) ->
     expect spec env a KInt; expect spec env b KInt; KBool
   | Expr.Binop ((Expr.Eq | Expr.Ne), a, b) ->
-    let ka = infer spec env a and kb = infer spec env b in
+    let ka = infer_exn spec env a and kb = infer_exn spec env b in
     if ka <> kb then
       fail
         (Printf.sprintf "comparison of %s and %s" (kind_name ka) (kind_name kb));
@@ -129,7 +153,7 @@ let rec infer spec env e =
     expect spec env a KBool; expect spec env b KBool; KBool
   | Expr.If (c, t, els) ->
     expect spec env c KBool;
-    let kt = infer spec env t and ke = infer spec env els in
+    let kt = infer_exn spec env t and ke = infer_exn spec env els in
     if kt <> ke then
       fail
         (Printf.sprintf "if branches have kinds %s and %s" (kind_name kt)
@@ -137,9 +161,12 @@ let rec infer spec env e =
     kt
 
 and expect spec env e k =
-  let k' = infer spec env e in
+  let k' = infer_exn spec env e in
   if k <> k' then
     fail (Printf.sprintf "expected %s, found %s" (kind_name k) (kind_name k'))
+
+let infer spec env e =
+  try infer_exn spec env e with Fail (_, msg) -> raise (Type_error msg)
 
 let check_ty spec = function
   | Ty.TBool -> ()
@@ -149,99 +176,138 @@ let check_ty spec = function
     if not (List.mem_assoc name spec.Ast.enums) then
       fail ("undeclared enum type " ^ name)
 
-let rec check_behavior spec env b =
-  match b with
-  | Ast.Stop -> ()
-  | Ast.Exit es -> List.iter (fun e -> ignore (infer spec env e)) es
-  | Ast.Prefix (action, k) ->
-    if String.equal action.gate Ast.tau_gate && action.offers <> [] then
-      fail "the internal gate i takes no offers";
-    let env' =
-      List.fold_left
-        (fun env offer ->
-           match offer with
-           | Ast.Send e ->
-             ignore (infer spec env e);
-             env
-           | Ast.Receive (x, ty) ->
-             check_ty spec ty;
-             (x, kind_of_ty ty) :: env)
-        env action.offers
-    in
-    check_behavior spec env' k
-  | Ast.Rate (r, k) ->
-    if r <= 0.0 then fail "rate must be positive";
-    check_behavior spec env k
-  | Ast.Choice bs -> List.iter (check_behavior spec env) bs
-  | Ast.Guard (e, k) -> expect spec env e KBool; check_behavior spec env k
-  | Ast.Par (_, x, y) ->
-    check_behavior spec env x;
-    check_behavior spec env y
-  | Ast.Seq (x, accepts, y) ->
-    check_behavior spec env x;
-    List.iter (fun (_, ty) -> check_ty spec ty) accepts;
-    let env' =
-      List.map (fun (v, ty) -> (v, kind_of_ty ty)) accepts @ env
-    in
-    check_behavior spec env' y
-  | Ast.Hide (_, k) | Ast.Rename (_, k) -> check_behavior spec env k
-  | Ast.Call (name, gate_args, args) -> (
-      match Ast.find_process spec name with
-      | None -> fail ("unknown process " ^ name)
-      | Some proc ->
-        if List.length proc.gates <> List.length gate_args then
-          fail
-            (Printf.sprintf "process %s expects %d gate argument(s), got %d"
-               name (List.length proc.gates) (List.length gate_args));
-        List.iter
-          (fun g ->
-             if g = Ast.tau_gate || g = Ast.exit_label then
-               fail ("gate argument cannot be the reserved name " ^ g))
-          gate_args;
-        if List.length proc.params <> List.length args then
-          fail
-            (Printf.sprintf "process %s expects %d argument(s), got %d" name
-               (List.length proc.params) (List.length args));
-        List.iter2
-          (fun (param, ty) arg ->
-             let expected = kind_of_ty ty in
-             let found = infer spec env arg in
-             if expected <> found then
-               fail
-                 (Printf.sprintf "argument %s of %s: expected %s, found %s" param
-                    name (kind_name expected) (kind_name found)))
-          proc.params args)
+(* ------------------------------------------------------------------ *)
+(* Whole-spec checking: collect every problem in one traversal.        *)
 
-let check_spec spec =
-  ignore (constructor_table spec);
+(* [emit] records a problem; [attempt] runs one check and converts its
+   first [Fail] into a problem, so independent checks keep going. *)
+let check_behavior_collect spec emit =
+  let attempt line f = try f () with Fail (code, msg) -> emit line code msg in
+  let rec check line env b =
+    match b with
+    | Ast.At (l, k) -> check (Some l) env k
+    | Ast.Stop -> ()
+    | Ast.Exit es ->
+      List.iter
+        (fun e -> attempt line (fun () -> ignore (infer_exn spec env e)))
+        es
+    | Ast.Prefix (action, k) ->
+      if String.equal action.gate Ast.tau_gate && action.offers <> [] then
+        emit line code_type "the internal gate i takes no offers";
+      let env' =
+        List.fold_left
+          (fun env offer ->
+             match offer with
+             | Ast.Send e ->
+               attempt line (fun () -> ignore (infer_exn spec env e));
+               env
+             | Ast.Receive (x, ty) ->
+               attempt line (fun () -> check_ty spec ty);
+               (x, kind_of_ty ty) :: env)
+          env action.offers
+      in
+      check line env' k
+    | Ast.Rate (r, k) ->
+      if r <= 0.0 then emit line code_type "rate must be positive";
+      check line env k
+    | Ast.Choice bs -> List.iter (check line env) bs
+    | Ast.Guard (e, k) ->
+      attempt line (fun () -> expect spec env e KBool);
+      check line env k
+    | Ast.Par (_, x, y) -> check line env x; check line env y
+    | Ast.Seq (x, accepts, y) ->
+      check line env x;
+      List.iter
+        (fun (_, ty) -> attempt line (fun () -> check_ty spec ty))
+        accepts;
+      let env' = List.map (fun (v, ty) -> (v, kind_of_ty ty)) accepts @ env in
+      check line env' y
+    | Ast.Hide (_, k) | Ast.Rename (_, k) -> check line env k
+    | Ast.Call (name, gate_args, args) -> (
+        match Ast.find_process spec name with
+        | None -> emit line code_undefined_process ("unknown process " ^ name)
+        | Some proc ->
+          if List.length proc.gates <> List.length gate_args then
+            emit line code_type
+              (Printf.sprintf "process %s expects %d gate argument(s), got %d"
+                 name (List.length proc.gates) (List.length gate_args));
+          List.iter
+            (fun g ->
+               if g = Ast.tau_gate || g = Ast.exit_label then
+                 emit line code_type
+                   ("gate argument cannot be the reserved name " ^ g))
+            gate_args;
+          if List.length proc.params <> List.length args then
+            emit line code_type
+              (Printf.sprintf "process %s expects %d argument(s), got %d" name
+                 (List.length proc.params) (List.length args))
+          else
+            List.iter2
+              (fun (param, ty) arg ->
+                 attempt line (fun () ->
+                     let expected = kind_of_ty ty in
+                     let found = infer_exn spec env arg in
+                     if expected <> found then
+                       fail
+                         (Printf.sprintf
+                            "argument %s of %s: expected %s, found %s" param
+                            name (kind_name expected) (kind_name found))))
+              proc.params args)
+  in
+  check
+
+let problems spec =
+  let acc = ref [] in
+  let emit line code message = acc := { line; code; message } :: !acc in
+  ignore (constructor_table ~report:emit spec);
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (name, constructors) ->
-       if Hashtbl.mem seen name then fail ("enum type " ^ name ^ " declared twice");
-       Hashtbl.replace seen name ();
-       if constructors = [] then fail ("enum type " ^ name ^ " has no constructors"))
+       if Hashtbl.mem seen name then
+         emit None code_type ("enum type " ^ name ^ " declared twice")
+       else Hashtbl.replace seen name ();
+       if constructors = [] then
+         emit None code_type ("enum type " ^ name ^ " has no constructors"))
     spec.Ast.enums;
+  let check_behavior = check_behavior_collect spec emit in
   let seen_proc = Hashtbl.create 16 in
   List.iter
     (fun (p : Ast.process) ->
+       let line = Ast.loc_of p.body in
        if Hashtbl.mem seen_proc p.proc_name then
-         fail ("process " ^ p.proc_name ^ " declared twice");
-       Hashtbl.replace seen_proc p.proc_name ();
+         emit line code_type ("process " ^ p.proc_name ^ " declared twice")
+       else Hashtbl.replace seen_proc p.proc_name ();
        let seen_gate = Hashtbl.create 4 in
        List.iter
          (fun g ->
             if g = Ast.tau_gate || g = Ast.exit_label then
-              fail
+              emit line code_type
                 (Printf.sprintf "process %s: formal gate %s is reserved"
                    p.proc_name g);
             if Hashtbl.mem seen_gate g then
-              fail
+              emit line code_type
                 (Printf.sprintf "process %s: duplicate formal gate %s"
-                   p.proc_name g);
-            Hashtbl.replace seen_gate g ())
+                   p.proc_name g)
+            else Hashtbl.replace seen_gate g ())
          p.gates;
-       List.iter (fun (_, ty) -> check_ty spec ty) p.params;
+       List.iter
+         (fun (_, ty) ->
+            try check_ty spec ty
+            with Fail (code, msg) ->
+              emit line code (Printf.sprintf "process %s: %s" p.proc_name msg))
+         p.params;
        let env = List.map (fun (x, ty) -> (x, kind_of_ty ty)) p.params in
-       check_behavior spec env p.body)
+       check_behavior line env p.body)
     spec.Ast.processes;
-  check_behavior spec [] spec.Ast.init
+  check_behavior None [] spec.Ast.init;
+  List.rev !acc
+
+let problem_message p =
+  match p.line with
+  | Some l -> Printf.sprintf "line %d: %s" l p.message
+  | None -> p.message
+
+let check_spec spec =
+  match problems spec with
+  | [] -> ()
+  | p :: _ -> raise (Type_error (problem_message p))

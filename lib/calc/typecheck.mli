@@ -4,27 +4,50 @@
     - {!resolve_spec} turns identifiers that name declared enum
       constructors into constants (the parser cannot distinguish them
       from variables);
-    - {!check_spec} verifies well-formedness: unique process and enum
+    - {!problems} verifies well-formedness — unique process and enum
       names, declared enum types, bound variables, kind-correct
-      expressions, boolean guards, call arities, and positive rates.
+      expressions, boolean guards, call arities, and positive rates —
+      and reports {e every} problem found, with a source line whenever
+      the spec carries {!Ast.At} annotations (the located parser entry
+      points produce them). {!check_spec} is the fail-fast wrapper.
 
     Expression typing is by {e kind} ([bool], [int], or a named enum);
     integer range bounds are only enforced at binding sites (process
-    arguments are range-checked dynamically during exploration). *)
+    arguments are range-checked dynamically during exploration;
+    [Mv_lint] flags statically-decidable violations ahead of time). *)
 
 exception Type_error of string
 
 type kind = KBool | KInt | KEnum of string
+
+(** One well-formedness violation. [code] is the stable diagnostic
+    code ({!code_type} or {!code_undefined_process}); [line] is known
+    when the offending construct carried a location. *)
+type problem = { line : int option; code : string; message : string }
+
+(** ["MVL001"] — kind errors and structural well-formedness. *)
+val code_type : string
+
+(** ["MVL002"] — call to an undefined process. *)
+val code_undefined_process : string
 
 (** Resolve enum constructors in every expression of the spec (bound
     variables shadow constructors). Raises {!Type_error} if an enum
     constructor is declared twice across types. *)
 val resolve_spec : Ast.spec -> Ast.spec
 
-(** Check the whole specification. *)
+(** Collect every well-formedness problem, in traversal order. *)
+val problems : Ast.spec -> problem list
+
+(** ["line N: message"] when the line is known, else the bare message. *)
+val problem_message : problem -> string
+
+(** Check the whole specification; raises {!Type_error} carrying
+    {!problem_message} of the first problem. *)
 val check_spec : Ast.spec -> unit
 
-(** [infer spec env e] — kind of [e] under variable kinds [env]. *)
+(** [infer spec env e] — kind of [e] under variable kinds [env].
+    Raises {!Type_error} on ill-kinded expressions. *)
 val infer : Ast.spec -> (string * kind) list -> Expr.t -> kind
 
 (** Kind of a declared type. *)

@@ -58,7 +58,8 @@ let rec behavior_free_vars bound acc b =
   | Ast.Seq (x, accepts, y) ->
     let bound' = List.map fst accepts @ bound in
     behavior_free_vars bound' (behavior_free_vars bound acc x) y
-  | Ast.Hide (_, k) | Ast.Rename (_, k) -> behavior_free_vars bound acc k
+  | Ast.Hide (_, k) | Ast.Rename (_, k) | Ast.At (_, k) ->
+    behavior_free_vars bound acc k
   | Ast.Call (_, _, args) ->
     List.fold_left
       (fun acc e ->

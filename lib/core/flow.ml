@@ -16,6 +16,7 @@ let generate_compositional ?max_states spec =
   let leaf_counter = ref 0 in
   let rec decompose (behavior : Mv_calc.Ast.behavior) =
     match behavior with
+    | Mv_calc.Ast.At (_, inner) -> decompose inner
     | Mv_calc.Ast.Par (Mv_calc.Ast.Gates gates, a, b) ->
       Mv_compose.Net.Par (gates, decompose a, decompose b)
     | Mv_calc.Ast.Hide (gates, inner) ->

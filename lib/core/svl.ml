@@ -334,4 +334,33 @@ let run_file path =
   let text = read_file path in
   run_string ~dir:(Filename.dirname path) text
 
+let model_sources_of_string ?(dir = ".") text =
+  let sources_of = function
+    | Generate { source; _ }
+    | Reduction { source; _ }
+    | Hide { source; _ }
+    | Check { source; _ }
+    | Solve { source; _ }
+    | Expect_throughput { source; _ } -> [ source ]
+    | Composition { left; right; _ } | Compare { left; right; _ } ->
+      [ left; right ]
+  in
+  let resolve p = if Filename.is_relative p then Filename.concat dir p else p in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun p ->
+       if Filename.check_suffix p ".mvl" then begin
+         let full = resolve p in
+         if Hashtbl.mem seen full then None
+         else begin
+           Hashtbl.add seen full ();
+           Some full
+         end
+       end
+       else None)
+    (List.concat_map sources_of (parse_script text))
+
+let model_sources_of_file path =
+  model_sources_of_string ~dir:(Filename.dirname path) (read_file path)
+
 let all_ok steps = List.for_all (fun s -> s.ok) steps

@@ -54,3 +54,13 @@ val run_file : string -> step list
 
 (** [all_ok steps]. *)
 val all_ok : step list -> bool
+
+(** The [.mvl] model sources a script references, resolved against
+    [dir] (default: current directory), deduplicated in first-use
+    order. [.aut] files are omitted. [mval script] lints these before
+    running the script. Raises {!Parse_error} on a malformed script. *)
+val model_sources_of_string : ?dir:string -> string -> string list
+
+(** {!model_sources_of_string} on a script file, resolving against its
+    directory. *)
+val model_sources_of_file : string -> string list

@@ -1,0 +1,52 @@
+(** Diagnostics emitted by the MVL linter.
+
+    A diagnostic carries a stable rule code ([MVL001]...), a severity,
+    an optional 1-based source line (known when the spec was parsed
+    through the located entry points of {!Mv_calc.Parser}), and a
+    human-readable message. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  line : int option;
+  message : string;
+}
+
+val severity_name : severity -> string
+
+(** Inverse of {!severity_name}; [None] on unknown names. *)
+val severity_of_name : string -> severity option
+
+(** [Error] < [Warning] < [Info]. *)
+val severity_rank : severity -> int
+
+(** Order by line (unknown lines first), then code, then message. *)
+val compare : t -> t -> int
+
+(** ["file.mvl:12: warning MVL005: ..."]; the location prefix is
+    dropped when unknown. *)
+val render : ?file:string -> t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [(errors, warnings, infos)]. *)
+val counts : t list -> int * int * int
+
+(** ["E error(s), W warning(s), I info(s)"]. *)
+val summary : t list -> string
+
+(** {1 JSON interchange}
+
+    {!to_json} renders a JSON array of flat objects with fields
+    [code], [severity], [line] (integer or [null]) and [message];
+    {!of_json} parses exactly that shape back, so the machine output of
+    [mval lint --json] round-trips. *)
+
+exception Json_error of string
+
+val to_json : t list -> string
+
+(** Raises {!Json_error} on malformed input. *)
+val of_json : string -> t list

@@ -1,0 +1,789 @@
+module Ast = Mv_calc.Ast
+module Expr = Mv_calc.Expr
+module Value = Mv_calc.Value
+module Ty = Mv_calc.Ty
+module Typecheck = Mv_calc.Typecheck
+module Parser = Mv_calc.Parser
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Rule registry                                                       *)
+
+type rule = {
+  code : string;
+  default_severity : Diagnostic.severity;
+  title : string;
+}
+
+let rules =
+  [
+    { code = "MVL001"; default_severity = Diagnostic.Error;
+      title = "type or well-formedness error" };
+    { code = "MVL002"; default_severity = Diagnostic.Error;
+      title = "call to an undefined process" };
+    { code = "MVL003"; default_severity = Diagnostic.Warning;
+      title = "process is never used (unreachable from init)" };
+    { code = "MVL004"; default_severity = Diagnostic.Warning;
+      title = "unguarded recursion (call cycle without an intervening action)" };
+    { code = "MVL005"; default_severity = Diagnostic.Warning;
+      title = "synchronization gate never offered by one operand" };
+    { code = "MVL006"; default_severity = Diagnostic.Warning;
+      title = "hidden gate is never offered" };
+    { code = "MVL007"; default_severity = Diagnostic.Warning;
+      title = "renamed gate is never offered" };
+    { code = "MVL008"; default_severity = Diagnostic.Warning;
+      title = "guard is always false (dead branch)" };
+    { code = "MVL009"; default_severity = Diagnostic.Info;
+      title = "guard is always true (redundant)" };
+    { code = "MVL010"; default_severity = Diagnostic.Error;
+      title = "binding always out of the declared range" };
+    { code = "MVL011"; default_severity = Diagnostic.Warning;
+      title = "Markovian delay races a visible action" };
+    { code = "MVL012"; default_severity = Diagnostic.Warning;
+      title = "phase-type expansion estimate exceeds the limit" };
+    { code = "MVL013"; default_severity = Diagnostic.Warning;
+      title = "formal gate never used in the process body" };
+  ]
+
+let find_rule code = List.find_opt (fun r -> String.equal r.code code) rules
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type config = {
+  max_phase_product : int;
+  overrides : (string * Diagnostic.severity option) list;
+  werror : bool;
+}
+
+let default_config =
+  { max_phase_product = 1024; overrides = []; werror = false }
+
+let parse_override s =
+  match String.index_opt s '=' with
+  | None -> None
+  | Some i ->
+    let code = String.sub s 0 i in
+    let level = String.sub s (i + 1) (String.length s - i - 1) in
+    if String.equal code "" then None
+    else if String.equal level "ignore" then Some (code, None)
+    else (
+      match Diagnostic.severity_of_name level with
+      | Some sev -> Some (code, Some sev)
+      | None -> None)
+
+let apply_overrides config ds =
+  List.filter_map
+    (fun (d : Diagnostic.t) ->
+       match List.assoc_opt d.Diagnostic.code config.overrides with
+       | Some None -> None
+       | Some (Some sev) -> Some { d with Diagnostic.severity = sev }
+       | None -> Some d)
+    ds
+
+(* ------------------------------------------------------------------ *)
+(* Call graph: MVL003 (unused process), MVL004 (unguarded recursion)   *)
+
+(* Call sites of [b] as [(callee, guarded, line)]. A call is guarded
+   when an action necessarily happens before it: it sits under a
+   [Prefix] or [Rate], or in the continuation of [>>] (reaching it
+   consumes the [exit] of the left operand). *)
+let rec calls guarded line acc b =
+  match b with
+  | Ast.At (l, k) -> calls guarded (Some l) acc k
+  | Ast.Stop | Ast.Exit _ -> acc
+  | Ast.Prefix (_, k) | Ast.Rate (_, k) -> calls true line acc k
+  | Ast.Guard (_, k) | Ast.Hide (_, k) | Ast.Rename (_, k) ->
+    calls guarded line acc k
+  | Ast.Choice bs -> List.fold_left (calls guarded line) acc bs
+  | Ast.Par (_, a, b) -> calls guarded line (calls guarded line acc a) b
+  | Ast.Seq (a, _, b) -> calls true line (calls guarded line acc a) b
+  | Ast.Call (p, _, _) -> (p, guarded, line) :: acc
+
+let callgraph_pass spec emit =
+  let edges =
+    List.map
+      (fun (p : Ast.process) ->
+         (p.Ast.proc_name, calls false (Ast.loc_of p.Ast.body) [] p.Ast.body))
+      spec.Ast.processes
+  in
+  let reachable = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem reachable name) then begin
+      Hashtbl.add reachable name ();
+      match List.assoc_opt name edges with
+      | Some es -> List.iter (fun (q, _, _) -> visit q) es
+      | None -> ()
+    end
+  in
+  List.iter
+    (fun (q, _, _) -> visit q)
+    (calls false (Ast.loc_of spec.Ast.init) [] spec.Ast.init);
+  List.iter
+    (fun (p : Ast.process) ->
+       if not (Hashtbl.mem reachable p.Ast.proc_name) then
+         emit "MVL003" (Ast.loc_of p.Ast.body)
+           (Printf.sprintf "process %s is never used (unreachable from init)"
+              p.Ast.proc_name))
+    spec.Ast.processes;
+  let unguarded name =
+    match List.assoc_opt name edges with
+    | Some es ->
+      List.filter_map (fun (q, g, l) -> if g then None else Some (q, l)) es
+    | None -> []
+  in
+  let reaches_unguarded src target =
+    let visited = Hashtbl.create 16 in
+    let rec go name =
+      String.equal name target
+      || (not (Hashtbl.mem visited name)
+          && begin
+            Hashtbl.add visited name ();
+            List.exists (fun (q, _) -> go q) (unguarded name)
+          end)
+    in
+    go src
+  in
+  List.iter
+    (fun (p : Ast.process) ->
+       let name = p.Ast.proc_name in
+       match
+         List.find_opt (fun (q, _) -> reaches_unguarded q name) (unguarded name)
+       with
+       | Some (q, line) ->
+         emit "MVL004" line
+           (if String.equal q name then
+              Printf.sprintf
+                "unguarded recursion: process %s calls itself without \
+                 performing an action first"
+                name
+            else
+              Printf.sprintf
+                "unguarded recursion: process %s can reenter itself (via %s) \
+                 without performing an action"
+                name q)
+       | None -> ())
+    spec.Ast.processes
+
+(* ------------------------------------------------------------------ *)
+(* Gate usage: MVL005-MVL007, MVL013                                   *)
+
+(* Over-approximation of the visible gates a behaviour may ever offer.
+   Process results are stored in terms of each process's own formal
+   gates and mapped to actuals at call sites; computed as a fixpoint
+   over the (finite) set of gate names appearing in the spec. *)
+let rec offered spec sets b =
+  match b with
+  | Ast.At (_, k) -> offered spec sets k
+  | Ast.Stop | Ast.Exit _ -> SS.empty
+  | Ast.Prefix (a, k) ->
+    let s = offered spec sets k in
+    if String.equal a.Ast.gate Ast.tau_gate then s else SS.add a.Ast.gate s
+  | Ast.Rate (_, k) | Ast.Guard (_, k) -> offered spec sets k
+  | Ast.Choice bs ->
+    List.fold_left (fun acc b -> SS.union acc (offered spec sets b)) SS.empty bs
+  | Ast.Par (_, a, b) | Ast.Seq (a, _, b) ->
+    SS.union (offered spec sets a) (offered spec sets b)
+  | Ast.Hide (gs, k) -> SS.diff (offered spec sets k) (SS.of_list gs)
+  | Ast.Rename (pairs, k) ->
+    SS.map
+      (fun g -> match List.assoc_opt g pairs with Some g' -> g' | None -> g)
+      (offered spec sets k)
+  | Ast.Call (p, gate_args, _) -> (
+      match Hashtbl.find_opt sets p with
+      | None -> SS.empty
+      | Some s -> (
+          match Ast.find_process spec p with
+          | Some proc when List.length proc.Ast.gates = List.length gate_args
+            ->
+            let map = List.combine proc.Ast.gates gate_args in
+            SS.map
+              (fun g ->
+                 match List.assoc_opt g map with Some g' -> g' | None -> g)
+              s
+          | _ -> s))
+
+let offers_fixpoint spec =
+  let sets = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Ast.process) -> Hashtbl.replace sets p.Ast.proc_name SS.empty)
+    spec.Ast.processes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Ast.process) ->
+         let s = offered spec sets p.Ast.body in
+         if not (SS.equal s (Hashtbl.find sets p.Ast.proc_name)) then begin
+           Hashtbl.replace sets p.Ast.proc_name s;
+           changed := true
+         end)
+      spec.Ast.processes
+  done;
+  sets
+
+(* Gates appearing syntactically anywhere in [b]. *)
+let rec mentioned_gates acc b =
+  match b with
+  | Ast.At (_, k) -> mentioned_gates acc k
+  | Ast.Stop | Ast.Exit _ -> acc
+  | Ast.Prefix (a, k) -> mentioned_gates (SS.add a.Ast.gate acc) k
+  | Ast.Rate (_, k) | Ast.Guard (_, k) -> mentioned_gates acc k
+  | Ast.Choice bs -> List.fold_left mentioned_gates acc bs
+  | Ast.Par (sync, a, b) ->
+    let acc =
+      match sync with
+      | Ast.Gates gs -> SS.union acc (SS.of_list gs)
+      | Ast.All -> acc
+    in
+    mentioned_gates (mentioned_gates acc a) b
+  | Ast.Hide (gs, k) -> mentioned_gates (SS.union acc (SS.of_list gs)) k
+  | Ast.Rename (pairs, k) ->
+    let acc =
+      List.fold_left (fun acc (o, n) -> SS.add o (SS.add n acc)) acc pairs
+    in
+    mentioned_gates acc k
+  | Ast.Seq (a, _, b) -> mentioned_gates (mentioned_gates acc a) b
+  | Ast.Call (_, gate_args, _) -> SS.union acc (SS.of_list gate_args)
+
+let gate_pass spec emit =
+  let sets = offers_fixpoint spec in
+  let rec walk line b =
+    match b with
+    | Ast.At (l, k) -> walk (Some l) k
+    | Ast.Stop | Ast.Exit _ | Ast.Call _ -> ()
+    | Ast.Prefix (_, k) | Ast.Rate (_, k) | Ast.Guard (_, k) -> walk line k
+    | Ast.Choice bs -> List.iter (walk line) bs
+    | Ast.Par (sync, a, b) ->
+      let oa = offered spec sets a and ob = offered spec sets b in
+      (match sync with
+       | Ast.Gates gs ->
+         List.iter
+           (fun g ->
+              let side s =
+                Printf.sprintf
+                  "gate %s in the synchronization set is never offered by \
+                   the %s operand (rendezvous on %s cannot happen)"
+                  g s g
+              in
+              if not (SS.mem g oa) then emit "MVL005" line (side "left");
+              if not (SS.mem g ob) then emit "MVL005" line (side "right"))
+           (List.sort_uniq String.compare gs)
+       | Ast.All ->
+         let one_sided s g =
+           Printf.sprintf
+             "gate %s is offered only by the %s operand of || (full \
+              synchronization: it can never fire)"
+             g s
+         in
+         SS.iter
+           (fun g ->
+              if not (SS.mem g ob) then emit "MVL005" line (one_sided "left" g))
+           oa;
+         SS.iter
+           (fun g ->
+              if not (SS.mem g oa) then
+                emit "MVL005" line (one_sided "right" g))
+           ob);
+      walk line a;
+      walk line b
+    | Ast.Hide (gs, k) ->
+      let o = offered spec sets k in
+      List.iter
+        (fun g ->
+           if not (SS.mem g o) then
+             emit "MVL006" line
+               (Printf.sprintf "hidden gate %s is never offered" g))
+        (List.sort_uniq String.compare gs);
+      walk line k
+    | Ast.Rename (pairs, k) ->
+      let o = offered spec sets k in
+      List.iter
+        (fun (old_g, new_g) ->
+           if not (SS.mem old_g o) then
+             emit "MVL007" line
+               (Printf.sprintf "renamed gate %s (-> %s) is never offered"
+                  old_g new_g))
+        pairs;
+      walk line k
+    | Ast.Seq (a, _, b) ->
+      walk line a;
+      walk line b
+  in
+  List.iter
+    (fun (p : Ast.process) ->
+       walk (Ast.loc_of p.Ast.body) p.Ast.body;
+       let used = mentioned_gates SS.empty p.Ast.body in
+       List.iter
+         (fun g ->
+            if not (SS.mem g used) then
+              emit "MVL013" (Ast.loc_of p.Ast.body)
+                (Printf.sprintf
+                   "formal gate %s of process %s is never used in its body" g
+                   p.Ast.proc_name))
+         p.Ast.gates)
+    spec.Ast.processes;
+  walk (Ast.loc_of spec.Ast.init) spec.Ast.init
+
+(* ------------------------------------------------------------------ *)
+(* Guard folding and interval analysis: MVL008-MVL010                  *)
+
+type av = AInt of int * int | ABool of bool option | AAny
+
+let av_of_ty = function
+  | Ty.TBool -> ABool None
+  | Ty.TIntRange (lo, hi) -> AInt (lo, hi)
+  | Ty.TEnum _ -> AAny
+
+let av_join a b =
+  match a, b with
+  | AInt (a1, a2), AInt (b1, b2) -> AInt (min a1 b1, max a2 b2)
+  | ABool (Some x), ABool (Some y) when x = y -> ABool (Some x)
+  | ABool _, ABool _ -> ABool None
+  | _ -> AAny
+
+let as_bool = function ABool b -> b | _ -> None
+
+let rec aeval env e =
+  match e with
+  | Expr.Const (Value.VInt n) -> AInt (n, n)
+  | Expr.Const (Value.VBool b) -> ABool (Some b)
+  | Expr.Const (Value.VEnum _) -> AAny
+  | Expr.Var x -> (
+      match List.assoc_opt x env with Some v -> v | None -> AAny)
+  | Expr.Unop (`Neg, e) -> (
+      match aeval env e with AInt (lo, hi) -> AInt (-hi, -lo) | _ -> AAny)
+  | Expr.Unop (`Not, e) -> (
+      match as_bool (aeval env e) with
+      | Some b -> ABool (Some (not b))
+      | None -> ABool None)
+  | Expr.If (c, t, f) -> (
+      match as_bool (aeval env c) with
+      | Some true -> aeval env t
+      | Some false -> aeval env f
+      | None -> av_join (aeval env t) (aeval env f))
+  | Expr.Binop (op, a, b) -> abinop op (aeval env a) (aeval env b)
+
+and abinop op va vb =
+  match op with
+  | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Mod -> (
+      match va, vb with
+      | AInt (a1, a2), AInt (b1, b2) -> (
+          match op with
+          | Expr.Add -> AInt (a1 + b1, a2 + b2)
+          | Expr.Sub -> AInt (a1 - b2, a2 - b1)
+          | Expr.Mul ->
+            let products = [ a1 * b1; a1 * b2; a2 * b1; a2 * b2 ] in
+            AInt
+              ( List.fold_left min (List.hd products) products,
+                List.fold_left max (List.hd products) products )
+          | Expr.Div when a1 = a2 && b1 = b2 && b1 <> 0 ->
+            let q = a1 / b1 in
+            AInt (q, q)
+          | Expr.Mod when a1 = a2 && b1 = b2 && b1 <> 0 ->
+            let r = a1 mod b1 in
+            AInt (r, r)
+          | Expr.Mod when b1 = b2 && b1 > 0 && a1 >= 0 -> AInt (0, b1 - 1)
+          | _ -> AAny)
+      | _ -> AAny)
+  | Expr.Eq | Expr.Ne -> (
+      let eq =
+        match va, vb with
+        | AInt (a1, a2), AInt (b1, b2) ->
+          if a1 = a2 && b1 = b2 then Some (a1 = b1)
+          else if a2 < b1 || b2 < a1 then Some false
+          else None
+        | ABool (Some x), ABool (Some y) -> Some (x = y)
+        | _ -> None
+      in
+      match eq with
+      | Some r -> ABool (Some (if op = Expr.Eq then r else not r))
+      | None -> ABool None)
+  | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge -> (
+      match va, vb with
+      | AInt (a1, a2), AInt (b1, b2) ->
+        ABool
+          (match op with
+           | Expr.Lt ->
+             if a2 < b1 then Some true
+             else if a1 >= b2 then Some false
+             else None
+           | Expr.Le ->
+             if a2 <= b1 then Some true
+             else if a1 > b2 then Some false
+             else None
+           | Expr.Gt ->
+             if a1 > b2 then Some true
+             else if a2 <= b1 then Some false
+             else None
+           | _ ->
+             if a1 >= b2 then Some true
+             else if a2 < b1 then Some false
+             else None)
+      | _ -> ABool None)
+  | Expr.And -> (
+      match as_bool va, as_bool vb with
+      | Some false, _ | _, Some false -> ABool (Some false)
+      | Some true, Some true -> ABool (Some true)
+      | _ -> ABool None)
+  | Expr.Or -> (
+      match as_bool va, as_bool vb with
+      | Some true, _ | _, Some true -> ABool (Some true)
+      | Some false, Some false -> ABool (Some false)
+      | _ -> ABool None)
+
+let set_env env x v = (x, v) :: env
+
+(* Narrow the interval of [x] under the assumption [x op n]. *)
+let narrow env x op n =
+  match List.assoc_opt x env with
+  | Some (AInt (lo, hi)) ->
+    let lo', hi' =
+      match op with
+      | Expr.Lt -> (lo, min hi (n - 1))
+      | Expr.Le -> (lo, min hi n)
+      | Expr.Gt -> (max lo (n + 1), hi)
+      | Expr.Ge -> (max lo n, hi)
+      | Expr.Eq -> (max lo n, min hi n)
+      | _ -> (lo, hi)
+    in
+    if lo' <= hi' then set_env env x (AInt (lo', hi')) else env
+  | _ -> env
+
+let flip_cmp = function
+  | Expr.Lt -> Expr.Gt
+  | Expr.Le -> Expr.Ge
+  | Expr.Gt -> Expr.Lt
+  | Expr.Ge -> Expr.Le
+  | op -> op
+
+(* Refine the environment under the assumption that [e] holds:
+   conjunctions of variable-versus-constant comparisons narrow the
+   variable's interval. *)
+let rec refine env e =
+  match e with
+  | Expr.Binop (Expr.And, a, b) -> refine (refine env a) b
+  | Expr.Binop (op, Expr.Var x, Expr.Const (Value.VInt n)) -> narrow env x op n
+  | Expr.Binop (op, Expr.Const (Value.VInt n), Expr.Var x) ->
+    narrow env x (flip_cmp op) n
+  | Expr.Binop (Expr.Eq, Expr.Var x, Expr.Const (Value.VBool b))
+  | Expr.Binop (Expr.Eq, Expr.Const (Value.VBool b), Expr.Var x) ->
+    set_env env x (ABool (Some b))
+  | _ -> env
+
+let value_pass spec emit =
+  let rec walk env line b =
+    match b with
+    | Ast.At (l, k) -> walk env (Some l) k
+    | Ast.Stop | Ast.Exit _ -> ()
+    | Ast.Prefix (a, k) ->
+      let env =
+        List.fold_left
+          (fun env o ->
+             match o with
+             | Ast.Receive (x, ty) -> set_env env x (av_of_ty ty)
+             | Ast.Send _ -> env)
+          env a.Ast.offers
+      in
+      walk env line k
+    | Ast.Rate (_, k) | Ast.Hide (_, k) | Ast.Rename (_, k) -> walk env line k
+    | Ast.Choice bs -> List.iter (walk env line) bs
+    | Ast.Guard (e, k) -> (
+        match as_bool (aeval env e) with
+        | Some false -> emit "MVL008" line "guard is always false (the branch is dead)"
+        | Some true ->
+          emit "MVL009" line "guard is always true (redundant)";
+          walk env line k
+        | None -> walk (refine env e) line k)
+    | Ast.Par (_, a, b) | Ast.Seq (a, [], b) ->
+      walk env line a;
+      walk env line b
+    | Ast.Seq (a, accepts, b) ->
+      walk env line a;
+      let env' =
+        List.fold_left
+          (fun env (x, ty) -> set_env env x (av_of_ty ty))
+          env accepts
+      in
+      walk env' line b
+    | Ast.Call (p, _, args) -> (
+        match Ast.find_process spec p with
+        | Some proc when List.length proc.Ast.params = List.length args ->
+          List.iter2
+            (fun (pname, ty) arg ->
+               match ty with
+               | Ty.TIntRange (lo, hi) -> (
+                   match aeval env arg with
+                   | AInt (alo, ahi) when ahi < lo || alo > hi ->
+                     emit "MVL010" line
+                       (Printf.sprintf
+                          "argument %s of call to %s is always out of range: \
+                           its value lies in [%d..%d] but the parameter is \
+                           declared int[%d..%d]"
+                          pname p alo ahi lo hi)
+                   | _ -> ())
+               | _ -> ())
+            proc.Ast.params args
+        | _ -> ())
+  in
+  List.iter
+    (fun (p : Ast.process) ->
+       let env = List.map (fun (x, ty) -> (x, av_of_ty ty)) p.Ast.params in
+       walk env (Ast.loc_of p.Ast.body) p.Ast.body)
+    spec.Ast.processes;
+  walk [] (Ast.loc_of spec.Ast.init) spec.Ast.init
+
+(* ------------------------------------------------------------------ *)
+(* Stochastic well-formedness: MVL011 (rate race), MVL012 (blowup)     *)
+
+type initials = {
+  i_rate : bool;
+  i_tau : bool;
+  i_exit : bool;
+  i_gates : SS.t;
+}
+
+let i_bot = { i_rate = false; i_tau = false; i_exit = false; i_gates = SS.empty }
+
+let i_join a b =
+  {
+    i_rate = a.i_rate || b.i_rate;
+    i_tau = a.i_tau || b.i_tau;
+    i_exit = a.i_exit || b.i_exit;
+    i_gates = SS.union a.i_gates b.i_gates;
+  }
+
+let i_equal a b =
+  a.i_rate = b.i_rate && a.i_tau = b.i_tau && a.i_exit = b.i_exit
+  && SS.equal a.i_gates b.i_gates
+
+(* Over-approximation of what a behaviour can do first: a Markovian
+   delay, an internal step, an exit, or a visible gate. *)
+let rec initials spec sets b =
+  match b with
+  | Ast.At (_, k) -> initials spec sets k
+  | Ast.Stop -> i_bot
+  | Ast.Exit _ -> { i_bot with i_exit = true }
+  | Ast.Prefix (a, _) ->
+    if String.equal a.Ast.gate Ast.tau_gate then { i_bot with i_tau = true }
+    else { i_bot with i_gates = SS.singleton a.Ast.gate }
+  | Ast.Rate _ -> { i_bot with i_rate = true }
+  | Ast.Choice bs ->
+    List.fold_left (fun acc b -> i_join acc (initials spec sets b)) i_bot bs
+  | Ast.Guard (_, k) -> initials spec sets k
+  | Ast.Par (sync, a, b) ->
+    let ia = initials spec sets a and ib = initials spec sets b in
+    let gates =
+      match sync with
+      | Ast.Gates gs ->
+        let gset = SS.of_list gs in
+        SS.union
+          (SS.union (SS.diff ia.i_gates gset) (SS.diff ib.i_gates gset))
+          (SS.inter gset (SS.inter ia.i_gates ib.i_gates))
+      | Ast.All -> SS.inter ia.i_gates ib.i_gates
+    in
+    {
+      i_rate = ia.i_rate || ib.i_rate;
+      i_tau = ia.i_tau || ib.i_tau;
+      i_exit = ia.i_exit && ib.i_exit;
+      i_gates = gates;
+    }
+  | Ast.Hide (gs, k) ->
+    let i = initials spec sets k in
+    let gset = SS.of_list gs in
+    {
+      i with
+      i_gates = SS.diff i.i_gates gset;
+      i_tau = i.i_tau || not (SS.is_empty (SS.inter i.i_gates gset));
+    }
+  | Ast.Rename (pairs, k) ->
+    let i = initials spec sets k in
+    {
+      i with
+      i_gates =
+        SS.map
+          (fun g ->
+             match List.assoc_opt g pairs with Some g' -> g' | None -> g)
+          i.i_gates;
+    }
+  | Ast.Seq (a, _, _) ->
+    let i = initials spec sets a in
+    { i with i_exit = false; i_tau = i.i_tau || i.i_exit }
+  | Ast.Call (p, gate_args, _) -> (
+      match Hashtbl.find_opt sets p with
+      | None -> i_bot
+      | Some i -> (
+          match Ast.find_process spec p with
+          | Some proc when List.length proc.Ast.gates = List.length gate_args
+            ->
+            let map = List.combine proc.Ast.gates gate_args in
+            {
+              i with
+              i_gates =
+                SS.map
+                  (fun g ->
+                     match List.assoc_opt g map with
+                     | Some g' -> g'
+                     | None -> g)
+                  i.i_gates;
+            }
+          | _ -> i))
+
+let initials_fixpoint spec =
+  let sets = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Ast.process) -> Hashtbl.replace sets p.Ast.proc_name i_bot)
+    spec.Ast.processes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Ast.process) ->
+         let i = initials spec sets p.Ast.body in
+         if not (i_equal i (Hashtbl.find sets p.Ast.proc_name)) then begin
+           Hashtbl.replace sets p.Ast.proc_name i;
+           changed := true
+         end)
+      spec.Ast.processes
+  done;
+  sets
+
+let stochastic_pass config spec emit =
+  let sets = initials_fixpoint spec in
+  let rec walk line b =
+    match b with
+    | Ast.At (l, k) -> walk (Some l) k
+    | Ast.Stop | Ast.Exit _ | Ast.Call _ -> ()
+    | Ast.Prefix (_, k) | Ast.Rate (_, k) | Ast.Guard (_, k)
+    | Ast.Hide (_, k) | Ast.Rename (_, k) ->
+      walk line k
+    | Ast.Par (_, a, b) | Ast.Seq (a, _, b) ->
+      walk line a;
+      walk line b
+    | Ast.Choice bs ->
+      let is = List.mapi (fun i b -> (i, initials spec sets b)) bs in
+      let race =
+        List.exists
+          (fun (i, ii) ->
+             ii.i_rate
+             && List.exists
+                  (fun (j, ij) -> j <> i && not (SS.is_empty ij.i_gates))
+                  is)
+          is
+      in
+      if race then
+        emit "MVL011" line
+          "a Markovian delay races a visible action in this choice (after \
+           hiding, maximal progress can prune the delayed branch)";
+      List.iter (walk line) bs
+  in
+  List.iter
+    (fun (p : Ast.process) -> walk (Ast.loc_of p.Ast.body) p.Ast.body)
+    spec.Ast.processes;
+  walk (Ast.loc_of spec.Ast.init) spec.Ast.init;
+  (* Phase blowup: phases of independent components multiply in the
+     CTMC, so estimate one factor per parallel leaf of init — the
+     syntactic rate prefixes reachable from the leaf, plus one for the
+     phase-free state. *)
+  let rec leaves b =
+    match b with
+    | Ast.At (_, k) | Ast.Hide (_, k) | Ast.Rename (_, k) -> leaves k
+    | Ast.Par (_, a, b) -> leaves a @ leaves b
+    | b -> [ b ]
+  in
+  let rec rate_nodes b =
+    match b with
+    | Ast.At (_, k) | Ast.Prefix (_, k) | Ast.Guard (_, k)
+    | Ast.Hide (_, k) | Ast.Rename (_, k) ->
+      rate_nodes k
+    | Ast.Rate (_, k) -> 1 + rate_nodes k
+    | Ast.Stop | Ast.Exit _ | Ast.Call _ -> 0
+    | Ast.Choice bs -> List.fold_left (fun acc b -> acc + rate_nodes b) 0 bs
+    | Ast.Par (_, a, b) | Ast.Seq (a, _, b) -> rate_nodes a + rate_nodes b
+  in
+  let leaf_estimate leaf =
+    let seen = Hashtbl.create 8 in
+    let rec visit_behavior b =
+      List.iter (fun (q, _, _) -> visit q) (calls false None [] b)
+    and visit name =
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        match Ast.find_process spec name with
+        | Some proc -> visit_behavior proc.Ast.body
+        | None -> ()
+      end
+    in
+    visit_behavior leaf;
+    let n =
+      Hashtbl.fold
+        (fun name () acc ->
+           match Ast.find_process spec name with
+           | Some proc -> acc + rate_nodes proc.Ast.body
+           | None -> acc)
+        seen (rate_nodes leaf)
+    in
+    n + 1
+  in
+  let estimates = List.map leaf_estimate (leaves spec.Ast.init) in
+  let product =
+    List.fold_left
+      (fun acc n -> if acc > max_int / max n 1 then max_int else acc * n)
+      1 estimates
+  in
+  if product > config.max_phase_product then
+    emit "MVL012" (Ast.loc_of spec.Ast.init)
+      (Printf.sprintf
+         "phase-type expansion estimate %s exceeds the limit %d (Markovian \
+          phases multiply across the %d parallel components of init; raise \
+          the limit if this is intended)"
+         (if product = max_int then "more than 10^18"
+          else string_of_int product)
+         config.max_phase_product (List.length estimates))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let check ?(config = default_config) spec =
+  let acc = ref [] in
+  let emit code line message =
+    let severity =
+      match find_rule code with
+      | Some r -> r.default_severity
+      | None -> Diagnostic.Warning
+    in
+    acc := { Diagnostic.code; severity; line; message } :: !acc
+  in
+  List.iter
+    (fun (p : Typecheck.problem) ->
+       emit p.Typecheck.code p.Typecheck.line p.Typecheck.message)
+    (Typecheck.problems spec);
+  (* The analyses are best-effort on ill-formed specs: any internal
+     failure is dropped rather than aborting the report. *)
+  let safely f = try f () with _ -> () in
+  safely (fun () -> callgraph_pass spec emit);
+  safely (fun () -> gate_pass spec emit);
+  safely (fun () -> value_pass spec emit);
+  safely (fun () -> stochastic_pass config spec emit);
+  List.stable_sort Diagnostic.compare (apply_overrides config (List.rev !acc))
+
+let check_text ?(config = default_config) text =
+  let located = Parser.spec_of_string_located text in
+  match Typecheck.resolve_spec located with
+  | spec -> check ~config spec
+  | exception Typecheck.Type_error msg ->
+    apply_overrides config
+      [
+        {
+          Diagnostic.code = Typecheck.code_type;
+          severity = Diagnostic.Error;
+          line = None;
+          message = msg;
+        };
+      ]
+
+let has_errors ds =
+  List.exists (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Error) ds
+
+let exit_code ?(config = default_config) ds =
+  let errors, warnings, _ = Diagnostic.counts ds in
+  if errors > 0 then 2 else if config.werror && warnings > 0 then 1 else 0

@@ -1,0 +1,68 @@
+(** Static analysis of MVL specifications.
+
+    Beyond the well-formedness checks of {!Mv_calc.Typecheck} (reported
+    here with their stable codes), the linter runs four analyses:
+
+    - {b call graph}: processes unreachable from [init] (MVL003) and
+      recursion with no intervening action (MVL004);
+    - {b gate usage}: synchronization-set gates one operand can never
+      offer (MVL005), hides and renames of gates that are never offered
+      (MVL006, MVL007), and formal gates a process never uses (MVL013);
+    - {b value analysis}: interval analysis over integer parameters and
+      constant folding over guards — statically false or true guards
+      (MVL008, MVL009) and process arguments guaranteed outside the
+      declared range (MVL010);
+    - {b stochastic well-formedness}: Markovian delays racing visible
+      actions in a choice (MVL011) and an estimate of the phase-type
+      expansion size across parallel components (MVL012).
+
+    All analyses over-approximate behaviour and never fail: linting an
+    ill-formed specification degrades to reporting the typechecker's
+    problems. Diagnostics carry source lines when the spec was parsed
+    with the located entry points ({!Mv_calc.Parser.spec_of_string_located},
+    or {!check_text} which uses them). *)
+
+(** One lint rule: stable code, severity used unless overridden, and a
+    one-line description (shown by [mval lint --help] and the rule
+    catalogue in [doc/lint.md]). *)
+type rule = {
+  code : string;
+  default_severity : Diagnostic.severity;
+  title : string;
+}
+
+(** The rule registry, in code order. *)
+val rules : rule list
+
+val find_rule : string -> rule option
+
+type config = {
+  max_phase_product : int;
+      (** MVL012 threshold on the estimated number of phase
+          combinations (default 1024) *)
+  overrides : (string * Diagnostic.severity option) list;
+      (** per-code severity overrides; [None] drops the code entirely *)
+  werror : bool;  (** warnings fail {!exit_code} (policy only: severity
+                      labels are unchanged) *)
+}
+
+val default_config : config
+
+(** Parse a [-W] argument of the form [CODE=error|warning|info|ignore].
+    [None] if the argument is malformed. *)
+val parse_override : string -> (string * Diagnostic.severity option) option
+
+(** Lint a resolved specification (see {!Mv_calc.Typecheck.resolve_spec}).
+    Returns every diagnostic found, sorted by source line. *)
+val check : ?config:config -> Mv_calc.Ast.spec -> Diagnostic.t list
+
+(** Parse (with locations), resolve, and lint. A resolution failure is
+    reported as a single MVL001 error; parse errors propagate as
+    {!Mv_calc.Parser.Parse_error}. *)
+val check_text : ?config:config -> string -> Diagnostic.t list
+
+val has_errors : Diagnostic.t list -> bool
+
+(** Exit-code policy of [mval lint]: [2] if any error, [1] if
+    [config.werror] and any warning, [0] otherwise. *)
+val exit_code : ?config:config -> Diagnostic.t list -> int

@@ -18,7 +18,7 @@ let rec occupancy_of_term ~queue term =
     Some n
   | Ast.Call _ | Ast.Stop | Ast.Exit _ -> None
   | Ast.Prefix (_, k) | Ast.Rate (_, k) | Ast.Guard (_, k)
-  | Ast.Hide (_, k) | Ast.Rename (_, k) ->
+  | Ast.Hide (_, k) | Ast.Rename (_, k) | Ast.At (_, k) ->
     occupancy_of_term ~queue k
   | Ast.Choice bs ->
     List.fold_left
@@ -80,7 +80,7 @@ let rec spill_of_term term =
     -> Some (hw, sp)
   | Ast.Call _ | Ast.Stop | Ast.Exit _ -> None
   | Ast.Prefix (_, k) | Ast.Rate (_, k) | Ast.Guard (_, k)
-  | Ast.Hide (_, k) | Ast.Rename (_, k) -> spill_of_term k
+  | Ast.Hide (_, k) | Ast.Rename (_, k) | Ast.At (_, k) -> spill_of_term k
   | Ast.Choice bs ->
     List.fold_left
       (fun acc b -> match acc with Some _ -> acc | None -> spill_of_term b)

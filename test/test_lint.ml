@@ -1,0 +1,400 @@
+(* Tests for mv_lint: the diagnostic type and its JSON round-trip, one
+   positive and one negative specimen per rule code, the combined
+   acceptance scenario, the exit-code policy, severity overrides, and
+   lint-cleanliness of the shipped example models. *)
+
+module Lint = Mv_lint.Lint
+module Diagnostic = Mv_lint.Diagnostic
+
+let lint = Lint.check_text
+
+let codes ds =
+  List.sort_uniq String.compare
+    (List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) ds)
+
+let has code ds =
+  List.exists (fun (d : Diagnostic.t) -> String.equal d.Diagnostic.code code) ds
+
+let line_of code ds =
+  match
+    List.find_opt
+      (fun (d : Diagnostic.t) -> String.equal d.Diagnostic.code code)
+      ds
+  with
+  | Some d -> d.Diagnostic.line
+  | None -> None
+
+let check_flags name expected actual =
+  Alcotest.(check (list string)) name expected actual
+
+(* A specimen that triggers [code] and a variant that does not. *)
+let rule_case name ~code ~dirty ~clean () =
+  let reported = lint dirty in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s reported" name code)
+    true (has code reported);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s has a line" name code)
+    true
+    (line_of code reported <> None);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: clean variant" name)
+    false
+    (has code (lint clean))
+
+let test_mvl001_type_error =
+  rule_case "kind error" ~code:"MVL001"
+    ~dirty:"process P := [1 < true] -> a ; P\ninit P"
+    ~clean:"process P := [1 < 2] -> a ; P\ninit P"
+
+let test_mvl002_undefined_process =
+  rule_case "undefined process" ~code:"MVL002"
+    ~dirty:"process P := a ; Ghost\ninit P"
+    ~clean:"process P := a ; P\ninit P"
+
+let test_mvl003_unused_process =
+  rule_case "unused process" ~code:"MVL003"
+    ~dirty:"process P := a ; P\nprocess Orphan := b ; Orphan\ninit P"
+    ~clean:"process P := a ; P\nprocess Q := b ; Q\ninit P ||| Q"
+
+let test_mvl004_unguarded_recursion =
+  rule_case "unguarded recursion" ~code:"MVL004"
+    ~dirty:"process P := Q\nprocess Q := P\ninit P"
+    ~clean:"process P := a ; Q\nprocess Q := P\ninit P"
+
+let test_mvl005_sync_mismatch =
+  rule_case "sync mismatch" ~code:"MVL005"
+    ~dirty:"process P := a ; P\nprocess Q := b ; Q\ninit P |[a, c]| Q"
+    ~clean:"process P := a ; P\nprocess Q := a ; b ; Q\ninit P |[a]| Q"
+
+let test_mvl005_full_sync =
+  rule_case "one-sided gate under ||" ~code:"MVL005"
+    ~dirty:"process P := a ; b ; P\nprocess Q := a ; Q\ninit P || Q"
+    ~clean:"process P := a ; b ; P\nprocess Q := a ; b ; Q\ninit P || Q"
+
+let test_mvl006_dead_hide =
+  rule_case "dead hide" ~code:"MVL006"
+    ~dirty:"process P := a ; P\ninit hide ghost in P"
+    ~clean:"process P := a ; P\ninit hide a in P"
+
+let test_mvl007_dead_rename =
+  rule_case "dead rename" ~code:"MVL007"
+    ~dirty:"process P := a ; P\ninit rename ghost -> g in P"
+    ~clean:"process P := a ; P\ninit rename a -> g in P"
+
+let test_mvl008_dead_guard =
+  rule_case "dead guard" ~code:"MVL008"
+    ~dirty:
+      "process P (n : int[0..3]) := [n > 5] -> a ; P(n)\n\
+       init P(0)"
+    ~clean:
+      "process P (n : int[0..3]) := [n > 2] -> a ; P(n)\n\
+       init P(0)"
+
+let test_mvl009_redundant_guard =
+  rule_case "redundant guard" ~code:"MVL009"
+    ~dirty:
+      "process P (n : int[0..3]) := [n >= 0] -> a ; P(n)\n\
+       init P(0)"
+    ~clean:
+      "process P (n : int[0..3]) := [n >= 1] -> a ; P(n)\n\
+       init P(0)"
+
+let test_mvl010_out_of_range =
+  rule_case "out-of-range binding" ~code:"MVL010"
+    ~dirty:
+      "process P (n : int[0..3]) := a ; P(n + 4)\n\
+       init P(0)"
+    ~clean:
+      "process P (n : int[0..3]) := [n < 3] -> a ; P(n + 1)\n\
+       init P(0)"
+
+let test_mvl011_rate_race =
+  rule_case "rate race" ~code:"MVL011"
+    ~dirty:"process P := a ; P [] rate 2.0 ; P\ninit P"
+    ~clean:"process P := rate 2.0 ; a ; P\ninit P"
+
+let test_mvl012_phase_blowup () =
+  let stage rates =
+    "process Stage := "
+    ^ String.concat "" (List.init rates (fun _ -> "rate 1.0 ; "))
+    ^ "step ; Stage\n"
+  in
+  let spec leaves rates =
+    stage rates ^ "init "
+    ^ String.concat " ||| " (List.init leaves (fun _ -> "Stage"))
+  in
+  (* (6 rates + 1) ^ 4 = 2401 > 1024 > (6 rates + 1) ^ 3 = 343 *)
+  Alcotest.(check bool) "blowup reported" true
+    (has "MVL012" (lint (spec 4 6)));
+  Alcotest.(check bool) "under the limit" false
+    (has "MVL012" (lint (spec 3 6)));
+  let config = { Lint.default_config with Lint.max_phase_product = 100 } in
+  Alcotest.(check bool) "configurable limit" true
+    (has "MVL012" (Lint.check_text ~config (spec 3 6)))
+
+let test_mvl013_unused_formal_gate =
+  rule_case "unused formal gate" ~code:"MVL013"
+    ~dirty:"process P [g, dead] := g ; stop\ninit P[a, b]"
+    ~clean:"process P [g] := g ; stop\ninit P[a]"
+
+(* The interval analysis narrows parameters through guards: without
+   refinement the increment in the guarded branch would look like it
+   can reach 4. *)
+let test_interval_refinement () =
+  let ds =
+    lint
+      "process P (n : int[0..3]) :=\n\
+      \    [n < 3] -> a ; P(n + 1)\n\
+      \ [] [n > 0] -> b ; P(n - 1)\n\
+       init P(0)"
+  in
+  check_flags "guard-refined queue is clean" [] (codes ds)
+
+(* Acceptance scenario from the issue: a sync-set mismatch, a dead
+   guard, an out-of-range binding and a rate race must all surface in
+   one run, each with a location. *)
+let seeded_spec =
+  "process Producer := rate 2.0 ; put ; Producer\n\
+   process Buffer (n : int[0..3]) :=\n\
+  \    [n < 3] -> put ; Buffer(n + 1)\n\
+  \ [] [n > 4] -> get ; Buffer(n - 1)\n\
+  \ [] [n == 0] -> get ; Buffer(n + 5)\n\
+   process Consumer := get ; Consumer\n\
+  \ [] rate 1.0 ; Consumer\n\
+   init (Producer |[put, ack]| Buffer(0)) |[get]| Consumer"
+
+let test_seeded_spec_all_four () =
+  let ds = lint seeded_spec in
+  List.iter
+    (fun (code, expected_line) ->
+       Alcotest.(check bool) (code ^ " reported") true (has code ds);
+       Alcotest.(check (option int)) (code ^ " line") (Some expected_line)
+         (line_of code ds))
+    [ ("MVL008", 4); ("MVL010", 5); ("MVL011", 6); ("MVL005", 8) ]
+
+let test_diagnostics_sorted_by_line () =
+  let ds = lint seeded_spec in
+  let lines =
+    List.filter_map (fun (d : Diagnostic.t) -> d.Diagnostic.line) ds
+  in
+  Alcotest.(check (list int)) "ascending" (List.sort compare lines) lines
+
+(* ---- JSON ---- *)
+
+let test_json_round_trip () =
+  let ds = lint seeded_spec in
+  Alcotest.(check bool) "non-empty" true (ds <> []);
+  let parsed = Diagnostic.of_json (Diagnostic.to_json ds) in
+  Alcotest.(check int) "same length" (List.length ds) (List.length parsed);
+  List.iter2
+    (fun (a : Diagnostic.t) (b : Diagnostic.t) ->
+       Alcotest.(check string) "code" a.Diagnostic.code b.Diagnostic.code;
+       Alcotest.(check string) "severity"
+         (Diagnostic.severity_name a.Diagnostic.severity)
+         (Diagnostic.severity_name b.Diagnostic.severity);
+       Alcotest.(check (option int)) "line" a.Diagnostic.line b.Diagnostic.line;
+       Alcotest.(check string) "message" a.Diagnostic.message
+         b.Diagnostic.message)
+    ds parsed
+
+let test_json_escapes_and_empty () =
+  let d =
+    {
+      Diagnostic.code = "MVL001";
+      severity = Diagnostic.Error;
+      line = None;
+      message = "quote \" backslash \\ newline \n tab \t done";
+    }
+  in
+  (match Diagnostic.of_json (Diagnostic.to_json [ d ]) with
+   | [ back ] ->
+     Alcotest.(check string) "escapes survive" d.Diagnostic.message
+       back.Diagnostic.message;
+     Alcotest.(check (option int)) "null line" None back.Diagnostic.line
+   | _ -> Alcotest.fail "expected a single diagnostic");
+  Alcotest.(check int) "empty array" 0
+    (List.length (Diagnostic.of_json (Diagnostic.to_json [])));
+  Alcotest.check_raises "malformed input"
+    (Diagnostic.Json_error "expected a JSON array") (fun () ->
+      ignore (Diagnostic.of_json "\"not an array\""))
+
+(* ---- policy ---- *)
+
+let test_exit_codes () =
+  Alcotest.(check int) "clean" 0 (Lint.exit_code (lint "init stop"));
+  Alcotest.(check int) "errors" 2 (Lint.exit_code (lint seeded_spec));
+  let warnings_only = lint "process P := a ; P [] rate 2.0 ; P\ninit P" in
+  Alcotest.(check int) "warnings without -Werror" 0
+    (Lint.exit_code warnings_only);
+  let werror = { Lint.default_config with Lint.werror = true } in
+  Alcotest.(check int) "warnings under -Werror" 1
+    (Lint.exit_code ~config:werror warnings_only);
+  (* -Werror is exit-code policy only: the labels stay warnings *)
+  Alcotest.(check bool) "severity unchanged" false
+    (Lint.has_errors warnings_only)
+
+let test_overrides () =
+  let dirty = "process P := a ; P [] rate 2.0 ; P\ninit P" in
+  let ignore_it =
+    { Lint.default_config with Lint.overrides = [ ("MVL011", None) ] }
+  in
+  check_flags "ignored" [] (codes (Lint.check_text ~config:ignore_it dirty));
+  let promote =
+    {
+      Lint.default_config with
+      Lint.overrides = [ ("MVL011", Some Diagnostic.Error) ];
+    }
+  in
+  let ds = Lint.check_text ~config:promote dirty in
+  Alcotest.(check bool) "promoted to error" true (Lint.has_errors ds);
+  Alcotest.(check int) "promoted exit code" 2
+    (Lint.exit_code ~config:promote ds)
+
+let test_parse_override () =
+  Alcotest.(check bool) "ignore" true
+    (Lint.parse_override "MVL005=ignore" = Some ("MVL005", None));
+  Alcotest.(check bool) "error" true
+    (Lint.parse_override "MVL011=error"
+     = Some ("MVL011", Some Diagnostic.Error));
+  Alcotest.(check bool) "malformed level" true
+    (Lint.parse_override "MVL011=loud" = None);
+  Alcotest.(check bool) "no equals" true (Lint.parse_override "MVL011" = None)
+
+let test_rule_registry () =
+  Alcotest.(check bool) "at least 8 distinct codes" true
+    (List.length Lint.rules >= 8);
+  Alcotest.(check bool) "codes unique" true
+    (let cs = List.map (fun r -> r.Lint.code) Lint.rules in
+     List.length (List.sort_uniq String.compare cs) = List.length cs);
+  Alcotest.(check bool) "typecheck codes registered" true
+    (Lint.find_rule Mv_calc.Typecheck.code_type <> None
+     && Lint.find_rule Mv_calc.Typecheck.code_undefined_process <> None)
+
+(* Linting never raises, even on specs whose resolution fails. *)
+let test_ill_formed_never_raises () =
+  let ds =
+    lint
+      "type c = { RED, GREEN }\ntype d = { RED }\nprocess P := a ; P\ninit P"
+  in
+  Alcotest.(check bool) "duplicate constructor reported as MVL001" true
+    (has "MVL001" ds)
+
+(* [mval script] lints the .mvl sources a script references; the
+   extraction skips .aut intermediates and deduplicates. *)
+let test_script_model_sources () =
+  let script =
+    "\"q.aut\" = generate \"queue.mvl\" hide push ;\n\
+     \"m.aut\" = branching reduction of \"q.aut\" ;\n\
+     \"n.aut\" = composition of \"q.aut\" |[g]| \"other.aut\" ;\n\
+     solve \"queue.mvl\" keep pop ;\n\
+     expect throughput pop of \"second.mvl\" in [1.0, 2.0] ;"
+  in
+  Alcotest.(check (list string)) "mvl sources, deduped, first-use order"
+    [ "sub/queue.mvl"; "sub/second.mvl" ]
+    (Mv_core.Svl.model_sources_of_string ~dir:"sub" script);
+  Alcotest.(check bool) "malformed script raises Parse_error" true
+    (match Mv_core.Svl.model_sources_of_string "generate without =" with
+     | _ -> false
+     | exception Mv_core.Svl.Parse_error _ -> true)
+
+(* ---- shipped models stay clean ---- *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let project_file path =
+  (* the test binary runs from _build/default/test; the source tree is
+     three levels up (examples/ is not copied into the build tree) *)
+  match
+    List.find_opt Sys.file_exists
+      [
+        path;
+        Filename.concat ".." path;
+        Filename.concat "../.." path;
+        Filename.concat "../../.." path;
+      ]
+  with
+  | Some p -> p
+  | None -> Alcotest.fail (path ^ " not found from " ^ Sys.getcwd ())
+
+let test_queue_example_clean () =
+  let text = read_file (project_file "examples/queue.mvl") in
+  check_flags "examples/queue.mvl" [] (codes (lint text))
+
+let test_case_studies_clean () =
+  let clean name spec =
+    check_flags name [] (codes (Lint.check spec))
+  in
+  clean "xstream single queue"
+    (Mv_xstream.Queues.single ~arrival:2.0 ~service:3.0 ~capacity:3);
+  clean "xstream tandem"
+    (Mv_xstream.Queues.tandem ~arrival:2.0 ~transfer:4.0 ~service:3.0
+       ~capacity1:2 ~capacity2:2);
+  clean "faust hop chain"
+    (Mv_faust.Noc.hop_chain_spec ~hops:2 ~inject:1.0 ~hop_rate:4.0
+       ~cross:(Some 0.5));
+  clean "fame benchmark (bus)"
+    (Mv_fame.Benchmark.spec Mv_fame.Protocol.Msi Mv_fame.Topology.Bus
+       Mv_fame.Mpi.Eager ~size:2 ~rates:Mv_fame.Benchmark.default_rates);
+  clean "fame benchmark (crossbar)"
+    (Mv_fame.Benchmark.spec Mv_fame.Protocol.Mesi Mv_fame.Topology.Crossbar
+       Mv_fame.Mpi.Rendezvous ~size:2 ~rates:Mv_fame.Benchmark.default_rates)
+
+(* The mesh closes off flowless inject gates by synchronizing on gates
+   its source side never offers — a deliberate idiom MVL005 flags; the
+   override mechanism is the documented way to acknowledge it. *)
+let test_mesh_clean_modulo_gate_closing () =
+  let spec =
+    Mv_faust.Mesh.spec Mv_faust.Mesh.Port_buffered
+      ~flows:Mv_faust.Mesh.crossing_flows
+  in
+  check_flags "mesh reports only MVL005" [ "MVL005" ]
+    (codes (Lint.check spec));
+  let config =
+    { Lint.default_config with Lint.overrides = [ ("MVL005", None) ] }
+  in
+  check_flags "mesh clean with -W MVL005=ignore" []
+    (codes (Lint.check ~config spec))
+
+let suite =
+  [
+    Alcotest.test_case "MVL001 type error" `Quick test_mvl001_type_error;
+    Alcotest.test_case "MVL002 undefined process" `Quick
+      test_mvl002_undefined_process;
+    Alcotest.test_case "MVL003 unused process" `Quick test_mvl003_unused_process;
+    Alcotest.test_case "MVL004 unguarded recursion" `Quick
+      test_mvl004_unguarded_recursion;
+    Alcotest.test_case "MVL005 sync mismatch" `Quick test_mvl005_sync_mismatch;
+    Alcotest.test_case "MVL005 one-sided ||" `Quick test_mvl005_full_sync;
+    Alcotest.test_case "MVL006 dead hide" `Quick test_mvl006_dead_hide;
+    Alcotest.test_case "MVL007 dead rename" `Quick test_mvl007_dead_rename;
+    Alcotest.test_case "MVL008 dead guard" `Quick test_mvl008_dead_guard;
+    Alcotest.test_case "MVL009 redundant guard" `Quick
+      test_mvl009_redundant_guard;
+    Alcotest.test_case "MVL010 out of range" `Quick test_mvl010_out_of_range;
+    Alcotest.test_case "MVL011 rate race" `Quick test_mvl011_rate_race;
+    Alcotest.test_case "MVL012 phase blowup" `Quick test_mvl012_phase_blowup;
+    Alcotest.test_case "MVL013 unused formal gate" `Quick
+      test_mvl013_unused_formal_gate;
+    Alcotest.test_case "interval refinement" `Quick test_interval_refinement;
+    Alcotest.test_case "seeded spec: all four" `Quick test_seeded_spec_all_four;
+    Alcotest.test_case "sorted by line" `Quick test_diagnostics_sorted_by_line;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json escapes and errors" `Quick
+      test_json_escapes_and_empty;
+    Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "overrides" `Quick test_overrides;
+    Alcotest.test_case "parse_override" `Quick test_parse_override;
+    Alcotest.test_case "rule registry" `Quick test_rule_registry;
+    Alcotest.test_case "ill-formed input" `Quick test_ill_formed_never_raises;
+    Alcotest.test_case "script model sources" `Quick
+      test_script_model_sources;
+    Alcotest.test_case "queue.mvl clean" `Quick test_queue_example_clean;
+    Alcotest.test_case "case studies clean" `Quick test_case_studies_clean;
+    Alcotest.test_case "mesh modulo gate closing" `Quick
+      test_mesh_clean_modulo_gate_closing;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("xstream", Test_xstream.suite);
       ("faust", Test_faust.suite);
       ("fame", Test_fame.suite);
+      ("lint", Test_lint.suite);
     ]
