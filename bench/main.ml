@@ -8,6 +8,8 @@
 
 module Report = Mv_core.Report
 module Flow = Mv_core.Flow
+module Obs = Mv_obs.Obs
+module Json = Mv_obs.Json
 module Ctmc = Mv_markov.Ctmc
 module Imc = Mv_imc.Imc
 module To_ctmc = Mv_imc.To_ctmc
@@ -719,7 +721,54 @@ let bechamel_kernels () =
     ~header:[ "kernel"; "time/run" ]
     (List.sort compare !rows)
 
+(* ------------------------------------------------------------------ *)
+(* Per-experiment trajectory record, written to BENCH_multival.json
+   so successive runs can be compared. States and solver iterations
+   are counter deltas from Mv_obs around each experiment. *)
+
+let bench_records : (string * float * int * int * float) list ref = ref []
+
+let timed name run () =
+  let states = Obs.counter "explore.states" in
+  let iterations = Obs.counter "solver.iterations" in
+  let states0 = Obs.counter_value states in
+  let iterations0 = Obs.counter_value iterations in
+  let t0 = Unix.gettimeofday () in
+  run ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let states = Obs.counter_value states - states0 in
+  let iterations = Obs.counter_value iterations - iterations0 in
+  let throughput =
+    if wall > 0.0 then float_of_int states /. wall else 0.0
+  in
+  bench_records := (name, wall, states, iterations, throughput) :: !bench_records
+
+let write_bench_json path =
+  let experiments =
+    List.rev_map
+      (fun (name, wall, states, iterations, throughput) ->
+         Json.Obj
+           [ ("name", Json.String name);
+             ("wall_s", Json.Float wall);
+             ("states", Json.Int states);
+             ("iterations", Json.Int iterations);
+             ("throughput_states_per_s", Json.Float throughput) ])
+      !bench_records
+  in
+  let json =
+    Json.Obj
+      [ ("schema", Json.String "mv-bench-v1");
+        ("experiments", Json.List experiments) ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d experiment(s))\n" path
+    (List.length !bench_records)
+
 let () =
+  Obs.enable ();
   let sections =
     [ ("E1", e1_fame_mpi); ("E2", e2_xstream); ("E3", e3_verification);
       ("E4", e4_erlang);
@@ -742,5 +791,8 @@ let () =
       raw_args
   in
   let wanted name = only = [] || List.mem name only in
-  List.iter (fun (name, run) -> if wanted name then run ()) sections;
-  if wanted "bench" then bechamel_kernels ()
+  List.iter
+    (fun (name, run) -> if wanted name then timed name run ())
+    sections;
+  if wanted "bench" then timed "bench" bechamel_kernels ();
+  write_bench_json "BENCH_multival.json"

@@ -87,7 +87,65 @@ let lint_gate ~no_lint paths =
          end)
       paths
 
+module Obs = Mv_obs.Obs
+
+(* Telemetry wiring shared by the flow commands. The exporters run
+   from [at_exit] because several commands terminate via [exit]
+   mid-run (compare/check/script encode their verdict in the exit
+   code); registering the writer up front guarantees the files appear
+   whenever the flags were given, whatever the exit path. *)
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Mv_obs.Json.to_string json))
+
+let setup_obs metrics trace progress =
+  if metrics <> None || trace <> None then Obs.enable ();
+  if progress then Obs.set_progress true;
+  if metrics <> None || trace <> None || progress then
+    Stdlib.at_exit (fun () ->
+        Obs.progress_end ();
+        (match metrics with
+         | Some path -> write_json path (Obs.metrics_json ())
+         | None -> ());
+        (match trace with
+         | Some path -> write_json path (Obs.trace_json ())
+         | None -> ());
+        if metrics <> None || trace <> None then
+          Mv_core.Report.headline ~title:"telemetry" (Obs.headlines ()))
+
 open Cmdliner
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record counters, histograms, convergence series and phase \
+           timings, and write them to $(docv) as JSON on exit (schema \
+           $(b,mv-obs-metrics-v1); see doc/observability.md).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event file of the flow's spans to \
+           $(docv) on exit (load it in chrome://tracing or \
+           ui.perfetto.dev).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Repaint a live status line on stderr while exploring, \
+           refining, solving and simulating.")
+
+let obs_term = Term.(const setup_obs $ metrics_arg $ trace_arg $ progress_arg)
 
 let model_arg =
   Arg.(
@@ -149,7 +207,7 @@ let no_lint_arg =
 (* ---- generate ---- *)
 
 let generate_cmd =
-  let run model output max_states hide jobs no_lint =
+  let run () model output max_states hide jobs no_lint =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
         with_jobs jobs (fun pool ->
@@ -160,13 +218,13 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate the state space of an MVL model")
     Term.(
-      const run $ model_arg $ output_arg $ max_states_arg $ hide_arg $ jobs_arg
-      $ no_lint_arg)
+      const run $ obs_term $ model_arg $ output_arg $ max_states_arg $ hide_arg
+      $ jobs_arg $ no_lint_arg)
 
 (* ---- minimize ---- *)
 
 let minimize_cmd =
-  let run model output max_states equivalence hide jobs no_lint =
+  let run () model output max_states equivalence hide jobs no_lint =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
         with_jobs jobs (fun pool ->
@@ -189,8 +247,8 @@ let minimize_cmd =
   Cmd.v
     (Cmd.info "minimize" ~doc:"Minimize modulo strong or branching bisimulation")
     Term.(
-      const run $ model_arg $ output_arg $ max_states_arg $ equivalence_arg
-      $ hide_arg $ jobs_arg $ no_lint_arg)
+      const run $ obs_term $ model_arg $ output_arg $ max_states_arg
+      $ equivalence_arg $ hide_arg $ jobs_arg $ no_lint_arg)
 
 (* ---- compare ---- *)
 
@@ -201,7 +259,7 @@ let compare_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"MODEL2" ~doc:"Second model.")
   in
-  let run a b max_states equivalence jobs =
+  let run () a b max_states equivalence jobs =
     handle_errors (fun () ->
         with_jobs jobs (fun pool ->
             let la = load_lts ?pool ~max_states a
@@ -234,8 +292,8 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Check two models for bisimulation equivalence")
     Term.(
-      const run $ model_arg $ second_arg $ max_states_arg $ equivalence_arg
-      $ jobs_arg)
+      const run $ obs_term $ model_arg $ second_arg $ max_states_arg
+      $ equivalence_arg $ jobs_arg)
 
 (* ---- check ---- *)
 
@@ -260,7 +318,7 @@ let check_cmd =
             "Evaluation engine: direct $(b,fixpoint) iteration or a \
              $(b,bes) (boolean equation system) translation.")
   in
-  let run model max_states formulas deadlock engine no_lint =
+  let run () model max_states formulas deadlock engine no_lint =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
         let lts = load_lts ~max_states model in
@@ -314,8 +372,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Model-check mu-calculus formulas")
     Term.(
-      const run $ model_arg $ max_states_arg $ formulas_arg $ deadlock_arg
-      $ engine_arg $ no_lint_arg)
+      const run $ obs_term $ model_arg $ max_states_arg $ formulas_arg
+      $ deadlock_arg $ engine_arg $ no_lint_arg)
 
 (* ---- solve ---- *)
 
@@ -345,7 +403,7 @@ let solve_cmd =
              $(b,uniform) (default) or $(b,fail) (reject, as CADP's \
              solvers do).")
   in
-  let run model max_states keep first scheduler jobs no_lint =
+  let run () model max_states keep first scheduler jobs no_lint =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
         with_jobs jobs (fun pool ->
@@ -375,6 +433,14 @@ let solve_cmd =
               (fun (action, value) ->
                  Printf.printf "throughput %-20s %.6g\n" action value)
               (Flow.throughputs perf);
+            let stats = Flow.solver_stats perf in
+            if not stats.Mv_markov.Solver_stats.converged then
+              Printf.eprintf
+                "warning: steady-state solve did NOT converge (%d \
+                 iteration(s), residual %.3g); the reported measures may \
+                 be inaccurate\n"
+                stats.Mv_markov.Solver_stats.iterations
+                stats.Mv_markov.Solver_stats.residual;
             match first with
             | None -> ()
             | Some gate ->
@@ -385,7 +451,7 @@ let solve_cmd =
     (Cmd.info "solve"
        ~doc:"Run the performance pipeline: IMC, lumping, CTMC, throughputs")
     Term.(
-      const run $ model_arg $ max_states_arg $ keep_arg $ first_arg
+      const run $ obs_term $ model_arg $ max_states_arg $ keep_arg $ first_arg
       $ scheduler_arg $ jobs_arg $ no_lint_arg)
 
 (* ---- translate ---- *)
@@ -452,7 +518,7 @@ let trace_cmd =
 (* ---- script ---- *)
 
 let script_cmd =
-  let run model no_lint =
+  let run () model no_lint =
     handle_errors (fun () ->
         (try lint_gate ~no_lint (Mv_core.Svl.model_sources_of_file model)
          with Mv_core.Svl.Parse_error msg ->
@@ -474,7 +540,7 @@ let script_cmd =
   in
   Cmd.v
     (Cmd.info "script" ~doc:"Run an SVL-style verification script")
-    Term.(const run $ model_arg $ no_lint_arg)
+    Term.(const run $ obs_term $ model_arg $ no_lint_arg)
 
 (* ---- simulate ---- *)
 
@@ -497,8 +563,63 @@ let simulate_cmd =
             "Interpret 'rate' labels as exponential delays and print \
              timestamps (stochastic simulation of the underlying IMC).")
   in
-  let run model max_states steps seed timed =
+  let replications_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "replications" ] ~docv:"N"
+          ~doc:
+            "Monte-Carlo mode: instead of printing one random walk, run \
+             $(docv) independent replications of a throughput \
+             estimation (requires $(b,--action)) and report their mean \
+             and 95% confidence half-width. Replications draw from RNG \
+             streams split from $(b,--seed), so the statistics are \
+             identical for every $(b,-j).")
+  in
+  let action_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "action" ] ~docv:"GATE"
+          ~doc:"Visible action whose throughput the replications estimate.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "horizon" ] ~docv:"T"
+          ~doc:"Simulated duration of each replication (default 1000).")
+  in
+  let run () model max_states steps seed timed replications action horizon
+      jobs =
     handle_errors (fun () ->
+        if replications > 0 then begin
+          let action =
+            match action with
+            | Some a -> a
+            | None ->
+              prerr_endline "--replications requires --action GATE";
+              exit 2
+          in
+          with_jobs jobs (fun pool ->
+              let lts = load_lts ?pool ~max_states model in
+              let imc = Mv_imc.Imc.of_lts lts in
+              let stats =
+                Mv_sim.Des.throughput_stats ?pool imc ~action ~horizon
+                  ~replications ~seed:(Int64.of_int seed)
+              in
+              Obs.progress_end ();
+              let half_width =
+                if stats.Mv_sim.Des.replications < 2 then 0.0
+                else
+                  1.96 *. stats.Mv_sim.Des.stddev
+                  /. sqrt (float_of_int stats.Mv_sim.Des.replications)
+              in
+              Printf.printf
+                "throughput %-20s %.6g +/- %.3g (%d replication(s), \
+                 horizon %g)\n"
+                action stats.Mv_sim.Des.mean half_width
+                stats.Mv_sim.Des.replications horizon)
+        end
+        else begin
         let lts = load_lts ~max_states model in
         let rng = Mv_util.Rng.create (Int64.of_int seed) in
         if timed then begin
@@ -559,12 +680,14 @@ let simulate_cmd =
                  state := dst
              done
            with Exit -> ())
+        end
         end)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Random-walk simulation of a model")
     Term.(
-      const run $ model_arg $ max_states_arg $ steps_arg $ seed_arg $ timed_arg)
+      const run $ obs_term $ model_arg $ max_states_arg $ steps_arg $ seed_arg
+      $ timed_arg $ replications_arg $ action_arg $ horizon_arg $ jobs_arg)
 
 (* ---- lint ---- *)
 

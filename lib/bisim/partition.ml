@@ -57,8 +57,16 @@ let refine_step ?pool ~nb_states ~signature p =
   { block_of; count = !next }
 
 let refine_until_stable ?pool ~nb_states ~signature p =
+  Mv_obs.Obs.span "bisim.refine" @@ fun () ->
+  let rounds = Mv_obs.Obs.counter "bisim.rounds" in
+  let blocks = Mv_obs.Obs.series "bisim.blocks" in
   let rec loop p =
     let p' = refine_step ?pool ~nb_states ~signature p in
+    Mv_obs.Obs.incr rounds;
+    Mv_obs.Obs.push blocks (float_of_int p'.count);
+    Mv_obs.Obs.progress (fun () ->
+        Printf.sprintf "bisim: %d block(s) over %d state(s)" p'.count
+          nb_states);
     if p'.count = p.count then p' else loop p'
   in
   loop p

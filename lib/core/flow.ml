@@ -3,10 +3,12 @@ module Label = Mv_lts.Label
 module Imc = Mv_imc.Imc
 module To_ctmc = Mv_imc.To_ctmc
 module Ctmc = Mv_markov.Ctmc
+module Obs = Mv_obs.Obs
 
 let model_of_text text = Mv_calc.Parser.spec_of_string_checked text
 
 let generate ?pool ?max_states spec =
+  Obs.span "flow.generate" @@ fun () ->
   Mv_calc.State_space.lts ?pool ?max_states spec
 
 (* Split the top-level parallel/hide skeleton of the initial behaviour
@@ -78,7 +80,7 @@ type performance = {
   imc : Imc.t;
   lumped : Imc.t;
   conversion : To_ctmc.result;
-  steady : float array Lazy.t;
+  steady : (float array * Mv_markov.Solver_stats.t) Lazy.t;
 }
 
 let performance_of_imc ?pool ?(keep = []) ?(scheduler = To_ctmc.Uniform) imc =
@@ -95,21 +97,29 @@ let performance_of_imc ?pool ?(keep = []) ?(scheduler = To_ctmc.Uniform) imc =
     Imc.hide imc ~gates:!gates
   in
   let progressed = Imc.maximal_progress hidden in
-  let lumped = Mv_imc.Lump.minimize progressed in
-  let conversion = To_ctmc.convert ~scheduler lumped in
+  let lumped = Obs.span "flow.lump" (fun () -> Mv_imc.Lump.minimize progressed) in
+  let conversion =
+    Obs.span "flow.to_ctmc" (fun () -> To_ctmc.convert ~scheduler lumped)
+  in
   {
     imc;
     lumped;
     conversion;
-    steady = lazy (Ctmc.steady_state ?pool conversion.To_ctmc.ctmc);
+    steady =
+      lazy
+        (Obs.span "flow.solve" (fun () ->
+             Ctmc.steady_state_stats ?pool conversion.To_ctmc.ctmc));
   }
 
 let performance ?pool ?max_states ?keep ?scheduler spec =
   let lts = generate ?pool ?max_states spec in
   performance_of_imc ?pool ?keep ?scheduler (Imc.of_lts lts)
 
+let steady_vector perf = fst (Lazy.force perf.steady)
+let solver_stats perf = snd (Lazy.force perf.steady)
+
 let throughput perf ~gate =
-  let pi = Lazy.force perf.steady in
+  let pi = steady_vector perf in
   let ctmc = perf.conversion.To_ctmc.ctmc in
   List.fold_left
     (fun acc (action, value) ->
@@ -118,7 +128,7 @@ let throughput perf ~gate =
     (Ctmc.throughputs ctmc ~pi)
 
 let throughputs perf =
-  let pi = Lazy.force perf.steady in
+  let pi = steady_vector perf in
   Ctmc.throughputs perf.conversion.To_ctmc.ctmc ~pi
 
 (* Redirect every transition tagged with an action on [gate] to a
@@ -153,5 +163,5 @@ let probability_by perf ~gate ~horizon =
   Ctmc.reach_probability_by redirected ~targets:[ absorbing ] ~horizon
 
 let expected_reward perf reward =
-  let pi = Lazy.force perf.steady in
+  let pi = steady_vector perf in
   Ctmc.expected_reward perf.conversion.To_ctmc.ctmc ~pi reward

@@ -79,7 +79,8 @@ type performance = {
   imc : Mv_imc.Imc.t; (** decoded from the generated LTS *)
   lumped : Mv_imc.Imc.t; (** after stochastic minimization *)
   conversion : Mv_imc.To_ctmc.result;
-  steady : float array Lazy.t; (** steady-state of the CTMC *)
+  steady : (float array * Mv_markov.Solver_stats.t) Lazy.t;
+  (** steady-state of the CTMC, with the iterative solve's stats *)
 }
 
 (** [performance ?max_states ?keep ?scheduler spec] runs the
@@ -104,6 +105,13 @@ val performance_of_imc :
   ?scheduler:Mv_imc.To_ctmc.scheduler ->
   Mv_imc.Imc.t ->
   performance
+
+(** The steady-state vector (forces the solve). *)
+val steady_vector : performance -> float array
+
+(** Convergence stats of the steady-state solve (forces the solve);
+    check [converged] before trusting the vector. *)
+val solver_stats : performance -> Mv_markov.Solver_stats.t
 
 (** Long-run occurrence rate of actions on gate [gate] (summed over
     offer values). The gate must be in [keep]. *)

@@ -46,6 +46,21 @@ let write_csv ~title ~header rows =
               output_char oc '\n')
            (header :: rows))
 
+let headline ~title items =
+  if items <> [] then begin
+    let width =
+      List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 items
+    in
+    print_newline ();
+    print_endline ("== " ^ title);
+    List.iter
+      (fun (key, value) ->
+         Printf.printf "  %s%s  %s\n" key
+           (String.make (width - String.length key) ' ')
+           value)
+      items
+  end
+
 let table ~title ~header rows =
   List.iter
     (fun row ->

@@ -13,6 +13,11 @@ val table : title:string -> header:string list -> string list list -> unit
     (created if missing); [None] disables mirroring. *)
 val set_csv_dir : string option -> unit
 
+(** [headline ~title items] prints an aligned key/value block (used for
+    the telemetry headline figures of [mval --metrics]); prints nothing
+    when [items] is empty. *)
+val headline : title:string -> (string * string) list -> unit
+
 (** Format a float with 4 significant digits (the precision used in
     experiment tables). *)
 val float_cell : float -> string

@@ -27,6 +27,8 @@ let signatures imc (p : Partition.t) =
 
 let partition imc =
   let n = Imc.nb_states imc in
+  let rounds = Mv_obs.Obs.counter "lump.rounds" in
+  let blocks = Mv_obs.Obs.series "lump.blocks" in
   let rec loop (p : Partition.t) =
     let sigs = signatures imc p in
     let keys = Hashtbl.create 256 in
@@ -46,9 +48,15 @@ let partition imc =
       block_of.(s) <- id
     done;
     let p' : Partition.t = { block_of; count = !next } in
+    Mv_obs.Obs.incr rounds;
+    Mv_obs.Obs.push blocks (float_of_int p'.count);
+    Mv_obs.Obs.progress (fun () ->
+        Printf.sprintf "lump: %d block(s) over %d state(s)" p'.count n);
     if p'.count = p.count then p' else loop p'
   in
   loop (Partition.trivial n)
+
+let partition imc = Mv_obs.Obs.span "imc.lump" (fun () -> partition imc)
 
 let quotient imc (p : Partition.t) =
   let interactive = ref [] in

@@ -60,193 +60,65 @@ let summary ds =
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 
-(* The output is a plain JSON array of flat objects; the reader below
-   parses exactly that subset (arrays, objects, strings, integers,
-   null), which keeps the renderer round-trippable without pulling a
-   JSON dependency into the toolchain. *)
+(* Diagnostics travel as a plain JSON array of flat objects, built on
+   the shared {!Mv_obs.Json} tree so the lint renderer and the
+   observability exporters agree on one interchange format. *)
 
-let escape_string s =
-  let buffer = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string buffer "\\\""
-       | '\\' -> Buffer.add_string buffer "\\\\"
-       | '\n' -> Buffer.add_string buffer "\\n"
-       | '\t' -> Buffer.add_string buffer "\\t"
-       | '\r' -> Buffer.add_string buffer "\\r"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char buffer c)
-    s;
-  Buffer.contents buffer
-
-let to_json ds =
-  let item d =
-    Printf.sprintf
-      "  {\"code\": \"%s\", \"severity\": \"%s\", \"line\": %s, \"message\": \
-       \"%s\"}"
-      (escape_string d.code)
-      (severity_name d.severity)
-      (match d.line with Some l -> string_of_int l | None -> "null")
-      (escape_string d.message)
-  in
-  if ds = [] then "[]\n"
-  else "[\n" ^ String.concat ",\n" (List.map item ds) ^ "\n]\n"
+module Json = Mv_obs.Json
 
 exception Json_error of string
 
-type json =
-  | JString of string
-  | JInt of int
-  | JNull
-  | JList of json list
-  | JObject of (string * json) list
+let json_of_diagnostic d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_name d.severity));
+      ("line", match d.line with Some l -> Json.Int l | None -> Json.Null);
+      ("message", Json.String d.message);
+    ]
 
-let parse_json text =
-  let pos = ref 0 in
-  let len = String.length text in
-  let failf fmt = Printf.ksprintf (fun m -> raise (Json_error m)) fmt in
-  let peek () = if !pos < len then Some text.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | Some c' -> failf "expected %c, found %c at offset %d" c c' !pos
-    | None -> failf "expected %c, found end of input" c
-  in
-  let literal word value =
-    let n = String.length word in
-    if !pos + n <= len && String.sub text !pos n = word then begin
-      pos := !pos + n;
-      value
-    end
-    else failf "invalid literal at offset %d" !pos
-  in
-  let parse_string () =
-    expect '"';
-    let buffer = Buffer.create 16 in
-    let rec loop () =
-      match peek () with
-      | None -> failf "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-         | Some 'n' -> Buffer.add_char buffer '\n'; advance ()
-         | Some 't' -> Buffer.add_char buffer '\t'; advance ()
-         | Some 'r' -> Buffer.add_char buffer '\r'; advance ()
-         | Some 'u' ->
-           advance ();
-           if !pos + 4 > len then failf "truncated \\u escape";
-           let code = int_of_string ("0x" ^ String.sub text !pos 4) in
-           pos := !pos + 4;
-           (* BMP-only: enough for the control characters we emit *)
-           if code < 0x80 then Buffer.add_char buffer (Char.chr code)
-           else Buffer.add_char buffer '?'
-         | Some c -> Buffer.add_char buffer c; advance ()
-         | None -> failf "unterminated escape");
-        loop ()
-      | Some c -> Buffer.add_char buffer c; advance (); loop ()
-    in
-    loop ();
-    Buffer.contents buffer
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> JString (parse_string ())
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin advance (); JList [] end
-      else begin
-        let rec items acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); items (v :: acc)
-          | Some ']' -> advance (); List.rev (v :: acc)
-          | _ -> failf "expected , or ] at offset %d" !pos
-        in
-        JList (items [])
-      end
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin advance (); JObject [] end
-      else begin
-        let rec fields acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); fields ((key, v) :: acc)
-          | Some '}' -> advance (); List.rev ((key, v) :: acc)
-          | _ -> failf "expected , or } at offset %d" !pos
-        in
-        JObject (fields [])
-      end
-    | Some 'n' -> literal "null" JNull
-    | Some ('-' | '0' .. '9') ->
-      let start = !pos in
-      if peek () = Some '-' then advance ();
-      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
-        advance ()
-      done;
-      JInt (int_of_string (String.sub text start (!pos - start)))
-    | Some c -> failf "unexpected character %c at offset %d" c !pos
-    | None -> failf "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then failf "trailing input at offset %d" !pos;
-  v
+let to_json ds = Json.to_string (Json.List (List.map json_of_diagnostic ds))
 
-let of_json text =
+let diagnostic_of_json item =
   let field obj name =
-    match List.assoc_opt name obj with
+    match Json.member name obj with
     | Some v -> v
     | None -> raise (Json_error ("missing field " ^ name))
   in
-  match parse_json text with
-  | JList items ->
-    List.map
-      (function
-        | JObject obj ->
-          let code =
-            match field obj "code" with
-            | JString s -> s
-            | _ -> raise (Json_error "code must be a string")
-          in
-          let severity =
-            match field obj "severity" with
-            | JString s -> (
-                match severity_of_name s with
-                | Some sev -> sev
-                | None -> raise (Json_error ("unknown severity " ^ s)))
-            | _ -> raise (Json_error "severity must be a string")
-          in
-          let line =
-            match field obj "line" with
-            | JInt l -> Some l
-            | JNull -> None
-            | _ -> raise (Json_error "line must be an integer or null")
-          in
-          let message =
-            match field obj "message" with
-            | JString s -> s
-            | _ -> raise (Json_error "message must be a string")
-          in
-          { code; severity; line; message }
-        | _ -> raise (Json_error "expected an array of objects"))
-      items
+  match item with
+  | Json.Obj _ ->
+    let code =
+      match field item "code" with
+      | Json.String s -> s
+      | _ -> raise (Json_error "code must be a string")
+    in
+    let severity =
+      match field item "severity" with
+      | Json.String s -> (
+          match severity_of_name s with
+          | Some sev -> sev
+          | None -> raise (Json_error ("unknown severity " ^ s)))
+      | _ -> raise (Json_error "severity must be a string")
+    in
+    let line =
+      match field item "line" with
+      | Json.Int l -> Some l
+      | Json.Null -> None
+      | _ -> raise (Json_error "line must be an integer or null")
+    in
+    let message =
+      match field item "message" with
+      | Json.String s -> s
+      | _ -> raise (Json_error "message must be a string")
+    in
+    { code; severity; line; message }
+  | _ -> raise (Json_error "expected an array of objects")
+
+let of_json text =
+  let v =
+    try Json.of_string text
+    with Json.Parse_error m -> raise (Json_error m)
+  in
+  match v with
+  | Json.List items -> List.map diagnostic_of_json items
   | _ -> raise (Json_error "expected a JSON array")

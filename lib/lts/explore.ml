@@ -1,5 +1,6 @@
 module Pool = Mv_par.Pool
 module Par = Mv_par.Par
+module Obs = Mv_obs.Obs
 
 module type STATE = sig
   type t
@@ -21,14 +22,20 @@ module Make (S : STATE) = struct
   module Shard_set = Mv_par.Shard_set.Make (S)
 
   let run_sequential ~max_states ~on_truncate ~initial ~successors () =
+    Obs.span "explore" @@ fun () ->
+    let frontier_series = Obs.series "explore.frontier" in
     let ids = Table.create 1024 in
     let states = ref [] in
     let nb = ref 0 in
+    let dedup = ref 0 in
+    let nb_transitions = ref 0 in
     let truncated = ref false in
     let frontier = Queue.create () in
     let id_of state =
       match Table.find_opt ids state with
-      | Some id -> Some id
+      | Some id ->
+        incr dedup;
+        Some id
       | None ->
         if !nb >= max_states then begin
           (match on_truncate with
@@ -50,17 +57,29 @@ module Make (S : STATE) = struct
      | Some _ | None -> assert false);
     let labels = Label.create () in
     let transitions = ref [] in
+    let expansions = ref 0 in
     while not (Queue.is_empty frontier) do
       let src, state = Queue.pop frontier in
+      incr expansions;
+      if !expansions land 1023 = 1 then begin
+        Obs.push frontier_series (float_of_int (Queue.length frontier));
+        Obs.progress (fun () ->
+            Printf.sprintf "explore: %d states, %d transitions, frontier %d"
+              !nb !nb_transitions (Queue.length frontier))
+      end;
       let moves = successors state in
       List.iter
         (fun (label, dst_state) ->
            match id_of dst_state with
            | Some dst ->
+             incr nb_transitions;
              transitions := (src, Label.intern labels label, dst) :: !transitions
            | None -> ())
         moves
     done;
+    Obs.add (Obs.counter "explore.states") !nb;
+    Obs.add (Obs.counter "explore.transitions") !nb_transitions;
+    Obs.add (Obs.counter "explore.dedup_hits") !dedup;
     let states_array = Array.of_list (List.rev !states) in
     let lts = Lts.make ~nb_states:!nb ~initial:0 ~labels !transitions in
     { lts; states = states_array; truncated = !truncated }
@@ -84,6 +103,8 @@ module Make (S : STATE) = struct
      every discovered state was expanded (the closing passes below
      keep expanding the remaining frontier with discovery closed). *)
   let run_parallel pool ~max_states ~on_truncate ~initial ~successors () =
+    Obs.span "explore" @@ fun () ->
+    let frontier_series = Obs.series "explore.frontier" in
     let set = Shard_set.create () in
     let init_id, _ = Shard_set.add set initial in
     let moves : (string * int) array array ref = ref [||] in
@@ -104,6 +125,10 @@ module Make (S : STATE) = struct
       let front = !frontier in
       let is_closed = !closed in
       let nb_front = Array.length front in
+      Obs.push frontier_series (float_of_int nb_front);
+      Obs.progress (fun () ->
+          Printf.sprintf "explore: %d states, frontier %d"
+            (Shard_set.cardinal set) nb_front);
       let chunk_size = max 1 (min 512 ((nb_front / (4 * workers)) + 1)) in
       let nb_chunks = (nb_front + chunk_size - 1) / chunk_size in
       (* per-chunk accumulators: chunk [c] covers range starts at
@@ -178,6 +203,8 @@ module Make (S : STATE) = struct
     assign init_id;
     let labels = Label.create () in
     let transitions = ref [] in
+    let nb_transitions = ref 0 in
+    let dedup = ref 0 in
     let cursor = ref 0 in
     while !cursor < Mv_util.Vec.length order do
       let prov = Mv_util.Vec.get order !cursor in
@@ -186,7 +213,10 @@ module Make (S : STATE) = struct
       Array.iter
         (fun (label, dst_prov) ->
            let dst =
-             if canon.(dst_prov) >= 0 then Some canon.(dst_prov)
+             if canon.(dst_prov) >= 0 then begin
+               incr dedup;
+               Some canon.(dst_prov)
+             end
              else if !nb >= max_states then begin
                truncated := true;
                None
@@ -198,10 +228,14 @@ module Make (S : STATE) = struct
            in
            match dst with
            | Some dst ->
+             incr nb_transitions;
              transitions := (src, Label.intern labels label, dst) :: !transitions
            | None -> ())
         slots.(prov)
     done;
+    Obs.add (Obs.counter "explore.states") !nb;
+    Obs.add (Obs.counter "explore.transitions") !nb_transitions;
+    Obs.add (Obs.counter "explore.dedup_hits") !dedup;
     let states_array =
       Array.init !nb (fun c -> Shard_set.get set (Mv_util.Vec.get order c))
     in

@@ -1,4 +1,5 @@
 module Bitset = Mv_util.Bitset
+module Obs = Mv_obs.Obs
 
 type transition = {
   src : int;
@@ -109,7 +110,7 @@ let steady_state_on_subset t ?pool ?(tolerance = 1e-13)
   | [ s ] ->
     let pi = Array.make t.nb_states 0.0 in
     pi.(s) <- 1.0;
-    pi
+    (pi, Solver_stats.exact)
   | _ ->
     let member = Bitset.of_list t.nb_states subset in
     let incoming = Array.make t.nb_states [] in
@@ -128,6 +129,16 @@ let steady_state_on_subset t ?pool ?(tolerance = 1e-13)
     List.iter (fun s -> pi.(s) <- 1.0 /. float_of_int size) subset;
     let iteration = ref 0 in
     let delta = ref infinity in
+    let residual_series = Obs.series "solver.residual" in
+    let first_delta = ref 0.0 in
+    let record_iteration () =
+      Obs.push residual_series !delta;
+      if !first_delta = 0.0 then first_delta := !delta;
+      if !iteration land 255 = 0 then
+        Obs.progress (fun () ->
+            Printf.sprintf "solve: iteration %d, residual %.3g" !iteration
+              !delta)
+    in
     (match pool with
      | Some pool when Mv_par.Pool.size pool > 1 && size > 64 ->
        let states = Array.of_list subset in
@@ -157,7 +168,8 @@ let steady_state_on_subset t ?pool ?(tolerance = 1e-13)
          if !total > 0.0 then
            Array.iter (fun j -> pi.(j) <- next.(j) /. !total) states
          else Array.iter (fun j -> pi.(j) <- next.(j)) states;
-         incr iteration
+         incr iteration;
+         record_iteration ()
        done
      | _ ->
        while !delta > tolerance && !iteration < max_iterations do
@@ -178,9 +190,27 @@ let steady_state_on_subset t ?pool ?(tolerance = 1e-13)
          List.iter (fun s -> total := !total +. pi.(s)) subset;
          if !total > 0.0 then
            List.iter (fun s -> pi.(s) <- pi.(s) /. !total) subset;
-         incr iteration
+         incr iteration;
+         record_iteration ()
        done);
-    pi
+    Obs.add (Obs.counter "solver.iterations") !iteration;
+    Obs.set (Obs.gauge "solver.final_residual") !delta;
+    (* geometric-mean contraction factor per sweep — a cheap stand-in
+       for the magnitude of the iteration operator's dominant
+       eigenvalue *)
+    if !iteration > 1 && !first_delta > 0.0 && !delta > 0.0 then
+      Obs.set
+        (Obs.gauge "solver.contraction")
+        (Float.exp
+           (Float.log (!delta /. !first_delta)
+            /. float_of_int (!iteration - 1)));
+    ( pi,
+      Solver_stats.
+        {
+          iterations = !iteration;
+          residual = !delta;
+          converged = !delta <= tolerance;
+        } )
 
 (* Probability, from each state, of eventual absorption into a given
    BSCC, via Gauss-Seidel on the embedded chain: a_s = sum p_ss' a_s'. *)
@@ -225,7 +255,9 @@ let absorption_probabilities t bscc_list =
   done;
   prob
 
-let steady_state ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000) t =
+let steady_state_stats ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
+    t =
+  Obs.span "ctmc.steady_state" @@ fun () ->
   let bottom = bsccs t in
   match bottom with
   | [] -> assert false (* every finite digraph has a bottom SCC *)
@@ -234,17 +266,22 @@ let steady_state ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000) t =
   | _ ->
     let reach = absorption_probabilities t bottom in
     let pi = Array.make t.nb_states 0.0 in
+    let stats = ref Solver_stats.exact in
     List.iteri
       (fun k members ->
          let alpha = reach.(k).(t.initial) in
          if alpha > 0.0 then begin
-           let local =
+           let local, local_stats =
              steady_state_on_subset t ?pool ~tolerance ~max_iterations members
            in
+           stats := Solver_stats.combine !stats local_stats;
            List.iter (fun s -> pi.(s) <- pi.(s) +. (alpha *. local.(s))) members
          end)
       bottom;
-    pi
+    (pi, !stats)
+
+let steady_state ?pool ?tolerance ?max_iterations t =
+  fst (steady_state_stats ?pool ?tolerance ?max_iterations t)
 
 let uniformization_matrix t =
   let rates = exit_rates t in

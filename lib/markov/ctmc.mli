@@ -64,6 +64,15 @@ val steady_state :
   t ->
   float array
 
+(** Same, plus the solve's {!Solver_stats.t} (sub-solves over multiple
+    BSCCs are {!Solver_stats.combine}d). *)
+val steady_state_stats :
+  ?pool:Mv_par.Pool.t ->
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  t ->
+  float array * Solver_stats.t
+
 (** {1 Transient analysis} *)
 
 (** [transient t ~horizon] is the state distribution at time [horizon],

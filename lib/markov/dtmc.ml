@@ -38,7 +38,7 @@ let distribution_after t n =
   done;
   !current
 
-let steady_state ?(tolerance = 1e-12) ?(max_iterations = 200_000) t =
+let steady_state_stats ?(tolerance = 1e-12) ?(max_iterations = 200_000) t =
   (* Gauss-Seidel on pi = pi P, i.e. for each j:
      pi_j = (sum_{i<>j} pi_i p_ij) / (1 - p_jj), renormalized each sweep. *)
   let transposed = Sparse.transpose t.matrix in
@@ -62,4 +62,13 @@ let steady_state ?(tolerance = 1e-12) ?(max_iterations = 200_000) t =
     if total > 0.0 then Array.iteri (fun j v -> pi.(j) <- v /. total) pi;
     incr iteration
   done;
-  pi
+  ( pi,
+    Solver_stats.
+      {
+        iterations = !iteration;
+        residual = !delta;
+        converged = !delta <= tolerance;
+      } )
+
+let steady_state ?tolerance ?max_iterations t =
+  fst (steady_state_stats ?tolerance ?max_iterations t)

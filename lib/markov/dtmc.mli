@@ -31,3 +31,7 @@ val distribution_after : t -> int -> float array
     (default [1e-12])
     @param max_iterations default [200_000] *)
 val steady_state : ?tolerance:float -> ?max_iterations:int -> t -> float array
+
+(** Same, plus the solve's {!Solver_stats.t}. *)
+val steady_state_stats :
+  ?tolerance:float -> ?max_iterations:int -> t -> float array * Solver_stats.t

@@ -1,5 +1,11 @@
 exception Singular
 
+type iter_stats = Solver_stats.t = {
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
 let solve a b =
   let n = Array.length a in
   if n = 0 then [||]

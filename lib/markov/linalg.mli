@@ -8,6 +8,15 @@
 
 exception Singular
 
+(** The stats record the iterative solvers ({!Ctmc.steady_state_stats},
+    {!Dtmc.steady_state_stats}) return — re-exported here (equal to
+    {!Solver_stats.t}) so numerical callers need one import. *)
+type iter_stats = Solver_stats.t = {
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
 (** [solve a b] solves [a x = b] by Gaussian elimination with partial
     pivoting. [a] is square, row-major, and is {e not} modified.
     Raises {!Singular} when no pivot exceeds [1e-12]. *)

@@ -1,0 +1,14 @@
+type t = { iterations : int; residual : float; converged : bool }
+
+let exact = { iterations = 0; residual = 0.0; converged = true }
+
+let combine a b =
+  {
+    iterations = a.iterations + b.iterations;
+    residual = max a.residual b.residual;
+    converged = a.converged && b.converged;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "%d iteration(s), residual %g%s" s.iterations s.residual
+    (if s.converged then "" else " (NOT converged)")

@@ -1,0 +1,262 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let escape_string s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buffer "\\\""
+       | '\\' -> Buffer.add_string buffer "\\\\"
+       | '\n' -> Buffer.add_string buffer "\\n"
+       | '\t' -> Buffer.add_string buffer "\\t"
+       | '\r' -> Buffer.add_string buffer "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+(* Shortest float form that survives a round trip and still parses
+   back as a float (a '.' or exponent is forced onto integral
+   values). *)
+let float_repr f =
+  if f <> f || f = infinity || f = neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+let to_string ?(compact = false) v =
+  let buffer = Buffer.create 256 in
+  let indent depth =
+    if not compact then begin
+      Buffer.add_char buffer '\n';
+      Buffer.add_string buffer (String.make (2 * depth) ' ')
+    end
+  in
+  let rec emit depth v =
+    match v with
+    | Null -> Buffer.add_string buffer "null"
+    | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+    | Int i -> Buffer.add_string buffer (string_of_int i)
+    | Float f -> Buffer.add_string buffer (float_repr f)
+    | String s ->
+      Buffer.add_char buffer '"';
+      Buffer.add_string buffer (escape_string s);
+      Buffer.add_char buffer '"'
+    | List [] -> Buffer.add_string buffer "[]"
+    | List items ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i item ->
+           if i > 0 then Buffer.add_char buffer ',';
+           indent (depth + 1);
+           emit (depth + 1) item)
+        items;
+      indent depth;
+      Buffer.add_char buffer ']'
+    | Obj [] -> Buffer.add_string buffer "{}"
+    | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (key, value) ->
+           if i > 0 then Buffer.add_char buffer ',';
+           indent (depth + 1);
+           Buffer.add_char buffer '"';
+           Buffer.add_string buffer (escape_string key);
+           Buffer.add_string buffer "\": ";
+           emit (depth + 1) value)
+        fields;
+      indent depth;
+      Buffer.add_char buffer '}'
+  in
+  emit 0 v;
+  if not compact then Buffer.add_char buffer '\n';
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let utf8_of_code buffer code =
+  if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let of_string text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let failf fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> failf "expected %c, found %c at offset %d" c c' !pos
+    | None -> failf "expected %c, found end of input" c
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub text !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else failf "invalid literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> failf "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some 'n' -> Buffer.add_char buffer '\n'; advance ()
+         | Some 't' -> Buffer.add_char buffer '\t'; advance ()
+         | Some 'r' -> Buffer.add_char buffer '\r'; advance ()
+         | Some 'b' -> Buffer.add_char buffer '\b'; advance ()
+         | Some 'f' -> Buffer.add_char buffer '\012'; advance ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > len then failf "truncated \\u escape";
+           let code =
+             match int_of_string_opt ("0x" ^ String.sub text !pos 4) with
+             | Some c -> c
+             | None -> failf "invalid \\u escape at offset %d" !pos
+           in
+           pos := !pos + 4;
+           utf8_of_code buffer code
+         | Some c -> Buffer.add_char buffer c; advance ()
+         | None -> failf "unterminated escape");
+        loop ()
+      | Some c -> Buffer.add_char buffer c; advance (); loop ()
+    in
+    loop ();
+    Buffer.contents buffer
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+      advance ()
+    done;
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       is_float := true;
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+         advance ()
+       done
+     | _ -> ());
+    let body = String.sub text start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt body with
+      | Some f -> Float f
+      | None -> failf "invalid number %S at offset %d" body start
+    else
+      match int_of_string_opt body with
+      | Some i -> Int i
+      | None -> (
+          (* out of int range: fall back to the float reading *)
+          match float_of_string_opt body with
+          | Some f -> Float f
+          | None -> failf "invalid number %S at offset %d" body start)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); items (v :: acc)
+          | Some ']' -> advance (); List.rev (v :: acc)
+          | _ -> failf "expected , or ] at offset %d" !pos
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); fields ((key, v) :: acc)
+          | Some '}' -> advance (); List.rev ((key, v) :: acc)
+          | _ -> failf "expected , or } at offset %d" !pos
+        in
+        Obj (fields [])
+      end
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> failf "unexpected character %c at offset %d" c !pos
+    | None -> failf "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then failf "trailing input at offset %d" !pos;
+  v
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b

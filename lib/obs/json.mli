@@ -1,0 +1,41 @@
+(** A minimal JSON tree: printer and parser, round-trippable.
+
+    This is the interchange format shared by the observability
+    exporters ([mval --metrics], the Chrome trace file, the bench
+    trajectory) and the lint renderer ([mval lint --json]); keeping it
+    here avoids pulling a JSON dependency into the toolchain. Numbers
+    parsed with a ['.'], an exponent, or a leading sign producing a
+    fraction become {!Float}; all other numbers become {!Int}, and the
+    printer preserves that distinction (floats always carry a ['.'] or
+    an exponent), so [of_string (to_string v) = v] for every value the
+    printer emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [to_string v] renders [v] with a trailing newline. Objects and
+    arrays are pretty-printed one element per line ([compact] puts
+    everything on one line, no trailing newline). Non-finite floats
+    have no JSON representation and are rendered as [null]. *)
+val to_string : ?compact:bool -> t -> string
+
+(** Raises {!Parse_error} on malformed input (with an offset). The
+    accepted grammar is standard JSON; [\u] escapes outside ASCII are
+    decoded to UTF-8. *)
+val of_string : string -> t
+
+(** [member name v] — field lookup in an {!Obj}; [None] when absent or
+    when [v] is not an object. *)
+val member : string -> t -> t option
+
+(** Structural equality (floats compared bitwise via [compare], so
+    round-tripped values — which are never [nan] — compare equal). *)
+val equal : t -> t -> bool

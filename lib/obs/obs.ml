@@ -1,0 +1,487 @@
+(* Process-global telemetry registry. One mutex guards every mutable
+   structure except counters (Atomic) and the enabled flag; the
+   recording paths that run on pool domains (counter bumps, histogram
+   observations, progress repaints) are safe from any domain. *)
+
+module Clock = struct
+  let mutex = Mutex.create ()
+  let last = ref 0L
+
+  let now_ns () =
+    let wall = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+    Mutex.lock mutex;
+    let t = if Int64.compare wall !last > 0 then wall else !last in
+    last := t;
+    Mutex.unlock mutex;
+    t
+
+  let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
+end
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let is_enabled () = Atomic.get enabled_flag
+
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  match f () with
+  | v ->
+    Mutex.unlock mutex;
+    v
+  | exception exn ->
+    Mutex.unlock mutex;
+    raise exn
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; mutable g_value : float }
+
+let nb_buckets = 63
+
+let bucket_of v =
+  if not (v > 0.0) then 0
+  else begin
+    let _, e = Float.frexp v in
+    (* v is in [2^(e-1), 2^e) *)
+    let i = e + 30 in
+    if i < 0 then 0 else if i > nb_buckets - 1 then nb_buckets - 1 else i
+  end
+
+let bucket_lt i =
+  if i >= nb_buckets - 1 then infinity else Float.ldexp 1.0 (i - 30)
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let series_cap = 4096
+
+type series = {
+  s_name : string;
+  s_values : float array;
+  mutable s_length : int;
+  mutable s_stride : int;
+  mutable s_skip : int; (* pushes to drop before the next retained one *)
+  mutable s_total : int;
+}
+
+let kinds : (string, string) Hashtbl.t = Hashtbl.create 64
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let series_table : (string, series) Hashtbl.t = Hashtbl.create 16
+
+let get_or_create table kind name make =
+  locked (fun () ->
+      (match Hashtbl.find_opt kinds name with
+       | Some k when k <> kind ->
+         invalid_arg
+           (Printf.sprintf "Obs: metric %S is a %s, requested as %s" name k
+              kind)
+       | Some _ -> ()
+       | None -> Hashtbl.replace kinds name kind);
+      match Hashtbl.find_opt table name with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.replace table name m;
+        m)
+
+let counter name =
+  get_or_create counters "counter" name (fun () ->
+      { c_name = name; cell = Atomic.make 0 })
+
+let add c n = if is_enabled () && n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+let counter_value c = Atomic.get c.cell
+
+let gauge name =
+  get_or_create gauges "gauge" name (fun () -> { g_name = name; g_value = 0.0 })
+
+let set g v = if is_enabled () then locked (fun () -> g.g_value <- v)
+let gauge_value g = g.g_value
+
+let histogram name =
+  get_or_create histograms "histogram" name (fun () ->
+      {
+        h_name = name;
+        h_buckets = Array.make nb_buckets 0;
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = infinity;
+        h_max = neg_infinity;
+      })
+
+let observe h v =
+  if is_enabled () then
+    locked (fun () ->
+        let b = bucket_of v in
+        h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v)
+
+let series name =
+  get_or_create series_table "series" name (fun () ->
+      {
+        s_name = name;
+        s_values = Array.make series_cap 0.0;
+        s_length = 0;
+        s_stride = 1;
+        s_skip = 0;
+        s_total = 0;
+      })
+
+let push s v =
+  if is_enabled () then
+    locked (fun () ->
+        s.s_total <- s.s_total + 1;
+        if s.s_skip > 0 then s.s_skip <- s.s_skip - 1
+        else begin
+          if s.s_length = series_cap then begin
+            (* decimate: keep every other retained point *)
+            for i = 0 to (series_cap / 2) - 1 do
+              s.s_values.(i) <- s.s_values.(2 * i)
+            done;
+            s.s_length <- series_cap / 2;
+            s.s_stride <- s.s_stride * 2
+          end;
+          s.s_values.(s.s_length) <- v;
+          s.s_length <- s.s_length + 1;
+          s.s_skip <- s.s_stride - 1
+        end)
+
+let series_values s =
+  locked (fun () ->
+      ( s.s_total,
+        s.s_stride,
+        List.init s.s_length (fun i -> s.s_values.(i)) ))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_domain : int;
+  sp_start_ns : int64;
+  sp_dur_ns : int64;
+  sp_args : (string * Json.t) list;
+}
+
+let next_span_id = Atomic.make 0
+let completed_spans : span list ref = ref []
+
+(* per-domain stack of open span ids (innermost first) *)
+let open_stacks : (int, int list) Hashtbl.t = Hashtbl.create 8
+
+let domain_id () = (Domain.self () :> int)
+
+let span ?(args = []) name f =
+  if not (is_enabled ()) then f ()
+  else begin
+    let id = Atomic.fetch_and_add next_span_id 1 in
+    let dom = domain_id () in
+    let parent =
+      locked (fun () ->
+          let stack =
+            Option.value ~default:[] (Hashtbl.find_opt open_stacks dom)
+          in
+          Hashtbl.replace open_stacks dom (id :: stack);
+          match stack with [] -> None | p :: _ -> Some p)
+    in
+    let t0 = Clock.now_ns () in
+    let record () =
+      let t1 = Clock.now_ns () in
+      locked (fun () ->
+          (match Hashtbl.find_opt open_stacks dom with
+           | Some (top :: rest) when top = id ->
+             Hashtbl.replace open_stacks dom rest
+           | Some stack ->
+             Hashtbl.replace open_stacks dom
+               (List.filter (fun i -> i <> id) stack)
+           | None -> ());
+          completed_spans :=
+            {
+              sp_id = id;
+              sp_parent = parent;
+              sp_name = name;
+              sp_domain = dom;
+              sp_start_ns = t0;
+              sp_dur_ns = Int64.sub t1 t0;
+              sp_args = args;
+            }
+            :: !completed_spans)
+    in
+    match f () with
+    | v ->
+      record ();
+      v
+    | exception exn ->
+      record ();
+      raise exn
+  end
+
+let spans () = locked (fun () -> List.rev !completed_spans)
+
+let span_total_s name =
+  List.fold_left
+    (fun acc sp ->
+       if sp.sp_name = name then acc +. (Int64.to_float sp.sp_dur_ns /. 1e9)
+       else acc)
+    0.0 (spans ())
+
+(* ------------------------------------------------------------------ *)
+(* Progress                                                            *)
+
+let progress_flag = Atomic.make false
+let progress_last = ref 0L
+let progress_live = ref false
+
+let set_progress on = Atomic.set progress_flag on
+let progress_enabled () = Atomic.get progress_flag
+
+let progress f =
+  if Atomic.get progress_flag then begin
+    let now = Clock.now_ns () in
+    let msg =
+      locked (fun () ->
+          if Int64.sub now !progress_last >= 200_000_000L then begin
+            progress_last := now;
+            progress_live := true;
+            Some (f ())
+          end
+          else None)
+    in
+    match msg with
+    | Some msg ->
+      Printf.eprintf "\r\027[K%s%!" msg
+    | None -> ()
+  end
+
+let progress_end () =
+  let live =
+    locked (fun () ->
+        let was = !progress_live in
+        progress_live := false;
+        was)
+  in
+  if live then Printf.eprintf "\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Reset                                                               *)
+
+let reset () =
+  Atomic.set enabled_flag false;
+  Atomic.set progress_flag false;
+  locked (fun () ->
+      Hashtbl.reset kinds;
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset histograms;
+      Hashtbl.reset series_table;
+      Hashtbl.reset open_stacks;
+      completed_spans := [];
+      progress_live := false;
+      progress_last := 0L)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let sorted_fold table extract =
+  locked (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, m) -> (name, extract m))
+
+let finite f = if f = infinity || f = neg_infinity || f <> f then 0.0 else f
+
+let histogram_json h =
+  let buckets = ref [] in
+  for i = nb_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      buckets :=
+        Json.Obj
+          [
+            ( "lt",
+              if i = nb_buckets - 1 then Json.Null
+              else Json.Float (bucket_lt i) );
+            ("count", Json.Int h.h_buckets.(i));
+          ]
+        :: !buckets
+  done;
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float (finite h.h_sum));
+      ("min", Json.Float (finite h.h_min));
+      ("max", Json.Float (finite h.h_max));
+      ("buckets", Json.List !buckets);
+    ]
+
+let series_json s =
+  let total, stride, values = series_values s in
+  Json.Obj
+    [
+      ("total", Json.Int total);
+      ("stride", Json.Int stride);
+      ("values", Json.List (List.map (fun v -> Json.Float (finite v)) values));
+    ]
+
+(* aggregate span timings by name: count, total and max seconds *)
+let timings () =
+  let table : (string, int * float * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+       let s = Int64.to_float sp.sp_dur_ns /. 1e9 in
+       let count, total, mx =
+         Option.value ~default:(0, 0.0, 0.0) (Hashtbl.find_opt table sp.sp_name)
+       in
+       Hashtbl.replace table sp.sp_name (count + 1, total +. s, max mx s))
+    (spans ());
+  Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let metrics_json () =
+  Json.Obj
+    [
+      ("schema", Json.String "mv-obs-metrics-v1");
+      ( "counters",
+        Json.Obj
+          (sorted_fold counters (fun c -> Json.Int (Atomic.get c.cell))) );
+      ( "gauges",
+        Json.Obj (sorted_fold gauges (fun g -> Json.Float (finite g.g_value)))
+      );
+      ("histograms", Json.Obj (sorted_fold histograms histogram_json));
+      ("series", Json.Obj (sorted_fold series_table series_json));
+      ( "timings",
+        Json.Obj
+          (List.map
+             (fun (name, (count, total, mx)) ->
+                ( name,
+                  Json.Obj
+                    [
+                      ("count", Json.Int count);
+                      ("total_s", Json.Float (finite total));
+                      ("max_s", Json.Float (finite mx));
+                    ] ))
+             (timings ())) );
+    ]
+
+let trace_json () =
+  let all = spans () in
+  let origin =
+    List.fold_left
+      (fun acc sp -> if Int64.compare sp.sp_start_ns acc < 0 then sp.sp_start_ns else acc)
+      (match all with [] -> 0L | sp :: _ -> sp.sp_start_ns)
+      all
+  in
+  let micro ns = Int64.to_float ns /. 1e3 in
+  let events =
+    List.map
+      (fun sp ->
+         let args =
+           (match sp.sp_parent with
+            | Some p -> [ ("parent", Json.Int p) ]
+            | None -> [])
+           @ sp.sp_args
+         in
+         Json.Obj
+           [
+             ("name", Json.String sp.sp_name);
+             ("cat", Json.String "mv");
+             ("ph", Json.String "X");
+             ("ts", Json.Float (micro (Int64.sub sp.sp_start_ns origin)));
+             ("dur", Json.Float (micro sp.sp_dur_ns));
+             ("pid", Json.Int 1);
+             ("tid", Json.Int sp.sp_domain);
+             ("args", Json.Obj args);
+           ])
+      all
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let summary () =
+  let buffer = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) -> line "counter    %-32s %d" name v)
+    (sorted_fold counters (fun c -> Atomic.get c.cell));
+  List.iter
+    (fun (name, v) -> line "gauge      %-32s %g" name v)
+    (sorted_fold gauges (fun g -> g.g_value));
+  List.iter
+    (fun (name, h) ->
+       line "histogram  %-32s count %d sum %g min %g max %g" name h.h_count
+         (finite h.h_sum) (finite h.h_min) (finite h.h_max))
+    (sorted_fold histograms Fun.id);
+  List.iter
+    (fun (name, s) ->
+       let total, stride, values = series_values s in
+       let last = match List.rev values with [] -> 0.0 | v :: _ -> v in
+       line "series     %-32s %d point(s), stride %d, last %g" name total
+         stride last)
+    (sorted_fold series_table Fun.id);
+  List.iter
+    (fun (name, (count, total, mx)) ->
+       line "span       %-32s %d run(s), total %.4fs, max %.4fs" name count
+         total mx)
+    (timings ());
+  Buffer.contents buffer
+
+let find_counter name =
+  locked (fun () -> Hashtbl.find_opt counters name)
+  |> Option.map (fun c -> Atomic.get c.cell)
+
+let find_gauge name =
+  locked (fun () -> Hashtbl.find_opt gauges name)
+  |> Option.map (fun g -> g.g_value)
+
+let headlines () =
+  let items = ref [] in
+  let add key value = items := (key, value) :: !items in
+  (match find_counter "explore.states" with
+   | Some states when states > 0 ->
+     add "states explored" (string_of_int states);
+     (match find_counter "explore.transitions" with
+      | Some t -> add "transitions" (string_of_int t)
+      | None -> ());
+     let total = span_total_s "explore" in
+     if total > 0.0 then
+       add "states/s" (Printf.sprintf "%.0f" (float_of_int states /. total))
+   | Some _ | None -> ());
+  (match find_counter "solver.iterations" with
+   | Some n when n > 0 ->
+     add "solver iterations" (string_of_int n);
+     (match find_gauge "solver.final_residual" with
+      | Some r -> add "final residual" (Printf.sprintf "%.3g" r)
+      | None -> ());
+     (match find_gauge "solver.contraction" with
+      | Some r when r > 0.0 ->
+        add "contraction/iter" (Printf.sprintf "%.4f" r)
+      | Some _ | None -> ())
+   | Some _ | None -> ());
+  (match find_counter "bisim.rounds" with
+   | Some n when n > 0 -> add "refinement rounds" (string_of_int n)
+   | Some _ | None -> ());
+  (match find_counter "des.events" with
+   | Some n when n > 0 -> add "DES events" (string_of_int n)
+   | Some _ | None -> ());
+  (match find_counter "par.steals" with
+   | Some n -> add "work steals" (string_of_int n)
+   | None -> ());
+  List.rev !items

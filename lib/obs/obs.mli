@@ -1,0 +1,155 @@
+(** Mv_obs: metrics, spans and progress for the whole flow.
+
+    A process-global telemetry registry that every engine in the
+    repository reports into: counters ([Atomic]-backed, safe to bump
+    from pool domains), gauges, histograms with fixed log-scale
+    buckets, bounded series (per-iteration values such as solver
+    residuals, decimated deterministically once they outgrow a cap)
+    and monotonic-clock spans with parent nesting.
+
+    Everything is disabled by default and costs one atomic load per
+    operation; [mval --metrics/--trace/--progress] and the bench
+    harness call {!enable} up front. Recording operations never
+    allocate metric storage when disabled — handles are created
+    eagerly by {!counter} & friends (get-or-create by name), which
+    keeps the hot paths to an array/atomic update.
+
+    Exporters: {!metrics_json} (machine-readable snapshot,
+    round-trippable through {!Json}), {!trace_json} (Chrome
+    trace-event format, loadable by [chrome://tracing] or
+    [https://ui.perfetto.dev]), {!summary} (human text) and
+    {!headlines} (curated key figures for {!Mv_core.Report}-style
+    display). The metric catalogue is documented in
+    doc/observability.md. *)
+
+(** {1 Clock} *)
+
+module Clock : sig
+  (** Monotonic (non-decreasing across all domains) wall-clock
+      nanoseconds. Backed by [Unix.gettimeofday] clamped so that no
+      reading ever goes backwards. *)
+  val now_ns : unit -> int64
+
+  (** Seconds elapsed since [t0] (a {!now_ns} reading). *)
+  val elapsed_s : int64 -> float
+end
+
+(** {1 Lifecycle} *)
+
+(** Turn recording on. Idempotent. *)
+val enable : unit -> unit
+
+val is_enabled : unit -> bool
+
+(** Drop every metric, span and open-span stack and disable recording
+    (for tests and for the bench harness between experiments). *)
+val reset : unit -> unit
+
+(** {1 Metrics} *)
+
+type counter
+type gauge
+type histogram
+type series
+
+(** Get-or-create by name. Two calls with one name return the same
+    metric; one name must keep one kind (a kind clash raises
+    [Invalid_argument]). *)
+val counter : string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Histograms bucket positive values into fixed base-2 log-scale
+    buckets: bucket [i] holds values in [[2^(i-31), 2^(i-30))] for
+    [0 < i < 62]; bucket [0] collects everything below (including
+    non-positive values) and bucket [62] everything above. *)
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+
+(** [bucket_of v] / [bucket_lt i]: the bucket index a value lands in,
+    and a bucket's exclusive upper bound ([infinity] for the last). *)
+val bucket_of : float -> int
+
+val bucket_lt : int -> float
+
+(** A series records successive values (e.g. one residual per solver
+    iteration). The retained shape is deterministic: all values are
+    kept until the cap (4096), then every other retained point is
+    dropped and the sampling stride doubles — so a series always holds
+    value [0], then every [stride]-th pushed value. *)
+val series : string -> series
+
+val push : series -> float -> unit
+
+(** [(total pushed, stride, retained values in push order)]. *)
+val series_values : series -> int * int * float list
+
+(** {1 Spans} *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int option; (** id of the enclosing span, same domain *)
+  sp_name : string;
+  sp_domain : int; (** [Domain.self] of the recording domain *)
+  sp_start_ns : int64;
+  sp_dur_ns : int64;
+  sp_args : (string * Json.t) list;
+}
+
+(** [span name f] runs [f ()] inside a timed span. Nesting is tracked
+    per domain: a span opened while another is open on the same domain
+    records it as its parent. The span is recorded even when [f]
+    raises. When disabled this is just [f ()]. *)
+val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** Completed spans, in completion order. *)
+val spans : unit -> span list
+
+(** Total recorded seconds of completed spans named [name]. *)
+val span_total_s : string -> float
+
+(** {1 Progress} *)
+
+(** [set_progress true] turns on live progress reporting: {!progress}
+    calls then repaint a single stderr line (rate-limited to ~5 Hz).
+    Call {!progress_end} before printing normal output so the line is
+    terminated. *)
+val set_progress : bool -> unit
+
+val progress_enabled : unit -> bool
+
+(** [progress f] — when progress is on and the rate limiter allows,
+    prints [f ()] as the live status line. [f] is not called
+    otherwise. Safe to call from pool domains. *)
+val progress : (unit -> string) -> unit
+
+(** Terminate the live line (no-op when none was printed). *)
+val progress_end : unit -> unit
+
+(** {1 Exporters} *)
+
+(** Snapshot of every metric plus per-span-name aggregate timings:
+    [{"schema": "mv-obs-metrics-v1", "counters": {..}, "gauges": {..},
+    "histograms": {..}, "series": {..}, "timings": {..}}], keys
+    sorted. Round-trips through {!Json.of_string}. *)
+val metrics_json : unit -> Json.t
+
+(** Chrome trace-event JSON: [{"traceEvents": [..]}] with one complete
+    ("ph": "X") event per span, timestamps in microseconds relative to
+    the first span. Load in [chrome://tracing] or Perfetto. *)
+val trace_json : unit -> Json.t
+
+(** Human-readable multi-line dump of the registry (sorted). *)
+val summary : unit -> string
+
+(** Curated key figures (states explored, states/s, solver iterations
+    and residual, DES events, steal counts ...) for headline display;
+    only metrics that were actually recorded appear. *)
+val headlines : unit -> (string * string) list

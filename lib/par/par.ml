@@ -29,6 +29,16 @@ let parallel_chunks ?chunk_size pool ~lo ~hi f =
       in
       go lo
     else begin
+      let module Obs = Mv_obs.Obs in
+      if Obs.is_enabled () then begin
+        Obs.add (Obs.counter "par.chunks") nb_chunks;
+        let sizes = Obs.histogram "par.chunk_size" in
+        for c = 0 to nb_chunks - 1 do
+          let a = lo + (c * chunk) in
+          Obs.observe sizes (float_of_int (min hi (a + chunk) - a))
+        done
+      end;
+      let steals = Obs.counter "par.steals" in
       let deques = Array.init workers (fun _ -> Deque.create ()) in
       for c = nb_chunks - 1 downto 0 do
         (* reverse deal so [pop] serves ranges in ascending order *)
@@ -40,7 +50,9 @@ let parallel_chunks ?chunk_size pool ~lo ~hi f =
             if victim = workers then None
             else
               match Deque.steal deques.((w + victim) mod workers) with
-              | Some _ as item -> item
+              | Some _ as item ->
+                Obs.incr steals;
+                item
               | None -> next (victim + 1)
           in
           let rec drain () =

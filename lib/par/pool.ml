@@ -62,7 +62,7 @@ let create ~domains =
 
 let size pool = pool.size
 
-let run pool f =
+let run_plain pool f =
   if pool.size = 1 then f 0
   else begin
     Mutex.lock pool.mutex;
@@ -90,6 +90,46 @@ let run pool f =
     match own_failure, failure with
     | Some exn, _ | None, Some exn -> raise exn
     | None, None -> ()
+  end
+
+(* When telemetry is on, time each domain's share of the job and fold
+   it into accumulating busy/idle gauges (flushed by the caller's
+   domain once the run is over, so gauge read-modify-write never
+   races). *)
+let run pool f =
+  let module Obs = Mv_obs.Obs in
+  if pool.size = 1 || not (Obs.is_enabled ()) then run_plain pool f
+  else begin
+    let busy = Array.make pool.size 0.0 in
+    let t0 = Obs.Clock.now_ns () in
+    let timed w =
+      let s0 = Obs.Clock.now_ns () in
+      match f w with
+      | () -> busy.(w) <- Obs.Clock.elapsed_s s0
+      | exception exn ->
+        busy.(w) <- Obs.Clock.elapsed_s s0;
+        raise exn
+    in
+    let flush () =
+      let wall = Obs.Clock.elapsed_s t0 in
+      let total_busy = Array.fold_left ( +. ) 0.0 busy in
+      Obs.incr (Obs.counter "par.runs");
+      let accumulate name dt =
+        let g = Obs.gauge name in
+        Obs.set g (Obs.gauge_value g +. dt)
+      in
+      accumulate "par.pool.wall_s" wall;
+      accumulate "par.pool.idle_s"
+        (max 0.0 ((wall *. float_of_int pool.size) -. total_busy));
+      Array.iteri
+        (fun w dt -> accumulate (Printf.sprintf "par.domain%d.busy_s" w) dt)
+        busy
+    in
+    match run_plain pool timed with
+    | () -> flush ()
+    | exception exn ->
+      flush ();
+      raise exn
   end
 
 let shutdown pool =

@@ -1,6 +1,7 @@
 module Imc = Mv_imc.Imc
 module Label = Mv_lts.Label
 module Rng = Mv_util.Rng
+module Obs = Mv_obs.Obs
 
 type stats = { mean : float; stddev : float; replications : int }
 
@@ -34,16 +35,20 @@ let step imc rng state =
     Some (dst, 0.0, action)
 
 let throughput_rng imc ~action ~horizon rng =
+  let events = ref 0 in
   let rec run state time count =
     if time >= horizon then count
     else
       match step imc rng state with
       | None -> count
       | Some (next, delay, crossed) ->
+        incr events;
         let count = if crossed = Some action then count + 1 else count in
         run next (time +. delay) count
   in
-  float_of_int (run (Imc.initial imc) 0.0 0) /. horizon
+  let crossings = run (Imc.initial imc) 0.0 0 in
+  Obs.add (Obs.counter "des.events") !events;
+  float_of_int crossings /. horizon
 
 let throughput imc ~action ~horizon ~seed =
   throughput_rng imc ~action ~horizon (Rng.create seed)
@@ -64,16 +69,33 @@ let statistics samples =
    only on its own stream: running them on a pool gives bit-identical
    statistics to the sequential loop, for any pool size. *)
 let run_replications ?pool ~replications ~seed sample =
+  Obs.span "des.replications" @@ fun () ->
   let rngs = Mv_par.Streams.replications ~seed replications in
   let samples = Array.make replications 0.0 in
+  let wall = Array.make replications 0.0 in
+  let completed = Atomic.make 0 in
+  let run_one =
+    if Obs.is_enabled () || Obs.progress_enabled () then (fun i ->
+      let t0 = Obs.Clock.now_ns () in
+      samples.(i) <- sample rngs.(i);
+      wall.(i) <- Obs.Clock.elapsed_s t0;
+      let k = 1 + Atomic.fetch_and_add completed 1 in
+      Obs.progress (fun () ->
+          Printf.sprintf "sim: %d/%d replication(s)" k replications))
+    else fun i -> samples.(i) <- sample rngs.(i)
+  in
   (match pool with
    | Some pool when Mv_par.Pool.size pool > 1 && replications > 1 ->
-     Mv_par.Par.parallel_for pool ~lo:0 ~hi:replications (fun i ->
-         samples.(i) <- sample rngs.(i))
+     Mv_par.Par.parallel_for pool ~lo:0 ~hi:replications run_one
    | _ ->
      for i = 0 to replications - 1 do
-       samples.(i) <- sample rngs.(i)
+       run_one i
      done);
+  Obs.add (Obs.counter "des.replications") replications;
+  (* pushed in replication order after the (possibly parallel) run, so
+     the series layout does not depend on scheduling *)
+  let timings = Obs.series "des.replication_s" in
+  Array.iter (fun dt -> Obs.push timings dt) wall;
   statistics samples
 
 let throughput_stats ?pool imc ~action ~horizon ~replications ~seed =
@@ -85,15 +107,20 @@ let mean_first_passage ?pool ?(max_time = 1e6) imc ~targets ~replications ~seed
     =
   if replications <= 0 then invalid_arg "Des.mean_first_passage: replications";
   let one_replication rng =
+    let events = ref 0 in
     let rec run state time =
       if targets state then time
       else if time >= max_time then max_time
       else
         match step imc rng state with
         | None -> max_time
-        | Some (next, delay, _) -> run next (time +. delay)
+        | Some (next, delay, _) ->
+          incr events;
+          run next (time +. delay)
     in
-    run (Imc.initial imc) 0.0
+    let passage = run (Imc.initial imc) 0.0 in
+    Obs.add (Obs.counter "des.events") !events;
+    passage
   in
   run_replications ?pool ~replications ~seed one_replication
 

@@ -23,4 +23,5 @@ let () =
       ("faust", Test_faust.suite);
       ("fame", Test_fame.suite);
       ("lint", Test_lint.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,274 @@
+(* Mv_obs: registry semantics, histogram bucketing, series
+   decimation, span nesting, exporter validity, and the instrumented
+   flow end to end. Every test resets the registry first — reset
+   orphans previously obtained handles, so handles are re-acquired
+   after it. *)
+
+module Obs = Mv_obs.Obs
+module Json = Mv_obs.Json
+module Flow = Mv_core.Flow
+
+let fresh () =
+  Obs.reset ();
+  Obs.enable ()
+
+let member name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "missing JSON member %S" name
+
+let test_registry () =
+  fresh ();
+  let c = Obs.counter "t.count" in
+  Alcotest.(check bool) "get-or-create returns the same counter" true
+    (c == Obs.counter "t.count");
+  Obs.incr c;
+  Obs.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 (Obs.counter_value c);
+  let g = Obs.gauge "t.gauge" in
+  Obs.set g 2.5;
+  Obs.set g 1.5;
+  Alcotest.(check (float 0.0)) "gauge keeps last value" 1.5 (Obs.gauge_value g);
+  (try
+     ignore (Obs.gauge "t.count");
+     Alcotest.fail "expected a kind clash"
+   with Invalid_argument _ -> ());
+  Obs.reset ();
+  Alcotest.(check bool) "reset disables" false (Obs.is_enabled ());
+  Obs.enable ();
+  Alcotest.(check int) "reset drops values" 0
+    (Obs.counter_value (Obs.counter "t.count"))
+
+let test_disabled_is_inert () =
+  Obs.reset ();
+  let c = Obs.counter "t.off" and s = Obs.series "t.off.series" in
+  Obs.incr c;
+  Obs.push s 1.0;
+  let r = Obs.span "t.off.span" (fun () -> 17) in
+  Alcotest.(check int) "span still runs the body" 17 r;
+  Alcotest.(check int) "disabled counter" 0 (Obs.counter_value c);
+  let total, _, values = Obs.series_values s in
+  Alcotest.(check int) "disabled series" 0 total;
+  Alcotest.(check (list (float 0.0))) "disabled series values" [] values;
+  Alcotest.(check int) "disabled span not recorded" 0
+    (List.length (Obs.spans ()))
+
+let test_histogram_buckets () =
+  (* interior bucket i covers [2^(i-31), 2^(i-30)); bucket 0 collects
+     non-positives and the left tail, bucket 62 the right tail *)
+  Alcotest.(check int) "zero" 0 (Obs.bucket_of 0.0);
+  Alcotest.(check int) "negative" 0 (Obs.bucket_of (-3.0));
+  Alcotest.(check int) "1.0" 31 (Obs.bucket_of 1.0);
+  Alcotest.(check int) "huge clamps" 62 (Obs.bucket_of 1e40);
+  Alcotest.(check (float 0.0)) "bucket_lt 31" 2.0 (Obs.bucket_lt 31);
+  Alcotest.(check (float 0.0)) "last bound" infinity (Obs.bucket_lt 62);
+  List.iter
+    (fun v ->
+       let i = Obs.bucket_of v in
+       Alcotest.(check bool)
+         (Printf.sprintf "%g below its bucket bound" v)
+         true
+         (v < Obs.bucket_lt i);
+       if i > 0 then
+         Alcotest.(check bool)
+           (Printf.sprintf "%g at or above the previous bound" v)
+           true
+           (v >= Obs.bucket_lt (i - 1)))
+    [ 1e-12; 0.25; 0.9; 1.0; 1.5; 2.0; 3.14; 1024.0; 123456.789 ]
+
+let test_series_decimation () =
+  fresh ();
+  let s = Obs.series "t.series" in
+  for i = 0 to 9_999 do
+    Obs.push s (float_of_int i)
+  done;
+  let total, stride, values = Obs.series_values s in
+  Alcotest.(check int) "total counts every push" 10_000 total;
+  Alcotest.(check bool) "stride grew past 1" true (stride > 1);
+  Alcotest.(check bool) "stride is a power of two" true
+    (stride land (stride - 1) = 0);
+  Alcotest.(check bool) "retained within cap" true (List.length values <= 4096);
+  (* deterministic shape: value k is push number k * stride *)
+  List.iteri
+    (fun k v ->
+       Alcotest.(check (float 0.0))
+         (Printf.sprintf "retained point %d" k)
+         (float_of_int (k * stride))
+         v)
+    values
+
+let test_span_nesting () =
+  fresh ();
+  let inner_result =
+    Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> 42))
+  in
+  Alcotest.(check int) "body result" 42 inner_result;
+  (try
+     Obs.span "failing" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let find name =
+    match List.find_opt (fun sp -> sp.Obs.sp_name = name) (Obs.spans ()) with
+    | Some sp -> sp
+    | None -> Alcotest.failf "span %S not recorded" name
+  in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check (option int)) "outer is a root" None outer.Obs.sp_parent;
+  Alcotest.(check (option int)) "inner nests under outer"
+    (Some outer.Obs.sp_id) inner.Obs.sp_parent;
+  Alcotest.(check bool) "outer at least as long as inner" true
+    (Int64.compare outer.Obs.sp_dur_ns inner.Obs.sp_dur_ns >= 0);
+  let failing = find "failing" in
+  Alcotest.(check (option int)) "exception path still records" None
+    failing.Obs.sp_parent;
+  Alcotest.(check bool) "aggregate covers outer" true
+    (Obs.span_total_s "outer" >= 0.0)
+
+let test_metrics_json_roundtrip () =
+  fresh ();
+  Obs.add (Obs.counter "t.count") 3;
+  Obs.set (Obs.gauge "t.gauge") 0.25;
+  Obs.observe (Obs.histogram "t.hist") 1.5;
+  Obs.push (Obs.series "t.series") 9.0;
+  ignore (Obs.span "t.span" (fun () -> ()));
+  let json = Obs.metrics_json () in
+  Alcotest.(check bool) "schema tag" true
+    (Json.equal (member "schema" json) (Json.String "mv-obs-metrics-v1"));
+  Alcotest.(check bool) "counter exported" true
+    (Json.equal (member "t.count" (member "counters" json)) (Json.Int 3));
+  (match member "t.span" (member "timings" json) with
+   | Json.Obj _ -> ()
+   | _ -> Alcotest.fail "timings entry should be an object");
+  let reparsed = Json.of_string (Json.to_string json) in
+  Alcotest.(check bool) "pretty round-trip" true (Json.equal json reparsed);
+  let compact = Json.of_string (Json.to_string ~compact:true json) in
+  Alcotest.(check bool) "compact round-trip" true (Json.equal json compact)
+
+let test_trace_json () =
+  fresh ();
+  ignore (Obs.span "alpha" (fun () -> Obs.span "beta" (fun () -> ())));
+  let json = Obs.trace_json () in
+  let events =
+    match member "traceEvents" json with
+    | Json.List l -> l
+    | _ -> Alcotest.fail "traceEvents should be an array"
+  in
+  Alcotest.(check int) "one event per span" 2 (List.length events);
+  List.iter
+    (fun event ->
+       Alcotest.(check bool) "complete event" true
+         (Json.equal (member "ph" event) (Json.String "X"));
+       List.iter
+         (fun field ->
+            match member field event with
+            | Json.Float v -> Alcotest.(check bool) field true (v >= 0.0)
+            | _ -> Alcotest.failf "%s should be a non-negative float" field)
+         [ "ts"; "dur" ];
+       List.iter
+         (fun field ->
+            match member field event with
+            | Json.Int n -> Alcotest.(check bool) field true (n >= 0)
+            | _ -> Alcotest.failf "%s should be a non-negative int" field)
+         [ "pid"; "tid" ];
+       match member "name" event with
+       | Json.String _ -> ()
+       | _ -> Alcotest.fail "name should be a string")
+    events;
+  Alcotest.(check bool) "trace round-trips" true
+    (Json.equal json (Json.of_string (Json.to_string json)))
+
+let queue_text =
+  {|
+process Producer := rate 2.0 ; push ; Producer
+process Consumer := pop ; rate 3.0 ; Consumer
+process Queue (n : int[0..3]) :=
+    [n < 3] -> push ; Queue(n + 1)
+ [] [n > 0] -> pop ; Queue(n - 1)
+init (Producer |[push]| Queue(0)) |[pop]| Consumer
+|}
+
+let test_flow_instrumented () =
+  fresh ();
+  let spec = Flow.model_of_text queue_text in
+  let perf = Flow.performance ~keep:[ "pop" ] spec in
+  let throughput = Flow.throughput perf ~gate:"pop" in
+  Alcotest.(check bool) "throughput positive" true (throughput > 0.0);
+  let stats = Flow.solver_stats perf in
+  Alcotest.(check bool) "solver converged" true
+    stats.Mv_markov.Solver_stats.converged;
+  Alcotest.(check bool) "solver iterated" true
+    (stats.Mv_markov.Solver_stats.iterations > 0);
+  Alcotest.(check bool) "explorer counted states" true
+    (Obs.counter_value (Obs.counter "explore.states") > 0);
+  Alcotest.(check bool) "explorer counted transitions" true
+    (Obs.counter_value (Obs.counter "explore.transitions") > 0);
+  Alcotest.(check int) "solver iterations counter matches stats"
+    stats.Mv_markov.Solver_stats.iterations
+    (Obs.counter_value (Obs.counter "solver.iterations"));
+  let total, _, residuals = Obs.series_values (Obs.series "solver.residual") in
+  Alcotest.(check bool) "residual series populated" true (total > 0);
+  Alcotest.(check bool) "residuals decrease overall" true
+    (match (residuals, List.rev residuals) with
+     | first :: _, last :: _ -> last <= first
+     | _ -> false);
+  List.iter
+    (fun name ->
+       Alcotest.(check bool)
+         (Printf.sprintf "span %S recorded" name)
+         true
+         (Obs.span_total_s name > 0.0))
+    [ "explore"; "flow.generate"; "imc.lump"; "ctmc.steady_state"; "flow.solve" ];
+  Alcotest.(check bool) "headlines curated" true
+    (List.mem_assoc "states explored" (Obs.headlines ()))
+
+let test_parallel_matches_sequential () =
+  fresh ();
+  let spec = Flow.model_of_text queue_text in
+  let imc = (Flow.performance ~keep:[ "pop" ] spec).Flow.imc in
+  let stats pool =
+    Mv_sim.Des.throughput_stats ?pool imc ~action:"pop" ~horizon:200.0
+      ~replications:16 ~seed:7L
+  in
+  let sequential = stats None in
+  let parallel =
+    Mv_par.Pool.with_pool ~domains:4 (fun pool -> stats (Some pool))
+  in
+  Alcotest.(check (float 0.0)) "means identical across -j"
+    sequential.Mv_sim.Des.mean parallel.Mv_sim.Des.mean;
+  Alcotest.(check (float 0.0)) "stddevs identical across -j"
+    sequential.Mv_sim.Des.stddev parallel.Mv_sim.Des.stddev;
+  Alcotest.(check bool) "replications counted" true
+    (Obs.counter_value (Obs.counter "des.replications") >= 32);
+  Alcotest.(check bool) "events counted" true
+    (Obs.counter_value (Obs.counter "des.events") > 0);
+  let total, _, walls = Obs.series_values (Obs.series "des.replication_s") in
+  Alcotest.(check bool) "replication wall times recorded" true (total >= 32);
+  List.iter
+    (fun w -> Alcotest.(check bool) "wall times non-negative" true (w >= 0.0))
+    walls;
+  Alcotest.(check bool) "pool accounted busy time" true
+    (Obs.gauge_value (Obs.gauge "par.pool.wall_s") > 0.0)
+
+let cleanup f () =
+  Fun.protect ~finally:Obs.reset f
+
+let suite =
+  [
+    Alcotest.test_case "registry get-or-create, kinds, reset" `Quick
+      (cleanup test_registry);
+    Alcotest.test_case "disabled recording is inert" `Quick
+      (cleanup test_disabled_is_inert);
+    Alcotest.test_case "histogram bucketing" `Quick
+      (cleanup test_histogram_buckets);
+    Alcotest.test_case "series decimation is deterministic" `Quick
+      (cleanup test_series_decimation);
+    Alcotest.test_case "span nesting and exception safety" `Quick
+      (cleanup test_span_nesting);
+    Alcotest.test_case "metrics JSON round-trip" `Quick
+      (cleanup test_metrics_json_roundtrip);
+    Alcotest.test_case "Chrome trace validity" `Quick
+      (cleanup test_trace_json);
+    Alcotest.test_case "instrumented flow end to end" `Quick
+      (cleanup test_flow_instrumented);
+    Alcotest.test_case "parallel replications match sequential" `Slow
+      (cleanup test_parallel_matches_sequential);
+  ]
