@@ -767,6 +767,89 @@ let write_bench_json path =
   Printf.printf "\nwrote %s (%d experiment(s))\n" path
     (List.length !bench_records)
 
+(* ------------------------------------------------------------------ *)
+(* E9: the artifact cache: cold vs warm SVL run                        *)
+
+(* One SVL script over the xSTream tandem, run twice against the same
+   cache directory in a throwaway sandbox. The cold run computes and
+   stores generation, both reductions and the lumping; the warm run
+   replays them from the cache. Steps must report byte-identical
+   descriptions and details across the two runs — the cache only
+   changes where the artifacts come from, never what they are. Uses
+   [timed] so BENCH_multival.json records E9-cold vs E9-warm wall
+   seconds. *)
+let e9_cache () =
+  let dir = Filename.temp_file "mv_e9" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec remove_tree path =
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun entry -> remove_tree (Filename.concat path entry))
+        (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let spec =
+    Mv_xstream.Queues.tandem ~arrival:e2_arrival ~transfer:4.0
+      ~service:e2_service ~capacity1:12 ~capacity2:12
+  in
+  let oc = open_out (Filename.concat dir "tandem.mvl") in
+  output_string oc (Mv_calc.Ast.spec_to_string spec);
+  close_out oc;
+  let script =
+    String.concat "\n"
+      [
+        {|"tandem.aut" = generate "tandem.mvl" hide push ;|};
+        {|"min.mvb" = branching reduction of "tandem.aut" ;|};
+        {|"wmin.mvb" = weak reduction of "tandem.aut" ;|};
+        {|solve "tandem.mvl" keep pop ;|};
+      ]
+  in
+  let cache = Mv_store.Cache.open_dir (Filename.concat dir "cache") in
+  let run () = Mv_core.Svl.run_string ~cache ~dir script in
+  let cold = ref [] and warm = ref [] in
+  timed "E9-cold" (fun () -> cold := run ()) ();
+  timed "E9-warm" (fun () -> warm := run ()) ();
+  let wall name =
+    match List.find_opt (fun (n, _, _, _, _) -> n = name) !bench_records with
+    | Some (_, w, _, _, _) -> w
+    | None -> 0.0
+  in
+  let hits_of step =
+    match step.Mv_core.Svl.outcome with
+    | Mv_core.Svl.Passed { cache = Some { hits; misses }; _ } ->
+      Printf.sprintf "%d/%d" hits (hits + misses)
+    | _ -> "-"
+  in
+  let rows =
+    List.map2
+      (fun c w ->
+         [
+           c.Mv_core.Svl.description;
+           hits_of c;
+           hits_of w;
+           (if
+              c.Mv_core.Svl.detail = w.Mv_core.Svl.detail
+              && c.Mv_core.Svl.description = w.Mv_core.Svl.description
+            then "identical"
+            else "DIFFERS");
+         ])
+      !cold !warm
+  in
+  let cold_s = wall "E9-cold" and warm_s = wall "E9-warm" in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E9  Artifact cache: cold %.3fs vs warm %.3fs (%.1fx) on the \
+          tandem SVL script"
+         cold_s warm_s
+         (if warm_s > 0.0 then cold_s /. warm_s else 0.0))
+    ~header:[ "step"; "cold hits/ops"; "warm hits/ops"; "result" ]
+    rows
+
 let () =
   Obs.enable ();
   let sections =
@@ -794,5 +877,6 @@ let () =
   List.iter
     (fun (name, run) -> if wanted name then timed name run ())
     sections;
+  if wanted "E9" then e9_cache ();
   if wanted "bench" then timed "bench" bechamel_kernels ();
   write_bench_json "BENCH_multival.json"

@@ -6,10 +6,13 @@
    mval check     model.mvl -f "<formula>"   mu-calculus model checking
    mval solve     model.mvl -k pop           performance measures
    mval lint      model.mvl                  static analysis
-   mval info      model.(mvl|aut)            model statistics *)
+   mval info      model.(mvl|aut|mvb)        model statistics
+   mval cache     stats|gc|clear             artifact-cache maintenance *)
 
 module Lts = Mv_lts.Lts
 module Aut = Mv_lts.Aut
+module Mvb = Mv_store.Mvb
+module Cache = Mv_store.Cache
 module Flow = Mv_core.Flow
 
 let read_file path =
@@ -18,10 +21,15 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Load an LTS from either an .aut file or an MVL model. *)
-let load_lts ?pool ?max_states path =
+(* Load an LTS from an .aut or .mvb file, or by generating an MVL
+   model (memoized through the cache when one is given). *)
+let load_lts ?pool ?max_states ?cache path =
   if Filename.check_suffix path ".aut" then Aut.of_string (read_file path)
-  else Flow.generate ?pool ?max_states (Flow.model_of_text (read_file path))
+  else if Filename.check_suffix path ".mvb" then Mvb.read_file path
+  else
+    Flow.Run.generate
+      { Flow.Config.default with pool; max_states; cache }
+      (Flow.model_of_text (read_file path))
 
 (* Run [f] with the pool requested by -j: none for -j 1 (fully
    sequential), one worker domain per core for -j 0. Every command
@@ -39,7 +47,8 @@ let write_lts output lts =
   match output with
   | None -> print_string (Aut.to_string lts)
   | Some path ->
-    Aut.write_file path lts;
+    if Filename.check_suffix path ".mvb" then Mvb.write_file path lts
+    else Aut.write_file path lts;
     Printf.printf "wrote %s (%d states, %d transitions)\n" path
       (Lts.nb_states lts) (Lts.nb_transitions lts)
 
@@ -53,6 +62,9 @@ let handle_errors f =
     exit 2
   | Aut.Parse_error msg ->
     prerr_endline ("aut parse error: " ^ msg);
+    exit 2
+  | Mvb.Corrupt msg ->
+    prerr_endline ("mvb corrupt: " ^ msg);
     exit 2
   | Mv_lts.Explore.Too_many_states n ->
     prerr_endline
@@ -151,13 +163,15 @@ let model_arg =
   Arg.(
     required
     & pos 0 (some file) None
-    & info [] ~docv:"MODEL" ~doc:"MVL model (.mvl) or Aldebaran LTS (.aut).")
+    & info [] ~docv:"MODEL"
+        ~doc:"MVL model (.mvl), Aldebaran LTS (.aut) or binary LTS (.mvb).")
 
 let output_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .aut file (default: stdout).")
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Output file, .aut or .mvb by extension (default: .aut on stdout).")
 
 let max_states_arg =
   Arg.(
@@ -170,10 +184,10 @@ let equivalence_arg =
     value
     & opt
         (enum
-           [ ("strong", `Strong); ("branching", `Branching);
-             ("divbranching", `Divbranching); ("weak", `Weak);
-             ("traces", `Traces) ])
-        `Branching
+           [ ("strong", Flow.Strong); ("branching", Flow.Branching);
+             ("divbranching", Flow.Divbranching); ("weak", Flow.Weak);
+             ("traces", Flow.Traces) ])
+        Flow.Branching
     & info [ "e"; "equivalence" ] ~docv:"EQ"
         ~doc:"Equivalence: $(b,strong), $(b,branching), \
               $(b,divbranching) (divergence-sensitive), $(b,weak) or \
@@ -204,14 +218,29 @@ let no_lint_arg =
           "Skip the static-analysis pass that normally runs on MVL \
            sources before exploration (see $(b,mval lint)).")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "MVAL_CACHE")
+        ~doc:
+          "Content-addressed artifact cache directory (created if \
+           missing). Generation, reduction and lumping results are \
+           memoized there and reused across runs; maintain it with \
+           $(b,mval cache). See doc/store.md.")
+
+let open_cache = Option.map (fun dir -> Cache.open_dir dir)
+
 (* ---- generate ---- *)
 
 let generate_cmd =
-  let run () model output max_states hide jobs no_lint =
+  let run () model output max_states hide jobs no_lint cache =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
+        let cache = open_cache cache in
         with_jobs jobs (fun pool ->
-            let lts = load_lts ?pool ~max_states model in
+            let lts = load_lts ?pool ~max_states ?cache model in
             let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
             write_lts output lts))
   in
@@ -219,26 +248,22 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate the state space of an MVL model")
     Term.(
       const run $ obs_term $ model_arg $ output_arg $ max_states_arg $ hide_arg
-      $ jobs_arg $ no_lint_arg)
+      $ jobs_arg $ no_lint_arg $ cache_arg)
 
 (* ---- minimize ---- *)
 
 let minimize_cmd =
-  let run () model output max_states equivalence hide jobs no_lint =
+  let run () model output max_states equivalence hide jobs no_lint cache =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
+        let cache = open_cache cache in
         with_jobs jobs (fun pool ->
-            let lts = load_lts ?pool ~max_states model in
+            let lts = load_lts ?pool ~max_states ?cache model in
             let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
             let minimized =
-              match equivalence with
-              | `Strong -> Mv_bisim.Strong.minimize ?pool lts
-              | `Branching -> Mv_bisim.Branching.minimize ?pool lts
-              | `Divbranching ->
-                Mv_bisim.Branching.minimize ?pool ~divergence_sensitive:true
-                  lts
-              | `Weak -> Mv_bisim.Weak.minimize ?pool lts
-              | `Traces -> Mv_bisim.Traces.determinize lts
+              Flow.Run.minimize
+                { Flow.Config.default with pool; cache }
+                equivalence lts
             in
             Printf.eprintf "%d -> %d states\n" (Lts.nb_states lts)
               (Lts.nb_states minimized);
@@ -248,7 +273,7 @@ let minimize_cmd =
     (Cmd.info "minimize" ~doc:"Minimize modulo strong or branching bisimulation")
     Term.(
       const run $ obs_term $ model_arg $ output_arg $ max_states_arg
-      $ equivalence_arg $ hide_arg $ jobs_arg $ no_lint_arg)
+      $ equivalence_arg $ hide_arg $ jobs_arg $ no_lint_arg $ cache_arg)
 
 (* ---- compare ---- *)
 
@@ -259,23 +284,19 @@ let compare_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"MODEL2" ~doc:"Second model.")
   in
-  let run () a b max_states equivalence jobs =
+  let run () a b max_states equivalence jobs cache =
     handle_errors (fun () ->
+        let cache = open_cache cache in
         with_jobs jobs (fun pool ->
-            let la = load_lts ?pool ~max_states a
-            and lb = load_lts ?pool ~max_states b in
+            let la = load_lts ?pool ~max_states ?cache a
+            and lb = load_lts ?pool ~max_states ?cache b in
             let equal =
-              match equivalence with
-              | `Strong -> Mv_bisim.Strong.equivalent ?pool la lb
-              | `Branching -> Mv_bisim.Branching.equivalent ?pool la lb
-              | `Divbranching ->
-                Mv_bisim.Branching.equivalent ?pool
-                  ~divergence_sensitive:true la lb
-              | `Weak -> Mv_bisim.Weak.equivalent ?pool la lb
-              | `Traces -> Mv_bisim.Traces.equivalent la lb
+              Flow.Run.equivalent
+                { Flow.Config.default with pool }
+                equivalence la lb
             in
             print_endline (if equal then "equivalent" else "NOT equivalent");
-            if (not equal) && equivalence = `Traces then begin
+            if (not equal) && equivalence = Flow.Traces then begin
               match Mv_bisim.Traces.counterexample la lb with
               | Some trace ->
                 Printf.printf "first model performs: %s\n"
@@ -293,7 +314,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Check two models for bisimulation equivalence")
     Term.(
       const run $ obs_term $ model_arg $ second_arg $ max_states_arg
-      $ equivalence_arg $ jobs_arg)
+      $ equivalence_arg $ jobs_arg $ cache_arg)
 
 (* ---- check ---- *)
 
@@ -403,13 +424,24 @@ let solve_cmd =
              $(b,uniform) (default) or $(b,fail) (reject, as CADP's \
              solvers do).")
   in
-  let run () model max_states keep first scheduler jobs no_lint =
+  let run () model max_states keep first scheduler jobs no_lint cache =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
+        let cache = open_cache cache in
         with_jobs jobs (fun pool ->
             let spec = Flow.model_of_text (read_file model) in
+            let config =
+              {
+                Flow.Config.default with
+                pool;
+                max_states = Some max_states;
+                keep;
+                scheduler;
+                cache;
+              }
+            in
             let perf =
-              try Flow.performance ?pool ~max_states ~keep ~scheduler spec
+              try Flow.Run.performance config spec
               with Mv_imc.To_ctmc.Nondeterministic state ->
                 prerr_endline
                   (Printf.sprintf
@@ -452,7 +484,7 @@ let solve_cmd =
        ~doc:"Run the performance pipeline: IMC, lumping, CTMC, throughputs")
     Term.(
       const run $ obs_term $ model_arg $ max_states_arg $ keep_arg $ first_arg
-      $ scheduler_arg $ jobs_arg $ no_lint_arg)
+      $ scheduler_arg $ jobs_arg $ no_lint_arg $ cache_arg)
 
 (* ---- translate ---- *)
 
@@ -518,29 +550,49 @@ let trace_cmd =
 (* ---- script ---- *)
 
 let script_cmd =
-  let run () model no_lint =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the step results as JSON (schema $(b,mv-svl-steps-v1)) \
+             instead of the human-readable table.")
+  in
+  let run () model no_lint cache json =
     handle_errors (fun () ->
         (try lint_gate ~no_lint (Mv_core.Svl.model_sources_of_file model)
          with Mv_core.Svl.Parse_error msg ->
            prerr_endline ("script parse error: " ^ msg);
            exit 2);
+        let cache = open_cache cache in
         let steps =
-          try Mv_core.Svl.run_file model
+          try Mv_core.Svl.run_file ?cache model
           with Mv_core.Svl.Parse_error msg ->
             prerr_endline ("script parse error: " ^ msg);
             exit 2
         in
-        List.iter
-          (fun step ->
-             Printf.printf "%s %-60s %s\n"
-               (if step.Mv_core.Svl.ok then "[ ok ]" else "[FAIL]")
-               step.Mv_core.Svl.description step.Mv_core.Svl.detail)
-          steps;
+        if json then
+          print_endline (Mv_obs.Json.to_string (Mv_core.Svl.steps_json steps))
+        else
+          List.iter
+            (fun step ->
+               let cache_note =
+                 match step.Mv_core.Svl.outcome with
+                 | Mv_core.Svl.Passed { cache = Some { hits; misses }; _ }
+                   when hits + misses > 0 ->
+                   Printf.sprintf " [cache: %d hit(s), %d miss(es)]" hits misses
+                 | _ -> ""
+               in
+               Printf.printf "%s %-60s %s%s\n"
+                 (if Mv_core.Svl.ok step then "[ ok ]" else "[FAIL]")
+                 step.Mv_core.Svl.description step.Mv_core.Svl.detail
+                 cache_note)
+            steps;
         exit (if Mv_core.Svl.all_ok steps then 0 else 1))
   in
   Cmd.v
     (Cmd.info "script" ~doc:"Run an SVL-style verification script")
-    Term.(const run $ obs_term $ model_arg $ no_lint_arg)
+    Term.(const run $ obs_term $ model_arg $ no_lint_arg $ cache_arg $ json_arg)
 
 (* ---- simulate ---- *)
 
@@ -820,6 +872,83 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Print model statistics")
     Term.(const run $ model_arg $ max_states_arg $ lint_flag)
 
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let require_cache dir =
+    match dir with
+    | Some dir -> Cache.open_dir dir
+    | None ->
+      prerr_endline "no cache directory (use --cache DIR or MVAL_CACHE)";
+      exit 2
+  in
+  let stats_cmd =
+    let json_arg =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:"Print the statistics as JSON (schema $(b,mv-store-stats-v1)).")
+    in
+    let run dir json =
+      handle_errors (fun () ->
+          let cache = require_cache dir in
+          if json then
+            print_endline (Mv_obs.Json.to_string (Cache.stats_json cache))
+          else begin
+            let s = Cache.stats cache in
+            Printf.printf "cache %s\n" (Cache.dir cache);
+            Printf.printf "  entries    %d\n" s.Cache.entries;
+            Printf.printf "  bytes      %d%s\n" s.Cache.bytes
+              (match s.Cache.capacity with
+               | Some cap -> Printf.sprintf " (cap %d)" cap
+               | None -> "");
+            Printf.printf "  hits       %d\n" s.Cache.hits;
+            Printf.printf "  misses     %d\n" s.Cache.misses;
+            Printf.printf "  evictions  %d\n" s.Cache.evictions
+          end)
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print entry count, size and hit/miss totals")
+      Term.(const run $ cache_arg $ json_arg)
+  in
+  let gc_cmd =
+    let max_bytes_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"N"
+            ~doc:"Evict least-recently-used entries down to $(docv) bytes.")
+    in
+    let run dir max_bytes =
+      handle_errors (fun () ->
+          let cache = require_cache dir in
+          let evicted = Cache.gc ?max_bytes cache in
+          Printf.printf "evicted %d entr%s\n" evicted
+            (if evicted = 1 then "y" else "ies"))
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Remove orphaned files and evict LRU entries beyond the cap")
+      Term.(const run $ cache_arg $ max_bytes_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      handle_errors (fun () ->
+          let cache = require_cache dir in
+          let removed = Cache.clear cache in
+          Printf.printf "removed %d entr%s\n" removed
+            (if removed = 1 then "y" else "ies"))
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Remove every cached artifact")
+      Term.(const run $ cache_arg)
+  in
+  let default : unit Term.t = Term.(ret (const (`Help (`Pager, None)))) in
+  Cmd.group ~default
+    (Cmd.info "cache"
+       ~doc:"Inspect and maintain a content-addressed artifact cache")
+    [ stats_cmd; gc_cmd; clear_cmd ]
+
 let () =
   let default : unit Term.t = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -830,4 +959,4 @@ let () =
                    asynchronous architectures (the Multival flow)")
           [ generate_cmd; minimize_cmd; compare_cmd; check_cmd; solve_cmd;
             translate_cmd; trace_cmd; simulate_cmd; script_cmd; lint_cmd;
-            info_cmd ]))
+            info_cmd; cache_cmd ]))

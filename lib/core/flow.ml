@@ -4,41 +4,66 @@ module Imc = Mv_imc.Imc
 module To_ctmc = Mv_imc.To_ctmc
 module Ctmc = Mv_markov.Ctmc
 module Obs = Mv_obs.Obs
+module Cache = Mv_store.Cache
 
 let model_of_text text = Mv_calc.Parser.spec_of_string_checked text
 
-let generate ?pool ?max_states spec =
-  Obs.span "flow.generate" @@ fun () ->
-  Mv_calc.State_space.lts ?pool ?max_states spec
+type equivalence = Strong | Branching | Divbranching | Weak | Traces
 
-(* Split the top-level parallel/hide skeleton of the initial behaviour
-   into a composition network; everything below any other construct is
-   generated as one leaf. *)
-let generate_compositional ?max_states spec =
-  let leaf_counter = ref 0 in
-  let rec decompose (behavior : Mv_calc.Ast.behavior) =
-    match behavior with
-    | Mv_calc.Ast.At (_, inner) -> decompose inner
-    | Mv_calc.Ast.Par (Mv_calc.Ast.Gates gates, a, b) ->
-      Mv_compose.Net.Par (gates, decompose a, decompose b)
-    | Mv_calc.Ast.Hide (gates, inner) ->
-      Mv_compose.Net.Hide (gates, decompose inner)
-    | Mv_calc.Ast.Stop | Mv_calc.Ast.Exit _ | Mv_calc.Ast.Prefix _
-    | Mv_calc.Ast.Rate _ | Mv_calc.Ast.Choice _ | Mv_calc.Ast.Guard _
-    | Mv_calc.Ast.Par (Mv_calc.Ast.All, _, _) | Mv_calc.Ast.Rename _
-    | Mv_calc.Ast.Seq _ | Mv_calc.Ast.Call _ ->
-      incr leaf_counter;
-      let name = Printf.sprintf "component%d" !leaf_counter in
-      Mv_compose.Net.Leaf
-        ( name,
-          Mv_calc.State_space.lts ?max_states
-            { spec with Mv_calc.Ast.init = behavior } )
-  in
-  Mv_compose.Net.evaluate ~strategy:`Compositional
-    (decompose spec.Mv_calc.Ast.init)
+let equivalence_name = function
+  | Strong -> "strong"
+  | Branching -> "branching"
+  | Divbranching -> "divbranching"
+  | Weak -> "weak"
+  | Traces -> "traces"
 
 (* ------------------------------------------------------------------ *)
-(* Verification pipeline                                               *)
+(* Configuration                                                       *)
+
+module Config = struct
+  type t = {
+    pool : Mv_par.Pool.t option;
+    max_states : int option;
+    hide : string list;
+    keep : string list;
+    scheduler : To_ctmc.scheduler;
+    cache : Cache.t option;
+  }
+
+  let default =
+    {
+      pool = None;
+      max_states = None;
+      hide = [];
+      keep = [];
+      scheduler = To_ctmc.Uniform;
+      cache = None;
+    }
+
+  let with_pool pool t = { t with pool }
+  let with_max_states max_states t = { t with max_states = Some max_states }
+  let with_hide hide t = { t with hide }
+  let with_keep keep t = { t with keep }
+  let with_scheduler scheduler t = { t with scheduler }
+  let with_cache cache t = { t with cache }
+end
+
+(* Memoize an LTS-producing operation through the config's cache, if
+   any. The pool is deliberately absent from the key: every parallel
+   engine produces results identical to the sequential one. *)
+let memo (config : Config.t) ~op ~params ~source compute =
+  match config.cache with
+  | None -> compute ()
+  | Some cache -> Cache.memoize_lts cache ~op ~params source compute
+
+let max_states_param (config : Config.t) =
+  ( "max_states",
+    match config.max_states with
+    | Some n -> string_of_int n
+    | None -> "default" )
+
+(* ------------------------------------------------------------------ *)
+(* Result types (shared by Run and the legacy wrappers)                *)
 
 type property_result = {
   property_name : string;
@@ -53,17 +78,191 @@ type verification = {
   results : property_result list;
 }
 
-let verify ?pool ?max_states ?(hide = []) spec properties =
-  let lts = generate ?pool ?max_states spec in
-  let abstracted = if hide = [] then lts else Lts.hide lts ~gates:hide in
-  let minimized = Mv_bisim.Branching.minimize ?pool abstracted in
-  let results =
-    List.map
-      (fun (property_name, formula) ->
-         { property_name; formula; holds = Mv_mcl.Eval.holds lts formula })
-      properties
-  in
-  { lts; minimized; deadlock_states = Lts.deadlocks lts; results }
+type performance = {
+  imc : Imc.t;
+  lumped : Imc.t;
+  conversion : To_ctmc.result;
+  steady : (float array * Mv_markov.Solver_stats.t) Lazy.t;
+}
+
+module Run = struct
+  let generate (config : Config.t) spec =
+    Obs.span "flow.generate" @@ fun () ->
+    memo config ~op:"generate"
+      ~params:[ max_states_param config ]
+      ~source:(Mv_calc.Ast.spec_to_string spec)
+      (fun () ->
+        Mv_calc.State_space.lts ?pool:config.pool ?max_states:config.max_states
+          spec)
+
+  (* Split the top-level parallel/hide skeleton of the initial
+     behaviour into a composition network; everything below any other
+     construct is generated as one leaf. *)
+  let generate_compositional (config : Config.t) spec =
+    let max_states = config.max_states in
+    let evaluate () =
+      let leaf_counter = ref 0 in
+      let rec decompose (behavior : Mv_calc.Ast.behavior) =
+        match behavior with
+        | Mv_calc.Ast.At (_, inner) -> decompose inner
+        | Mv_calc.Ast.Par (Mv_calc.Ast.Gates gates, a, b) ->
+          Mv_compose.Net.Par (gates, decompose a, decompose b)
+        | Mv_calc.Ast.Hide (gates, inner) ->
+          Mv_compose.Net.Hide (gates, decompose inner)
+        | Mv_calc.Ast.Stop | Mv_calc.Ast.Exit _ | Mv_calc.Ast.Prefix _
+        | Mv_calc.Ast.Rate _ | Mv_calc.Ast.Choice _ | Mv_calc.Ast.Guard _
+        | Mv_calc.Ast.Par (Mv_calc.Ast.All, _, _) | Mv_calc.Ast.Rename _
+        | Mv_calc.Ast.Seq _ | Mv_calc.Ast.Call _ ->
+          incr leaf_counter;
+          let name = Printf.sprintf "component%d" !leaf_counter in
+          Mv_compose.Net.Leaf
+            ( name,
+              Mv_calc.State_space.lts ?max_states
+                { spec with Mv_calc.Ast.init = behavior } )
+      in
+      Mv_compose.Net.evaluate ~strategy:`Compositional
+        (decompose spec.Mv_calc.Ast.init)
+    in
+    match config.cache with
+    | None -> evaluate ()
+    | Some cache -> (
+        (* Only the final LTS is cached; on a hit the per-node steps of
+           the original evaluation are gone, so the report carries a
+           single synthetic step and a conservative peak. *)
+        let params = [ max_states_param config ] in
+        let source = Mv_calc.Ast.spec_to_string spec in
+        match
+          Cache.find_lts cache ~op:"generate_compositional" ~params source
+        with
+        | Some result ->
+          {
+            Mv_compose.Net.result;
+            steps =
+              [
+                {
+                  Mv_compose.Net.description = "composition (cache hit)";
+                  states = Lts.nb_states result;
+                  transitions = Lts.nb_transitions result;
+                };
+              ];
+            peak_states = Lts.nb_states result;
+          }
+        | None ->
+          let report = evaluate () in
+          Cache.store_lts cache ~op:"generate_compositional" ~params source
+            report.Mv_compose.Net.result;
+          report)
+
+  let minimize_uncached (config : Config.t) equivalence lts =
+    let pool = config.pool in
+    match equivalence with
+    | Strong -> Mv_bisim.Strong.minimize ?pool lts
+    | Branching -> Mv_bisim.Branching.minimize ?pool lts
+    | Divbranching ->
+      Mv_bisim.Branching.minimize ?pool ~divergence_sensitive:true lts
+    | Weak -> Mv_bisim.Weak.minimize ?pool lts
+    | Traces -> Mv_bisim.Traces.determinize lts
+
+  let minimize (config : Config.t) equivalence lts =
+    memo config ~op:"minimize"
+      ~params:[ ("equivalence", equivalence_name equivalence) ]
+      ~source:(Mv_store.Mvb.to_string lts)
+      (fun () -> minimize_uncached config equivalence lts)
+
+  let equivalent (config : Config.t) equivalence a b =
+    let pool = config.pool in
+    match equivalence with
+    | Strong -> Mv_bisim.Strong.equivalent ?pool a b
+    | Branching -> Mv_bisim.Branching.equivalent ?pool a b
+    | Divbranching ->
+      Mv_bisim.Branching.equivalent ?pool ~divergence_sensitive:true a b
+    | Weak -> Mv_bisim.Weak.equivalent ?pool a b
+    | Traces -> Mv_bisim.Traces.equivalent a b
+
+  let verify (config : Config.t) spec properties =
+    let lts = generate config spec in
+    let abstracted =
+      if config.hide = [] then lts else Lts.hide lts ~gates:config.hide
+    in
+    let minimized = minimize config Branching abstracted in
+    let results =
+      List.map
+        (fun (property_name, formula) ->
+           { property_name; formula; holds = Mv_mcl.Eval.holds lts formula })
+        properties
+    in
+    { lts; minimized; deadlock_states = Lts.deadlocks lts; results }
+
+  (* The lumping quotient is the expensive step of the performance
+     pipeline, so it goes through the cache as well; the IMC crosses
+     the cache as an exact-rate LTS encoding (hex floats survive the
+     round-trip bit-for-bit). *)
+  let lump (config : Config.t) progressed =
+    match config.cache with
+    | None -> Obs.span "flow.lump" (fun () -> Mv_imc.Lump.minimize progressed)
+    | Some cache -> (
+        Obs.span "flow.lump" @@ fun () ->
+        let source = Mv_store.Mvb.to_string (Imc.to_lts ~exact:true progressed) in
+        match Cache.find_lts cache ~op:"lump" source with
+        | Some lts -> Imc.of_lts lts
+        | None ->
+          let lumped = Mv_imc.Lump.minimize progressed in
+          Cache.store_lts cache ~op:"lump" source (Imc.to_lts ~exact:true lumped);
+          lumped)
+
+  let performance_of_imc (config : Config.t) imc =
+    let keep = config.keep in
+    let visible_kept name = List.mem (Label.gate name) keep in
+    let hidden =
+      (* hide every gate not in [keep] *)
+      let labels = Imc.labels imc in
+      let gates = ref [] in
+      for l = 1 to Label.count labels - 1 do
+        let gate = Label.gate (Label.name labels l) in
+        if
+          (not (visible_kept (Label.name labels l)))
+          && not (List.mem gate !gates)
+        then gates := gate :: !gates
+      done;
+      Imc.hide imc ~gates:!gates
+    in
+    let progressed = Imc.maximal_progress hidden in
+    let lumped = lump config progressed in
+    let conversion =
+      Obs.span "flow.to_ctmc" (fun () ->
+          To_ctmc.convert ~scheduler:config.scheduler lumped)
+    in
+    {
+      imc;
+      lumped;
+      conversion;
+      steady =
+        lazy
+          (Obs.span "flow.solve" (fun () ->
+               Ctmc.steady_state_stats ?pool:config.pool
+                 conversion.To_ctmc.ctmc));
+    }
+
+  let performance (config : Config.t) spec =
+    let lts = generate config spec in
+    performance_of_imc config (Imc.of_lts lts)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Legacy entry points (thin wrappers over Run with an ad-hoc config)  *)
+
+let config ?pool ?max_states ?(hide = []) ?(keep = [])
+    ?(scheduler = To_ctmc.Uniform) () =
+  { Config.pool; max_states; hide; keep; scheduler; cache = None }
+
+let generate ?pool ?max_states spec =
+  Run.generate (config ?pool ?max_states ()) spec
+
+let generate_compositional ?max_states spec =
+  Run.generate_compositional (config ?max_states ()) spec
+
+let verify ?pool ?max_states ?hide spec properties =
+  Run.verify (config ?pool ?max_states ?hide ()) spec properties
 
 let all_hold v = List.for_all (fun r -> r.holds) v.results
 
@@ -73,47 +272,11 @@ let action_witness v ~gate =
   Mv_lts.Trace.shortest_to_action v.lts ~action:(fun name ->
       Label.gate name = gate)
 
-(* ------------------------------------------------------------------ *)
-(* Performance pipeline                                                *)
-
-type performance = {
-  imc : Imc.t;
-  lumped : Imc.t;
-  conversion : To_ctmc.result;
-  steady : (float array * Mv_markov.Solver_stats.t) Lazy.t;
-}
-
-let performance_of_imc ?pool ?(keep = []) ?(scheduler = To_ctmc.Uniform) imc =
-  let visible_kept name = List.mem (Label.gate name) keep in
-  let hidden =
-    (* hide every gate not in [keep] *)
-    let labels = Imc.labels imc in
-    let gates = ref [] in
-    for l = 1 to Label.count labels - 1 do
-      let gate = Label.gate (Label.name labels l) in
-      if (not (visible_kept (Label.name labels l))) && not (List.mem gate !gates)
-      then gates := gate :: !gates
-    done;
-    Imc.hide imc ~gates:!gates
-  in
-  let progressed = Imc.maximal_progress hidden in
-  let lumped = Obs.span "flow.lump" (fun () -> Mv_imc.Lump.minimize progressed) in
-  let conversion =
-    Obs.span "flow.to_ctmc" (fun () -> To_ctmc.convert ~scheduler lumped)
-  in
-  {
-    imc;
-    lumped;
-    conversion;
-    steady =
-      lazy
-        (Obs.span "flow.solve" (fun () ->
-             Ctmc.steady_state_stats ?pool conversion.To_ctmc.ctmc));
-  }
+let performance_of_imc ?pool ?keep ?scheduler imc =
+  Run.performance_of_imc (config ?pool ?keep ?scheduler ()) imc
 
 let performance ?pool ?max_states ?keep ?scheduler spec =
-  let lts = generate ?pool ?max_states spec in
-  performance_of_imc ?pool ?keep ?scheduler (Imc.of_lts lts)
+  Run.performance (config ?pool ?max_states ?keep ?scheduler ()) spec
 
 let steady_vector perf = fst (Lazy.force perf.steady)
 let solver_stats perf = snd (Lazy.force perf.steady)

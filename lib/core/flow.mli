@@ -12,31 +12,59 @@
     generated into an IMC, minimized by stochastic lumping, closed
     (hiding + maximal progress), transformed into an action-tagged
     CTMC, and solved for steady-state or time-dependent measures and
-    action throughputs. *)
+    action throughputs.
+
+    Entry points come in two flavours. {!Run} is the canonical API:
+    every pipeline takes a {!Config.t} first, which carries the worker
+    pool, exploration bounds, gate lists, the CTMC scheduler and the
+    {!Mv_store.Cache} handle in one value instead of a drifting set of
+    optional arguments. The top-level functions ({!generate},
+    {!verify}, {!performance}, ...) are kept as thin wrappers for
+    existing callers and examples; new code should use {!Run}. *)
 
 (** {1 Model entry points} *)
 
 (** Parse + resolve + typecheck an MVL source text. *)
 val model_of_text : string -> Mv_calc.Ast.spec
 
-(** State-space generation. [pool] parallelizes the exploration; the
-    resulting LTS is identical to the sequential one (see
-    {!Mv_calc.State_space.generate}). *)
-val generate :
-  ?pool:Mv_par.Pool.t -> ?max_states:int -> Mv_calc.Ast.spec -> Mv_lts.Lts.t
+(** The equivalences the flow can minimize or compare by (also used by
+    {!Svl} scripts and [mval minimize -e]). *)
+type equivalence = Strong | Branching | Divbranching | Weak | Traces
 
-(** Compositional generation (the automated form of the paper's §3
-    approach): the top-level parallel/hide structure of [spec.init] is
-    turned into a composition network whose leaves are generated
-    separately, then combined with minimize-before-compose
-    ({!Mv_compose.Net}). The result is branching-equivalent to
-    {!generate} but the peak intermediate size can be exponentially
-    smaller. Only [|\[...\]|] and [hide] nodes are split; any other
-    construct becomes a leaf. *)
-val generate_compositional :
-  ?max_states:int -> Mv_calc.Ast.spec -> Mv_compose.Net.report
+(** Lower-case name, e.g. ["divbranching"]. *)
+val equivalence_name : equivalence -> string
 
-(** {1 Functional verification} *)
+(** {1 Configuration} *)
+
+module Config : sig
+  (** Everything that parameterizes a pipeline run. Build one with
+      {!default} and the [with_*] helpers:
+      [Config.(default |> with_max_states 100_000 |> with_keep ["get"])]. *)
+  type t = {
+    pool : Mv_par.Pool.t option;
+        (** worker pool for generation, minimization and solving;
+            results are identical at every pool size *)
+    max_states : int option;  (** exploration bound for generation *)
+    hide : string list;  (** gates abstracted to tau ({!Run.verify}) *)
+    keep : string list;
+        (** gates kept visible through the performance pipeline *)
+    scheduler : Mv_imc.To_ctmc.scheduler;
+    cache : Mv_store.Cache.t option;
+        (** artifact cache consulted by {!Run.generate},
+            {!Run.generate_compositional}, {!Run.minimize} and the
+            lumping step of {!Run.performance} *)
+  }
+
+  val default : t
+  val with_pool : Mv_par.Pool.t option -> t -> t
+  val with_max_states : int -> t -> t
+  val with_hide : string list -> t -> t
+  val with_keep : string list -> t -> t
+  val with_scheduler : Mv_imc.To_ctmc.scheduler -> t -> t
+  val with_cache : Mv_store.Cache.t option -> t -> t
+end
+
+(** {1 Results} *)
 
 type property_result = {
   property_name : string;
@@ -45,15 +73,84 @@ type property_result = {
 }
 
 type verification = {
-  lts : Mv_lts.Lts.t; (** generated state space *)
-  minimized : Mv_lts.Lts.t; (** branching-bisimulation quotient *)
-  deadlock_states : int list; (** deadlocks of the full LTS *)
-  results : property_result list; (** checked on the full LTS *)
+  lts : Mv_lts.Lts.t;  (** generated state space *)
+  minimized : Mv_lts.Lts.t;  (** branching-bisimulation quotient *)
+  deadlock_states : int list;  (** deadlocks of the full LTS *)
+  results : property_result list;  (** checked on the full LTS *)
 }
 
-(** [verify ?max_states ?hide spec properties] runs the verification
-    pipeline. [hide] lists gates abstracted to tau before
-    minimization (checking still runs on the unhidden LTS). *)
+type performance = {
+  imc : Mv_imc.Imc.t;  (** decoded from the generated LTS *)
+  lumped : Mv_imc.Imc.t;  (** after stochastic minimization *)
+  conversion : Mv_imc.To_ctmc.result;
+  steady : (float array * Mv_markov.Solver_stats.t) Lazy.t;
+      (** steady-state of the CTMC, with the iterative solve's stats *)
+}
+
+(** {1 The canonical API} *)
+
+module Run : sig
+  (** State-space generation; memoized through [config.cache] keyed on
+      the printed model text and [max_states] (never the pool). *)
+  val generate : Config.t -> Mv_calc.Ast.spec -> Mv_lts.Lts.t
+
+  (** Compositional generation (the automated form of the paper's §3
+      approach): the top-level parallel/hide structure of [spec.init]
+      is turned into a composition network whose leaves are generated
+      separately, then combined with minimize-before-compose
+      ({!Mv_compose.Net}). The result is branching-equivalent to
+      {!generate} but the peak intermediate size can be exponentially
+      smaller. Only [|\[...\]|] and [hide] nodes are split; any other
+      construct becomes a leaf. With a cache, only the final LTS is
+      memoized: a hit returns a report with one synthetic step and
+      [peak_states] equal to the result size. *)
+  val generate_compositional :
+    Config.t -> Mv_calc.Ast.spec -> Mv_compose.Net.report
+
+  (** Quotient by the given equivalence ([Traces] determinizes);
+      memoized through [config.cache] keyed on the input LTS bytes. *)
+  val minimize : Config.t -> equivalence -> Mv_lts.Lts.t -> Mv_lts.Lts.t
+
+  (** Equivalence of two LTSs' initial states (never cached — it is a
+      yes/no answer, not an artifact). *)
+  val equivalent : Config.t -> equivalence -> Mv_lts.Lts.t -> Mv_lts.Lts.t -> bool
+
+  (** The verification pipeline. [config.hide] lists gates abstracted
+      to tau before minimization (checking still runs on the unhidden
+      LTS). *)
+  val verify :
+    Config.t ->
+    Mv_calc.Ast.spec ->
+    (string * Mv_mcl.Formula.t) list ->
+    verification
+
+  (** The performance pipeline. Gates in [config.keep] stay visible
+      through hiding and become the action tags available for
+      throughput queries; every other gate is hidden. When a pool is
+      configured it is captured by the [steady] lazy, so force it
+      (e.g. via {!throughputs}) before shutting the pool down. The
+      lumping step is memoized through [config.cache]. *)
+  val performance : Config.t -> Mv_calc.Ast.spec -> performance
+
+  (** Same pipeline entered at the IMC level (for compositionally
+      built IMCs). *)
+  val performance_of_imc : Config.t -> Mv_imc.Imc.t -> performance
+end
+
+(** {1 Legacy entry points}
+
+    Thin wrappers over {!Run} kept for existing callers; prefer
+    {!Run} with a {!Config.t} in new code. *)
+
+(** Deprecated spelling of {!Run.generate}. *)
+val generate :
+  ?pool:Mv_par.Pool.t -> ?max_states:int -> Mv_calc.Ast.spec -> Mv_lts.Lts.t
+
+(** Deprecated spelling of {!Run.generate_compositional}. *)
+val generate_compositional :
+  ?max_states:int -> Mv_calc.Ast.spec -> Mv_compose.Net.report
+
+(** Deprecated spelling of {!Run.verify}. *)
 val verify :
   ?pool:Mv_par.Pool.t ->
   ?max_states:int ->
@@ -61,6 +158,25 @@ val verify :
   Mv_calc.Ast.spec ->
   (string * Mv_mcl.Formula.t) list ->
   verification
+
+(** Deprecated spelling of {!Run.performance}. *)
+val performance :
+  ?pool:Mv_par.Pool.t ->
+  ?max_states:int ->
+  ?keep:string list ->
+  ?scheduler:Mv_imc.To_ctmc.scheduler ->
+  Mv_calc.Ast.spec ->
+  performance
+
+(** Deprecated spelling of {!Run.performance_of_imc}. *)
+val performance_of_imc :
+  ?pool:Mv_par.Pool.t ->
+  ?keep:string list ->
+  ?scheduler:Mv_imc.To_ctmc.scheduler ->
+  Mv_imc.Imc.t ->
+  performance
+
+(** {1 Accessors} *)
 
 (** [all_hold v]. *)
 val all_hold : verification -> bool
@@ -72,39 +188,6 @@ val deadlock_witness : verification -> Mv_lts.Trace.t option
 (** Shortest trace whose last action is on [gate] ([None] when no such
     action is reachable). *)
 val action_witness : verification -> gate:string -> Mv_lts.Trace.t option
-
-(** {1 Performance evaluation} *)
-
-type performance = {
-  imc : Mv_imc.Imc.t; (** decoded from the generated LTS *)
-  lumped : Mv_imc.Imc.t; (** after stochastic minimization *)
-  conversion : Mv_imc.To_ctmc.result;
-  steady : (float array * Mv_markov.Solver_stats.t) Lazy.t;
-  (** steady-state of the CTMC, with the iterative solve's stats *)
-}
-
-(** [performance ?max_states ?keep ?scheduler spec] runs the
-    performance pipeline. Gates in [keep] stay visible through hiding
-    and become the action tags available for throughput queries; every
-    other gate is hidden. When a [pool] is given it is captured by the
-    [steady] lazy, so force it (e.g. via {!throughputs}) before
-    shutting the pool down. *)
-val performance :
-  ?pool:Mv_par.Pool.t ->
-  ?max_states:int ->
-  ?keep:string list ->
-  ?scheduler:Mv_imc.To_ctmc.scheduler ->
-  Mv_calc.Ast.spec ->
-  performance
-
-(** [performance_of_imc ?keep ?scheduler imc] — same pipeline entered
-    at the IMC level (for compositionally built IMCs). *)
-val performance_of_imc :
-  ?pool:Mv_par.Pool.t ->
-  ?keep:string list ->
-  ?scheduler:Mv_imc.To_ctmc.scheduler ->
-  Mv_imc.Imc.t ->
-  performance
 
 (** The steady-state vector (forces the solve). *)
 val steady_vector : performance -> float array

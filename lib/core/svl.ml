@@ -1,22 +1,39 @@
 module Lex = Mv_util.Lexing_util
 module Lts = Mv_lts.Lts
+module Mvb = Mv_store.Mvb
+module Cache = Mv_store.Cache
+module Json = Mv_obs.Json
 
-type step = { description : string; ok : bool; detail : string }
+type cache_use = { hits : int; misses : int }
+
+type outcome =
+  | Passed of { artifacts : string list; cache : cache_use option }
+  | Failed_check
+  | Hard_error of string
+
+type step = { description : string; outcome : outcome; detail : string }
+
+let ok step =
+  match step.outcome with
+  | Passed _ -> true
+  | Failed_check | Hard_error _ -> false
 
 exception Parse_error of string
 
 (* ------------------------------------------------------------------ *)
 (* Abstract syntax                                                     *)
 
-type equivalence = Strong | Branching | Divbranching | Weak | Traces
-
 type statement =
   | Generate of { target : string; source : string; hide : string list }
-  | Reduction of { target : string; equivalence : equivalence; source : string }
+  | Reduction of {
+      target : string;
+      equivalence : Flow.equivalence;
+      source : string;
+    }
   | Composition of { target : string; left : string; gates : string list; right : string }
   | Hide of { target : string; gates : string list; source : string }
   | Check of { formula : [ `Deadlock | `Formula of string ]; source : string }
-  | Compare of { left : string; right : string; equivalence : equivalence }
+  | Compare of { left : string; right : string; equivalence : Flow.equivalence }
   | Solve of { source : string; keep : string list }
   | Expect_throughput of {
       source : string;
@@ -25,13 +42,6 @@ type statement =
       hi : float;
     }
 
-let equivalence_name = function
-  | Strong -> "strong"
-  | Branching -> "branching"
-  | Divbranching -> "divbranching"
-  | Weak -> "weak"
-  | Traces -> "traces"
-
 (* ------------------------------------------------------------------ *)
 (* Parser                                                              *)
 
@@ -39,11 +49,11 @@ let symbols = [ "|["; "]|"; "=="; "="; ";"; "," ]
 
 let parse_equivalence lex =
   match Lex.next lex with
-  | Lex.Ident "strong" -> Strong
-  | Lex.Ident "branching" -> Branching
-  | Lex.Ident "divbranching" -> Divbranching
-  | Lex.Ident "weak" -> Weak
-  | Lex.Ident "traces" -> Traces
+  | Lex.Ident "strong" -> Flow.Strong
+  | Lex.Ident "branching" -> Flow.Branching
+  | Lex.Ident "divbranching" -> Flow.Divbranching
+  | Lex.Ident "weak" -> Flow.Weak
+  | Lex.Ident "traces" -> Flow.Traces
   | _ -> Lex.error lex "expected an equivalence name"
 
 let expect_string lex what =
@@ -97,11 +107,11 @@ let parse_statement lex =
         ->
         let equivalence =
           match eq with
-          | "strong" -> Strong
-          | "branching" -> Branching
-          | "divbranching" -> Divbranching
-          | "weak" -> Weak
-          | _ -> Traces
+          | "strong" -> Flow.Strong
+          | "branching" -> Flow.Branching
+          | "divbranching" -> Flow.Divbranching
+          | "weak" -> Flow.Weak
+          | _ -> Flow.Traces
         in
         expect_keyword lex "reduction";
         expect_keyword lex "of";
@@ -166,6 +176,33 @@ let parse_script text =
   in
   try loop [] with Lex.Lex_error msg -> raise (Parse_error msg)
 
+(* Every statement's description, available even when executing it
+   fails — a hard error is reported against the real statement, not a
+   generic "script step". *)
+let describe = function
+  | Generate { target; source; _ } ->
+    Printf.sprintf "%S = generate %S" target source
+  | Reduction { target; equivalence; source } ->
+    Printf.sprintf "%S = %s reduction of %S" target
+      (Flow.equivalence_name equivalence) source
+  | Composition { target; left; gates; right } ->
+    Printf.sprintf "%S = composition of %S |[%s]| %S" target left
+      (String.concat "," gates) right
+  | Hide { target; gates; source } ->
+    Printf.sprintf "%S = hide %s in %S" target (String.concat "," gates) source
+  | Check { formula; source } ->
+    let name =
+      match formula with `Deadlock -> "deadlock freedom" | `Formula text -> text
+    in
+    Printf.sprintf "check %s of %S" name source
+  | Compare { left; right; equivalence } ->
+    Printf.sprintf "compare %S == %S modulo %s" left right
+      (Flow.equivalence_name equivalence)
+  | Solve { source; keep } ->
+    Printf.sprintf "solve %S keep %s" source (String.concat "," keep)
+  | Expect_throughput { source; gate; lo; hi } ->
+    Printf.sprintf "expect throughput %s of %S in [%g, %g]" gate source lo hi
+
 (* ------------------------------------------------------------------ *)
 (* Interpreter                                                         *)
 
@@ -175,164 +212,189 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_lts ~dir path =
-  let full = if Filename.is_relative path then Filename.concat dir path else path in
+(* Inputs and outputs resolve against the script directory alike. *)
+let resolve ~dir path =
+  if Filename.is_relative path then Filename.concat dir path else path
+
+let load_lts ~config ~dir path =
+  let full = resolve ~dir path in
   if Filename.check_suffix full ".aut" then Mv_lts.Aut.of_string (read_file full)
-  else Flow.generate (Flow.model_of_text (read_file full))
+  else if Filename.check_suffix full ".mvb" then Mvb.read_file full
+  else Flow.Run.generate config (Flow.model_of_text (read_file full))
+
+let load_model ~dir path = Flow.model_of_text (read_file (resolve ~dir path))
 
 let single_to_double_quotes text =
   String.map (fun c -> if c = '\'' then '"' else c) text
 
-let minimize equivalence lts =
-  match equivalence with
-  | Strong -> Mv_bisim.Strong.minimize lts
-  | Branching -> Mv_bisim.Branching.minimize lts
-  | Divbranching -> Mv_bisim.Branching.minimize ~divergence_sensitive:true lts
-  | Weak -> Mv_bisim.Weak.minimize lts
-  | Traces -> Mv_bisim.Traces.determinize lts
-
-let equivalent equivalence a b =
-  match equivalence with
-  | Strong -> Mv_bisim.Strong.equivalent a b
-  | Branching -> Mv_bisim.Branching.equivalent a b
-  | Divbranching -> Mv_bisim.Branching.equivalent ~divergence_sensitive:true a b
-  | Weak -> Mv_bisim.Weak.equivalent a b
-  | Traces -> Mv_bisim.Traces.equivalent a b
-
 let save ~dir path lts =
-  let full = if Filename.is_relative path then Filename.concat dir path else path in
-  Mv_lts.Aut.write_file full lts
+  let full = resolve ~dir path in
+  if Filename.check_suffix full ".mvb" then Mvb.write_file full lts
+  else Mv_lts.Aut.write_file full lts;
+  full
 
-let execute_expect ~dir ~source ~gate ~lo ~hi =
-  let full =
-    if Filename.is_relative source then Filename.concat dir source else source
-  in
-  let perf =
-    Flow.performance ~keep:[ gate ] (Flow.model_of_text (read_file full))
-  in
-  let value = Flow.throughput perf ~gate in
-  let ok = value >= lo && value <= hi in
-  {
-    description =
-      Printf.sprintf "expect throughput %s of %S in [%g, %g]" gate source lo hi;
-    ok;
-    detail = Printf.sprintf "%.6g%s" value (if ok then "" else " OUT OF RANGE");
-  }
+(* What execute computes; the run loop turns it into a [step] by
+   adding the description and the cache-session delta. *)
+type result = { passed : bool; artifacts : string list; detail : string }
 
-let execute ~dir statement =
+let passed ?(artifacts = []) detail = { passed = true; artifacts; detail }
+
+let execute ~config ~dir statement =
   match statement with
   | Expect_throughput { source; gate; lo; hi } ->
-    execute_expect ~dir ~source ~gate ~lo ~hi
+    let perf =
+      Flow.Run.performance
+        (Flow.Config.with_keep [ gate ] config)
+        (load_model ~dir source)
+    in
+    let value = Flow.throughput perf ~gate in
+    let ok = value >= lo && value <= hi in
+    {
+      passed = ok;
+      artifacts = [];
+      detail = Printf.sprintf "%.6g%s" value (if ok then "" else " OUT OF RANGE");
+    }
   | Generate { target; source; hide } ->
-    let lts = load_lts ~dir source in
+    let lts = load_lts ~config ~dir source in
     let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
-    save ~dir target lts;
-    {
-      description = Printf.sprintf "%S = generate %S" target source;
-      ok = true;
-      detail =
-        Printf.sprintf "%d states, %d transitions" (Lts.nb_states lts)
-          (Lts.nb_transitions lts);
-    }
+    passed
+      ~artifacts:[ save ~dir target lts ]
+      (Printf.sprintf "%d states, %d transitions" (Lts.nb_states lts)
+         (Lts.nb_transitions lts))
   | Reduction { target; equivalence; source } ->
-    let lts = load_lts ~dir source in
-    let reduced = minimize equivalence lts in
-    save ~dir target reduced;
-    {
-      description =
-        Printf.sprintf "%S = %s reduction of %S" target
-          (equivalence_name equivalence) source;
-      ok = true;
-      detail =
-        Printf.sprintf "%d -> %d states" (Lts.nb_states lts)
-          (Lts.nb_states reduced);
-    }
+    let lts = load_lts ~config ~dir source in
+    let reduced = Flow.Run.minimize config equivalence lts in
+    passed
+      ~artifacts:[ save ~dir target reduced ]
+      (Printf.sprintf "%d -> %d states" (Lts.nb_states lts)
+         (Lts.nb_states reduced))
   | Composition { target; left; gates; right } ->
     let product =
-      Mv_compose.Parallel.compose ~sync:gates (load_lts ~dir left)
-        (load_lts ~dir right)
+      Mv_compose.Parallel.compose ~sync:gates
+        (load_lts ~config ~dir left)
+        (load_lts ~config ~dir right)
     in
-    save ~dir target product;
-    {
-      description =
-        Printf.sprintf "%S = composition of %S |[%s]| %S" target left
-          (String.concat "," gates) right;
-      ok = true;
-      detail = Printf.sprintf "%d states" (Lts.nb_states product);
-    }
+    passed
+      ~artifacts:[ save ~dir target product ]
+      (Printf.sprintf "%d states" (Lts.nb_states product))
   | Hide { target; gates; source } ->
-    let lts = Lts.hide (load_lts ~dir source) ~gates in
-    save ~dir target lts;
-    {
-      description =
-        Printf.sprintf "%S = hide %s in %S" target (String.concat "," gates)
-          source;
-      ok = true;
-      detail = Printf.sprintf "%d states" (Lts.nb_states lts);
-    }
+    let lts = Lts.hide (load_lts ~config ~dir source) ~gates in
+    passed
+      ~artifacts:[ save ~dir target lts ]
+      (Printf.sprintf "%d states" (Lts.nb_states lts))
   | Check { formula; source } ->
-    let lts = load_lts ~dir source in
-    let name, parsed =
+    let lts = load_lts ~config ~dir source in
+    let parsed =
       match formula with
-      | `Deadlock -> ("deadlock freedom", Mv_mcl.Formula.Macro.deadlock_free)
+      | `Deadlock -> Mv_mcl.Formula.Macro.deadlock_free
       | `Formula text ->
-        (text, Mv_mcl.Parser.formula_of_string (single_to_double_quotes text))
+        Mv_mcl.Parser.formula_of_string (single_to_double_quotes text)
     in
     let holds = Mv_mcl.Eval.holds lts parsed in
     {
-      description = Printf.sprintf "check %s of %S" name source;
-      ok = holds;
+      passed = holds;
+      artifacts = [];
       detail = (if holds then "holds" else "VIOLATED");
     }
   | Compare { left; right; equivalence } ->
-    let la = load_lts ~dir left and lb = load_lts ~dir right in
-    let equal = equivalent equivalence la lb in
+    let la = load_lts ~config ~dir left
+    and lb = load_lts ~config ~dir right in
+    let equal = Flow.Run.equivalent config equivalence la lb in
     {
-      description =
-        Printf.sprintf "compare %S == %S modulo %s" left right
-          (equivalence_name equivalence);
-      ok = equal;
+      passed = equal;
+      artifacts = [];
       detail = (if equal then "equivalent" else "NOT equivalent");
     }
   | Solve { source; keep } ->
-    let full =
-      if Filename.is_relative source then Filename.concat dir source else source
+    let perf =
+      Flow.Run.performance
+        (Flow.Config.with_keep keep config)
+        (load_model ~dir source)
     in
-    let perf = Flow.performance ~keep (Flow.model_of_text (read_file full)) in
     let throughputs = Flow.throughputs perf in
-    {
-      description = Printf.sprintf "solve %S keep %s" source (String.concat "," keep);
-      ok = true;
-      detail =
-        String.concat "; "
-          (List.map
-             (fun (action, value) -> Printf.sprintf "%s: %.6g" action value)
-             throughputs);
-    }
+    passed
+      (String.concat "; "
+         (List.map
+            (fun (action, value) -> Printf.sprintf "%s: %.6g" action value)
+            throughputs))
 
-let run_string ?(dir = ".") text =
+let run_string ?cache ?(dir = ".") text =
   let statements = parse_script text in
+  let config = Flow.Config.with_cache cache Flow.Config.default in
+  let session () = match cache with Some c -> Cache.session c | None -> (0, 0) in
   let rec loop acc = function
     | [] -> List.rev acc
     | statement :: rest -> (
-        match execute ~dir statement with
-        | step -> loop (step :: acc) rest
+        let description = describe statement in
+        let hits0, misses0 = session () in
+        match execute ~config ~dir statement with
+        | result ->
+          let cache_use =
+            match cache with
+            | None -> None
+            | Some _ ->
+              let hits, misses = session () in
+              Some { hits = hits - hits0; misses = misses - misses0 }
+          in
+          let outcome =
+            if result.passed then
+              Passed { artifacts = result.artifacts; cache = cache_use }
+            else Failed_check
+          in
+          loop ({ description; outcome; detail = result.detail } :: acc) rest
         | exception exn ->
-          (* hard error: report and stop *)
+          (* hard error: report against the real statement and stop *)
+          let message = Printexc.to_string exn in
           let step =
-            {
-              description = "script step";
-              ok = false;
-              detail = Printexc.to_string exn;
-            }
+            { description; outcome = Hard_error message; detail = message }
           in
           List.rev (step :: acc))
   in
   loop [] statements
 
-let run_file path =
+let run_file ?cache path =
   let text = read_file path in
-  run_string ~dir:(Filename.dirname path) text
+  run_string ?cache ~dir:(Filename.dirname path) text
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+
+let step_json step =
+  let artifacts, cache_field =
+    match step.outcome with
+    | Passed { artifacts; cache } ->
+      ( artifacts,
+        match cache with
+        | None -> Json.Null
+        | Some c ->
+          Json.Obj [ ("hits", Json.Int c.hits); ("misses", Json.Int c.misses) ]
+      )
+    | Failed_check | Hard_error _ -> ([], Json.Null)
+  in
+  let tag =
+    match step.outcome with
+    | Passed _ -> "passed"
+    | Failed_check -> "failed"
+    | Hard_error _ -> "error"
+  in
+  Json.Obj
+    [
+      ("description", Json.String step.description);
+      ("outcome", Json.String tag);
+      ("detail", Json.String step.detail);
+      ("artifacts", Json.List (List.map (fun p -> Json.String p) artifacts));
+      ("cache", cache_field);
+    ]
+
+let steps_json steps =
+  Json.Obj
+    [
+      ("schema", Json.String "mv-svl-steps-v1");
+      ("steps", Json.List (List.map step_json steps));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Static queries                                                      *)
 
 let model_sources_of_string ?(dir = ".") text =
   let sources_of = function
@@ -345,12 +407,11 @@ let model_sources_of_string ?(dir = ".") text =
     | Composition { left; right; _ } | Compare { left; right; _ } ->
       [ left; right ]
   in
-  let resolve p = if Filename.is_relative p then Filename.concat dir p else p in
   let seen = Hashtbl.create 8 in
   List.filter_map
     (fun p ->
        if Filename.check_suffix p ".mvl" then begin
-         let full = resolve p in
+         let full = resolve ~dir p in
          if Hashtbl.mem seen full then None
          else begin
            Hashtbl.add seen full ();
@@ -363,4 +424,4 @@ let model_sources_of_string ?(dir = ".") text =
 let model_sources_of_file path =
   model_sources_of_string ~dir:(Filename.dirname path) (read_file path)
 
-let all_ok steps = List.for_all (fun s -> s.ok) steps
+let all_ok steps = List.for_all ok steps

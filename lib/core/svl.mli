@@ -2,8 +2,8 @@
 
     CADP orchestrates its tools with SVL scripts; this is the
     equivalent for the Multival flow: a small declarative language
-    whose values are model files on disk ([.mvl] sources or [.aut]
-    LTSs). One statement per step, separated by [;]:
+    whose values are model files on disk ([.mvl] sources, [.aut] or
+    [.mvb] LTSs). One statement per step, separated by [;]:
 
     {v
     (* generation, with optional hiding *)
@@ -32,33 +32,70 @@
 
     Mu-calculus formulas are quoted like file names; inside them, use
     single quotes for action labels (['error !1']) — they are converted
-    to the double quotes the formula parser expects. Relative paths are
-    resolved against the script's directory. Comments are [(* ... *)]. *)
+    to the double quotes the formula parser expects. Relative paths
+    (inputs and outputs alike) are resolved against the script's
+    directory. Comments are [(* ... *)].
+
+    With a {!Mv_store.Cache}, generation, reduction and the lumping
+    inside [solve]/[expect] are memoized; each step's {!outcome}
+    records how many cache hits and misses it incurred, so a warm
+    rerun is observably identical except for the hit counts. *)
+
+(** Cache traffic attributable to one step. *)
+type cache_use = { hits : int; misses : int }
+
+(** How a step ended. [Passed] carries the files the step wrote
+    (resolved paths, in write order) and its cache traffic ([None]
+    when no cache was configured). [Failed_check] is a check, compare
+    or expect whose answer was "no" — execution continues.
+    [Hard_error] (unreadable file, parse error, unwritable target
+    directory, ...) carries the exception text and stops the
+    script. *)
+type outcome =
+  | Passed of { artifacts : string list; cache : cache_use option }
+  | Failed_check
+  | Hard_error of string
 
 type step = {
   description : string;
-  ok : bool;
+  outcome : outcome;
   detail : string; (** human-readable result or error *)
 }
+
+(** [ok step] — true iff the step {!Passed}. *)
+val ok : step -> bool
 
 exception Parse_error of string
 
 (** Run a script from text. [dir] anchors relative paths (default:
-    current directory). Execution continues past failed checks but
-    stops at the first hard error (unreadable file, parse error in a
-    model), which is reported as a failed step. *)
-val run_string : ?dir:string -> string -> step list
+    current directory). [cache] memoizes generation/reduction/lumping
+    through {!Flow.Run}. Execution continues past failed checks but
+    stops at the first hard error, which is reported as a
+    [Hard_error] step carrying the real statement description. *)
+val run_string : ?cache:Mv_store.Cache.t -> ?dir:string -> string -> step list
 
 (** Run a script file (paths resolve against its directory). *)
-val run_file : string -> step list
+val run_file : ?cache:Mv_store.Cache.t -> string -> step list
 
 (** [all_ok steps]. *)
 val all_ok : step list -> bool
 
+(** {1 JSON rendering (schema [mv-svl-steps-v1])}
+
+    [steps_json] wraps the step objects as
+    [{"schema": "mv-svl-steps-v1", "steps": [...]}]. Each step object
+    has ["description"], ["outcome"] (["passed"] | ["failed"] |
+    ["error"]), ["detail"], ["artifacts"] (list of paths, empty unless
+    passed) and ["cache"] ([null] or [{"hits", "misses"}]). *)
+val step_json : step -> Mv_obs.Json.t
+
+val steps_json : step list -> Mv_obs.Json.t
+
 (** The [.mvl] model sources a script references, resolved against
     [dir] (default: current directory), deduplicated in first-use
-    order. [.aut] files are omitted. [mval script] lints these before
-    running the script. Raises {!Parse_error} on a malformed script. *)
+    order. [.aut]/[.mvb] files are omitted. [mval script] lints these
+    before running the script. Raises {!Parse_error} on a malformed
+    script. *)
 val model_sources_of_string : ?dir:string -> string -> string list
 
 (** {!model_sources_of_string} on a script file, resolving against its

@@ -16,7 +16,8 @@ let spec variant topology implementation ~size ~rates =
 
 let round_latency variant topology implementation ~size ~rates =
   let model = spec variant topology implementation ~size ~rates in
-  let perf = Mv_core.Flow.performance ~keep:[ "round" ] model in
+  let perf = Mv_core.Flow.Run.performance
+    Mv_core.Flow.Config.(default |> with_keep [ "round" ]) model in
   1.0 /. Mv_core.Flow.throughput perf ~gate:"round"
 
 let barrier_latency variant topology ~rates =
@@ -30,7 +31,8 @@ let barrier_latency variant topology ~rates =
         (if Topology.contended topology then "(Net |[bgxfer]| Bg)" else "Net")
   in
   let model = Mv_calc.Parser.spec_of_string_checked text in
-  let perf = Mv_core.Flow.performance ~keep:[ "round" ] model in
+  let perf = Mv_core.Flow.Run.performance
+    Mv_core.Flow.Config.(default |> with_keep [ "round" ]) model in
   1.0 /. Mv_core.Flow.throughput perf ~gate:"round"
 
 let latency_lower_bound variant topology implementation ~size ~rates =

@@ -207,7 +207,8 @@ process NetServe [link] (h : int[0..%d]) :=
 
 let iteration_latency ~programs topology ~rates =
   let model = spec ~programs topology ~rates in
-  let perf = Mv_core.Flow.performance ~keep:[ "round" ] model in
+  let perf = Mv_core.Flow.Run.performance
+    Mv_core.Flow.Config.(default |> with_keep [ "round" ]) model in
   1.0 /. Mv_core.Flow.throughput perf ~gate:"round"
 
 (* ---- prebuilt benchmarks ---- *)

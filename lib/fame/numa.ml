@@ -174,5 +174,6 @@ process Serve (h : int[0..%d]) :=
 
 let latency ~nodes topology benchmark ~rates =
   let model = spec ~nodes topology benchmark ~rates in
-  let perf = Mv_core.Flow.performance ~keep:[ "round" ] model in
+  let perf = Mv_core.Flow.Run.performance
+    Mv_core.Flow.Config.(default |> with_keep [ "round" ]) model in
   1.0 /. Mv_core.Flow.throughput perf ~gate:"round"

@@ -70,6 +70,7 @@ let hop_chain_spec ~hops ~inject ~hop_rate ~cross =
 
 let mean_packet_latency ~hops ~inject ~hop_rate ~cross =
   let spec = hop_chain_spec ~hops ~inject ~hop_rate ~cross in
-  let perf = Mv_core.Flow.performance ~keep:[ "deliver" ] spec in
+  let perf = Mv_core.Flow.Run.performance
+    Mv_core.Flow.Config.(default |> with_keep [ "deliver" ]) spec in
   let throughput = Mv_core.Flow.throughput perf ~gate:"deliver" in
   (1.0 /. throughput) -. (1.0 /. inject)

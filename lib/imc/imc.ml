@@ -96,12 +96,13 @@ let of_lts lts =
   make ~nb_states:(Lts.nb_states lts) ~initial:(Lts.initial lts) ~labels
     ~interactive:!interactive ~markovian:!markovian
 
-let to_lts t =
+let to_lts ?(exact = false) t =
   let labels = Label.copy t.labels in
+  let rate_format : (_, _, _) format = if exact then "%s %h" else "%s %.12g" in
   let transitions = ref [] in
   iter_interactive t (fun s l d -> transitions := (s, l, d) :: !transitions);
   iter_markovian t (fun s r d ->
-      let name = Printf.sprintf "%s %.12g" rate_gate r in
+      let name = Printf.sprintf rate_format rate_gate r in
       transitions := (s, Label.intern labels name, d) :: !transitions);
   Lts.make ~nb_states:t.nb_states ~initial:t.initial ~labels !transitions
 

@@ -48,8 +48,12 @@ val rate_gate : string
 val of_lts : Mv_lts.Lts.t -> t
 
 (** [to_lts imc] encodes Markovian transitions back into
-    ["rate <lambda>"] labels (used to reuse LTS-level algorithms). *)
-val to_lts : t -> Mv_lts.Lts.t
+    ["rate <lambda>"] labels (used to reuse LTS-level algorithms).
+    Rates print as [%.12g] by default; [~exact:true] prints hex floats
+    ([%h]), which {!of_lts} parses back bit-identically — required
+    when the LTS is a storage format (the {!Mv_store} cache) rather
+    than a display format. *)
+val to_lts : ?exact:bool -> t -> Mv_lts.Lts.t
 
 (** {1 Operators} *)
 

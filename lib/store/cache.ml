@@ -1,0 +1,409 @@
+module Json = Mv_obs.Json
+module Obs = Mv_obs.Obs
+
+(* Object files are an envelope around the opaque payload:
+   "MVC\x01" + u32le crc32(payload) + payload. The envelope (not the
+   payload format) is what corruption detection checks, so the cache
+   can hold any bytes. *)
+let object_magic = "MVC\x01"
+let index_schema = "mv-store-index-v1"
+let stats_schema = "mv-store-stats-v1"
+
+type entry = {
+  key : string;
+  op : string;
+  bytes : int;
+  created_s : float;
+  mutable last_used_s : float;
+  mutable hits : int;
+}
+
+type t = {
+  dir : string;
+  objects_dir : string;
+  max_bytes : int option;
+  table : (string, entry) Hashtbl.t;
+  mutable hits_total : int;
+  mutable misses_total : int;
+  mutable evictions_total : int;
+  mutable session_hits : int;
+  mutable session_misses : int;
+}
+
+let dir t = t.dir
+let max_bytes t = t.max_bytes
+
+(* obs handles (shared, process-wide) *)
+let c_hits = lazy (Obs.counter "cache.hits")
+let c_misses = lazy (Obs.counter "cache.misses")
+let c_bytes_read = lazy (Obs.counter "cache.bytes_read")
+let c_bytes_written = lazy (Obs.counter "cache.bytes_written")
+let c_evictions = lazy (Obs.counter "cache.evictions")
+
+let now_s () = Unix.gettimeofday ()
+let object_path t key = Filename.concat t.objects_dir key
+
+let mkdir_p path =
+  let rec ensure path =
+    if not (Sys.file_exists path) then begin
+      ensure (Filename.dirname path);
+      try Sys.mkdir path 0o755
+      with Sys_error _ when Sys.file_exists path -> ()
+    end
+  in
+  ensure path
+
+(* ------------------------------------------------------------------ *)
+(* Index persistence                                                   *)
+
+let index_path t = Filename.concat t.dir "index.json"
+
+let index_json t =
+  let entries =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+    |> List.sort (fun a b -> compare a.key b.key)
+    |> List.map (fun e ->
+           Json.Obj
+             [
+               ("key", Json.String e.key);
+               ("op", Json.String e.op);
+               ("bytes", Json.Int e.bytes);
+               ("created_s", Json.Float e.created_s);
+               ("last_used_s", Json.Float e.last_used_s);
+               ("hits", Json.Int e.hits);
+             ])
+  in
+  Json.Obj
+    [
+      ("schema", Json.String index_schema);
+      ("hits", Json.Int t.hits_total);
+      ("misses", Json.Int t.misses_total);
+      ("evictions", Json.Int t.evictions_total);
+      ("entries", Json.List entries);
+    ]
+
+(* Atomic publication: write to a temp name in the same directory,
+   then rename over the destination. *)
+let write_atomic path contents =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn);
+  Sys.rename tmp path
+
+let save_index t = write_atomic (index_path t) (Json.to_string (index_json t))
+
+let load_index t =
+  let int_member name json =
+    match Json.member name json with Some (Json.Int n) -> n | _ -> 0
+  in
+  let float_member name json =
+    match Json.member name json with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int n) -> float_of_int n
+    | _ -> 0.0
+  in
+  let string_member name json =
+    match Json.member name json with Some (Json.String s) -> s | _ -> ""
+  in
+  let json = Json.of_string (In_channel.with_open_bin (index_path t) In_channel.input_all) in
+  (match Json.member "schema" json with
+   | Some (Json.String s) when s = index_schema -> ()
+   | _ -> failwith "unknown index schema");
+  t.hits_total <- int_member "hits" json;
+  t.misses_total <- int_member "misses" json;
+  t.evictions_total <- int_member "evictions" json;
+  match Json.member "entries" json with
+  | Some (Json.List entries) ->
+    List.iter
+      (fun e ->
+         let key = string_member "key" e in
+         (* only believe entries whose object file is still present *)
+         if key <> "" && Sys.file_exists (object_path t key) then
+           Hashtbl.replace t.table key
+             {
+               key;
+               op = string_member "op" e;
+               bytes = int_member "bytes" e;
+               created_s = float_member "created_s" e;
+               last_used_s = float_member "last_used_s" e;
+               hits = int_member "hits" e;
+             })
+      entries
+  | _ -> ()
+
+(* When the index is missing or unreadable, rebuild it from the object
+   files themselves (op is unknown; sizes and mtimes come from stat). *)
+let rebuild_index t =
+  Hashtbl.reset t.table;
+  Array.iter
+    (fun name ->
+       if not (String.contains name '.') then
+         match Unix.stat (object_path t name) with
+         | { Unix.st_size; st_mtime; _ } ->
+           Hashtbl.replace t.table name
+             {
+               key = name;
+               op = "?";
+               bytes = max 0 (st_size - String.length object_magic - 4);
+               created_s = st_mtime;
+               last_used_s = st_mtime;
+               hits = 0;
+             }
+         | exception Unix.Unix_error _ -> ())
+    (Sys.readdir t.objects_dir)
+
+let open_dir ?max_bytes path =
+  let t =
+    {
+      dir = path;
+      objects_dir = Filename.concat path "objects";
+      max_bytes;
+      table = Hashtbl.create 64;
+      hits_total = 0;
+      misses_total = 0;
+      evictions_total = 0;
+      session_hits = 0;
+      session_misses = 0;
+    }
+  in
+  mkdir_p t.objects_dir;
+  (try load_index t
+   with _ -> rebuild_index t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+
+let key ~op ?(params = []) source =
+  let buffer = Buffer.create (String.length source + 64) in
+  Buffer.add_string buffer op;
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer (Printf.sprintf "mvb%d\n" Mvb.format_version);
+  List.iter
+    (fun (k, v) ->
+       Buffer.add_string buffer k;
+       Buffer.add_char buffer '=';
+       Buffer.add_string buffer v;
+       Buffer.add_char buffer '\n')
+    (List.sort compare params);
+  Buffer.add_string buffer "--\n";
+  Buffer.add_string buffer source;
+  Digest.to_hex (Digest.string (Buffer.contents buffer))
+
+(* ------------------------------------------------------------------ *)
+(* Eviction                                                            *)
+
+let total_bytes t = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.table 0
+
+let drop_entry t entry =
+  Hashtbl.remove t.table entry.key;
+  try Sys.remove (object_path t entry.key) with Sys_error _ -> ()
+
+(* Evict least-recently-used entries until the payload total fits in
+   [cap]. [keep] protects the entry just inserted from evicting
+   itself (unless it alone exceeds the cap, in which case it stays —
+   a cache holding its newest artifact is more useful than an empty
+   one). *)
+let evict_to_cap ?keep t cap =
+  let excess = total_bytes t - cap in
+  if excess <= 0 then 0
+  else begin
+    let by_age =
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+      |> List.sort (fun a b -> compare a.last_used_s b.last_used_s)
+    in
+    let evicted = ref 0 in
+    List.iter
+      (fun e ->
+         if total_bytes t > cap && Some e.key <> keep then begin
+           drop_entry t e;
+           incr evicted;
+           t.evictions_total <- t.evictions_total + 1;
+           Obs.incr (Lazy.force c_evictions)
+         end)
+      by_age;
+    !evicted
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Raw find / store                                                    *)
+
+let read_object t key =
+  let path = object_path t key in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents ->
+    let header_len = String.length object_magic + 4 in
+    if
+      String.length contents < header_len
+      || String.sub contents 0 (String.length object_magic) <> object_magic
+    then None
+    else begin
+      let crc = ref 0 in
+      for i = 3 downto 0 do
+        crc := (!crc lsl 8) lor Char.code contents.[String.length object_magic + i]
+      done;
+      let payload =
+        String.sub contents header_len (String.length contents - header_len)
+      in
+      if Mvb.crc32 payload = !crc then Some payload else None
+    end
+  | exception Sys_error _ -> None
+
+let record_miss t =
+  t.misses_total <- t.misses_total + 1;
+  t.session_misses <- t.session_misses + 1;
+  Obs.incr (Lazy.force c_misses);
+  save_index t
+
+let find t ~key =
+  Obs.span "cache.find" @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    record_miss t;
+    None
+  | Some entry -> (
+      match read_object t key with
+      | Some payload ->
+        entry.last_used_s <- now_s ();
+        entry.hits <- entry.hits + 1;
+        t.hits_total <- t.hits_total + 1;
+        t.session_hits <- t.session_hits + 1;
+        Obs.incr (Lazy.force c_hits);
+        Obs.add (Lazy.force c_bytes_read) (String.length payload);
+        save_index t;
+        Some payload
+      | None ->
+        (* corrupt or vanished object: drop it so the caller's
+           recomputation repairs the cache *)
+        drop_entry t entry;
+        record_miss t;
+        None)
+
+let store t ~key ~op payload =
+  Obs.span "cache.store" @@ fun () ->
+  let envelope = Buffer.create (String.length payload + 8) in
+  Buffer.add_string envelope object_magic;
+  for shift = 0 to 3 do
+    Buffer.add_char envelope
+      (Char.chr ((Mvb.crc32 payload lsr (8 * shift)) land 0xff))
+  done;
+  Buffer.add_string envelope payload;
+  write_atomic (object_path t key) (Buffer.contents envelope);
+  Obs.add (Lazy.force c_bytes_written) (String.length payload);
+  let now = now_s () in
+  Hashtbl.replace t.table key
+    {
+      key;
+      op;
+      bytes = String.length payload;
+      created_s = now;
+      last_used_s = now;
+      hits = 0;
+    };
+  (match t.max_bytes with
+   | Some cap -> ignore (evict_to_cap ~keep:key t cap)
+   | None -> ());
+  save_index t
+
+(* ------------------------------------------------------------------ *)
+(* LTS artifacts                                                       *)
+
+let find_lts t ~op ?params source =
+  let k = key ~op ?params source in
+  match find t ~key:k with
+  | None -> None
+  | Some payload -> (
+      match Mvb.of_string payload with
+      | lts -> Some lts
+      | exception Mvb.Corrupt _ ->
+        (* stored bytes pass the envelope CRC but do not decode: poison;
+           forget it and fall back to recomputation *)
+        (match Hashtbl.find_opt t.table k with
+         | Some entry -> drop_entry t entry
+         | None -> ());
+        record_miss t;
+        None)
+
+let store_lts t ~op ?params source lts =
+  store t ~key:(key ~op ?params source) ~op (Mvb.to_string lts)
+
+let memoize_lts t ~op ?params source compute =
+  match find_lts t ~op ?params source with
+  | Some lts -> lts
+  | None ->
+    let lts = compute () in
+    store_lts t ~op ?params source lts;
+    lts
+
+(* ------------------------------------------------------------------ *)
+(* Stats and maintenance                                               *)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  capacity : int option;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats t =
+  {
+    entries = Hashtbl.length t.table;
+    bytes = total_bytes t;
+    capacity = t.max_bytes;
+    hits = t.hits_total;
+    misses = t.misses_total;
+    evictions = t.evictions_total;
+  }
+
+let stats_json t =
+  let s = stats t in
+  Json.Obj
+    [
+      ("schema", Json.String stats_schema);
+      ("entries", Json.Int s.entries);
+      ("bytes", Json.Int s.bytes);
+      ("max_bytes",
+       match s.capacity with Some n -> Json.Int n | None -> Json.Null);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("evictions", Json.Int s.evictions);
+    ]
+
+let session t = (t.session_hits, t.session_misses)
+
+let remove_orphans t =
+  Array.iter
+    (fun name ->
+       let known = Hashtbl.mem t.table name in
+       (* temp files from a crashed writer are orphans too *)
+       if not known then
+         try Sys.remove (object_path t name) with Sys_error _ -> ())
+    (Sys.readdir t.objects_dir)
+
+let gc ?max_bytes t =
+  remove_orphans t;
+  let evicted =
+    match (max_bytes, t.max_bytes) with
+    | Some cap, _ | None, Some cap -> evict_to_cap t cap
+    | None, None -> 0
+  in
+  save_index t;
+  evicted
+
+let clear t =
+  let n = Hashtbl.length t.table in
+  Hashtbl.iter (fun _ e -> try Sys.remove (object_path t e.key) with Sys_error _ -> ()) t.table;
+  Hashtbl.reset t.table;
+  remove_orphans t;
+  save_index t;
+  n

@@ -1,0 +1,112 @@
+(** Content-addressed artifact cache.
+
+    CADP's SVL scripts are fast to iterate on because intermediate BCG
+    files persist across runs; this module gives the Multival flow the
+    same property. A cache is a directory holding opaque payloads (in
+    practice {!Mvb}-encoded LTSs) keyed by a content hash of
+    {e everything that determines the result}: the operation name, its
+    parameters, the {!Mvb.format_version} and the full source artifact
+    (model text or input-LTS bytes). Worker-pool size is deliberately
+    {e not} part of the key — the parallel engines produce identical
+    results at every [-j N].
+
+    Properties:
+
+    - {b atomic publication}: payloads are written to a temp file and
+      [rename]d into place, so a crashed or concurrent writer never
+      leaves a half-written object visible;
+    - {b corruption detection}: each object carries a CRC-32 envelope;
+      a truncated or bit-flipped object is treated as a miss, deleted,
+      and transparently recomputed (the cache repairs itself);
+    - {b LRU eviction}: when a byte cap is configured, least recently
+      used entries are evicted on insert and on {!gc};
+    - {b persistent index}: [index.json] (schema [mv-store-index-v1])
+      records per-entry op, size and usage plus lifetime hit/miss
+      totals; it is rebuilt by scanning the directory when missing or
+      unreadable.
+
+    Every lookup and store also bumps the process-wide {!Mv_obs}
+    counters [cache.hits], [cache.misses], [cache.bytes_read],
+    [cache.bytes_written] and [cache.evictions], and runs inside
+    [cache.find] / [cache.store] spans, so [mval --metrics/--trace]
+    show exactly what the cache saved. *)
+
+type t
+
+(** Open (creating if needed) a cache directory. [max_bytes] caps the
+    total payload size; eviction is LRU. The cap is not persisted —
+    each session passes its own. *)
+val open_dir : ?max_bytes:int -> string -> t
+
+val dir : t -> string
+val max_bytes : t -> int option
+
+(** [key ~op ?params source] — the key recipe: MD5 of [op], sorted
+    [params] ([k=v] lines), {!Mvb.format_version} and [source],
+    rendered as hex. [source] is the full content the operation
+    consumes (model text, input-LTS bytes), which is what makes the
+    cache content-addressed. *)
+val key : op:string -> ?params:(string * string) list -> string -> string
+
+(** {1 Raw payloads} *)
+
+(** [find t ~key] returns the payload, bumping hit statistics and LRU
+    recency; [None] (a recorded miss) when absent or when the object
+    envelope fails its integrity check — the corrupt object is deleted
+    so the next {!store} repairs it. *)
+val find : t -> key:string -> string option
+
+(** [store t ~key ~op payload] publishes atomically (write to a temp
+    name, then rename) and evicts LRU entries if the cap is
+    exceeded. *)
+val store : t -> key:string -> op:string -> string -> unit
+
+(** {1 LTS artifacts (the common case)} *)
+
+(** [find_lts t ~op ?params source] / [store_lts t ~op ?params source
+    lts] — {!find} / {!store} with the key derived via {!key} and the
+    payload {!Mvb}-encoded. A cached object that decodes to a corrupt
+    [.mvb] also counts as a miss and is deleted. *)
+val find_lts :
+  t -> op:string -> ?params:(string * string) list -> string ->
+  Mv_lts.Lts.t option
+
+val store_lts :
+  t -> op:string -> ?params:(string * string) list -> string ->
+  Mv_lts.Lts.t -> unit
+
+(** [memoize_lts t ~op ?params source compute] — {!find_lts}, or
+    [compute ()] followed by {!store_lts} on a miss. *)
+val memoize_lts :
+  t -> op:string -> ?params:(string * string) list -> string ->
+  (unit -> Mv_lts.Lts.t) -> Mv_lts.Lts.t
+
+(** {1 Statistics and maintenance} *)
+
+type stats = {
+  entries : int;
+  bytes : int; (** total payload bytes on disk *)
+  capacity : int option; (** this session's [max_bytes] *)
+  hits : int; (** lifetime, persisted in the index *)
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats
+
+(** Schema [mv-store-stats-v1]: [{"schema", "entries", "bytes",
+    "max_bytes", "hits", "misses", "evictions"}]. *)
+val stats_json : t -> Mv_obs.Json.t
+
+(** Hits and misses recorded through this handle since {!open_dir} —
+    what {!Mv_core.Svl} uses to tag each step's cache provenance. *)
+val session : t -> int * int
+
+(** [gc ?max_bytes t] evicts LRU entries until the total payload size
+    is within the cap ([max_bytes] overrides the session cap) and
+    deletes orphaned object files; returns the number of entries
+    evicted. Without any cap it only removes orphans. *)
+val gc : ?max_bytes:int -> t -> int
+
+(** Remove every entry; returns how many were removed. *)
+val clear : t -> int

@@ -1,0 +1,233 @@
+module Lts = Mv_lts.Lts
+module Label = Mv_lts.Label
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+let magic = "MVB\x01"
+let format_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE), table-driven                                         *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Varints (unsigned LEB128)                                           *)
+
+let add_varint buffer n =
+  if n < 0 then invalid_arg "Mvb: negative varint";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buffer (Char.chr n)
+    else begin
+      Buffer.add_char buffer (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let add_u32le buffer n =
+  for shift = 0 to 3 do
+    Buffer.add_char buffer (Char.chr ((n lsr (8 * shift)) land 0xff))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Byte sources: a common cursor over strings and channels, with
+   truncation reported as Corrupt                                      *)
+
+type source = { read_char : unit -> char; read_string : int -> string }
+
+let source_of_string s =
+  let pos = ref 0 in
+  let read_char () =
+    if !pos >= String.length s then corrupt "truncated input";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let read_string n =
+    if !pos + n > String.length s then corrupt "truncated input";
+    let sub = String.sub s !pos n in
+    pos := !pos + n;
+    sub
+  in
+  { read_char; read_string }
+
+let source_of_channel ic =
+  let read_char () =
+    try input_char ic with End_of_file -> corrupt "truncated input"
+  in
+  let read_string n =
+    try really_input_string ic n
+    with End_of_file -> corrupt "truncated input"
+  in
+  { read_char; read_string }
+
+let read_varint source =
+  let rec go shift acc =
+    if shift > 62 then corrupt "varint overflow";
+    let byte = Char.code (source.read_char ()) in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_u32le source =
+  let b0 = Char.code (source.read_char ()) in
+  let b1 = Char.code (source.read_char ()) in
+  let b2 = Char.code (source.read_char ()) in
+  let b3 = Char.code (source.read_char ()) in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+(* ------------------------------------------------------------------ *)
+(* Writer: emit one fully-buffered section at a time                   *)
+
+let max_section_bytes = 1 lsl 30
+
+let emit_section emit tag payload =
+  let head = Buffer.create 16 in
+  Buffer.add_char head tag;
+  add_varint head (String.length payload);
+  emit (Buffer.contents head);
+  emit payload;
+  let trailer = Buffer.create 4 in
+  add_u32le trailer (crc32 payload);
+  emit (Buffer.contents trailer)
+
+let write_sections emit lts =
+  emit magic;
+  emit (String.make 1 (Char.chr format_version));
+  let labels = Lts.labels lts in
+  let nb_labels = Label.count labels in
+  let meta = Buffer.create 32 in
+  add_varint meta (Lts.nb_states lts);
+  add_varint meta (Lts.initial lts);
+  add_varint meta nb_labels;
+  add_varint meta (Lts.nb_transitions lts);
+  emit_section emit 'M' (Buffer.contents meta);
+  let table = Buffer.create (16 * nb_labels) in
+  for l = 0 to nb_labels - 1 do
+    let name = Label.name labels l in
+    add_varint table (String.length name);
+    Buffer.add_string table name
+  done;
+  emit_section emit 'L' (Buffer.contents table);
+  let transitions = Buffer.create (4 * Lts.nb_transitions lts) in
+  for s = 0 to Lts.nb_states lts - 1 do
+    add_varint transitions (Lts.out_degree lts s);
+    Lts.iter_out lts s (fun l d ->
+        add_varint transitions l;
+        add_varint transitions d)
+  done;
+  emit_section emit 'T' (Buffer.contents transitions);
+  emit "E"
+
+let to_string lts =
+  let buffer = Buffer.create 4096 in
+  write_sections (Buffer.add_string buffer) lts;
+  Buffer.contents buffer
+
+let write_channel oc lts = write_sections (output_string oc) lts
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+
+let read_section source expected_tag =
+  let tag = source.read_char () in
+  if tag <> expected_tag then
+    corrupt "expected section '%c', found '%c'" expected_tag tag;
+  let length = read_varint source in
+  if length > max_section_bytes then
+    corrupt "section '%c' is absurdly large (%d bytes)" expected_tag length;
+  let payload = source.read_string length in
+  let stored_crc = read_u32le source in
+  if crc32 payload <> stored_crc then
+    corrupt "CRC mismatch in section '%c'" expected_tag;
+  payload
+
+let read_source source =
+  let header = source.read_string (String.length magic) in
+  if header <> magic then corrupt "bad magic (not a .mvb file)";
+  let version = Char.code (source.read_char ()) in
+  if version <> format_version then
+    corrupt "unsupported format version %d (this reader handles %d)" version
+      format_version;
+  let meta = source_of_string (read_section source 'M') in
+  let nb_states = read_varint meta in
+  let initial = read_varint meta in
+  let nb_labels = read_varint meta in
+  let nb_transitions = read_varint meta in
+  if nb_states < 1 then corrupt "no states";
+  if initial >= nb_states then corrupt "initial state out of range";
+  if nb_labels < 1 then corrupt "no labels";
+  let table = source_of_string (read_section source 'L') in
+  let labels = Label.create () in
+  for l = 0 to nb_labels - 1 do
+    let name = table.read_string (read_varint table) in
+    if l = 0 then begin
+      if name <> Label.tau_name then
+        corrupt "label 0 is %S, expected the internal action" name
+    end
+    else if Label.intern labels name <> l then
+      corrupt "duplicate label %S" name
+  done;
+  let transitions = source_of_string (read_section source 'T') in
+  let triples = Array.make nb_transitions (0, 0, 0) in
+  let i = ref 0 in
+  for s = 0 to nb_states - 1 do
+    let degree = read_varint transitions in
+    for _ = 1 to degree do
+      if !i >= nb_transitions then corrupt "more transitions than declared";
+      let l = read_varint transitions in
+      let d = read_varint transitions in
+      if l >= nb_labels then corrupt "label index %d out of range" l;
+      if d >= nb_states then corrupt "destination state %d out of range" d;
+      triples.(!i) <- (s, l, d);
+      incr i
+    done
+  done;
+  if !i <> nb_transitions then
+    corrupt "fewer transitions than declared (%d of %d)" !i nb_transitions;
+  let tag = source.read_char () in
+  if tag <> 'E' then corrupt "missing end marker";
+  Lts.make_array ~nb_states ~initial ~labels triples
+
+let of_string s =
+  let source = source_of_string s in
+  let lts = read_source source in
+  (match source.read_char () with
+   | _ -> corrupt "trailing garbage after end marker"
+   | exception Corrupt _ -> ());
+  lts
+
+let read_channel ic = read_source (source_of_channel ic)
+
+let write_file path lts =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc lts)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lts = read_channel ic in
+      (match input_char ic with
+       | _ -> corrupt "trailing garbage after end marker"
+       | exception End_of_file -> ());
+      lts)

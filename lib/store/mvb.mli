@@ -1,0 +1,66 @@
+(** The [.mvb] compact binary LTS format (the repository's analogue of
+    CADP's BCG).
+
+    Motivation: the flow alternates generation, minimization and
+    lumping over large intermediate LTSs; the textual [.aut] exchange
+    format spends ~20 bytes and a printf/parse round per transition.
+    [.mvb] stores the same LTS in a few bytes per transition and reads
+    back without any text scanning, which is what makes the artifact
+    cache ({!Cache}) cheap enough to consult on every step.
+
+    Layout (all integers are unsigned LEB128 varints unless noted):
+
+    {v
+    "MVB" 0x01            magic (4 bytes)
+    u8  version           format version (1)
+    3 sections, each:
+      u8     tag          'M' meta | 'L' labels | 'T' transitions
+      varint length       payload byte count
+      bytes  payload
+      u32le  crc32        CRC-32 (IEEE) of the payload bytes
+    u8 'E'                end marker; nothing may follow
+    v}
+
+    - meta payload: [nb_states], [initial], [nb_labels],
+      [nb_transitions];
+    - labels payload: [nb_labels] interned label strings in index
+      order, each as [varint length + bytes] — entry 0 is always the
+      internal action ["i"];
+    - transitions payload: for every state in order, [out_degree]
+      followed by [label dst] varint pairs in the LTS's canonical
+      (label, dst) sort order.
+
+    The encoding is lossless with respect to {!Mv_lts.Aut}: for every
+    LTS, [aut -> mvb -> aut] is the identity on the serialized text
+    (checked by a property test in test/test_store.ml). Reading and
+    writing are streaming, one section at a time; a whole-file buffer
+    is never required beyond the largest section.
+
+    Any malformed input — bad magic, unknown version or section tag,
+    truncation, CRC mismatch, out-of-range state or label indices —
+    raises {!Corrupt}. *)
+
+exception Corrupt of string
+
+(** Current format version, also folded into {!Cache.key} so that a
+    format change invalidates cached artifacts. *)
+val format_version : int
+
+(** Serialize / deserialize in-memory. [of_string] raises {!Corrupt}
+    on malformed input. *)
+val to_string : Mv_lts.Lts.t -> string
+
+val of_string : string -> Mv_lts.Lts.t
+
+(** Streaming channel interface (section-at-a-time). [read_channel]
+    raises {!Corrupt} on malformed input. *)
+val write_channel : out_channel -> Mv_lts.Lts.t -> unit
+
+val read_channel : in_channel -> Mv_lts.Lts.t
+
+val write_file : string -> Mv_lts.Lts.t -> unit
+val read_file : string -> Mv_lts.Lts.t
+
+(** CRC-32 (IEEE 802.3, the zlib polynomial) of a string — exposed for
+    the cache's object envelope and for tests. *)
+val crc32 : string -> int

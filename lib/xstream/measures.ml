@@ -53,7 +53,8 @@ let occupancy_distribution ?(queue = Queues.queue_process_name) spec ~capacity =
   if total > 0.0 then Array.map (fun p -> p /. total) dist else dist
 
 let summary ?(queue = Queues.queue_process_name) spec ~capacity =
-  let perf = Mv_core.Flow.performance ~keep:[ "pop" ] spec in
+  let perf = Mv_core.Flow.Run.performance
+    Mv_core.Flow.Config.(default |> with_keep [ "pop" ]) spec in
   let throughput = Mv_core.Flow.throughput perf ~gate:"pop" in
   let dist = occupancy_distribution ~queue spec ~capacity in
   let mean_occupancy = ref 0.0 in
@@ -105,7 +106,8 @@ let spill_summary spec =
            if sp > 0 then spilling := !spilling +. pi.(ctmc_state)
          | None -> ())
     conv.To_ctmc.ctmc_state_of_imc;
-  let perf = Mv_core.Flow.performance ~keep:[ "pop" ] spec in
+  let perf = Mv_core.Flow.Run.performance
+    Mv_core.Flow.Config.(default |> with_keep [ "pop" ]) spec in
   {
     spill_throughput = Mv_core.Flow.throughput perf ~gate:"pop";
     mean_hw = !mean_hw;

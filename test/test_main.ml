@@ -19,6 +19,7 @@ let () =
       ("flow", Test_flow.suite);
       ("report", Test_report.suite);
       ("svl", Test_svl.suite);
+      ("store", Test_store.suite);
       ("xstream", Test_xstream.suite);
       ("faust", Test_faust.suite);
       ("fame", Test_fame.suite);

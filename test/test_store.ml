@@ -1,0 +1,386 @@
+(* Tests for mv_store: the .mvb binary LTS format (round trips,
+   corruption detection) and the content-addressed artifact cache
+   (memoization, self-repair, LRU eviction, persistence) plus the
+   cache's integration with Flow.Run and Svl. *)
+
+module Lts = Mv_lts.Lts
+module Label = Mv_lts.Label
+module Aut = Mv_lts.Aut
+module Mvb = Mv_store.Mvb
+module Cache = Mv_store.Cache
+module Flow = Mv_core.Flow
+module Svl = Mv_core.Svl
+module Json = Mv_obs.Json
+
+let build transitions ~nb_states ~initial =
+  let labels = Label.create () in
+  let interned =
+    List.map (fun (s, l, d) -> (s, Label.intern labels l, d)) transitions
+  in
+  Lts.make ~nb_states ~initial ~labels interned
+
+let sample_lts () =
+  build ~nb_states:4 ~initial:0
+    [ (0, "a", 1); (1, "i", 2); (2, "b !1", 3); (3, "a", 0); (0, "b !1", 2) ]
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let in_sandbox f =
+  let dir = Filename.temp_file "mv_store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* .mvb format                                                         *)
+
+(* Property: aut -> mvb -> aut is the identity on the serialized text
+   (the formats are lossless with respect to each other). *)
+let mvb_round_trip_prop =
+  let gen =
+    QCheck2.Gen.(
+      let* nb_states = int_range 1 15 in
+      let* transitions =
+        list_size (int_bound 40)
+          (triple (int_bound (nb_states - 1))
+             (oneofl [ "a"; "b"; "i"; "G !1"; "odd \"label\""; "rate 2.5" ])
+             (int_bound (nb_states - 1)))
+      in
+      return (nb_states, transitions))
+  in
+  QCheck2.Test.make ~name:"aut -> mvb -> aut identity" ~count:100 gen
+    (fun (nb_states, transitions) ->
+       let lts = build ~nb_states ~initial:0 transitions in
+       let back = Mvb.of_string (Mvb.to_string lts) in
+       Aut.to_string back = Aut.to_string lts)
+
+let test_mvb_file_round_trip () =
+  in_sandbox (fun dir ->
+      let lts = sample_lts () in
+      let path = Filename.concat dir "t.mvb" in
+      Mvb.write_file path lts;
+      let back = Mvb.read_file path in
+      Alcotest.(check string) "identical" (Aut.to_string lts)
+        (Aut.to_string back))
+
+let expect_corrupt name thunk =
+  match thunk () with
+  | (_ : Lts.t) -> Alcotest.fail (name ^ ": expected Mvb.Corrupt")
+  | exception Mvb.Corrupt _ -> ()
+
+let test_mvb_corruption () =
+  let encoded = Mvb.to_string (sample_lts ()) in
+  (* flip one byte somewhere past the header: CRC must catch it *)
+  let flipped = Bytes.of_string encoded in
+  let i = String.length encoded / 2 in
+  Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0x40));
+  expect_corrupt "bit flip" (fun () ->
+      Mvb.of_string (Bytes.to_string flipped));
+  expect_corrupt "truncation" (fun () ->
+      Mvb.of_string (String.sub encoded 0 (String.length encoded - 3)));
+  expect_corrupt "trailing garbage" (fun () -> Mvb.of_string (encoded ^ "x"));
+  expect_corrupt "bad magic" (fun () -> Mvb.of_string ("XYZ" ^ encoded))
+
+let test_mvb_empty_lts () =
+  let lts = build ~nb_states:1 ~initial:0 [] in
+  let back = Mvb.of_string (Mvb.to_string lts) in
+  Alcotest.(check int) "one state" 1 (Lts.nb_states back);
+  Alcotest.(check int) "no transitions" 0 (Lts.nb_transitions back)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let test_cache_memoize () =
+  in_sandbox (fun dir ->
+      let cache = Cache.open_dir (Filename.concat dir "c") in
+      let computed = ref 0 in
+      let compute () =
+        incr computed;
+        sample_lts ()
+      in
+      let a = Cache.memoize_lts cache ~op:"t" "source" compute in
+      let b = Cache.memoize_lts cache ~op:"t" "source" compute in
+      Alcotest.(check int) "computed once" 1 !computed;
+      Alcotest.(check string) "identical results" (Aut.to_string a)
+        (Aut.to_string b);
+      let hits, misses = Cache.session cache in
+      Alcotest.(check (pair int int)) "one hit, one miss" (1, 1) (hits, misses);
+      (* different op or params or source: distinct keys *)
+      ignore (Cache.memoize_lts cache ~op:"u" "source" compute);
+      ignore
+        (Cache.memoize_lts cache ~op:"t" ~params:[ ("k", "v") ] "source"
+           compute);
+      ignore (Cache.memoize_lts cache ~op:"t" "other source" compute);
+      Alcotest.(check int) "each recomputed" 4 !computed;
+      (* params order does not matter *)
+      Alcotest.(check string) "params order canonical"
+        (Cache.key ~op:"o" ~params:[ ("a", "1"); ("b", "2") ] "s")
+        (Cache.key ~op:"o" ~params:[ ("b", "2"); ("a", "1") ] "s"))
+
+let test_cache_repairs_corruption () =
+  in_sandbox (fun dir ->
+      let cache = Cache.open_dir (Filename.concat dir "c") in
+      let computed = ref 0 in
+      let compute () =
+        incr computed;
+        sample_lts ()
+      in
+      ignore (Cache.memoize_lts cache ~op:"t" "s" compute);
+      (* poison every stored object on disk *)
+      let objects = Filename.concat (Filename.concat dir "c") "objects" in
+      Array.iter
+        (fun name ->
+           let path = Filename.concat objects name in
+           let oc = open_out_bin path in
+           output_string oc "garbage";
+           close_out oc)
+        (Sys.readdir objects);
+      (* the poisoned entry is a miss; recomputation repairs it *)
+      ignore (Cache.memoize_lts cache ~op:"t" "s" compute);
+      Alcotest.(check int) "recomputed after poisoning" 2 !computed;
+      ignore (Cache.memoize_lts cache ~op:"t" "s" compute);
+      Alcotest.(check int) "repaired" 2 !computed;
+      (* truncation of the object file is also caught *)
+      Array.iter
+        (fun name ->
+           let path = Filename.concat objects name in
+           let contents =
+             In_channel.with_open_bin path In_channel.input_all
+           in
+           let oc = open_out_bin path in
+           output_string oc (String.sub contents 0 5);
+           close_out oc)
+        (Sys.readdir objects);
+      ignore (Cache.memoize_lts cache ~op:"t" "s" compute);
+      Alcotest.(check int) "recomputed after truncation" 3 !computed)
+
+let test_cache_eviction () =
+  in_sandbox (fun dir ->
+      let payload i = String.make 100 (Char.chr (Char.code 'a' + i)) in
+      let cache = Cache.open_dir ~max_bytes:250 (Filename.concat dir "c") in
+      for i = 0 to 4 do
+        Cache.store cache ~key:(Cache.key ~op:"raw" (string_of_int i)) ~op:"raw"
+          (payload i)
+      done;
+      let s = Cache.stats cache in
+      Alcotest.(check bool) "within cap" true (s.Cache.bytes <= 250);
+      Alcotest.(check int) "entries evicted down to cap" 2 s.Cache.entries;
+      Alcotest.(check int) "evictions counted" 3 s.Cache.evictions;
+      (* the survivors are the most recently stored *)
+      Alcotest.(check bool) "LRU evicts oldest" true
+        (Cache.find cache ~key:(Cache.key ~op:"raw" "4") <> None);
+      Alcotest.(check bool) "oldest gone" true
+        (Cache.find cache ~key:(Cache.key ~op:"raw" "0") = None))
+
+let test_cache_persistence () =
+  in_sandbox (fun dir ->
+      let root = Filename.concat dir "c" in
+      let computed = ref 0 in
+      let compute () =
+        incr computed;
+        sample_lts ()
+      in
+      let cache = Cache.open_dir root in
+      ignore (Cache.memoize_lts cache ~op:"t" "s" compute);
+      (* a fresh handle on the same directory sees the entry *)
+      let reopened = Cache.open_dir root in
+      ignore (Cache.memoize_lts reopened ~op:"t" "s" compute);
+      Alcotest.(check int) "hit across handles" 1 !computed;
+      let s = Cache.stats reopened in
+      Alcotest.(check bool) "lifetime hits persisted" true (s.Cache.hits >= 1);
+      (* deleting the index forces a rebuild from the object files *)
+      Sys.remove (Filename.concat root "index.json");
+      let rebuilt = Cache.open_dir root in
+      ignore (Cache.memoize_lts rebuilt ~op:"t" "s" compute);
+      Alcotest.(check int) "hit after index rebuild" 1 !computed;
+      (* clear removes everything *)
+      Alcotest.(check int) "clear" 1 (Cache.clear rebuilt);
+      ignore (Cache.memoize_lts rebuilt ~op:"t" "s" compute);
+      Alcotest.(check int) "recomputed after clear" 2 !computed)
+
+let test_stats_json () =
+  in_sandbox (fun dir ->
+      let cache = Cache.open_dir (Filename.concat dir "c") in
+      Cache.store cache ~key:(Cache.key ~op:"raw" "x") ~op:"raw" "payload";
+      let json = Json.of_string (Json.to_string (Cache.stats_json cache)) in
+      Alcotest.(check bool) "schema" true
+        (Json.member "schema" json = Some (Json.String "mv-store-stats-v1"));
+      Alcotest.(check bool) "entries" true
+        (Json.member "entries" json = Some (Json.Int 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Flow integration                                                    *)
+
+let queue_model =
+  {|
+process Producer := rate 2.0 ; push ; Producer
+process Consumer := pop ; rate 3.0 ; Consumer
+process Queue (n : int[0..2]) :=
+    [n < 2] -> push ; Queue(n + 1)
+ [] [n > 0] -> pop ; Queue(n - 1)
+init (Producer |[push]| Queue(0)) |[pop]| Consumer
+|}
+
+(* The pool is not part of the cache key: a sequential run primes the
+   cache for a parallel one and vice versa. *)
+let test_pool_not_in_key () =
+  in_sandbox (fun dir ->
+      let cache = Cache.open_dir (Filename.concat dir "c") in
+      let spec = Flow.model_of_text queue_model in
+      let sequential =
+        Flow.Run.generate
+          Flow.Config.(with_cache (Some cache) default)
+          spec
+      in
+      let parallel =
+        Mv_par.Pool.with_pool ~domains:4 (fun pool ->
+            Flow.Run.generate
+              Flow.Config.(default |> with_cache (Some cache) |> with_pool (Some pool))
+              spec)
+      in
+      let hits, misses = Cache.session cache in
+      Alcotest.(check (pair int int)) "second run hits" (1, 1) (hits, misses);
+      Alcotest.(check string) "identical LTS" (Aut.to_string sequential)
+        (Aut.to_string parallel))
+
+let test_flow_performance_cached () =
+  in_sandbox (fun dir ->
+      let cache = Cache.open_dir (Filename.concat dir "c") in
+      let spec = Flow.model_of_text queue_model in
+      let config =
+        Flow.Config.(default |> with_cache (Some cache) |> with_keep [ "pop" ])
+      in
+      let cold = Flow.Run.performance config spec in
+      let cold_t = Flow.throughput cold ~gate:"pop" in
+      let _, misses0 = Cache.session cache in
+      let warm = Flow.Run.performance config spec in
+      let warm_t = Flow.throughput warm ~gate:"pop" in
+      let _, misses1 = Cache.session cache in
+      Alcotest.(check int) "no new misses when warm" misses0 misses1;
+      (* bit-identical, not approximately equal: the lumped IMC crossed
+         the cache through the exact-rate encoding *)
+      Alcotest.(check bool) "identical throughput" true (cold_t = warm_t))
+
+(* ------------------------------------------------------------------ *)
+(* Svl integration                                                     *)
+
+let svl_script =
+  {|
+"q.aut" = generate "queue.mvl" hide push ;
+"min.mvb" = branching reduction of "q.aut" ;
+check deadlock of "q.aut" ;
+solve "queue.mvl" keep pop ;
+|}
+
+let write_queue_model dir =
+  let oc = open_out (Filename.concat dir "queue.mvl") in
+  output_string oc queue_model;
+  close_out oc
+
+let strip step = (step.Svl.description, Svl.ok step, step.Svl.detail)
+
+let test_svl_warm_run () =
+  in_sandbox (fun dir ->
+      write_queue_model dir;
+      let cache = Cache.open_dir (Filename.concat dir "c") in
+      let cold = Svl.run_string ~cache ~dir svl_script in
+      let warm = Svl.run_string ~cache ~dir svl_script in
+      Alcotest.(check bool) "all ok" true
+        (Svl.all_ok cold && Svl.all_ok warm);
+      Alcotest.(check (list (triple string bool string)))
+        "warm run byte-identical" (List.map strip cold) (List.map strip warm);
+      (* every cacheable warm step is all hits, no misses *)
+      List.iter
+        (fun step ->
+           match step.Svl.outcome with
+           | Svl.Passed { cache = Some { hits; misses }; _ } ->
+             if
+               Astring.String.is_infix ~affix:"generate"
+                 step.Svl.description
+               || Astring.String.is_infix ~affix:"reduction"
+                    step.Svl.description
+             then begin
+               Alcotest.(check bool)
+                 (step.Svl.description ^ ": warm hits") true (hits > 0);
+               Alcotest.(check int)
+                 (step.Svl.description ^ ": no warm misses") 0 misses
+             end
+           | Svl.Passed { cache = None; _ } ->
+             Alcotest.fail "cache provenance missing"
+           | Svl.Failed_check | Svl.Hard_error _ -> ())
+        warm)
+
+let test_svl_steps_json () =
+  in_sandbox (fun dir ->
+      write_queue_model dir;
+      let cache = Cache.open_dir (Filename.concat dir "c") in
+      let steps = Svl.run_string ~cache ~dir svl_script in
+      let json = Json.of_string (Json.to_string (Svl.steps_json steps)) in
+      Alcotest.(check bool) "schema" true
+        (Json.member "schema" json = Some (Json.String "mv-svl-steps-v1"));
+      match Json.member "steps" json with
+      | Some (Json.List items) ->
+        Alcotest.(check int) "all steps rendered" (List.length steps)
+          (List.length items);
+        List.iter
+          (fun item ->
+             match Json.member "outcome" item with
+             | Some (Json.String ("passed" | "failed" | "error")) -> ()
+             | _ -> Alcotest.fail "bad outcome tag")
+          items;
+        (* the generate step records its artifact and cache traffic *)
+        let first = List.hd items in
+        (match Json.member "artifacts" first with
+         | Some (Json.List [ Json.String path ]) ->
+           Alcotest.(check bool) "artifact path resolved" true
+             (Astring.String.is_suffix ~affix:"q.aut" path)
+         | _ -> Alcotest.fail "expected one artifact");
+        (match Json.member "cache" first with
+         | Some (Json.Obj _) -> ()
+         | _ -> Alcotest.fail "expected cache object")
+      | _ -> Alcotest.fail "expected steps list")
+
+let test_svl_unwritable_target () =
+  in_sandbox (fun dir ->
+      write_queue_model dir;
+      (* the target's parent directory does not exist: a hard error
+         reported against the real statement, not an exception *)
+      let steps =
+        Svl.run_string ~dir {|"missing_sub/q.aut" = generate "queue.mvl" ;|}
+      in
+      Alcotest.(check int) "stopped" 1 (List.length steps);
+      match (List.hd steps).Svl.outcome with
+      | Svl.Hard_error _ ->
+        Alcotest.(check bool) "real description" true
+          (Astring.String.is_infix ~affix:"missing_sub/q.aut"
+             (List.hd steps).Svl.description)
+      | Svl.Passed _ | Svl.Failed_check ->
+        Alcotest.fail "expected Hard_error")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest mvb_round_trip_prop;
+    Alcotest.test_case "mvb file round trip" `Quick test_mvb_file_round_trip;
+    Alcotest.test_case "mvb corruption detection" `Quick test_mvb_corruption;
+    Alcotest.test_case "mvb empty lts" `Quick test_mvb_empty_lts;
+    Alcotest.test_case "cache memoize" `Quick test_cache_memoize;
+    Alcotest.test_case "cache repairs corruption" `Quick
+      test_cache_repairs_corruption;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "cache persistence" `Quick test_cache_persistence;
+    Alcotest.test_case "cache stats json" `Quick test_stats_json;
+    Alcotest.test_case "pool not in key" `Quick test_pool_not_in_key;
+    Alcotest.test_case "performance pipeline cached" `Quick
+      test_flow_performance_cached;
+    Alcotest.test_case "svl warm run" `Quick test_svl_warm_run;
+    Alcotest.test_case "svl steps json" `Quick test_svl_steps_json;
+    Alcotest.test_case "svl unwritable target" `Quick
+      test_svl_unwritable_target;
+  ]

@@ -60,7 +60,11 @@ check deadlock of "q.aut" ;
       Alcotest.(check int) "continues past failures" 3 (List.length steps);
       Alcotest.(check bool) "script not ok" false (Svl.all_ok steps);
       let violated = List.nth steps 1 in
-      Alcotest.(check bool) "violation flagged" false violated.Svl.ok)
+      Alcotest.(check bool) "violation flagged" false (Svl.ok violated);
+      (match violated.Svl.outcome with
+       | Svl.Failed_check -> ()
+       | Svl.Passed _ | Svl.Hard_error _ ->
+         Alcotest.fail "expected Failed_check"))
 
 let test_composition_statement () =
   in_sandbox (fun dir ->
@@ -85,7 +89,35 @@ check deadlock of "q.aut" ;
       in
       (* the unreadable file is reported and execution stops *)
       Alcotest.(check int) "stopped" 1 (List.length steps);
-      Alcotest.(check bool) "reported as failure" false (Svl.all_ok steps))
+      Alcotest.(check bool) "reported as failure" false (Svl.all_ok steps);
+      (* the failing step carries the real statement description, not a
+         generic placeholder *)
+      let step = List.hd steps in
+      Alcotest.(check bool) "real description" true
+        (Astring.String.is_infix ~affix:"missing.mvl" step.Svl.description);
+      match step.Svl.outcome with
+      | Svl.Hard_error _ -> ()
+      | Svl.Passed _ | Svl.Failed_check -> Alcotest.fail "expected Hard_error")
+
+let test_mvb_artifacts () =
+  in_sandbox (fun dir ->
+      let steps =
+        Svl.run_string ~dir
+          {|
+"q.mvb" = generate "queue.mvl" ;
+"min.aut" = branching reduction of "q.mvb" ;
+compare "q.mvb" == "min.aut" modulo branching ;
+|}
+      in
+      Alcotest.(check bool) "all ok" true (Svl.all_ok steps);
+      Alcotest.(check bool) "mvb file written" true
+        (Sys.file_exists (Filename.concat dir "q.mvb"));
+      (* artifact paths are resolved against the script directory *)
+      match (List.hd steps).Svl.outcome with
+      | Svl.Passed { artifacts = [ path ]; _ } ->
+        Alcotest.(check string) "resolved artifact path"
+          (Filename.concat dir "q.mvb") path
+      | _ -> Alcotest.fail "expected one artifact")
 
 let test_expect_throughput () =
   in_sandbox (fun dir ->
@@ -98,8 +130,8 @@ expect throughput pop of "queue.mvl" in [0.0, 0.5] ;
       in
       (match steps with
        | [ ok_step; fail_step ] ->
-         Alcotest.(check bool) "in range" true ok_step.Svl.ok;
-         Alcotest.(check bool) "out of range" false fail_step.Svl.ok;
+         Alcotest.(check bool) "in range" true (Svl.ok ok_step);
+         Alcotest.(check bool) "out of range" false (Svl.ok fail_step);
          Alcotest.(check bool) "flagged" true
            (Astring.String.is_infix ~affix:"OUT OF RANGE" fail_step.Svl.detail)
        | _ -> Alcotest.fail "expected two steps"))
@@ -125,6 +157,7 @@ let suite =
     Alcotest.test_case "failing check" `Quick test_failing_check;
     Alcotest.test_case "composition + hide" `Quick test_composition_statement;
     Alcotest.test_case "hard error stops" `Quick test_hard_error_stops;
+    Alcotest.test_case "mvb artifacts" `Quick test_mvb_artifacts;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "expect throughput" `Quick test_expect_throughput;
   ]
