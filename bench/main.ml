@@ -728,6 +728,10 @@ let bechamel_kernels () =
 
 let bench_records : (string * float * int * int * float) list ref = ref []
 
+(* Extra top-level JSON fields (e.g. the E10 engine comparison) merged
+   into BENCH_multival.json next to the experiment rows. *)
+let bench_extra : (string * Json.t) list ref = ref []
+
 let timed name run () =
   let states = Obs.counter "explore.states" in
   let iterations = Obs.counter "solver.iterations" in
@@ -757,8 +761,9 @@ let write_bench_json path =
   in
   let json =
     Json.Obj
-      [ ("schema", Json.String "mv-bench-v1");
-        ("experiments", Json.List experiments) ]
+      (("schema", Json.String "mv-bench-v1")
+       :: ("experiments", Json.List experiments)
+       :: List.rev !bench_extra)
   in
   let oc = open_out path in
   output_string oc (Json.to_string json);
@@ -766,6 +771,139 @@ let write_bench_json path =
   close_out oc;
   Printf.printf "\nwrote %s (%d experiment(s))\n" path
     (List.length !bench_records)
+
+(* ------------------------------------------------------------------ *)
+(* E10: flat-array kernels vs legacy signature engines                 *)
+
+(* The Mv_kern comparison: for each case-study LTS, minimize with the
+   legacy signature engines and with the flat-array engines (strong =
+   splitter worklist, branching = packed signatures over CSR), check
+   the quotients are byte-identical (same .aut text, block ids
+   included — the property the Mv_store cache keys depend on), and
+   time both (best of 3). Then the solver kernels: Gauss-Seidel vs
+   damped Jacobi iteration counts on the xSTream tandem steady-state.
+   The detail lands in BENCH_multival.json under "e10" for CI. *)
+let e10_kernels () =
+  let best_of_3 f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      Unix.gettimeofday () -. t0
+    in
+    Float.min (once ()) (Float.min (once ()) (once ()))
+  in
+  let tandem c =
+    Lts.hide
+      (Mv_calc.State_space.lts
+         (Mv_xstream.Queues.tandem ~arrival:e2_arrival ~transfer:4.0
+            ~service:e2_service ~capacity1:c ~capacity2:c))
+      ~gates:[ "push" ]
+  in
+  let cases =
+    [ ("xSTream tandem 12+12", tandem 12);
+      ("xSTream tandem 20+20", tandem 20);
+      ("FAME2 MSI directory",
+       Mv_calc.State_space.lts
+         (Mv_fame.Distributed.spec Mv_fame.Distributed.Correct));
+      ("FAUST 2x2 mesh",
+       Mv_calc.State_space.lts
+         (Mv_faust.Mesh.spec Mv_faust.Mesh.Port_buffered
+            ~flows:Mv_faust.Mesh.crossing_flows)) ]
+  in
+  let rows = ref [] and case_json = ref [] in
+  List.iter
+    (fun (name, lts) ->
+       let strong = Mv_bisim.Strong.minimize lts in
+       let strong_legacy = Mv_bisim.Strong.minimize_legacy lts in
+       let branching = Mv_bisim.Branching.minimize lts in
+       let branching_legacy = Mv_bisim.Branching.minimize_legacy lts in
+       let identical =
+         Mv_lts.Aut.to_string strong = Mv_lts.Aut.to_string strong_legacy
+         && Mv_lts.Aut.to_string branching
+            = Mv_lts.Aut.to_string branching_legacy
+       in
+       let ts = best_of_3 (fun () -> Mv_bisim.Strong.minimize lts) in
+       let tsl = best_of_3 (fun () -> Mv_bisim.Strong.minimize_legacy lts) in
+       let tb = best_of_3 (fun () -> Mv_bisim.Branching.minimize lts) in
+       let tbl =
+         best_of_3 (fun () -> Mv_bisim.Branching.minimize_legacy lts)
+       in
+       let speedup t_legacy t_kern =
+         if t_kern > 0.0 then t_legacy /. t_kern else 0.0
+       in
+       rows :=
+         [ name;
+           string_of_int (Lts.nb_states lts);
+           f tsl; f ts;
+           Printf.sprintf "%.1fx" (speedup tsl ts);
+           f tbl; f tb;
+           Printf.sprintf "%.1fx" (speedup tbl tb);
+           (if identical then "identical" else "DIFFERS") ]
+         :: !rows;
+       case_json :=
+         Json.Obj
+           [ ("name", Json.String name);
+             ("states", Json.Int (Lts.nb_states lts));
+             ("strong_states", Json.Int (Lts.nb_states strong));
+             ("strong_states_legacy", Json.Int (Lts.nb_states strong_legacy));
+             ("branching_states", Json.Int (Lts.nb_states branching));
+             ("branching_states_legacy",
+              Json.Int (Lts.nb_states branching_legacy));
+             ("strong_legacy_s", Json.Float tsl);
+             ("strong_kern_s", Json.Float ts);
+             ("strong_speedup", Json.Float (speedup tsl ts));
+             ("branching_legacy_s", Json.Float tbl);
+             ("branching_kern_s", Json.Float tb);
+             ("branching_speedup", Json.Float (speedup tbl tb));
+             ("quotients_identical", Json.Bool identical) ]
+         :: !case_json)
+    cases;
+  Report.table
+    ~title:
+      "E10a  Minimization engines: legacy signature rounds vs Mv_kern \
+       flat-array kernels (best of 3; quotients must be byte-identical)"
+    ~header:
+      [ "model"; "states"; "strong old"; "strong new"; "speedup";
+        "branch old"; "branch new"; "speedup"; "quotient" ]
+    (List.rev !rows);
+  (* solver kernels on the xSTream tandem steady-state *)
+  let perf =
+    Flow.performance ~keep:[ "pop" ]
+      (Mv_xstream.Queues.tandem ~arrival:e2_arrival ~transfer:4.0
+         ~service:e2_service ~capacity1:12 ~capacity2:12)
+  in
+  let ctmc = perf.Flow.conversion.To_ctmc.ctmc in
+  let solve m = snd (Ctmc.steady_state_stats ~method_:m ctmc) in
+  let stats_gs = solve Mv_kern.Solver.Gauss_seidel in
+  let stats_sor =
+    solve (Mv_kern.Solver.Sor Mv_kern.Solver.default_sor_omega)
+  in
+  let stats_jac = solve Mv_kern.Solver.Jacobi in
+  let row name (s : Mv_markov.Solver_stats.t) =
+    [ name;
+      string_of_int s.Mv_markov.Solver_stats.iterations;
+      f s.Mv_markov.Solver_stats.residual;
+      string_of_bool s.Mv_markov.Solver_stats.converged ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E10b  Steady-state solvers on the xSTream tandem CTMC (%d states)"
+         (Ctmc.nb_states ctmc))
+    ~header:[ "method"; "iterations"; "residual"; "converged" ]
+    [ row "gauss-seidel" stats_gs;
+      row "sor" stats_sor;
+      row "jacobi (damped)" stats_jac ];
+  bench_extra :=
+    ( "e10",
+      Json.Obj
+        [ ("cases", Json.List (List.rev !case_json));
+          ("gs_iterations", Json.Int stats_gs.Mv_markov.Solver_stats.iterations);
+          ("sor_iterations",
+           Json.Int stats_sor.Mv_markov.Solver_stats.iterations);
+          ("jacobi_iterations",
+           Json.Int stats_jac.Mv_markov.Solver_stats.iterations) ] )
+    :: !bench_extra
 
 (* ------------------------------------------------------------------ *)
 (* E9: the artifact cache: cold vs warm SVL run                        *)
@@ -857,7 +995,7 @@ let () =
       ("E4", e4_erlang);
       ("E5", fun () -> e5_nondet (); e5_nondet_mvl ());
       ("E6", e6_compositional); ("E7", e7_minimization);
-      ("E8", e8_scaling) ]
+      ("E8", e8_scaling); ("E10", e10_kernels) ]
   in
   let raw_args =
     match Array.to_list Sys.argv with _ :: args -> args | [] -> []

@@ -424,8 +424,41 @@ let solve_cmd =
              $(b,uniform) (default) or $(b,fail) (reject, as CADP's \
              solvers do).")
   in
-  let run () model max_states keep first scheduler jobs no_lint cache =
+  let method_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "method" ] ~docv:"M"
+          ~doc:
+            "Steady-state iteration: $(b,gs) (Gauss-Seidel, the default \
+             — fewest iterations), $(b,sor) (over-relaxed Gauss-Seidel), \
+             or $(b,jacobi) (damped; the parallel method, selected \
+             automatically under $(b,-j) when no method is given). All \
+             methods agree within the solver tolerance.")
+  in
+  let run () model max_states keep first scheduler method_ jobs no_lint cache =
     handle_errors (fun () ->
+        let solve_method =
+          match method_ with
+          | None -> None
+          | Some name -> (
+            match Mv_kern.Solver.method_of_name name with
+            | Some m -> Some m
+            | None ->
+              prerr_endline
+                (Diagnostic.render
+                   {
+                     Diagnostic.code = "CLI001";
+                     severity = Diagnostic.Error;
+                     line = None;
+                     message =
+                       Printf.sprintf
+                         "unknown solve method %S (expected jacobi, gs, \
+                          gauss-seidel or sor)"
+                         name;
+                   });
+              exit 2)
+        in
         lint_gate ~no_lint [ model ];
         let cache = open_cache cache in
         with_jobs jobs (fun pool ->
@@ -438,6 +471,7 @@ let solve_cmd =
                 keep;
                 scheduler;
                 cache;
+                solve_method;
               }
             in
             let perf =
@@ -484,7 +518,7 @@ let solve_cmd =
        ~doc:"Run the performance pipeline: IMC, lumping, CTMC, throughputs")
     Term.(
       const run $ obs_term $ model_arg $ max_states_arg $ keep_arg $ first_arg
-      $ scheduler_arg $ jobs_arg $ no_lint_arg $ cache_arg)
+      $ scheduler_arg $ method_arg $ jobs_arg $ no_lint_arg $ cache_arg)
 
 (* ---- translate ---- *)
 

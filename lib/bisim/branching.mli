@@ -8,6 +8,12 @@
     a state is the set of [(label, block)] moves reachable through
     inert tau steps, excluding inert tau itself.
 
+    The default engine packs each signature into a flat, sorted int
+    array over a CSR index built once ({!Mv_kern}), inheriting along
+    inert taus by array blit — no per-state list allocation or
+    polymorphic sorting. Its partitions are identical, block ids
+    included, to the legacy list engine's (see [doc/performance.md]).
+
     The optional [pool] parallelizes each round: states are batched by
     height in the inert-tau DAG and every batch's signatures are
     computed on all pool domains. The partition, quotient and verdict
@@ -39,3 +45,14 @@ val equivalent :
     (callers that need divergence-sensitive results can check this
     before trusting the divergence-blind quotient). *)
 val divergence_free : Mv_lts.Lts.t -> bool
+
+(** {1 Legacy engine}
+
+    The original list-signature rounds, kept as the cross-check oracle
+    for the flat engine and for the E10 benchmark. *)
+
+val partition_legacy :
+  ?pool:Mv_par.Pool.t -> ?divergence_sensitive:bool -> Mv_lts.Lts.t -> Partition.t
+
+val minimize_legacy :
+  ?divergence_sensitive:bool -> Mv_lts.Lts.t -> Mv_lts.Lts.t

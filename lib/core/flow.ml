@@ -28,6 +28,7 @@ module Config = struct
     keep : string list;
     scheduler : To_ctmc.scheduler;
     cache : Cache.t option;
+    solve_method : Mv_kern.Solver.method_ option;
   }
 
   let default =
@@ -38,9 +39,11 @@ module Config = struct
       keep = [];
       scheduler = To_ctmc.Uniform;
       cache = None;
+      solve_method = None;
     }
 
   let with_pool pool t = { t with pool }
+  let with_solve_method solve_method t = { t with solve_method }
   let with_max_states max_states t = { t with max_states = Some max_states }
   let with_hide hide t = { t with hide }
   let with_keep keep t = { t with keep }
@@ -240,7 +243,7 @@ module Run = struct
         lazy
           (Obs.span "flow.solve" (fun () ->
                Ctmc.steady_state_stats ?pool:config.pool
-                 conversion.To_ctmc.ctmc));
+                 ?method_:config.solve_method conversion.To_ctmc.ctmc));
     }
 
   let performance (config : Config.t) spec =
@@ -253,7 +256,15 @@ end
 
 let config ?pool ?max_states ?(hide = []) ?(keep = [])
     ?(scheduler = To_ctmc.Uniform) () =
-  { Config.pool; max_states; hide; keep; scheduler; cache = None }
+  {
+    Config.pool;
+    max_states;
+    hide;
+    keep;
+    scheduler;
+    cache = None;
+    solve_method = None;
+  }
 
 let generate ?pool ?max_states spec =
   Run.generate (config ?pool ?max_states ()) spec

@@ -53,10 +53,19 @@ module Config : sig
         (** artifact cache consulted by {!Run.generate},
             {!Run.generate_compositional}, {!Run.minimize} and the
             lumping step of {!Run.performance} *)
+    solve_method : Mv_kern.Solver.method_ option;
+        (** steady-state iteration for {!Run.performance} solves
+            ([mval solve --method]); [None] picks Gauss-Seidel, or
+            Jacobi under a pool. Like the pool, absent from cache
+            keys: every method converges to the same vector within
+            the solver tolerance, and solve results are never
+            cached. *)
   }
 
   val default : t
   val with_pool : Mv_par.Pool.t option -> t -> t
+
+  val with_solve_method : Mv_kern.Solver.method_ option -> t -> t
   val with_max_states : int -> t -> t
   val with_hide : string list -> t -> t
   val with_keep : string list -> t -> t

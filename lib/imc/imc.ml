@@ -73,6 +73,18 @@ let markovian_out t s =
   done;
   !out
 
+let iter_interactive_out t s f =
+  for i = t.irow.(s) to t.irow.(s + 1) - 1 do
+    let _, l, d = t.interactive.(i) in
+    f l d
+  done
+
+let iter_markovian_out t s f =
+  for i = t.mrow.(s) to t.mrow.(s + 1) - 1 do
+    let _, r, d = t.markovian.(i) in
+    f r d
+  done
+
 let rate_gate = "rate"
 
 let rate_of_label name =

@@ -37,6 +37,13 @@ val interactive_out : t -> int -> (int * int) list
 (** Outgoing Markovian transitions of one state, as [(rate, dst)]. *)
 val markovian_out : t -> int -> (float * int) list
 
+(** Allocation-free per-state iteration, in the same [(label, dst)]
+    (resp. [(rate, dst)]) order as the [_out] lists — which is also the
+    per-state order of {!iter_interactive} / {!iter_markovian}. *)
+val iter_interactive_out : t -> int -> (int -> int -> unit) -> unit
+
+val iter_markovian_out : t -> int -> (float -> int -> unit) -> unit
+
 (** {1 Conversions} *)
 
 (** The gate used to encode Markovian transitions in LTS labels. *)

@@ -1,11 +1,12 @@
 module Partition = Mv_bisim.Partition
 module Label = Mv_lts.Label
+module Sig_table = Mv_kern.Sig_table
 
 (* Rates enter signatures as strings rounded to 12 significant digits;
    see the interface for the rationale. *)
 let rate_key r = Printf.sprintf "%.12e" r
 
-let signatures imc (p : Partition.t) =
+let signatures_legacy imc (p : Partition.t) =
   let n = Imc.nb_states imc in
   let interactive_sig = Array.make n [] in
   Imc.iter_interactive imc (fun s l d ->
@@ -25,12 +26,10 @@ let signatures imc (p : Partition.t) =
       in
       (interactive, markovian))
 
-let partition imc =
+let partition_legacy imc =
   let n = Imc.nb_states imc in
-  let rounds = Mv_obs.Obs.counter "lump.rounds" in
-  let blocks = Mv_obs.Obs.series "lump.blocks" in
   let rec loop (p : Partition.t) =
-    let sigs = signatures imc p in
+    let sigs = signatures_legacy imc p in
     let keys = Hashtbl.create 256 in
     let block_of = Array.make n 0 in
     let next = ref 0 in
@@ -48,6 +47,82 @@ let partition imc =
       block_of.(s) <- id
     done;
     let p' : Partition.t = { block_of; count = !next } in
+    if p'.count = p.count then p' else loop p'
+  in
+  loop (Partition.trivial n)
+
+(* Flat engine over the Mv_kern signature table. An interactive move
+   (l, b) packs into the single word [l * (n+1) + b]; Markovian rates
+   accumulate per destination block into a scratch float array in the
+   exact per-state transition order of the legacy Hashtbl engine (so
+   the sums — and their [%.12e] roundings — are bitwise the same),
+   then enter the signature as [min_int; b1; rid1; b2; rid2; ...] with
+   blocks ascending, where [rid] interns the rounded rate string. The
+   [min_int] separator cannot collide with packed interactive words
+   (nonnegative), so two flat signatures are equal exactly when the
+   legacy pairs are: the per-round grouping, the first-occurrence ids,
+   and hence the final partition are all identical to the legacy
+   engine's. *)
+let partition imc =
+  let n = Imc.nb_states imc in
+  let rounds = Mv_obs.Obs.counter "lump.rounds" in
+  let blocks = Mv_obs.Obs.series "lump.blocks" in
+  let base = n + 1 in
+  let table = Sig_table.create () in
+  let rate_ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rate_id r =
+    let key = rate_key r in
+    match Hashtbl.find_opt rate_ids key with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length rate_ids in
+      Hashtbl.add rate_ids key id;
+      id
+  in
+  let racc = Array.make n 0.0 in
+  let rtouched = Array.make n 0 in
+  let buf = ref (Array.make 64 0) in
+  let len = ref 0 in
+  let push x =
+    if !len >= Array.length !buf then begin
+      let b = Array.make (2 * Array.length !buf) 0 in
+      Array.blit !buf 0 b 0 !len;
+      buf := b
+    end;
+    !buf.(!len) <- x;
+    incr len
+  in
+  let rec loop (p : Partition.t) =
+    Sig_table.reset table;
+    let block_of = Array.make n 0 in
+    for s = 0 to n - 1 do
+      len := 0;
+      Imc.iter_interactive_out imc s (fun l d ->
+          push ((l * base) + p.block_of.(d)));
+      len := Sig_table.sort_dedup !buf !len;
+      let nb_blocks = ref 0 in
+      Imc.iter_markovian_out imc s (fun r d ->
+          let b = p.block_of.(d) in
+          (* rates are strictly positive, so 0.0 means untouched *)
+          if racc.(b) = 0.0 then begin
+            rtouched.(!nb_blocks) <- b;
+            incr nb_blocks
+          end;
+          racc.(b) <- racc.(b) +. r);
+      if !nb_blocks > 0 then begin
+        push min_int;
+        let nb = Sig_table.sort_dedup rtouched !nb_blocks in
+        for j = 0 to nb - 1 do
+          let b = rtouched.(j) in
+          push b;
+          push (rate_id racc.(b));
+          racc.(b) <- 0.0
+        done
+      end;
+      block_of.(s) <-
+        Sig_table.classify table ~block:p.block_of.(s) (Array.sub !buf 0 !len)
+    done;
+    let p' : Partition.t = { block_of; count = Sig_table.count table } in
     Mv_obs.Obs.incr rounds;
     Mv_obs.Obs.push blocks (float_of_int p'.count);
     Mv_obs.Obs.progress (fun () ->
@@ -89,6 +164,7 @@ let quotient imc (p : Partition.t) =
     ~markovian:!markovian
 
 let minimize imc = quotient imc (partition imc)
+let minimize_legacy imc = quotient imc (partition_legacy imc)
 
 let equivalent a b =
   (* direct disjoint union (keeps Markovian multiplicities intact) *)

@@ -8,7 +8,13 @@
     This is the "stochastic state space minimization" step that the
     flow alternates with generation. Cumulative rates are compared
     after rounding to 12 significant digits, so rate sums that differ
-    only by floating-point association are lumped together. *)
+    only by floating-point association are lumped together.
+
+    The default engine packs signatures into flat int arrays over
+    {!Mv_kern.Sig_table} (rates summed in the same order and rounded
+    to the same strings as the legacy engine, then interned); its
+    partitions are identical to the legacy engine's, block ids
+    included, so quotients and cache keys are unchanged. *)
 
 (** Coarsest stochastic-bisimulation partition. *)
 val partition : Imc.t -> Mv_bisim.Partition.t
@@ -20,3 +26,9 @@ val minimize : Imc.t -> Imc.t
 
 (** [equivalent a b] — stochastic bisimilarity of initial states. *)
 val equivalent : Imc.t -> Imc.t -> bool
+
+(** {1 Legacy engine} — the original list/Hashtbl signature rounds,
+    kept as the cross-check oracle and for the E10 benchmark. *)
+
+val partition_legacy : Imc.t -> Mv_bisim.Partition.t
+val minimize_legacy : Imc.t -> Imc.t

@@ -1,0 +1,42 @@
+module Lts = Mv_lts.Lts
+
+type t = { row : int array; lbl : int array; col : int array }
+
+let nb_rows t = Array.length t.row - 1
+let nb_entries t = Array.length t.row |> fun n -> t.row.(n - 1)
+
+let build ~n ~m ~key ~value lts =
+  let row = Array.make (n + 1) 0 in
+  let lbl = Array.make (max m 1) 0 in
+  let col = Array.make (max m 1) 0 in
+  Lts.iter_transitions lts (fun s _ d -> row.(key s d + 1) <- row.(key s d + 1) + 1);
+  for r = 1 to n do
+    row.(r) <- row.(r) + row.(r - 1)
+  done;
+  let fill = Array.copy row in
+  Lts.iter_transitions lts (fun s l d ->
+      let i = fill.(key s d) in
+      lbl.(i) <- l;
+      col.(i) <- value s d;
+      fill.(key s d) <- i + 1);
+  { row; lbl; col }
+
+let forward lts =
+  build lts ~n:(Lts.nb_states lts) ~m:(Lts.nb_transitions lts)
+    ~key:(fun s _ -> s)
+    ~value:(fun _ d -> d)
+
+let reverse lts =
+  build lts ~n:(Lts.nb_states lts) ~m:(Lts.nb_transitions lts)
+    ~key:(fun _ d -> d)
+    ~value:(fun s _ -> s)
+
+let deterministic t =
+  let n = nb_rows t in
+  let det = ref true in
+  for s = 0 to n - 1 do
+    for i = t.row.(s) to t.row.(s + 1) - 2 do
+      if t.lbl.(i) = t.lbl.(i + 1) then det := false
+    done
+  done;
+  !det

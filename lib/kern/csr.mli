@@ -1,0 +1,32 @@
+(** Compressed-sparse-row adjacency over an {!Mv_lts.Lts.t}.
+
+    Three flat int arrays: [row] (length [nb_states + 1]) indexes into
+    [lbl]/[col], which hold one entry per transition. Built once, in one
+    O(n + m) pass, then shared by every refinement / solver pass — no
+    per-state allocation afterwards.
+
+    [forward] rows are indexed by source state and [col] holds
+    destinations; entries within a row appear in [(label, dst)] order
+    (inherited from the LTS transition order). [reverse] rows are
+    indexed by destination state and [col] holds sources; entries
+    within a row appear in [(src, label)] order. *)
+
+type t = {
+  row : int array;  (** length [nb_rows + 1]; row [s] spans [row.(s) .. row.(s+1) - 1] *)
+  lbl : int array;  (** label of each entry *)
+  col : int array;  (** destination ([forward]) or source ([reverse]) *)
+}
+
+val nb_rows : t -> int
+val nb_entries : t -> int
+
+(** Forward adjacency: rows by source, [col] = destination. *)
+val forward : Mv_lts.Lts.t -> t
+
+(** Reverse adjacency: rows by destination, [col] = source. *)
+val reverse : Mv_lts.Lts.t -> t
+
+(** [deterministic csr] is true when no [forward] row contains two
+    entries with the same label — i.e. every action is deterministic.
+    Meaningless on a [reverse] index. *)
+val deterministic : t -> bool

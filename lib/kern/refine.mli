@@ -1,0 +1,35 @@
+(** Splitter-worklist partition refinement for strong bisimulation,
+    after Valmari / Paige–Tarjan.
+
+    Instead of recomputing a full signature for every state in every
+    round (O(n·m) per round), the worklist engine keeps a queue of
+    {e splitter} blocks and, for each one popped, walks only the
+    predecessors of its states through the reverse CSR index, grouping
+    them per label and splitting their blocks at the mark boundary.
+
+    Queueing discipline: when a block [X] splits into [X] and [C],
+    - if [X] was still queued, only [C] is added (splitting against
+      both halves separately subsumes splitting against old [X]);
+    - if every label is deterministic (at most one successor per
+      (state, label)), only the {e smaller} half is queued — Hopcroft's
+      "process the smaller half", giving O(m log n) splitter work;
+    - otherwise {e both} halves are queued (smaller popped first):
+      with nondeterministic actions, stability against a parent block
+      does not follow from stability against one half alone without
+      Paige–Tarjan three-way counts.
+
+    Splitting against a queued block whose extent has since been
+    refined is still sound: any such block is a union of current
+    blocks, and the labelled predecessor set of a union of
+    bisimulation classes never separates bisimilar states.
+
+    Observability: counters [kern.splitters] (blocks popped) and
+    [kern.splits] (blocks cut), series [kern.queue] (queue length at
+    each pop), span [kern.strong]. *)
+
+(** [strong ~nb_labels ~fwd ~rev] computes the coarsest strong
+    bisimulation partition. Returns [(block_of, count)] with block ids
+    renumbered by first occurrence in state order — the exact numbering
+    of the legacy signature-refinement engine, making the resulting
+    quotient LTSs byte-identical. *)
+val strong : nb_labels:int -> fwd:Csr.t -> rev:Csr.t -> int array * int

@@ -1,0 +1,99 @@
+module Key = struct
+  type t = int * int array
+
+  let equal (b1, a1) (b2, a2) = b1 = b2 && a1 = a2
+
+  let hash (b, a) =
+    (* FNV-1a over the packed words, seeded with the block *)
+    let h = ref (b lxor 0x9e3779b9) in
+    for i = 0 to Array.length a - 1 do
+      h := (!h * 0x01000193) lxor a.(i)
+    done;
+    !h land max_int
+end
+
+module H = Hashtbl.Make (Key)
+
+type t = { table : int H.t; mutable next : int }
+
+let create () = { table = H.create 1024; next = 0 }
+
+let reset t =
+  H.reset t.table;
+  t.next <- 0
+
+let classify t ~block sig_ =
+  let key = (block, sig_) in
+  match H.find_opt t.table key with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    t.next <- id + 1;
+    H.add t.table key id;
+    id
+
+let count t = t.next
+
+let sort_dedup a len =
+  let swap i j =
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  in
+  (* 3-way (Dutch-flag) quicksort on [lo, hi); insertion sort for short
+     runs; recurse on the smaller side to bound the stack *)
+  let rec sort lo hi =
+    if hi - lo <= 12 then begin
+      for i = lo + 1 to hi - 1 do
+        let x = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && a.(!j) > x do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- x
+      done
+    end
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* median of three as pivot *)
+      if a.(mid) < a.(lo) then swap mid lo;
+      if a.(hi - 1) < a.(lo) then swap (hi - 1) lo;
+      if a.(hi - 1) < a.(mid) then swap (hi - 1) mid;
+      let v = a.(mid) in
+      let lt = ref lo and i = ref lo and gt = ref hi in
+      while !i < !gt do
+        let x = a.(!i) in
+        if x < v then begin
+          swap !lt !i;
+          incr lt;
+          incr i
+        end
+        else if x > v then begin
+          decr gt;
+          swap !i !gt
+        end
+        else incr i
+      done;
+      if !lt - lo <= hi - !gt then begin
+        sort lo !lt;
+        sort !gt hi
+      end
+      else begin
+        sort !gt hi;
+        sort lo !lt
+      end
+    end
+  in
+  sort 0 len;
+  if len = 0 then 0
+  else begin
+    let w = ref 1 in
+    for i = 1 to len - 1 do
+      if a.(i) <> a.(!w - 1) then begin
+        a.(!w) <- a.(i);
+        incr w
+      end
+    done;
+    !w
+  end

@@ -1,0 +1,30 @@
+(** Interning table for flat packed signatures.
+
+    A signature is an int array (a sorted, deduplicated encoding of a
+    state's one-step behaviour) paired with the state's current block;
+    {!classify} assigns dense ids in insertion order, which — when
+    states are classified in ascending state order — reproduces exactly
+    the block numbering of the legacy list-signature engines. *)
+
+type t
+
+val create : unit -> t
+
+(** Drop all keys and restart ids at 0 (call between rounds). *)
+val reset : t -> unit
+
+(** [classify t ~block sig_] returns the dense id for the key
+    [(block, sig_)], allocating the next id on first sight. The array
+    is captured by reference — callers must pass a fresh (or never
+    again mutated) array. *)
+val classify : t -> block:int -> int array -> int
+
+(** Number of distinct keys classified since the last {!reset}. *)
+val count : t -> int
+
+(** [sort_dedup a len] sorts [a.(0 .. len-1)] in place (ascending) and
+    compacts away duplicates, returning the deduplicated length. The
+    tail beyond the returned length is unspecified. Dutch-flag
+    quicksort: duplicate-heavy inputs (signature inheritance) stay
+    O(n log n). *)
+val sort_dedup : int array -> int -> int

@@ -1,5 +1,7 @@
 module Bitset = Mv_util.Bitset
 
+type rev = { rrow : int array; rlbl : int array; rsrc : int array }
+
 type t = {
   nb_states : int;
   initial : int;
@@ -9,6 +11,10 @@ type t = {
   lbl : int array;
   dst : int array;
   row : int array; (* row.(s) .. row.(s+1)-1 are the transitions of s *)
+  (* reverse index (rows by dst), built lazily on first use. Rebuilding
+     it twice from concurrent domains is harmless: both builds produce
+     identical arrays and either write wins. *)
+  mutable rev : rev option;
 }
 
 let compare_triple (s1, l1, d1) (s2, l2, d2) =
@@ -47,7 +53,7 @@ let make_array ~nb_states ~initial ~labels transitions =
   for s = 1 to nb_states do
     row.(s) <- row.(s) + row.(s - 1)
   done;
-  { nb_states; initial; labels; src; lbl; dst; row }
+  { nb_states; initial; labels; src; lbl; dst; row; rev = None }
 
 let make ~nb_states ~initial ~labels transitions =
   make_array ~nb_states ~initial ~labels (Array.of_list transitions)
@@ -74,11 +80,48 @@ let iter_transitions t f =
     f t.src.(i) t.lbl.(i) t.dst.(i)
   done
 
+let reverse_index t =
+  match t.rev with
+  | Some r -> r
+  | None ->
+    let m = nb_transitions t in
+    let rrow = Array.make (t.nb_states + 1) 0 in
+    let rlbl = Array.make (max m 1) 0 in
+    let rsrc = Array.make (max m 1) 0 in
+    for i = 0 to m - 1 do
+      rrow.(t.dst.(i) + 1) <- rrow.(t.dst.(i) + 1) + 1
+    done;
+    for s = 1 to t.nb_states do
+      rrow.(s) <- rrow.(s) + rrow.(s - 1)
+    done;
+    let fill = Array.copy rrow in
+    for i = 0 to m - 1 do
+      let j = fill.(t.dst.(i)) in
+      rlbl.(j) <- t.lbl.(i);
+      rsrc.(j) <- t.src.(i);
+      fill.(t.dst.(i)) <- j + 1
+    done;
+    let r = { rrow; rlbl; rsrc } in
+    t.rev <- Some r;
+    r
+
+let iter_in t s f =
+  let r = reverse_index t in
+  for i = r.rrow.(s) to r.rrow.(s + 1) - 1 do
+    f r.rlbl.(i) r.rsrc.(i)
+  done
+
+let in_degree t s =
+  let r = reverse_index t in
+  r.rrow.(s + 1) - r.rrow.(s)
+
 let in_adjacency t =
   let preds = Array.make t.nb_states [] in
-  (* iterate backwards so the lists come out in forward order *)
-  for i = nb_transitions t - 1 downto 0 do
-    preds.(t.dst.(i)) <- (t.lbl.(i), t.src.(i)) :: preds.(t.dst.(i))
+  for s = 0 to t.nb_states - 1 do
+    (* collect in reverse so each list comes out in index order *)
+    let acc = ref [] in
+    iter_in t s (fun l src -> acc := (l, src) :: !acc);
+    preds.(s) <- List.rev !acc
   done;
   preds
 

@@ -1,5 +1,6 @@
 module Bitset = Mv_util.Bitset
 module Obs = Mv_obs.Obs
+module Solver = Mv_kern.Solver
 
 type transition = {
   src : int;
@@ -89,21 +90,17 @@ let bsccs t =
   !out
 
 (* Stationary solve restricted to an irreducible subset:
-   pi_j = (sum_{i in subset, i<>j} pi_i q_ij) / E_j. The in-adjacency is
-   materialized once per call.
+   pi_j = (sum_{i in subset, i<>j} pi_i q_ij) / E_j.
 
-   Sequential path: Gauss-Seidel (in-place sweeps). Pooled path: damped
-   Jacobi — every state's update reads only the previous iterate, so
-   states are independent within a sweep and the sweep parallelizes.
-   The undamped Jacobi operator has the spectrum of the embedded jump
-   chain (unit spectral radius, possibly complex eigenvalues on the
-   unit circle for periodic structure), so a damping factor < 1 is
-   required for convergence; the residual tested against [tolerance]
-   is the undamped one, making the stopping criterion comparable to
-   Gauss-Seidel's. Scheduling never affects the result: each sweep
-   writes disjoint slots and the reductions (residual, normalization)
-   are sequential, so any pool size gives bit-identical vectors. *)
-let steady_state_on_subset t ?pool ?(tolerance = 1e-13)
+   The subset is renumbered into a contiguous local system in BFS
+   order from its first state (following outgoing transitions inside
+   the subset), which keeps the incoming-CSR accesses of neighbouring
+   states close together; the actual sweeps are the Mv_kern.Solver
+   kernels. Method selection: Gauss-Seidel by default; damped Jacobi
+   when a pool of size > 1 is given (the only method whose sweeps
+   parallelize — and any pool size gives bit-identical vectors); an
+   explicit [method_] overrides both. *)
+let steady_state_on_subset t ?pool ?method_ ?(tolerance = 1e-13)
     ?(max_iterations = 200_000) subset =
   match subset with
   | [] -> invalid_arg "Ctmc.steady_state_on_subset: empty"
@@ -111,106 +108,76 @@ let steady_state_on_subset t ?pool ?(tolerance = 1e-13)
     let pi = Array.make t.nb_states 0.0 in
     pi.(s) <- 1.0;
     (pi, Solver_stats.exact)
-  | _ ->
+  | first :: _ ->
     let member = Bitset.of_list t.nb_states subset in
-    let incoming = Array.make t.nb_states [] in
-    let exit = Array.make t.nb_states 0.0 in
+    let size = List.length subset in
+    (* BFS renumbering: glob.(j) is the global id of local state j *)
+    let glob = Array.make size 0 in
+    let loc = Array.make t.nb_states (-1) in
+    let visited = ref 0 in
+    let visit s =
+      if loc.(s) < 0 then begin
+        loc.(s) <- !visited;
+        glob.(!visited) <- s;
+        incr visited
+      end
+    in
+    visit first;
+    let head = ref 0 in
+    while !head < !visited do
+      let s = glob.(!head) in
+      incr head;
+      iter_out t s (fun tr ->
+          if tr.dst <> tr.src && Bitset.mem member tr.dst then visit tr.dst)
+    done;
+    (* an irreducible subset is fully visited; sweep up the rest for
+       safety on callers that pass a non-strongly-connected subset *)
+    List.iter visit subset;
+    let inside tr =
+      tr.src <> tr.dst && Bitset.mem member tr.src && Bitset.mem member tr.dst
+    in
+    let in_row = Array.make (size + 1) 0 in
+    Array.iter
+      (fun tr -> if inside tr then in_row.(loc.(tr.dst) + 1) <- in_row.(loc.(tr.dst) + 1) + 1)
+      t.transitions;
+    for j = 1 to size do
+      in_row.(j) <- in_row.(j) + in_row.(j - 1)
+    done;
+    let nb_in = in_row.(size) in
+    let in_src = Array.make (max nb_in 1) 0 in
+    let in_rate = Array.make (max nb_in 1) 0.0 in
+    let exit = Array.make size 0.0 in
+    let fill = Array.copy in_row in
     Array.iter
       (fun tr ->
-         if
-           tr.src <> tr.dst && Bitset.mem member tr.src && Bitset.mem member tr.dst
-         then begin
-           incoming.(tr.dst) <- (tr.src, tr.rate) :: incoming.(tr.dst);
-           exit.(tr.src) <- exit.(tr.src) +. tr.rate
+         if inside tr then begin
+           let j = loc.(tr.dst) in
+           let i = fill.(j) in
+           in_src.(i) <- loc.(tr.src);
+           in_rate.(i) <- tr.rate;
+           fill.(j) <- i + 1;
+           exit.(loc.(tr.src)) <- exit.(loc.(tr.src)) +. tr.rate
          end)
       t.transitions;
-    let pi = Array.make t.nb_states 0.0 in
-    let size = List.length subset in
-    List.iter (fun s -> pi.(s) <- 1.0 /. float_of_int size) subset;
-    let iteration = ref 0 in
-    let delta = ref infinity in
-    let residual_series = Obs.series "solver.residual" in
-    let first_delta = ref 0.0 in
-    let record_iteration () =
-      Obs.push residual_series !delta;
-      if !first_delta = 0.0 then first_delta := !delta;
-      if !iteration land 255 = 0 then
-        Obs.progress (fun () ->
-            Printf.sprintf "solve: iteration %d, residual %.3g" !iteration
-              !delta)
+    let sys = { Solver.size; in_row; in_src; in_rate; exit } in
+    let local = Array.make size (1.0 /. float_of_int size) in
+    let method_ =
+      match method_ with
+      | Some m -> m
+      | None -> (
+          match pool with
+          | Some pool when Mv_par.Pool.size pool > 1 && size > 64 ->
+            Solver.Jacobi
+          | _ -> Solver.Gauss_seidel)
     in
-    (match pool with
-     | Some pool when Mv_par.Pool.size pool > 1 && size > 64 ->
-       let states = Array.of_list subset in
-       let next = Array.make t.nb_states 0.0 in
-       let residual = Array.make size 0.0 in
-       let omega = 0.7 in
-       while !delta > tolerance && !iteration < max_iterations do
-         Mv_par.Par.parallel_for pool ~lo:0 ~hi:size (fun k ->
-             let j = states.(k) in
-             if exit.(j) > 0.0 then begin
-               let flow = ref 0.0 in
-               List.iter
-                 (fun (i, q) -> flow := !flow +. (pi.(i) *. q))
-                 incoming.(j);
-               let updated = !flow /. exit.(j) in
-               residual.(k) <- abs_float (updated -. pi.(j));
-               next.(j) <- ((1.0 -. omega) *. pi.(j)) +. (omega *. updated)
-             end
-             else begin
-               residual.(k) <- 0.0;
-               next.(j) <- pi.(j)
-             end);
-         delta := 0.0;
-         Array.iter (fun r -> if r > !delta then delta := r) residual;
-         let total = ref 0.0 in
-         Array.iter (fun j -> total := !total +. next.(j)) states;
-         if !total > 0.0 then
-           Array.iter (fun j -> pi.(j) <- next.(j) /. !total) states
-         else Array.iter (fun j -> pi.(j) <- next.(j)) states;
-         incr iteration;
-         record_iteration ()
-       done
-     | _ ->
-       while !delta > tolerance && !iteration < max_iterations do
-         delta := 0.0;
-         List.iter
-           (fun j ->
-              if exit.(j) > 0.0 then begin
-                let flow = ref 0.0 in
-                List.iter
-                  (fun (i, q) -> flow := !flow +. (pi.(i) *. q))
-                  incoming.(j);
-                let updated = !flow /. exit.(j) in
-                delta := max !delta (abs_float (updated -. pi.(j)));
-                pi.(j) <- updated
-              end)
-           subset;
-         let total = ref 0.0 in
-         List.iter (fun s -> total := !total +. pi.(s)) subset;
-         if !total > 0.0 then
-           List.iter (fun s -> pi.(s) <- pi.(s) /. !total) subset;
-         incr iteration;
-         record_iteration ()
-       done);
-    Obs.add (Obs.counter "solver.iterations") !iteration;
-    Obs.set (Obs.gauge "solver.final_residual") !delta;
-    (* geometric-mean contraction factor per sweep — a cheap stand-in
-       for the magnitude of the iteration operator's dominant
-       eigenvalue *)
-    if !iteration > 1 && !first_delta > 0.0 && !delta > 0.0 then
-      Obs.set
-        (Obs.gauge "solver.contraction")
-        (Float.exp
-           (Float.log (!delta /. !first_delta)
-            /. float_of_int (!iteration - 1)));
-    ( pi,
-      Solver_stats.
-        {
-          iterations = !iteration;
-          residual = !delta;
-          converged = !delta <= tolerance;
-        } )
+    let iterations, residual, converged =
+      Solver.steady_state ?pool ~tolerance ~max_iterations ~method_ sys local
+    in
+    let pi = Array.make t.nb_states 0.0 in
+    for j = 0 to size - 1 do
+      pi.(glob.(j)) <- local.(j)
+    done;
+    (pi, Solver_stats.{ iterations; residual; converged })
 
 (* Probability, from each state, of eventual absorption into a given
    BSCC, via Gauss-Seidel on the embedded chain: a_s = sum p_ss' a_s'. *)
@@ -255,14 +222,14 @@ let absorption_probabilities t bscc_list =
   done;
   prob
 
-let steady_state_stats ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
-    t =
+let steady_state_stats ?pool ?method_ ?(tolerance = 1e-13)
+    ?(max_iterations = 200_000) t =
   Obs.span "ctmc.steady_state" @@ fun () ->
   let bottom = bsccs t in
   match bottom with
   | [] -> assert false (* every finite digraph has a bottom SCC *)
   | [ single ] ->
-    steady_state_on_subset t ?pool ~tolerance ~max_iterations single
+    steady_state_on_subset t ?pool ?method_ ~tolerance ~max_iterations single
   | _ ->
     let reach = absorption_probabilities t bottom in
     let pi = Array.make t.nb_states 0.0 in
@@ -272,7 +239,8 @@ let steady_state_stats ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
          let alpha = reach.(k).(t.initial) in
          if alpha > 0.0 then begin
            let local, local_stats =
-             steady_state_on_subset t ?pool ~tolerance ~max_iterations members
+             steady_state_on_subset t ?pool ?method_ ~tolerance
+               ~max_iterations members
            in
            stats := Solver_stats.combine !stats local_stats;
            List.iter (fun s -> pi.(s) <- pi.(s) +. (alpha *. local.(s))) members
@@ -280,8 +248,8 @@ let steady_state_stats ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
       bottom;
     (pi, !stats)
 
-let steady_state ?pool ?tolerance ?max_iterations t =
-  fst (steady_state_stats ?pool ?tolerance ?max_iterations t)
+let steady_state ?pool ?method_ ?tolerance ?max_iterations t =
+  fst (steady_state_stats ?pool ?method_ ?tolerance ?max_iterations t)
 
 let uniformization_matrix t =
   let rates = exit_rates t in

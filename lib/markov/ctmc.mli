@@ -28,8 +28,10 @@ val nb_transitions : t -> int
 val initial : t -> int
 val iter_transitions : t -> (transition -> unit) -> unit
 
-(** [exit_rate t] — total rate out of each state, excluding self-loops
-    (which do not affect the stochastic process). *)
+(** [exit_rates t] — total rate out of each state. Self-loop
+    transitions are excluded: re-entering the same state leaves the
+    sojourn-time distribution unchanged, so self-loops contribute to
+    action throughputs but never to exit rates. *)
 val exit_rates : t -> float array
 
 (** States with no outgoing non-self transition. *)
@@ -51,14 +53,18 @@ val bsccs : t -> int list list
     by the probability of absorption into each BSCC from the initial
     state.
 
-    With a [pool] of size [> 1], each (large enough) BSCC is solved by
-    a parallel damped-Jacobi sweep instead of sequential Gauss-Seidel;
-    the result is deterministic for a given pool (independent of
-    scheduling and pool size) and agrees with the sequential vector to
-    within the iteration tolerance. *)
+    Each BSCC is renumbered in BFS order into a contiguous CSR system
+    and solved by the {!Mv_kern.Solver} kernels. [method_] selects the
+    iteration: Gauss-Seidel (the default — fewest iterations),
+    [Sor omega], or damped Jacobi. Without an explicit [method_], a
+    [pool] of size [> 1] selects Jacobi for every large-enough BSCC —
+    the only method whose sweeps parallelize; the result is then
+    deterministic for any pool size (bit-identical vectors) and agrees
+    with the sequential methods to within the iteration tolerance. *)
 
 val steady_state :
   ?pool:Mv_par.Pool.t ->
+  ?method_:Mv_kern.Solver.method_ ->
   ?tolerance:float ->
   ?max_iterations:int ->
   t ->
@@ -68,6 +74,7 @@ val steady_state :
     BSCCs are {!Solver_stats.combine}d). *)
 val steady_state_stats :
   ?pool:Mv_par.Pool.t ->
+  ?method_:Mv_kern.Solver.method_ ->
   ?tolerance:float ->
   ?max_iterations:int ->
   t ->

@@ -1,0 +1,282 @@
+(* Tests for mv_kern: CSR adjacency, the refinable partition, signature
+   sort/dedup, the solver kernels, and — the contract everything else
+   rests on — agreement of the flat refinement engines with the legacy
+   signature engines, block ids included, at every pool size. *)
+
+module Lts = Mv_lts.Lts
+module Label = Mv_lts.Label
+module Csr = Mv_kern.Csr
+module Part = Mv_kern.Part
+module Sig_table = Mv_kern.Sig_table
+module Solver = Mv_kern.Solver
+module Strong = Mv_bisim.Strong
+module Branching = Mv_bisim.Branching
+module Partition = Mv_bisim.Partition
+module Imc = Mv_imc.Imc
+module Lump = Mv_imc.Lump
+module Ctmc = Mv_markov.Ctmc
+
+let build transitions ~nb_states ~initial =
+  let labels = Label.create () in
+  let interned =
+    List.map (fun (s, l, d) -> (s, Label.intern labels l, d)) transitions
+  in
+  Lts.make ~nb_states ~initial ~labels interned
+
+(* ---- CSR ---- *)
+
+let test_csr_forward_matches_iter_out () =
+  let lts =
+    build ~nb_states:4 ~initial:0
+      [ (0, "a", 1); (0, "b", 2); (1, "a", 3); (3, "a", 0); (3, "a", 3) ]
+  in
+  let fwd = Csr.forward lts in
+  Alcotest.(check int) "rows" 4 (Csr.nb_rows fwd);
+  Alcotest.(check int) "entries" 5 (Csr.nb_entries fwd);
+  for s = 0 to 3 do
+    let from_lts = ref [] in
+    Lts.iter_out lts s (fun l d -> from_lts := (l, d) :: !from_lts);
+    let from_csr = ref [] in
+    for i = fwd.Csr.row.(s + 1) - 1 downto fwd.Csr.row.(s) do
+      from_csr := (fwd.Csr.lbl.(i), fwd.Csr.col.(i)) :: !from_csr
+    done;
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "row %d" s)
+      (List.rev !from_lts) !from_csr
+  done
+
+let test_csr_reverse_matches_iter_in () =
+  let lts =
+    build ~nb_states:4 ~initial:0
+      [ (0, "a", 1); (0, "b", 2); (1, "a", 3); (3, "a", 0); (3, "a", 3) ]
+  in
+  let rev = Csr.reverse lts in
+  Alcotest.(check int) "entries" 5 (Csr.nb_entries rev);
+  for s = 0 to 3 do
+    let from_lts = ref [] in
+    Lts.iter_in lts s (fun l src -> from_lts := (l, src) :: !from_lts);
+    let from_csr = ref [] in
+    for i = rev.Csr.row.(s + 1) - 1 downto rev.Csr.row.(s) do
+      from_csr := (rev.Csr.lbl.(i), rev.Csr.col.(i)) :: !from_csr
+    done;
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "row %d" s)
+      (List.rev !from_lts) !from_csr
+  done
+
+let test_csr_deterministic () =
+  let det = build ~nb_states:2 ~initial:0 [ (0, "a", 1); (0, "b", 1) ] in
+  let nondet = build ~nb_states:3 ~initial:0 [ (0, "a", 1); (0, "a", 2) ] in
+  Alcotest.(check bool) "deterministic" true (Csr.deterministic (Csr.forward det));
+  Alcotest.(check bool) "nondeterministic" false
+    (Csr.deterministic (Csr.forward nondet))
+
+(* ---- refinable partition ---- *)
+
+let test_part_mark_split () =
+  let p = Part.create 5 in
+  Alcotest.(check int) "one block" 1 (Part.count p);
+  Alcotest.(check int) "size" 5 (Part.size p 0);
+  Part.mark p 1;
+  Part.mark p 3;
+  Part.mark p 1;
+  (* idempotent *)
+  Alcotest.(check int) "marked" 2 (Part.marked p 0);
+  let c = Part.split_marked p 0 in
+  Alcotest.(check bool) "fresh block" true (c >= 0);
+  Alcotest.(check int) "two blocks" 2 (Part.count p);
+  Alcotest.(check int) "split sizes" 5 (Part.size p 0 + Part.size p c);
+  Alcotest.(check bool) "1 and 3 together" true
+    (Part.block_of p 1 = Part.block_of p 3);
+  Alcotest.(check bool) "0 and 1 apart" false
+    (Part.block_of p 0 = Part.block_of p 1);
+  (* marking every state of a block must NOT split it *)
+  let b = Part.block_of p 0 in
+  Part.iter_block p b (fun s -> Part.mark p s);
+  Alcotest.(check int) "all-marked split refused" (-1) (Part.split_marked p b);
+  Alcotest.(check int) "still two blocks" 2 (Part.count p);
+  Alcotest.(check int) "marks cleared" 0 (Part.marked p b)
+
+let test_part_assignment_canonical () =
+  let p = Part.create 4 in
+  (* split {2,3} away, then {1} away: blocks by first occurrence must
+     come out 0 -> 0, 1 -> 1, 2 -> 2, 3 -> 2 whatever internal ids the
+     splits produced *)
+  Part.mark p 2;
+  Part.mark p 3;
+  ignore (Part.split_marked p 0);
+  Part.mark p 1;
+  ignore (Part.split_marked p 0);
+  let block_of, count = Part.assignment p in
+  Alcotest.(check int) "three blocks" 3 count;
+  Alcotest.(check (array int)) "canonical ids" [| 0; 1; 2; 2 |] block_of
+
+(* ---- sort_dedup ---- *)
+
+let test_sort_dedup () =
+  let a = [| 5; 1; 5; 3; 1; 1; 9; 3 |] in
+  let len = Sig_table.sort_dedup a (Array.length a) in
+  Alcotest.(check int) "length" 4 len;
+  Alcotest.(check (array int)) "prefix" [| 1; 3; 5; 9 |] (Array.sub a 0 len);
+  (* prefix lengths and duplicate-only arrays *)
+  let b = [| 7; 7; 7; 0 |] in
+  let len = Sig_table.sort_dedup b 3 in
+  Alcotest.(check int) "all equal" 1 len;
+  Alcotest.(check int) "kept" 7 b.(0);
+  Alcotest.(check int) "empty" 0 (Sig_table.sort_dedup [||] 0)
+
+let sort_dedup_prop =
+  QCheck2.Test.make ~name:"sort_dedup agrees with List.sort_uniq" ~count:200
+    QCheck2.Gen.(list_size (int_bound 60) (int_range (-50) 50))
+    (fun l ->
+       let a = Array.of_list l in
+       let len = Sig_table.sort_dedup a (Array.length a) in
+       Array.to_list (Array.sub a 0 len) = List.sort_uniq compare l)
+
+(* ---- flat engines vs legacy engines ---- *)
+
+let lts_gen =
+  QCheck2.Gen.(
+    let* nb_states = int_range 1 14 in
+    let* transitions =
+      list_size (int_bound 40)
+        (triple (int_bound (nb_states - 1))
+           (oneofl [ "a"; "b"; "c"; "i" ])
+           (int_bound (nb_states - 1)))
+    in
+    return (build ~nb_states ~initial:0 transitions))
+
+let same_partition (p : Partition.t) (q : Partition.t) =
+  p.Partition.count = q.Partition.count
+  && p.Partition.block_of = q.Partition.block_of
+
+(* The engines must agree block id for block id (not just up to
+   renaming): quotients are then byte-identical and Mv_store cache
+   keys stay valid. The pool never changes results, so the flat -j1
+   partition is checked against the legacy engine at -j1 and -j4. *)
+let strong_matches_legacy_prop =
+  QCheck2.Test.make ~name:"strong: flat engine = legacy engine (-j1, -j4)"
+    ~count:120 lts_gen
+    (fun lts ->
+       let flat = Strong.partition lts in
+       same_partition flat (Strong.partition_legacy lts)
+       && Mv_par.Pool.with_pool ~domains:4 (fun pool ->
+           same_partition flat (Strong.partition_legacy ~pool lts)))
+
+let branching_matches_legacy_prop =
+  QCheck2.Test.make ~name:"branching: flat engine = legacy engine (-j1, -j4)"
+    ~count:120 lts_gen
+    (fun lts ->
+       let flat = Branching.partition lts in
+       same_partition flat (Branching.partition_legacy lts)
+       && Mv_par.Pool.with_pool ~domains:4 (fun pool ->
+           same_partition (Branching.partition ~pool lts)
+             (Branching.partition_legacy ~pool lts)))
+
+let divbranching_matches_legacy_prop =
+  QCheck2.Test.make ~name:"divbranching: flat engine = legacy engine" ~count:120
+    lts_gen
+    (fun lts ->
+       same_partition
+         (Branching.partition ~divergence_sensitive:true lts)
+         (Branching.partition_legacy ~divergence_sensitive:true lts))
+
+let imc_gen =
+  QCheck2.Gen.(
+    let* nb_states = int_range 2 10 in
+    let* markovian =
+      list_size (int_range 1 16)
+        (triple (int_bound (nb_states - 1))
+           (float_range 0.5 4.0)
+           (int_bound (nb_states - 1)))
+    in
+    let* interactive_raw =
+      list_size (int_bound 6)
+        (triple (int_bound (nb_states - 1))
+           (oneofl [ "a"; "b"; "i" ])
+           (int_bound (nb_states - 1)))
+    in
+    let labels = Label.create () in
+    let interactive =
+      List.map (fun (s, l, d) -> (s, Label.intern labels l, d)) interactive_raw
+    in
+    return (Imc.make ~nb_states ~initial:0 ~labels ~interactive ~markovian))
+
+let lump_matches_legacy_prop =
+  QCheck2.Test.make ~name:"lump: flat engine = legacy engine" ~count:120 imc_gen
+    (fun imc ->
+       same_partition (Lump.partition imc) (Lump.partition_legacy imc))
+
+(* ---- solver kernels ---- *)
+
+(* A random ergodic CTMC: a cycle 0 -> 1 -> ... -> n-1 -> 0 guarantees
+   irreducibility, plus random extra transitions. *)
+let ctmc_gen =
+  QCheck2.Gen.(
+    let* nb_states = int_range 2 30 in
+    let* extra =
+      list_size (int_bound 40)
+        (triple (int_bound (nb_states - 1))
+           (float_range 0.2 5.0)
+           (int_bound (nb_states - 1)))
+    in
+    let cycle =
+      List.init nb_states (fun s ->
+          { Ctmc.src = s; rate = 1.0; actions = []; dst = (s + 1) mod nb_states })
+    in
+    let extra =
+      List.map (fun (s, r, d) -> { Ctmc.src = s; rate = r; actions = []; dst = d })
+        extra
+    in
+    return (Ctmc.make ~nb_states ~initial:0 (cycle @ extra)))
+
+let max_abs_diff a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+let solver_methods_agree_prop =
+  QCheck2.Test.make ~name:"solver: gs, sor and jacobi give the same vector"
+    ~count:60 ctmc_gen
+    (fun ctmc ->
+       let solve m = Ctmc.steady_state ~method_:m ctmc in
+       let gs = solve Solver.Gauss_seidel in
+       let sor = solve (Solver.Sor Solver.default_sor_omega) in
+       let jac = solve Solver.Jacobi in
+       max_abs_diff gs sor < 1e-9 && max_abs_diff gs jac < 1e-9)
+
+let test_solver_method_names () =
+  List.iter
+    (fun (name, expected) ->
+       let got =
+         Option.map Solver.method_name (Solver.method_of_name name)
+       in
+       Alcotest.(check (option string)) name expected got)
+    [
+      ("jacobi", Some "jacobi");
+      ("gs", Some "gs");
+      ("gauss-seidel", Some "gs");
+      ("sor", Some "sor");
+      ("newton", None);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "csr forward matches iter_out" `Quick
+      test_csr_forward_matches_iter_out;
+    Alcotest.test_case "csr reverse matches iter_in" `Quick
+      test_csr_reverse_matches_iter_in;
+    Alcotest.test_case "csr determinism check" `Quick test_csr_deterministic;
+    Alcotest.test_case "refinable partition mark/split" `Quick
+      test_part_mark_split;
+    Alcotest.test_case "refinable partition canonical assignment" `Quick
+      test_part_assignment_canonical;
+    Alcotest.test_case "sort_dedup" `Quick test_sort_dedup;
+    QCheck_alcotest.to_alcotest sort_dedup_prop;
+    QCheck_alcotest.to_alcotest strong_matches_legacy_prop;
+    QCheck_alcotest.to_alcotest branching_matches_legacy_prop;
+    QCheck_alcotest.to_alcotest divbranching_matches_legacy_prop;
+    QCheck_alcotest.to_alcotest lump_matches_legacy_prop;
+    QCheck_alcotest.to_alcotest solver_methods_agree_prop;
+    Alcotest.test_case "solver method names" `Quick test_solver_method_names;
+  ]

@@ -8,6 +8,7 @@ let () =
       ("lts", Test_lts.suite);
       ("markov", Test_markov.suite);
       ("bisim", Test_bisim.suite);
+      ("kern", Test_kern.suite);
       ("diagnostics", Test_diagnostics.suite);
       ("mcl", Test_mcl.suite);
       ("calc", Test_calc.suite);
