@@ -906,6 +906,231 @@ let e10_kernels () =
     :: !bench_extra
 
 (* ------------------------------------------------------------------ *)
+(* E11: mvald under concurrent load                                    *)
+
+(* An in-process Mv_serve server (Unix socket in a sandbox, its own
+   artifact cache) hammered by concurrent client threads, one
+   connection each — the same shape as `mvald` + N × `mval --remote`.
+   Three phases of `minimize` requests over distinct buffer-chain
+   models (a distinct input gate per model = a distinct cache key):
+   cold (every request computes and fills the cache), warm (the same
+   requests replayed, all cache hits) and mixed (half warm, half new).
+   Per phase: wall clock, req/s, p50/p99 latency and the cache
+   provenance summed over the responses. CI asserts warm req/s >= 5x
+   cold req/s from the "e11" record in BENCH_multival.json.
+
+   The workload is the E6 buffer chain (7 one-definition buffers wired
+   input-to-output, internal gates hidden): generation explores 3^7
+   states through the Par/Hide tree and branching minimization
+   collapses the tau mass to a 15-state counter, so a cold request is
+   dominated by computation while a warm one only replays two small
+   artifacts — the cache-friendly many-small-queries shape the daemon
+   exists for. *)
+
+let e11_clients = 8
+let e11_per_client = 4
+let e11_workers = 4
+let e11_buffers = 7
+
+let e11_model_text k =
+  let buf input output = Printf.sprintf "Buf[%s, %s](0)" input output in
+  let gate i = Printf.sprintf "g%d" i in
+  let rec wire acc i =
+    if i >= e11_buffers then acc
+    else
+      let out = if i = e11_buffers - 1 then "pop" else gate i in
+      wire
+        (Printf.sprintf "(%s |[%s]| %s)" acc
+           (gate (i - 1))
+           (buf (gate (i - 1)) out))
+        (i + 1)
+  in
+  let init = wire (buf (Printf.sprintf "push%d" k) (gate 0)) 1 in
+  let hidden = String.concat ", " (List.init (e11_buffers - 1) gate) in
+  Printf.sprintf
+    {|process Buf [input, output] (n : int[0..2]) :=
+    [n < 2] -> input ; Buf[input, output](n + 1)
+ [] [n > 0] -> output ; Buf[input, output](n - 1)
+init hide %s in %s
+|}
+    hidden init
+
+let e11_serve () =
+  let module Proto = Mv_serve.Proto in
+  let module Server = Mv_serve.Server in
+  let module Client = Mv_serve.Client in
+  let dir = Filename.temp_file "mv_e11" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec remove_tree path =
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun entry -> remove_tree (Filename.concat path entry))
+        (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let cache = Mv_store.Cache.open_dir (Filename.concat dir "cache") in
+  let server =
+    Server.create
+      {
+        Server.addr = Proto.Unix_path (Filename.concat dir "mvald.sock");
+        workers = e11_workers;
+        queue_capacity = 256;
+        max_frame = Proto.default_max_frame;
+        cache = Some cache;
+      }
+  in
+  let addr = Server.addr server in
+  let server_thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.initiate_drain server;
+      Thread.join server_thread)
+  @@ fun () ->
+  let minimize_args k =
+    Json.Obj
+      [
+        ( "model",
+          Json.Obj
+            [
+              ("kind", Json.String "mvl");
+              ("text", Json.String (e11_model_text k));
+            ] );
+      ]
+  in
+  (* One phase: client [i] issues the model ids [plan i] in order on
+     its own connection; all clients run concurrently. Returns the
+     phase wall clock and every (latency, hits, misses). *)
+  let run_phase plan =
+    let results = Array.make e11_clients [] in
+    let worker i =
+      Client.with_connection addr @@ fun conn ->
+      results.(i) <-
+        List.map
+          (fun k ->
+             let t0 = Unix.gettimeofday () in
+             let response = Client.call conn ~op:"minimize" (minimize_args k) in
+             let latency = Unix.gettimeofday () -. t0 in
+             (match response.Proto.outcome with
+              | Ok _ -> ()
+              | Error e -> failwith ("E11 request failed: " ^ e.Proto.message));
+             let hits, misses =
+               match response.Proto.cache with
+               | Some provenance -> provenance
+               | None -> (0, 0)
+             in
+             (latency, hits, misses))
+          (plan i)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init e11_clients (fun i -> Thread.create worker i) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    (wall, List.concat (Array.to_list results))
+  in
+  let percentile p latencies =
+    let arr = Array.of_list latencies in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n = 0 then 0.0
+    else
+      arr.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let fresh = e11_clients * e11_per_client in
+  let cold_plan i = List.init e11_per_client (fun j -> (i * e11_per_client) + j) in
+  (* half replays of the cold set, half never-seen models *)
+  let mixed_plan i =
+    List.init e11_per_client (fun j ->
+        let k = (i * e11_per_client) + j in
+        if j mod 2 = 0 then k else fresh + k)
+  in
+  let phases =
+    List.map
+      (fun (name, plan) ->
+         let wall, results = run_phase plan in
+         let latencies = List.map (fun (l, _, _) -> l) results in
+         let hits = List.fold_left (fun a (_, h, _) -> a + h) 0 results in
+         let misses = List.fold_left (fun a (_, _, m) -> a + m) 0 results in
+         let requests = List.length results in
+         let rps =
+           if wall > 0.0 then float_of_int requests /. wall else 0.0
+         in
+         ( name,
+           requests,
+           wall,
+           rps,
+           1000.0 *. percentile 0.50 latencies,
+           1000.0 *. percentile 0.99 latencies,
+           hits,
+           misses ) )
+      [ ("cold", cold_plan); ("warm", cold_plan); ("mixed", mixed_plan) ]
+  in
+  let rps_of name =
+    match
+      List.find_opt (fun (n, _, _, _, _, _, _, _) -> n = name) phases
+    with
+    | Some (_, _, _, rps, _, _, _, _) -> rps
+    | None -> 0.0
+  in
+  let warm_over_cold =
+    let cold = rps_of "cold" in
+    if cold > 0.0 then rps_of "warm" /. cold else 0.0
+  in
+  let gauges =
+    Client.with_connection addr @@ fun conn ->
+    match (Client.call conn ~op:"metrics" (Json.Obj [])).Proto.outcome with
+    | Ok (Json.Obj fields) ->
+      (match List.assoc_opt "server" fields with
+       | Some (Json.Obj _ as server) -> server
+       | _ -> Json.Null)
+    | _ -> Json.Null
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E11  mvald load bench: %d clients x %d requests/phase, %d workers, \
+          unix socket (warm/cold req/s %.1fx)"
+         e11_clients e11_per_client e11_workers warm_over_cold)
+    ~header:
+      [ "phase"; "requests"; "wall s"; "req/s"; "p50 ms"; "p99 ms"; "hits";
+        "misses" ]
+    (List.map
+       (fun (name, requests, wall, rps, p50, p99, hits, misses) ->
+          [ name; string_of_int requests; f wall; f rps; f p50; f p99;
+            string_of_int hits; string_of_int misses ])
+       phases);
+  bench_extra :=
+    ( "e11",
+      Json.Obj
+        [
+          ("clients", Json.Int e11_clients);
+          ("requests_per_client", Json.Int e11_per_client);
+          ("workers", Json.Int e11_workers);
+          ( "phases",
+            Json.List
+              (List.map
+                 (fun (name, requests, wall, rps, p50, p99, hits, misses) ->
+                    Json.Obj
+                      [
+                        ("name", Json.String name);
+                        ("requests", Json.Int requests);
+                        ("wall_s", Json.Float wall);
+                        ("rps", Json.Float rps);
+                        ("p50_ms", Json.Float p50);
+                        ("p99_ms", Json.Float p99);
+                        ("hits", Json.Int hits);
+                        ("misses", Json.Int misses);
+                      ])
+                 phases) );
+          ("warm_over_cold_rps", Json.Float warm_over_cold);
+          ("server", gauges);
+        ] )
+    :: !bench_extra
+
+(* ------------------------------------------------------------------ *)
 (* E9: the artifact cache: cold vs warm SVL run                        *)
 
 (* One SVL script over the xSTream tandem, run twice against the same
@@ -995,7 +1220,7 @@ let () =
       ("E4", e4_erlang);
       ("E5", fun () -> e5_nondet (); e5_nondet_mvl ());
       ("E6", e6_compositional); ("E7", e7_minimization);
-      ("E8", e8_scaling); ("E10", e10_kernels) ]
+      ("E8", e8_scaling); ("E10", e10_kernels); ("E11", e11_serve) ]
   in
   let raw_args =
     match Array.to_list Sys.argv with _ :: args -> args | [] -> []

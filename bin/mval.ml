@@ -14,6 +14,11 @@ module Aut = Mv_lts.Aut
 module Mvb = Mv_store.Mvb
 module Cache = Mv_store.Cache
 module Flow = Mv_core.Flow
+module Budget = Mv_core.Budget
+module Json = Mv_obs.Json
+module Ops = Mv_serve.Ops
+module Proto = Mv_serve.Proto
+module Client = Mv_serve.Client
 
 let read_file path =
   let ic = open_in path in
@@ -23,12 +28,12 @@ let read_file path =
 
 (* Load an LTS from an .aut or .mvb file, or by generating an MVL
    model (memoized through the cache when one is given). *)
-let load_lts ?pool ?max_states ?cache path =
+let load_lts ?pool ?max_states ?cache ?budget path =
   if Filename.check_suffix path ".aut" then Aut.of_string (read_file path)
   else if Filename.check_suffix path ".mvb" then Mvb.read_file path
   else
     Flow.Run.generate
-      { Flow.Config.default with pool; max_states; cache }
+      { Flow.Config.default with pool; max_states; cache; budget }
       (Flow.model_of_text (read_file path))
 
 (* Run [f] with the pool requested by -j: none for -j 1 (fully
@@ -52,27 +57,85 @@ let write_lts output lts =
     Printf.printf "wrote %s (%d states, %d transitions)\n" path
       (Lts.nb_states lts) (Lts.nb_transitions lts)
 
+(* One error table for the whole flow (Ops.classify is also what the
+   daemon uses to build structured errors, so a budget or state-bound
+   violation prints the same message and exit code locally and under
+   --remote). *)
 let handle_errors f =
-  try f () with
-  | Mv_calc.Parser.Parse_error msg | Mv_mcl.Parser.Parse_error msg ->
-    prerr_endline ("parse error: " ^ msg);
+  try f ()
+  with exn -> (
+    match Ops.classify exn with
+    | Some (_, message, code) ->
+      prerr_endline message;
+      exit code
+    | None -> raise exn)
+
+(* Rendered command output (from the shared renderers in Mv_serve.Ops,
+   or shipped back by a daemon): print it and adopt its exit code. *)
+let print_texts (t : Ops.texts) =
+  print_string t.Ops.out;
+  prerr_string t.Ops.err;
+  if t.Ops.code <> 0 then exit t.Ops.code
+
+(* ---- remote execution (mval --remote ADDR) ---- *)
+
+let remote_call addr_text ~op ?budget args =
+  match Proto.addr_of_string addr_text with
+  | Error msg ->
+    prerr_endline ("bad --remote address: " ^ msg);
     exit 2
-  | Mv_calc.Typecheck.Type_error msg ->
-    prerr_endline ("type error: " ^ msg);
-    exit 2
-  | Aut.Parse_error msg ->
-    prerr_endline ("aut parse error: " ^ msg);
-    exit 2
-  | Mvb.Corrupt msg ->
-    prerr_endline ("mvb corrupt: " ^ msg);
-    exit 2
-  | Mv_lts.Explore.Too_many_states n ->
-    prerr_endline
-      (Printf.sprintf "state space exceeds %d states (raise --max-states)" n);
-    exit 3
-  | Sys_error msg ->
-    prerr_endline msg;
-    exit 2
+  | Ok addr -> (
+    try Client.with_connection addr (fun c -> Client.call c ~op ?budget args)
+    with Client.Error msg ->
+      prerr_endline ("remote: " ^ msg);
+      exit 70)
+
+let remote_result (response : Proto.response) =
+  match response.Proto.outcome with
+  | Ok result -> result
+  | Error { Proto.kind; message } ->
+    prerr_endline message;
+    exit (Ops.exit_code_of_kind kind)
+
+let finish_remote response = print_texts (Ops.texts_of_json (remote_result response))
+
+(* A model file as a protocol payload: MVL sources travel as text and
+   are generated daemon-side (hitting its cache); .aut travels
+   verbatim; .mvb is converted to .aut text (the wire format is JSON,
+   not binary) — the round-trip is exact. *)
+let model_payload path =
+  let kind, text =
+    if Filename.check_suffix path ".aut" then ("aut", read_file path)
+    else if Filename.check_suffix path ".mvb" then
+      ("aut", Aut.to_string (Mvb.read_file path))
+    else ("mvl", read_file path)
+  in
+  Json.Obj [ ("kind", Json.String kind); ("text", Json.String text) ]
+
+(* The daemon answers generate/minimize with the .aut artifact text;
+   writing it back through the same Aut/Mvb writers a local run uses
+   keeps the on-disk result byte-identical. *)
+let remote_write_lts output result =
+  match Json.member "artifact" result with
+  | Some (Json.String artifact) -> (
+    match output with
+    | None -> print_string artifact
+    | Some path ->
+      let lts = Aut.of_string artifact in
+      if Filename.check_suffix path ".mvb" then Mvb.write_file path lts
+      else Aut.write_file path lts;
+      Printf.printf "wrote %s (%d states, %d transitions)\n" path
+        (Lts.nb_states lts) (Lts.nb_transitions lts))
+  | _ ->
+    prerr_endline "remote: malformed response (missing artifact)";
+    exit 70
+
+let int_result name result =
+  match Json.member name result with
+  | Some (Json.Int n) -> n
+  | _ ->
+    prerr_endline (Printf.sprintf "remote: malformed response (missing %s)" name);
+    exit 70
 
 module Lint = Mv_lint.Lint
 module Diagnostic = Mv_lint.Diagnostic
@@ -232,48 +295,141 @@ let cache_arg =
 
 let open_cache = Option.map (fun dir -> Cache.open_dir dir)
 
+let remote_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"ADDR"
+        ~env:(Cmd.Env.info "MVAL_REMOTE")
+        ~doc:
+          "Execute on a running $(b,mvald) daemon at $(docv) \
+           ($(b,unix:PATH), $(b,tcp:HOST:PORT) or a plain socket path) \
+           instead of locally. The output is byte-identical to a local \
+           run; warm requests are answered from the daemon's shared \
+           cache.")
+
+let budget_states_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-states" ] ~docv:"N"
+        ~doc:
+          "Abort (exit 5) as soon as any exploration discovers more \
+           than $(docv) states. Unlike $(b,--max-states) this is a \
+           request budget, checked at every flow step; under \
+           $(b,--remote) it is enforced by the daemon.")
+
+let budget_wall_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-wall" ] ~docv:"SECONDS"
+        ~doc:
+          "Abort (exit 5) once the command has run for more than \
+           $(docv) seconds of wall time (checked cooperatively at flow \
+           steps, so slightly more work than the budget may happen). \
+           Under $(b,--remote) the daemon enforces it per request.")
+
+let budget_term =
+  Term.(
+    const (fun states wall -> (states, wall))
+    $ budget_states_arg $ budget_wall_arg)
+
+let budget_spec (states, wall) =
+  if states = None && wall = None then None
+  else Some { Proto.max_states = states; wall_s = wall }
+
+let local_budget (states, wall) =
+  if states = None && wall = None then None
+  else Some (Budget.create ?max_states:states ?wall_s:wall ())
+
+let strings_json items = Json.List (List.map (fun s -> Json.String s) items)
+
 (* ---- generate ---- *)
 
 let generate_cmd =
-  let run () model output max_states hide jobs no_lint cache =
+  let run () model output max_states hide jobs no_lint cache remote budget =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
-        let cache = open_cache cache in
-        with_jobs jobs (fun pool ->
-            let lts = load_lts ?pool ~max_states ?cache model in
-            let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
-            write_lts output lts))
+        match remote with
+        | Some addr ->
+          let result =
+            remote_result
+              (remote_call addr ~op:"generate" ?budget:(budget_spec budget)
+                 (Json.Obj
+                    [
+                      ("model", model_payload model);
+                      ("max_states", Json.Int max_states);
+                      ("hide", strings_json hide);
+                    ]))
+          in
+          remote_write_lts output result
+        | None ->
+          let cache = open_cache cache in
+          with_jobs jobs (fun pool ->
+              let lts =
+                load_lts ?pool ~max_states ?cache
+                  ?budget:(local_budget budget) model
+              in
+              let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
+              write_lts output lts))
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate the state space of an MVL model")
     Term.(
       const run $ obs_term $ model_arg $ output_arg $ max_states_arg $ hide_arg
-      $ jobs_arg $ no_lint_arg $ cache_arg)
+      $ jobs_arg $ no_lint_arg $ cache_arg $ remote_arg $ budget_term)
 
 (* ---- minimize ---- *)
 
 let minimize_cmd =
-  let run () model output max_states equivalence hide jobs no_lint cache =
+  let run () model output max_states equivalence hide jobs no_lint cache remote
+      budget =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
-        let cache = open_cache cache in
-        with_jobs jobs (fun pool ->
-            let lts = load_lts ?pool ~max_states ?cache model in
-            let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
-            let minimized =
-              Flow.Run.minimize
-                { Flow.Config.default with pool; cache }
-                equivalence lts
-            in
-            Printf.eprintf "%d -> %d states\n" (Lts.nb_states lts)
-              (Lts.nb_states minimized);
-            write_lts output minimized))
+        match remote with
+        | Some addr ->
+          let result =
+            remote_result
+              (remote_call addr ~op:"minimize" ?budget:(budget_spec budget)
+                 (Json.Obj
+                    [
+                      ("model", model_payload model);
+                      ( "equivalence",
+                        Json.String (Flow.equivalence_name equivalence) );
+                      ("max_states", Json.Int max_states);
+                      ("hide", strings_json hide);
+                    ]))
+          in
+          prerr_string
+            (Ops.minimize_note
+               ~before:(int_result "states_before" result)
+               ~after:(int_result "states" result));
+          remote_write_lts output result
+        | None ->
+          let cache = open_cache cache in
+          with_jobs jobs (fun pool ->
+              let budget = local_budget budget in
+              let lts =
+                load_lts ?pool ~max_states ?cache ?budget model
+              in
+              let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
+              let minimized =
+                Flow.Run.minimize
+                  { Flow.Config.default with pool; cache; budget }
+                  equivalence lts
+              in
+              prerr_string
+                (Ops.minimize_note ~before:(Lts.nb_states lts)
+                   ~after:(Lts.nb_states minimized));
+              write_lts output minimized))
   in
   Cmd.v
     (Cmd.info "minimize" ~doc:"Minimize modulo strong or branching bisimulation")
     Term.(
       const run $ obs_term $ model_arg $ output_arg $ max_states_arg
-      $ equivalence_arg $ hide_arg $ jobs_arg $ no_lint_arg $ cache_arg)
+      $ equivalence_arg $ hide_arg $ jobs_arg $ no_lint_arg $ cache_arg
+      $ remote_arg $ budget_term)
 
 (* ---- compare ---- *)
 
@@ -284,37 +440,36 @@ let compare_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"MODEL2" ~doc:"Second model.")
   in
-  let run () a b max_states equivalence jobs cache =
+  let run () a b max_states equivalence jobs cache remote budget =
     handle_errors (fun () ->
-        let cache = open_cache cache in
-        with_jobs jobs (fun pool ->
-            let la = load_lts ?pool ~max_states ?cache a
-            and lb = load_lts ?pool ~max_states ?cache b in
-            let equal =
-              Flow.Run.equivalent
-                { Flow.Config.default with pool }
-                equivalence la lb
-            in
-            print_endline (if equal then "equivalent" else "NOT equivalent");
-            if (not equal) && equivalence = Flow.Traces then begin
-              match Mv_bisim.Traces.counterexample la lb with
-              | Some trace ->
-                Printf.printf "first model performs: %s\n"
-                  (String.concat "; " trace)
-              | None -> (
-                  match Mv_bisim.Traces.counterexample lb la with
-                  | Some trace ->
-                    Printf.printf "second model performs: %s\n"
-                      (String.concat "; " trace)
-                  | None -> ())
-            end;
-            exit (if equal then 0 else 1)))
+        match remote with
+        | Some addr ->
+          finish_remote
+            (remote_call addr ~op:"equivalent" ?budget:(budget_spec budget)
+               (Json.Obj
+                  [
+                    ("a", model_payload a);
+                    ("b", model_payload b);
+                    ( "equivalence",
+                      Json.String (Flow.equivalence_name equivalence) );
+                    ("max_states", Json.Int max_states);
+                  ]))
+        | None ->
+          let cache = open_cache cache in
+          with_jobs jobs (fun pool ->
+              let budget = local_budget budget in
+              let la = load_lts ?pool ~max_states ?cache ?budget a
+              and lb = load_lts ?pool ~max_states ?cache ?budget b in
+              print_texts
+                (Ops.compare_texts
+                   { Flow.Config.default with pool; budget }
+                   equivalence la lb)))
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Check two models for bisimulation equivalence")
     Term.(
       const run $ obs_term $ model_arg $ second_arg $ max_states_arg
-      $ equivalence_arg $ jobs_arg $ cache_arg)
+      $ equivalence_arg $ jobs_arg $ cache_arg $ remote_arg $ budget_term)
 
 (* ---- check ---- *)
 
@@ -339,62 +494,36 @@ let check_cmd =
             "Evaluation engine: direct $(b,fixpoint) iteration or a \
              $(b,bes) (boolean equation system) translation.")
   in
-  let run () model max_states formulas deadlock engine no_lint =
+  let run () model max_states formulas deadlock engine no_lint remote budget =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
-        let lts = load_lts ~max_states model in
-        let checks =
-          (if deadlock then
-             [ ("deadlock freedom", Mv_mcl.Formula.Macro.deadlock_free) ]
-           else [])
-          @ List.map (fun f -> (f, Mv_mcl.Parser.formula_of_string f)) formulas
-        in
-        if checks = [] then begin
-          prerr_endline "nothing to check (use --formula or --deadlock)";
-          exit 2
-        end;
-        let evaluate =
-          match engine with
-          | `Fixpoint -> Mv_mcl.Eval.holds
-          | `Bes -> Mv_mcl.Bes.holds
-        in
-        let failures = ref 0 in
-        List.iter
-          (fun (name, formula) ->
-             let holds = evaluate lts formula in
-             if not holds then begin
-               incr failures;
-               (* pick the most informative witness available: the
-                  shortest deadlock trace for the deadlock check, else
-                  a shortest path into the violating region (useful for
-                  invariants; path formulas often violate at the
-                  initial state itself, where no trace helps) *)
-               let witness =
-                 if name = "deadlock freedom" then
-                   Mv_lts.Trace.shortest_to_deadlock lts
-                 else
-                   match
-                     Mv_lts.Trace.shortest_to_violation lts
-                       ~sat:(Mv_mcl.Eval.sat lts formula)
-                   with
-                   | Some t when t.Mv_lts.Trace.labels <> [] -> Some t
-                   | Some _ | None -> None
-               in
-               match witness with
-               | Some t ->
-                 Printf.printf "%-60s VIOLATED (witness: %s)\n" name
-                   (Mv_lts.Trace.to_string t)
-               | None -> Printf.printf "%-60s VIOLATED\n" name
-             end
-             else Printf.printf "%-60s holds\n" name)
-          checks;
-        exit (if !failures = 0 then 0 else 1))
+        match remote with
+        | Some addr ->
+          finish_remote
+            (remote_call addr ~op:"check" ?budget:(budget_spec budget)
+               (Json.Obj
+                  [
+                    ("model", model_payload model);
+                    ("max_states", Json.Int max_states);
+                    ("formulas", strings_json formulas);
+                    ("deadlock", Json.Bool deadlock);
+                    ( "engine",
+                      Json.String
+                        (match engine with
+                         | `Fixpoint -> "fixpoint"
+                         | `Bes -> "bes") );
+                  ]))
+        | None ->
+          let lts =
+            load_lts ~max_states ?budget:(local_budget budget) model
+          in
+          print_texts (Ops.check_texts ~engine ~deadlock ~formulas lts))
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Model-check mu-calculus formulas")
     Term.(
       const run $ obs_term $ model_arg $ max_states_arg $ formulas_arg
-      $ deadlock_arg $ engine_arg $ no_lint_arg)
+      $ deadlock_arg $ engine_arg $ no_lint_arg $ remote_arg $ budget_term)
 
 (* ---- solve ---- *)
 
@@ -436,7 +565,8 @@ let solve_cmd =
              automatically under $(b,-j) when no method is given). All \
              methods agree within the solver tolerance.")
   in
-  let run () model max_states keep first scheduler method_ jobs no_lint cache =
+  let run () model max_states keep first scheduler method_ jobs no_lint cache
+      remote budget =
     handle_errors (fun () ->
         let solve_method =
           match method_ with
@@ -460,65 +590,55 @@ let solve_cmd =
               exit 2)
         in
         lint_gate ~no_lint [ model ];
-        let cache = open_cache cache in
-        with_jobs jobs (fun pool ->
-            let spec = Flow.model_of_text (read_file model) in
-            let config =
-              {
-                Flow.Config.default with
-                pool;
-                max_states = Some max_states;
-                keep;
-                scheduler;
-                cache;
-                solve_method;
-              }
-            in
-            let perf =
-              try Flow.Run.performance config spec
-              with Mv_imc.To_ctmc.Nondeterministic state ->
-                prerr_endline
-                  (Printf.sprintf
-                     "rejected: nondeterministic vanishing state %d (rerun \
-                      with --scheduler uniform)"
-                     state);
-                exit 4
-            in
-            Printf.printf "IMC: %d states; lumped: %d; CTMC: %d\n"
-              (Mv_imc.Imc.nb_states perf.Flow.imc)
-              (Mv_imc.Imc.nb_states perf.Flow.lumped)
-              (Mv_markov.Ctmc.nb_states perf.Flow.conversion.Mv_imc.To_ctmc.ctmc);
-            (match perf.Flow.conversion.Mv_imc.To_ctmc.nondeterministic with
-             | [] -> ()
-             | states ->
-               Printf.printf
-                 "note: %d statically nondeterministic vanishing state(s) \
-                  (resolved by the scheduler if reached during elimination)\n"
-                 (List.length states));
-            List.iter
-              (fun (action, value) ->
-                 Printf.printf "throughput %-20s %.6g\n" action value)
-              (Flow.throughputs perf);
-            let stats = Flow.solver_stats perf in
-            if not stats.Mv_markov.Solver_stats.converged then
-              Printf.eprintf
-                "warning: steady-state solve did NOT converge (%d \
-                 iteration(s), residual %.3g); the reported measures may \
-                 be inaccurate\n"
-                stats.Mv_markov.Solver_stats.iterations
-                stats.Mv_markov.Solver_stats.residual;
-            match first with
-            | None -> ()
-            | Some gate ->
-              Printf.printf "mean time to first %-9s %.6g\n" gate
-                (Flow.time_to_first perf ~gate)))
+        match remote with
+        | Some addr ->
+          finish_remote
+            (remote_call addr ~op:"solve" ?budget:(budget_spec budget)
+               (Json.Obj
+                  ([
+                     ("model", Json.String (read_file model));
+                     ("max_states", Json.Int max_states);
+                     ("keep", strings_json keep);
+                     ( "scheduler",
+                       Json.String
+                         (match scheduler with
+                          | Mv_imc.To_ctmc.Uniform -> "uniform"
+                          | Mv_imc.To_ctmc.Fail -> "fail"
+                          (* not constructible from the CLI enum *)
+                          | Mv_imc.To_ctmc.Deterministic _ -> assert false) );
+                   ]
+                   @ (match method_ with
+                      | Some m -> [ ("method", Json.String m) ]
+                      | None -> [])
+                   @
+                   match first with
+                   | Some gate -> [ ("time_to_first", Json.String gate) ]
+                   | None -> [])))
+        | None ->
+          let cache = open_cache cache in
+          with_jobs jobs (fun pool ->
+              let spec = Flow.model_of_text (read_file model) in
+              let config =
+                {
+                  Flow.Config.default with
+                  pool;
+                  max_states = Some max_states;
+                  keep;
+                  scheduler;
+                  cache;
+                  solve_method;
+                  budget = local_budget budget;
+                }
+              in
+              print_texts (Ops.solve_texts config ~first spec)))
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the performance pipeline: IMC, lumping, CTMC, throughputs")
     Term.(
       const run $ obs_term $ model_arg $ max_states_arg $ keep_arg $ first_arg
-      $ scheduler_arg $ method_arg $ jobs_arg $ no_lint_arg $ cache_arg)
+      $ scheduler_arg $ method_arg $ jobs_arg $ no_lint_arg $ cache_arg
+      $ remote_arg $ budget_term)
 
 (* ---- translate ---- *)
 
@@ -592,41 +712,41 @@ let script_cmd =
             "Print the step results as JSON (schema $(b,mv-svl-steps-v1)) \
              instead of the human-readable table.")
   in
-  let run () model no_lint cache json =
+  let run () model no_lint cache json remote =
     handle_errors (fun () ->
-        (try lint_gate ~no_lint (Mv_core.Svl.model_sources_of_file model)
-         with Mv_core.Svl.Parse_error msg ->
-           prerr_endline ("script parse error: " ^ msg);
-           exit 2);
-        let cache = open_cache cache in
-        let steps =
-          try Mv_core.Svl.run_file ?cache model
-          with Mv_core.Svl.Parse_error msg ->
-            prerr_endline ("script parse error: " ^ msg);
-            exit 2
-        in
-        if json then
-          print_endline (Mv_obs.Json.to_string (Mv_core.Svl.steps_json steps))
-        else
-          List.iter
-            (fun step ->
-               let cache_note =
-                 match step.Mv_core.Svl.outcome with
-                 | Mv_core.Svl.Passed { cache = Some { hits; misses }; _ }
-                   when hits + misses > 0 ->
-                   Printf.sprintf " [cache: %d hit(s), %d miss(es)]" hits misses
-                 | _ -> ""
-               in
-               Printf.printf "%s %-60s %s%s\n"
-                 (if Mv_core.Svl.ok step then "[ ok ]" else "[FAIL]")
-                 step.Mv_core.Svl.description step.Mv_core.Svl.detail
-                 cache_note)
-            steps;
-        exit (if Mv_core.Svl.all_ok steps then 0 else 1))
+        (* classified to "script parse error: ..." (exit 2) when the
+           script itself does not parse *)
+        let sources = Mv_core.Svl.model_sources_of_file model in
+        lint_gate ~no_lint sources;
+        match remote with
+        | Some addr ->
+          (* ship the referenced .mvl sources along (flat names only —
+             the daemon materializes them in a scratch directory) *)
+          let files =
+            List.map
+              (fun path -> (Filename.basename path, Json.String (read_file path)))
+              sources
+          in
+          finish_remote
+            (remote_call addr ~op:"script"
+               (Json.Obj
+                  [
+                    ("script", Json.String (read_file model));
+                    ("files", Json.Obj files);
+                    ("json", Json.Bool json);
+                  ]))
+        | None ->
+          let cache = open_cache cache in
+          print_texts
+            (Ops.script_texts ?cache
+               ~dir:(Filename.dirname model)
+               ~json (read_file model)))
   in
   Cmd.v
     (Cmd.info "script" ~doc:"Run an SVL-style verification script")
-    Term.(const run $ obs_term $ model_arg $ no_lint_arg $ cache_arg $ json_arg)
+    Term.(
+      const run $ obs_term $ model_arg $ no_lint_arg $ cache_arg $ json_arg
+      $ remote_arg)
 
 (* ---- simulate ---- *)
 
@@ -841,41 +961,33 @@ let lint_cmd =
       `P "The full catalogue, with examples and fixes, is in doc/lint.md.";
     ]
   in
-  let run model json warn max_phases =
+  let run model json warn max_phases remote =
     handle_errors (fun () ->
-        let config =
-          List.fold_left
-            (fun config spec ->
-               if spec = "error" then { config with Lint.werror = true }
-               else
-                 match Lint.parse_override spec with
-                 | Some ov ->
-                   { config with
-                     Lint.overrides = config.Lint.overrides @ [ ov ] }
-                 | None ->
-                   prerr_endline
-                     (Printf.sprintf
-                        "invalid -W argument %S (expected CODE=LEVEL or \
-                         'error')"
-                        spec);
-                   exit 2)
-            { Lint.default_config with Lint.max_phase_product = max_phases }
-            warn
-        in
-        let ds = Lint.check_text ~config (read_file model) in
-        if json then print_string (Diagnostic.to_json ds)
-        else begin
-          List.iter
-            (fun d -> print_endline (Diagnostic.render ~file:model d))
-            ds;
-          print_endline
-            (if ds = [] then "clean" else Diagnostic.summary ds)
-        end;
-        exit (Lint.exit_code ~config ds))
+        match Ops.lint_config_of_specs ~max_phases warn with
+        | Error msg ->
+          prerr_endline msg;
+          exit 2
+        | Ok config -> (
+          match remote with
+          | Some addr ->
+            finish_remote
+              (remote_call addr ~op:"lint"
+                 (Json.Obj
+                    [
+                      ("model", Json.String (read_file model));
+                      ("file", Json.String model);
+                      ("json", Json.Bool json);
+                      ("warn", strings_json warn);
+                      ("max_phases", Json.Int max_phases);
+                    ]))
+          | None ->
+            print_texts
+              (Ops.lint_texts ~config ~json ~file:model (read_file model))))
   in
   Cmd.v
     (Cmd.info "lint" ~doc:"Statically analyse an MVL model" ~exits ~man)
-    Term.(const run $ model_arg $ json_arg $ warn_arg $ max_phases_arg)
+    Term.(
+      const run $ model_arg $ json_arg $ warn_arg $ max_phases_arg $ remote_arg)
 
 (* ---- info ---- *)
 
@@ -923,27 +1035,20 @@ let cache_cmd =
         & info [ "json" ]
             ~doc:"Print the statistics as JSON (schema $(b,mv-store-stats-v1)).")
     in
-    let run dir json =
+    let run dir json remote =
       handle_errors (fun () ->
-          let cache = require_cache dir in
-          if json then
-            print_endline (Mv_obs.Json.to_string (Cache.stats_json cache))
-          else begin
-            let s = Cache.stats cache in
-            Printf.printf "cache %s\n" (Cache.dir cache);
-            Printf.printf "  entries    %d\n" s.Cache.entries;
-            Printf.printf "  bytes      %d%s\n" s.Cache.bytes
-              (match s.Cache.capacity with
-               | Some cap -> Printf.sprintf " (cap %d)" cap
-               | None -> "");
-            Printf.printf "  hits       %d\n" s.Cache.hits;
-            Printf.printf "  misses     %d\n" s.Cache.misses;
-            Printf.printf "  evictions  %d\n" s.Cache.evictions
-          end)
+          match remote with
+          | Some addr ->
+            finish_remote
+              (remote_call addr ~op:"cache-stats"
+                 (Json.Obj [ ("json", Json.Bool json) ]))
+          | None ->
+            let cache = require_cache dir in
+            print_texts (Ops.cache_stats_texts ~json cache))
     in
     Cmd.v
       (Cmd.info "stats" ~doc:"Print entry count, size and hit/miss totals")
-      Term.(const run $ cache_arg $ json_arg)
+      Term.(const run $ cache_arg $ json_arg $ remote_arg)
   in
   let gc_cmd =
     let max_bytes_arg =
@@ -983,14 +1088,40 @@ let cache_cmd =
        ~doc:"Inspect and maintain a content-addressed artifact cache")
     [ stats_cmd; gc_cmd; clear_cmd ]
 
+(* ---- version ---- *)
+
+let version_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the version report as JSON instead of aligned text.")
+  in
+  let run json remote =
+    handle_errors (fun () ->
+        match remote with
+        | Some addr ->
+          let versions =
+            remote_result (remote_call addr ~op:"version" (Json.Obj []))
+          in
+          print_texts (Ops.version_texts_of_json ~json versions)
+        | None -> print_texts (Ops.version_texts ~json))
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the binary version and every protocol and on-disk schema \
+          version (with $(b,--remote): the daemon's versions)")
+    Term.(const run $ json_arg $ remote_arg)
+
 let () =
   let default : unit Term.t = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "mval" ~version:"1.0.0"
+          (Cmd.info "mval" ~version:Proto.binary_version
              ~doc:"Functional verification and performance evaluation of \
                    asynchronous architectures (the Multival flow)")
           [ generate_cmd; minimize_cmd; compare_cmd; check_cmd; solve_cmd;
             translate_cmd; trace_cmd; simulate_cmd; script_cmd; lint_cmd;
-            info_cmd; cache_cmd ]))
+            info_cmd; cache_cmd; version_cmd ]))

@@ -1,0 +1,115 @@
+(* mvald — the Multival verification service daemon.
+
+   Serves mv-serve-v1 requests (generate / minimize / equivalent /
+   check / solve / script / lint / cache-stats / metrics / version)
+   over a Unix-domain or TCP socket, multiplexing them onto one shared
+   Mv_par domain pool behind an admission controller. SIGTERM/SIGINT
+   drain gracefully: finish every admitted request, answer new ones
+   with a structured [draining] error, then exit 0. *)
+
+open Cmdliner
+module Server = Mv_serve.Server
+module Proto = Mv_serve.Proto
+module Cache = Mv_store.Cache
+module Obs = Mv_obs.Obs
+
+let listen_arg =
+  Arg.(
+    value
+    & opt string "./mvald.sock"
+    & info [ "l"; "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Listen address: $(b,unix:PATH), $(b,tcp:HOST:PORT) or a plain \
+           socket path. TCP port 0 picks a free port (printed on startup).")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains executing requests; 0 selects the machine's \
+           recommended domain count.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int Server.default_queue_capacity
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:
+          "Maximum queued (admitted but not yet executing) requests; beyond \
+           this, requests are rejected immediately with $(b,overloaded).")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "MVAL_CACHE")
+        ~doc:"Artifact cache directory shared by all requests.")
+
+let max_frame_arg =
+  Arg.(
+    value
+    & opt int Proto.default_max_frame
+    & info [ "max-frame" ] ~docv:"BYTES"
+        ~doc:"Reject request frames larger than this.")
+
+let serve listen workers queue_capacity cache_dir max_frame =
+  match Proto.addr_of_string listen with
+  | Error msg ->
+    Printf.eprintf "mvald: %s\n%!" msg;
+    2
+  | Ok requested_addr ->
+    (* metrics are always live in the daemon: the [metrics] request is
+       part of the protocol, not an opt-in flag *)
+    Obs.enable ();
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let cache = Option.map (fun dir -> Cache.open_dir dir) cache_dir in
+    (match cache with
+     | Some cache ->
+       let swept = Cache.sweep_tmp cache in
+       if swept > 0 then
+         Printf.eprintf "mvald: swept %d stale temp file(s) from %s\n%!" swept
+           (Cache.dir cache)
+     | None -> ());
+    let workers = if workers <= 0 then Mv_par.Pool.auto () else workers in
+    let server =
+      Server.create
+        { Server.addr = requested_addr; workers; queue_capacity; max_frame;
+          cache }
+    in
+    let drain _signal = Server.initiate_drain server in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    Printf.eprintf "mvald: listening on %s (%d worker(s), queue %d)\n%!"
+      (Proto.addr_to_string (Server.addr server))
+      workers queue_capacity;
+    Server.run server;
+    Printf.eprintf "mvald: drained, exiting\n%!";
+    0
+
+let cmd =
+  let doc = "Multival verification service daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Serves $(b,mv-serve-v1) requests over a Unix-domain or TCP socket. \
+         Point $(b,mval --remote) (or the $(b,MVAL_REMOTE) environment \
+         variable) at the listen address to execute verification commands \
+         on this daemon — warm requests are answered from the shared \
+         artifact cache.";
+      `P
+        "SIGTERM and SIGINT drain gracefully: queued and executing requests \
+         finish, new requests receive a structured $(b,draining) error, and \
+         the daemon exits 0.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mvald" ~version:Proto.binary_version ~doc ~man)
+    Term.(
+      const serve $ listen_arg $ workers_arg $ queue_arg $ cache_arg
+      $ max_frame_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -21,21 +21,21 @@ end
 
 module Term_explore = Explore.Make (Term_state)
 
-let generate ?pool ?(max_states = 1_000_000) spec =
+let generate ?pool ?tick ?(max_states = 1_000_000) spec =
   let successors behavior =
     List.map
       (fun (label, next) -> (Semantics.label_string label, Ast.normalize next))
       (Semantics.moves spec behavior)
   in
   let result =
-    Term_explore.run ?pool ~max_states ~on_truncate:`Raise
+    Term_explore.run ?pool ?tick ~max_states ~on_truncate:`Raise
       ~initial:(Ast.normalize spec.Ast.init) ~successors ()
   in
   { lts = result.Explore.lts;
     terms = result.Explore.states;
     truncated = result.Explore.truncated }
 
-let lts ?pool ?max_states spec = (generate ?pool ?max_states spec).lts
+let lts ?pool ?tick ?max_states spec = (generate ?pool ?tick ?max_states spec).lts
 
 let first_deadlock ?(max_states = 1_000_000) spec =
   let module Table = Hashtbl.Make (Term_state) in

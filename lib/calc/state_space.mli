@@ -22,11 +22,23 @@ type outcome = {
     frontier levels are expanded on all pool domains (MVL semantics is
     pure, so concurrent [Semantics.moves] calls are safe); the
     resulting LTS — numbering, transitions, labels — is identical to
-    the sequential one (see {!Mv_lts.Explore.Make.run}). *)
-val generate : ?pool:Mv_par.Pool.t -> ?max_states:int -> Ast.spec -> outcome
+    the sequential one (see {!Mv_lts.Explore.Make.run}).
+    [tick] is forwarded to {!Mv_lts.Explore.Make.run}: a cooperative
+    budget checkpoint called with the discovered-state count. *)
+val generate :
+  ?pool:Mv_par.Pool.t ->
+  ?tick:(states:int -> unit) ->
+  ?max_states:int ->
+  Ast.spec ->
+  outcome
 
-(** [lts ?pool ?max_states spec] is [(generate spec).lts]. *)
-val lts : ?pool:Mv_par.Pool.t -> ?max_states:int -> Ast.spec -> Mv_lts.Lts.t
+(** [lts ?pool ?tick ?max_states spec] is [(generate spec).lts]. *)
+val lts :
+  ?pool:Mv_par.Pool.t ->
+  ?tick:(states:int -> unit) ->
+  ?max_states:int ->
+  Ast.spec ->
+  Mv_lts.Lts.t
 
 (** [first_deadlock ?max_states spec] searches breadth-first for a
     deadlocked state {e during} generation and stops at the first hit,

@@ -1,0 +1,39 @@
+type t = {
+  states_limit : int option;
+  wall_s : float option;
+  started_ns : int64;
+}
+
+type violation = { resource : string; message : string }
+
+exception Exceeded of violation
+
+let create ?max_states ?wall_s () =
+  {
+    states_limit = max_states;
+    wall_s;
+    started_ns = Mv_obs.Obs.Clock.now_ns ();
+  }
+
+let max_states t = t.states_limit
+let elapsed_s t = Mv_obs.Obs.Clock.elapsed_s t.started_ns
+
+let exceeded resource message = raise (Exceeded { resource; message })
+
+let tick t =
+  match t.wall_s with
+  | Some limit ->
+    let elapsed = elapsed_s t in
+    if elapsed > limit then
+      exceeded "wall"
+        (Printf.sprintf "%.3fs elapsed exceeds the %gs wall-time budget"
+           elapsed limit)
+  | None -> ()
+
+let check t ~states =
+  tick t;
+  match t.states_limit with
+  | Some limit when states > limit ->
+    exceeded "states"
+      (Printf.sprintf "%d states exceed the %d-state budget" states limit)
+  | Some _ | None -> ()

@@ -29,6 +29,7 @@ module Config = struct
     scheduler : To_ctmc.scheduler;
     cache : Cache.t option;
     solve_method : Mv_kern.Solver.method_ option;
+    budget : Budget.t option;
   }
 
   let default =
@@ -40,6 +41,7 @@ module Config = struct
       scheduler = To_ctmc.Uniform;
       cache = None;
       solve_method = None;
+      budget = None;
     }
 
   let with_pool pool t = { t with pool }
@@ -49,7 +51,23 @@ module Config = struct
   let with_keep keep t = { t with keep }
   let with_scheduler scheduler t = { t with scheduler }
   let with_cache cache t = { t with cache }
+  let with_budget budget t = { t with budget }
 end
+
+(* Budget checkpoints: [budget_tick] at step boundaries (wall-time),
+   [budget_states] wherever a state count is known, and [budget_probe]
+   threaded into the explorer as its cooperative tick. All no-ops
+   without a budget. *)
+let budget_tick (config : Config.t) =
+  match config.budget with Some b -> Budget.tick b | None -> ()
+
+let budget_states (config : Config.t) n =
+  match config.budget with Some b -> Budget.check b ~states:n | None -> ()
+
+let budget_probe (config : Config.t) =
+  match config.budget with
+  | Some b -> Some (fun ~states -> Budget.check b ~states)
+  | None -> None
 
 (* Memoize an LTS-producing operation through the config's cache, if
    any. The pool is deliberately absent from the key: every parallel
@@ -91,12 +109,22 @@ type performance = {
 module Run = struct
   let generate (config : Config.t) spec =
     Obs.span "flow.generate" @@ fun () ->
-    memo config ~op:"generate"
-      ~params:[ max_states_param config ]
-      ~source:(Mv_calc.Ast.spec_to_string spec)
-      (fun () ->
-        Mv_calc.State_space.lts ?pool:config.pool ?max_states:config.max_states
-          spec)
+    budget_tick config;
+    let lts =
+      memo config ~op:"generate"
+        ~params:[ max_states_param config ]
+        ~source:(Mv_calc.Ast.spec_to_string spec)
+        (fun () ->
+          Mv_calc.State_space.lts ?pool:config.pool
+            ?tick:(budget_probe config) ?max_states:config.max_states spec)
+    in
+    (* The explorer ticks at a coarse stride, so re-check the final
+       count — outside the memo, so an over-budget state space is
+       reported even when it comes from the cache (and a cold
+       over-budget result is still stored for future unbudgeted
+       callers). *)
+    budget_states config (Lts.nb_states lts);
+    lts
 
   (* Split the top-level parallel/hide skeleton of the initial
      behaviour into a composition network; everything below any other
@@ -120,7 +148,7 @@ module Run = struct
           let name = Printf.sprintf "component%d" !leaf_counter in
           Mv_compose.Net.Leaf
             ( name,
-              Mv_calc.State_space.lts ?max_states
+              Mv_calc.State_space.lts ?tick:(budget_probe config) ?max_states
                 { spec with Mv_calc.Ast.init = behavior } )
       in
       Mv_compose.Net.evaluate ~strategy:`Compositional
@@ -167,12 +195,17 @@ module Run = struct
     | Traces -> Mv_bisim.Traces.determinize lts
 
   let minimize (config : Config.t) equivalence lts =
+    budget_tick config;
     memo config ~op:"minimize"
       ~params:[ ("equivalence", equivalence_name equivalence) ]
       ~source:(Mv_store.Mvb.to_string lts)
-      (fun () -> minimize_uncached config equivalence lts)
+      (fun () ->
+        budget_states config (Lts.nb_states lts);
+        minimize_uncached config equivalence lts)
 
   let equivalent (config : Config.t) equivalence a b =
+    budget_tick config;
+    budget_states config (Lts.nb_states a + Lts.nb_states b);
     let pool = config.pool in
     match equivalence with
     | Strong -> Mv_bisim.Strong.equivalent ?pool a b
@@ -188,6 +221,7 @@ module Run = struct
       if config.hide = [] then lts else Lts.hide lts ~gates:config.hide
     in
     let minimized = minimize config Branching abstracted in
+    budget_tick config;
     let results =
       List.map
         (fun (property_name, formula) ->
@@ -201,6 +235,7 @@ module Run = struct
      the cache as an exact-rate LTS encoding (hex floats survive the
      round-trip bit-for-bit). *)
   let lump (config : Config.t) progressed =
+    budget_tick config;
     match config.cache with
     | None -> Obs.span "flow.lump" (fun () -> Mv_imc.Lump.minimize progressed)
     | Some cache -> (
@@ -242,6 +277,7 @@ module Run = struct
       steady =
         lazy
           (Obs.span "flow.solve" (fun () ->
+               budget_tick config;
                Ctmc.steady_state_stats ?pool:config.pool
                  ?method_:config.solve_method conversion.To_ctmc.ctmc));
     }
@@ -264,6 +300,7 @@ let config ?pool ?max_states ?(hide = []) ?(keep = [])
     scheduler;
     cache = None;
     solve_method = None;
+    budget = None;
   }
 
 let generate ?pool ?max_states spec =

@@ -60,10 +60,19 @@ module Config : sig
             keys: every method converges to the same vector within
             the solver tolerance, and solve results are never
             cached. *)
+    budget : Budget.t option;
+        (** per-request computation budget (state count, wall time),
+            enforced cooperatively inside the pipeline steps: the
+            explorer checks it every batch, and every step boundary
+            re-checks it. Over-budget runs raise {!Budget.Exceeded}.
+            Like the pool, absent from cache keys: budgets bound
+            computation, not results, so a warm cache hit always
+            succeeds. *)
   }
 
   val default : t
   val with_pool : Mv_par.Pool.t option -> t -> t
+  val with_budget : Budget.t option -> t -> t
 
   val with_solve_method : Mv_kern.Solver.method_ option -> t -> t
   val with_max_states : int -> t -> t

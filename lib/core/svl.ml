@@ -386,10 +386,12 @@ let step_json step =
       ("cache", cache_field);
     ]
 
+let steps_schema = "mv-svl-steps-v1"
+
 let steps_json steps =
   Json.Obj
     [
-      ("schema", Json.String "mv-svl-steps-v1");
+      ("schema", Json.String steps_schema);
       ("steps", Json.List (List.map step_json steps));
     ]
 

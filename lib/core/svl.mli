@@ -91,6 +91,10 @@ val step_json : step -> Mv_obs.Json.t
 
 val steps_json : step list -> Mv_obs.Json.t
 
+(** The schema tag of {!steps_json} ("mv-svl-steps-v1"), exposed for
+    [mval version] and the serve protocol's version report. *)
+val steps_schema : string
+
 (** The [.mvl] model sources a script references, resolved against
     [dir] (default: current directory), deduplicated in first-use
     order. [.aut]/[.mvb] files are omitted. [mval script] lints these

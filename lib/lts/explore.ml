@@ -21,7 +21,9 @@ module Make (S : STATE) = struct
   module Table = Hashtbl.Make (S)
   module Shard_set = Mv_par.Shard_set.Make (S)
 
-  let run_sequential ~max_states ~on_truncate ~initial ~successors () =
+  let no_tick ~states:_ = ()
+
+  let run_sequential ~tick ~max_states ~on_truncate ~initial ~successors () =
     Obs.span "explore" @@ fun () ->
     let frontier_series = Obs.series "explore.frontier" in
     let ids = Table.create 1024 in
@@ -61,6 +63,7 @@ module Make (S : STATE) = struct
     while not (Queue.is_empty frontier) do
       let src, state = Queue.pop frontier in
       incr expansions;
+      if !expansions land 63 = 0 then tick ~states:!nb;
       if !expansions land 1023 = 1 then begin
         Obs.push frontier_series (float_of_int (Queue.length frontier));
         Obs.progress (fun () ->
@@ -102,7 +105,8 @@ module Make (S : STATE) = struct
      the canonical numbering with the same budget produces, provided
      every discovered state was expanded (the closing passes below
      keep expanding the remaining frontier with discovery closed). *)
-  let run_parallel pool ~max_states ~on_truncate ~initial ~successors () =
+  let run_parallel pool ~tick ~max_states ~on_truncate ~initial ~successors ()
+      =
     Obs.span "explore" @@ fun () ->
     let frontier_series = Obs.series "explore.frontier" in
     let set = Shard_set.create () in
@@ -125,6 +129,7 @@ module Make (S : STATE) = struct
       let front = !frontier in
       let is_closed = !closed in
       let nb_front = Array.length front in
+      tick ~states:(Shard_set.cardinal set);
       Obs.push frontier_series (float_of_int nb_front);
       Obs.progress (fun () ->
           Printf.sprintf "explore: %d states, frontier %d"
@@ -242,11 +247,11 @@ module Make (S : STATE) = struct
     let lts = Lts.make ~nb_states:!nb ~initial:0 ~labels !transitions in
     { lts; states = states_array; truncated = !truncated }
 
-  let run ?pool ?(max_states = 1_000_000) ?(on_truncate = `Stop) ~initial
-      ~successors () =
+  let run ?pool ?(tick = no_tick) ?(max_states = 1_000_000)
+      ?(on_truncate = `Stop) ~initial ~successors () =
     match pool with
     | Some pool when Pool.size pool > 1 ->
-      run_parallel pool ~max_states ~on_truncate ~initial ~successors ()
+      run_parallel pool ~tick ~max_states ~on_truncate ~initial ~successors ()
     | Some _ | None ->
-      run_sequential ~max_states ~on_truncate ~initial ~successors ()
+      run_sequential ~tick ~max_states ~on_truncate ~initial ~successors ()
 end

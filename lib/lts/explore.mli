@@ -40,9 +40,17 @@ module Make (S : STATE) : sig
       lists. The outcome — state numbering, transition set, label
       table, states array, truncation behaviour — is {e identical} to
       the sequential one; [successors] must be safe to call
-      concurrently (pure functions are). *)
+      concurrently (pure functions are).
+
+      [tick] is a cooperative checkpoint for callers that enforce
+      per-request budgets (see [Mv_core.Budget]): it is called with
+      the current discovered-state count every 64 expansions
+      (sequential search) or once per BFS level (parallel search),
+      always from the calling domain, and may raise to abandon the
+      exploration. *)
   val run :
     ?pool:Mv_par.Pool.t ->
+    ?tick:(states:int -> unit) ->
     ?max_states:int ->
     ?on_truncate:[ `Stop | `Raise ] ->
     initial:S.t ->

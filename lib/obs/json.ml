@@ -102,10 +102,17 @@ let utf8_of_code buffer code =
     Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
   end
 
-let of_string text =
+let default_max_depth = 512
+
+let of_string ?(max_depth = default_max_depth) ?max_bytes text =
+  let failf fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  (match max_bytes with
+   | Some cap when String.length text > cap ->
+     failf "input of %d bytes exceeds the %d-byte limit" (String.length text)
+       cap
+   | Some _ | None -> ());
   let pos = ref 0 in
   let len = String.length text in
-  let failf fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
   let peek () = if !pos < len then Some text.[!pos] else None in
   let advance () = incr pos in
   let rec skip_ws () =
@@ -199,7 +206,9 @@ let of_string text =
           | Some f -> Float f
           | None -> failf "invalid number %S at offset %d" body start)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then
+      failf "nesting deeper than %d at offset %d" max_depth !pos;
     skip_ws ();
     match peek () with
     | Some '"' -> String (parse_string ())
@@ -212,7 +221,7 @@ let of_string text =
       end
       else begin
         let rec items acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' -> advance (); items (v :: acc)
@@ -234,7 +243,7 @@ let of_string text =
           let key = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' -> advance (); fields ((key, v) :: acc)
@@ -250,7 +259,7 @@ let of_string text =
     | Some c -> failf "unexpected character %c at offset %d" c !pos
     | None -> failf "unexpected end of input"
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> len then failf "trailing input at offset %d" !pos;
   v

@@ -29,8 +29,20 @@ val to_string : ?compact:bool -> t -> string
 
 (** Raises {!Parse_error} on malformed input (with an offset). The
     accepted grammar is standard JSON; [\u] escapes outside ASCII are
-    decoded to UTF-8. *)
-val of_string : string -> t
+    decoded to UTF-8.
+
+    This parser also consumes untrusted socket input (the [mv-serve-v1]
+    protocol of {!Mv_serve}), so it is defensive: trailing garbage
+    after the value is rejected, nesting deeper than [max_depth]
+    (default {!default_max_depth}, bounding both memory and parser
+    recursion) is rejected, and when [max_bytes] is given any input
+    longer than it is rejected before parsing starts. *)
+val of_string : ?max_depth:int -> ?max_bytes:int -> string -> t
+
+(** The default nesting bound of {!of_string} (512 — far above any
+    schema in this repository, low enough to keep a hostile
+    deeply-nested document from exhausting the stack). *)
+val default_max_depth : int
 
 (** [member name v] — field lookup in an {!Obj}; [None] when absent or
     when [v] is not an object. *)

@@ -352,10 +352,12 @@ let timings () =
   Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let metrics_schema = "mv-obs-metrics-v1"
+
 let metrics_json () =
   Json.Obj
     [
-      ("schema", Json.String "mv-obs-metrics-v1");
+      ("schema", Json.String metrics_schema);
       ( "counters",
         Json.Obj
           (sorted_fold counters (fun c -> Json.Int (Atomic.get c.cell))) );

@@ -135,6 +135,10 @@ val progress_end : unit -> unit
 
 (** {1 Exporters} *)
 
+(** The schema tag of {!metrics_json} ("mv-obs-metrics-v1"), exposed
+    for [mval version] and the serve protocol's version report. *)
+val metrics_schema : string
+
 (** Snapshot of every metric plus per-span-name aggregate timings:
     [{"schema": "mv-obs-metrics-v1", "counters": {..}, "gauges": {..},
     "histograms": {..}, "series": {..}, "timings": {..}}], keys

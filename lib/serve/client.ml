@@ -1,0 +1,68 @@
+module Json = Mv_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let connect ?(max_frame = Proto.default_max_frame) addr =
+  let domain, sockaddr =
+    match addr with
+    | Proto.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Proto.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+            addrs.(0)
+          | _ | (exception Not_found) -> fail "cannot resolve host %S" host)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd sockaddr with
+   | () -> ()
+   | exception Unix.Unix_error (code, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot connect to %s: %s" (Proto.addr_to_string addr)
+       (Unix.error_message code));
+  { fd; max_frame; next_id = 1; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connection ?max_frame addr f =
+  let t = connect ?max_frame addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let call t ~op ?budget args =
+  if t.closed then fail "connection is closed";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let body = Proto.encode_request { Proto.id; op; args; budget } in
+  (try Proto.write_frame t.fd body
+   with Unix.Unix_error (code, _, _) ->
+     fail "write failed: %s" (Unix.error_message code));
+  match Proto.read_frame ~max_frame:t.max_frame t.fd with
+  | None -> fail "server closed the connection before responding"
+  | exception Proto.Frame_error msg -> fail "bad response frame: %s" msg
+  | exception Unix.Unix_error (code, _, _) ->
+    fail "read failed: %s" (Unix.error_message code)
+  | Some reply -> (
+    match Proto.parse_response ~max_frame:t.max_frame reply with
+    | Error msg -> fail "bad response: %s" msg
+    | Ok response ->
+      if response.Proto.rsp_id <> id && response.Proto.rsp_id <> 0 then
+        fail "response id %d does not match request id %d"
+          response.Proto.rsp_id id;
+      response)

@@ -1,0 +1,31 @@
+(** Blocking [mv-serve-v1] client — what [mval --remote] speaks.
+
+    One connection carries a sequence of synchronous calls: {!call}
+    writes a request frame and blocks for its response (the server
+    preserves per-connection FIFO order, so responses cannot
+    interleave). For concurrent load, open several connections — the
+    load bench and the smoke tests do exactly that from separate
+    threads, one connection each. *)
+
+type t
+
+exception Error of string
+(** Transport-level failure: connect refused, connection closed
+    mid-call, protocol violation (bad schema, mismatched response
+    id). Structured daemon errors are NOT this — they come back inside
+    the {!Proto.response}. *)
+
+(** Connect (Unix-domain or TCP). [max_frame] bounds response frames
+    (default {!Proto.default_max_frame}). *)
+val connect : ?max_frame:int -> Proto.addr -> t
+
+(** [call t ~op ?budget args] — send one request, wait for its
+    response. Raises {!Error} on transport failure only. *)
+val call :
+  t -> op:string -> ?budget:Proto.budget_spec -> Mv_obs.Json.t ->
+  Proto.response
+
+val close : t -> unit
+
+(** Connect, run, always close. *)
+val with_connection : ?max_frame:int -> Proto.addr -> (t -> 'a) -> 'a

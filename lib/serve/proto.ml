@@ -1,0 +1,332 @@
+module Json = Mv_obs.Json
+
+let schema = "mv-serve-v1"
+let binary_version = "1.0.0"
+let default_max_frame = 64 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                           *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string text =
+  let tcp_of host port_text =
+    match int_of_string_opt port_text with
+    | Some port when port >= 0 && port < 65536 -> Ok (Tcp (host, port))
+    | Some _ | None -> Error (Printf.sprintf "invalid port %S" port_text)
+  in
+  let split_host_port s =
+    match String.rindex_opt s ':' with
+    | Some i when i > 0 && i < String.length s - 1 ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | Some _ | None -> None
+  in
+  if String.length text = 0 then Error "empty address"
+  else if String.length text > 5 && String.sub text 0 5 = "unix:" then
+    Ok (Unix_path (String.sub text 5 (String.length text - 5)))
+  else if String.length text > 4 && String.sub text 0 4 = "tcp:" then
+    match split_host_port (String.sub text 4 (String.length text - 4)) with
+    | Some (host, port) -> tcp_of host port
+    | None -> Error (Printf.sprintf "expected tcp:HOST:PORT in %S" text)
+  else if String.contains text '/' then Ok (Unix_path text)
+  else
+    match split_host_port text with
+    | Some (host, port) -> tcp_of host port
+    | None ->
+      Error
+        (Printf.sprintf
+           "cannot parse address %S (expected unix:PATH, tcp:HOST:PORT or a \
+            socket path)"
+           text)
+
+let addr_to_string = function
+  | Unix_path path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+exception Frame_error of string
+
+let rec restart_read fd buf ofs len =
+  match Unix.read fd buf ofs len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> restart_read fd buf ofs len
+
+let really_read fd buf ofs len =
+  let got = ref 0 in
+  while !got < len do
+    let n = restart_read fd buf (ofs + !got) (len - !got) in
+    if n = 0 then raise (Frame_error "connection closed mid-frame");
+    got := !got + n
+  done
+
+let really_write fd buf ofs len =
+  let sent = ref 0 in
+  while !sent < len do
+    let n =
+      match Unix.write fd buf (ofs + !sent) (len - !sent) with
+      | n -> n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    sent := !sent + n
+  done
+
+let write_frame fd body =
+  let n = String.length body in
+  let buf = Bytes.create (4 + n) in
+  Bytes.set buf 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (n land 0xff));
+  Bytes.blit_string body 0 buf 4 n;
+  really_write fd buf 0 (4 + n)
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  let header = Bytes.create 4 in
+  let first = restart_read fd header 0 4 in
+  if first = 0 then None
+  else begin
+    if first < 4 then really_read fd header first (4 - first);
+    let len =
+      (Char.code (Bytes.get header 0) lsl 24)
+      lor (Char.code (Bytes.get header 1) lsl 16)
+      lor (Char.code (Bytes.get header 2) lsl 8)
+      lor Char.code (Bytes.get header 3)
+    in
+    if len > max_frame then
+      raise
+        (Frame_error
+           (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len
+              max_frame));
+    let body = Bytes.create len in
+    really_read fd body 0 len;
+    Some (Bytes.unsafe_to_string body)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type budget_spec = { max_states : int option; wall_s : float option }
+
+let no_budget = { max_states = None; wall_s = None }
+
+type request = {
+  id : int;
+  op : string;
+  args : Json.t;
+  budget : budget_spec option;
+}
+
+let budget_json b =
+  Json.Obj
+    [
+      ( "max_states",
+        match b.max_states with Some n -> Json.Int n | None -> Json.Null );
+      ("wall_s", match b.wall_s with Some s -> Json.Float s | None -> Json.Null);
+    ]
+
+let encode_request r =
+  Json.to_string ~compact:true
+    (Json.Obj
+       (("schema", Json.String schema)
+        :: ("id", Json.Int r.id)
+        :: ("op", Json.String r.op)
+        :: ("args", r.args)
+        ::
+        (match r.budget with
+         | Some b -> [ ("budget", budget_json b) ]
+         | None -> [])))
+
+(* Protocol documents stay shallow; a depth cap of 32 rejects nesting
+   bombs long before the JSON parser's own default. *)
+let parse_json ?(max_frame = default_max_frame) body =
+  Json.of_string ~max_depth:32 ~max_bytes:max_frame body
+
+let int_member name json =
+  match Json.member name json with Some (Json.Int n) -> Some n | _ -> None
+
+let string_member name json =
+  match Json.member name json with
+  | Some (Json.String s) -> Some s
+  | _ -> None
+
+let budget_of_json json =
+  {
+    max_states = int_member "max_states" json;
+    wall_s =
+      (match Json.member "wall_s" json with
+       | Some (Json.Float f) -> Some f
+       | Some (Json.Int n) -> Some (float_of_int n)
+       | _ -> None);
+  }
+
+let parse_request ?max_frame body =
+  match parse_json ?max_frame body with
+  | exception Json.Parse_error msg -> Error ("bad JSON: " ^ msg)
+  | json -> (
+    match string_member "schema" json with
+    | Some s when s = schema -> (
+      match (int_member "id" json, string_member "op" json) with
+      | Some id, Some op ->
+        Ok
+          {
+            id;
+            op;
+            args =
+              (match Json.member "args" json with
+               | Some (Json.Obj _ as args) -> args
+               | _ -> Json.Obj []);
+            budget = Option.map budget_of_json (Json.member "budget" json);
+          }
+      | None, _ -> Error "missing integer field \"id\""
+      | _, None -> Error "missing string field \"op\"")
+    | Some s -> Error (Printf.sprintf "unknown schema %S (expected %S)" s schema)
+    | None -> Error "missing field \"schema\"")
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+type error_kind =
+  | Bad_request
+  | Unsupported_op
+  | Overloaded
+  | Draining
+  | Budget_exceeded
+  | Too_many_states
+  | Model_error
+  | Nondeterministic
+  | No_cache
+  | Internal
+
+let kinds =
+  [
+    (Bad_request, "bad_request");
+    (Unsupported_op, "unsupported_op");
+    (Overloaded, "overloaded");
+    (Draining, "draining");
+    (Budget_exceeded, "budget_exceeded");
+    (Too_many_states, "too_many_states");
+    (Model_error, "model_error");
+    (Nondeterministic, "nondeterministic");
+    (No_cache, "no_cache");
+    (Internal, "internal");
+  ]
+
+let kind_name kind = List.assoc kind kinds
+
+let kind_of_name name =
+  List.find_map (fun (k, n) -> if n = name then Some k else None) kinds
+
+type error = { kind : error_kind; message : string }
+
+type response = {
+  rsp_id : int;
+  outcome : (Json.t, error) result;
+  cache : (int * int) option;
+  elapsed_s : float;
+}
+
+let encode_response r =
+  let fields =
+    match r.outcome with
+    | Ok result ->
+      [
+        ("ok", Json.Bool true);
+        ("result", result);
+        ( "cache",
+          match r.cache with
+          | Some (hits, misses) ->
+            Json.Obj [ ("hits", Json.Int hits); ("misses", Json.Int misses) ]
+          | None -> Json.Null );
+        ("elapsed_s", Json.Float r.elapsed_s);
+      ]
+    | Error { kind; message } ->
+      [
+        ("ok", Json.Bool false);
+        ( "error",
+          Json.Obj
+            [
+              ("kind", Json.String (kind_name kind));
+              ("message", Json.String message);
+            ] );
+      ]
+  in
+  Json.to_string ~compact:true
+    (Json.Obj
+       (("schema", Json.String schema) :: ("id", Json.Int r.rsp_id) :: fields))
+
+let parse_response ?max_frame body =
+  match parse_json ?max_frame body with
+  | exception Json.Parse_error msg -> Error ("bad JSON: " ^ msg)
+  | json -> (
+    match (string_member "schema" json, int_member "id" json) with
+    | Some s, _ when s <> schema ->
+      Error (Printf.sprintf "unknown schema %S (expected %S)" s schema)
+    | None, _ -> Error "missing field \"schema\""
+    | Some _, None -> Error "missing integer field \"id\""
+    | Some _, Some rsp_id -> (
+      match Json.member "ok" json with
+      | Some (Json.Bool true) -> (
+        match Json.member "result" json with
+        | Some result ->
+          Ok
+            {
+              rsp_id;
+              outcome = Ok result;
+              cache =
+                (match Json.member "cache" json with
+                 | Some (Json.Obj _ as c) -> (
+                   match (int_member "hits" c, int_member "misses" c) with
+                   | Some h, Some m -> Some (h, m)
+                   | _ -> None)
+                 | _ -> None);
+              elapsed_s =
+                (match Json.member "elapsed_s" json with
+                 | Some (Json.Float f) -> f
+                 | Some (Json.Int n) -> float_of_int n
+                 | _ -> 0.0);
+            }
+        | None -> Error "ok response without \"result\"")
+      | Some (Json.Bool false) -> (
+        match Json.member "error" json with
+        | Some err -> (
+          match (string_member "kind" err, string_member "message" err) with
+          | Some kind_text, Some message ->
+            let kind =
+              match kind_of_name kind_text with
+              | Some kind -> kind
+              | None -> Internal
+            in
+            Ok
+              {
+                rsp_id;
+                outcome = Error { kind; message };
+                cache = None;
+                elapsed_s = 0.0;
+              }
+          | _ -> Error "error response without kind/message")
+        | None -> Error "error response without \"error\"")
+      | _ -> Error "missing boolean field \"ok\""))
+
+(* ------------------------------------------------------------------ *)
+(* Version report                                                      *)
+
+let versions_json () =
+  Json.Obj
+    [
+      ("binary", Json.String binary_version);
+      ("protocol", Json.String schema);
+      ("mvb_format", Json.Int Mv_store.Mvb.format_version);
+      ( "schemas",
+        Json.List
+          (List.map
+             (fun s -> Json.String s)
+             [
+               schema;
+               Mv_store.Cache.index_schema_name;
+               Mv_store.Cache.stats_schema_name;
+               Mv_obs.Obs.metrics_schema;
+               Mv_core.Svl.steps_schema;
+             ]) );
+    ]

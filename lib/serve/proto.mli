@@ -1,0 +1,120 @@
+(** The [mv-serve-v1] wire protocol.
+
+    A connection carries a sequence of {e frames}, each a 4-byte
+    big-endian length prefix followed by that many bytes of compact
+    JSON (the tree of {!Mv_obs.Json}). Client frames are requests,
+    server frames are responses, matched by [id]; a client may
+    pipeline several requests on one connection, and the server
+    answers them in order.
+
+    Request object:
+    {v
+    {"schema": "mv-serve-v1", "id": 1, "op": "generate",
+     "args": {...},
+     "budget": {"max_states": 10000, "wall_s": 2.5}}   (optional)
+    v}
+
+    Response object (one of):
+    {v
+    {"schema": "mv-serve-v1", "id": 1, "ok": true, "result": {...},
+     "cache": {"hits": 1, "misses": 0} | null, "elapsed_s": 0.012}
+    {"schema": "mv-serve-v1", "id": 1, "ok": false,
+     "error": {"kind": "budget_exceeded", "message": "..."}}
+    v}
+
+    Parsing is defensive ({!Mv_obs.Json.of_string} depth limit, frame
+    size cap, trailing-garbage rejection): this is the untrusted
+    boundary of the daemon. *)
+
+module Json = Mv_obs.Json
+
+(** Protocol schema tag: ["mv-serve-v1"]. *)
+val schema : string
+
+(** The version of the [mval]/[mvald] binaries (also what
+    [mval version] prints first). *)
+val binary_version : string
+
+(** Default cap on a frame body (64 MiB). *)
+val default_max_frame : int
+
+(** {1 Addresses} *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host, port *)
+
+(** Accepted spellings: ["unix:PATH"], ["tcp:HOST:PORT"],
+    ["HOST:PORT"], and anything containing a ['/'] (a Unix path). *)
+val addr_of_string : string -> (addr, string) result
+
+val addr_to_string : addr -> string
+
+(** {1 Framing} *)
+
+exception Frame_error of string
+
+(** [write_frame fd body] writes the length prefix and [body].
+    Restarts on [EINTR]. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_frame ?max_frame fd] reads one frame body. [None] on a clean
+    end of stream (EOF at a frame boundary); {!Frame_error} on a
+    truncated frame or one longer than [max_frame]. *)
+val read_frame : ?max_frame:int -> Unix.file_descr -> string option
+
+(** {1 Requests} *)
+
+type budget_spec = { max_states : int option; wall_s : float option }
+
+val no_budget : budget_spec
+
+type request = {
+  id : int;
+  op : string;
+  args : Json.t;  (** an [Obj]; [Obj []] when absent *)
+  budget : budget_spec option;
+}
+
+val encode_request : request -> string
+
+(** Parse and validate a request frame body. [Error] carries a
+    human-readable reason (bad JSON, wrong schema, missing fields,
+    over-deep nesting). *)
+val parse_request : ?max_frame:int -> string -> (request, string) result
+
+(** {1 Responses} *)
+
+type error_kind =
+  | Bad_request  (** malformed frame, JSON or arguments *)
+  | Unsupported_op
+  | Overloaded  (** admission fast-reject: queue full *)
+  | Draining  (** server is shutting down *)
+  | Budget_exceeded
+  | Too_many_states
+  | Model_error  (** parse/type/lint errors in the payload model *)
+  | Nondeterministic  (** [mval solve --scheduler fail] rejection *)
+  | No_cache  (** cache-stats on a daemon with no cache *)
+  | Internal
+
+val kind_name : error_kind -> string
+val kind_of_name : string -> error_kind option
+
+type error = { kind : error_kind; message : string }
+
+type response = {
+  rsp_id : int;
+  outcome : (Json.t, error) result;
+  cache : (int * int) option;  (** request's (hits, misses), when known *)
+  elapsed_s : float;
+}
+
+val encode_response : response -> string
+val parse_response : ?max_frame:int -> string -> (response, string) result
+
+(** {1 Version report}
+
+    All protocol/on-disk schema versions spoken by this build, for
+    [mval version] and the [version] op:
+    [{"binary", "protocol", "mvb_format", "schemas": [...]}]. *)
+val versions_json : unit -> Json.t

@@ -1,0 +1,367 @@
+module Json = Mv_obs.Json
+module Obs = Mv_obs.Obs
+module Cache = Mv_store.Cache
+module Pool = Mv_par.Pool
+
+type config = {
+  addr : Proto.addr;
+  workers : int;
+  queue_capacity : int;
+  max_frame : int;
+  cache : Cache.t option;
+}
+
+let default_queue_capacity = 64
+
+type job = { client : client; request : Proto.request }
+
+and client_state = Idle | Ready | Scheduled
+
+and client = {
+  fd : Unix.file_descr;
+  write_mutex : Mutex.t;
+  mutable fd_closed : bool;  (** guarded by [write_mutex] *)
+  pending : job Queue.t;  (** guarded by the server mutex *)
+  mutable state : client_state;  (** guarded by the server mutex *)
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  actual_addr : Proto.addr;
+  pool : Pool.t;
+  mutex : Mutex.t;
+  work : Condition.t;
+  ready : client Queue.t;
+  mutable queued : int;
+  mutable in_flight : int;
+  mutable draining : bool;
+  mutable clients : client list;
+  mutable readers : Thread.t list;
+  mutable accepted : int;
+  mutable requests : int;
+  mutable rejected_overloaded : int;
+  mutable rejected_draining : int;
+  drain_requested : bool Atomic.t;
+  drain_r : Unix.file_descr;
+  drain_w : Unix.file_descr;
+  queue_gauge : Obs.gauge;
+  in_flight_gauge : Obs.gauge;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Binding                                                             *)
+
+let stale_unix_socket path =
+  match (Unix.stat path).Unix.st_kind with
+  | Unix.S_SOCK -> (
+    (* a live daemon accepts; a dead one's socket file refuses *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close probe)
+      (fun () ->
+         match Unix.connect probe (Unix.ADDR_UNIX path) with
+         | () -> false
+         | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> true))
+  | _ | (exception Unix.Unix_error (Unix.ENOENT, _, _)) -> false
+
+let bind_listen addr =
+  match addr with
+  | Proto.Unix_path path ->
+    if stale_unix_socket path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.bind fd (Unix.ADDR_UNIX path)
+     with e ->
+       Unix.close fd;
+       raise e);
+    Unix.listen fd 64;
+    (fd, addr)
+  | Proto.Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+          addrs.(0)
+        | _ | (exception Not_found) ->
+          raise (Unix.Unix_error (Unix.EADDRNOTAVAIL, "gethostbyname", host)))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (try
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd 64
+     with e ->
+       Unix.close fd;
+       raise e);
+    let actual =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, bound_port) -> Proto.Tcp (host, bound_port)
+      | _ -> addr
+    in
+    (fd, actual)
+
+let create config =
+  let listen_fd, actual_addr = bind_listen config.addr in
+  let drain_r, drain_w = Unix.pipe ~cloexec:true () in
+  {
+    config;
+    listen_fd;
+    actual_addr;
+    pool = Pool.create ~domains:config.workers;
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    ready = Queue.create ();
+    queued = 0;
+    in_flight = 0;
+    draining = false;
+    clients = [];
+    readers = [];
+    accepted = 0;
+    requests = 0;
+    rejected_overloaded = 0;
+    rejected_draining = 0;
+    drain_requested = Atomic.make false;
+    drain_r;
+    drain_w;
+    queue_gauge = Obs.gauge "serve.queue_depth";
+    in_flight_gauge = Obs.gauge "serve.in_flight";
+  }
+
+let addr t = t.actual_addr
+
+let initiate_drain t =
+  if not (Atomic.exchange t.drain_requested true) then
+    (* wake the accept loop out of select; a pipe write is
+       async-signal-safe, which is why drain is requested this way *)
+    ignore (Unix.write t.drain_w (Bytes.of_string "d") 0 1)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let locked mutex f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let stats_json t =
+  locked t.mutex @@ fun () ->
+  Json.Obj
+    [
+      ("queue_depth", Json.Int t.queued);
+      ("in_flight", Json.Int t.in_flight);
+      ("connections", Json.Int (List.length t.clients));
+      ("accepted", Json.Int t.accepted);
+      ("requests", Json.Int t.requests);
+      ("rejected_overloaded", Json.Int t.rejected_overloaded);
+      ("rejected_draining", Json.Int t.rejected_draining);
+      ("workers", Json.Int (Pool.size t.pool));
+      ("queue_capacity", Json.Int t.config.queue_capacity);
+      ("draining", Json.Bool t.draining);
+    ]
+
+let respond client response =
+  locked client.write_mutex @@ fun () ->
+  if not client.fd_closed then
+    try Proto.write_frame client.fd (Proto.encode_response response)
+    with Unix.Unix_error _ | Sys_error _ | Proto.Frame_error _ ->
+      (* peer vanished mid-write; the reader will observe the same and
+         retire the connection *)
+      ()
+
+let respond_error client id kind message =
+  respond client
+    {
+      Proto.rsp_id = id;
+      outcome = Error { Proto.kind; message };
+      cache = None;
+      elapsed_s = 0.0;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+
+let execute t job =
+  let started = Obs.Clock.now_ns () in
+  let hits0, misses0 = Cache.domain_session () in
+  let outcome =
+    Ops.dispatch ?cache:t.config.cache
+      ~server:(fun () -> stats_json t)
+      job.request
+  in
+  let hits1, misses1 = Cache.domain_session () in
+  let elapsed_s = Obs.Clock.elapsed_s started in
+  let cache =
+    match t.config.cache with
+    | Some _ -> Some (hits1 - hits0, misses1 - misses0)
+    | None -> None
+  in
+  Obs.observe
+    (Obs.histogram ("serve.latency_ms." ^ job.request.Proto.op))
+    (elapsed_s *. 1000.0);
+  respond job.client
+    { Proto.rsp_id = job.request.Proto.id; outcome; cache; elapsed_s }
+
+let worker_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.ready && not (t.draining && t.queued = 0) do
+      Condition.wait t.work t.mutex
+    done;
+    if Queue.is_empty t.ready then begin
+      (* draining and nothing left to pick up *)
+      running := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let client = Queue.pop t.ready in
+      client.state <- Scheduled;
+      let job = Queue.pop client.pending in
+      t.queued <- t.queued - 1;
+      t.in_flight <- t.in_flight + 1;
+      Obs.set t.queue_gauge (float_of_int t.queued);
+      Obs.set t.in_flight_gauge (float_of_int t.in_flight);
+      Mutex.unlock t.mutex;
+      (try execute t job with _ -> ());
+      Mutex.lock t.mutex;
+      t.in_flight <- t.in_flight - 1;
+      Obs.set t.in_flight_gauge (float_of_int t.in_flight);
+      if Queue.is_empty client.pending then client.state <- Idle
+      else begin
+        client.state <- Ready;
+        Queue.push client t.ready;
+        Condition.signal t.work
+      end;
+      if t.draining && t.queued = 0 then Condition.broadcast t.work;
+      Mutex.unlock t.mutex
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Readers (one systhread per connection)                              *)
+
+let admit t client request =
+  locked t.mutex @@ fun () ->
+  if t.draining then Error (Proto.Draining, "server is draining")
+  else if t.queued >= t.config.queue_capacity then begin
+    t.rejected_overloaded <- t.rejected_overloaded + 1;
+    Obs.incr (Obs.counter "serve.rejected.overloaded");
+    Error
+      ( Proto.Overloaded,
+        Printf.sprintf "queue full (%d requests pending)" t.queued )
+  end
+  else begin
+    t.requests <- t.requests + 1;
+    Obs.incr (Obs.counter "serve.requests");
+    Queue.push { client; request } client.pending;
+    t.queued <- t.queued + 1;
+    Obs.set t.queue_gauge (float_of_int t.queued);
+    if client.state = Idle then begin
+      client.state <- Ready;
+      Queue.push client t.ready
+    end;
+    Condition.signal t.work;
+    Ok ()
+  end
+
+let count_draining_reject t =
+  locked t.mutex @@ fun () ->
+  t.rejected_draining <- t.rejected_draining + 1;
+  Obs.incr (Obs.counter "serve.rejected.draining")
+
+let close_client client =
+  locked client.write_mutex @@ fun () ->
+  if not client.fd_closed then begin
+    client.fd_closed <- true;
+    try Unix.close client.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Wake a reader blocked in [read] so it can retire; the reader itself
+   performs the [close] (under the write mutex), so the descriptor
+   number can never be recycled while another thread still uses it. *)
+let shutdown_client client =
+  locked client.write_mutex @@ fun () ->
+  if not client.fd_closed then
+    try Unix.shutdown client.fd Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()
+
+let reader t client =
+  let rec loop () =
+    match Proto.read_frame ~max_frame:t.config.max_frame client.fd with
+    | None -> ()
+    | exception (Proto.Frame_error _ | Unix.Unix_error _ | Sys_error _) -> ()
+    | Some body -> (
+      match Proto.parse_request ~max_frame:t.config.max_frame body with
+      | Error message ->
+        (* no trustworthy id to echo; answer on id 0 and drop the
+           connection — after a framing-level parse failure the byte
+           stream cannot be trusted to stay aligned *)
+        respond_error client 0 Proto.Bad_request message
+      | Ok request -> (
+        match admit t client request with
+        | Ok () -> loop ()
+        | Error (kind, message) ->
+          if kind = Proto.Draining then count_draining_reject t;
+          respond_error client request.Proto.id kind message;
+          loop ()))
+  in
+  (try loop () with _ -> ());
+  close_client client
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and drain                                               *)
+
+let accept_loop t =
+  let accepting = ref true in
+  while !accepting do
+    match Unix.select [ t.listen_fd; t.drain_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* a signal landed; its handler may have requested drain *)
+      if Atomic.get t.drain_requested then accepting := false
+    | readable, _, _ ->
+      if List.mem t.drain_r readable then accepting := false
+      else if List.mem t.listen_fd readable then begin
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception Unix.Unix_error (_, _, _) -> ()
+        | fd, _ ->
+          let client =
+            {
+              fd;
+              write_mutex = Mutex.create ();
+              fd_closed = false;
+              pending = Queue.create ();
+              state = Idle;
+            }
+          in
+          let thread = Thread.create (fun () -> reader t client) () in
+          locked t.mutex (fun () ->
+              t.accepted <- t.accepted + 1;
+              t.clients <- client :: t.clients;
+              t.readers <- thread :: t.readers)
+      end
+  done
+
+let run t =
+  (* one long fork-join job: every pool domain becomes a request
+     worker for the whole serving period *)
+  let workers = Thread.create (fun () -> Pool.run t.pool (fun _ -> worker_loop t)) () in
+  accept_loop t;
+  Unix.close t.listen_fd;
+  (match t.actual_addr with
+   | Proto.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+   | Proto.Tcp _ -> ());
+  (* flip to draining: readers now answer [draining]; workers finish
+     the backlog then park *)
+  locked t.mutex (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.work);
+  Thread.join workers;
+  (* backlog answered; retire the connections *)
+  let clients, readers =
+    locked t.mutex (fun () -> (t.clients, t.readers))
+  in
+  List.iter shutdown_client clients;
+  List.iter Thread.join readers;
+  Unix.close t.drain_r;
+  Unix.close t.drain_w;
+  Pool.shutdown t.pool

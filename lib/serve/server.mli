@@ -1,0 +1,67 @@
+(** The [mvald] server core: socket accept loop, admission control and
+    request execution on an {!Mv_par.Pool}.
+
+    Concurrency model:
+
+    - the thread calling {!run} owns the accept loop (a [select] over
+      the listening socket and a self-pipe used to request drain);
+    - each accepted connection gets a reader {e systhread} that decodes
+      frames, runs admission, and answers fast rejects
+      ([overloaded] / [draining] / parse errors) inline;
+    - admitted requests are queued per client and executed by the
+      worker {e domains} of the shared {!Mv_par.Pool} — a dedicated
+      thread calls [Pool.run pool worker_loop] once, so the serving
+      period is one long fork-join job multiplexing every request onto
+      the pool.
+
+    Fairness is FIFO per client with round-robin across clients: each
+    connection has its own FIFO of pending requests and at most one
+    request dispatched at a time, and workers pick the next client from
+    a round-robin ready queue. A single connection streaming requests
+    therefore cannot starve the others, yet its own requests never
+    reorder. Admission is bounded: when the total backlog reaches
+    [queue_capacity], new requests are rejected immediately with
+    [overloaded] (never queued, never blocked), which keeps tail
+    latency bounded under abuse.
+
+    Draining ({!initiate_drain}, safe to call from a signal handler):
+    stop accepting connections, answer new requests with [draining],
+    finish everything queued and in flight, then close connections and
+    return from {!run}. *)
+
+type config = {
+  addr : Proto.addr;  (** listen address; TCP port 0 picks one *)
+  workers : int;  (** pool size (domains), clamped to >= 1 *)
+  queue_capacity : int;  (** max queued (not yet executing) requests *)
+  max_frame : int;  (** per-frame byte cap for untrusted input *)
+  cache : Mv_store.Cache.t option;  (** shared artifact cache *)
+}
+
+val default_queue_capacity : int
+
+type t
+
+(** Bind and listen (does not accept yet). For a Unix-domain address a
+    stale socket file left by a dead daemon is detected (connect
+    refused) and replaced; for TCP, the address is reusable
+    ([SO_REUSEADDR]). Raises [Unix.Unix_error] on bind failure. *)
+val create : config -> t
+
+(** The bound address — for TCP with port 0, the actual port. *)
+val addr : t -> Proto.addr
+
+(** Serve until drained. Blocks the calling thread; returns only after
+    a {!initiate_drain} has been fully honoured (all admitted requests
+    answered, connections closed, pool workers parked). The pool itself
+    is shut down by the caller. *)
+val run : t -> unit
+
+(** Request graceful drain. Idempotent, callable from a signal
+    handler. *)
+val initiate_drain : t -> unit
+
+(** Live server gauges, embedded in [metrics] responses:
+    [{"queue_depth", "in_flight", "connections", "accepted",
+    "requests", "rejected_overloaded", "rejected_draining", "workers",
+    "queue_capacity", "draining"}]. *)
+val stats_json : t -> Mv_obs.Json.t

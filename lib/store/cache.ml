@@ -8,6 +8,8 @@ module Obs = Mv_obs.Obs
 let object_magic = "MVC\x01"
 let index_schema = "mv-store-index-v1"
 let stats_schema = "mv-store-stats-v1"
+let index_schema_name = index_schema
+let stats_schema_name = stats_schema
 
 type entry = {
   key : string;
@@ -23,6 +25,7 @@ type t = {
   objects_dir : string;
   max_bytes : int option;
   table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
   mutable hits_total : int;
   mutable misses_total : int;
   mutable evictions_total : int;
@@ -32,6 +35,27 @@ type t = {
 
 let dir t = t.dir
 let max_bytes t = t.max_bytes
+
+(* One handle may be shared across the mvald worker domains: every
+   public operation takes the handle's mutex (computation between a
+   miss and the corresponding [store] happens outside it). The lock
+   also keeps [write_atomic]'s pid-named temp files — identical for
+   every domain of one process — from colliding on a same-key race. *)
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Per-domain hit/miss counts: with [pool = None] inside each daemon
+   request, every cache call a request makes lands on its worker
+   domain, so a delta of these around the request is that request's
+   exact cache provenance even while other domains hit the same
+   handle. *)
+let domain_counts : (int ref * int ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref 0, ref 0))
+
+let domain_session () =
+  let hits, misses = Domain.DLS.get domain_counts in
+  (!hits, !misses)
 
 (* obs handles (shared, process-wide) *)
 let c_hits = lazy (Obs.counter "cache.hits")
@@ -167,6 +191,7 @@ let open_dir ?max_bytes path =
       objects_dir = Filename.concat path "objects";
       max_bytes;
       table = Hashtbl.create 64;
+      mutex = Mutex.create ();
       hits_total = 0;
       misses_total = 0;
       evictions_total = 0;
@@ -260,10 +285,11 @@ let read_object t key =
 let record_miss t =
   t.misses_total <- t.misses_total + 1;
   t.session_misses <- t.session_misses + 1;
+  incr (snd (Domain.DLS.get domain_counts));
   Obs.incr (Lazy.force c_misses);
   save_index t
 
-let find t ~key =
+let find_unlocked t ~key =
   Obs.span "cache.find" @@ fun () ->
   match Hashtbl.find_opt t.table key with
   | None ->
@@ -276,6 +302,7 @@ let find t ~key =
         entry.hits <- entry.hits + 1;
         t.hits_total <- t.hits_total + 1;
         t.session_hits <- t.session_hits + 1;
+        incr (fst (Domain.DLS.get domain_counts));
         Obs.incr (Lazy.force c_hits);
         Obs.add (Lazy.force c_bytes_read) (String.length payload);
         save_index t;
@@ -287,7 +314,9 @@ let find t ~key =
         record_miss t;
         None)
 
-let store t ~key ~op payload =
+let find t ~key = locked t (fun () -> find_unlocked t ~key)
+
+let store_unlocked t ~key ~op payload =
   Obs.span "cache.store" @@ fun () ->
   let envelope = Buffer.create (String.length payload + 8) in
   Buffer.add_string envelope object_magic;
@@ -313,12 +342,16 @@ let store t ~key ~op payload =
    | None -> ());
   save_index t
 
+let store t ~key ~op payload =
+  locked t (fun () -> store_unlocked t ~key ~op payload)
+
 (* ------------------------------------------------------------------ *)
 (* LTS artifacts                                                       *)
 
 let find_lts t ~op ?params source =
+  locked t @@ fun () ->
   let k = key ~op ?params source in
-  match find t ~key:k with
+  match find_unlocked t ~key:k with
   | None -> None
   | Some payload -> (
       match Mvb.of_string payload with
@@ -356,6 +389,7 @@ type stats = {
 }
 
 let stats t =
+  locked t @@ fun () ->
   {
     entries = Hashtbl.length t.table;
     bytes = total_bytes t;
@@ -379,7 +413,7 @@ let stats_json t =
       ("evictions", Json.Int s.evictions);
     ]
 
-let session t = (t.session_hits, t.session_misses)
+let session t = locked t (fun () -> (t.session_hits, t.session_misses))
 
 let remove_orphans t =
   Array.iter
@@ -390,7 +424,42 @@ let remove_orphans t =
          try Sys.remove (object_path t name) with Sys_error _ -> ())
     (Sys.readdir t.objects_dir)
 
+(* A writer that died between [open_out] and [rename] leaves a
+   "<name>.tmp.<pid>" file behind; [write_atomic] never reuses it (the
+   pid differs), so they accumulate until someone sweeps. Live objects
+   never contain a '.', so matching on the ".tmp." infix is safe. *)
+let is_tmp name =
+  let rec find i =
+    i + 5 <= String.length name
+    && (String.sub name i 5 = ".tmp." || find (i + 1))
+  in
+  find 0
+
+let sweep_tmp_unlocked t =
+  let swept = ref 0 in
+  let sweep_dir dir =
+    match Sys.readdir dir with
+    | names ->
+      Array.iter
+        (fun name ->
+           if is_tmp name then begin
+             (try
+                Sys.remove (Filename.concat dir name);
+                incr swept
+              with Sys_error _ -> ())
+           end)
+        names
+    | exception Sys_error _ -> ()
+  in
+  sweep_dir t.dir;
+  sweep_dir t.objects_dir;
+  !swept
+
+let sweep_tmp t = locked t (fun () -> sweep_tmp_unlocked t)
+
 let gc ?max_bytes t =
+  locked t @@ fun () ->
+  ignore (sweep_tmp_unlocked t);
   remove_orphans t;
   let evicted =
     match (max_bytes, t.max_bytes) with
@@ -401,6 +470,7 @@ let gc ?max_bytes t =
   evicted
 
 let clear t =
+  locked t @@ fun () ->
   let n = Hashtbl.length t.table in
   Hashtbl.iter (fun _ e -> try Sys.remove (object_path t e.key) with Sys_error _ -> ()) t.table;
   Hashtbl.reset t.table;

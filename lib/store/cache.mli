@@ -102,11 +102,38 @@ val stats_json : t -> Mv_obs.Json.t
     what {!Mv_core.Svl} uses to tag each step's cache provenance. *)
 val session : t -> int * int
 
+(** Hits and misses recorded by the {e calling domain}, across every
+    handle, since the domain started. A handle may be shared between
+    domains (every public operation holds an internal mutex; the
+    computation between a miss and its [store] does not), and [mvald]
+    runs each request's flow on a single worker domain — so a delta of
+    [domain_session] around a request is that request's exact cache
+    provenance, unperturbed by concurrent requests. *)
+val domain_session : unit -> int * int
+
 (** [gc ?max_bytes t] evicts LRU entries until the total payload size
     is within the cap ([max_bytes] overrides the session cap) and
-    deletes orphaned object files; returns the number of entries
-    evicted. Without any cap it only removes orphans. *)
+    deletes orphaned object files (including stale [.tmp] files, via
+    {!sweep_tmp}); returns the number of entries evicted. Without any
+    cap it only removes orphans. *)
 val gc : ?max_bytes:int -> t -> int
+
+(** Remove stale ["*.tmp.*"] files left behind by a writer that was
+    killed between writing and renaming, in both the cache root (index
+    temp files) and the objects directory. Live objects and the index
+    itself are never touched. Returns how many files were removed.
+    Runs automatically under {!gc}; [mvald] also calls it on startup
+    so a crashed daemon cannot leak temp artifacts. *)
+val sweep_tmp : t -> int
 
 (** Remove every entry; returns how many were removed. *)
 val clear : t -> int
+
+(** {1 Schema names}
+
+    The on-disk schema tags, exposed for [mval version] and the serve
+    protocol's version report. *)
+
+val index_schema_name : string (** ["mv-store-index-v1"] *)
+
+val stats_schema_name : string (** ["mv-store-stats-v1"] *)

@@ -26,4 +26,5 @@ let () =
       ("fame", Test_fame.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

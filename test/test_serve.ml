@@ -1,0 +1,522 @@
+(* Tests for mv_serve: the mv-serve-v1 wire protocol, hardened JSON
+   parsing of untrusted socket input, the shared op dispatch, and an
+   in-process end-to-end server (admission control, per-request cache
+   provenance, budgets, overload fast-reject, graceful drain). *)
+
+module Json = Mv_obs.Json
+module Proto = Mv_serve.Proto
+module Ops = Mv_serve.Ops
+module Server = Mv_serve.Server
+module Client = Mv_serve.Client
+module Cache = Mv_store.Cache
+module Flow = Mv_core.Flow
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let in_sandbox f =
+  let dir = Filename.temp_file "mv_serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let mm1_text ~capacity =
+  Printf.sprintf
+    {|
+process Producer := rate 2.0 ; push ; Producer
+process Consumer := pop ; rate 3.0 ; Consumer
+process Queue (n : int[0..%d]) :=
+    [n < %d] -> push ; Queue(n + 1)
+ [] [n > 0] -> pop ; Queue(n - 1)
+init (Producer |[push]| Queue(0)) |[pop]| Consumer
+|}
+    capacity capacity
+
+let model_args ?(capacity = 2) ?(extra = []) () =
+  Json.Obj
+    (( "model",
+       Json.Obj
+         [
+           ("kind", Json.String "mvl");
+           ("text", Json.String (mm1_text ~capacity));
+         ] )
+     :: extra)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round trips                                                *)
+
+let test_addr_parsing () =
+  let ok text expected =
+    match Proto.addr_of_string text with
+    | Ok addr ->
+      Alcotest.(check string) text expected (Proto.addr_to_string addr)
+    | Error msg -> Alcotest.fail (text ^ ": " ^ msg)
+  in
+  ok "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "./d.sock" "unix:./d.sock";
+  ok "tcp:localhost:7777" "tcp:localhost:7777";
+  ok "localhost:7777" "tcp:localhost:7777";
+  List.iter
+    (fun text ->
+       match Proto.addr_of_string text with
+       | Ok addr ->
+         Alcotest.fail
+           (Printf.sprintf "%S parsed as %s" text (Proto.addr_to_string addr))
+       | Error _ -> ())
+    [ ""; "tcp:localhost"; "tcp:host:notaport"; "tcp:host:99999"; "plainname" ]
+
+let test_request_round_trip () =
+  let request =
+    {
+      Proto.id = 42;
+      op = "generate";
+      args = model_args ();
+      budget = Some { Proto.max_states = Some 100; wall_s = Some 1.5 };
+    }
+  in
+  match Proto.parse_request (Proto.encode_request request) with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed ->
+    Alcotest.(check int) "id" request.Proto.id parsed.Proto.id;
+    Alcotest.(check string) "op" request.Proto.op parsed.Proto.op;
+    Alcotest.(check bool) "args" true (request.Proto.args = parsed.Proto.args);
+    Alcotest.(check bool) "budget" true
+      (request.Proto.budget = parsed.Proto.budget)
+
+let test_response_round_trip () =
+  let ok_response =
+    {
+      Proto.rsp_id = 7;
+      outcome = Ok (Json.Obj [ ("states", Json.Int 16) ]);
+      cache = Some (3, 1);
+      elapsed_s = 0.25;
+    }
+  in
+  (match Proto.parse_response (Proto.encode_response ok_response) with
+   | Error msg -> Alcotest.fail msg
+   | Ok parsed ->
+     Alcotest.(check int) "id" 7 parsed.Proto.rsp_id;
+     Alcotest.(check bool) "outcome" true
+       (parsed.Proto.outcome = ok_response.Proto.outcome);
+     Alcotest.(check bool) "cache" true (parsed.Proto.cache = Some (3, 1)));
+  let err_response =
+    {
+      Proto.rsp_id = 8;
+      outcome =
+        Error { Proto.kind = Proto.Budget_exceeded; message = "too big" };
+      cache = None;
+      elapsed_s = 0.0;
+    }
+  in
+  match Proto.parse_response (Proto.encode_response err_response) with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed ->
+    Alcotest.(check bool) "error outcome" true
+      (parsed.Proto.outcome = err_response.Proto.outcome)
+
+let test_frame_round_trip () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close r;
+      Unix.close w)
+    (fun () ->
+       let body = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+       Proto.write_frame w body;
+       (match Proto.read_frame r with
+        | Some got -> Alcotest.(check string) "frame body" body got
+        | None -> Alcotest.fail "unexpected EOF");
+       (* an oversized frame is rejected without being read *)
+       Proto.write_frame w (String.make 100 'x');
+       match Proto.read_frame ~max_frame:10 r with
+       | exception Proto.Frame_error _ -> ()
+       | _ -> Alcotest.fail "oversized frame accepted")
+
+(* ------------------------------------------------------------------ *)
+(* JSON hardening for untrusted input                                  *)
+
+let json_gen =
+  let open QCheck2.Gen in
+  sized_size (int_bound 4) @@ fix (fun self n ->
+      let scalar =
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.Int i) int;
+            map (fun f -> Json.Float f) float;
+            map (fun s -> Json.String s) (string_size (int_bound 20));
+          ]
+      in
+      if n = 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map (fun l -> Json.List l) (list_size (int_bound 4) (self (n - 1)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair (string_size (int_bound 8)) (self (n - 1))));
+          ])
+
+let json_round_trip_prop =
+  QCheck2.Test.make ~name:"json round-trips through print and hardened parse"
+    ~count:500 json_gen (fun json ->
+      Json.of_string (Json.to_string ~compact:true json) = json)
+
+let test_json_adversarial () =
+  let rejected ?max_depth ?max_bytes text =
+    match Json.of_string ?max_depth ?max_bytes text with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "accepted %S" text)
+  in
+  (* nesting bomb: the counter starts at 0, so max_depth:32 admits 33
+     bracket levels and rejects the 34th *)
+  let deep n = String.make n '[' ^ String.make n ']' in
+  rejected ~max_depth:32 (deep 34);
+  ignore (Json.of_string ~max_depth:32 (deep 33));
+  (* the default depth cap also holds *)
+  rejected (deep (Json.default_max_depth + 2));
+  (* size cap *)
+  rejected ~max_bytes:16 (Printf.sprintf "%S" (String.make 100 'a'));
+  (* trailing garbage after a valid document *)
+  rejected "{} []";
+  rejected "1 2";
+  rejected "[1,2,3] x";
+  (* truncated documents *)
+  rejected "{\"a\":";
+  rejected "[1,2";
+  rejected "\"unterminated";
+  (* malformed requests never crash the protocol layer *)
+  List.iter
+    (fun body ->
+       match Proto.parse_request body with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail (Printf.sprintf "request accepted: %S" body))
+    [
+      "";
+      "not json";
+      "[]";
+      "{\"schema\":\"bogus\",\"id\":1,\"op\":\"ping\"}";
+      "{\"schema\":\"mv-serve-v1\",\"op\":\"ping\"}";
+      "{\"schema\":\"mv-serve-v1\",\"id\":1}";
+      deep 64;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Stale cache temp files                                              *)
+
+let test_sweep_tmp () =
+  in_sandbox @@ fun dir ->
+  let cache = Cache.open_dir dir in
+  Cache.store cache ~key:"live" ~op:"test" "payload";
+  (* plant what a writer killed between write and rename leaves *)
+  let plant path = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "junk") in
+  plant (Filename.concat dir "index.json.tmp.12345");
+  plant (Filename.concat (Filename.concat dir "objects") "abc.tmp.12345");
+  let swept = Cache.sweep_tmp cache in
+  Alcotest.(check int) "both stale files swept" 2 swept;
+  Alcotest.(check bool) "stale object tmp removed" false
+    (Sys.file_exists (Filename.concat (Filename.concat dir "objects") "abc.tmp.12345"));
+  Alcotest.(check (option string)) "live object untouched" (Some "payload")
+    (Cache.find cache ~key:"live");
+  Alcotest.(check int) "nothing left to sweep" 0 (Cache.sweep_tmp cache)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch (no sockets)                                               *)
+
+let dispatch ?cache ?budget op args =
+  Ops.dispatch ?cache { Proto.id = 1; op; args; budget }
+
+let error_kind = function
+  | Error { Proto.kind; _ } -> Some kind
+  | Ok _ -> None
+
+let test_dispatch_basics () =
+  (match dispatch "ping" (Json.Obj []) with
+   | Ok _ -> ()
+   | Error { Proto.message; _ } -> Alcotest.fail message);
+  (match dispatch "version" (Json.Obj []) with
+   | Ok versions ->
+     Alcotest.(check bool) "protocol version present" true
+       (Json.member "protocol" versions = Some (Json.String Proto.schema))
+   | Error { Proto.message; _ } -> Alcotest.fail message);
+  Alcotest.(check bool) "unsupported op" true
+    (error_kind (dispatch "frobnicate" (Json.Obj [])) = Some Proto.Unsupported_op);
+  Alcotest.(check bool) "missing model is bad_request" true
+    (error_kind (dispatch "generate" (Json.Obj [])) = Some Proto.Bad_request);
+  Alcotest.(check bool) "broken model is model_error" true
+    (error_kind
+       (dispatch "generate"
+          (Json.Obj
+             [
+               ( "model",
+                 Json.Obj
+                   [ ("kind", Json.String "mvl"); ("text", Json.String "???") ]
+               );
+             ]))
+     = Some Proto.Model_error);
+  Alcotest.(check bool) "cache-stats without cache is no_cache" true
+    (error_kind (dispatch "cache-stats" (Json.Obj [])) = Some Proto.No_cache)
+
+let test_dispatch_budget () =
+  (* a states budget far below the model's size must come back as a
+     structured budget_exceeded error *)
+  Alcotest.(check bool) "states budget" true
+    (error_kind
+       (dispatch "generate" (model_args ())
+          ~budget:{ Proto.max_states = Some 2; wall_s = None })
+     = Some Proto.Budget_exceeded);
+  (* the wall budget interrupts a sleeping request *)
+  Alcotest.(check bool) "wall budget" true
+    (error_kind
+       (dispatch "sleep"
+          (Json.Obj [ ("s", Json.Float 5.0) ])
+          ~budget:{ Proto.max_states = None; wall_s = Some 0.05 })
+     = Some Proto.Budget_exceeded);
+  (* the states budget applies to cached results too: warm the cache
+     without a budget, then ask again under one — the cache hit must
+     still come back as budget_exceeded, exactly like the cold run *)
+  in_sandbox @@ fun dir ->
+  let cache = Cache.open_dir dir in
+  (match dispatch ~cache "generate" (model_args ()) with
+   | Ok _ -> ()
+   | Error { Proto.message; _ } ->
+     Alcotest.fail ("unbudgeted warm-up failed: " ^ message));
+  Alcotest.(check bool) "states budget on a cache hit" true
+    (error_kind
+       (dispatch ~cache "generate" (model_args ())
+          ~budget:{ Proto.max_states = Some 2; wall_s = None })
+     = Some Proto.Budget_exceeded)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end server                                                   *)
+
+let with_server ?(workers = 2) ?(queue_capacity = 8) ?(with_cache = false) f =
+  in_sandbox @@ fun dir ->
+  let cache =
+    if with_cache then Some (Cache.open_dir (Filename.concat dir "cache"))
+    else None
+  in
+  let server =
+    Server.create
+      {
+        Server.addr = Proto.Unix_path (Filename.concat dir "d.sock");
+        workers;
+        queue_capacity;
+        max_frame = Proto.default_max_frame;
+        cache;
+      }
+  in
+  let runner = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.initiate_drain server;
+      Thread.join runner)
+    (fun () -> f (Server.addr server) server)
+
+let check_ok name response =
+  match response.Proto.outcome with
+  | Ok result -> result
+  | Error { Proto.message; _ } -> Alcotest.fail (name ^ ": " ^ message)
+
+let artifact_of result =
+  match Json.member "artifact" result with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.fail "missing artifact"
+
+let test_server_warm_cache () =
+  with_server ~with_cache:true @@ fun addr _server ->
+  Client.with_connection addr @@ fun client ->
+  let cold = Client.call client ~op:"generate" (model_args ()) in
+  let cold_result = check_ok "cold" cold in
+  (match cold.Proto.cache with
+   | Some (_, misses) when misses > 0 -> ()
+   | provenance ->
+     Alcotest.fail
+       (Printf.sprintf "cold request should record misses, got %s"
+          (match provenance with
+           | None -> "no provenance"
+           | Some (h, m) -> Printf.sprintf "(%d,%d)" h m)));
+  let warm = Client.call client ~op:"generate" (model_args ()) in
+  let warm_result = check_ok "warm" warm in
+  (match warm.Proto.cache with
+   | Some (hits, 0) when hits > 0 -> ()
+   | provenance ->
+     Alcotest.fail
+       (Printf.sprintf "warm request should be all hits, got %s"
+          (match provenance with
+           | None -> "no provenance"
+           | Some (h, m) -> Printf.sprintf "(%d,%d)" h m)));
+  Alcotest.(check string) "cold and warm artifacts identical"
+    (artifact_of cold_result) (artifact_of warm_result);
+  (* byte-identical to a local, pool-less run *)
+  let local =
+    Mv_lts.Aut.to_string
+      (Flow.Run.generate
+         { Flow.Config.default with max_states = Some 1_000_000 }
+         (Flow.model_of_text (mm1_text ~capacity:2)))
+  in
+  Alcotest.(check string) "remote artifact matches local run" local
+    (artifact_of cold_result)
+
+let test_server_budget_concurrent () =
+  (* an over-budget request fails with a structured error while a
+     concurrent small request on the same pool completes *)
+  with_server ~workers:2 @@ fun addr _server ->
+  let big_outcome = ref None and small_outcome = ref None in
+  let big =
+    Thread.create
+      (fun () ->
+         Client.with_connection addr (fun client ->
+             big_outcome :=
+               Some
+                 (Client.call client ~op:"generate"
+                    ~budget:{ Proto.max_states = Some 3; wall_s = None }
+                    (model_args ~capacity:30 ()))))
+      ()
+  and small =
+    Thread.create
+      (fun () ->
+         Client.with_connection addr (fun client ->
+             small_outcome :=
+               Some (Client.call client ~op:"generate" (model_args ()))))
+      ()
+  in
+  Thread.join big;
+  Thread.join small;
+  (match !big_outcome with
+   | Some { Proto.outcome = Error { Proto.kind = Proto.Budget_exceeded; _ }; _ }
+     -> ()
+   | Some { Proto.outcome = Error { Proto.message; _ }; _ } ->
+     Alcotest.fail ("wrong error: " ^ message)
+   | Some { Proto.outcome = Ok _; _ } ->
+     Alcotest.fail "over-budget request succeeded"
+   | None -> Alcotest.fail "no response to the over-budget request");
+  match !small_outcome with
+  | Some response -> ignore (check_ok "small concurrent request" response)
+  | None -> Alcotest.fail "no response to the small request"
+
+let test_server_overload () =
+  (* one worker busy + a full queue of one => the third concurrent
+     request is rejected immediately with [overloaded] *)
+  with_server ~workers:1 ~queue_capacity:1 @@ fun addr _server ->
+  let sleep_args s = Json.Obj [ ("s", Json.Float s) ] in
+  let first_outcome = ref None and second_outcome = ref None in
+  let first =
+    Thread.create
+      (fun () ->
+         Client.with_connection addr (fun client ->
+             first_outcome :=
+               Some (Client.call client ~op:"sleep" (sleep_args 0.6))))
+      ()
+  in
+  Thread.delay 0.15;
+  let second =
+    Thread.create
+      (fun () ->
+         Client.with_connection addr (fun client ->
+             second_outcome :=
+               Some (Client.call client ~op:"sleep" (sleep_args 0.05))))
+      ()
+  in
+  Thread.delay 0.15;
+  (* worker occupied by the first, queue holding the second: this one
+     must bounce without waiting *)
+  let started = Unix.gettimeofday () in
+  let third =
+    Client.with_connection addr (fun client ->
+        Client.call client ~op:"sleep" (sleep_args 0.05))
+  in
+  let reject_latency = Unix.gettimeofday () -. started in
+  (match third.Proto.outcome with
+   | Error { Proto.kind = Proto.Overloaded; _ } -> ()
+   | Error { Proto.message; _ } -> Alcotest.fail ("wrong error: " ^ message)
+   | Ok _ -> Alcotest.fail "third request should have been rejected");
+  Alcotest.(check bool)
+    (Printf.sprintf "fast reject (%.3fs)" reject_latency)
+    true (reject_latency < 0.3);
+  Thread.join first;
+  Thread.join second;
+  (match !first_outcome with
+   | Some response -> ignore (check_ok "first (executing) request" response)
+   | None -> Alcotest.fail "no response to the first request");
+  match !second_outcome with
+  | Some response -> ignore (check_ok "second (queued) request" response)
+  | None -> Alcotest.fail "no response to the second request"
+
+let test_server_drain () =
+  with_server ~workers:1 @@ fun addr server ->
+  let slow_outcome = ref None in
+  let slow =
+    Thread.create
+      (fun () ->
+         Client.with_connection addr (fun client ->
+             slow_outcome :=
+               Some
+                 (Client.call client ~op:"sleep"
+                    (Json.Obj [ ("s", Json.Float 0.4) ]))))
+      ()
+  in
+  Thread.delay 0.1;
+  (* connect before drain: existing connections keep their reader *)
+  Client.with_connection addr @@ fun client ->
+  Server.initiate_drain server;
+  Thread.delay 0.1;
+  let refused = Client.call client ~op:"ping" (Json.Obj []) in
+  (match refused.Proto.outcome with
+   | Error { Proto.kind = Proto.Draining; _ } -> ()
+   | Error { Proto.message; _ } -> Alcotest.fail ("wrong error: " ^ message)
+   | Ok _ -> Alcotest.fail "request admitted while draining");
+  Thread.join slow;
+  match !slow_outcome with
+  | Some response -> ignore (check_ok "in-flight request drained" response)
+  | None -> Alcotest.fail "in-flight request lost during drain"
+
+let test_server_metrics () =
+  with_server @@ fun addr _server ->
+  Client.with_connection addr @@ fun client ->
+  let result = check_ok "metrics" (Client.call client ~op:"metrics" (Json.Obj [])) in
+  let server_stats =
+    match Json.member "server" result with
+    | Some (Json.Obj _ as s) -> s
+    | _ -> Alcotest.fail "metrics response lacks server gauges"
+  in
+  List.iter
+    (fun gauge ->
+       match Json.member gauge server_stats with
+       | Some (Json.Int _) -> ()
+       | _ -> Alcotest.fail ("missing server gauge " ^ gauge))
+    [ "queue_depth"; "in_flight"; "connections"; "accepted"; "requests";
+      "workers"; "queue_capacity" ];
+  match Json.member "metrics" result with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "metrics response lacks the mv-obs snapshot"
+
+let suite =
+  [
+    Alcotest.test_case "addr parsing" `Quick test_addr_parsing;
+    Alcotest.test_case "request round trip" `Quick test_request_round_trip;
+    Alcotest.test_case "response round trip" `Quick test_response_round_trip;
+    Alcotest.test_case "frame round trip" `Quick test_frame_round_trip;
+    QCheck_alcotest.to_alcotest json_round_trip_prop;
+    Alcotest.test_case "json adversarial inputs" `Quick test_json_adversarial;
+    Alcotest.test_case "cache sweep_tmp" `Quick test_sweep_tmp;
+    Alcotest.test_case "dispatch basics" `Quick test_dispatch_basics;
+    Alcotest.test_case "dispatch budgets" `Quick test_dispatch_budget;
+    Alcotest.test_case "server warm cache provenance" `Quick
+      test_server_warm_cache;
+    Alcotest.test_case "server budget vs concurrent request" `Quick
+      test_server_budget_concurrent;
+    Alcotest.test_case "server overload fast-reject" `Quick test_server_overload;
+    Alcotest.test_case "server graceful drain" `Quick test_server_drain;
+    Alcotest.test_case "server metrics" `Quick test_server_metrics;
+  ]
