@@ -981,6 +981,7 @@ let e11_serve () =
         queue_capacity = 256;
         max_frame = Proto.default_max_frame;
         cache = Some cache;
+        slow_s = Server.default_slow_s;
       }
   in
   let addr = Server.addr server in
@@ -1075,6 +1076,20 @@ let e11_serve () =
     | Some (_, _, _, rps, _, _, _, _) -> rps
     | None -> 0.0
   in
+  let pct_of name pick =
+    match
+      List.find_opt (fun (n, _, _, _, _, _, _, _) -> n = name) phases
+    with
+    | Some phase -> pick phase
+    | None -> 0.0
+  in
+  (* the server executed in this process, so its registry is ours:
+     read the per-op request-latency quantiles it recorded *)
+  let server_latency_quantile q =
+    let h = Obs.histogram "serve.request_latency_s.minimize" in
+    let v = Obs.quantile h q in
+    if Float.is_nan v then 0.0 else 1000.0 *. v
+  in
   let warm_over_cold =
     let cold = rps_of "cold" in
     if cold > 0.0 then rps_of "warm" /. cold else 0.0
@@ -1126,6 +1141,15 @@ let e11_serve () =
                       ])
                  phases) );
           ("warm_over_cold_rps", Json.Float warm_over_cold);
+          (* headline warm-path client latencies, plus the server's own
+             per-op request-latency quantiles (shared in-process
+             registry) — what CI's bench-smoke asserts on *)
+          ("warm_p50_ms", Json.Float (pct_of "warm" (fun (_, _, _, _, p50, _, _, _) -> p50)));
+          ("warm_p99_ms", Json.Float (pct_of "warm" (fun (_, _, _, _, _, p99, _, _) -> p99)));
+          ( "server_latency_p50_ms",
+            Json.Float (server_latency_quantile 0.50) );
+          ( "server_latency_p99_ms",
+            Json.Float (server_latency_quantile 0.99) );
           ("server", gauges);
         ] )
     :: !bench_extra

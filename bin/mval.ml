@@ -16,6 +16,8 @@ module Cache = Mv_store.Cache
 module Flow = Mv_core.Flow
 module Budget = Mv_core.Budget
 module Json = Mv_obs.Json
+module Obs = Mv_obs.Obs
+module Log = Mv_obs.Log
 module Ops = Mv_serve.Ops
 module Proto = Mv_serve.Proto
 module Client = Mv_serve.Client
@@ -79,13 +81,47 @@ let print_texts (t : Ops.texts) =
 
 (* ---- remote execution (mval --remote ADDR) ---- *)
 
+(* One request id per process (the --request-id choice, or a fresh one
+   minted at the first remote call): the client-side span, the
+   daemon-side spans and metrics, and the structured log events of a
+   run all carry the same id, so the two halves of a --remote run can
+   be correlated — and, under --trace, merged into a single Chrome
+   trace. Span collection is requested exactly when --trace is on. *)
+let remote_request_id = ref None
+let remote_collect_spans = ref false
+
+let current_request_id () =
+  match !remote_request_id with
+  | Some rid -> rid
+  | None ->
+    let rid = Proto.fresh_request_id () in
+    remote_request_id := Some rid;
+    rid
+
 let remote_call addr_text ~op ?budget args =
   match Proto.addr_of_string addr_text with
   | Error msg ->
     prerr_endline ("bad --remote address: " ^ msg);
     exit 2
   | Ok addr -> (
-    try Client.with_connection addr (fun c -> Client.call c ~op ?budget args)
+    let rid = current_request_id () in
+    let trace =
+      { Proto.request_id = rid; collect_spans = !remote_collect_spans }
+    in
+    try
+      Obs.with_request rid (fun () ->
+          Obs.span "remote.call"
+            ~args:[ ("op", Json.String op) ]
+            (fun () ->
+               Client.with_connection addr (fun c ->
+                   let response = Client.call c ~op ?budget ~trace args in
+                   (* daemon-side spans land in the local registry
+                      under the remote trace lane (pid 2); the at_exit
+                      --trace writer then emits one merged trace *)
+                   (match response.Proto.trace with
+                    | Some spans -> Obs.ingest_spans spans
+                    | None -> ());
+                   response)))
     with Client.Error msg ->
       prerr_endline ("remote: " ^ msg);
       exit 70)
@@ -162,8 +198,6 @@ let lint_gate ~no_lint paths =
          end)
       paths
 
-module Obs = Mv_obs.Obs
-
 (* Telemetry wiring shared by the flow commands. The exporters run
    from [at_exit] because several commands terminate via [exit]
    mid-run (compare/check/script encode their verdict in the exit
@@ -175,8 +209,15 @@ let write_json path json =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Mv_obs.Json.to_string json))
 
-let setup_obs metrics trace progress =
+let setup_obs metrics trace progress log_json request_id =
   if metrics <> None || trace <> None then Obs.enable ();
+  if trace <> None then remote_collect_spans := true;
+  if log_json then Log.set_sink (Some Log.stderr_sink);
+  (match request_id with
+   | Some rid ->
+     remote_request_id := Some rid;
+     Obs.set_request (Some rid)
+   | None -> ());
   if progress then Obs.set_progress true;
   if metrics <> None || trace <> None || progress then
     Stdlib.at_exit (fun () ->
@@ -220,7 +261,30 @@ let progress_arg =
           "Repaint a live status line on stderr while exploring, \
            refining, solving and simulating.")
 
-let obs_term = Term.(const setup_obs $ metrics_arg $ trace_arg $ progress_arg)
+let log_json_arg =
+  Arg.(
+    value & flag
+    & info [ "log-json" ]
+        ~doc:
+          "Stream every structured log event to stderr as one JSON \
+           line (schema $(b,mv-log-v1); see doc/observability.md) as \
+           it happens.")
+
+let request_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "request-id" ] ~docv:"ID"
+        ~doc:
+          "Tag this run's telemetry — spans, log events, and \
+           $(b,--remote) requests — with $(docv) instead of a \
+           generated id, so client- and daemon-side records \
+           correlate.")
+
+let obs_term =
+  Term.(
+    const setup_obs $ metrics_arg $ trace_arg $ progress_arg $ log_json_arg
+    $ request_id_arg)
 
 let model_arg =
   Arg.(

@@ -1,17 +1,21 @@
 (* mvald — the Multival verification service daemon.
 
    Serves mv-serve-v1 requests (generate / minimize / equivalent /
-   check / solve / script / lint / cache-stats / metrics / version)
-   over a Unix-domain or TCP socket, multiplexing them onto one shared
-   Mv_par domain pool behind an admission controller. SIGTERM/SIGINT
-   drain gracefully: finish every admitted request, answer new ones
-   with a structured [draining] error, then exit 0. *)
+   check / solve / script / lint / cache-stats / metrics /
+   metrics-text / logs / version) over a Unix-domain or TCP socket,
+   multiplexing them onto one shared Mv_par domain pool behind an
+   admission controller. SIGTERM/SIGINT drain gracefully: finish every
+   admitted request, answer new ones with a structured [draining]
+   error, then exit 0. SIGUSR1 dumps the structured-log flight
+   recorder (last 512 events, mv-log-v1) to stderr. *)
 
 open Cmdliner
 module Server = Mv_serve.Server
 module Proto = Mv_serve.Proto
 module Cache = Mv_store.Cache
 module Obs = Mv_obs.Obs
+module Log = Mv_obs.Log
+module Json = Mv_obs.Json
 
 let listen_arg =
   Arg.(
@@ -55,7 +59,25 @@ let max_frame_arg =
     & info [ "max-frame" ] ~docv:"BYTES"
         ~doc:"Reject request frames larger than this.")
 
-let serve listen workers queue_capacity cache_dir max_frame =
+let log_json_arg =
+  Arg.(
+    value & flag
+    & info [ "log-json" ]
+        ~doc:
+          "Emit every structured log event as an $(b,mv-log-v1) JSON line on \
+           stderr as it happens (the in-memory flight recorder is always \
+           on).")
+
+let slow_arg =
+  Arg.(
+    value
+    & opt float Server.default_slow_s
+    & info [ "slow-threshold" ] ~docv:"SECONDS"
+        ~doc:
+          "Log a $(b,slow request) warning for requests whose execution \
+           exceeds this many seconds.")
+
+let serve listen workers queue_capacity cache_dir max_frame log_json slow_s =
   match Proto.addr_of_string listen with
   | Error msg ->
     Printf.eprintf "mvald: %s\n%!" msg;
@@ -64,6 +86,7 @@ let serve listen workers queue_capacity cache_dir max_frame =
     (* metrics are always live in the daemon: the [metrics] request is
        part of the protocol, not an opt-in flag *)
     Obs.enable ();
+    if log_json then Log.set_sink (Some Log.stderr_sink);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let cache = Option.map (fun dir -> Cache.open_dir dir) cache_dir in
     (match cache with
@@ -77,11 +100,19 @@ let serve listen workers queue_capacity cache_dir max_frame =
     let server =
       Server.create
         { Server.addr = requested_addr; workers; queue_capacity; max_frame;
-          cache }
+          cache; slow_s }
     in
     let drain _signal = Server.initiate_drain server in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
     Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    (* OCaml signal handlers run at safe points, not asynchronously,
+       but the recorder lock could still be held by this very thread —
+       skip the dump rather than risk a self-deadlock *)
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle
+         (fun _ ->
+            try Printf.eprintf "%s%!" (Json.to_string (Log.dump_json ()))
+            with _ -> ()));
     Printf.eprintf "mvald: listening on %s (%d worker(s), queue %d)\n%!"
       (Proto.addr_to_string (Server.addr server))
       workers queue_capacity;
@@ -101,6 +132,12 @@ let cmd =
          on this daemon — warm requests are answered from the shared \
          artifact cache.";
       `P
+        "Observability: $(b,GET /metrics) on the listen socket (or the \
+         $(b,metrics-text) op) answers an OpenMetrics text exposition with \
+         per-op request-latency histograms; the $(b,logs) op returns the \
+         structured-log flight recorder, which SIGUSR1 also dumps to \
+         stderr.";
+      `P
         "SIGTERM and SIGINT drain gracefully: queued and executing requests \
          finish, new requests receive a structured $(b,draining) error, and \
          the daemon exits 0.";
@@ -110,6 +147,6 @@ let cmd =
     (Cmd.info "mvald" ~version:Proto.binary_version ~doc ~man)
     Term.(
       const serve $ listen_arg $ workers_arg $ queue_arg $ cache_arg
-      $ max_frame_arg)
+      $ max_frame_arg $ log_json_arg $ slow_arg)
 
 let () = exit (Cmd.eval' cmd)

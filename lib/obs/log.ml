@@ -1,0 +1,124 @@
+(* Structured logging: mv-log-v1 JSON events with a bounded in-memory
+   ring (the "flight recorder"). Recording is always on — an event is
+   one record and one array store — so the recent history is available
+   after the fact (SIGUSR1, the serve [logs] op) even when nobody
+   asked for live logging up front. Live emission to stderr is opt-in
+   via {!set_sink}. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type event = {
+  ev_seq : int;
+  ev_level : level;
+  ev_ts_ns : int64;
+  ev_wall_s : float;
+  ev_request : string option;
+  ev_op : string option;
+  ev_msg : string;
+  ev_fields : (string * Json.t) list;
+}
+
+let schema = "mv-log-v1"
+let capacity = 512
+
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  match f () with
+  | v ->
+    Mutex.unlock mutex;
+    v
+  | exception exn ->
+    Mutex.unlock mutex;
+    raise exn
+
+let ring : event option array = Array.make capacity None
+let total = ref 0
+let sink : (event -> unit) option ref = ref None
+
+let set_sink f = locked (fun () -> sink := f)
+
+let event_json e =
+  Json.Obj
+    [
+      ("lvl", Json.String (level_name e.ev_level));
+      ("seq", Json.Int e.ev_seq);
+      ("ts_ns", Json.Int (Int64.to_int e.ev_ts_ns));
+      ("wall_s", Json.Float e.ev_wall_s);
+      ( "request_id",
+        match e.ev_request with Some r -> Json.String r | None -> Json.Null
+      );
+      ("op", match e.ev_op with Some o -> Json.String o | None -> Json.Null);
+      ("msg", Json.String e.ev_msg);
+      ("fields", Json.Obj e.ev_fields);
+    ]
+
+let line e = Json.to_string ~compact:true (event_json e)
+
+let stderr_sink e = Printf.eprintf "%s\n%!" (line e)
+
+let emit ?(level = Info) ?request ?op ?(fields = []) msg =
+  let request =
+    match request with Some _ as r -> r | None -> Obs.current_request ()
+  in
+  let ts_ns = Obs.Clock.now_ns () in
+  let wall_s = Unix.gettimeofday () in
+  let e, deliver =
+    locked (fun () ->
+        let e =
+          {
+            ev_seq = !total;
+            ev_level = level;
+            ev_ts_ns = ts_ns;
+            ev_wall_s = wall_s;
+            ev_request = request;
+            ev_op = op;
+            ev_msg = msg;
+            ev_fields = fields;
+          }
+        in
+        ring.(!total mod capacity) <- Some e;
+        total := !total + 1;
+        (e, !sink))
+  in
+  (* deliver outside the lock: a slow stderr must not stall recorders *)
+  match deliver with Some f -> f e | None -> ()
+
+let debug ?request ?op ?fields msg = emit ~level:Debug ?request ?op ?fields msg
+let info ?request ?op ?fields msg = emit ~level:Info ?request ?op ?fields msg
+let warn ?request ?op ?fields msg = emit ~level:Warn ?request ?op ?fields msg
+let error ?request ?op ?fields msg = emit ~level:Error ?request ?op ?fields msg
+
+let recent ?limit () =
+  let events =
+    locked (fun () ->
+        let t = !total in
+        let first = max 0 (t - capacity) in
+        List.filter_map
+          (fun i -> ring.(i mod capacity))
+          (List.init (t - first) (fun k -> first + k)))
+  in
+  match limit with
+  | Some n when n >= 0 && n < List.length events ->
+    (* keep the newest [n] *)
+    List.filteri (fun i _ -> i >= List.length events - n) events
+  | _ -> events
+
+let dump_json ?limit () =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("events", Json.List (List.map event_json (recent ?limit ())));
+    ]
+
+let clear () =
+  locked (fun () ->
+      Array.fill ring 0 capacity None;
+      total := 0)

@@ -1,0 +1,100 @@
+(** Structured logging: mv-log-v1 JSON events with a bounded flight
+    recorder.
+
+    Every event carries a level, both clocks (the monotonic
+    {!Obs.Clock} reading and the raw wall clock), the request id it
+    belongs to (defaulting to the calling domain's {!Obs.with_request}
+    context), an optional op name, a message and free-form JSON
+    fields:
+
+    {v
+    {"lvl": "warn", "seq": 17, "ts_ns": ..., "wall_s": ...,
+     "request_id": "f3a1...-1", "op": "minimize",
+     "msg": "slow request", "fields": {"exec_s": 2.31}}
+    v}
+
+    Recording into the in-memory ring (last 512 events) is always on
+    and costs one record and one array store per event, so the recent
+    history is available after the fact — [mvald] dumps it on SIGUSR1
+    and serves it via the [logs] op — even when live logging was never
+    requested. Live emission is opt-in: {!set_sink}. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+type event = {
+  ev_seq : int;  (** monotonically increasing sequence number *)
+  ev_level : level;
+  ev_ts_ns : int64;  (** {!Obs.Clock.now_ns} at emit time *)
+  ev_wall_s : float;  (** [Unix.gettimeofday] at emit time *)
+  ev_request : string option;
+  ev_op : string option;
+  ev_msg : string;
+  ev_fields : (string * Json.t) list;
+}
+
+val schema : string
+(** ["mv-log-v1"]. *)
+
+val capacity : int
+(** Ring size (512): how many recent events {!recent} can return. *)
+
+(** [emit msg] records an event. [?request] defaults to the calling
+    domain's request context; [?op] and [?fields] default to empty.
+    Thread-safe from any domain. *)
+val emit :
+  ?level:level ->
+  ?request:string ->
+  ?op:string ->
+  ?fields:(string * Json.t) list ->
+  string ->
+  unit
+
+val debug :
+  ?request:string ->
+  ?op:string ->
+  ?fields:(string * Json.t) list ->
+  string ->
+  unit
+
+val info :
+  ?request:string ->
+  ?op:string ->
+  ?fields:(string * Json.t) list ->
+  string ->
+  unit
+
+val warn :
+  ?request:string ->
+  ?op:string ->
+  ?fields:(string * Json.t) list ->
+  string ->
+  unit
+
+val error :
+  ?request:string ->
+  ?op:string ->
+  ?fields:(string * Json.t) list ->
+  string ->
+  unit
+
+(** Install (or remove, with [None]) a live sink called once per
+    emitted event, outside the recorder lock. {!stderr_sink} prints
+    one compact mv-log-v1 JSON line per event. *)
+val set_sink : (event -> unit) option -> unit
+
+val stderr_sink : event -> unit
+
+val event_json : event -> Json.t
+val line : event -> string
+
+(** The most recent events, oldest first; [?limit] keeps only the
+    newest [limit] of them. *)
+val recent : ?limit:int -> unit -> event list
+
+(** [{"schema": "mv-log-v1", "events": [..]}] — the flight-recorder
+    dump served by the [logs] op and printed on SIGUSR1. *)
+val dump_json : ?limit:int -> unit -> Json.t
+
+val clear : unit -> unit

@@ -1,19 +1,26 @@
 (* Process-global telemetry registry. One mutex guards every mutable
-   structure except counters (Atomic) and the enabled flag; the
-   recording paths that run on pool domains (counter bumps, histogram
-   observations, progress repaints) are safe from any domain. *)
+   structure except counters (Atomic), the clock clamp (Atomic CAS)
+   and the enabled flag; the recording paths that run on pool domains
+   (counter bumps, histogram observations, progress repaints) are safe
+   from any domain. *)
 
 module Clock = struct
-  let mutex = Mutex.create ()
-  let last = ref 0L
+  (* One process-global clamp, maintained with a lock-free CAS-max
+     over an int (62-bit nanoseconds reach past the year 2100): no
+     reading on any domain can observe a timestamp below one already
+     handed out on another domain, and — unlike a mutex — the clock
+     stays safe to read from signal handlers and from inside other
+     locked sections. *)
+  let last = Atomic.make 0
+
+  let rec clamp wall =
+    let prev = Atomic.get last in
+    if wall <= prev then prev
+    else if Atomic.compare_and_set last prev wall then wall
+    else clamp wall
 
   let now_ns () =
-    let wall = Int64.of_float (Unix.gettimeofday () *. 1e9) in
-    Mutex.lock mutex;
-    let t = if Int64.compare wall !last > 0 then wall else !last in
-    last := t;
-    Mutex.unlock mutex;
-    t
+    Int64.of_int (clamp (int_of_float (Unix.gettimeofday () *. 1e9)))
 
   let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
 end
@@ -21,6 +28,11 @@ end
 let enabled_flag = Atomic.make false
 let enable () = Atomic.set enabled_flag true
 let is_enabled () = Atomic.get enabled_flag
+
+(* Bumped by [reset]: a span that was open across a reset must not
+   record itself into the fresh registry (its parent id points into
+   the dropped world). *)
+let epoch = Atomic.make 0
 
 let mutex = Mutex.create ()
 
@@ -33,6 +45,32 @@ let locked f =
   | exception exn ->
     Mutex.unlock mutex;
     raise exn
+
+let domain_id () = (Domain.self () :> int)
+
+(* ------------------------------------------------------------------ *)
+(* Request context                                                     *)
+
+(* The id of the request currently being served on each domain; spans
+   and log events opened while a context is set are tagged with it.
+   [Mv_serve.Server] installs the context around request execution so
+   every engine span recorded during a request carries its id. *)
+let request_contexts : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let current_request () =
+  locked (fun () -> Hashtbl.find_opt request_contexts (domain_id ()))
+
+let set_request rid =
+  locked (fun () ->
+      match rid with
+      | Some r -> Hashtbl.replace request_contexts (domain_id ()) r
+      | None -> Hashtbl.remove request_contexts (domain_id ()))
+
+let with_request rid f =
+  let dom = domain_id () in
+  let prev = locked (fun () -> Hashtbl.find_opt request_contexts dom) in
+  set_request (Some rid);
+  Fun.protect ~finally:(fun () -> set_request prev) f
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -53,6 +91,8 @@ let bucket_of v =
 
 let bucket_lt i =
   if i >= nb_buckets - 1 then infinity else Float.ldexp 1.0 (i - 30)
+
+let bucket_ge i = if i <= 0 then 0.0 else bucket_lt (i - 1)
 
 type histogram = {
   h_name : string;
@@ -131,6 +171,63 @@ let observe h v =
         if v < h.h_min then h.h_min <- v;
         if v > h.h_max then h.h_max <- v)
 
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (int * int) list;
+}
+
+let histogram_snapshot h =
+  locked (fun () ->
+      let buckets = ref [] in
+      for i = nb_buckets - 1 downto 0 do
+        if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+      done;
+      {
+        hs_count = h.h_count;
+        hs_sum = h.h_sum;
+        hs_min = h.h_min;
+        hs_max = h.h_max;
+        hs_buckets = !buckets;
+      })
+
+(* Quantile estimation by log-bucket interpolation. The bucket is the
+   one holding the ceil(q*count)-th smallest observation (buckets are
+   exact counts, so this is exact); the value inside it is linearly
+   interpolated between the bucket bounds, tightened by the recorded
+   min/max. The estimate therefore always lands inside the exact
+   sample quantile's bucket, and is monotone in q. *)
+let quantile h q =
+  locked (fun () ->
+      if h.h_count = 0 then Float.nan
+      else begin
+        let q = Float.max 0.0 (Float.min 1.0 q) in
+        let target = Float.max 1.0 (q *. float_of_int h.h_count) in
+        let rec find i cum =
+          if i >= nb_buckets - 1 then (i, cum)
+          else if
+            h.h_buckets.(i) > 0
+            && float_of_int (cum + h.h_buckets.(i)) >= target
+          then (i, cum)
+          else find (i + 1) (cum + h.h_buckets.(i))
+        in
+        let b, before = find 0 0 in
+        let lo = Float.max (bucket_ge b) h.h_min in
+        let hi = Float.min (bucket_lt b) h.h_max in
+        let lo = Float.min lo hi in
+        let inside = h.h_buckets.(b) in
+        let frac =
+          if inside = 0 then 1.0
+          else
+            Float.max 0.0
+              (Float.min 1.0
+                 ((target -. float_of_int before) /. float_of_int inside))
+        in
+        lo +. (frac *. (hi -. lo))
+      end)
+
 let series name =
   get_or_create series_table "series" name (fun () ->
       {
@@ -175,54 +272,73 @@ type span = {
   sp_parent : int option;
   sp_name : string;
   sp_domain : int;
+  sp_pid : int;
+  sp_request : string option;
   sp_start_ns : int64;
   sp_dur_ns : int64;
   sp_args : (string * Json.t) list;
 }
 
+let local_pid = 1
+let remote_pid = 2
 let next_span_id = Atomic.make 0
-let completed_spans : span list ref = ref []
+
+(* Completed spans live in a bounded ring: a long-running daemon
+   records one span tree per request forever, so an unbounded list
+   would be a leak. The ring keeps the most recent [span_cap]
+   completions in order. *)
+let span_cap = 32768
+let span_ring : span option array = Array.make span_cap None
+let span_total = ref 0
+
+let record_span sp =
+  locked (fun () ->
+      span_ring.(!span_total mod span_cap) <- Some sp;
+      span_total := !span_total + 1)
 
 (* per-domain stack of open span ids (innermost first) *)
 let open_stacks : (int, int list) Hashtbl.t = Hashtbl.create 8
-
-let domain_id () = (Domain.self () :> int)
 
 let span ?(args = []) name f =
   if not (is_enabled ()) then f ()
   else begin
     let id = Atomic.fetch_and_add next_span_id 1 in
     let dom = domain_id () in
-    let parent =
+    let epoch0 = Atomic.get epoch in
+    let parent, request =
       locked (fun () ->
           let stack =
             Option.value ~default:[] (Hashtbl.find_opt open_stacks dom)
           in
           Hashtbl.replace open_stacks dom (id :: stack);
-          match stack with [] -> None | p :: _ -> Some p)
+          ( (match stack with [] -> None | p :: _ -> Some p),
+            Hashtbl.find_opt request_contexts dom ))
     in
     let t0 = Clock.now_ns () in
     let record () =
       let t1 = Clock.now_ns () in
-      locked (fun () ->
-          (match Hashtbl.find_opt open_stacks dom with
-           | Some (top :: rest) when top = id ->
-             Hashtbl.replace open_stacks dom rest
-           | Some stack ->
-             Hashtbl.replace open_stacks dom
-               (List.filter (fun i -> i <> id) stack)
-           | None -> ());
-          completed_spans :=
-            {
-              sp_id = id;
-              sp_parent = parent;
-              sp_name = name;
-              sp_domain = dom;
-              sp_start_ns = t0;
-              sp_dur_ns = Int64.sub t1 t0;
-              sp_args = args;
-            }
-            :: !completed_spans)
+      if Atomic.get epoch = epoch0 then begin
+        locked (fun () ->
+            match Hashtbl.find_opt open_stacks dom with
+            | Some (top :: rest) when top = id ->
+              Hashtbl.replace open_stacks dom rest
+            | Some stack ->
+              Hashtbl.replace open_stacks dom
+                (List.filter (fun i -> i <> id) stack)
+            | None -> ());
+        record_span
+          {
+            sp_id = id;
+            sp_parent = parent;
+            sp_name = name;
+            sp_domain = dom;
+            sp_pid = local_pid;
+            sp_request = request;
+            sp_start_ns = t0;
+            sp_dur_ns = Int64.sub t1 t0;
+            sp_args = args;
+          }
+      end
     in
     match f () with
     | v ->
@@ -233,7 +349,16 @@ let span ?(args = []) name f =
       raise exn
   end
 
-let spans () = locked (fun () -> List.rev !completed_spans)
+let spans () =
+  locked (fun () ->
+      let total = !span_total in
+      let first = max 0 (total - span_cap) in
+      List.filter_map
+        (fun i -> span_ring.(i mod span_cap))
+        (List.init (total - first) (fun k -> first + k)))
+
+let spans_for_request rid =
+  List.filter (fun sp -> sp.sp_request = Some rid) (spans ())
 
 let span_total_s name =
   List.fold_left
@@ -285,6 +410,9 @@ let progress_end () =
 let reset () =
   Atomic.set enabled_flag false;
   Atomic.set progress_flag false;
+  (* orphan spans still open on (possibly idle) pool domains: their
+     record must drop itself rather than land in the fresh registry *)
+  Atomic.incr epoch;
   locked (fun () ->
       Hashtbl.reset kinds;
       Hashtbl.reset counters;
@@ -292,7 +420,9 @@ let reset () =
       Hashtbl.reset histograms;
       Hashtbl.reset series_table;
       Hashtbl.reset open_stacks;
-      completed_spans := [];
+      Hashtbl.reset request_contexts;
+      Array.fill span_ring 0 span_cap None;
+      span_total := 0;
       progress_live := false;
       progress_last := 0L)
 
@@ -304,29 +434,36 @@ let sorted_fold table extract =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.map (fun (name, m) -> (name, extract m))
 
+let all_counters () = sorted_fold counters (fun c -> Atomic.get c.cell)
+let all_gauges () = sorted_fold gauges (fun g -> g.g_value)
+let all_histograms () = sorted_fold histograms histogram_snapshot
+
 let finite f = if f = infinity || f = neg_infinity || f <> f then 0.0 else f
 
 let histogram_json h =
-  let buckets = ref [] in
-  for i = nb_buckets - 1 downto 0 do
-    if h.h_buckets.(i) > 0 then
-      buckets :=
-        Json.Obj
-          [
-            ( "lt",
-              if i = nb_buckets - 1 then Json.Null
-              else Json.Float (bucket_lt i) );
-            ("count", Json.Int h.h_buckets.(i));
-          ]
-        :: !buckets
-  done;
+  let snapshot = histogram_snapshot h in
+  let buckets =
+    List.map
+      (fun (i, count) ->
+         Json.Obj
+           [
+             ( "lt",
+               if i = nb_buckets - 1 then Json.Null
+               else Json.Float (bucket_lt i) );
+             ("count", Json.Int count);
+           ])
+      snapshot.hs_buckets
+  in
   Json.Obj
     [
-      ("count", Json.Int h.h_count);
-      ("sum", Json.Float (finite h.h_sum));
-      ("min", Json.Float (finite h.h_min));
-      ("max", Json.Float (finite h.h_max));
-      ("buckets", Json.List !buckets);
+      ("count", Json.Int snapshot.hs_count);
+      ("sum", Json.Float (finite snapshot.hs_sum));
+      ("min", Json.Float (finite snapshot.hs_min));
+      ("max", Json.Float (finite snapshot.hs_max));
+      ("p50", Json.Float (finite (quantile h 0.50)));
+      ("p90", Json.Float (finite (quantile h 0.90)));
+      ("p99", Json.Float (finite (quantile h 0.99)));
+      ("buckets", Json.List buckets);
     ]
 
 let series_json s =
@@ -380,6 +517,73 @@ let metrics_json () =
              (timings ())) );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Span interchange (client/server trace stitching)                    *)
+
+let trace_spans_schema = "mv-trace-spans-v1"
+
+let span_json sp =
+  Json.Obj
+    [
+      ("name", Json.String sp.sp_name);
+      ("domain", Json.Int sp.sp_domain);
+      ("start_ns", Json.Int (Int64.to_int sp.sp_start_ns));
+      ("dur_ns", Json.Int (Int64.to_int sp.sp_dur_ns));
+      ( "parent",
+        match sp.sp_parent with Some p -> Json.Int p | None -> Json.Null );
+      ( "request_id",
+        match sp.sp_request with Some r -> Json.String r | None -> Json.Null
+      );
+      ("args", Json.Obj sp.sp_args);
+    ]
+
+let spans_json spans =
+  Json.Obj
+    [
+      ("schema", Json.String trace_spans_schema);
+      ("spans", Json.List (List.map span_json spans));
+    ]
+
+(* Ingest spans shipped by a peer (a daemon answering a traced
+   request): they are re-recorded here under a distinct trace pid so a
+   single Chrome trace shows the client and server timelines side by
+   side. Client and daemon share the machine's wall clock, so the
+   absolute nanosecond timestamps line up across the two pids. *)
+let ingest_spans json =
+  if is_enabled () then begin
+    let spans =
+      match Json.member "spans" json with Some (Json.List l) -> l | _ -> []
+    in
+    List.iter
+      (fun sp ->
+         let str name =
+           match Json.member name sp with
+           | Some (Json.String s) -> Some s
+           | _ -> None
+         in
+         let int name =
+           match Json.member name sp with
+           | Some (Json.Int n) -> Some n
+           | _ -> None
+         in
+         match (str "name", int "start_ns", int "dur_ns") with
+         | Some name, Some start_ns, Some dur_ns ->
+           record_span
+             {
+               sp_id = Atomic.fetch_and_add next_span_id 1;
+               sp_parent = None;
+               sp_name = name;
+               sp_domain = Option.value ~default:0 (int "domain");
+               sp_pid = remote_pid;
+               sp_request = str "request_id";
+               sp_start_ns = Int64.of_int start_ns;
+               sp_dur_ns = Int64.of_int dur_ns;
+               sp_args = [];
+             }
+         | _ -> ())
+      spans
+  end
+
 let trace_json () =
   let all = spans () in
   let origin =
@@ -396,6 +600,9 @@ let trace_json () =
            (match sp.sp_parent with
             | Some p -> [ ("parent", Json.Int p) ]
             | None -> [])
+           @ (match sp.sp_request with
+              | Some r -> [ ("request_id", Json.String r) ]
+              | None -> [])
            @ sp.sp_args
          in
          Json.Obj
@@ -405,7 +612,7 @@ let trace_json () =
              ("ph", Json.String "X");
              ("ts", Json.Float (micro (Int64.sub sp.sp_start_ns origin)));
              ("dur", Json.Float (micro sp.sp_dur_ns));
-             ("pid", Json.Int 1);
+             ("pid", Json.Int sp.sp_pid);
              ("tid", Json.Int sp.sp_domain);
              ("args", Json.Obj args);
            ])
@@ -428,8 +635,9 @@ let summary () =
     (sorted_fold gauges (fun g -> g.g_value));
   List.iter
     (fun (name, h) ->
-       line "histogram  %-32s count %d sum %g min %g max %g" name h.h_count
-         (finite h.h_sum) (finite h.h_min) (finite h.h_max))
+       line "histogram  %-32s count %d sum %g min %g max %g p50 %g p99 %g"
+         name h.h_count (finite h.h_sum) (finite h.h_min) (finite h.h_max)
+         (finite (quantile h 0.50)) (finite (quantile h 0.99)))
     (sorted_fold histograms Fun.id);
   List.iter
     (fun (name, s) ->

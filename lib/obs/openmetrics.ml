@@ -1,0 +1,150 @@
+(* OpenMetrics / Prometheus text exposition of the Obs registry.
+
+   Registry names are dot-separated ("serve.request_latency_s.solve");
+   Prometheus names must match [a-zA-Z_:][a-zA-Z0-9_:]*. A family rule
+   [(prefix, label)] splits a dotted name at the prefix: the prefix
+   (minus its trailing dot) becomes the metric family and the suffix
+   becomes a label value — so per-op histograms registered as
+   "serve.request_latency_s.<op>" expose as one family
+   [serve_request_latency_s{op="<op>"}]. Names without a matching rule
+   are sanitized wholesale.
+
+   One deliberate approximation, documented in doc/observability.md:
+   Obs buckets are [lo, hi) while OpenMetrics [le] is inclusive, so an
+   observation exactly on a bucket boundary is attributed to the
+   bucket above it. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize name =
+  if name = "" then "_"
+  else begin
+    let out = String.map (fun c -> if is_name_char c then c else '_') name in
+    match out.[0] with '0' .. '9' -> "_" ^ out | _ -> out
+  end
+
+let escape_label value =
+  let buffer = Buffer.create (String.length value) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string buffer "\\\\"
+       | '"' -> Buffer.add_string buffer "\\\""
+       | '\n' -> Buffer.add_string buffer "\\n"
+       | c -> Buffer.add_char buffer c)
+    value;
+  Buffer.contents buffer
+
+(* family rule: (dotted prefix ending in '.', label name) *)
+let split_family families name =
+  let rule =
+    List.find_opt
+      (fun (prefix, _) ->
+         String.length name > String.length prefix
+         && String.starts_with ~prefix name)
+      families
+  in
+  match rule with
+  | Some (prefix, label) ->
+    let family = String.sub prefix 0 (String.length prefix - 1) in
+    let value =
+      String.sub name (String.length prefix)
+        (String.length name - String.length prefix)
+    in
+    (sanitize family, [ (label, value) ])
+  | None -> (sanitize name, [])
+
+let labels_text labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+           labels)
+    ^ "}"
+
+let number v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if v <> v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+(* group (family, labels, payload) rows by family, keeping rows of one
+   family together and families sorted (registry snapshots are already
+   name-sorted, so rows within a family stay sorted by label too) *)
+let group rows =
+  let sorted =
+    List.stable_sort (fun (f1, _, _) (f2, _, _) -> String.compare f1 f2) rows
+  in
+  List.fold_left
+    (fun acc (family, labels, payload) ->
+       match acc with
+       | (f, rows) :: rest when f = family ->
+         (f, (labels, payload) :: rows) :: rest
+       | _ -> (family, [ (labels, payload) ]) :: acc)
+    [] sorted
+  |> List.rev_map (fun (f, rows) -> (f, List.rev rows))
+
+let render ?(families = []) () =
+  let buffer = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
+  let rows kind =
+    List.map (fun (name, payload) ->
+        let family, labels = split_family families name in
+        (family, labels, payload))
+      kind
+  in
+  List.iter
+    (fun (family, entries) ->
+       line "# TYPE %s counter" family;
+       List.iter
+         (fun (labels, value) ->
+            line "%s_total%s %d" family (labels_text labels) value)
+         entries)
+    (group (rows (Obs.all_counters ())));
+  List.iter
+    (fun (family, entries) ->
+       line "# TYPE %s gauge" family;
+       List.iter
+         (fun (labels, value) ->
+            line "%s%s %s" family (labels_text labels) (number value))
+         entries)
+    (group (rows (Obs.all_gauges ())));
+  List.iter
+    (fun (family, entries) ->
+       line "# TYPE %s histogram" family;
+       List.iter
+         (fun (labels, (snapshot : Obs.histogram_snapshot)) ->
+            let lbl extra =
+              labels_text (labels @ extra)
+            in
+            let cumulative = ref 0 in
+            List.iter
+              (fun (i, count) ->
+                 cumulative := !cumulative + count;
+                 let le = Obs.bucket_lt i in
+                 (* the top bucket's bound is +Inf: covered by the
+                    mandatory +Inf line below *)
+                 if le <> infinity then
+                   line "%s_bucket%s %d" family
+                     (lbl [ ("le", number le) ])
+                     !cumulative)
+              snapshot.Obs.hs_buckets;
+            line "%s_bucket%s %d" family (lbl [ ("le", "+Inf") ])
+              snapshot.Obs.hs_count;
+            line "%s_sum%s %s" family (labels_text labels)
+              (number snapshot.Obs.hs_sum);
+            line "%s_count%s %d" family (labels_text labels)
+              snapshot.Obs.hs_count)
+         entries)
+    (group (rows (Obs.all_histograms ())));
+  Buffer.add_string buffer "# EOF\n";
+  Buffer.contents buffer

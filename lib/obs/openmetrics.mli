@@ -1,0 +1,27 @@
+(** OpenMetrics / Prometheus text exposition of the {!Obs} registry.
+
+    {!render} snapshots every counter, gauge and histogram and formats
+    them in the OpenMetrics text format (terminated by [# EOF]):
+    counters as [name_total], gauges plain, histograms as cumulative
+    [name_bucket{le="..."}] series plus [name_sum] / [name_count].
+
+    Registry names are dot-separated; a family rule [(prefix, label)]
+    — the prefix must end with ['.'] — splits matching names so the
+    dynamic suffix becomes a label instead of a metric name: with
+    [("serve.request_latency_s.", "op")], the histogram
+    ["serve.request_latency_s.solve"] exposes as
+    [serve_request_latency_s_bucket{op="solve",le="..."}]. Names
+    without a matching rule are sanitized wholesale ([.] → [_]).
+
+    Label values are escaped per the spec (backslash, double quote,
+    newline). Obs
+    buckets are [lo, hi) while OpenMetrics [le] is inclusive, so an
+    observation exactly on a bucket boundary is attributed one bucket
+    high — documented in doc/observability.md. *)
+
+val render : ?families:(string * string) list -> unit -> string
+
+(** Exposed for tests. *)
+
+val sanitize : string -> string
+val escape_label : string -> string

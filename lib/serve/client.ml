@@ -12,6 +12,7 @@ exception Error of string
 let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
 let connect ?(max_frame = Proto.default_max_frame) addr =
+  Proto.ensure_sigpipe_ignored ();
   let domain, sockaddr =
     match addr with
     | Proto.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -45,11 +46,11 @@ let with_connection ?max_frame addr f =
   let t = connect ?max_frame addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
-let call t ~op ?budget args =
+let call t ~op ?budget ?trace args =
   if t.closed then fail "connection is closed";
   let id = t.next_id in
   t.next_id <- id + 1;
-  let body = Proto.encode_request { Proto.id; op; args; budget } in
+  let body = Proto.encode_request { Proto.id; op; args; budget; trace } in
   (try Proto.write_frame t.fd body
    with Unix.Unix_error (code, _, _) ->
      fail "write failed: %s" (Unix.error_message code));

@@ -19,10 +19,16 @@ exception Error of string
     (default {!Proto.default_max_frame}). *)
 val connect : ?max_frame:int -> Proto.addr -> t
 
-(** [call t ~op ?budget args] — send one request, wait for its
-    response. Raises {!Error} on transport failure only. *)
+(** [call t ~op ?budget ?trace args] — send one request, wait for its
+    response. [trace] attaches a {!Proto.trace_spec} (request id +
+    span collection) for request-centric telemetry. Raises {!Error} on
+    transport failure only. *)
 val call :
-  t -> op:string -> ?budget:Proto.budget_spec -> Mv_obs.Json.t ->
+  t ->
+  op:string ->
+  ?budget:Proto.budget_spec ->
+  ?trace:Proto.trace_spec ->
+  Mv_obs.Json.t ->
   Proto.response
 
 val close : t -> unit

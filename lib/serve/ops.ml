@@ -538,6 +538,14 @@ let run_sleep budget args =
   wait ();
   Json.Obj [ ("slept_s", Json.Float duration) ]
 
+(* Family rules for the OpenMetrics exposition: per-op registry names
+   become one family with an "op" label (see Mv_obs.Openmetrics). *)
+let openmetrics_families =
+  [ ("serve.request_latency_s.", "op"); ("serve.exec_s.", "op") ]
+
+let openmetrics_text () =
+  Mv_obs.Openmetrics.render ~families:openmetrics_families ()
+
 let dispatch ?cache ?server (request : Proto.request) =
   let budget =
     Option.map
@@ -555,7 +563,9 @@ let dispatch ?cache ?server (request : Proto.request) =
     }
   in
   try
-    Obs.span "serve.request" @@ fun () ->
+    Obs.span "serve.request"
+      ~args:[ ("op", Json.String request.Proto.op) ]
+    @@ fun () ->
     Ok
       (match request.Proto.op with
        | "generate" -> run_generate config args
@@ -580,6 +590,10 @@ let dispatch ?cache ?server (request : Proto.request) =
              ( "server",
                match server with Some f -> f () | None -> Json.Null );
            ]
+       | "metrics-text" -> texts_json (ok_out (openmetrics_text ()))
+       | "logs" ->
+         let limit = int_field ~default:Mv_obs.Log.capacity "limit" args in
+         Mv_obs.Log.dump_json ~limit ()
        | "version" -> Proto.versions_json ()
        | "ping" -> Json.Obj []
        | "sleep" -> run_sleep budget args

@@ -108,11 +108,19 @@ val texts_of_json : Json.t -> texts
     {!Mv_core.Budget} inside the flow steps.
 
     Supported ops: [generate], [minimize], [equivalent], [check],
-    [solve], [script], [lint], [cache-stats], [metrics], [version],
-    [ping] and [sleep] (a test/load-bench aid that holds a worker for
-    [args.s] seconds, honouring wall budgets). *)
+    [solve], [script], [lint], [cache-stats], [metrics],
+    [metrics-text] (OpenMetrics exposition as a {!texts} document),
+    [logs] (the {!Mv_obs.Log} flight-recorder dump, newest
+    [args.limit] events), [version], [ping] and [sleep] (a
+    test/load-bench aid that holds a worker for [args.s] seconds,
+    honouring wall budgets). *)
 val dispatch :
   ?cache:Mv_store.Cache.t ->
   ?server:(unit -> Json.t) ->
   Proto.request ->
   (Json.t, Proto.error) result
+
+(** The OpenMetrics text exposition of the whole registry, with per-op
+    serve histograms split into labelled families — what
+    [metrics-text] and the daemon's [GET /metrics] answer serve. *)
+val openmetrics_text : unit -> string

@@ -46,6 +46,18 @@ let addr_to_string = function
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
 
+(* A socket write racing a peer close must surface as an [EPIPE]
+   exception — which every writer in this library handles — not as a
+   process-killing SIGPIPE. Forced by [Server.create] and
+   [Client.connect], so in-process embedders (the test suite, [mval
+   --remote]) get the same protection as [mvald]. *)
+let sigpipe_ignored =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+let ensure_sigpipe_ignored () = Lazy.force sigpipe_ignored
+
 exception Frame_error of string
 
 let rec restart_read fd buf ofs len =
@@ -82,27 +94,47 @@ let write_frame fd body =
   Bytes.blit_string body 0 buf 4 n;
   really_write fd buf 0 (4 + n)
 
-let read_frame ?(max_frame = default_max_frame) fd =
+let write_string fd s = really_write fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* The framing is split so the server's reader can sniff the first 4
+   bytes: a length prefix for an mv-serve-v1 frame, or the ASCII
+   preamble of an HTTP GET (the /metrics scrape path). A 4-byte length
+   can never collide with "GET " — that prefix would be a 1.2 GiB
+   frame, far beyond any sane [max_frame]. *)
+let http_get_preamble = "GET "
+
+let read_header fd =
   let header = Bytes.create 4 in
   let first = restart_read fd header 0 4 in
   if first = 0 then None
   else begin
     if first < 4 then really_read fd header first (4 - first);
-    let len =
-      (Char.code (Bytes.get header 0) lsl 24)
-      lor (Char.code (Bytes.get header 1) lsl 16)
-      lor (Char.code (Bytes.get header 2) lsl 8)
-      lor Char.code (Bytes.get header 3)
-    in
-    if len > max_frame then
-      raise
-        (Frame_error
-           (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len
-              max_frame));
-    let body = Bytes.create len in
-    really_read fd body 0 len;
-    Some (Bytes.unsafe_to_string body)
+    Some (Bytes.to_string header)
   end
+
+let decode_frame_len ?(max_frame = default_max_frame) header =
+  let len =
+    (Char.code header.[0] lsl 24)
+    lor (Char.code header.[1] lsl 16)
+    lor (Char.code header.[2] lsl 8)
+    lor Char.code header.[3]
+  in
+  if len > max_frame then
+    raise
+      (Frame_error
+         (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len
+            max_frame));
+  len
+
+let read_body fd len =
+  let body = Bytes.create len in
+  really_read fd body 0 len;
+  Bytes.unsafe_to_string body
+
+let read_frame ?max_frame fd =
+  match read_header fd with
+  | None -> None
+  | Some header -> Some (read_body fd (decode_frame_len ?max_frame header))
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -111,12 +143,30 @@ type budget_spec = { max_states : int option; wall_s : float option }
 
 let no_budget = { max_states = None; wall_s = None }
 
+(* Trace context carried by a request: the client-chosen request id
+   every server-side span, metric and log event of this request is
+   tagged with, and whether the server should ship the request's spans
+   back in the response (mv-trace-spans-v1). Optional and ignored by
+   old peers. *)
+type trace_spec = { request_id : string; collect_spans : bool }
+
 type request = {
   id : int;
   op : string;
   args : Json.t;
   budget : budget_spec option;
+  trace : trace_spec option;
 }
+
+let request_counter = Atomic.make 0
+
+(* unique across processes and within one: wall microseconds + pid +
+   per-process counter *)
+let fresh_request_id () =
+  Printf.sprintf "%012x-%04x-%x"
+    (int_of_float (Unix.gettimeofday () *. 1e6) land 0xffffffffffff)
+    (Unix.getpid () land 0xffff)
+    (Atomic.fetch_and_add request_counter 1)
 
 let budget_json b =
   Json.Obj
@@ -126,6 +176,13 @@ let budget_json b =
       ("wall_s", match b.wall_s with Some s -> Json.Float s | None -> Json.Null);
     ]
 
+let trace_spec_json t =
+  Json.Obj
+    [
+      ("request_id", Json.String t.request_id);
+      ("collect_spans", Json.Bool t.collect_spans);
+    ]
+
 let encode_request r =
   Json.to_string ~compact:true
     (Json.Obj
@@ -133,10 +190,13 @@ let encode_request r =
         :: ("id", Json.Int r.id)
         :: ("op", Json.String r.op)
         :: ("args", r.args)
-        ::
-        (match r.budget with
-         | Some b -> [ ("budget", budget_json b) ]
-         | None -> [])))
+        :: ((match r.budget with
+             | Some b -> [ ("budget", budget_json b) ]
+             | None -> [])
+            @
+            match r.trace with
+            | Some t -> [ ("trace", trace_spec_json t) ]
+            | None -> [])))
 
 (* Protocol documents stay shallow; a depth cap of 32 rejects nesting
    bombs long before the JSON parser's own default. *)
@@ -161,6 +221,19 @@ let budget_of_json json =
        | _ -> None);
   }
 
+let trace_spec_of_json json =
+  match string_member "request_id" json with
+  | Some request_id ->
+    Some
+      {
+        request_id;
+        collect_spans =
+          (match Json.member "collect_spans" json with
+           | Some (Json.Bool b) -> b
+           | _ -> false);
+      }
+  | None -> None
+
 let parse_request ?max_frame body =
   match parse_json ?max_frame body with
   | exception Json.Parse_error msg -> Error ("bad JSON: " ^ msg)
@@ -178,6 +251,10 @@ let parse_request ?max_frame body =
                | Some (Json.Obj _ as args) -> args
                | _ -> Json.Obj []);
             budget = Option.map budget_of_json (Json.member "budget" json);
+            trace =
+              (match Json.member "trace" json with
+               | Some (Json.Obj _ as t) -> trace_spec_of_json t
+               | _ -> None);
           }
       | None, _ -> Error "missing integer field \"id\""
       | _, None -> Error "missing string field \"op\"")
@@ -225,6 +302,9 @@ type response = {
   outcome : (Json.t, error) result;
   cache : (int * int) option;
   elapsed_s : float;
+  trace : Json.t option;
+      (** mv-trace-spans-v1 document when the request asked for
+          [collect_spans]; old peers ignore the extra field *)
 }
 
 let encode_response r =
@@ -241,6 +321,7 @@ let encode_response r =
           | None -> Json.Null );
         ("elapsed_s", Json.Float r.elapsed_s);
       ]
+      @ (match r.trace with Some t -> [ ("trace", t) ] | None -> [])
     | Error { kind; message } ->
       [
         ("ok", Json.Bool false);
@@ -286,6 +367,10 @@ let parse_response ?max_frame body =
                  | Some (Json.Float f) -> f
                  | Some (Json.Int n) -> float_of_int n
                  | _ -> 0.0);
+              trace =
+                (match Json.member "trace" json with
+                 | Some (Json.Obj _ as t) -> Some t
+                 | _ -> None);
             }
         | None -> Error "ok response without \"result\"")
       | Some (Json.Bool false) -> (
@@ -304,6 +389,7 @@ let parse_response ?max_frame body =
                 outcome = Error { kind; message };
                 cache = None;
                 elapsed_s = 0.0;
+                trace = None;
               }
           | _ -> Error "error response without kind/message")
         | None -> Error "error response without \"error\"")

@@ -52,6 +52,13 @@ val addr_to_string : addr -> string
 
 (** {1 Framing} *)
 
+(** Ignore SIGPIPE process-wide (idempotent), so a socket write racing
+    a peer close raises [EPIPE] — handled by every writer here —
+    instead of killing the process. {!Server.create} and
+    {!Client.connect} call this, covering in-process embedders exactly
+    like [mvald]'s own handler setup. *)
+val ensure_sigpipe_ignored : unit -> unit
+
 exception Frame_error of string
 
 (** [write_frame fd body] writes the length prefix and [body].
@@ -63,18 +70,44 @@ val write_frame : Unix.file_descr -> string -> unit
     truncated frame or one longer than [max_frame]. *)
 val read_frame : ?max_frame:int -> Unix.file_descr -> string option
 
+(** Split framing, for readers that sniff the stream: [read_header]
+    returns the first 4 bytes ([None] on clean EOF). If they equal
+    {!http_get_preamble} the peer is a plain HTTP client (the
+    [/metrics] scrape path); otherwise [decode_frame_len] interprets
+    them as the length prefix (raising {!Frame_error} past
+    [max_frame]) and [read_body] completes the frame. *)
+val read_header : Unix.file_descr -> string option
+
+val http_get_preamble : string
+val decode_frame_len : ?max_frame:int -> string -> int
+val read_body : Unix.file_descr -> int -> string
+
+(** Write a raw string (no length prefix) — the HTTP answer path. *)
+val write_string : Unix.file_descr -> string -> unit
+
 (** {1 Requests} *)
 
 type budget_spec = { max_states : int option; wall_s : float option }
 
 val no_budget : budget_spec
 
+(** Trace context carried by a request (optional; ignored by old
+    peers): the request id the server tags every span, metric and log
+    event of this request with, and whether to ship the request's
+    spans back in the response (as an [mv-trace-spans-v1] document
+    under the response's [trace] field). *)
+type trace_spec = { request_id : string; collect_spans : bool }
+
 type request = {
   id : int;
   op : string;
   args : Json.t;  (** an [Obj]; [Obj []] when absent *)
   budget : budget_spec option;
+  trace : trace_spec option;
 }
+
+(** A process-unique request id (wall microseconds + pid + counter). *)
+val fresh_request_id : unit -> string
 
 val encode_request : request -> string
 
@@ -107,6 +140,9 @@ type response = {
   outcome : (Json.t, error) result;
   cache : (int * int) option;  (** request's (hits, misses), when known *)
   elapsed_s : float;
+  trace : Json.t option;
+      (** [mv-trace-spans-v1] spans of this request, present on [ok]
+          responses when the request asked for [collect_spans] *)
 }
 
 val encode_response : response -> string

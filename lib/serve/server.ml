@@ -1,5 +1,6 @@
 module Json = Mv_obs.Json
 module Obs = Mv_obs.Obs
+module Log = Mv_obs.Log
 module Cache = Mv_store.Cache
 module Pool = Mv_par.Pool
 
@@ -9,15 +10,22 @@ type config = {
   queue_capacity : int;
   max_frame : int;
   cache : Cache.t option;
+  slow_s : float;
 }
 
 let default_queue_capacity = 64
+let default_slow_s = 1.0
 
-type job = { client : client; request : Proto.request }
+type job = {
+  client : client;
+  request : Proto.request;
+  admitted_ns : int64;  (** admission time, for the queue-wait histogram *)
+}
 
 and client_state = Idle | Ready | Scheduled
 
 and client = {
+  client_id : int;  (** accept-order ordinal, for log events *)
   fd : Unix.file_descr;
   write_mutex : Mutex.t;
   mutable fd_closed : bool;  (** guarded by [write_mutex] *)
@@ -39,6 +47,7 @@ type t = {
   mutable clients : client list;
   mutable readers : Thread.t list;
   mutable accepted : int;
+  mutable connected : int;
   mutable requests : int;
   mutable rejected_overloaded : int;
   mutable rejected_draining : int;
@@ -47,6 +56,7 @@ type t = {
   drain_w : Unix.file_descr;
   queue_gauge : Obs.gauge;
   in_flight_gauge : Obs.gauge;
+  connections_gauge : Obs.gauge;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -102,6 +112,7 @@ let bind_listen addr =
     (fd, actual)
 
 let create config =
+  Proto.ensure_sigpipe_ignored ();
   let listen_fd, actual_addr = bind_listen config.addr in
   let drain_r, drain_w = Unix.pipe ~cloexec:true () in
   {
@@ -118,6 +129,7 @@ let create config =
     clients = [];
     readers = [];
     accepted = 0;
+    connected = 0;
     requests = 0;
     rejected_overloaded = 0;
     rejected_draining = 0;
@@ -126,6 +138,7 @@ let create config =
     drain_w;
     queue_gauge = Obs.gauge "serve.queue_depth";
     in_flight_gauge = Obs.gauge "serve.in_flight";
+    connections_gauge = Obs.gauge "serve.connections";
   }
 
 let addr t = t.actual_addr
@@ -149,7 +162,7 @@ let stats_json t =
     [
       ("queue_depth", Json.Int t.queued);
       ("in_flight", Json.Int t.in_flight);
-      ("connections", Json.Int (List.length t.clients));
+      ("connections", Json.Int t.connected);
       ("accepted", Json.Int t.accepted);
       ("requests", Json.Int t.requests);
       ("rejected_overloaded", Json.Int t.rejected_overloaded);
@@ -175,18 +188,35 @@ let respond_error client id kind message =
       outcome = Error { Proto.kind; message };
       cache = None;
       elapsed_s = 0.0;
+      trace = None;
     }
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
 
+(* The id every span, metric and log event of this request is tagged
+   with: the client's choice when the request carried a trace spec, a
+   fresh one otherwise (so server-side telemetry is always
+   attributable, traced client or not). *)
+let job_request_id job =
+  match job.request.Proto.trace with
+  | Some { Proto.request_id; _ } -> request_id
+  | None -> Proto.fresh_request_id ()
+
 let execute t job =
+  let op = job.request.Proto.op in
+  let rid = job_request_id job in
   let started = Obs.Clock.now_ns () in
+  let queue_wait_s =
+    Int64.to_float (Int64.sub started job.admitted_ns) /. 1e9
+  in
+  Obs.observe (Obs.histogram "serve.queue_wait_s") queue_wait_s;
   let hits0, misses0 = Cache.domain_session () in
   let outcome =
-    Ops.dispatch ?cache:t.config.cache
-      ~server:(fun () -> stats_json t)
-      job.request
+    Obs.with_request rid (fun () ->
+        Ops.dispatch ?cache:t.config.cache
+          ~server:(fun () -> stats_json t)
+          job.request)
   in
   let hits1, misses1 = Cache.domain_session () in
   let elapsed_s = Obs.Clock.elapsed_s started in
@@ -195,11 +225,32 @@ let execute t job =
     | Some _ -> Some (hits1 - hits0, misses1 - misses0)
     | None -> None
   in
+  Obs.observe (Obs.histogram ("serve.exec_s." ^ op)) elapsed_s;
   Obs.observe
-    (Obs.histogram ("serve.latency_ms." ^ job.request.Proto.op))
-    (elapsed_s *. 1000.0);
+    (Obs.histogram ("serve.request_latency_s." ^ op))
+    (queue_wait_s +. elapsed_s);
+  (match outcome with
+   | Error { Proto.kind = Proto.Budget_exceeded; message } ->
+     Log.warn ~request:rid ~op
+       ~fields:[ ("message", Json.String message) ]
+       "budget exhausted"
+   | _ -> ());
+  if elapsed_s > t.config.slow_s then
+    Log.warn ~request:rid ~op
+      ~fields:
+        [
+          ("exec_s", Json.Float elapsed_s);
+          ("queue_wait_s", Json.Float queue_wait_s);
+        ]
+      "slow request";
+  let trace =
+    match (job.request.Proto.trace, outcome) with
+    | Some { Proto.collect_spans = true; _ }, Ok _ ->
+      Some (Obs.spans_json (Obs.spans_for_request rid))
+    | _ -> None
+  in
   respond job.client
-    { Proto.rsp_id = job.request.Proto.id; outcome; cache; elapsed_s }
+    { Proto.rsp_id = job.request.Proto.id; outcome; cache; elapsed_s; trace }
 
 let worker_loop t =
   let running = ref true in
@@ -240,34 +291,72 @@ let worker_loop t =
 (* ------------------------------------------------------------------ *)
 (* Readers (one systhread per connection)                              *)
 
-let admit t client request =
-  locked t.mutex @@ fun () ->
-  if t.draining then Error (Proto.Draining, "server is draining")
-  else if t.queued >= t.config.queue_capacity then begin
-    t.rejected_overloaded <- t.rejected_overloaded + 1;
-    Obs.incr (Obs.counter "serve.rejected.overloaded");
-    Error
-      ( Proto.Overloaded,
-        Printf.sprintf "queue full (%d requests pending)" t.queued )
-  end
-  else begin
-    t.requests <- t.requests + 1;
-    Obs.incr (Obs.counter "serve.requests");
-    Queue.push { client; request } client.pending;
-    t.queued <- t.queued + 1;
-    Obs.set t.queue_gauge (float_of_int t.queued);
-    if client.state = Idle then begin
-      client.state <- Ready;
-      Queue.push client t.ready
-    end;
-    Condition.signal t.work;
-    Ok ()
-  end
+let request_log_id (request : Proto.request) =
+  match request.Proto.trace with
+  | Some { Proto.request_id; _ } -> Some request_id
+  | None -> None
 
-let count_draining_reject t =
-  locked t.mutex @@ fun () ->
-  t.rejected_draining <- t.rejected_draining + 1;
-  Obs.incr (Obs.counter "serve.rejected.draining")
+let admit t client request =
+  let admitted =
+    locked t.mutex @@ fun () ->
+    if t.draining then Error (Proto.Draining, "server is draining")
+    else if t.queued >= t.config.queue_capacity then begin
+      t.rejected_overloaded <- t.rejected_overloaded + 1;
+      Obs.incr (Obs.counter "serve.rejected.overloaded");
+      Obs.incr (Obs.counter "serve.requests_rejected");
+      Error
+        ( Proto.Overloaded,
+          Printf.sprintf "queue full (%d requests pending)" t.queued )
+    end
+    else begin
+      t.requests <- t.requests + 1;
+      Obs.incr (Obs.counter "serve.requests");
+      Queue.push
+        { client; request; admitted_ns = Obs.Clock.now_ns () }
+        client.pending;
+      t.queued <- t.queued + 1;
+      Obs.set t.queue_gauge (float_of_int t.queued);
+      (* this client's own backlog, for fairness monitoring *)
+      Obs.observe
+        (Obs.histogram "serve.client_backlog")
+        (float_of_int (Queue.length client.pending));
+      if client.state = Idle then begin
+        client.state <- Ready;
+        Queue.push client t.ready
+      end;
+      Condition.signal t.work;
+      Ok t.queued
+    end
+  in
+  (* log outside the server lock *)
+  match admitted with
+  | Ok depth ->
+    Log.debug ?request:(request_log_id request) ~op:request.Proto.op
+      ~fields:
+        [
+          ("client", Json.Int client.client_id);
+          ("queue_depth", Json.Int depth);
+        ]
+      "request admitted";
+    Ok ()
+  | Error ((Proto.Overloaded, message) as e) ->
+    Log.warn ?request:(request_log_id request) ~op:request.Proto.op
+      ~fields:
+        [
+          ("client", Json.Int client.client_id);
+          ("message", Json.String message);
+        ]
+      "request rejected: overloaded";
+    Error e
+  | Error e -> Error e
+
+let count_draining_reject t request =
+  locked t.mutex (fun () ->
+      t.rejected_draining <- t.rejected_draining + 1;
+      Obs.incr (Obs.counter "serve.rejected.draining");
+      Obs.incr (Obs.counter "serve.requests_rejected"));
+  Log.warn ?request:(request_log_id request) ~op:request.Proto.op
+    "request rejected: draining"
 
 let close_client client =
   locked client.write_mutex @@ fun () ->
@@ -285,31 +374,138 @@ let shutdown_client client =
     try Unix.shutdown client.fd Unix.SHUTDOWN_ALL
     with Unix.Unix_error _ -> ()
 
+(* A plain HTTP client on the same listener (the scrape path). The
+   "GET " preamble is already consumed; read the rest of the request
+   head (bounded — this is still the untrusted boundary), answer, and
+   let the reader retire the connection: HTTP here is strictly
+   one-shot. *)
+let http_head_cap = 8192
+
+let serve_http client =
+  let head = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec fill () =
+    if
+      Buffer.length head < http_head_cap
+      && not (String.contains (Buffer.contents head) '\n')
+    then begin
+      match Unix.read client.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes head chunk 0 n;
+        fill ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+    end
+  in
+  fill ();
+  let line =
+    match String.index_opt (Buffer.contents head) '\n' with
+    | Some i -> String.sub (Buffer.contents head) 0 i
+    | None -> Buffer.contents head
+  in
+  (* request line minus the consumed "GET ": "<path> HTTP/1.x" *)
+  let target =
+    match String.index_opt line ' ' with
+    | Some i -> String.sub line 0 i
+    | None -> String.trim line
+  in
+  let respond_http status content_type body =
+    let text =
+      Printf.sprintf
+        "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+         close\r\n\r\n%s"
+        status content_type (String.length body) body
+    in
+    locked client.write_mutex @@ fun () ->
+    if not client.fd_closed then
+      try Proto.write_string client.fd text
+      with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  if target = "/metrics" then begin
+    Obs.incr (Obs.counter "serve.http_scrapes");
+    respond_http "200 OK"
+      "application/openmetrics-text; version=1.0.0; charset=utf-8"
+      (Ops.openmetrics_text ())
+  end
+  else respond_http "404 Not Found" "text/plain; charset=utf-8" "not found\n"
+
 let reader t client =
   let rec loop () =
-    match Proto.read_frame ~max_frame:t.config.max_frame client.fd with
+    match Proto.read_header client.fd with
     | None -> ()
     | exception (Proto.Frame_error _ | Unix.Unix_error _ | Sys_error _) -> ()
-    | Some body -> (
-      match Proto.parse_request ~max_frame:t.config.max_frame body with
-      | Error message ->
-        (* no trustworthy id to echo; answer on id 0 and drop the
-           connection — after a framing-level parse failure the byte
-           stream cannot be trusted to stay aligned *)
-        respond_error client 0 Proto.Bad_request message
-      | Ok request -> (
-        match admit t client request with
-        | Ok () -> loop ()
-        | Error (kind, message) ->
-          if kind = Proto.Draining then count_draining_reject t;
-          respond_error client request.Proto.id kind message;
-          loop ()))
+    | Some header when header = Proto.http_get_preamble -> serve_http client
+    | Some header -> (
+      match
+        let len =
+          Proto.decode_frame_len ~max_frame:t.config.max_frame header
+        in
+        Proto.read_body client.fd len
+      with
+      | exception (Proto.Frame_error _ | Unix.Unix_error _ | Sys_error _) ->
+        ()
+      | body -> (
+        match Proto.parse_request ~max_frame:t.config.max_frame body with
+        | Error message ->
+          (* no trustworthy id to echo; answer on id 0 and drop the
+             connection — after a framing-level parse failure the byte
+             stream cannot be trusted to stay aligned *)
+          respond_error client 0 Proto.Bad_request message
+        | Ok request -> (
+          match admit t client request with
+          | Ok () -> loop ()
+          | Error (kind, message) ->
+            if kind = Proto.Draining then count_draining_reject t request;
+            respond_error client request.Proto.id kind message;
+            loop ())))
   in
   (try loop () with _ -> ());
-  close_client client
+  close_client client;
+  locked t.mutex (fun () ->
+      t.connected <- t.connected - 1;
+      Obs.set t.connections_gauge (float_of_int t.connected))
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and drain                                               *)
+
+let adopt_client t fd =
+  let client_id =
+    locked t.mutex (fun () ->
+        t.accepted <- t.accepted + 1;
+        t.connected <- t.connected + 1;
+        Obs.set t.connections_gauge (float_of_int t.connected);
+        t.accepted)
+  in
+  let client =
+    {
+      client_id;
+      fd;
+      write_mutex = Mutex.create ();
+      fd_closed = false;
+      pending = Queue.create ();
+      state = Idle;
+    }
+  in
+  let thread = Thread.create (fun () -> reader t client) () in
+  locked t.mutex (fun () ->
+      t.clients <- client :: t.clients;
+      t.readers <- thread :: t.readers)
+
+(* The listen backlog may hold peers whose connect already completed
+   when drain was requested; adopt them so their requests get a
+   structured [draining] answer instead of a reset socket. *)
+let accept_pending t =
+  Unix.set_nonblock t.listen_fd;
+  let rec sweep () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> sweep ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | fd, _ ->
+      adopt_client t fd;
+      sweep ()
+  in
+  sweep ()
 
 let accept_loop t =
   let accepting = ref true in
@@ -323,23 +519,10 @@ let accept_loop t =
       else if List.mem t.listen_fd readable then begin
         match Unix.accept ~cloexec:true t.listen_fd with
         | exception Unix.Unix_error (_, _, _) -> ()
-        | fd, _ ->
-          let client =
-            {
-              fd;
-              write_mutex = Mutex.create ();
-              fd_closed = false;
-              pending = Queue.create ();
-              state = Idle;
-            }
-          in
-          let thread = Thread.create (fun () -> reader t client) () in
-          locked t.mutex (fun () ->
-              t.accepted <- t.accepted + 1;
-              t.clients <- client :: t.clients;
-              t.readers <- thread :: t.readers)
+        | fd, _ -> adopt_client t fd
       end
-  done
+  done;
+  accept_pending t
 
 let run t =
   (* one long fork-join job: every pool domain becomes a request
@@ -351,11 +534,15 @@ let run t =
    | Proto.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
    | Proto.Tcp _ -> ());
   (* flip to draining: readers now answer [draining]; workers finish
-     the backlog then park *)
+     the backlog then park. Logged here, not in the signal handler —
+     the handler must stay async-signal-safe. *)
+  let backlog = locked t.mutex (fun () -> t.queued + t.in_flight) in
+  Log.info ~fields:[ ("backlog", Json.Int backlog) ] "draining";
   locked t.mutex (fun () ->
       t.draining <- true;
       Condition.broadcast t.work);
   Thread.join workers;
+  Log.info "drained";
   (* backlog answered; retire the connections *)
   let clients, readers =
     locked t.mutex (fun () -> (t.clients, t.readers))

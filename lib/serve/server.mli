@@ -27,7 +27,21 @@
     Draining ({!initiate_drain}, safe to call from a signal handler):
     stop accepting connections, answer new requests with [draining],
     finish everything queued and in flight, then close connections and
-    return from {!run}. *)
+    return from {!run}.
+
+    Telemetry: every request executes under an
+    {!Mv_obs.Obs.with_request} context (the client's request id when
+    the frame carried a trace spec, a fresh one otherwise), so all
+    spans, metrics and {!Mv_obs.Log} events it produces are tagged.
+    The server records [serve.queue_wait_s], per-op [serve.exec_s.*]
+    and [serve.request_latency_s.*] histograms, a
+    [serve.client_backlog] histogram, [serve.requests] /
+    [serve.requests_rejected] (plus per-reason [serve.rejected.*])
+    counters, and live [serve.queue_depth] / [serve.in_flight] /
+    [serve.connections] gauges. A connection whose first four bytes
+    are ["GET "] is treated as a one-shot HTTP client: [GET /metrics]
+    is answered with the OpenMetrics exposition of the registry
+    (anything else, 404). *)
 
 type config = {
   addr : Proto.addr;  (** listen address; TCP port 0 picks one *)
@@ -35,9 +49,12 @@ type config = {
   queue_capacity : int;  (** max queued (not yet executing) requests *)
   max_frame : int;  (** per-frame byte cap for untrusted input *)
   cache : Mv_store.Cache.t option;  (** shared artifact cache *)
+  slow_s : float;
+      (** execution time beyond which a request is logged as slow *)
 }
 
 val default_queue_capacity : int
+val default_slow_s : float
 
 type t
 

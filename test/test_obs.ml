@@ -6,6 +6,8 @@
 
 module Obs = Mv_obs.Obs
 module Json = Mv_obs.Json
+module Log = Mv_obs.Log
+module Openmetrics = Mv_obs.Openmetrics
 module Flow = Mv_core.Flow
 
 let fresh () =
@@ -248,6 +250,163 @@ let test_parallel_matches_sequential () =
   Alcotest.(check bool) "pool accounted busy time" true
     (Obs.gauge_value (Obs.gauge "par.pool.wall_s") > 0.0)
 
+let test_clock_monotone_across_domains () =
+  (* regression for the lock-free CAS-max clamp: no domain may ever
+     observe the shared clock moving backwards *)
+  let t0 = Obs.Clock.now_ns () in
+  let reads_per_domain = 10_000 in
+  let monotone =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop i last ok =
+              if i = 0 then ok
+              else
+                let t = Obs.Clock.now_ns () in
+                loop (i - 1) t (ok && Int64.compare last t <= 0)
+            in
+            loop reads_per_domain (Obs.Clock.now_ns ()) true))
+    |> Array.map Domain.join
+  in
+  Array.iteri
+    (fun i ok ->
+       Alcotest.(check bool)
+         (Printf.sprintf "domain %d saw a monotone clock" i)
+         true ok)
+    monotone;
+  Alcotest.(check bool) "clock advanced across the whole test" true
+    (Int64.compare t0 (Obs.Clock.now_ns ()) <= 0)
+
+let test_reset_with_open_span () =
+  (* a span still open when the registry is reset must not record into
+     the fresh epoch — neither itself nor as a dangling parent *)
+  fresh ();
+  ignore
+    (Obs.span "outer" (fun () ->
+         Obs.reset ();
+         Obs.enable ();
+         Obs.span "inner" (fun () -> 5)));
+  match Obs.spans () with
+  | [ inner ] ->
+    Alcotest.(check string) "only the post-reset span records" "inner"
+      inner.Obs.sp_name;
+    Alcotest.(check (option int)) "inner is a root, not outer's child" None
+      inner.Obs.sp_parent
+  | spans ->
+    Alcotest.failf "expected exactly the inner span, got %d span(s)"
+      (List.length spans)
+
+let quantile_prop =
+  (* estimates are monotone in q and always land inside the bucket
+     holding the exact sample quantile *)
+  QCheck2.Test.make
+    ~name:"quantile estimates are monotone and bucket-accurate" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (map (fun i -> (float_of_int i +. 1.0) /. 1000.0) (int_bound 999_999)))
+    (fun samples ->
+       fresh ();
+       let h = Obs.histogram "t.quantile" in
+       List.iter (Obs.observe h) samples;
+       let n = List.length samples in
+       let sorted = List.sort compare samples in
+       let qs = [ 0.0; 0.1; 0.25; 0.5; 0.9; 0.99; 1.0 ] in
+       let estimates = List.map (Obs.quantile h) qs in
+       let rec monotone = function
+         | a :: (b :: _ as rest) -> a <= b && monotone rest
+         | _ -> true
+       in
+       let bracketed =
+         List.for_all2
+           (fun q est ->
+              let rank = int_of_float (ceil (max 1.0 (q *. float_of_int n))) in
+              let exact = List.nth sorted (rank - 1) in
+              let b = Obs.bucket_of exact in
+              Obs.bucket_ge b <= est && est <= Obs.bucket_lt b)
+           qs estimates
+       in
+       Obs.reset ();
+       monotone estimates && bracketed)
+
+let test_openmetrics_golden () =
+  (* exact exposition: family splitting, label escaping, cumulative
+     buckets, the mandatory +Inf line, and the EOF terminator *)
+  fresh ();
+  Obs.add (Obs.counter "om.requests") 3;
+  Obs.set (Obs.gauge "om.depth") 2.5;
+  let h1 = Obs.histogram "om.lat.alpha\"x" in
+  Obs.observe h1 0.5;
+  Obs.observe h1 1.5;
+  Obs.observe h1 1.5;
+  Obs.observe (Obs.histogram "om.lat.b\\d") 0.5;
+  let rendered = Openmetrics.render ~families:[ ("om.lat.", "op") ] () in
+  let expected =
+    String.concat "\n"
+      [
+        {|# TYPE om_requests counter|};
+        {|om_requests_total 3|};
+        {|# TYPE om_depth gauge|};
+        {|om_depth 2.5|};
+        {|# TYPE om_lat histogram|};
+        {|om_lat_bucket{op="alpha\"x",le="1"} 1|};
+        {|om_lat_bucket{op="alpha\"x",le="2"} 3|};
+        {|om_lat_bucket{op="alpha\"x",le="+Inf"} 3|};
+        {|om_lat_sum{op="alpha\"x"} 3.5|};
+        {|om_lat_count{op="alpha\"x"} 3|};
+        {|om_lat_bucket{op="b\\d",le="1"} 1|};
+        {|om_lat_bucket{op="b\\d",le="+Inf"} 1|};
+        {|om_lat_sum{op="b\\d"} 0.5|};
+        {|om_lat_count{op="b\\d"} 1|};
+        {|# EOF|};
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition" expected rendered
+
+let test_log_ring () =
+  Log.clear ();
+  let captured = ref [] in
+  Log.set_sink (Some (fun e -> captured := e :: !captured));
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink None;
+      Log.clear ())
+    (fun () ->
+       Obs.with_request "req-log-1" (fun () ->
+           Log.info ~op:"test" ~fields:[ ("k", Json.Int 1) ] "tagged");
+       for i = 1 to Log.capacity + 49 do
+         Log.debug (Printf.sprintf "event %d" i)
+       done;
+       let events = Log.recent () in
+       Alcotest.(check int) "ring keeps the last capacity events" Log.capacity
+         (List.length events);
+       (* oldest first, contiguous, ending at the newest event *)
+       List.iteri
+         (fun i e ->
+            Alcotest.(check int) "sequence contiguous" (50 + i) e.Log.ev_seq)
+         events;
+       Alcotest.(check int) "limit keeps the newest" 10
+         (List.length (Log.recent ~limit:10 ()));
+       Alcotest.(check int) "sink called once per event" (Log.capacity + 50)
+         (List.length !captured);
+       let tagged = List.find (fun e -> e.Log.ev_msg = "tagged") !captured in
+       Alcotest.(check (option string))
+         "events default to the domain's request context" (Some "req-log-1")
+         tagged.Log.ev_request;
+       Alcotest.(check bool) "level recorded" true
+         (tagged.Log.ev_level = Log.Info);
+       (* the mv-log-v1 dump document *)
+       let dump = Log.dump_json ~limit:3 () in
+       Alcotest.(check bool) "dump schema" true
+         (Json.member "schema" dump = Some (Json.String Log.schema));
+       (match Json.member "events" dump with
+        | Some (Json.List l) ->
+          Alcotest.(check int) "dump honours the limit" 3 (List.length l)
+        | _ -> Alcotest.fail "dump lacks events");
+       (* one compact line per event, parseable back *)
+       let reparsed = Json.of_string (Log.line tagged) in
+       Alcotest.(check bool) "log line round-trips" true
+         (Json.member "msg" reparsed = Some (Json.String "tagged")))
+
 let cleanup f () =
   Fun.protect ~finally:Obs.reset f
 
@@ -271,4 +430,12 @@ let suite =
       (cleanup test_flow_instrumented);
     Alcotest.test_case "parallel replications match sequential" `Slow
       (cleanup test_parallel_matches_sequential);
+    Alcotest.test_case "clock monotone across domains" `Quick
+      (cleanup test_clock_monotone_across_domains);
+    Alcotest.test_case "reset with an open span" `Quick
+      (cleanup test_reset_with_open_span);
+    QCheck_alcotest.to_alcotest quantile_prop;
+    Alcotest.test_case "OpenMetrics golden exposition" `Quick
+      (cleanup test_openmetrics_golden);
+    Alcotest.test_case "log flight recorder" `Quick (cleanup test_log_ring);
   ]

@@ -4,6 +4,8 @@
    provenance, budgets, overload fast-reject, graceful drain). *)
 
 module Json = Mv_obs.Json
+module Obs = Mv_obs.Obs
+module Log = Mv_obs.Log
 module Proto = Mv_serve.Proto
 module Ops = Mv_serve.Ops
 module Server = Mv_serve.Server
@@ -79,16 +81,27 @@ let test_request_round_trip () =
       op = "generate";
       args = model_args ();
       budget = Some { Proto.max_states = Some 100; wall_s = Some 1.5 };
+      trace = Some { Proto.request_id = "req-001"; collect_spans = true };
     }
   in
-  match Proto.parse_request (Proto.encode_request request) with
+  (match Proto.parse_request (Proto.encode_request request) with
+   | Error msg -> Alcotest.fail msg
+   | Ok parsed ->
+     Alcotest.(check int) "id" request.Proto.id parsed.Proto.id;
+     Alcotest.(check string) "op" request.Proto.op parsed.Proto.op;
+     Alcotest.(check bool) "args" true (request.Proto.args = parsed.Proto.args);
+     Alcotest.(check bool) "budget" true
+       (request.Proto.budget = parsed.Proto.budget);
+     Alcotest.(check bool) "trace spec" true
+       (request.Proto.trace = parsed.Proto.trace));
+  (* a traceless request stays traceless; unknown peers' extra fields
+     never break parsing *)
+  match
+    Proto.parse_request
+      (Proto.encode_request { request with Proto.trace = None })
+  with
   | Error msg -> Alcotest.fail msg
-  | Ok parsed ->
-    Alcotest.(check int) "id" request.Proto.id parsed.Proto.id;
-    Alcotest.(check string) "op" request.Proto.op parsed.Proto.op;
-    Alcotest.(check bool) "args" true (request.Proto.args = parsed.Proto.args);
-    Alcotest.(check bool) "budget" true
-      (request.Proto.budget = parsed.Proto.budget)
+  | Ok parsed -> Alcotest.(check bool) "no trace" true (parsed.Proto.trace = None)
 
 let test_response_round_trip () =
   let ok_response =
@@ -97,6 +110,13 @@ let test_response_round_trip () =
       outcome = Ok (Json.Obj [ ("states", Json.Int 16) ]);
       cache = Some (3, 1);
       elapsed_s = 0.25;
+      trace =
+        Some
+          (Json.Obj
+             [
+               ("schema", Json.String Obs.trace_spans_schema);
+               ("spans", Json.List []);
+             ]);
     }
   in
   (match Proto.parse_response (Proto.encode_response ok_response) with
@@ -105,7 +125,9 @@ let test_response_round_trip () =
      Alcotest.(check int) "id" 7 parsed.Proto.rsp_id;
      Alcotest.(check bool) "outcome" true
        (parsed.Proto.outcome = ok_response.Proto.outcome);
-     Alcotest.(check bool) "cache" true (parsed.Proto.cache = Some (3, 1)));
+     Alcotest.(check bool) "cache" true (parsed.Proto.cache = Some (3, 1));
+     Alcotest.(check bool) "trace" true
+       (parsed.Proto.trace = ok_response.Proto.trace));
   let err_response =
     {
       Proto.rsp_id = 8;
@@ -113,6 +135,7 @@ let test_response_round_trip () =
         Error { Proto.kind = Proto.Budget_exceeded; message = "too big" };
       cache = None;
       elapsed_s = 0.0;
+      trace = None;
     }
   in
   match Proto.parse_response (Proto.encode_response err_response) with
@@ -234,7 +257,7 @@ let test_sweep_tmp () =
 (* Dispatch (no sockets)                                               *)
 
 let dispatch ?cache ?budget op args =
-  Ops.dispatch ?cache { Proto.id = 1; op; args; budget }
+  Ops.dispatch ?cache { Proto.id = 1; op; args; budget; trace = None }
 
 let error_kind = function
   | Error { Proto.kind; _ } -> Some kind
@@ -314,6 +337,7 @@ let with_server ?(workers = 2) ?(queue_capacity = 8) ?(with_cache = false) f =
         queue_capacity;
         max_frame = Proto.default_max_frame;
         cache;
+        slow_s = Server.default_slow_s;
       }
   in
   let runner = Thread.create Server.run server in
@@ -501,6 +525,179 @@ let test_server_metrics () =
   | Some (Json.Obj _) -> ()
   | _ -> Alcotest.fail "metrics response lacks the mv-obs snapshot"
 
+(* ------------------------------------------------------------------ *)
+(* Request-centric telemetry                                           *)
+
+(* run [f] with telemetry on and a clean registry, resetting after
+   (the registry is process-global, so each test starts from zero) *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Log.clear ();
+  Fun.protect ~finally:Obs.reset f
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_server_request_trace () =
+  with_obs @@ fun () ->
+  (* client and server sides of a traced --remote call land in one
+     trace sharing one request id: the client span records locally,
+     the server ships its spans in the response and they are ingested
+     under the remote pid *)
+  with_server @@ fun addr _server ->
+  let rid = "req-e2e-1" in
+  let response =
+    Obs.with_request rid (fun () ->
+        Obs.span "remote.call" (fun () ->
+            Client.with_connection addr (fun client ->
+                Client.call client ~op:"generate"
+                  ~trace:{ Proto.request_id = rid; collect_spans = true }
+                  (model_args ()))))
+  in
+  ignore (check_ok "traced request" response);
+  (match response.Proto.trace with
+   | Some spans ->
+     Alcotest.(check bool) "trace schema" true
+       (Json.member "schema" spans
+        = Some (Json.String Obs.trace_spans_schema));
+     Obs.ingest_spans spans
+   | None -> Alcotest.fail "response carries no spans");
+  let spans = Obs.spans_for_request rid in
+  let has name pid =
+    List.exists
+      (fun sp -> sp.Obs.sp_name = name && sp.Obs.sp_pid = pid)
+      spans
+  in
+  Alcotest.(check bool) "client span, local pid" true (has "remote.call" 1);
+  Alcotest.(check bool) "server span, remote pid" true (has "serve.request" 2);
+  Alcotest.(check bool) "every span carries the request id" true
+    (spans <> []
+     && List.for_all (fun sp -> sp.Obs.sp_request = Some rid) spans)
+
+let test_server_queue_metrics () =
+  (* requests_rejected counts the overload fast-reject path and the
+     queue-wait histogram sees every admitted request *)
+  with_obs @@ fun () ->
+  with_server ~workers:1 ~queue_capacity:1 @@ fun addr _server ->
+  let rejected0 = Obs.counter_value (Obs.counter "serve.requests_rejected") in
+  let sleep_args s = Json.Obj [ ("s", Json.Float s) ] in
+  let first =
+    Thread.create
+      (fun () ->
+         Client.with_connection addr (fun client ->
+             ignore (Client.call client ~op:"sleep" (sleep_args 0.4))))
+      ()
+  in
+  Thread.delay 0.1;
+  let second =
+    Thread.create
+      (fun () ->
+         Client.with_connection addr (fun client ->
+             ignore (Client.call client ~op:"sleep" (sleep_args 0.05))))
+      ()
+  in
+  Thread.delay 0.1;
+  let third =
+    Client.with_connection addr (fun client ->
+        Client.call client ~op:"sleep" (sleep_args 0.05))
+  in
+  (match third.Proto.outcome with
+   | Error { Proto.kind = Proto.Overloaded; _ } -> ()
+   | _ -> Alcotest.fail "third request should have been rejected");
+  Thread.join first;
+  Thread.join second;
+  Alcotest.(check bool) "requests_rejected counted" true
+    (Obs.counter_value (Obs.counter "serve.requests_rejected") > rejected0);
+  let waits = Obs.histogram_snapshot (Obs.histogram "serve.queue_wait_s") in
+  Alcotest.(check bool) "queue_wait_s observed" true (waits.Obs.hs_count >= 2);
+  (* the queued request's wait includes the first one's sleep *)
+  Alcotest.(check bool) "queued request waited" true (waits.Obs.hs_max > 0.1);
+  (* the reject left a structured log event *)
+  Alcotest.(check bool) "overload rejection logged" true
+    (List.exists
+       (fun e ->
+          e.Log.ev_level = Log.Warn
+          && e.Log.ev_msg = "request rejected: overloaded")
+       (Log.recent ()))
+
+let test_server_metrics_text () =
+  with_obs @@ fun () ->
+  with_server @@ fun addr _server ->
+  Client.with_connection addr @@ fun client ->
+  ignore (check_ok "warm-up" (Client.call client ~op:"ping" (Json.Obj [])));
+  let result =
+    check_ok "metrics-text" (Client.call client ~op:"metrics-text" (Json.Obj []))
+  in
+  let exposition = Ops.texts_of_json result in
+  Alcotest.(check int) "exit 0" 0 exposition.Ops.code;
+  let has = contains exposition.Ops.out in
+  Alcotest.(check bool) "terminated by EOF marker" true (has "# EOF\n");
+  Alcotest.(check bool) "request-latency family present" true
+    (has "# TYPE serve_request_latency_s histogram");
+  Alcotest.(check bool) "per-op labels" true
+    (has "serve_request_latency_s_bucket{op=\"ping\"");
+  Alcotest.(check bool) "counters exposed as _total" true
+    (has "serve_requests_total")
+
+let test_server_logs_op () =
+  with_obs @@ fun () ->
+  with_server @@ fun addr _server ->
+  Client.with_connection addr @@ fun client ->
+  ignore (check_ok "ping" (Client.call client ~op:"ping" (Json.Obj [])));
+  let result =
+    check_ok "logs"
+      (Client.call client ~op:"logs" (Json.Obj [ ("limit", Json.Int 100) ]))
+  in
+  Alcotest.(check bool) "mv-log-v1 schema" true
+    (Json.member "schema" result = Some (Json.String Log.schema));
+  match Json.member "events" result with
+  | Some (Json.List events) ->
+    Alcotest.(check bool) "admission event present" true
+      (List.exists
+         (fun e -> Json.member "msg" e = Some (Json.String "request admitted"))
+         events)
+  | _ -> Alcotest.fail "logs response lacks events"
+
+let test_server_http_scrape () =
+  (* a plain HTTP GET on the same listener answers the OpenMetrics
+     exposition *)
+  with_obs @@ fun () ->
+  with_server @@ fun addr _server ->
+  Client.with_connection addr (fun client ->
+      ignore (check_ok "ping" (Client.call client ~op:"ping" (Json.Obj []))));
+  let path = match addr with Proto.Unix_path p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let http_request = "GET /metrics HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write_substring fd http_request 0 (String.length http_request));
+  let buffer = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buffer chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  let reply = Buffer.contents buffer in
+  let has = contains reply in
+  Alcotest.(check bool) "HTTP 200" true
+    (String.length reply > 15 && String.sub reply 0 15 = "HTTP/1.0 200 OK");
+  Alcotest.(check bool) "openmetrics content type" true
+    (has "application/openmetrics-text");
+  Alcotest.(check bool) "exposition body" true (has "# EOF\n");
+  Alcotest.(check bool) "scrape counted" true (has "serve_http_scrapes_total")
+
 let suite =
   [
     Alcotest.test_case "addr parsing" `Quick test_addr_parsing;
@@ -519,4 +716,13 @@ let suite =
     Alcotest.test_case "server overload fast-reject" `Quick test_server_overload;
     Alcotest.test_case "server graceful drain" `Quick test_server_drain;
     Alcotest.test_case "server metrics" `Quick test_server_metrics;
+    Alcotest.test_case "server request trace propagation" `Quick
+      test_server_request_trace;
+    Alcotest.test_case "server queue metrics and rejection logging" `Quick
+      test_server_queue_metrics;
+    Alcotest.test_case "server metrics-text exposition" `Quick
+      test_server_metrics_text;
+    Alcotest.test_case "server logs op" `Quick test_server_logs_op;
+    Alcotest.test_case "server HTTP /metrics scrape" `Quick
+      test_server_http_scrape;
   ]
