@@ -613,7 +613,7 @@ let e8_scaling () =
   in
   let with_domains domains f =
     if domains = 1 then f None
-    else Mv_par.Pool.with_pool ~domains (fun pool -> f (Some pool))
+    else Mv_par.Pool.scope ~domains (fun pool -> f (Some pool))
   in
   let fame_spec = Mv_fame.Distributed.spec Mv_fame.Distributed.Correct in
   let faust_spec =
@@ -643,12 +643,12 @@ let e8_scaling () =
            List.map
              (fun domains ->
                 with_domains domains (fun pool -> time (task pool)))
-             [ 1; 2; 4 ]
+             [ 1; 2; 4; 8 ]
          in
          match timings with
-         | [ t1; t2; t4 ] ->
-           [ name; f t1; f t2; f t4;
-             Printf.sprintf "%.2fx" (t1 /. t4) ]
+         | [ t1; t2; t4; t8 ] ->
+           [ name; f t1; f t2; f t4; f t8;
+             Printf.sprintf "%.2fx" (t1 /. t8) ]
          | _ -> assert false)
       tasks
   in
@@ -658,7 +658,7 @@ let e8_scaling () =
          "E8  Multicore scaling (wall-clock seconds; host reports %d \
           recommended domains)"
          (Mv_par.Pool.auto ()))
-    ~header:[ "phase"; "-j 1"; "-j 2"; "-j 4"; "speedup (j4/j1)" ]
+    ~header:[ "phase"; "-j 1"; "-j 2"; "-j 4"; "-j 8"; "speedup (j8/j1)" ]
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -875,9 +875,7 @@ let e10_kernels () =
   let ctmc = perf.Flow.conversion.To_ctmc.ctmc in
   let solve m = snd (Ctmc.steady_state_stats ~method_:m ctmc) in
   let stats_gs = solve Mv_kern.Solver.Gauss_seidel in
-  let stats_sor =
-    solve (Mv_kern.Solver.Sor Mv_kern.Solver.default_sor_omega)
-  in
+  let stats_sor = solve Mv_kern.Solver.Sor in
   let stats_jac = solve Mv_kern.Solver.Jacobi in
   let row name (s : Mv_markov.Solver_stats.t) =
     [ name;
@@ -894,6 +892,53 @@ let e10_kernels () =
     [ row "gauss-seidel" stats_gs;
       row "sor" stats_sor;
       row "jacobi (damped)" stats_jac ];
+  (* E10c: the parallel kernels themselves — strong refinement (round
+     batched splitter gather) and colored Gauss-Seidel at -j 8 against
+     the sequential -j 1 path. Outputs must be byte-identical; the
+     speedup columns are honest about the host (a single-core container
+     reports ~1.0x or below). *)
+  let refine_lts = tandem 20 in
+  let quotient_j1 = Mv_bisim.Strong.minimize refine_lts in
+  let refine_j1_s = best_of_3 (fun () -> Mv_bisim.Strong.minimize refine_lts) in
+  let pi_j1 = Ctmc.steady_state ~method_:Mv_kern.Solver.Gauss_seidel ctmc in
+  let gs_j1_s =
+    best_of_3 (fun () ->
+        Ctmc.steady_state ~method_:Mv_kern.Solver.Gauss_seidel ctmc)
+  in
+  let ( refine_j8_s, refine_identical, gs_j8_s, gs_identical ) =
+    Mv_par.Pool.scope ~domains:8 (fun pool ->
+        let quotient_j8 = Mv_bisim.Strong.minimize ~pool refine_lts in
+        let refine_j8_s =
+          best_of_3 (fun () -> Mv_bisim.Strong.minimize ~pool refine_lts)
+        in
+        let pi_j8 =
+          Ctmc.steady_state ~pool ~method_:Mv_kern.Solver.Gauss_seidel ctmc
+        in
+        let gs_j8_s =
+          best_of_3 (fun () ->
+              Ctmc.steady_state ~pool ~method_:Mv_kern.Solver.Gauss_seidel ctmc)
+        in
+        ( refine_j8_s,
+          Mv_lts.Aut.to_string quotient_j8 = Mv_lts.Aut.to_string quotient_j1,
+          gs_j8_s,
+          pi_j8 = pi_j1 ))
+  in
+  let ratio t1 t8 = if t8 > 0.0 then t1 /. t8 else 0.0 in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E10c  Parallel kernels at -j 8 vs -j 1 (best of 3; outputs \
+          byte-identical by construction; host reports %d recommended \
+          domains)"
+         (Mv_par.Pool.auto ()))
+    ~header:[ "kernel"; "-j 1"; "-j 8"; "speedup (j8/j1)"; "output" ]
+    [ [ "strong refine (tandem 20+20)"; f refine_j1_s; f refine_j8_s;
+        Printf.sprintf "%.2fx" (ratio refine_j1_s refine_j8_s);
+        (if refine_identical then "identical" else "DIFFERS") ];
+      [ Printf.sprintf "colored GS solve (%d states)" (Ctmc.nb_states ctmc);
+        f gs_j1_s; f gs_j8_s;
+        Printf.sprintf "%.2fx" (ratio gs_j1_s gs_j8_s);
+        (if gs_identical then "identical" else "DIFFERS") ] ];
   bench_extra :=
     ( "e10",
       Json.Obj
@@ -902,7 +947,15 @@ let e10_kernels () =
           ("sor_iterations",
            Json.Int stats_sor.Mv_markov.Solver_stats.iterations);
           ("jacobi_iterations",
-           Json.Int stats_jac.Mv_markov.Solver_stats.iterations) ] )
+           Json.Int stats_jac.Mv_markov.Solver_stats.iterations);
+          ("refine_j1_s", Json.Float refine_j1_s);
+          ("refine_j8_s", Json.Float refine_j8_s);
+          ("refine_speedup_j8", Json.Float (ratio refine_j1_s refine_j8_s));
+          ("refine_quotient_identical", Json.Bool refine_identical);
+          ("gs_j1_s", Json.Float gs_j1_s);
+          ("gs_j8_s", Json.Float gs_j8_s);
+          ("gs_speedup_j8", Json.Float (ratio gs_j1_s gs_j8_s));
+          ("gs_vector_identical", Json.Bool gs_identical) ] )
     :: !bench_extra
 
 (* ------------------------------------------------------------------ *)

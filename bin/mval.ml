@@ -45,7 +45,7 @@ let with_jobs jobs f =
   if jobs = 1 then f None
   else
     let domains = if jobs = 0 then Mv_par.Pool.auto () else jobs in
-    let pool = Mv_par.Pool.create ~domains in
+    let pool = Mv_par.Pool.create ~domains () in
     Fun.protect
       ~finally:(fun () -> Mv_par.Pool.shutdown pool)
       (fun () -> f (Some pool))
@@ -623,11 +623,11 @@ let solve_cmd =
       & opt (some string) None
       & info [ "method" ] ~docv:"M"
           ~doc:
-            "Steady-state iteration: $(b,gs) (Gauss-Seidel, the default \
-             — fewest iterations), $(b,sor) (over-relaxed Gauss-Seidel), \
-             or $(b,jacobi) (damped; the parallel method, selected \
-             automatically under $(b,-j) when no method is given). All \
-             methods agree within the solver tolerance.")
+            "Steady-state iteration: $(b,gs) (colored Gauss-Seidel, the \
+             default — fewest sweeps, parallel under $(b,-j) with \
+             bit-identical results), $(b,sor) (over-relaxed Gauss-Seidel), \
+             or $(b,jacobi) (damped; kept as a cross-check). All methods \
+             agree within the solver tolerance.")
   in
   let run () model max_states keep first scheduler method_ jobs no_lint cache
       remote budget =

@@ -108,7 +108,7 @@ let signatures_legacy ?pool ?(divergent = [||]) collapsed (p : Partition.t) =
        fill.(h) <- fill.(h) + 1
      done;
      for h = 0 to !max_height do
-       Mv_par.Par.parallel_for pool ~lo:offsets.(h) ~hi:offsets.(h + 1)
+       Mv_par.Pool.for_ ~pool ~lo:offsets.(h) ~hi:offsets.(h + 1)
          (fun i -> compute by_height.(i))
      done
    | _ ->
@@ -222,7 +222,7 @@ let signatures ?pool ?(divergent = [||]) fwd (p : Partition.t) =
        fill.(h) <- fill.(h) + 1
      done;
      for h = 0 to !max_height do
-       Mv_par.Par.parallel_for pool ~lo:offsets.(h) ~hi:offsets.(h + 1)
+       Mv_par.Pool.for_ ~pool ~lo:offsets.(h) ~hi:offsets.(h + 1)
          (fun i -> compute by_height.(i))
      done
    | _ ->

@@ -31,7 +31,7 @@ let signatures_of ?pool ~nb_states ~signature p =
   match pool with
   | Some pool when Mv_par.Pool.size pool > 1 && nb_states > 64 ->
     let sigs = Array.make nb_states [] in
-    Mv_par.Par.parallel_for pool ~lo:0 ~hi:nb_states (fun s ->
+    Mv_par.Pool.for_ ~pool ~lo:0 ~hi:nb_states (fun s ->
         sigs.(s) <- signature p s);
     fun s -> sigs.(s)
   | _ -> fun s -> signature p s

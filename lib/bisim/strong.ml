@@ -16,11 +16,12 @@ let partition_legacy ?pool lts =
    predecessors of the splitter's states — no per-round full-signature
    recomputation — and renumbers the final blocks by first occurrence
    in state order, so its partitions (and hence quotients) are
-   identical to the legacy engine's. It is sequential and fast enough
-   that the pool is not used. *)
-let partition ?pool:_ lts =
+   identical to the legacy engine's. Under a pool it gathers splitter
+   predecessors in parallel (round-based batches); the partition it
+   returns is byte-identical at every pool size. *)
+let partition ?pool lts =
   let block_of, count =
-    Refine.strong
+    Refine.strong ~pool
       ~nb_labels:(Label.count (Lts.labels lts))
       ~fwd:(Csr.forward lts) ~rev:(Csr.reverse lts)
   in

@@ -1,19 +1,19 @@
 module Obs = Mv_obs.Obs
 
-type method_ = Jacobi | Gauss_seidel | Sor of float
+type method_ = Jacobi | Gauss_seidel | Sor
 
 let default_sor_omega = 1.25
 
 let method_of_name = function
   | "jacobi" -> Some Jacobi
   | "gs" | "gauss-seidel" -> Some Gauss_seidel
-  | "sor" -> Some (Sor default_sor_omega)
+  | "sor" -> Some Sor
   | _ -> None
 
 let method_name = function
   | Jacobi -> "jacobi"
   | Gauss_seidel -> "gs"
-  | Sor _ -> "sor"
+  | Sor -> "sor"
 
 type system = {
   size : int;
@@ -23,20 +23,109 @@ type system = {
   exit : float array;
 }
 
-let steady_state ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
-    ~method_ sys pi =
+type config = {
+  method_ : method_;
+  omega : float;
+  tolerance : float;
+  max_sweeps : int;
+  pool : Mv_par.Pool.t option;
+}
+
+let config ?(method_ = Gauss_seidel) ?(omega = default_sor_omega)
+    ?(tolerance = 1e-13) ?(max_sweeps = 200_000) ?pool () =
+  { method_; omega; tolerance; max_sweeps; pool }
+
+type outcome = { sweeps : int; residual : float; converged : bool }
+
+(* Minimum color-class size worth fanning out; below it the loop-setup
+   overhead beats the body. *)
+let parallel_class_threshold = 512
+
+(* Greedy multi-coloring of the conflict graph: states [i] and [j]
+   conflict when a transition connects them in either direction, so
+   within one color class no update reads another's write. Gauss-Seidel
+   is then run in colored order — class 0 ascending, class 1
+   ascending, ... — by {e every} configuration: at [-j 1] the permuted
+   sweep is simply executed sequentially, at [-j N] each class is a
+   parallel loop over disjoint slots, so the arithmetic (and hence the
+   iterate sequence) is bitwise identical at any pool size. Returns
+   [(order, class_start, nb_colors)] with class [c] occupying
+   [order.(class_start.(c)) .. order.(class_start.(c + 1) - 1)]. *)
+let coloring sys =
   let k = sys.size in
-  let iteration = ref 0 in
+  let nb_in = Array.length sys.in_src in
+  (* transpose the in-CSR to get out-adjacency *)
+  let out_row = Array.make (k + 1) 0 in
+  for e = 0 to nb_in - 1 do
+    let i = sys.in_src.(e) in
+    out_row.(i + 1) <- out_row.(i + 1) + 1
+  done;
+  for j = 1 to k do
+    out_row.(j) <- out_row.(j) + out_row.(j - 1)
+  done;
+  let out_dst = Array.make nb_in 0 in
+  let cursor = Array.copy out_row in
+  for j = 0 to k - 1 do
+    for e = sys.in_row.(j) to sys.in_row.(j + 1) - 1 do
+      let i = sys.in_src.(e) in
+      out_dst.(cursor.(i)) <- j;
+      cursor.(i) <- cursor.(i) + 1
+    done
+  done;
+  let degree j =
+    sys.in_row.(j + 1) - sys.in_row.(j) + out_row.(j + 1) - out_row.(j)
+  in
+  let max_degree = ref 0 in
+  for j = 0 to k - 1 do
+    if degree j > !max_degree then max_degree := degree j
+  done;
+  let color = Array.make (max k 1) 0 in
+  let used = Array.make (!max_degree + 2) (-1) in
+  let nb_colors = ref (min 1 k) in
+  for j = 0 to k - 1 do
+    for e = sys.in_row.(j) to sys.in_row.(j + 1) - 1 do
+      let i = sys.in_src.(e) in
+      if i < j then used.(color.(i)) <- j
+    done;
+    for e = out_row.(j) to out_row.(j + 1) - 1 do
+      let d = out_dst.(e) in
+      if d < j then used.(color.(d)) <- j
+    done;
+    let c = ref 0 in
+    while used.(!c) = j do
+      incr c
+    done;
+    color.(j) <- !c;
+    if !c + 1 > !nb_colors then nb_colors := !c + 1
+  done;
+  let nb_colors = !nb_colors in
+  let class_start = Array.make (nb_colors + 1) 0 in
+  for j = 0 to k - 1 do
+    class_start.(color.(j) + 1) <- class_start.(color.(j) + 1) + 1
+  done;
+  for c = 1 to nb_colors do
+    class_start.(c) <- class_start.(c) + class_start.(c - 1)
+  done;
+  let order = Array.make (max k 1) 0 in
+  let fill = Array.copy class_start in
+  for j = 0 to k - 1 do
+    order.(fill.(color.(j))) <- j;
+    fill.(color.(j)) <- fill.(color.(j)) + 1
+  done;
+  (order, class_start, nb_colors)
+
+let run cfg sys pi =
+  let k = sys.size in
+  let sweeps = ref 0 in
   let delta = ref infinity in
   let residual_series = Obs.series "solver.residual" in
   let first_delta = ref 0.0 in
-  let record_iteration () =
+  let record_sweep () =
     Obs.push residual_series !delta;
     if !first_delta = 0.0 then first_delta := !delta;
-    if !iteration land 255 = 0 then
+    if !sweeps land 255 = 0 then
       Obs.progress (fun () ->
-          Printf.sprintf "solve: iteration %d, residual %.3g" !iteration
-            !delta)
+          Printf.sprintf "solve: sweep %d, residual %.3g" !sweeps !delta)
   in
   let inflow j =
     let flow = ref 0.0 in
@@ -45,14 +134,43 @@ let steady_state ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
     done;
     !flow
   in
-  (match method_ with
-   | Gauss_seidel | Sor _ ->
-     let omega = ref (match method_ with Sor w -> w | _ -> 1.0) in
-     (* Over-relaxation is not convergent on every chain (the balance
-        system is not symmetric); it then oscillates instead of
-        contracting. Watch the best residual reached: when it has not
-        improved for a while, pull omega back toward plain
-        Gauss-Seidel. *)
+  let pool =
+    match cfg.pool with
+    | Some pool when Mv_par.Pool.size pool > 1 -> Some pool
+    | _ -> None
+  in
+  (* The residual max and the normalization sums are always sequential
+     in ascending state order, so they cost the same float operations
+     in the same order at every pool size. *)
+  let normalize () =
+    let total = ref 0.0 in
+    for j = 0 to k - 1 do
+      total := !total +. pi.(j)
+    done;
+    if Float.is_finite !total && !total > 0.0 then
+      for j = 0 to k - 1 do
+        pi.(j) <- pi.(j) /. !total
+      done
+    else Array.fill pi 0 k (1.0 /. float_of_int k)
+  in
+  (match cfg.method_ with
+   | Gauss_seidel | Sor ->
+     let order, class_start, nb_colors = coloring sys in
+     Obs.set (Obs.gauge "solver.colors") (float_of_int nb_colors);
+     let residual = Array.make (max k 1) 0.0 in
+     let omega = ref (match cfg.method_ with Sor -> cfg.omega | _ -> 1.0) in
+     (* Neither sweep is unconditionally convergent: over-relaxation
+        (omega > 1) can oscillate on nonsymmetric balance systems, and
+        the {e colored} order itself is periodic on bipartite conflict
+        graphs (a pure cycle: each class only feeds the other, so the
+        sweep operator keeps unit-modulus eigenvalues that natural-order
+        propagation would have damped). Watch the best residual
+        reached; when it stops improving, pull omega > 1 back toward
+        1.0, and drop omega = 1.0 to an under-relaxed 0.7 — damping
+        moves every unit-circle eigenvalue except the stationary one
+        strictly inside, restoring convergence. The fallback is driven
+        only by the residual sequence, which is bitwise identical at
+        every pool size, so determinism is preserved. *)
      let best = ref infinity in
      let stall = ref 0 in
      let diverging () =
@@ -69,58 +187,66 @@ let steady_state ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
          !stall >= 200
        end
      in
+     let body idx =
+       let j = order.(idx) in
+       if sys.exit.(j) > 0.0 then begin
+         let updated = inflow j /. sys.exit.(j) in
+         residual.(j) <- abs_float (updated -. pi.(j));
+         pi.(j) <-
+           (if !omega = 1.0 then updated
+            else ((1.0 -. !omega) *. pi.(j)) +. (!omega *. updated))
+       end
+       else residual.(j) <- 0.0
+     in
      let continue_ = ref true in
-     while !continue_ && !iteration < max_iterations do
+     while !continue_ && !sweeps < cfg.max_sweeps do
+       for c = 0 to nb_colors - 1 do
+         let lo = class_start.(c) and hi = class_start.(c + 1) in
+         match pool with
+         | Some pool when hi - lo > parallel_class_threshold ->
+           Mv_par.Pool.for_ ~pool ~lo ~hi body
+         | _ ->
+           for idx = lo to hi - 1 do
+             body idx
+           done
+       done;
        delta := 0.0;
        for j = 0 to k - 1 do
-         if sys.exit.(j) > 0.0 then begin
-           let updated = inflow j /. sys.exit.(j) in
-           let d = abs_float (updated -. pi.(j)) in
-           if d > !delta then delta := d;
-           pi.(j) <-
-             (if !omega = 1.0 then updated
-              else ((1.0 -. !omega) *. pi.(j)) +. (!omega *. updated))
+         if residual.(j) > !delta then delta := residual.(j)
+       done;
+       normalize ();
+       incr sweeps;
+       record_sweep ();
+       if !omega >= 1.0 && diverging () then begin
+         if !omega > 1.0 then begin
+           omega := 1.0 +. ((!omega -. 1.0) /. 2.0);
+           if Float.abs (!omega -. 1.0) < 0.01 then omega := 1.0
          end
-       done;
-       let total = ref 0.0 in
-       for j = 0 to k - 1 do
-         total := !total +. pi.(j)
-       done;
-       if Float.is_finite !total && !total > 0.0 then
-         for j = 0 to k - 1 do
-           pi.(j) <- pi.(j) /. !total
-         done
-       else Array.fill pi 0 k (1.0 /. float_of_int k);
-       incr iteration;
-       record_iteration ();
-       if !omega <> 1.0 && diverging () then begin
-         omega := 1.0 +. ((!omega -. 1.0) /. 2.0);
-         if Float.abs (!omega -. 1.0) < 0.01 then omega := 1.0;
+         else omega := 0.7;
          best := infinity;
          stall := 0;
          delta := infinity
        end;
-       continue_ := Float.is_nan !delta || !delta > tolerance
+       continue_ := Float.is_nan !delta || !delta > cfg.tolerance
      done
    | Jacobi ->
-     let next = Array.make k 0.0 in
-     let residual = Array.make k 0.0 in
-     let omega = 0.7 in
+     let next = Array.make (max k 1) 0.0 in
+     let residual = Array.make (max k 1) 0.0 in
+     let damping = 0.7 in
      let body j =
        if sys.exit.(j) > 0.0 then begin
          let updated = inflow j /. sys.exit.(j) in
          residual.(j) <- abs_float (updated -. pi.(j));
-         next.(j) <- ((1.0 -. omega) *. pi.(j)) +. (omega *. updated)
+         next.(j) <- ((1.0 -. damping) *. pi.(j)) +. (damping *. updated)
        end
        else begin
          residual.(j) <- 0.0;
          next.(j) <- pi.(j)
        end
      in
-     while !delta > tolerance && !iteration < max_iterations do
+     while !delta > cfg.tolerance && !sweeps < cfg.max_sweeps do
        (match pool with
-        | Some pool when Mv_par.Pool.size pool > 1 && k > 64 ->
-          Mv_par.Par.parallel_for pool ~lo:0 ~hi:k body
+        | Some pool when k > 64 -> Mv_par.Pool.for_ ~pool ~lo:0 ~hi:k body
         | _ ->
           for j = 0 to k - 1 do
             body j
@@ -136,16 +262,31 @@ let steady_state ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
            pi.(j) <- next.(j) /. !total
          done
        else Array.blit next 0 pi 0 k;
-       incr iteration;
-       record_iteration ()
+       incr sweeps;
+       record_sweep ()
      done);
-  Obs.add (Obs.counter "solver.iterations") !iteration;
+  Obs.add (Obs.counter "solver.iterations") !sweeps;
   Obs.set (Obs.gauge "solver.final_residual") !delta;
   (* geometric-mean contraction factor per sweep — a cheap stand-in for
      the magnitude of the iteration operator's dominant eigenvalue *)
-  if !iteration > 1 && !first_delta > 0.0 && !delta > 0.0 then
+  if !sweeps > 1 && !first_delta > 0.0 && !delta > 0.0 then
     Obs.set
       (Obs.gauge "solver.contraction")
       (Float.exp
-         (Float.log (!delta /. !first_delta) /. float_of_int (!iteration - 1)));
-  (!iteration, !delta, !delta <= tolerance)
+         (Float.log (!delta /. !first_delta) /. float_of_int (!sweeps - 1)));
+  { sweeps = !sweeps; residual = !delta; converged = !delta <= cfg.tolerance }
+
+let steady_state ?pool ?(tolerance = 1e-13) ?(max_iterations = 200_000)
+    ~method_ sys pi =
+  let outcome =
+    run
+      {
+        method_;
+        omega = default_sor_omega;
+        tolerance;
+        max_sweeps = max_iterations;
+        pool;
+      }
+      sys pi
+  in
+  (outcome.sweeps, outcome.residual, outcome.converged)

@@ -1,5 +1,5 @@
 module Pool = Mv_par.Pool
-module Par = Mv_par.Par
+
 module Obs = Mv_obs.Obs
 
 module type STATE = sig
@@ -140,7 +140,7 @@ module Make (S : STATE) = struct
          [c * chunk_size], each written by exactly one worker *)
       let chunk_discovered = Array.make nb_chunks [] in
       let chunk_refused = Array.make nb_chunks false in
-      Par.parallel_chunks ~chunk_size pool ~lo:0 ~hi:nb_front (fun a b ->
+      Pool.chunks ~chunk:(Mv_par.Chunk.Fixed chunk_size) ~pool ~lo:0 ~hi:nb_front (fun a b ->
           let c = a / chunk_size in
           let local = ref [] in
           let local_refused = ref false in

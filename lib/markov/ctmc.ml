@@ -161,18 +161,18 @@ let steady_state_on_subset t ?pool ?method_ ?(tolerance = 1e-13)
       t.transitions;
     let sys = { Solver.size; in_row; in_src; in_rate; exit } in
     let local = Array.make size (1.0 /. float_of_int size) in
-    let method_ =
-      match method_ with
-      | Some m -> m
-      | None -> (
-          match pool with
-          | Some pool when Mv_par.Pool.size pool > 1 && size > 64 ->
-            Solver.Jacobi
-          | _ -> Solver.Gauss_seidel)
+    (* Gauss-Seidel is the default under any pool size: the colored
+       sweeps parallelize on their own, so there is no Jacobi fallback
+       any more. *)
+    let method_ = Option.value method_ ~default:Solver.Gauss_seidel in
+    let outcome =
+      Solver.run
+        (Solver.config ~method_ ~tolerance ~max_sweeps:max_iterations ?pool ())
+        sys local
     in
-    let iterations, residual, converged =
-      Solver.steady_state ?pool ~tolerance ~max_iterations ~method_ sys local
-    in
+    let iterations = outcome.Solver.sweeps in
+    let residual = outcome.Solver.residual in
+    let converged = outcome.Solver.converged in
     let pi = Array.make t.nb_states 0.0 in
     for j = 0 to size - 1 do
       pi.(glob.(j)) <- local.(j)

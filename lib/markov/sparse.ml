@@ -76,7 +76,7 @@ let mul_right ?pool m x =
   let y = Array.make m.rows 0.0 in
   (match pool with
    | Some pool when Mv_par.Pool.size pool > 1 && m.rows > 64 ->
-     Mv_par.Par.parallel_for pool ~lo:0 ~hi:m.rows (fun i ->
+     Mv_par.Pool.for_ ~pool ~lo:0 ~hi:m.rows (fun i ->
          y.(i) <- dot_row m x i)
    | _ ->
      for i = 0 to m.rows - 1 do
@@ -114,7 +114,7 @@ let mul_left ?pool m x =
   | Some pool when Mv_par.Pool.size pool > 1 && m.cols > 64 ->
     let mt = transposed m in
     let y = Array.make m.cols 0.0 in
-    Mv_par.Par.parallel_for pool ~lo:0 ~hi:m.cols (fun j ->
+    Mv_par.Pool.for_ ~pool ~lo:0 ~hi:m.cols (fun j ->
         y.(j) <- dot_row mt x j);
     y
   | _ ->

@@ -1,0 +1,11 @@
+module type S = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+end
+
+module Real : S with type 'a t = 'a Atomic.t = Atomic

@@ -1,0 +1,50 @@
+type policy =
+  | Auto
+  | Fixed of int
+  | Guided
+
+let policy_name = function
+  | Auto -> "auto"
+  | Fixed n -> Printf.sprintf "fixed:%d" n
+  | Guided -> "guided"
+
+let auto_size ~workers ~lo ~hi = min 1024 (max 1 ((hi - lo) / (8 * workers)))
+
+let guided_min = 64
+
+let validate = function
+  | Fixed n when n <= 0 -> invalid_arg "Chunk: Fixed size must be positive"
+  | _ -> ()
+
+(* Uniform split of [lo, hi) into chunks of [size] (last one short). *)
+let uniform ~size ~lo ~hi =
+  let nb = (hi - lo + size - 1) / size in
+  Array.init nb (fun c ->
+      let a = lo + (c * size) in
+      (a, min hi (a + size)))
+
+let ranges ~policy ~workers ~lo ~hi =
+  validate policy;
+  if hi <= lo then [||]
+  else
+    match policy with
+    | Fixed size -> uniform ~size ~lo ~hi
+    | Auto -> uniform ~size:(auto_size ~workers ~lo ~hi) ~lo ~hi
+    | Guided ->
+      (* Guided self-scheduling: each successive chunk takes
+         [remaining / (2 * workers)] indices, floored at
+         [guided_min], so early chunks are big (low scheduling
+         overhead) and the tail is fine-grained (good load balance
+         for skewed bodies). The schedule is a pure function of
+         [(workers, lo, hi)] and is laid out fully before any worker
+         starts. *)
+      let acc = ref [] in
+      let a = ref lo in
+      while !a < hi do
+        let remaining = hi - !a in
+        let size = max guided_min (remaining / (2 * workers)) in
+        let b = min hi (!a + size) in
+        acc := (!a, b) :: !acc;
+        a := b
+      done;
+      Array.of_list (List.rev !acc)

@@ -1,0 +1,42 @@
+(** Chunking policies for the pool's data-parallel loops.
+
+    A {!policy} travels with the pool handle ({!Pool.create}'s [?chunk]
+    argument) so every loop run on that pool splits its iteration space
+    the same way; individual calls may override it. The split is always
+    computed {e before} any worker starts, as a fixed ascending array
+    of half-open ranges — scheduling decides only {e who} runs a range,
+    never {e what} the ranges are, which is the keystone of the
+    repository's determinism contract (see doc/parallel.md).
+
+    - [Auto] — uniform chunks of [max 1 ((hi - lo) / (8 * workers))]
+      capped at 1024: small enough to steal, large enough to amortize
+      scheduling. The boundaries depend on the worker count below the
+      cap; engines that key work off range starts should use [Fixed].
+    - [Fixed n] — uniform chunks of exactly [n] (last one short).
+      Boundaries are independent of the pool, so per-chunk outputs
+      (e.g. {!Pool.map_reduce} partials) are reproducible across
+      [-j N].
+    - [Guided] — decreasing chunk sizes ([remaining / (2 * workers)],
+      floored at 64): big head chunks, fine tail, for bodies with
+      skewed per-index cost. Boundaries depend on the worker count. *)
+
+type policy =
+  | Auto
+  | Fixed of int
+  | Guided
+
+(** ["auto"], ["fixed:N"] or ["guided"], for logs and metrics. *)
+val policy_name : policy -> string
+
+(** The uniform chunk size [Auto] uses. *)
+val auto_size : workers:int -> lo:int -> hi:int -> int
+
+(** Raises [Invalid_argument] on [Fixed n] with [n <= 0]. *)
+val validate : policy -> unit
+
+(** [ranges ~policy ~workers ~lo ~hi] — the full schedule, ascending,
+    covering every index of [[lo, hi)] exactly once; [[||]] when the
+    range is empty. Raises [Invalid_argument] on [Fixed n] with
+    [n <= 0]. *)
+val ranges :
+  policy:policy -> workers:int -> lo:int -> hi:int -> (int * int) array

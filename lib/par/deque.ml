@@ -1,51 +1,130 @@
-type 'a t = {
-  mutable buf : 'a option array;
-  mutable top : int; (* index of the oldest item *)
-  mutable size : int;
-  lock : Mutex.t;
-}
+module type S = sig
+  type 'a t
 
-let create () = { buf = Array.make 8 None; top = 0; size = 0; lock = Mutex.create () }
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+  val length : 'a t -> int
+end
 
-let with_lock d f =
-  Mutex.lock d.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005), on a
+   circular growable buffer.
 
-let grow d =
-  let cap = Array.length d.buf in
-  let buf = Array.make (2 * cap) None in
-  for i = 0 to d.size - 1 do
-    buf.(i) <- d.buf.((d.top + i) mod cap)
-  done;
-  d.buf <- buf;
-  d.top <- 0
+   [top] and [bottom] are monotonically advancing logical indices into
+   an infinite array; the live window [top, bottom) is mapped onto a
+   power-of-two buffer by masking. The owner works at [bottom] (push /
+   pop, LIFO); thieves CAS [top] forward (steal, FIFO). Only [top] is
+   ever CASed and it only ever grows, so there is no ABA problem.
 
-let push d x =
-  with_lock d (fun () ->
-      if d.size = Array.length d.buf then grow d;
-      d.buf.((d.top + d.size) mod Array.length d.buf) <- Some x;
-      d.size <- d.size + 1)
+   Memory-model notes (OCaml atomics are sequentially consistent):
 
-let pop d =
-  with_lock d (fun () ->
-      if d.size = 0 then None
-      else begin
-        let i = (d.top + d.size - 1) mod Array.length d.buf in
-        let x = d.buf.(i) in
-        d.buf.(i) <- None;
-        d.size <- d.size - 1;
+   - [pop] writes [bottom] {e before} reading [top]; [steal] reads
+     [top] {e before} reading [bottom]. Under SC this ordering is what
+     prevents the classic lost/duplicated-element races: a thief that
+     observes a stale large [bottom] necessarily observes a [top]
+     young enough that its CAS fails if the owner already took the
+     element.
+   - The last remaining element is raced for explicitly: the owner
+     CASes [top] exactly like a thief and loses gracefully.
+   - Buffer slots are plain (non-atomic) [option] cells. A thief may
+     read a slot concurrently with the owner overwriting it; whatever
+     value it reads is discarded unless its CAS on [top] succeeds, and
+     the CAS can only succeed while the slot still holds the value
+     dealt to that logical index (slot writes happen-before the
+     [bottom] store that publishes the index; slot clears happen only
+     for indices the owner has already taken, i.e. after [top] moved
+     past them or after [bottom] excluded them).
+   - [grow] is owner-only: it copies the live window into a buffer of
+     twice the size and publishes it with a single atomic store.
+     Thieves holding the old buffer are safe — the old copy of the
+     live window is never mutated, and their CAS still guards against
+     taking an element twice.
+
+   One deliberate leak-shaped trade-off: a {e stolen} slot cannot be
+   cleared (neither by the thief, who may have lost a race it does not
+   know about yet, nor by the owner, who never revisits indices below
+   [top]), so up to [capacity] stolen elements stay reachable from the
+   buffer until overwritten by later pushes or the deque is dropped.
+   Pool runs deal short-lived [(lo, hi)] ranges, so this retention is
+   harmless here; do not store large unique payloads in a long-lived
+   deque. *)
+module Make (A : Atomics.S) : S = struct
+  type 'a buffer = { data : 'a option array; mask : int }
+
+  type 'a t = {
+    top : int A.t;
+    bottom : int A.t;
+    buf : 'a buffer A.t;
+  }
+
+  let buffer capacity = { data = Array.make capacity None; mask = capacity - 1 }
+
+  let create () = { top = A.make 0; bottom = A.make 0; buf = A.make (buffer 8) }
+
+  (* Owner-only. Copies the live window [t, b) and publishes. *)
+  let grow d buf t b =
+    let bigger = buffer (2 * Array.length buf.data) in
+    for i = t to b - 1 do
+      bigger.data.(i land bigger.mask) <- buf.data.(i land buf.mask)
+    done;
+    A.set d.buf bigger;
+    bigger
+
+  let push d x =
+    let b = A.get d.bottom in
+    let t = A.get d.top in
+    let buf = A.get d.buf in
+    let buf = if b - t >= Array.length buf.data then grow d buf t b else buf in
+    buf.data.(b land buf.mask) <- Some x;
+    A.set d.bottom (b + 1)
+
+  let pop d =
+    let b = A.get d.bottom - 1 in
+    A.set d.bottom b;
+    let t = A.get d.top in
+    if b < t then begin
+      (* empty; restore the canonical empty shape *)
+      A.set d.bottom t;
+      None
+    end
+    else begin
+      let buf = A.get d.buf in
+      let i = b land buf.mask in
+      let x = buf.data.(i) in
+      if b > t then begin
+        (* more than one element: index [b] is unreachable by thieves
+           (they need [top = b < bottom], but bottom is already b) *)
+        buf.data.(i) <- None;
         x
-      end)
-
-let steal d =
-  with_lock d (fun () ->
-      if d.size = 0 then None
+      end
       else begin
-        let x = d.buf.(d.top) in
-        d.buf.(d.top) <- None;
-        d.top <- (d.top + 1) mod Array.length d.buf;
-        d.size <- d.size - 1;
-        x
-      end)
+        (* last element: race thieves for it *)
+        let won = A.compare_and_set d.top t (t + 1) in
+        A.set d.bottom (t + 1);
+        if won then begin
+          buf.data.(i) <- None;
+          x
+        end
+        else None
+      end
+    end
 
-let length d = with_lock d (fun () -> d.size)
+  let rec steal d =
+    let t = A.get d.top in
+    let b = A.get d.bottom in
+    if b <= t then None
+    else begin
+      let buf = A.get d.buf in
+      let x = buf.data.(t land buf.mask) in
+      if A.compare_and_set d.top t (t + 1) then x
+      else
+        (* lost to another thief or to the owner's last-element CAS;
+           [top] moved, so the recursion makes progress *)
+        steal d
+    end
+
+  let length d = max 0 (A.get d.bottom - A.get d.top)
+end
+
+include Make (Atomics.Real)

@@ -1,30 +1,58 @@
-(** Work-stealing deques.
+(** Lock-free Chase–Lev work-stealing deques.
 
     Each pool worker owns one deque: the owner pushes and pops work at
     the bottom (LIFO, cache-friendly), idle workers steal from the top
     (FIFO, so thieves take the oldest — typically largest-granularity —
-    item). The implementation is a mutex-protected ring buffer: with
-    chunk-grained work items the lock is taken a few hundred times per
-    parallel region, so contention is negligible and the simplicity
-    pays for itself (no fences to reason about beyond the lock). *)
+    item). The implementation is the Chase–Lev algorithm on a circular
+    growable buffer: [top]/[bottom] are [Atomic] indices, the owner's
+    push/pop are CAS-free except when racing a thief for the last
+    element, and thieves claim items with a single CAS on [top]. OCaml
+    atomics are sequentially consistent, which is the memory model the
+    correctness argument (in deque.ml, and doc/parallel.md § memory
+    model notes) is stated against; the interleaving suite in
+    test/test_model.ml checks the argument by exhaustive schedule
+    enumeration of bounded programs over {!Make}.
+
+    Ownership contract: at most one domain may call {!push}/{!pop} on
+    a given deque at a time (the pool guarantees this structurally —
+    it deals before releasing workers, and each worker pops only its
+    own deque). {!steal} and {!length} are safe from any number of
+    domains concurrently. *)
 
 type 'a t
 
-(** An empty deque. *)
+(** An empty deque (initial capacity 8, grows by doubling). *)
 val create : unit -> 'a t
 
-(** [push d x] appends [x] at the owner end. Safe from any domain
-    (the pool only pushes before releasing workers, but tests push
-    concurrently). *)
+(** [push d x] appends [x] at the owner end. Owner-only. *)
 val push : 'a t -> 'a -> unit
 
 (** [pop d] removes the most recently pushed item (owner end), or
-    [None] when empty. *)
+    [None] when empty. Owner-only. *)
 val pop : 'a t -> 'a option
 
 (** [steal d] removes the oldest item (thief end), or [None] when
-    empty. *)
+    empty. Safe from any domain. *)
 val steal : 'a t -> 'a option
 
-(** Current number of items (a snapshot; other domains may race). *)
+(** Approximate number of items: one relaxed pass over [bottom - top]
+    with no synchronization, so concurrent operations can make the
+    result stale by the time it returns. Exact when the deque is
+    quiescent. Cheap enough for hot-path telemetry gauges. *)
 val length : 'a t -> int
+
+(** Output signature of {!Make}. *)
+module type S = sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+(** The algorithm, abstracted over its atomics so the model-check
+    suite can explore it under a virtual scheduler ({!Interleave.A}).
+    The toplevel values of this module are [Make (Atomics.Real)]. *)
+module Make (A : Atomics.S) : S

@@ -1,0 +1,151 @@
+type _ Effect.t += Step : (unit -> 'a) -> 'a Effect.t
+
+module A : Atomics.S = struct
+  type 'a t = 'a ref
+
+  let make v = ref v
+  let step f = Effect.perform (Step f)
+  let get r = step (fun () -> !r)
+  let set r v = step (fun () -> r := v)
+
+  let compare_and_set r seen v =
+    step (fun () -> if !r == seen then (r := v; true) else false)
+
+  let fetch_and_add r n =
+    step (fun () ->
+        let v = !r in
+        r := v + n;
+        v)
+end
+
+type stats = { schedules : int; steps : int }
+
+exception Violation of { schedule : int list; message : string }
+
+type fiber =
+  | Done
+  | Ready of (unit -> fiber)
+
+(* Runs [thunk] up to its first atomic access and suspends. Each
+   subsequent [Ready] step performs exactly one suspended atomic
+   action and runs the thread to its next one, so scheduler steps and
+   atomic accesses coincide 1:1 (code between accesses is thread-local
+   by the Atomics contract and needs no interleaving points). The
+   continuation is one-shot — exploration re-runs the whole program
+   for every schedule instead of cloning continuations. *)
+let spawn (thunk : unit -> unit) : fiber =
+  Effect.Deep.match_with
+    (fun () ->
+      thunk ();
+      Done)
+    ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Step action ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                Ready (fun () -> Effect.Deep.continue k (action ())))
+          | _ -> None);
+    }
+
+let rec run_solo = function
+  | Done -> ()
+  | Ready k -> run_solo (k ())
+
+let explore ?(max_schedules = 200_000) ~setup ~threads ~check () =
+  let schedules = ref 0 in
+  let steps = ref 0 in
+  (* One deterministic execution: follow [prefix], then always pick
+     the lowest-numbered runnable thread. Returns the decision trace:
+     at each step, the (ascending) runnable set; the choice made was
+     the prefix entry, or the head once past the prefix. *)
+  let replay prefix =
+    let state =
+      let r = ref None in
+      run_solo (spawn (fun () -> r := Some (setup ())));
+      Option.get !r
+    in
+    let fibers =
+      Array.of_list (List.map (fun thread -> spawn (fun () -> thread state)) threads)
+    in
+    let trace = ref [] in
+    let taken = ref [] in
+    let rec go prefix =
+      let runnable =
+        Array.to_list
+          (Array.of_seq
+             (Seq.filter_map
+                (fun i -> match fibers.(i) with Ready _ -> Some i | Done -> None)
+                (Seq.init (Array.length fibers) Fun.id)))
+      in
+      match runnable with
+      | [] ->
+        assert (prefix = []);
+        let ok =
+          let r = ref false in
+          run_solo (spawn (fun () -> r := check state));
+          !r
+        in
+        if not ok then
+          raise
+            (Violation
+               {
+                 schedule = List.rev !taken;
+                 message = "final-state check failed";
+               })
+      | first :: _ ->
+        let choice, rest =
+          match prefix with
+          | c :: rest ->
+            assert (List.mem c runnable);
+            (c, rest)
+          | [] -> (first, [])
+        in
+        trace := (choice, runnable) :: !trace;
+        taken := choice :: !taken;
+        incr steps;
+        (match fibers.(choice) with
+        | Ready k -> fibers.(choice) <- k ()
+        | Done -> assert false);
+        go rest
+    in
+    go prefix;
+    List.rev !trace
+  in
+  (* DFS over untried alternatives. A prefix is pushed once, from the
+     unique schedule that reaches its branch point with default
+     (lowest-first) choices, so every schedule is explored exactly
+     once. *)
+  let stack = ref [ [] ] in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+      stack := rest;
+      incr schedules;
+      if !schedules > max_schedules then
+        failwith
+          (Printf.sprintf "Interleave.explore: more than %d schedules"
+             max_schedules);
+      let trace = replay prefix in
+      let depth = List.length prefix in
+      let rec branch i before = function
+        | [] -> ()
+        | (choice, runnable) :: tail ->
+          if i >= depth then
+            List.iter
+              (fun alt ->
+                if alt <> choice then
+                  stack := List.rev_append before [ alt ] :: !stack)
+              runnable;
+          branch (i + 1) (choice :: before) tail
+      in
+      branch 0 [] trace;
+      drain ()
+  in
+  drain ();
+  { schedules = !schedules; steps = !steps }

@@ -1,99 +1,15 @@
-let default_chunk_size pool ~lo ~hi =
-  min 1024 (max 1 ((hi - lo) / (8 * Pool.size pool)))
+let chunk_of = function
+  | Some size -> Some (Chunk.Fixed size)
+  | None -> None
 
-(* Ranges are dealt round-robin into per-worker deques before the
-   workers start; each worker drains its own deque bottom-first, then
-   sweeps the others stealing top-first. No work is created after the
-   deal, so a full sweep that finds every deque empty is a sound
-   termination condition (an item is always either done, running, or
-   in some deque). *)
-let parallel_chunks ?chunk_size pool ~lo ~hi f =
-  if hi > lo then begin
-    let chunk =
-      match chunk_size with
-      | Some c when c > 0 -> c
-      | Some _ -> invalid_arg "Par.parallel_chunks: chunk_size"
-      | None -> default_chunk_size pool ~lo ~hi
-    in
-    let workers = Pool.size pool in
-    let nb_chunks = (hi - lo + chunk - 1) / chunk in
-    if workers = 1 || nb_chunks <= 1 then
-      (* same chunk boundaries as the parallel path, in ascending
-         order, so callers keying work off range starts see the exact
-         ranges they would see at any pool size *)
-      let rec go a =
-        if a < hi then begin
-          f a (min hi (a + chunk));
-          go (a + chunk)
-        end
-      in
-      go lo
-    else begin
-      let module Obs = Mv_obs.Obs in
-      if Obs.is_enabled () then begin
-        Obs.add (Obs.counter "par.chunks") nb_chunks;
-        let sizes = Obs.histogram "par.chunk_size" in
-        for c = 0 to nb_chunks - 1 do
-          let a = lo + (c * chunk) in
-          Obs.observe sizes (float_of_int (min hi (a + chunk) - a))
-        done
-      end;
-      let steals = Obs.counter "par.steals" in
-      let deques = Array.init workers (fun _ -> Deque.create ()) in
-      for c = nb_chunks - 1 downto 0 do
-        (* reverse deal so [pop] serves ranges in ascending order *)
-        let a = lo + (c * chunk) in
-        Deque.push deques.(c mod workers) (a, min hi (a + chunk))
-      done;
-      Pool.run pool (fun w ->
-          let rec next victim =
-            if victim = workers then None
-            else
-              match Deque.steal deques.((w + victim) mod workers) with
-              | Some _ as item ->
-                Obs.incr steals;
-                item
-              | None -> next (victim + 1)
-          in
-          let rec drain () =
-            match
-              match Deque.pop deques.(w) with
-              | Some _ as item -> item
-              | None -> next 1
-            with
-            | Some (a, b) ->
-              f a b;
-              drain ()
-            | None -> ()
-          in
-          drain ())
-    end
-  end
+let default_chunk_size pool ~lo ~hi =
+  Chunk.auto_size ~workers:(Pool.size pool) ~lo ~hi
 
 let parallel_for ?chunk_size pool ~lo ~hi f =
-  parallel_chunks ?chunk_size pool ~lo ~hi (fun a b ->
-      for i = a to b - 1 do
-        f i
-      done)
+  Pool.for_ ?chunk:(chunk_of chunk_size) ~pool ~lo ~hi f
+
+let parallel_chunks ?chunk_size pool ~lo ~hi f =
+  Pool.chunks ?chunk:(chunk_of chunk_size) ~pool ~lo ~hi f
 
 let map_reduce ?chunk_size pool ~lo ~hi ~map ~reduce ~init =
-  if hi <= lo then init
-  else begin
-    let chunk =
-      match chunk_size with
-      | Some c when c > 0 -> c
-      | Some _ -> invalid_arg "Par.map_reduce: chunk_size"
-      | None -> default_chunk_size pool ~lo ~hi
-    in
-    let nb_chunks = (hi - lo + chunk - 1) / chunk in
-    let partials = Array.make nb_chunks None in
-    parallel_chunks ~chunk_size:chunk pool ~lo ~hi (fun a b ->
-        let acc = ref init in
-        for i = a to b - 1 do
-          acc := reduce !acc (map i)
-        done;
-        partials.((a - lo) / chunk) <- Some !acc);
-    Array.fold_left
-      (fun acc partial -> reduce acc (Option.get partial))
-      init partials
-  end
+  Pool.map_reduce ?chunk:(chunk_of chunk_size) ~pool ~lo ~hi ~map ~reduce ~init

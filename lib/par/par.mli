@@ -1,36 +1,22 @@
-(** Chunked data-parallel loops over a {!Pool}.
+(** Deprecated shims over {!Pool}'s loops.
 
-    Determinism contract (relied on by every engine that uses this
-    module): the set of indices executed, the chunk boundaries, and
-    the reduction order depend only on the iteration bounds and
-    [chunk_size] — {e never} on the pool size or on scheduling. A
-    [parallel_for] whose body writes only to slot [i] of an output
-    array therefore produces bit-identical results at any [-j N], and
-    [map_reduce] reduces chunk results in ascending chunk order, so
-    floating-point reductions are likewise reproducible. *)
+    The pool-handle-first API ({!Pool.for_}, {!Pool.chunks},
+    {!Pool.map_reduce}, with the chunking policy carried by the pool)
+    replaced these free-floating entry points; see doc/parallel.md for
+    the migration table. Each shim forwards verbatim, translating
+    [?chunk_size] to [Chunk.Fixed]. *)
 
-(** [parallel_for ?chunk_size pool ~lo ~hi f] runs [f i] for every
-    [lo <= i < hi], each index exactly once, in parallel. Bodies must
-    not touch shared mutable state except through disjoint slots or
-    their own synchronization. Default [chunk_size]: [max 1 ((hi - lo)
-    / (8 * size))], capped at 1024 — small enough to steal, large
-    enough to amortize scheduling. *)
+val default_chunk_size : Pool.t -> lo:int -> hi:int -> int
+[@@deprecated "use Mv_par.Chunk.auto_size"]
+
 val parallel_for :
   ?chunk_size:int -> Pool.t -> lo:int -> hi:int -> (int -> unit) -> unit
+[@@deprecated "use Mv_par.Pool.for_"]
 
-(** [parallel_chunks ?chunk_size pool ~lo ~hi f] — chunk-grained
-    variant: [f a b] processes the half-open range [[a, b)]. Use it
-    when per-index closure calls would dominate. *)
 val parallel_chunks :
   ?chunk_size:int -> Pool.t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+[@@deprecated "use Mv_par.Pool.chunks"]
 
-(** [map_reduce ?chunk_size pool ~lo ~hi ~map ~reduce ~init] computes
-    [reduce (... (reduce init (fold of chunk 0)) ...) (fold of chunk
-    k)], where the fold of a chunk is [reduce] applied left-to-right
-    over [map i] in ascending index order, seeded with [init]. [init]
-    must be a neutral element of [reduce] (it is folded in once per
-    chunk). The result depends on [chunk_size] but not on the pool
-    size. *)
 val map_reduce :
   ?chunk_size:int ->
   Pool.t ->
@@ -40,3 +26,4 @@ val map_reduce :
   reduce:('a -> 'a -> 'a) ->
   init:'a ->
   'a
+[@@deprecated "use Mv_par.Pool.map_reduce"]

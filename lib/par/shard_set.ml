@@ -5,95 +5,184 @@ module type HASHED = sig
   val hash : t -> int
 end
 
+(* One CAS-guarded hash bucket: a chain of immutable cons cells behind
+   a single atomic head. Reading the head is a true snapshot of the
+   bucket (cells are never mutated); inserting is copy-head-and-CAS
+   with a full re-scan on failure, so an element is published at most
+   once even under contention. Factored out (and functorized over the
+   atomics) so the interleaving suite can exhaustively model-check the
+   insert path — see test/test_model.ml. *)
+module Bucket (A : Atomics.S) (H : HASHED) = struct
+  type node =
+    | Nil
+    | Cons of { elem : H.t; slot : int; next : node }
+
+  let rec find_node node x =
+    match node with
+    | Nil -> None
+    | Cons { elem; slot; next } ->
+      if H.equal elem x then Some slot else find_node next x
+
+  let find bucket x = find_node (A.get bucket) x
+
+  (* [add bucket x ~alloc] inserts [x] if absent; [alloc] assigns its
+     slot (called at most once, before the node becomes visible, so
+     anything [alloc] writes is published by the winning CAS). Returns
+     [(slot, fresh)]. A slot allocated by a loser of the race is
+     abandoned — callers get holes in the slot space, never
+     duplicates. *)
+  let add bucket x ~alloc =
+    let rec retry allocated =
+      let head = A.get bucket in
+      match find_node head x with
+      | Some slot -> (slot, false)
+      | None ->
+        let slot =
+          match allocated with Some s -> s | None -> alloc ()
+        in
+        if A.compare_and_set bucket head (Cons { elem = x; slot; next = head })
+        then (slot, true)
+        else retry (Some slot)
+    in
+    retry None
+end
+
 module Make (H : HASHED) = struct
-  module Table = Hashtbl.Make (H)
+  module B = Bucket (Atomics.Real) (H)
+
+  (* Slot -> element log, as a spine of chunks published by CAS so
+     readers never see a partially grown array. Chunk [k] holds
+     [log_base * 2^k] slots starting at [log_base * (2^k - 1)]; a
+     62-entry spine covers every representable slot. *)
+  let log_base = 32
+
+  let chunk_of slot =
+    let q = (slot / log_base) + 1 in
+    let k = ref 0 in
+    let q = ref q in
+    while !q > 1 do
+      incr k;
+      q := !q lsr 1
+    done;
+    let k = !k in
+    (k, slot - (log_base * ((1 lsl k) - 1)))
 
   type shard = {
-    lock : Mutex.t;
-    slots : int Table.t; (* element -> slot *)
-    mutable elements : H.t array; (* slot -> element; filler beyond [size] *)
-    mutable size : int;
+    buckets : B.node Atomic.t array; (* power-of-two sized *)
+    bucket_mask : int;
+    next_slot : int Atomic.t;
+    count : int Atomic.t; (* elements actually published *)
+    log : H.t array Atomic.t array; (* spine; [||] = chunk not built *)
   }
 
   type t = {
     shards : shard array;
     mask : int;
+    shift : int; (* log2 (nb shards): bucket index uses the hash bits
+                    above the shard bits *)
   }
 
-  let create ?(shards = 64) () =
-    let rec pow2 n = if n >= shards then n else pow2 (2 * n) in
-    let n = pow2 1 in
+  let create ?(shards = 64) ?(buckets = 1024) () =
+    let rec pow2 n target = if n >= target then n else pow2 (2 * n) target in
+    let nb = pow2 1 (max 1 shards) in
+    let nb_buckets = pow2 1 (max 1 buckets) in
+    let shift =
+      let rec log2 acc n = if n <= 1 then acc else log2 (acc + 1) (n lsr 1) in
+      log2 0 nb
+    in
     {
       shards =
-        Array.init n (fun _ ->
+        Array.init nb (fun _ ->
             {
-              lock = Mutex.create ();
-              slots = Table.create 256;
-              elements = [||];
-              size = 0;
+              buckets = Array.init nb_buckets (fun _ -> Atomic.make B.Nil);
+              bucket_mask = nb_buckets - 1;
+              next_slot = Atomic.make 0;
+              count = Atomic.make 0;
+              log = Array.init 62 (fun _ -> Atomic.make [||]);
             });
-      mask = n - 1;
+      mask = nb - 1;
+      shift;
     }
 
   let nb_shards t = Array.length t.shards
 
-  let shard_of t x = t.shards.(H.hash x land t.mask)
+  (* Writes [x] at [slot] of the shard's log. The chunk is built on
+     first touch and published by CAS ([x] doubles as the filler, so
+     unwritten cells hold a valid — if arbitrary — element, never a
+     dangling value). The plain write at [offset] is published to
+     readers by the bucket CAS that follows it. *)
+  let log_write shard slot x =
+    let k, offset = chunk_of slot in
+    let cell = shard.log.(k) in
+    let current = Atomic.get cell in
+    let chunk =
+      if Array.length current > 0 then current
+      else begin
+        let fresh = Array.make (log_base lsl k) x in
+        if Atomic.compare_and_set cell current fresh then fresh
+        else Atomic.get cell
+      end
+    in
+    chunk.(offset) <- x
+
+  let log_read shard slot =
+    let k, offset = chunk_of slot in
+    (Atomic.get shard.log.(k)).(offset)
 
   let add t x =
     let nb = Array.length t.shards in
-    let index = H.hash x land t.mask in
+    let h = H.hash x in
+    let index = h land t.mask in
     let shard = t.shards.(index) in
-    Mutex.lock shard.lock;
-    let result =
-      match Table.find_opt shard.slots x with
-      | Some slot -> ((slot * nb) + index, false)
-      | None ->
-        let slot = shard.size in
-        if slot = Array.length shard.elements then begin
-          let cap = max 16 (2 * slot) in
-          let elements = Array.make cap x in
-          Array.blit shard.elements 0 elements 0 slot;
-          shard.elements <- elements
-        end;
-        shard.elements.(slot) <- x;
-        shard.size <- slot + 1;
-        Table.add shard.slots x slot;
-        ((slot * nb) + index, true)
+    let bucket = shard.buckets.((h lsr t.shift) land shard.bucket_mask) in
+    let alloc () =
+      let slot = Atomic.fetch_and_add shard.next_slot 1 in
+      log_write shard slot x;
+      slot
     in
-    Mutex.unlock shard.lock;
-    result
+    let slot, fresh = B.add bucket x ~alloc in
+    if fresh then ignore (Atomic.fetch_and_add shard.count 1);
+    ((slot * nb) + index, fresh)
 
   let find t x =
-    let shard = shard_of t x in
-    Mutex.lock shard.lock;
-    let slot = Table.find_opt shard.slots x in
-    Mutex.unlock shard.lock;
-    Option.map (fun s -> (s * Array.length t.shards) + (H.hash x land t.mask)) slot
+    let h = H.hash x in
+    let index = h land t.mask in
+    let shard = t.shards.(index) in
+    let bucket = shard.buckets.((h lsr t.shift) land shard.bucket_mask) in
+    Option.map
+      (fun slot -> (slot * Array.length t.shards) + index)
+      (B.find bucket x)
 
   let mem t x = find t x <> None
 
   let get t id =
     let nb = Array.length t.shards in
-    t.shards.(id mod nb).elements.(id / nb)
+    log_read t.shards.(id mod nb) (id / nb)
 
   let cardinal t =
-    Array.fold_left
-      (fun acc shard ->
-         Mutex.lock shard.lock;
-         let n = shard.size in
-         Mutex.unlock shard.lock;
-         acc + n)
-      0 t.shards
+    Array.fold_left (fun acc shard -> acc + Atomic.get shard.count) 0 t.shards
 
   let id_bound t =
     let widest =
       Array.fold_left
-        (fun acc shard ->
-           Mutex.lock shard.lock;
-           let n = shard.size in
-           Mutex.unlock shard.lock;
-           max acc n)
+        (fun acc shard -> max acc (Atomic.get shard.next_slot))
         0 t.shards
     in
     widest * Array.length t.shards
+
+  let iter t f =
+    let nb = Array.length t.shards in
+    Array.iteri
+      (fun index shard ->
+        Array.iter
+          (fun bucket ->
+            let rec walk = function
+              | B.Nil -> ()
+              | B.Cons { elem; slot; next } ->
+                f ((slot * nb) + index) elem;
+                walk next
+            in
+            walk (Atomic.get bucket))
+          shard.buckets)
+      t.shards
 end

@@ -1,17 +1,33 @@
-(** Sharded concurrent hash sets with dense-ish integer ids.
+(** Sharded lock-free hash sets with dense-ish integer ids.
 
     The parallel state-space generator needs one operation under
     contention: atomically test-and-insert a state, learning its id
-    and whether it was new. The set is split into [2^k] independently
-    locked shards selected by the element hash, so concurrent inserts
-    of distinct states almost never collide on a lock. Ids encode the
-    shard in the low bits ([slot * nb_shards + shard]); they are
-    stable, unique, and bounded by {!id_bound}, which makes them
-    usable as indices into caller-side side tables (grown between
-    parallel phases).
+    and whether it was new. The set is split into [2^k] shards
+    selected by the low hash bits; each shard is an array of
+    CAS-guarded buckets holding immutable cons chains, plus an atomic
+    slot counter and a chunked slot->element log. There are no locks
+    anywhere: inserts race by CAS on a bucket head (losers re-scan and
+    retry), slots come from [fetch_and_add], and the statistics reads
+    ({!cardinal}, {!id_bound}) are plain atomic loads summed without
+    synchronization — cheap enough for per-level telemetry on the
+    exploration hot path, and exact whenever no [add] is racing.
 
-    Ids are {e not} discovery-ordered — the exploration engine
-    re-numbers states canonically in a sequential post-pass. *)
+    Ids encode the shard in the low bits ([slot * nb_shards + shard]);
+    they are stable, unique, and bounded by {!id_bound}, which makes
+    them usable as indices into caller-side side tables (grown between
+    parallel phases). A slot allocated by the loser of an insert race
+    is abandoned, so the slot space can have holes — ids stay
+    "dense-ish", not dense. Ids are {e not} discovery-ordered — the
+    exploration engine re-numbers states canonically in a sequential
+    post-pass.
+
+    Snapshot-iteration contract ({!Make.iter}): a bucket head is read
+    once and its immutable chain walked, so iteration sees a per-bucket
+    atomic snapshot. Every element whose [add] returned before [iter]
+    started is visited exactly once; an element being inserted
+    concurrently is visited once or not at all; no element is ever
+    visited twice. There is no cross-bucket atomicity — two racing
+    adds to different buckets may be seen in either combination. *)
 
 module type HASHED = sig
   type t
@@ -23,17 +39,23 @@ end
 module Make (H : HASHED) : sig
   type t
 
-  (** [create ()] — [shards] (default 64) is rounded up to a power of
-      two. *)
-  val create : ?shards:int -> unit -> t
+  (** [create ()] — [shards] (default 64) and per-shard [buckets]
+      (default 1024) are rounded up to powers of two. Bucket arrays
+      are fixed-size; chains just grow past the sizing hint. *)
+  val create : ?shards:int -> ?buckets:int -> unit -> t
 
   val nb_shards : t -> int
 
   (** [add t x] returns [(id, fresh)]: the id of [x] (newly assigned
-      when [fresh]). Linearizable. *)
+      when [fresh]). Linearizable (the linearization point is the
+      winning bucket CAS, or the read that found the element). For a
+      given element, exactly one racing [add] reports [fresh = true].
+      [get t id] is safe on any id obtained from an [add] that
+      happens-before the read (e.g. across a {!Pool.run} join). *)
   val add : t -> H.t -> int * bool
 
-  (** [find t x] — the id of [x] if present. *)
+  (** [find t x] — the id of [x] if present. Lock-free, never blocks
+      an [add]. *)
   val find : t -> H.t -> int option
 
   val mem : t -> H.t -> bool
@@ -42,11 +64,37 @@ module Make (H : HASHED) : sig
       returned by [add]. *)
   val get : t -> int -> H.t
 
-  (** Number of elements. Exact when no [add] is racing. *)
+  (** Number of elements: a relaxed sum of per-shard counters, no
+      synchronization taken. Exact when no [add] is racing; during a
+      parallel phase it can lag inserts that are still between their
+      slot allocation and their publishing CAS. *)
   val cardinal : t -> int
 
-  (** Exclusive upper bound on every id returned so far (when no [add]
-      is racing). At most [nb_shards] times the cardinal in the worst
-      hash skew; within a few percent of it for well-hashed elements. *)
+  (** Exclusive upper bound on every id returned so far: a relaxed
+      maximum over per-shard slot counters (includes abandoned slots).
+      At most [nb_shards] times the cardinal in the worst hash skew;
+      within a few percent of it for well-hashed elements. *)
   val id_bound : t -> int
+
+  (** [iter t f] calls [f id elem] under the snapshot-iteration
+      contract described above. Iteration order is unspecified. *)
+  val iter : t -> (int -> H.t -> unit) -> unit
+end
+
+(** The insert path of a single bucket, abstracted over its atomics so
+    the interleaving suite can enumerate its schedules (see
+    test/test_model.ml). {!Make} is built on
+    [Bucket (Atomics.Real) (H)]. *)
+module Bucket (A : Atomics.S) (H : HASHED) : sig
+  type node =
+    | Nil
+    | Cons of { elem : H.t; slot : int; next : node }
+
+  val find_node : node -> H.t -> int option
+  val find : node A.t -> H.t -> int option
+
+  (** [add bucket x ~alloc] — test-and-insert; [alloc] is called at
+      most once, before the new node can be observed. Returns
+      [(slot, fresh)]. *)
+  val add : node A.t -> H.t -> alloc:(unit -> int) -> int * bool
 end

@@ -119,7 +119,7 @@ let create config =
     config;
     listen_fd;
     actual_addr;
-    pool = Pool.create ~domains:config.workers;
+    pool = Pool.create ~domains:config.workers ();
     mutex = Mutex.create ();
     work = Condition.create ();
     ready = Queue.create ();

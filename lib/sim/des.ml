@@ -86,7 +86,7 @@ let run_replications ?pool ~replications ~seed sample =
   in
   (match pool with
    | Some pool when Mv_par.Pool.size pool > 1 && replications > 1 ->
-     Mv_par.Par.parallel_for pool ~lo:0 ~hi:replications run_one
+     Mv_par.Pool.for_ ~pool ~lo:0 ~hi:replications run_one
    | _ ->
      for i = 0 to replications - 1 do
        run_one i

@@ -160,7 +160,7 @@ let strong_matches_legacy_prop =
     (fun lts ->
        let flat = Strong.partition lts in
        same_partition flat (Strong.partition_legacy lts)
-       && Mv_par.Pool.with_pool ~domains:4 (fun pool ->
+       && Mv_par.Pool.scope ~domains:4 (fun pool ->
            same_partition flat (Strong.partition_legacy ~pool lts)))
 
 let branching_matches_legacy_prop =
@@ -169,7 +169,7 @@ let branching_matches_legacy_prop =
     (fun lts ->
        let flat = Branching.partition lts in
        same_partition flat (Branching.partition_legacy lts)
-       && Mv_par.Pool.with_pool ~domains:4 (fun pool ->
+       && Mv_par.Pool.scope ~domains:4 (fun pool ->
            same_partition (Branching.partition ~pool lts)
              (Branching.partition_legacy ~pool lts)))
 
@@ -241,9 +241,131 @@ let solver_methods_agree_prop =
     (fun ctmc ->
        let solve m = Ctmc.steady_state ~method_:m ctmc in
        let gs = solve Solver.Gauss_seidel in
-       let sor = solve (Solver.Sor Solver.default_sor_omega) in
+       let sor = solve Solver.Sor in
        let jac = solve Solver.Jacobi in
        max_abs_diff gs sor < 1e-9 && max_abs_diff gs jac < 1e-9)
+
+(* A cycle system 0 -> 1 -> ... -> n-1 -> 0, all rates 1: steady
+   state is uniform, and the conflict graph is the cycle itself. *)
+let cycle_system n =
+  {
+    Solver.size = n;
+    in_row = Array.init (n + 1) Fun.id;
+    in_src = Array.init n (fun j -> (j + n - 1) mod n);
+    in_rate = Array.make n 1.0;
+    exit = Array.make n 1.0;
+  }
+
+let test_solver_run_config () =
+  let cfg = Solver.config () in
+  Alcotest.(check bool) "default method is gs" true
+    (cfg.Solver.method_ = Solver.Gauss_seidel);
+  Alcotest.(check bool) "no pool by default" true
+    (match cfg.Solver.pool with None -> true | Some _ -> false);
+  let n = 5 in
+  let sys = cycle_system n in
+  let pi = Array.make n (1.0 /. float_of_int n) in
+  let outcome = Solver.run (Solver.config ~tolerance:1e-12 ()) sys pi in
+  Alcotest.(check bool) "converged" true outcome.Solver.converged;
+  Alcotest.(check bool) "sweeps counted" true (outcome.Solver.sweeps > 0);
+  Alcotest.(check bool) "residual below tolerance" true
+    (outcome.Solver.residual <= 1e-12);
+  Array.iter
+    (fun x ->
+       Alcotest.(check bool) "uniform steady state" true
+         (Float.abs (x -. 0.2) < 1e-9))
+    pi;
+  (* Sor with a forced non-convergent omega must still converge via
+     the stall fallback *)
+  let pi = Array.make n (1.0 /. float_of_int n) in
+  let outcome =
+    Solver.run (Solver.config ~method_:Solver.Sor ~omega:1.9 ()) sys pi
+  in
+  Alcotest.(check bool) "sor converged" true outcome.Solver.converged
+
+let test_coloring_valid () =
+  let n = 6 in
+  let sys = cycle_system n in
+  let order, class_start, nb_colors = Solver.coloring sys in
+  Alcotest.(check (list int)) "order is a permutation" (List.init n Fun.id)
+    (List.sort compare (Array.to_list order));
+  Alcotest.(check bool) "cycle needs >= 2 colors" true (nb_colors >= 2);
+  Alcotest.(check int) "class_start spans order" n class_start.(nb_colors);
+  let color = Array.make n (-1) in
+  for c = 0 to nb_colors - 1 do
+    for i = class_start.(c) to class_start.(c + 1) - 1 do
+      color.(order.(i)) <- c
+    done
+  done;
+  for j = 0 to n - 1 do
+    for k = sys.Solver.in_row.(j) to sys.Solver.in_row.(j + 1) - 1 do
+      let i = sys.Solver.in_src.(k) in
+      if i <> j then
+        Alcotest.(check bool) "conflict edge bicolored" false
+          (color.(i) = color.(j))
+    done
+  done
+
+(* ---- the parallel engines vs -j1, above their thresholds ---- *)
+
+(* big enough (> 1024 states) that Refine.strong takes the round-based
+   parallel path and the GS color classes exceed the parallel class
+   threshold *)
+let big_lts n =
+  let tr = ref [] in
+  for s = 0 to n - 1 do
+    tr := (s, "a", (s + 1) mod n) :: (s, "b", ((s * s) + 3) mod n) :: !tr;
+    if s mod 3 = 0 then tr := (s, "a", ((s * 5) + 2) mod n) :: !tr
+  done;
+  build ~nb_states:n ~initial:0 !tr
+
+let test_refine_parallel_identical () =
+  let lts = big_lts 3000 in
+  let seq = Strong.partition lts in
+  List.iter
+    (fun domains ->
+       Mv_par.Pool.scope ~domains (fun pool ->
+           let par = Strong.partition ~pool lts in
+           Alcotest.(check int)
+             (Printf.sprintf "count -j %d" domains)
+             seq.Partition.count par.Partition.count;
+           Alcotest.(check (array int))
+             (Printf.sprintf "blocks byte-identical -j %d" domains)
+             seq.Partition.block_of par.Partition.block_of))
+    [ 2; 8 ]
+
+let test_gs_parallel_bitwise () =
+  (* birth-death chain: 2-colorable, classes of ~1000 states *)
+  let n = 2000 in
+  let transitions = ref [] in
+  for s = 0 to n - 2 do
+    transitions :=
+      { Ctmc.src = s; rate = 1.0 +. (0.01 *. float_of_int s);
+        actions = []; dst = s + 1 }
+      :: { Ctmc.src = s + 1; rate = 2.0 +. (0.03 *. float_of_int s);
+           actions = []; dst = s }
+      :: !transitions
+  done;
+  let c = Ctmc.make ~nb_states:n ~initial:0 !transitions in
+  let pi1 = Ctmc.steady_state ~method_:Solver.Gauss_seidel c in
+  let total = Array.fold_left ( +. ) 0.0 pi1 in
+  Alcotest.(check bool) "normalized" true (Float.abs (total -. 1.0) < 1e-9);
+  List.iter
+    (fun domains ->
+       Mv_par.Pool.scope ~domains (fun pool ->
+           let pi = Ctmc.steady_state ~pool ~method_:Solver.Gauss_seidel c in
+           Alcotest.(check bool)
+             (Printf.sprintf "gs -j %d bitwise" domains)
+             true (pi = pi1)))
+    [ 2; 8 ]
+
+let strong_quotient_j8_prop =
+  QCheck2.Test.make ~name:"strong: -j8 partition = -j1 partition" ~count:60
+    lts_gen
+    (fun lts ->
+       let seq = Strong.partition lts in
+       Mv_par.Pool.scope ~domains:8 (fun pool ->
+           same_partition seq (Strong.partition ~pool lts)))
 
 let test_solver_method_names () =
   List.iter
@@ -279,4 +401,12 @@ let suite =
     QCheck_alcotest.to_alcotest lump_matches_legacy_prop;
     QCheck_alcotest.to_alcotest solver_methods_agree_prop;
     Alcotest.test_case "solver method names" `Quick test_solver_method_names;
+    Alcotest.test_case "Solver.run config API" `Quick test_solver_run_config;
+    Alcotest.test_case "coloring is a valid conflict coloring" `Quick
+      test_coloring_valid;
+    Alcotest.test_case "parallel refine byte-identical (3000 states)" `Quick
+      test_refine_parallel_identical;
+    Alcotest.test_case "parallel gs bitwise (2000 states)" `Quick
+      test_gs_parallel_bitwise;
+    QCheck_alcotest.to_alcotest strong_quotient_j8_prop;
   ]

@@ -1,0 +1,248 @@
+(* Schedule-exploration tests: the shipped lock-free algorithms
+   (Deque.Make, Shard_set.Bucket) instantiated over the virtual
+   atomics of Mv_par.Interleave, with every interleaving of their
+   atomic accesses enumerated. A failure here is a linearizability
+   bug with a deterministic repro (the Violation carries the
+   thread-choice schedule). *)
+
+module Interleave = Mv_par.Interleave
+module A = Mv_par.Interleave.A
+module VDeque = Mv_par.Deque.Make (Mv_par.Interleave.A)
+
+let explore = Interleave.explore
+
+let check_stats name min_schedules (stats : Interleave.stats) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: explored >= %d schedules (got %d)" name min_schedules
+       stats.Interleave.schedules)
+    true
+    (stats.Interleave.schedules >= min_schedules)
+
+(* ---- harness self-test ---- *)
+
+(* A racy read-modify-write MUST be caught: if the harness cannot see
+   this lost update, none of the passes below mean anything. *)
+let test_detects_lost_update () =
+  let raced =
+    try
+      ignore
+        (explore
+           ~setup:(fun () -> A.make 0)
+           ~threads:
+             [ (fun c -> A.set c (A.get c + 1));
+               (fun c -> A.set c (A.get c + 1)) ]
+           ~check:(fun c -> A.get c = 2)
+           ());
+      false
+    with Interleave.Violation _ -> true
+  in
+  Alcotest.(check bool) "lost update detected" true raced
+
+let test_fetch_and_add_is_atomic () =
+  let stats =
+    explore
+      ~setup:(fun () -> A.make 0)
+      ~threads:
+        [ (fun c -> ignore (A.fetch_and_add c 1));
+          (fun c -> ignore (A.fetch_and_add c 1));
+          (fun c -> ignore (A.fetch_and_add c 1)) ]
+      ~check:(fun c -> A.get c = 3)
+      ()
+  in
+  check_stats "fetch_and_add" 6 stats
+
+(* ---- Chase-Lev deque ---- *)
+
+type 'a race_state = {
+  d : 'a VDeque.t;
+  got : 'a option ref array; (* per-thread take result *)
+}
+
+let taken st = Array.to_list st.got |> List.filter_map (fun r -> !r)
+
+(* drain what the threads left behind (check runs solo) *)
+let rec drain d = match VDeque.pop d with None -> [] | Some x -> x :: drain d
+
+(* Exactly-once delivery: whatever the schedule, the elements taken by
+   the threads plus the leftovers are the pushed multiset. *)
+let deque_race ~name ~min_schedules ~pushed ~threads () =
+  let stats =
+    explore
+      ~setup:(fun () ->
+        let d = VDeque.create () in
+        List.iter (VDeque.push d) pushed;
+        { d; got = Array.init (List.length threads) (fun _ -> ref None) })
+      ~threads:
+        (List.mapi (fun k take -> fun st -> st.got.(k) := take st.d) threads)
+      ~check:(fun st ->
+        List.sort compare (taken st @ drain st.d) = List.sort compare pushed)
+      ()
+  in
+  check_stats name min_schedules stats
+
+(* one element, owner pop vs thief steal: the CAS showdown — at most
+   one side may win, and the element must not vanish *)
+let test_deque_last_element_race () =
+  deque_race ~name:"last element" ~min_schedules:5 ~pushed:[ 7 ]
+    ~threads:[ VDeque.pop; VDeque.steal ] ()
+
+(* owner pushes and pops interleaved with a thief *)
+let test_deque_owner_vs_thief () =
+  let stats =
+    explore
+      ~setup:(fun () ->
+        { d = VDeque.create (); got = [| ref None; ref None; ref None |] })
+      ~threads:
+        [ (fun st ->
+            VDeque.push st.d 1;
+            VDeque.push st.d 2;
+            st.got.(0) := VDeque.pop st.d;
+            st.got.(1) := VDeque.pop st.d);
+          (fun st -> st.got.(2) := VDeque.steal st.d) ]
+      ~check:(fun st ->
+        List.sort compare (taken st @ drain st.d) = [ 1; 2 ])
+      ()
+  in
+  check_stats "owner vs thief" 50 stats
+
+(* two thieves racing on a two-element deque: the top CAS must hand
+   each element to exactly one thief *)
+let test_deque_steal_steal_race () =
+  deque_race ~name:"steal/steal" ~min_schedules:20 ~pushed:[ 1; 2 ]
+    ~threads:[ VDeque.steal; VDeque.steal ] ()
+
+(* the deque starts at capacity 8: a 9th push grows the buffer while a
+   thief holds a reference to the old one *)
+let test_deque_growth_during_steal () =
+  let pushed = List.init 8 Fun.id in
+  let stats =
+    explore
+      ~setup:(fun () ->
+        let d = VDeque.create () in
+        List.iter (VDeque.push d) pushed;
+        { d; got = [| ref None |] })
+      ~threads:
+        [ (fun st -> VDeque.push st.d 8);
+          (fun st -> st.got.(0) := VDeque.steal st.d) ]
+      ~check:(fun st ->
+        List.sort compare (taken st @ drain st.d) = List.init 9 Fun.id)
+      ()
+  in
+  check_stats "growth during steal" 10 stats
+
+(* ---- Shard_set bucket ---- *)
+
+module B =
+  Mv_par.Shard_set.Bucket
+    (Mv_par.Interleave.A)
+    (struct
+      type t = int
+
+      let equal = Int.equal
+      let hash = Hashtbl.hash
+    end)
+
+type bucket_state = {
+  head : B.node A.t;
+  next_slot : int A.t;
+  results : (int * bool) option ref array;
+}
+
+let bucket_setup nb_threads () =
+  {
+    head = A.make B.Nil;
+    next_slot = A.make 0;
+    results = Array.init nb_threads (fun _ -> ref None);
+  }
+
+let bucket_add st k x =
+  let alloc () = A.fetch_and_add st.next_slot 1 in
+  st.results.(k) := Some (B.add st.head x ~alloc)
+
+let chain_occurrences st x =
+  let rec walk n acc =
+    match n with
+    | B.Nil -> acc
+    | B.Cons { elem; next; _ } -> walk next (if elem = x then acc + 1 else acc)
+  in
+  walk (A.get st.head) 0
+
+(* two adds of the same element: one fresh insert, one hit, same slot,
+   the chain holds the element exactly once *)
+let test_bucket_same_element () =
+  let stats =
+    explore
+      ~setup:(bucket_setup 2)
+      ~threads:[ (fun st -> bucket_add st 0 42); (fun st -> bucket_add st 1 42) ]
+      ~check:(fun st ->
+        match (!(st.results.(0)), !(st.results.(1))) with
+        | Some (s0, f0), Some (s1, f1) ->
+          s0 = s1
+          && Bool.to_int f0 + Bool.to_int f1 = 1
+          && chain_occurrences st 42 = 1
+          && B.find_node (A.get st.head) 42 = Some s0
+        | _ -> false)
+      ()
+  in
+  check_stats "same element" 10 stats
+
+(* two adds of distinct elements: both fresh, distinct slots, each in
+   the chain exactly once (the loser of the head CAS must re-link) *)
+let test_bucket_distinct_elements () =
+  let stats =
+    explore
+      ~setup:(bucket_setup 2)
+      ~threads:[ (fun st -> bucket_add st 0 1); (fun st -> bucket_add st 1 2) ]
+      ~check:(fun st ->
+        match (!(st.results.(0)), !(st.results.(1))) with
+        | Some (s0, true), Some (s1, true) ->
+          s0 <> s1 && chain_occurrences st 1 = 1 && chain_occurrences st 2 = 1
+        | _ -> false)
+      ()
+  in
+  check_stats "distinct elements" 10 stats
+
+(* three-way mix: two racing adds of x against one of y *)
+let test_bucket_three_way () =
+  let stats =
+    explore
+      ~setup:(bucket_setup 3)
+      ~threads:
+        [ (fun st -> bucket_add st 0 5);
+          (fun st -> bucket_add st 1 5);
+          (fun st -> bucket_add st 2 9) ]
+      ~check:(fun st ->
+        match
+          (!(st.results.(0)), !(st.results.(1)), !(st.results.(2)))
+        with
+        | Some (s0, f0), Some (s1, f1), Some (_, fy) ->
+          s0 = s1
+          && Bool.to_int f0 + Bool.to_int f1 = 1
+          && fy
+          && chain_occurrences st 5 = 1
+          && chain_occurrences st 9 = 1
+        | _ -> false)
+      ()
+  in
+  check_stats "three-way" 100 stats
+
+let suite =
+  [
+    Alcotest.test_case "harness detects a lost update" `Quick
+      test_detects_lost_update;
+    Alcotest.test_case "fetch_and_add is atomic" `Quick
+      test_fetch_and_add_is_atomic;
+    Alcotest.test_case "deque: last-element pop/steal race" `Quick
+      test_deque_last_element_race;
+    Alcotest.test_case "deque: owner push/pop vs thief" `Quick
+      test_deque_owner_vs_thief;
+    Alcotest.test_case "deque: steal/steal race" `Quick
+      test_deque_steal_steal_race;
+    Alcotest.test_case "deque: growth during steal" `Quick
+      test_deque_growth_during_steal;
+    Alcotest.test_case "bucket: racing adds of one element" `Quick
+      test_bucket_same_element;
+    Alcotest.test_case "bucket: racing adds of distinct elements" `Quick
+      test_bucket_distinct_elements;
+    Alcotest.test_case "bucket: three-way race" `Quick test_bucket_three_way;
+  ]

@@ -232,7 +232,7 @@ let test_parallel_matches_sequential () =
   in
   let sequential = stats None in
   let parallel =
-    Mv_par.Pool.with_pool ~domains:4 (fun pool -> stats (Some pool))
+    Mv_par.Pool.scope ~domains:4 (fun pool -> stats (Some pool))
   in
   Alcotest.(check (float 0.0)) "means identical across -j"
     sequential.Mv_sim.Des.mean parallel.Mv_sim.Des.mean;

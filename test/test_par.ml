@@ -1,4 +1,5 @@
-(* Tests for mv_par (deque, pool, loops, shard set) and for the
+(* Tests for mv_par (chunk policies, lock-free deque, pool, loops,
+   shard set) and for the
    determinism contract of every pool-enabled engine: whatever -j N,
    generation yields the identical LTS, refinement the identical
    partition, and the solvers the same vectors (bitwise for the
@@ -6,13 +7,13 @@
    for the steady-state solver). *)
 
 module Pool = Mv_par.Pool
-module Par = Mv_par.Par
+module Chunk = Mv_par.Chunk
 module Deque = Mv_par.Deque
 module Ctmc = Mv_markov.Ctmc
 module Lts = Mv_lts.Lts
 module Aut = Mv_lts.Aut
 
-let with_pool domains f = Pool.with_pool ~domains f
+let with_pool domains f = Pool.scope ~domains f
 
 (* ---- deque ---- *)
 
@@ -81,7 +82,7 @@ let test_parallel_for_covers_range () =
     (fun domains ->
        with_pool domains (fun pool ->
            let out = Array.make 1000 0 in
-           Par.parallel_for pool ~lo:0 ~hi:1000 (fun i -> out.(i) <- i * i);
+           Pool.for_ ~pool ~lo:0 ~hi:1000 (fun i -> out.(i) <- i * i);
            Alcotest.(check (array int))
              (Printf.sprintf "squares at -j %d" domains)
              (Array.init 1000 (fun i -> i * i))
@@ -89,11 +90,12 @@ let test_parallel_for_covers_range () =
     [ 1; 2; 4 ]
 
 let test_map_reduce_deterministic () =
-  (* a float reduction whose result is order-sensitive: all pool sizes
-     must agree bitwise (same chunking, same fold order) *)
+  (* a float reduction whose result is order-sensitive: with a Fixed
+     chunk policy the boundaries and fold order are pool-size
+     independent, so all pool sizes must agree bitwise *)
   let run domains =
     with_pool domains (fun pool ->
-        Par.map_reduce pool ~lo:1 ~hi:100_001
+        Pool.map_reduce ~chunk:(Chunk.Fixed 1024) ~pool ~lo:1 ~hi:100_001
           ~map:(fun i -> 1.0 /. float_of_int i)
           ~reduce:( +. ) ~init:0.0)
   in
@@ -105,11 +107,122 @@ let test_map_reduce_deterministic () =
 let test_parallel_chunks_partition () =
   with_pool 4 (fun pool ->
       let seen = Array.make 100 0 in
-      Par.parallel_chunks ~chunk_size:7 pool ~lo:0 ~hi:100 (fun a b ->
+      Pool.chunks ~chunk:(Chunk.Fixed 7) ~pool ~lo:0 ~hi:100 (fun a b ->
           for i = a to b - 1 do
             seen.(i) <- seen.(i) + 1
           done);
       Alcotest.(check (array int)) "each index once" (Array.make 100 1) seen)
+
+(* ---- chunk policies ---- *)
+
+let check_cover name ranges lo hi =
+  let pos = ref lo in
+  Array.iter
+    (fun (a, b) ->
+       Alcotest.(check int) (name ^ " contiguous") !pos a;
+       Alcotest.(check bool) (name ^ " nonempty") true (b > a);
+       pos := b)
+    ranges;
+  Alcotest.(check int) (name ^ " reaches hi") hi !pos
+
+let test_chunk_policies () =
+  check_cover "auto" (Chunk.ranges ~policy:Chunk.Auto ~workers:4 ~lo:0 ~hi:1000)
+    0 1000;
+  let fixed = Chunk.ranges ~policy:(Chunk.Fixed 7) ~workers:4 ~lo:0 ~hi:100 in
+  check_cover "fixed" fixed 0 100;
+  Array.iteri
+    (fun i (a, b) ->
+       if i < Array.length fixed - 1 then
+         Alcotest.(check int) "fixed size" 7 (b - a))
+    fixed;
+  let guided = Chunk.ranges ~policy:Chunk.Guided ~workers:2 ~lo:0 ~hi:10_000 in
+  check_cover "guided" guided 0 10_000;
+  Array.iteri
+    (fun i (a, b) ->
+       if i > 0 then begin
+         let pa, pb = guided.(i - 1) in
+         Alcotest.(check bool) "guided non-increasing" true (b - a <= pb - pa)
+       end)
+    guided;
+  Alcotest.(check (array (pair int int))) "empty range" [||]
+    (Chunk.ranges ~policy:Chunk.Auto ~workers:4 ~lo:5 ~hi:5);
+  Alcotest.(check bool) "Fixed 0 rejected" true
+    (try
+       ignore (Chunk.ranges ~policy:(Chunk.Fixed 0) ~workers:1 ~lo:0 ~hi:10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_scope_and_plan () =
+  let r =
+    Pool.scope ~chunk:(Chunk.Fixed 5) ~domains:2 (fun pool ->
+        Alcotest.(check bool) "policy carried" true
+          (Pool.chunk_policy pool = Chunk.Fixed 5);
+        let plan = Pool.plan pool ~lo:0 ~hi:23 in
+        Alcotest.(check bool) "plan = Chunk.ranges" true
+          (plan = Chunk.ranges ~policy:(Chunk.Fixed 5) ~workers:2 ~lo:0 ~hi:23);
+        let plan9 = Pool.plan ~chunk:(Chunk.Fixed 9) pool ~lo:0 ~hi:23 in
+        Alcotest.(check bool) "per-call override" true
+          (plan9 = Chunk.ranges ~policy:(Chunk.Fixed 9) ~workers:2 ~lo:0 ~hi:23);
+        42)
+  in
+  Alcotest.(check int) "scope returns" 42 r
+
+(* ---- deque under real contention ---- *)
+
+(* One owner pushes [0 .. n-1] (popping every eighth push, then
+   draining), [nb_stealers] domains steal concurrently. Every element
+   must surface exactly once across the owner and the thieves. *)
+let steal_race ~n ~nb_stealers =
+  let d = Deque.create () in
+  let stop = Atomic.make false in
+  let stolen = Array.make nb_stealers [] in
+  let stealers =
+    Array.init nb_stealers (fun k ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            let rec loop () =
+              match Deque.steal d with
+              | Some x ->
+                acc := x :: !acc;
+                loop ()
+              | None ->
+                if not (Atomic.get stop) then begin
+                  Domain.cpu_relax ();
+                  loop ()
+                end
+            in
+            loop ();
+            stolen.(k) <- !acc))
+  in
+  let popped = ref [] in
+  for i = 0 to n - 1 do
+    Deque.push d i;
+    if i land 7 = 7 then
+      match Deque.pop d with
+      | Some x -> popped := x :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match Deque.pop d with
+    | Some x ->
+      popped := x :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join stealers;
+  let all = Array.fold_left (fun acc l -> List.rev_append l acc) !popped stolen in
+  List.length all = n && List.sort compare all = List.init n Fun.id
+
+let test_deque_steal_stress () =
+  Alcotest.(check bool) "100k ops, 3 thieves: no loss, no duplication" true
+    (steal_race ~n:100_000 ~nb_stealers:3)
+
+let deque_steal_prop =
+  QCheck2.Test.make ~name:"deque: no loss/duplication vs stealers" ~count:10
+    QCheck2.Gen.(pair (int_range 1_000 5_000) (int_range 1 3))
+    (fun (n, nb_stealers) -> steal_race ~n ~nb_stealers)
 
 (* ---- shard set ---- *)
 
@@ -138,7 +251,7 @@ let test_shard_set_concurrent () =
   let n = 10_000 in
   with_pool 4 (fun pool ->
       (* every element inserted twice, racing *)
-      Par.parallel_for pool ~lo:0 ~hi:(2 * n) (fun i ->
+      Pool.for_ ~pool ~lo:0 ~hi:(2 * n) (fun i ->
           ignore (Int_set.add s (i mod n))));
   Alcotest.(check int) "cardinal" n (Int_set.cardinal s);
   Alcotest.(check bool) "id_bound sane" true (Int_set.id_bound s >= n);
@@ -151,6 +264,45 @@ let test_shard_set_concurrent () =
     Hashtbl.replace ids id ();
     Alcotest.(check int) "get" x (Int_set.get s id)
   done
+
+let test_shard_set_iter_snapshot () =
+  let s = Int_set.create ~shards:4 () in
+  for x = 0 to 99 do
+    ignore (Int_set.add s x)
+  done;
+  let seen = Hashtbl.create 128 in
+  Int_set.iter s (fun id x ->
+      Alcotest.(check bool) "no duplicate" false (Hashtbl.mem seen x);
+      Alcotest.(check int) "id roundtrip" x (Int_set.get s id);
+      Hashtbl.add seen x ());
+  Alcotest.(check int) "all visited" 100 (Hashtbl.length seen)
+
+let test_shard_set_iter_racing_adds () =
+  (* the documented snapshot contract: completed adds are visited
+     exactly once, racing adds once or never, nothing twice *)
+  let s = Int_set.create ~shards:4 () in
+  for x = 0 to 499 do
+    ignore (Int_set.add s x)
+  done;
+  let adder =
+    Domain.spawn (fun () ->
+        for x = 500 to 9_999 do
+          ignore (Int_set.add s x)
+        done)
+  in
+  let dup = ref false in
+  let completed = ref 0 in
+  let seen = Hashtbl.create 1024 in
+  Int_set.iter s (fun _ x ->
+      if Hashtbl.mem seen x then dup := true;
+      Hashtbl.replace seen x ();
+      if x < 500 then incr completed);
+  Domain.join adder;
+  Alcotest.(check bool) "no duplicates under race" false !dup;
+  Alcotest.(check int) "completed adds all visited" 500 !completed;
+  let total = ref 0 in
+  Int_set.iter s (fun _ _ -> incr total);
+  Alcotest.(check int) "quiescent iter exact" 10_000 !total
 
 (* ---- split streams ---- *)
 
@@ -313,10 +465,19 @@ let suite =
       test_map_reduce_deterministic;
     Alcotest.test_case "parallel_chunks partitions range" `Quick
       test_parallel_chunks_partition;
+    Alcotest.test_case "chunk policies cover ranges" `Quick test_chunk_policies;
+    Alcotest.test_case "pool scope + plan" `Quick test_pool_scope_and_plan;
+    Alcotest.test_case "deque steal stress (100k x 3 thieves)" `Quick
+      test_deque_steal_stress;
+    QCheck_alcotest.to_alcotest deque_steal_prop;
     Alcotest.test_case "shard set sequential ops" `Quick
       test_shard_set_sequential;
     Alcotest.test_case "shard set concurrent inserts" `Quick
       test_shard_set_concurrent;
+    Alcotest.test_case "shard set iter snapshot" `Quick
+      test_shard_set_iter_snapshot;
+    Alcotest.test_case "shard set iter vs racing adds" `Quick
+      test_shard_set_iter_racing_adds;
     Alcotest.test_case "split streams reproducible" `Quick
       test_streams_reproducible;
     Alcotest.test_case "generation identical at any -j" `Quick

@@ -240,7 +240,7 @@ let test_pool_not_in_key () =
           spec
       in
       let parallel =
-        Mv_par.Pool.with_pool ~domains:4 (fun pool ->
+        Mv_par.Pool.scope ~domains:4 (fun pool ->
             Flow.Run.generate
               Flow.Config.(default |> with_cache (Some cache) |> with_pool (Some pool))
               spec)
