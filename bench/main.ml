@@ -17,6 +17,7 @@ module Phase = Mv_imc.Phase
 module Label = Mv_lts.Label
 module Lts = Mv_lts.Lts
 module Net = Mv_compose.Net
+module Mvb = Mv_store.Mvb
 
 let f = Report.float_cell
 let pc = Report.percent_cell
@@ -726,7 +727,8 @@ let bechamel_kernels () =
    so successive runs can be compared. States and solver iterations
    are counter deltas from Mv_obs around each experiment. *)
 
-let bench_records : (string * float * int * int * float) list ref = ref []
+let bench_records : (string * float * int * int * float * int) list ref =
+  ref []
 
 (* Extra top-level JSON fields (e.g. the E10 engine comparison) merged
    into BENCH_multival.json next to the experiment rows. *)
@@ -745,18 +747,21 @@ let timed name run () =
   let throughput =
     if wall > 0.0 then float_of_int states /. wall else 0.0
   in
-  bench_records := (name, wall, states, iterations, throughput) :: !bench_records
+  bench_records :=
+    (name, wall, states, iterations, throughput, Obs.maxrss_kb ())
+    :: !bench_records
 
 let write_bench_json path =
   let experiments =
     List.rev_map
-      (fun (name, wall, states, iterations, throughput) ->
+      (fun (name, wall, states, iterations, throughput, maxrss) ->
          Json.Obj
            [ ("name", Json.String name);
              ("wall_s", Json.Float wall);
              ("states", Json.Int states);
              ("iterations", Json.Int iterations);
-             ("throughput_states_per_s", Json.Float throughput) ])
+             ("throughput_states_per_s", Json.Float throughput);
+             ("maxrss_kb", Json.Int maxrss) ])
       !bench_records
   in
   let json =
@@ -1208,6 +1213,396 @@ let e11_serve () =
     :: !bench_extra
 
 (* ------------------------------------------------------------------ *)
+(* E12: out-of-core generate -> strong-minimize at 10^7 states         *)
+
+(* The out-of-core pipeline on a state space that dwarfs every other
+   experiment: a tandem of [n] buffers of capacity [c] — arrivals,
+   stage-to-stage transfers, departures — with (c+1)^n reachable
+   states, driven as a direct int-array state machine so the
+   measurement is the pipeline, not the MVL interpreter. The OOC phase
+   runs FIRST (getrusage maxrss is a process-wide high-water mark, so
+   the bounded-RAM phase must take its snapshot before the in-RAM
+   phase raises the mark), then the same space is generated and
+   minimized in RAM and both artifacts are byte-compared.
+
+   MVAL_E12_STATES scales the instance (default 10^7; CI smoke uses
+   10^4). The "e12" record lands in BENCH_multival.json. *)
+
+(* The E12 instance: m * 10^n states as a (c+1)-ary tandem of n stages
+   crossed with an m-slot rotating grant vector. The grant advances one
+   slot on every action but gates nothing, so states differing only in
+   the grant are strongly bisimilar and the quotient collapses m-fold
+   back to the tandem — the generate-big / minimize-small shape the
+   out-of-core path exists for. m is kept coprime with n+1 so every
+   (tandem, grant) pair is reachable (cycle lengths are multiples of
+   n+1, so the reachable grant residues per tandem state fall in
+   gcd(m, n+1) classes). *)
+
+module E12_state = struct
+  type t = int array
+
+  let equal = ( = )
+  let hash t = Hashtbl.hash (Marshal.to_string t [ Marshal.No_sharing ])
+end
+
+module E12_explore = Mv_lts.Explore.Make (E12_state)
+
+type e12_instance = {
+  e12_m : int;
+  e12_n : int;
+  e12_states : int; (* exact reachable count *)
+  e12_initial : int array;
+  e12_successors : int array -> (string * int array) list;
+}
+
+let e12_target () =
+  try int_of_string (Sys.getenv "MVAL_E12_STATES")
+  with Not_found -> 10_000_000
+
+let e12_hot_budget_mb = 128
+
+let e12_instance target =
+  let c = 9 in
+  let n =
+    max 1
+      (int_of_float (Float.round (log (float target /. 24.) /. log 10.)))
+  in
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let m =
+    let rec first k = if gcd k (n + 1) = 1 then k else first (k + 1) in
+    first 24
+  in
+  let states_exact = m * int_of_float (Float.pow 10. (float n)) in
+  let width = n + m in
+  (* apply occupancy edits, then rotate the one-hot grant in s.(n..) *)
+  let move s edits =
+    let t = Array.copy s in
+    List.iter (fun (i, d) -> t.(i) <- t.(i) + d) edits;
+    let g = ref 0 in
+    for j = 0 to m - 1 do
+      if s.(n + j) = 1 then g := j
+    done;
+    t.(n + !g) <- 0;
+    t.(n + ((!g + 1) mod m)) <- 1;
+    t
+  in
+  let successors s =
+    let moves = ref [] in
+    if s.(n - 1) > 0 then moves := [ ("dep", move s [ (n - 1, -1) ]) ];
+    for i = n - 2 downto 0 do
+      if s.(i) > 0 && s.(i + 1) < c then
+        moves :=
+          (Printf.sprintf "mv%d" i, move s [ (i, -1); (i + 1, 1) ])
+          :: !moves
+    done;
+    if s.(0) < c then moves := ("arr", move s [ (0, 1) ]) :: !moves;
+    !moves
+  in
+  {
+    e12_m = m;
+    e12_n = n;
+    e12_states = states_exact;
+    e12_initial = Array.init width (fun i -> if i = n then 1 else 0);
+    e12_successors = successors;
+  }
+
+let e12_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The whole out-of-core pipeline. Runs inside the child process (see
+   the MVAL_E12_CHILD hook in the main entry): OCaml 5 forbids
+   [Unix.fork] once domains have ever been spawned (E8/E10 spawn
+   pools), so the bench re-executes its own binary instead. *)
+let e12_ooc_pipeline ~target ~dir () =
+  let inst = e12_instance target in
+  let ooc_mvb = Filename.concat dir "ooc.mvb" in
+  let ooc_min_mvb = Filename.concat dir "ooc_min.mvb" in
+  let config =
+    { Flow.Config.default with
+      mem_budget_mb = Some (2 * e12_hot_budget_mb);
+      scratch_dir = Some dir;
+    }
+  in
+  let (ooc : Mv_lts.Explore.ooc_outcome), generate_s =
+    e12_wall (fun () ->
+        let w = Mvb.Stream.create ooc_mvb in
+        match
+          E12_explore.run_ooc
+            ~max_states:(inst.e12_states + 1)
+            ~expect:inst.e12_states
+            ~hot_budget_bytes:(e12_hot_budget_mb * 1024 * 1024)
+            ~scratch_dir:dir
+            ~labels:(Mvb.Stream.labels w)
+            ~emit:(Mvb.Stream.add_state w)
+            ~initial:inst.e12_initial ~successors:inst.e12_successors ()
+        with
+        | outcome ->
+          Mvb.Stream.finish w ~initial:0;
+          outcome
+        | exception e ->
+          Mvb.Stream.abort w;
+          raise e)
+  in
+  let _minimized, minimize_s =
+    e12_wall (fun () ->
+        Flow.Run.minimize_mvb config Flow.Strong ~src:ooc_mvb
+          ~dst:ooc_min_mvb)
+  in
+  ( ooc.Mv_lts.Explore.ooc_states,
+    ooc.Mv_lts.Explore.ooc_transitions,
+    generate_s,
+    minimize_s )
+
+(* child entry: enroll in the cgroup if told to, run the pipeline,
+   marshal the result to stdout *)
+let e12_child_main dir =
+  (match Sys.getenv_opt "MVAL_E12_CGROUP" with
+  | Some d -> (
+    try
+      let oc = open_out (Filename.concat d "cgroup.procs") in
+      output_string oc (string_of_int (Unix.getpid ()));
+      close_out oc
+    with _ -> ())
+  | None -> ());
+  (* bound the GC's heap slack so the child's RSS tracks its live set;
+     the extra collection work is noise next to the I/O *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 60 };
+  set_binary_mode_out stdout true;
+  let r = e12_ooc_pipeline ~target:(e12_target ()) ~dir () in
+  Marshal.to_channel stdout (r, Obs.maxrss_kb ()) [];
+  flush stdout;
+  exit 0
+
+let e12_out_of_core () =
+  let target = e12_target () in
+  let inst = e12_instance target in
+  let m = inst.e12_m and n = inst.e12_n in
+  let states_exact = inst.e12_states in
+  let max_states = states_exact + 1 in
+  let dir = Filename.temp_file "mv-e12" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path name = Filename.concat dir name in
+  let remove_tree () =
+    Array.iter (fun e -> Sys.remove (path e)) (Sys.readdir dir);
+    Sys.rmdir dir
+  in
+  Fun.protect ~finally:remove_tree @@ fun () ->
+  let wall = e12_wall in
+  let hot_budget_mb = e12_hot_budget_mb in
+  let ooc_mvb = path "ooc.mvb" in
+  let ooc_min_mvb = path "ooc_min.mvb" in
+  (* Best-effort cgroup-v1 memory limit: under the cap the kernel must
+     reclaim the mmap'd scratch/segment pages, so the child's peak RSS
+     is a measurement of the pipeline's true working set, not of how
+     many clean pages an idle kernel left resident. Absent permissions
+     (CI runners) the child simply runs uncapped. *)
+  let cgroup_make cap_bytes =
+    let d =
+      Printf.sprintf "/sys/fs/cgroup/memory/mv-e12-%d" (Unix.getpid ())
+    in
+    try
+      Unix.mkdir d 0o755;
+      let oc = open_out (Filename.concat d "memory.limit_in_bytes") in
+      output_string oc (string_of_int cap_bytes);
+      close_out oc;
+      Some d
+    with _ ->
+      (try Unix.rmdir d with _ -> ());
+      None
+  in
+  let cgroup_peak_kb d =
+    try
+      let ic = open_in (Filename.concat d "memory.max_usage_in_bytes") in
+      let v = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      v / 1024
+    with _ -> 0
+  in
+  (* run the OOC pipeline in a child process (optionally enrolled in
+     the cgroup); its maxrss is then the OOC phase's own high-water,
+     not entangled with the parent's *)
+  let run_child cgroup =
+    let rd, wr = Unix.pipe () in
+    let keep e =
+      not (String.length e >= 9 && String.sub e 0 9 = "MVAL_E12_")
+    in
+    let env =
+      Array.append
+        (Array.of_seq
+           (Seq.filter keep (Array.to_seq (Unix.environment ()))))
+        (Array.of_list
+           ((Printf.sprintf "MVAL_E12_CHILD=%s" dir)
+           :: (Printf.sprintf "MVAL_E12_STATES=%d" target)
+           ::
+           (match cgroup with
+           | Some d -> [ Printf.sprintf "MVAL_E12_CGROUP=%s" d ]
+           | None -> [])))
+    in
+    let pid =
+      Unix.create_process_env Sys.executable_name
+        [| Sys.executable_name |]
+        env Unix.stdin wr Unix.stderr
+    in
+    Unix.close wr;
+    let ic = Unix.in_channel_of_descr rd in
+    let payload =
+      try
+        Some (Marshal.from_channel ic : (int * int * float * float) * int)
+      with _ -> None
+    in
+    close_in ic;
+    let _, st = Unix.waitpid [] pid in
+    match (payload, st) with
+    | Some r, Unix.WEXITED 0 -> Some r
+    | _ -> None
+  in
+  (* -- phase 1: out of core (bounded RAM) -- *)
+  (* tightest cap first; a child killed under a cap (anon set over the
+     limit, no swap) is retried one rung up, then uncapped, so the
+     section always reports — the JSON records which rung ran *)
+  let cap_ladder = [ 4096; 5632 ] in
+  let rec try_caps = function
+    | [] -> (run_child None, false, 0, 0)
+    | mb :: rest -> (
+      match cgroup_make (mb * 1024 * 1024) with
+      | None -> (run_child None, false, 0, 0)
+      | Some d ->
+        let r =
+          try run_child (Some d)
+          with e ->
+            (try Unix.rmdir d with _ -> ());
+            raise e
+        in
+        let peak = cgroup_peak_kb d in
+        (try Unix.rmdir d with _ -> ());
+        (match r with
+        | Some _ -> (r, true, mb, peak)
+        | None -> try_caps rest))
+  in
+  let ooc_res, ooc_capped, cap_mb, ooc_cgroup_peak_kb =
+    try_caps cap_ladder
+  in
+  let (ooc_states, ooc_transitions, ooc_generate_s, ooc_minimize_s),
+      ooc_maxrss_kb =
+    match ooc_res with
+    | Some r -> r
+    | None -> failwith "E12: out-of-core pipeline failed in the child"
+  in
+  let ooc_minimized_states = (Mvb.stats ooc_min_mvb).Mvb.s_nb_states in
+  (* -- phase 2: in RAM (the reference) -- *)
+  let ram, ram_generate_s =
+    wall (fun () ->
+        (E12_explore.run ~max_states ~expect:states_exact
+           ~initial:inst.e12_initial ~successors:inst.e12_successors ())
+          .Mv_lts.Explore.lts)
+  in
+  let ram_min, ram_minimize_s = wall (fun () -> Mv_bisim.Strong.minimize ram) in
+  let ram_maxrss_kb = Obs.maxrss_kb () in
+  let ram_mvb = path "ram.mvb" in
+  Mvb.write_file ram_mvb ram;
+  let ram_min_mvb = path "ram_min.mvb" in
+  Mvb.write_file ram_min_mvb ram_min;
+  let same a b =
+    let read p =
+      let ic = open_in_bin p in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    read a = read b
+  in
+  let generated_identical = same ooc_mvb ram_mvb in
+  let quotients_identical =
+    generated_identical && same ooc_min_mvb ram_min_mvb
+    && ooc_minimized_states = Lts.nb_states ram_min
+  in
+  let file_bytes = (Unix.stat ooc_mvb).Unix.st_size in
+  (* -- the composition planner on a network where order matters -- *)
+  let planner_leaf name body =
+    let spec =
+      Flow.model_of_text
+        (Printf.sprintf "process %s := %s\ninit %s" name body name)
+    in
+    Net.Leaf (name, Flow.Run.generate Flow.Config.default spec)
+  in
+  let planner_node =
+    Net.par_list [ "g" ]
+      [ planner_leaf "A" "g ; a1 ; a2 ; a3 ; A";
+        planner_leaf "C" "g ; c1 ; c2 ; c3 ; C";
+        Net.Leaf ("B", Flow.Run.generate Flow.Config.default
+                         (Flow.model_of_text "init stop"));
+      ]
+  in
+  let naive = Net.evaluate ~plan:`Naive ~strategy:`Compositional planner_node in
+  let greedy =
+    Net.evaluate ~plan:`Greedy ~strategy:`Compositional planner_node
+  in
+  let ratio =
+    if ooc_maxrss_kb > 0 then float ram_maxrss_kb /. float ooc_maxrss_kb
+    else 0.0
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E12  Out-of-core pipeline: %d states, %d transitions (tandem \
+          10^%d x %d-slot grant)"
+         ooc_states ooc_transitions n m)
+    ~header:[ "pipeline"; "generate"; "strong minimize"; "peak RSS" ]
+    [
+      [ "out-of-core";
+        Printf.sprintf "%.1fs" ooc_generate_s;
+        Printf.sprintf "%.1fs" ooc_minimize_s;
+        (if ooc_capped then
+           Printf.sprintf "%d MB (cap %d MB)" (ooc_maxrss_kb / 1024)
+             cap_mb
+         else Printf.sprintf "%d MB (uncapped)" (ooc_maxrss_kb / 1024)) ];
+      [ "in-RAM";
+        Printf.sprintf "%.1fs" ram_generate_s;
+        Printf.sprintf "%.1fs" ram_minimize_s;
+        Printf.sprintf "%d MB (%.1fx)" (ram_maxrss_kb / 1024) ratio ];
+      [ "artifacts";
+        (if generated_identical then "identical" else "DIFFER");
+        (if quotients_identical then "identical" else "DIFFER");
+        Printf.sprintf "%d MB .mvb" (file_bytes / 1024 / 1024) ];
+      [ "planner";
+        Printf.sprintf "naive peak %d" naive.Net.peak_states;
+        Printf.sprintf "greedy peak %d" greedy.Net.peak_states;
+        (if greedy.Net.peak_states < naive.Net.peak_states then "greedy wins"
+         else "tie") ];
+    ];
+  bench_extra :=
+    ( "e12",
+      Json.Obj
+        [
+          ("states", Json.Int ooc_states);
+          ("transitions", Json.Int ooc_transitions);
+          ("minimized_states", Json.Int ooc_minimized_states);
+          ("mvb_bytes", Json.Int file_bytes);
+          ("hot_budget_mb", Json.Int hot_budget_mb);
+          ("mem_budget_mb", Json.Int (2 * hot_budget_mb));
+          ("ooc_capped", Json.Bool ooc_capped);
+          ("ooc_cap_mb", Json.Int (if ooc_capped then cap_mb else 0));
+          ("ooc_cgroup_peak_kb", Json.Int ooc_cgroup_peak_kb);
+          ("ooc_generate_wall_s", Json.Float ooc_generate_s);
+          ("ooc_minimize_wall_s", Json.Float ooc_minimize_s);
+          ("ram_generate_wall_s", Json.Float ram_generate_s);
+          ("ram_minimize_wall_s", Json.Float ram_minimize_s);
+          ("ooc_maxrss_kb", Json.Int ooc_maxrss_kb);
+          ("ram_maxrss_kb", Json.Int ram_maxrss_kb);
+          ("ram_over_ooc_rss", Json.Float ratio);
+          ("generated_identical", Json.Bool generated_identical);
+          ("quotients_identical", Json.Bool quotients_identical);
+          ("planner_naive_peak", Json.Int naive.Net.peak_states);
+          ("planner_greedy_peak", Json.Int greedy.Net.peak_states);
+          ( "planner_wins",
+            Json.Bool (greedy.Net.peak_states < naive.Net.peak_states) );
+        ] )
+    :: !bench_extra
+
+(* ------------------------------------------------------------------ *)
 (* E9: the artifact cache: cold vs warm SVL run                        *)
 
 (* One SVL script over the xSTream tandem, run twice against the same
@@ -1254,8 +1649,8 @@ let e9_cache () =
   timed "E9-cold" (fun () -> cold := run ()) ();
   timed "E9-warm" (fun () -> warm := run ()) ();
   let wall name =
-    match List.find_opt (fun (n, _, _, _, _) -> n = name) !bench_records with
-    | Some (_, w, _, _, _) -> w
+    match List.find_opt (fun (n, _, _, _, _, _) -> n = name) !bench_records with
+    | Some (_, w, _, _, _, _) -> w
     | None -> 0.0
   in
   let hits_of step =
@@ -1291,13 +1686,19 @@ let e9_cache () =
     rows
 
 let () =
+  (* E12's out-of-core child: this binary re-executed with the scratch
+     dir in the environment — run only the pipeline, never a section *)
+  match Sys.getenv_opt "MVAL_E12_CHILD" with
+  | Some dir -> e12_child_main dir
+  | None ->
   Obs.enable ();
   let sections =
     [ ("E1", e1_fame_mpi); ("E2", e2_xstream); ("E3", e3_verification);
       ("E4", e4_erlang);
       ("E5", fun () -> e5_nondet (); e5_nondet_mvl ());
       ("E6", e6_compositional); ("E7", e7_minimization);
-      ("E8", e8_scaling); ("E10", e10_kernels); ("E11", e11_serve) ]
+      ("E8", e8_scaling); ("E10", e10_kernels); ("E11", e11_serve);
+      ("E12", e12_out_of_core) ]
   in
   let raw_args =
     match Array.to_list Sys.argv with _ :: args -> args | [] -> []

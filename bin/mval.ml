@@ -30,12 +30,12 @@ let read_file path =
 
 (* Load an LTS from an .aut or .mvb file, or by generating an MVL
    model (memoized through the cache when one is given). *)
-let load_lts ?pool ?max_states ?cache ?budget path =
+let load_lts ?pool ?max_states ?cache ?budget ?expect path =
   if Filename.check_suffix path ".aut" then Aut.of_string (read_file path)
   else if Filename.check_suffix path ".mvb" then Mvb.read_file path
   else
     Flow.Run.generate
-      { Flow.Config.default with pool; max_states; cache; budget }
+      { Flow.Config.default with pool; max_states; cache; budget; expect }
       (Flow.model_of_text (read_file path))
 
 (* Run [f] with the pool requested by -j: none for -j 1 (fully
@@ -409,10 +409,81 @@ let local_budget (states, wall) =
 
 let strings_json items = Json.List (List.map (fun s -> Json.String s) items)
 
+(* ---- out-of-core / planning options ---- *)
+
+let ooc_arg =
+  Arg.(
+    value & flag
+    & info [ "out-of-core" ]
+        ~doc:
+          "Bounded-RAM pipeline over .mvb files: $(b,generate) streams \
+           transitions to the output during exploration (the seen set \
+           spills to sorted runs on disk past the memory budget) and \
+           $(b,minimize) refines over the mmap'd input without loading \
+           it. Requires .mvb paths ($(b,-o) for generate; input and \
+           $(b,-o) for minimize). The bytes produced are identical to \
+           the in-RAM pipeline's.")
+
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-budget" ] ~docv:"MB"
+        ~doc:
+          "RAM target in MiB for $(b,--out-of-core): half funds the \
+           hot (in-RAM) part of the seen set, the rest covers the \
+           bloom filter and the current frontier (default: 128 MiB \
+           hot).")
+
+let scratch_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scratch-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for $(b,--out-of-core) spill runs and mmap \
+           scratch (default: the output file's directory). Scratch is \
+           removed on exit, also on failure.")
+
+let expect_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "expect" ] ~docv:"N"
+        ~doc:
+          "Anticipated reachable-state count: pre-sizes the \
+           exploration tables (and the out-of-core bloom filter) so \
+           large runs skip rehash churn. A hint — never changes any \
+           result.")
+
+let compositional_arg =
+  Arg.(
+    value & flag
+    & info [ "compositional" ]
+        ~doc:
+          "Split the model's top-level parallel composition, generate \
+           each component separately, minimize before composing, and \
+           combine in a planned order ($(b,--plan)). The result is \
+           branching-equivalent to direct generation; the peak \
+           intermediate size can be exponentially smaller.")
+
+let plan_arg =
+  Arg.(
+    value
+    & opt (enum [ ("naive", `Naive); ("greedy", `Greedy) ]) `Greedy
+    & info [ "plan" ] ~docv:"PLAN"
+        ~doc:
+          "Composition order for $(b,--compositional): $(b,naive) \
+           composes components left to right, $(b,greedy) (default) \
+           repeatedly composes the pair with the smallest estimated \
+           product (state counts scaled down by shared \
+           synchronization gates).")
+
 (* ---- generate ---- *)
 
 let generate_cmd =
-  let run () model output max_states hide jobs no_lint cache remote budget =
+  let run () model output max_states hide jobs no_lint cache remote budget ooc
+      mem_budget scratch expect compositional plan =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
         match remote with
@@ -431,24 +502,74 @@ let generate_cmd =
         | None ->
           let cache = open_cache cache in
           with_jobs jobs (fun pool ->
-              let lts =
-                load_lts ?pool ~max_states ?cache
-                  ?budget:(local_budget budget) model
+              let config =
+                { Flow.Config.default with
+                  pool;
+                  max_states = Some max_states;
+                  cache;
+                  budget = local_budget budget;
+                  out_of_core = ooc;
+                  mem_budget_mb = mem_budget;
+                  scratch_dir = scratch;
+                  expect;
+                  compose_plan = plan;
+                }
               in
-              let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
-              write_lts output lts))
+              if ooc then begin
+                let out =
+                  match output with
+                  | Some path when Filename.check_suffix path ".mvb" -> path
+                  | _ ->
+                    prerr_endline "--out-of-core needs -o FILE.mvb";
+                    exit 2
+                in
+                if hide <> [] || compositional then begin
+                  prerr_endline
+                    "--out-of-core generation streams the plain state \
+                     space; it cannot be combined with --hide or \
+                     --compositional";
+                  exit 2
+                end;
+                let spec = Flow.model_of_text (read_file model) in
+                let o = Flow.Run.generate_mvb config spec ~out in
+                Printf.printf "wrote %s (%d states, %d transitions)\n" out
+                  o.Mv_lts.Explore.ooc_states o.Mv_lts.Explore.ooc_transitions
+              end
+              else if compositional then begin
+                let spec = Flow.model_of_text (read_file model) in
+                let report = Flow.Run.generate_compositional config spec in
+                Printf.eprintf "compositional: %d steps, peak %d states\n"
+                  (List.length report.Mv_compose.Net.steps)
+                  report.Mv_compose.Net.peak_states;
+                let lts = report.Mv_compose.Net.result in
+                let lts =
+                  if hide = [] then lts else Lts.hide lts ~gates:hide
+                in
+                write_lts output lts
+              end
+              else
+                let lts =
+                  load_lts ?pool ~max_states ?cache
+                    ?budget:(local_budget budget) ?expect model
+                in
+                let lts =
+                  if hide = [] then lts else Lts.hide lts ~gates:hide
+                in
+                write_lts output lts))
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate the state space of an MVL model")
     Term.(
       const run $ obs_term $ model_arg $ output_arg $ max_states_arg $ hide_arg
-      $ jobs_arg $ no_lint_arg $ cache_arg $ remote_arg $ budget_term)
+      $ jobs_arg $ no_lint_arg $ cache_arg $ remote_arg $ budget_term $ ooc_arg
+      $ mem_budget_arg $ scratch_arg $ expect_arg $ compositional_arg
+      $ plan_arg)
 
 (* ---- minimize ---- *)
 
 let minimize_cmd =
   let run () model output max_states equivalence hide jobs no_lint cache remote
-      budget =
+      budget ooc mem_budget scratch expect =
     handle_errors (fun () ->
         lint_gate ~no_lint [ model ];
         match remote with
@@ -474,26 +595,65 @@ let minimize_cmd =
           let cache = open_cache cache in
           with_jobs jobs (fun pool ->
               let budget = local_budget budget in
-              let lts =
-                load_lts ?pool ~max_states ?cache ?budget model
-              in
-              let lts = if hide = [] then lts else Lts.hide lts ~gates:hide in
-              let minimized =
-                Flow.Run.minimize
-                  { Flow.Config.default with pool; cache; budget }
-                  equivalence lts
-              in
-              prerr_string
-                (Ops.minimize_note ~before:(Lts.nb_states lts)
-                   ~after:(Lts.nb_states minimized));
-              write_lts output minimized))
+              if ooc then begin
+                if not (Filename.check_suffix model ".mvb") then begin
+                  prerr_endline "--out-of-core minimization reads a .mvb file";
+                  exit 2
+                end;
+                let dst =
+                  match output with
+                  | Some path when Filename.check_suffix path ".mvb" -> path
+                  | _ ->
+                    prerr_endline "--out-of-core needs -o FILE.mvb";
+                    exit 2
+                in
+                if hide <> [] then begin
+                  prerr_endline "--out-of-core does not support --hide";
+                  exit 2
+                end;
+                let config =
+                  { Flow.Config.default with
+                    pool;
+                    cache;
+                    budget;
+                    out_of_core = true;
+                    mem_budget_mb = mem_budget;
+                    scratch_dir = scratch;
+                  }
+                in
+                let before = (Mvb.stats model).Mvb.s_nb_states in
+                let minimized =
+                  Flow.Run.minimize_mvb config equivalence ~src:model ~dst
+                in
+                prerr_string
+                  (Ops.minimize_note ~before ~after:(Lts.nb_states minimized));
+                Printf.printf "wrote %s (%d states, %d transitions)\n" dst
+                  (Lts.nb_states minimized) (Lts.nb_transitions minimized)
+              end
+              else
+                let lts =
+                  load_lts ?pool ~max_states ?cache ?budget ?expect model
+                in
+                let lts =
+                  if hide = [] then lts else Lts.hide lts ~gates:hide
+                in
+                let minimized =
+                  Flow.Run.minimize
+                    { Flow.Config.default with pool; cache; budget }
+                    equivalence lts
+                in
+                prerr_string
+                  (Ops.minimize_note ~before:(Lts.nb_states lts)
+                     ~after:(Lts.nb_states minimized));
+                write_lts output minimized))
   in
   Cmd.v
     (Cmd.info "minimize" ~doc:"Minimize modulo strong or branching bisimulation")
     Term.(
       const run $ obs_term $ model_arg $ output_arg $ max_states_arg
       $ equivalence_arg $ hide_arg $ jobs_arg $ no_lint_arg $ cache_arg
-      $ remote_arg $ budget_term)
+      $ remote_arg $ budget_term $ ooc_arg $ mem_budget_arg $ scratch_arg
+      $ expect_arg)
 
 (* ---- compare ---- *)
 
@@ -1072,11 +1232,28 @@ let info_cmd =
             Printf.printf "lint: %s\n"
               (if ds = [] then "clean" else Diagnostic.summary ds)
           else print_endline "lint: not an MVL source";
-        let lts = load_lts ~max_states model in
-        Format.printf "%a@." Lts.pp lts;
-        Printf.printf "deadlock states: %d\n" (List.length (Lts.deadlocks lts));
-        print_endline "labels:";
-        List.iter (fun l -> Printf.printf "  %s\n" l) (Lts.occurring_labels lts))
+        if Filename.check_suffix model ".mvb" then begin
+          (* header + section index only: O(1) memory, never decodes
+             the transition payload, so this works on files far larger
+             than RAM *)
+          let s = Mvb.stats model in
+          Printf.printf "states: %d\n" s.Mvb.s_nb_states;
+          Printf.printf "initial: %d\n" s.Mvb.s_initial;
+          Printf.printf "labels: %d\n" s.Mvb.s_nb_labels;
+          Printf.printf "transitions: %d\n" s.Mvb.s_nb_transitions;
+          Printf.printf "file bytes: %d (label section %d, transition section %d)\n"
+            s.Mvb.s_file_bytes s.Mvb.s_label_bytes s.Mvb.s_transition_bytes
+        end
+        else begin
+          let lts = load_lts ~max_states model in
+          Format.printf "%a@." Lts.pp lts;
+          Printf.printf "deadlock states: %d\n"
+            (List.length (Lts.deadlocks lts));
+          print_endline "labels:";
+          List.iter
+            (fun l -> Printf.printf "  %s\n" l)
+            (Lts.occurring_labels lts)
+        end)
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Print model statistics")

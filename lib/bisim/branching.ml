@@ -2,6 +2,7 @@ module Lts = Mv_lts.Lts
 module Label = Mv_lts.Label
 module Scc = Mv_lts.Scc
 module Csr = Mv_kern.Csr
+module Arr = Mv_kern.Arr
 module Sig_table = Mv_kern.Sig_table
 
 let tau_scc lts =
@@ -157,14 +158,14 @@ let signatures ?pool ?(divergent = [||]) fwd (p : Partition.t) =
   let base = n + 1 in
   let sigs = Array.make n [||] in
   let compute s =
-    let lo = fwd.Csr.row.(s) and hi = fwd.Csr.row.(s + 1) in
+    let lo = Arr.get fwd.Csr.row s and hi = Arr.get fwd.Csr.row (s + 1) in
     let is_divergent = Array.length divergent > 0 && divergent.(s) in
     let cap = ref (if is_divergent then 1 else 0) in
     for i = lo to hi - 1 do
       if
-        fwd.Csr.lbl.(i) = Label.tau
-        && p.block_of.(fwd.Csr.col.(i)) = p.block_of.(s)
-      then cap := !cap + Array.length sigs.(fwd.Csr.col.(i))
+        Arr.get fwd.Csr.lbl i = Label.tau
+        && p.block_of.(Arr.get fwd.Csr.col i) = p.block_of.(s)
+      then cap := !cap + Array.length sigs.(Arr.get fwd.Csr.col i)
       else incr cap
     done;
     let buf = Array.make (max !cap 1) 0 in
@@ -174,7 +175,7 @@ let signatures ?pool ?(divergent = [||]) fwd (p : Partition.t) =
       len := 1
     end;
     for i = lo to hi - 1 do
-      let l = fwd.Csr.lbl.(i) and d = fwd.Csr.col.(i) in
+      let l = Arr.get fwd.Csr.lbl i and d = Arr.get fwd.Csr.col i in
       if l = Label.tau && p.block_of.(d) = p.block_of.(s) then begin
         (* every tau successor d of s has d < s, so sigs.(d) is final *)
         let inherited = sigs.(d) in
@@ -199,12 +200,12 @@ let signatures ?pool ?(divergent = [||]) fwd (p : Partition.t) =
      let max_height = ref 0 in
      for s = 0 to n - 1 do
        let h = ref 0 in
-       for i = fwd.Csr.row.(s) to fwd.Csr.row.(s + 1) - 1 do
+       for i = Arr.get fwd.Csr.row s to Arr.get fwd.Csr.row (s + 1) - 1 do
          if
-           fwd.Csr.lbl.(i) = Label.tau
-           && p.block_of.(fwd.Csr.col.(i)) = p.block_of.(s)
-           && height.(fwd.Csr.col.(i)) + 1 > !h
-         then h := height.(fwd.Csr.col.(i)) + 1
+           Arr.get fwd.Csr.lbl i = Label.tau
+           && p.block_of.(Arr.get fwd.Csr.col i) = p.block_of.(s)
+           && height.(Arr.get fwd.Csr.col i) + 1 > !h
+         then h := height.(Arr.get fwd.Csr.col i) + 1
        done;
        height.(s) <- !h;
        if !h > !max_height then max_height := !h

@@ -21,21 +21,30 @@ end
 
 module Term_explore = Explore.Make (Term_state)
 
-let generate ?pool ?tick ?(max_states = 1_000_000) spec =
-  let successors behavior =
-    List.map
-      (fun (label, next) -> (Semantics.label_string label, Ast.normalize next))
-      (Semantics.moves spec behavior)
-  in
+let successors spec behavior =
+  List.map
+    (fun (label, next) -> (Semantics.label_string label, Ast.normalize next))
+    (Semantics.moves spec behavior)
+
+let generate ?pool ?tick ?(max_states = 1_000_000) ?expect spec =
   let result =
-    Term_explore.run ?pool ?tick ~max_states ~on_truncate:`Raise
-      ~initial:(Ast.normalize spec.Ast.init) ~successors ()
+    Term_explore.run ?pool ?tick ~max_states ~on_truncate:`Raise ?expect
+      ~initial:(Ast.normalize spec.Ast.init)
+      ~successors:(successors spec) ()
   in
   { lts = result.Explore.lts;
     terms = result.Explore.states;
     truncated = result.Explore.truncated }
 
-let lts ?pool ?tick ?max_states spec = (generate ?pool ?tick ?max_states spec).lts
+let lts ?pool ?tick ?max_states ?expect spec =
+  (generate ?pool ?tick ?max_states ?expect spec).lts
+
+let generate_ooc ?tick ?(max_states = 1_000_000) ?expect ?hot_budget_bytes
+    ~scratch_dir ~labels ~emit spec =
+  Term_explore.run_ooc ?tick ~max_states ~on_truncate:`Raise ?expect
+    ?hot_budget_bytes ~scratch_dir ~labels ~emit
+    ~initial:(Ast.normalize spec.Ast.init)
+    ~successors:(successors spec) ()
 
 let first_deadlock ?(max_states = 1_000_000) spec =
   let module Table = Hashtbl.Make (Term_state) in

@@ -24,11 +24,14 @@ type outcome = {
     resulting LTS — numbering, transitions, labels — is identical to
     the sequential one (see {!Mv_lts.Explore.Make.run}).
     [tick] is forwarded to {!Mv_lts.Explore.Make.run}: a cooperative
-    budget checkpoint called with the discovered-state count. *)
+    budget checkpoint called with the discovered-state count.
+    [expect] pre-sizes the exploration hash tables (a hint, never a
+    bound). *)
 val generate :
   ?pool:Mv_par.Pool.t ->
   ?tick:(states:int -> unit) ->
   ?max_states:int ->
+  ?expect:int ->
   Ast.spec ->
   outcome
 
@@ -37,8 +40,26 @@ val lts :
   ?pool:Mv_par.Pool.t ->
   ?tick:(states:int -> unit) ->
   ?max_states:int ->
+  ?expect:int ->
   Ast.spec ->
   Mv_lts.Lts.t
+
+(** Out-of-core generation: breadth-first exploration that streams
+    each state's transitions to [emit] (in state-id order, labels
+    interned into [labels]) instead of materializing an LTS, with the
+    seen set spilling to sorted runs in [scratch_dir] past
+    [hot_budget_bytes] — see {!Mv_lts.Explore.Make.run_ooc}. The
+    emitted LTS is identical to what {!generate} builds in RAM. *)
+val generate_ooc :
+  ?tick:(states:int -> unit) ->
+  ?max_states:int ->
+  ?expect:int ->
+  ?hot_budget_bytes:int ->
+  scratch_dir:string ->
+  labels:Mv_lts.Label.table ->
+  emit:((int * int) array -> unit) ->
+  Ast.spec ->
+  Mv_lts.Explore.ooc_outcome
 
 (** [first_deadlock ?max_states spec] searches breadth-first for a
     deadlocked state {e during} generation and stops at the first hit,

@@ -21,6 +21,23 @@ type node =
 
 type strategy = [ `Monolithic | `Compositional ]
 
+(** Composition-order planning for chains of [Par] nodes sharing one
+    gate set (where [|[G]|] is associative and commutative, so any
+    order is semantically valid):
+
+    - [`Naive] evaluates the expression exactly as written
+      (left-to-right for {!par_list});
+    - [`Greedy] evaluates every chain member first (minimized under
+      [`Compositional]), then repeatedly composes the pair with the
+      smallest interface-size estimate
+      [|a| * |b| / (1 + shared sync gates)] — tightly-coupled pairs
+      compose (and shrink) early, free-interleaving pairs are
+      postponed, which keeps the largest intermediate product small.
+
+    The estimate also pre-sizes the product's pair table. Chains of
+    length 2 and mixed-gate expressions are unaffected. *)
+type plan = [ `Naive | `Greedy ]
+
 type step = {
   description : string;
   states : int;
@@ -33,7 +50,7 @@ type report = {
   peak_states : int; (** largest intermediate state count *)
 }
 
-val evaluate : strategy:strategy -> node -> report
+val evaluate : ?plan:plan -> strategy:strategy -> node -> report
 
 (** Convenience: [par_list gates \[n1; ...\]] left-associates
     [Par gates]. *)

@@ -12,7 +12,7 @@ module Pair_table = Hashtbl.Make (Pair_state)
 
 let out_list lts s = Lts.fold_out lts s (fun l d acc -> (l, d) :: acc) []
 
-let compose ~sync a b =
+let compose ?(expect = 256) ~sync a b =
   let labels = Label.create () in
   let label_of_a =
     Array.init (Label.count (Lts.labels a)) (fun l ->
@@ -27,7 +27,7 @@ let compose ~sync a b =
         l <> Label.tau && List.mem (Label.gate (Label.name table l)) sync)
   in
   let sync_a = is_sync (Lts.labels a) and sync_b = is_sync (Lts.labels b) in
-  let ids = Pair_table.create 256 in
+  let ids = Pair_table.create (max 256 (min expect (1 lsl 22))) in
   let transitions = ref [] in
   let frontier = Queue.create () in
   let nb = ref 0 in

@@ -4,6 +4,12 @@
     label gate belongs to [sync] must be matched by an identical label
     on the other side; all other transitions (tau included) interleave.
     The [exit] label is {e not} treated specially at this level — add
-    ["exit"] to [sync] to make termination synchronous. *)
+    ["exit"] to [sync] to make termination synchronous.
 
-val compose : sync:string list -> Mv_lts.Lts.t -> Mv_lts.Lts.t -> Mv_lts.Lts.t
+    [expect] pre-sizes the product's pair table (the compositional
+    planner passes its interface-size estimate); it never affects the
+    result. *)
+
+val compose :
+  ?expect:int -> sync:string list -> Mv_lts.Lts.t -> Mv_lts.Lts.t ->
+  Mv_lts.Lts.t

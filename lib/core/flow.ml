@@ -30,6 +30,11 @@ module Config = struct
     cache : Cache.t option;
     solve_method : Mv_kern.Solver.method_ option;
     budget : Budget.t option;
+    out_of_core : bool;
+    mem_budget_mb : int option;
+    scratch_dir : string option;
+    expect : int option;
+    compose_plan : Mv_compose.Net.plan;
   }
 
   let default =
@@ -42,6 +47,11 @@ module Config = struct
       cache = None;
       solve_method = None;
       budget = None;
+      out_of_core = false;
+      mem_budget_mb = None;
+      scratch_dir = None;
+      expect = None;
+      compose_plan = `Naive;
     }
 
   let with_pool pool t = { t with pool }
@@ -52,6 +62,11 @@ module Config = struct
   let with_scheduler scheduler t = { t with scheduler }
   let with_cache cache t = { t with cache }
   let with_budget budget t = { t with budget }
+  let with_out_of_core out_of_core t = { t with out_of_core }
+  let with_mem_budget_mb mem_budget_mb t = { t with mem_budget_mb }
+  let with_scratch_dir scratch_dir t = { t with scratch_dir }
+  let with_expect expect t = { t with expect }
+  let with_compose_plan compose_plan t = { t with compose_plan }
 end
 
 (* Budget checkpoints: [budget_tick] at step boundaries (wall-time),
@@ -116,7 +131,8 @@ module Run = struct
         ~source:(Mv_calc.Ast.spec_to_string spec)
         (fun () ->
           Mv_calc.State_space.lts ?pool:config.pool
-            ?tick:(budget_probe config) ?max_states:config.max_states spec)
+            ?tick:(budget_probe config) ?max_states:config.max_states
+            ?expect:config.expect spec)
     in
     (* The explorer ticks at a coarse stride, so re-check the final
        count — outside the memo, so an over-budget state space is
@@ -151,7 +167,8 @@ module Run = struct
               Mv_calc.State_space.lts ?tick:(budget_probe config) ?max_states
                 { spec with Mv_calc.Ast.init = behavior } )
       in
-      Mv_compose.Net.evaluate ~strategy:`Compositional
+      Mv_compose.Net.evaluate ~plan:config.compose_plan
+        ~strategy:`Compositional
         (decompose spec.Mv_calc.Ast.init)
     in
     match config.cache with
@@ -160,7 +177,17 @@ module Run = struct
         (* Only the final LTS is cached; on a hit the per-node steps of
            the original evaluation are gone, so the report carries a
            single synthetic step and a conservative peak. *)
-        let params = [ max_states_param config ] in
+        (* the plan changes the (equivalent but not identical)
+           intermediate numbering, so it keys the cached artifact *)
+        let params =
+          [
+            max_states_param config;
+            ( "plan",
+              match config.compose_plan with
+              | `Naive -> "naive"
+              | `Greedy -> "greedy" );
+          ]
+        in
         let source = Mv_calc.Ast.spec_to_string spec in
         match
           Cache.find_lts cache ~op:"generate_compositional" ~params source
@@ -183,6 +210,121 @@ module Run = struct
           Cache.store_lts cache ~op:"generate_compositional" ~params source
             report.Mv_compose.Net.result;
           report)
+
+  (* ---------------- out-of-core pipeline ------------------------- *)
+
+  (* Streaming generation: explore with the spillable seen set and
+     write the .mvb directly, never materializing the LTS. The file is
+     byte-identical to [Mvb.write_file] of [generate]'s result. *)
+  let generate_mvb (config : Config.t) spec ~out =
+    Obs.span "flow.generate_ooc" @@ fun () ->
+    budget_tick config;
+    let scratch_dir =
+      match config.scratch_dir with
+      | Some d -> d
+      | None -> Filename.dirname out
+    in
+    (* the hot seen-set gets half the memory budget; the other half
+       covers the bloom bits, the current BFS level and the program *)
+    let hot_budget_bytes =
+      Option.map (fun mb -> max (1 lsl 16) (mb * 1024 * 1024 / 2))
+        config.mem_budget_mb
+    in
+    let writer = Mv_store.Mvb.Stream.create out in
+    match
+      Mv_calc.State_space.generate_ooc ?tick:(budget_probe config)
+        ?max_states:config.max_states ?expect:config.expect
+        ?hot_budget_bytes ~scratch_dir
+        ~labels:(Mv_store.Mvb.Stream.labels writer)
+        ~emit:(Mv_store.Mvb.Stream.add_state writer)
+        spec
+    with
+    | outcome ->
+      Mv_store.Mvb.Stream.finish writer ~initial:0;
+      budget_states config outcome.Mv_lts.Explore.ooc_states;
+      outcome
+    | exception exn ->
+      Mv_store.Mvb.Stream.abort writer;
+      raise exn
+
+  (* Out-of-core strong minimization: the transition relation is read
+     through an mmap'd segment reader and the CSR indexes live in mmap
+     scratch, so resident memory is O(states) for the partition plus
+     the quotient — not O(transitions). The output file is
+     byte-identical to minimizing the materialized LTS. *)
+  let minimize_mvb (config : Config.t) equivalence ~src ~dst =
+    (match equivalence with
+     | Strong -> ()
+     | _ ->
+       invalid_arg
+         (Printf.sprintf "out-of-core minimization supports strong only, not %s"
+            (equivalence_name equivalence)));
+    Obs.span "flow.minimize_ooc" @@ fun () ->
+    budget_tick config;
+    let seg = Mv_store.Mvb.Segment.openfile src in
+    let n = Mv_store.Mvb.Segment.nb_states seg in
+    let m = Mv_store.Mvb.Segment.nb_transitions seg in
+    budget_states config n;
+    let scratch =
+      match config.scratch_dir with
+      | Some d -> d
+      | None -> Filename.dirname dst
+    in
+    let mode = Mv_kern.Csr.Scratch scratch in
+    let iter f = Mv_store.Mvb.Segment.iter_all seg f in
+    let fwd = Mv_kern.Csr.forward_iter ~mode ~n ~m iter in
+    let rev = Mv_kern.Csr.reverse_iter ~mode ~n ~m iter in
+    let labels = Mv_store.Mvb.Segment.labels seg in
+    let block_of, count =
+      Mv_kern.Refine.strong ~pool:config.pool
+        ~nb_labels:(Label.count labels) ~fwd ~rev
+    in
+    (* quotient without materializing the input: one more segment
+       sweep, deduplicating mapped transitions as they appear (the
+       distinct set is as small as the minimized system). The mapped
+       triple packs into one immediate int whenever count^2 * labels
+       fits a word — always, short of 10^9-block quotients — so the
+       sweep allocates nothing per transition and the table holds
+       unboxed keys. *)
+    let nl = Label.count labels in
+    let transitions =
+      if
+        count > 0 && nl > 0
+        && count < 1 lsl 30
+        && nl < 1 lsl 30
+        && nl * count <= max_int / count
+      then begin
+        let distinct : (int, unit) Hashtbl.t = Hashtbl.create 65536 in
+        Mv_store.Mvb.Segment.iter_all seg (fun s l d ->
+            let key = ((block_of.(s) * nl) + l) * count + block_of.(d) in
+            if not (Hashtbl.mem distinct key) then
+              Hashtbl.replace distinct key ());
+        Hashtbl.fold
+          (fun k () acc ->
+            let bd = k mod count in
+            let r = k / count in
+            (r / nl, r mod nl, bd) :: acc)
+          distinct []
+      end
+      else begin
+        let distinct : (int * int * int, unit) Hashtbl.t =
+          Hashtbl.create 4096
+        in
+        Mv_store.Mvb.Segment.iter_all seg (fun s l d ->
+            let key = (block_of.(s), l, block_of.(d)) in
+            if not (Hashtbl.mem distinct key) then
+              Hashtbl.replace distinct key ());
+        Hashtbl.fold (fun t () acc -> t :: acc) distinct []
+      end
+    in
+    let quotient =
+      Lts.make ~nb_states:count
+        ~initial:block_of.(Mv_store.Mvb.Segment.initial seg)
+        ~labels transitions
+    in
+    let minimized = Lts.restrict_reachable quotient in
+    Mv_store.Mvb.write_file dst minimized;
+    minimized
 
   let minimize_uncached (config : Config.t) equivalence lts =
     let pool = config.pool in
@@ -301,6 +443,11 @@ let config ?pool ?max_states ?(hide = []) ?(keep = [])
     cache = None;
     solve_method = None;
     budget = None;
+    out_of_core = false;
+    mem_budget_mb = None;
+    scratch_dir = None;
+    expect = None;
+    compose_plan = `Naive;
   }
 
 let generate ?pool ?max_states spec =

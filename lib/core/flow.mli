@@ -68,6 +68,25 @@ module Config : sig
             Like the pool, absent from cache keys: budgets bound
             computation, not results, so a warm cache hit always
             succeeds. *)
+    out_of_core : bool;
+        (** route generate/minimize through the streaming [.mvb]
+            pipeline ({!Run.generate_mvb} / {!Run.minimize_mvb}):
+            bounded RAM, spill and mmap scratch on disk. [mval
+            --out-of-core]. *)
+    mem_budget_mb : int option;
+        (** RAM target for the out-of-core path: half goes to the hot
+            seen-set, the rest covers bloom bits and the current BFS
+            level. [None] uses a 64 MiB hot budget. *)
+    scratch_dir : string option;
+        (** where spill runs and mmap scratch files live; defaults to
+            the output file's directory *)
+    expect : int option;
+        (** anticipated reachable-state count: pre-sizes exploration
+            hash tables and the out-of-core bloom filter. A hint —
+            never changes any result. *)
+    compose_plan : Mv_compose.Net.plan;
+        (** composition-order planning for
+            {!Run.generate_compositional} *)
   }
 
   val default : t
@@ -80,6 +99,11 @@ module Config : sig
   val with_keep : string list -> t -> t
   val with_scheduler : Mv_imc.To_ctmc.scheduler -> t -> t
   val with_cache : Mv_store.Cache.t option -> t -> t
+  val with_out_of_core : bool -> t -> t
+  val with_mem_budget_mb : int option -> t -> t
+  val with_scratch_dir : string option -> t -> t
+  val with_expect : int option -> t -> t
+  val with_compose_plan : Mv_compose.Net.plan -> t -> t
 end
 
 (** {1 Results} *)
@@ -124,6 +148,29 @@ module Run : sig
       [peak_states] equal to the result size. *)
   val generate_compositional :
     Config.t -> Mv_calc.Ast.spec -> Mv_compose.Net.report
+
+  (** Out-of-core generation: explore with the spillable seen set
+      (bloom + bounded hot table + sorted disk runs, see
+      {!Mv_lts.Explore.Make.run_ooc}) and stream the transitions
+      straight into [out] (a [.mvb] file), never materializing the
+      LTS. The file is byte-identical to writing {!generate}'s result
+      with {!Mv_store.Mvb.write_file}. Spill scratch goes to
+      [config.scratch_dir] (default: [out]'s directory) and is removed
+      on return or exception; [config.mem_budget_mb] bounds the hot
+      seen-set. Not cached (the artifact {e is} the output file). *)
+  val generate_mvb :
+    Config.t -> Mv_calc.Ast.spec -> out:string -> Mv_lts.Explore.ooc_outcome
+
+  (** Out-of-core strong minimization, [.mvb] file to [.mvb] file: the
+      input is read through an mmap'd {!Mv_store.Mvb.Segment}, the CSR
+      indexes are built into mmap scratch ({!Mv_kern.Csr.Scratch}),
+      and the quotient is deduplicated on the fly — resident memory is
+      O(states), not O(transitions). [dst] is byte-identical to
+      minimizing the materialized LTS and writing it. Returns the
+      minimized LTS (it is small). Only [Strong] is supported
+      out-of-core; other equivalences raise [Invalid_argument]. *)
+  val minimize_mvb :
+    Config.t -> equivalence -> src:string -> dst:string -> Mv_lts.Lts.t
 
   (** Quotient by the given equivalence ([Traces] determinizes);
       memoized through [config.cache] keyed on the input LTS bytes. *)

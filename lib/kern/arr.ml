@@ -1,0 +1,58 @@
+(* Flat int arrays with a choice of backing: ordinary heap arrays (the
+   fast path for everything that fits in RAM) or mmap'd scratch files
+   (the out-of-core path, where the kernel pages cold ranges out
+   instead of the process holding them resident).
+
+   Scratch files are unlinked immediately after mapping, so the space
+   is reclaimed automatically when the mapping is garbage-collected or
+   the process exits — there is nothing to sweep on a crash. *)
+
+type big = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type t = Heap of int array | Big of big
+
+let length = function
+  | Heap a -> Array.length a
+  | Big b -> Bigarray.Array1.dim b
+
+let get t i =
+  match t with Heap a -> a.(i) | Big b -> Bigarray.Array1.get b i
+
+let set t i v =
+  match t with Heap a -> a.(i) <- v | Big b -> Bigarray.Array1.set b i v
+
+let heap_make n x = Heap (Array.make n x)
+
+let mmap_make ~path n x =
+  if n = 0 then Heap [||]
+  else begin
+    let fd =
+      Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+    in
+    let big =
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd Bigarray.int Bigarray.c_layout true [| n |]))
+    in
+    (try Sys.remove path with Sys_error _ -> ());
+    Bigarray.Array1.fill big x;
+    Mv_obs.Obs.add (Mv_obs.Obs.counter "kern.mmap_bytes") (8 * n);
+    Big big
+  end
+
+let blit src dst =
+  let n = length src in
+  if length dst <> n then invalid_arg "Arr.blit: length mismatch";
+  match (src, dst) with
+  | Heap a, Heap b -> Array.blit a 0 b 0 n
+  | Big a, Big b -> Bigarray.Array1.blit a b
+  | _ ->
+    for i = 0 to n - 1 do
+      set dst i (get src i)
+    done
+
+let of_array a = Heap a
+
+let to_array t =
+  match t with Heap a -> Array.copy a | Big _ -> Array.init (length t) (get t)

@@ -1,0 +1,33 @@
+(** Flat int arrays over two backings: heap [int array] (the in-RAM
+    fast path) or an mmap'd scratch file (the out-of-core path — the
+    kernel pages cold ranges to disk instead of the process holding
+    the whole array resident).
+
+    Scratch files are unlinked immediately after mapping: the disk
+    space is reclaimed when the mapping is collected or the process
+    exits, so a crash can never leave an orphan behind. Every mmap
+    allocation bumps the [kern.mmap_bytes] counter. *)
+
+type big = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type t = Heap of int array | Big of big
+
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+(** [heap_make n x] — heap-backed, length [n], filled with [x]. *)
+val heap_make : int -> int -> t
+
+(** [mmap_make ~path n x] — scratch-file-backed at [path] (created
+    0600, truncated, unlinked once mapped), length [n], filled with
+    [x]. [n = 0] degrades to an empty heap array. *)
+val mmap_make : path:string -> int -> int -> t
+
+(** [blit src dst] copies [src] into [dst] (equal lengths required). *)
+val blit : t -> t -> unit
+
+(** [of_array a] wraps [a] without copying. *)
+val of_array : int array -> t
+
+(** [to_array t] is a fresh [int array] copy. *)
+val to_array : t -> int array

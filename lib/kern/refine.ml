@@ -57,11 +57,11 @@ let strong_sequential ~nb_labels ~fwd ~rev =
     (* gather the labelled predecessors of b's states *)
     let k = ref 0 in
     Part.iter_block p b (fun d ->
-        let lo = rev.Csr.row.(d) and hi = rev.Csr.row.(d + 1) in
+        let lo = Arr.get rev.Csr.row d and hi = Arr.get rev.Csr.row (d + 1) in
         ensure !k (!k + hi - lo);
         for i = lo to hi - 1 do
-          !pred_l.(!k) <- rev.Csr.lbl.(i);
-          !pred_s.(!k) <- rev.Csr.col.(i);
+          !pred_l.(!k) <- Arr.get rev.Csr.lbl i;
+          !pred_s.(!k) <- Arr.get rev.Csr.col i;
           incr k
         done);
     let k = !k in
@@ -187,7 +187,7 @@ let strong_parallel pool ~nb_labels ~fwd ~rev =
   let seg_l = ref (Array.make 1024 0) in
   let seg_s = ref (Array.make 1024 0) in
   let touched = Array.make n 0 in
-  let indeg d = rev.Csr.row.(d + 1) - rev.Csr.row.(d) in
+  let indeg d = Arr.get rev.Csr.row (d + 1) - Arr.get rev.Csr.row d in
   while !qtop > 0 do
     let nb_batch = !qtop in
     Obs.incr rounds;
@@ -237,9 +237,10 @@ let strong_parallel pool ~nb_labels ~fwd ~rev =
               let k = ref 0 in
               for i = snap_lo.(j) to snap_hi.(j) - 1 do
                 let d = Part.element p i in
-                for e = rev.Csr.row.(d) to rev.Csr.row.(d + 1) - 1 do
-                  tmp_l.(!k) <- rev.Csr.lbl.(e);
-                  tmp_s.(!k) <- rev.Csr.col.(e);
+                for e = Arr.get rev.Csr.row d to Arr.get rev.Csr.row (d + 1) - 1
+                do
+                  tmp_l.(!k) <- Arr.get rev.Csr.lbl e;
+                  tmp_s.(!k) <- Arr.get rev.Csr.col e;
                   incr k
                 done
               done;

@@ -17,16 +17,23 @@ type 'state outcome = {
 
 exception Too_many_states of int
 
+type ooc_outcome = {
+  ooc_states : int;
+  ooc_transitions : int;
+  ooc_truncated : bool;
+}
+
 module Make (S : STATE) = struct
   module Table = Hashtbl.Make (S)
   module Shard_set = Mv_par.Shard_set.Make (S)
 
   let no_tick ~states:_ = ()
 
-  let run_sequential ~tick ~max_states ~on_truncate ~initial ~successors () =
+  let run_sequential ~tick ~max_states ~on_truncate ~expect ~initial
+      ~successors () =
     Obs.span "explore" @@ fun () ->
     let frontier_series = Obs.series "explore.frontier" in
-    let ids = Table.create 1024 in
+    let ids = Table.create (max 1024 (min expect max_states)) in
     let states = ref [] in
     let nb = ref 0 in
     let dedup = ref 0 in
@@ -105,11 +112,15 @@ module Make (S : STATE) = struct
      the canonical numbering with the same budget produces, provided
      every discovered state was expanded (the closing passes below
      keep expanding the remaining frontier with discovery closed). *)
-  let run_parallel pool ~tick ~max_states ~on_truncate ~initial ~successors ()
-      =
+  let run_parallel pool ~tick ~max_states ~on_truncate ~expect ~initial
+      ~successors () =
     Obs.span "explore" @@ fun () ->
     let frontier_series = Obs.series "explore.frontier" in
-    let set = Shard_set.create () in
+    (* pre-size the sharded table so the expected population hashes to
+       short chains: [expect] states over 64 shards *)
+    let set =
+      Shard_set.create ~buckets:(max 1024 (min expect max_states / 64)) ()
+    in
     let init_id, _ = Shard_set.add set initial in
     let moves : (string * int) array array ref = ref [||] in
     let unexpanded = [||] in
@@ -248,10 +259,161 @@ module Make (S : STATE) = struct
     { lts; states = states_array; truncated = !truncated }
 
   let run ?pool ?(tick = no_tick) ?(max_states = 1_000_000)
-      ?(on_truncate = `Stop) ~initial ~successors () =
+      ?(on_truncate = `Stop) ?(expect = 1024) ~initial ~successors () =
     match pool with
     | Some pool when Pool.size pool > 1 ->
-      run_parallel pool ~tick ~max_states ~on_truncate ~initial ~successors ()
+      run_parallel pool ~tick ~max_states ~on_truncate ~expect ~initial
+        ~successors ()
     | Some _ | None ->
-      run_sequential ~tick ~max_states ~on_truncate ~initial ~successors ()
+      run_sequential ~tick ~max_states ~on_truncate ~expect ~initial
+        ~successors ()
+
+  (* --------------------------------------------------------------- *)
+  (* Out-of-core exploration.
+
+     Level-synchronous BFS that never materializes the LTS: the seen
+     set lives in a {!Spill} (bloom + bounded hot table + sorted
+     on-disk runs) and each state's transitions are pushed to the
+     caller's [emit] sink exactly once, in state-id order — the glue
+     layer connects that to a streaming .mvb writer.
+
+     The result is byte-identical to [run]'s LTS. The delicate part is
+     state numbering: a bloom false positive must not disturb the
+     order ids are assigned in, so {e no} id is assigned during
+     successor generation. Instead each level records its transition
+     log against per-level cells, cold lookups are batched through
+     [Spill.resolve], and a final sequential walk over the log — same
+     frontier order, same successor order as [run_sequential] —
+     assigns ids at first encounter, interns labels on accepted
+     transitions only, and applies the truncation budget. Every
+     decision the sequential engine makes per transition is replayed
+     at the same position in the same order.
+
+     Memory: bloom bits + hot budget + one BFS level (its states,
+     encodings and transition log). Everything colder is sequential
+     disk I/O, so RAM is bounded by the widest level, not the state
+     count. States are keyed by their [Marshal] encoding (no sharing),
+     which must be injective modulo [S.equal] — true for the tuple /
+     int-array states every generator in this repository uses. *)
+
+  type cell = {
+    cl_state : S.t;
+    cl_enc : string;
+    mutable cl_id : int; (* -1 = pending-new, >= 0 = known *)
+  }
+
+  type target = Tid of int | Tcell of cell
+
+  let run_ooc ?(tick = no_tick) ?(max_states = 1_000_000)
+      ?(on_truncate = `Stop) ?(expect = 1 lsl 20)
+      ?(hot_budget_bytes = 64 lsl 20) ~scratch_dir ~labels ~emit ~initial
+      ~successors () =
+    Obs.span "explore.ooc" @@ fun () ->
+    let frontier_series = Obs.series "explore.frontier" in
+    let seen =
+      Spill.create ~dir:scratch_dir ~expect:(min expect max_states)
+        ~hot_budget_bytes ()
+    in
+    Fun.protect ~finally:(fun () -> Spill.close seen) @@ fun () ->
+    let encode s = Marshal.to_string s [ Marshal.No_sharing ] in
+    let nb = ref 0 in
+    let nb_transitions = ref 0 in
+    let dedup = ref 0 in
+    let truncated = ref false in
+    Spill.add seen (encode initial) 0;
+    nb := 1;
+    let frontier = ref [| initial |] in
+    while Array.length !frontier > 0 do
+      tick ~states:!nb;
+      Obs.push frontier_series (float_of_int (Array.length !frontier));
+      Obs.progress (fun () ->
+          Printf.sprintf "explore (ooc): %d states, %d transitions, frontier %d"
+            !nb !nb_transitions (Array.length !frontier));
+      (* 1. generate: record the level's transition log against cells,
+         assigning no ids *)
+      let cells : (string, cell) Hashtbl.t = Hashtbl.create 4096 in
+      let maybes = ref [] in
+      let log =
+        Array.map
+          (fun state ->
+            List.map
+              (fun (label, dst_state) ->
+                let enc = encode dst_state in
+                match Hashtbl.find_opt cells enc with
+                | Some c -> (label, Tcell c)
+                | None -> (
+                  match Spill.find_hot seen enc with
+                  | Some id -> (label, Tid id)
+                  | None ->
+                    let c = { cl_state = dst_state; cl_enc = enc; cl_id = -1 } in
+                    Hashtbl.add cells enc c;
+                    if not (Spill.definitely_new seen enc) then
+                      maybes := c :: !maybes;
+                    (label, Tcell c)))
+              (successors state))
+          !frontier
+      in
+      (* 2. resolve: one batched cold lookup for the bloom-positive
+         misses *)
+      (match !maybes with
+       | [] -> ()
+       | maybes ->
+         let maybes = Array.of_list maybes in
+         let queries = Array.map (fun c -> (c.cl_enc, ref (-1))) maybes in
+         Spill.resolve seen queries;
+         Array.iteri
+           (fun i c ->
+             let _, slot = queries.(i) in
+             if !slot >= 0 then c.cl_id <- !slot)
+           maybes);
+      (* 3. assign and emit: replay the sequential engine's decisions
+         in its exact order *)
+      let next = ref [] in
+      Array.iter
+        (fun moves ->
+          let out = ref [] in
+          List.iter
+            (fun (label, tgt) ->
+              let dst =
+                match tgt with
+                | Tid id ->
+                  incr dedup;
+                  Some id
+                | Tcell c ->
+                  if c.cl_id >= 0 then begin
+                    incr dedup;
+                    Some c.cl_id
+                  end
+                  else if !nb >= max_states then begin
+                    (match on_truncate with
+                     | `Raise -> raise (Too_many_states max_states)
+                     | `Stop -> truncated := true);
+                    None
+                  end
+                  else begin
+                    c.cl_id <- !nb;
+                    incr nb;
+                    Spill.add seen c.cl_enc c.cl_id;
+                    next := c.cl_state :: !next;
+                    Some c.cl_id
+                  end
+              in
+              match dst with
+              | Some dst ->
+                incr nb_transitions;
+                out := (Label.intern labels label, dst) :: !out
+              | None -> ())
+            moves;
+          emit (Array.of_list (List.rev !out)))
+        log;
+      frontier := Array.of_list (List.rev !next)
+    done;
+    Obs.add (Obs.counter "explore.states") !nb;
+    Obs.add (Obs.counter "explore.transitions") !nb_transitions;
+    Obs.add (Obs.counter "explore.dedup_hits") !dedup;
+    {
+      ooc_states = !nb;
+      ooc_transitions = !nb_transitions;
+      ooc_truncated = !truncated;
+    }
 end

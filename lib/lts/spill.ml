@@ -1,0 +1,264 @@
+module Obs = Mv_obs.Obs
+
+(* A seen-set over encoded states (opaque byte strings -> state ids)
+   that holds a bounded amount in RAM:
+
+   - a Bloom filter over every key ever added (~[bits_per_key] bits per
+     expected state, two independent hash probes) answers "definitely
+     new" without touching the cold store;
+   - a hot hash table holds the most recently added keys up to a byte
+     budget;
+   - when the hot table outgrows the budget it is spilled wholesale as
+     a sorted run file in [dir]; runs are merged k-way once more than
+     [max_runs] accumulate, so a lookup pass never touches more than
+     [max_runs] files.
+
+   Cold lookups are batched ({!resolve}): the caller collects every
+   bloom-positive miss of a BFS level, and each run file is then
+   streamed once against the sorted query batch (a merge join) — no
+   per-key disk seeks. A key lives in exactly one place (hot, or one
+   run), so the join never sees duplicates.
+
+   This is the memory contract that lets exploration visit 10^7..10^8
+   states: RAM holds the bloom bits, the hot budget and one BFS level,
+   everything else is sequential disk I/O. *)
+
+let max_runs = 8
+
+type t = {
+  dir : string;
+  hot : (string, int) Hashtbl.t;
+  hot_budget : int;
+  mutable hot_bytes : int;
+  bloom : Bytes.t;
+  bloom_bits : int;
+  mutable runs : string list; (* newest first *)
+  mutable run_seq : int;
+  mutable closed : bool;
+  c_spill_runs : Obs.counter;
+  c_spilled_bytes : Obs.counter;
+  c_merge_passes : Obs.counter;
+  c_bloom_negatives : Obs.counter;
+  c_cold_lookups : Obs.counter;
+}
+
+(* ---------------- bloom ---------------- *)
+
+let bloom_probes = 2
+
+let bloom_index t seed key =
+  (Hashtbl.seeded_hash seed key * 0x2545F491 + Hashtbl.seeded_hash (seed + 77) key)
+  land max_int
+  mod t.bloom_bits
+
+let bloom_add t key =
+  for p = 0 to bloom_probes - 1 do
+    let i = bloom_index t p key in
+    let b = Bytes.get_uint8 t.bloom (i lsr 3) in
+    Bytes.set_uint8 t.bloom (i lsr 3) (b lor (1 lsl (i land 7)))
+  done
+
+let bloom_mem t key =
+  let rec go p =
+    p >= bloom_probes
+    ||
+    let i = bloom_index t p key in
+    Bytes.get_uint8 t.bloom (i lsr 3) land (1 lsl (i land 7)) <> 0 && go (p + 1)
+  in
+  go 0
+
+(* ---------------- run files ---------------- *)
+
+(* record: varint key length, key bytes, varint id; keys strictly
+   ascending within a run *)
+
+let write_varint oc n =
+  let rec go n =
+    if n < 0x80 then output_char oc (Char.chr n)
+    else begin
+      output_char oc (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  if n < 0 then invalid_arg "Spill: negative varint";
+  go n
+
+let read_varint ic =
+  let rec go shift acc =
+    let byte = Char.code (input_char ic) in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+(* next (key, id) of an open run, None at end-of-run *)
+let read_record ic =
+  match read_varint ic with
+  | len ->
+    let key = really_input_string ic len in
+    let id = read_varint ic in
+    Some (key, id)
+  | exception End_of_file -> None
+
+let fresh_run_path t =
+  t.run_seq <- t.run_seq + 1;
+  Filename.concat t.dir
+    (Printf.sprintf "mv-spill-%d-%d.run" (Unix.getpid ()) t.run_seq)
+
+let write_run t records =
+  let path = fresh_run_path t in
+  let oc = open_out_bin path in
+  (try
+     Array.iter
+       (fun (key, id) ->
+         write_varint oc (String.length key);
+         output_string oc key;
+         write_varint oc id)
+       records;
+     close_out oc
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove path with Sys_error _ -> ());
+     raise exn);
+  Obs.incr t.c_spill_runs;
+  Obs.add t.c_spilled_bytes (Unix.stat path).Unix.st_size;
+  t.runs <- path :: t.runs
+
+(* k-way merge of every run into one (keys are globally unique, so
+   this is a pure interleave) *)
+let merge_runs t =
+  match t.runs with
+  | [] | [ _ ] -> ()
+  | runs ->
+    Obs.incr t.c_merge_passes;
+    let sources = List.map open_in_bin runs in
+    let heads = ref [] in
+    List.iter
+      (fun ic ->
+        match read_record ic with
+        | Some r -> heads := (r, ic) :: !heads
+        | None -> ())
+      sources;
+    let path = fresh_run_path t in
+    let oc = open_out_bin path in
+    (try
+       while !heads <> [] do
+         let ((bk, bid), bic) =
+           List.fold_left
+             (fun ((mk, _), _ as m) ((k, _), _ as c) ->
+               if k < mk then c else m)
+             (List.hd !heads) (List.tl !heads)
+         in
+         write_varint oc (String.length bk);
+         output_string oc bk;
+         write_varint oc bid;
+         heads := List.filter (fun (_, ic) -> ic != bic) !heads;
+         (match read_record bic with
+          | Some r -> heads := (r, bic) :: !heads
+          | None -> ())
+       done;
+       close_out oc
+     with exn ->
+       close_out_noerr oc;
+       List.iter close_in_noerr sources;
+       (try Sys.remove path with Sys_error _ -> ());
+       raise exn);
+    List.iter close_in_noerr sources;
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) runs;
+    t.runs <- [ path ]
+
+(* ---------------- API ---------------- *)
+
+let create ?(bits_per_key = 10) ~dir ~expect ~hot_budget_bytes () =
+  let bloom_bits = max 1024 (bits_per_key * max expect 1) in
+  {
+    dir;
+    hot = Hashtbl.create 4096;
+    hot_budget = max 65536 hot_budget_bytes;
+    hot_bytes = 0;
+    bloom = Bytes.make ((bloom_bits + 7) / 8) '\000';
+    bloom_bits;
+    runs = [];
+    run_seq = 0;
+    closed = false;
+    c_spill_runs = Obs.counter "ooc.spill_runs";
+    c_spilled_bytes = Obs.counter "ooc.spilled_bytes";
+    c_merge_passes = Obs.counter "ooc.merge_passes";
+    c_bloom_negatives = Obs.counter "ooc.bloom_negatives";
+    c_cold_lookups = Obs.counter "ooc.cold_lookups";
+  }
+
+(* per-entry heap overhead estimate on top of the key bytes *)
+let entry_overhead = 64
+
+let spill_hot t =
+  let records = Array.make (Hashtbl.length t.hot) ("", 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k id ->
+      records.(!i) <- (k, id);
+      incr i)
+    t.hot;
+  Array.sort compare records;
+  write_run t records;
+  Hashtbl.reset t.hot;
+  t.hot_bytes <- 0;
+  if List.length t.runs > max_runs then merge_runs t
+
+let add t key id =
+  bloom_add t key;
+  Hashtbl.replace t.hot key id;
+  t.hot_bytes <- t.hot_bytes + String.length key + entry_overhead;
+  if t.hot_bytes > t.hot_budget then spill_hot t
+
+let find_hot t key = Hashtbl.find_opt t.hot key
+
+let definitely_new t key =
+  let fresh = not (bloom_mem t key) in
+  if fresh then Obs.incr t.c_bloom_negatives;
+  fresh
+
+let resolve t queries =
+  if Array.length queries > 0 && t.runs <> [] then begin
+    Obs.add t.c_cold_lookups (Array.length queries);
+    let order = Array.init (Array.length queries) (fun i -> i) in
+    Array.sort (fun a b -> compare (fst queries.(a)) (fst queries.(b))) order;
+    List.iter
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            (* merge join: both the run and the query batch ascend *)
+            let q = ref 0 in
+            let n = Array.length order in
+            let rec walk record =
+              if !q < n then begin
+                match record with
+                | None -> ()
+                | Some (key, id) ->
+                  let qkey, slot = queries.(order.(!q)) in
+                  if qkey < key then begin
+                    incr q;
+                    walk record
+                  end
+                  else if qkey = key then begin
+                    slot := id;
+                    incr q;
+                    walk (read_record ic)
+                  end
+                  else walk (read_record ic)
+              end
+            in
+            walk (read_record ic)))
+      t.runs
+  end
+
+let nb_runs t = List.length t.runs
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) t.runs;
+    t.runs <- []
+  end

@@ -1,0 +1,53 @@
+(** A bounded-RAM seen-set over encoded states (opaque byte strings
+    mapped to state ids), the memory backbone of out-of-core
+    exploration.
+
+    Three tiers: a Bloom filter over every key ever added (answers
+    "definitely new" with zero I/O — false positives possible, false
+    negatives not), a hot hash table bounded by a byte budget, and
+    sorted on-disk run files the hot table is spilled to wholesale
+    when it outgrows the budget. Runs are merged k-way once more than
+    8 accumulate. A key lives in exactly one tier at a time.
+
+    Cold lookups are batched: {!resolve} streams each run once against
+    a sorted query batch (a merge join) — callers collect a whole BFS
+    level of bloom-positive misses and resolve them in one pass, so
+    there are no per-key disk seeks.
+
+    Counters: [ooc.spill_runs], [ooc.spilled_bytes],
+    [ooc.merge_passes], [ooc.bloom_negatives], [ooc.cold_lookups]. *)
+
+type t
+
+(** [create ~dir ~expect ~hot_budget_bytes ()] — run files go to
+    [dir] (which must exist); the bloom filter is sized at
+    [bits_per_key] (default 10) bits per [expect]ed key; the hot
+    table is spilled when its estimated footprint exceeds
+    [hot_budget_bytes] (clamped to at least 64 KiB). *)
+val create :
+  ?bits_per_key:int -> dir:string -> expect:int -> hot_budget_bytes:int ->
+  unit -> t
+
+(** [add t key id] records a {e new} key (the caller has established
+    it is not present). May spill the hot table. *)
+val add : t -> string -> int -> unit
+
+(** Hot-tier lookup only; [None] means "not hot" (it may still be in
+    a run). *)
+val find_hot : t -> string -> int option
+
+(** Bloom check: [true] means the key was never added — no cold
+    lookup needed. [false] is inconclusive. *)
+val definitely_new : t -> string -> bool
+
+(** [resolve t queries] looks every [(key, slot)] up in the cold runs,
+    writing the id into [slot] for each key found ([slot] is left
+    untouched for keys not present). Keys should be distinct; order is
+    arbitrary ([resolve] sorts internally). One streaming pass per
+    run file. *)
+val resolve : t -> (string * int ref) array -> unit
+
+val nb_runs : t -> int
+
+(** Delete the run files. Idempotent; further use of [t] is undefined. *)
+val close : t -> unit

@@ -1,0 +1,17 @@
+/* Peak resident set size of the current process, via getrusage(2).
+   ru_maxrss is in kilobytes on Linux and in bytes on macOS. */
+
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+
+CAMLprim value mv_obs_maxrss_kb(value unit)
+{
+  struct rusage ru;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return Val_long(0);
+#ifdef __APPLE__
+  return Val_long(ru.ru_maxrss / 1024);
+#else
+  return Val_long(ru.ru_maxrss);
+#endif
+}

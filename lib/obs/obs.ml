@@ -491,7 +491,17 @@ let timings () =
 
 let metrics_schema = "mv-obs-metrics-v1"
 
+(* Peak RSS (getrusage maxrss, monotone high-water mark). The gauge is
+   refreshed lazily, just before every snapshot/exposition, so each
+   exported view carries the peak as of the moment it was taken. *)
+external maxrss_kb : unit -> int = "mv_obs_maxrss_kb" [@@noalloc]
+
+let refresh_process_gauges () =
+  if is_enabled () then
+    set (gauge "process.maxrss_kb") (float_of_int (maxrss_kb ()))
+
 let metrics_json () =
+  refresh_process_gauges ();
   Json.Obj
     [
       ("schema", Json.String metrics_schema);

@@ -211,6 +211,18 @@ val progress : (unit -> string) -> unit
 (** Terminate the live line (no-op when none was printed). *)
 val progress_end : unit -> unit
 
+(** {1 Process gauges} *)
+
+(** Peak resident set size of the process so far, in kilobytes
+    (getrusage [ru_maxrss] — a monotone high-water mark, never a
+    current reading). Works without {!enable}. *)
+val maxrss_kb : unit -> int
+
+(** Refresh the [process.maxrss_kb] gauge from {!maxrss_kb}. Called
+    automatically by {!metrics_json} and the OpenMetrics exposition,
+    so every exported snapshot carries the peak at snapshot time. *)
+val refresh_process_gauges : unit -> unit
+
 (** {1 Exporters} *)
 
 (** The schema tag of {!metrics_json} ("mv-obs-metrics-v1"), exposed

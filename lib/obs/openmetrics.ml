@@ -94,6 +94,7 @@ let group rows =
   |> List.rev_map (fun (f, rows) -> (f, List.rev rows))
 
 let render ?(families = []) () =
+  Obs.refresh_process_gauges ();
   let buffer = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
   let rows kind =

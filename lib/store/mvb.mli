@@ -64,3 +64,113 @@ val read_file : string -> Mv_lts.Lts.t
 (** CRC-32 (IEEE 802.3, the zlib polynomial) of a string — exposed for
     the cache's object envelope and for tests. *)
 val crc32 : string -> int
+
+(** {1 Varints}
+
+    The unsigned LEB128 codec used throughout the format, exposed for
+    boundary testing (63-bit [max_int] round-trips in 9 bytes; values
+    that would overflow 62 bits of shift raise {!Corrupt}). *)
+module Varint : sig
+  (** [to_string n] encodes [n >= 0]; raises [Invalid_argument] on a
+      negative argument. *)
+  val to_string : int -> string
+
+  (** [of_string s] decodes exactly one varint occupying all of [s];
+      trailing bytes or overflow raise {!Corrupt}. *)
+  val of_string : string -> int
+end
+
+(** {1 Streaming writer}
+
+    Writes a [.mvb] file one state at a time without ever
+    materializing an {!Mv_lts.Lts.t} — the out-of-core exploration
+    path. Transitions are spilled to a scratch file ([path ^ ".ttmp"])
+    with an incremental CRC; {!Stream.finish} assembles the header
+    sections from the final counts and splices the scratch in, so the
+    result is byte-identical to [write_file] of the equivalent
+    materialized LTS ({!Stream.add_state} canonicalizes each state's
+    moves exactly like [Lts.make]: sorted by (label, dst), duplicates
+    dropped). *)
+module Stream : sig
+  type writer
+
+  (** [create ?labels path] opens a streaming writer targeting [path].
+      [labels] is the label table transitions refer to (interned
+      incrementally during exploration is fine — it is only read at
+      {!finish}); a fresh table is created when omitted. *)
+  val create : ?labels:Mv_lts.Label.table -> string -> writer
+
+  val labels : writer -> Mv_lts.Label.table
+
+  (** States and transitions appended so far. *)
+  val nb_states : writer -> int
+
+  val nb_transitions : writer -> int
+
+  (** [add_state w moves] appends the next state (ids are assigned
+      densely in call order) with outgoing [(label, dst)] moves.
+      Forward references to not-yet-added states are allowed; ranges
+      are validated at {!finish}. *)
+  val add_state : writer -> (int * int) array -> unit
+
+  (** Validate counts and ranges, write the final file atomically
+      (tmp + rename) and remove the scratch. The writer is unusable
+      afterwards. Raises [Invalid_argument] on an empty LTS,
+      out-of-range [initial], or dangling destination/label. *)
+  val finish : writer -> initial:int -> unit
+
+  (** Discard the scratch without producing a file. Idempotent; also
+      safe after {!finish} (no-op). *)
+  val abort : writer -> unit
+end
+
+(** {1 Random-access segment reader}
+
+    A read-only view of a [.mvb] file through [Unix.map_file]: the
+    transition section stays on disk (paged in on demand) and a sparse
+    in-RAM directory (one offset per 1024 states) gives random access
+    to any state's out-transitions without decoding the whole file.
+    Opening validates everything once — magic, CRCs, counts, index
+    ranges — so the accessors never raise {!Corrupt}. *)
+module Segment : sig
+  type t
+
+  (** Map and validate. Raises {!Corrupt} on malformed input,
+      [Unix.Unix_error] if the file cannot be opened or mapped. *)
+  val openfile : string -> t
+
+  val nb_states : t -> int
+  val initial : t -> int
+  val nb_transitions : t -> int
+  val labels : t -> Mv_lts.Label.table
+  val file_bytes : t -> int
+
+  (** [iter_out t s f] applies [f label dst] to state [s]'s
+      out-transitions in stored (canonical) order. Cost: decode of at
+      most one directory stride plus the state's own moves. *)
+  val iter_out : t -> int -> (int -> int -> unit) -> unit
+
+  val out_degree : t -> int -> int
+
+  (** [iter_all t f] applies [f src label dst] to every transition in
+      source order — a single sequential sweep of the mapped section. *)
+  val iter_all : t -> (int -> int -> int -> unit) -> unit
+end
+
+(** {1 Header-only statistics} *)
+
+type stats = {
+  s_nb_states : int;
+  s_initial : int;
+  s_nb_labels : int;
+  s_nb_transitions : int;
+  s_label_bytes : int; (** 'L' section payload bytes *)
+  s_transition_bytes : int; (** 'T' section payload bytes *)
+  s_file_bytes : int;
+}
+
+(** [stats path] reads the meta section and the section index only —
+    the transition payload is seeked over, never decoded or
+    checksummed — so it is O(header) regardless of file size. Raises
+    {!Corrupt} on a malformed header or framing. *)
+val stats : string -> stats

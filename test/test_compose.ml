@@ -85,6 +85,47 @@ let test_par_list () =
     (Lts.nb_states report.Net.result);
   Alcotest.(check int) "three actions" 3 (Lts.nb_transitions report.Net.result)
 
+(* A network where composition order matters. All three components
+   synchronize multiway on [g]; A and C loop through private segments
+   between [g]s, while B never offers [g] at all — so the composed
+   system is stuck at its initial state. Naive left-to-right order
+   composes A with C first and pays for their full segment
+   interleaving; the greedy planner's interface estimate (no shared
+   gate means no pruning) starts from B instead, and every
+   intermediate collapses to a single reachable state. *)
+let planner_chain () =
+  let component name body =
+    Net.Leaf
+      (name, lts_of (Printf.sprintf "process %s := %s\ninit %s" name body name))
+  in
+  let a = component "A" "g ; a1 ; a2 ; a3 ; A" in
+  let c = component "C" "g ; c1 ; c2 ; c3 ; C" in
+  let b = Net.Leaf ("B", lts_of "init stop") in
+  (* A and C adjacent: the naive order composes them first *)
+  Net.par_list [ "g" ] [ a; c; b ]
+
+let test_planner_beats_naive () =
+  let node = planner_chain () in
+  let naive = Net.evaluate ~plan:`Naive ~strategy:`Compositional node in
+  let greedy = Net.evaluate ~plan:`Greedy ~strategy:`Compositional node in
+  Alcotest.(check bool) "same behaviour" true
+    (Mv_bisim.Branching.equivalent naive.Net.result greedy.Net.result);
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy peak %d < naive peak %d" greedy.Net.peak_states
+       naive.Net.peak_states)
+    true
+    (greedy.Net.peak_states < naive.Net.peak_states)
+
+let test_planner_default_unchanged () =
+  (* plan defaults to `Naive: existing callers see identical reports *)
+  let node = planner_chain () in
+  let implicit = Net.evaluate ~strategy:`Compositional node in
+  let explicit = Net.evaluate ~plan:`Naive ~strategy:`Compositional node in
+  Alcotest.(check int) "same peak" explicit.Net.peak_states
+    implicit.Net.peak_states;
+  Alcotest.(check int) "same steps" (List.length explicit.Net.steps)
+    (List.length implicit.Net.steps)
+
 (* Property: Parallel.compose agrees with the calculus semantics of
    |[gates]| on randomly chosen small cyclic processes. *)
 let compose_agreement_prop =
@@ -124,5 +165,9 @@ let suite =
     Alcotest.test_case "rename node" `Quick test_rename_node;
     Alcotest.test_case "hide node" `Quick test_hide_node;
     Alcotest.test_case "par_list" `Quick test_par_list;
+    Alcotest.test_case "greedy planner beats naive" `Quick
+      test_planner_beats_naive;
+    Alcotest.test_case "planner default unchanged" `Quick
+      test_planner_default_unchanged;
     QCheck_alcotest.to_alcotest compose_agreement_prop;
   ]

@@ -6,6 +6,7 @@
 module Lts = Mv_lts.Lts
 module Label = Mv_lts.Label
 module Csr = Mv_kern.Csr
+module Arr = Mv_kern.Arr
 module Part = Mv_kern.Part
 module Sig_table = Mv_kern.Sig_table
 module Solver = Mv_kern.Solver
@@ -37,8 +38,8 @@ let test_csr_forward_matches_iter_out () =
     let from_lts = ref [] in
     Lts.iter_out lts s (fun l d -> from_lts := (l, d) :: !from_lts);
     let from_csr = ref [] in
-    for i = fwd.Csr.row.(s + 1) - 1 downto fwd.Csr.row.(s) do
-      from_csr := (fwd.Csr.lbl.(i), fwd.Csr.col.(i)) :: !from_csr
+    for i = Arr.get fwd.Csr.row (s + 1) - 1 downto Arr.get fwd.Csr.row s do
+      from_csr := (Arr.get fwd.Csr.lbl i, Arr.get fwd.Csr.col i) :: !from_csr
     done;
     Alcotest.(check (list (pair int int)))
       (Printf.sprintf "row %d" s)
@@ -56,8 +57,8 @@ let test_csr_reverse_matches_iter_in () =
     let from_lts = ref [] in
     Lts.iter_in lts s (fun l src -> from_lts := (l, src) :: !from_lts);
     let from_csr = ref [] in
-    for i = rev.Csr.row.(s + 1) - 1 downto rev.Csr.row.(s) do
-      from_csr := (rev.Csr.lbl.(i), rev.Csr.col.(i)) :: !from_csr
+    for i = Arr.get rev.Csr.row (s + 1) - 1 downto Arr.get rev.Csr.row s do
+      from_csr := (Arr.get rev.Csr.lbl i, Arr.get rev.Csr.col i) :: !from_csr
     done;
     Alcotest.(check (list (pair int int)))
       (Printf.sprintf "row %d" s)

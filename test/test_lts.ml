@@ -243,6 +243,82 @@ let test_explorer_truncation () =
     Alcotest.fail "expected Too_many_states"
   with Mv_lts.Explore.Too_many_states n -> Alcotest.(check int) "bound" 10 n
 
+(* ------------------------------------------------------------------ *)
+(* Out-of-core exploration                                             *)
+
+module Int_explore = Mv_lts.Explore.Make (struct
+    type t = int
+
+    let equal = Int.equal
+    let hash = Hashtbl.hash
+  end)
+
+(* a graph with sharing and cycles: every state is reached several
+   times, so the seen set (and its cold, spilled part) is actually
+   exercised *)
+let braid_successors n s =
+  [ ("a", (2 * s + 1) mod n); ("b", (3 * s + 2) mod n); ("c", s / 2) ]
+
+let in_scratch f =
+  let dir = Filename.temp_file "mv_ooc" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+(* Replay [run_ooc]'s emitted stream into an [Lts.t] and require it to
+   be identical (text form) to what [run] materializes. *)
+let check_ooc_matches_run ?hot_budget_bytes ?max_states ~n () =
+  in_scratch (fun dir ->
+      let successors = braid_successors n in
+      let reference =
+        Int_explore.run ?max_states ~initial:0 ~successors ()
+      in
+      let labels = Label.create () in
+      let transitions = ref [] in
+      let next_id = ref 0 in
+      let emit moves =
+        let src = !next_id in
+        incr next_id;
+        Array.iter (fun (l, d) -> transitions := (src, l, d) :: !transitions) moves
+      in
+      let outcome =
+        Int_explore.run_ooc ?hot_budget_bytes ?max_states ~scratch_dir:dir
+          ~labels ~emit ~initial:0 ~successors ()
+      in
+      let streamed =
+        Lts.make_array ~nb_states:outcome.Mv_lts.Explore.ooc_states ~initial:0
+          ~labels
+          (Array.of_list (List.rev !transitions))
+      in
+      Alcotest.(check string) "identical stream"
+        (Aut.to_string reference.Mv_lts.Explore.lts)
+        (Aut.to_string streamed);
+      Alcotest.(check int) "transition count"
+        (Lts.nb_transitions reference.Mv_lts.Explore.lts)
+        outcome.Mv_lts.Explore.ooc_transitions;
+      Alcotest.(check bool) "truncation agrees"
+        reference.Mv_lts.Explore.truncated outcome.Mv_lts.Explore.ooc_truncated;
+      Alcotest.(check (array string)) "no scratch left behind" [||]
+        (Sys.readdir dir))
+
+let test_explore_ooc_matches_run () = check_ooc_matches_run ~n:2000 ()
+
+let test_explore_ooc_forced_spill () =
+  (* a hot budget far below 2000 entries forces spilling to sorted
+     runs (and run merging) on every level; results must not change *)
+  check_ooc_matches_run ~hot_budget_bytes:1024 ~n:2000 ()
+
+let test_explore_ooc_truncation () =
+  (* `Stop at the bound must cut the stream at exactly the same states
+     and transitions as the in-RAM search *)
+  check_ooc_matches_run ~hot_budget_bytes:1024 ~max_states:700 ~n:5000 ()
+
 let suite =
   [
     Alcotest.test_case "label table" `Quick test_label_table;
@@ -264,4 +340,10 @@ let suite =
     Alcotest.test_case "scc basics" `Quick test_scc_basic;
     Alcotest.test_case "scc large cycle (iterative)" `Quick test_scc_big_cycle;
     Alcotest.test_case "explorer truncation" `Quick test_explorer_truncation;
+    Alcotest.test_case "ooc explorer matches run" `Quick
+      test_explore_ooc_matches_run;
+    Alcotest.test_case "ooc explorer forced spill" `Quick
+      test_explore_ooc_forced_spill;
+    Alcotest.test_case "ooc explorer truncation" `Quick
+      test_explore_ooc_truncation;
   ]

@@ -339,6 +339,24 @@ let test_openmetrics_golden () =
   Obs.observe h1 1.5;
   Obs.observe (Obs.histogram "om.lat.b\\d") 0.5;
   let rendered = Openmetrics.render ~families:[ ("om.lat.", "op") ] () in
+  (* the process peak-RSS gauge is refreshed on every exposition; its
+     value varies, so check it structurally and strip it before the
+     golden comparison *)
+  Alcotest.(check bool)
+    "exposition carries process_maxrss_kb" true
+    (String.split_on_char '\n' rendered
+    |> List.exists (fun line ->
+           match String.split_on_char ' ' line with
+           | [ "process_maxrss_kb"; v ] -> float_of_string v > 0.
+           | _ -> false));
+  let rendered =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun line ->
+           not
+             (String.starts_with ~prefix:"process_maxrss_kb" line
+             || line = "# TYPE process_maxrss_kb gauge"))
+    |> String.concat "\n"
+  in
   let expected =
     String.concat "\n"
       [

@@ -12,6 +12,12 @@ module Flow = Mv_core.Flow
 module Svl = Mv_core.Svl
 module Json = Mv_obs.Json
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let build transitions ~nb_states ~initial =
   let labels = Label.create () in
   let interned =
@@ -93,6 +99,176 @@ let test_mvb_empty_lts () =
   let back = Mvb.of_string (Mvb.to_string lts) in
   Alcotest.(check int) "one state" 1 (Lts.nb_states back);
   Alcotest.(check int) "no transitions" 0 (Lts.nb_transitions back)
+
+(* ------------------------------------------------------------------ *)
+(* Varints                                                             *)
+
+(* Property: LEB128 round trip, with the generator weighted toward the
+   7-bit group boundaries (127/128, 16383/16384, ...) up to the 63-bit
+   top of the OCaml int range. *)
+let varint_round_trip_prop =
+  let boundaries =
+    List.concat_map
+      (fun k ->
+         let edge = 1 lsl (7 * k) in
+         [ edge - 1; edge; edge + 1 ])
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    @ [ 0; 1; max_int - 1; max_int ]
+  in
+  let gen =
+    QCheck2.Gen.(
+      oneof [ oneofl boundaries; int_bound (1 lsl 55); int_bound 1_000_000 ])
+  in
+  let rec expected_len n = if n < 128 then 1 else 1 + expected_len (n lsr 7) in
+  QCheck2.Test.make ~name:"varint round trip" ~count:500 gen (fun n ->
+      let s = Mvb.Varint.to_string n in
+      Mvb.Varint.of_string s = n && String.length s = expected_len n)
+
+let test_varint_edges () =
+  (* max_int = 2^62 - 1 occupies 62 bits: ceil(62/7) = 9 bytes *)
+  Alcotest.(check int) "max_int is 9 bytes" 9
+    (String.length (Mvb.Varint.to_string max_int));
+  Alcotest.(check int) "max_int round trip" max_int
+    (Mvb.Varint.of_string (Mvb.Varint.to_string max_int));
+  let corrupt name s =
+    match Mvb.Varint.of_string s with
+    | (_ : int) -> Alcotest.fail (name ^ ": expected Mvb.Corrupt")
+    | exception Mvb.Corrupt _ -> ()
+  in
+  corrupt "empty" "";
+  corrupt "unterminated" "\x80\x80";
+  corrupt "trailing byte" (Mvb.Varint.to_string 5 ^ "\x00");
+  (* ten continuation groups put bit 70 in play: past the 63-bit limit
+     of the decoder, which must refuse rather than wrap silently *)
+  corrupt "overflow" "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01"
+
+(* ------------------------------------------------------------------ *)
+(* Streaming writer / segment reader                                   *)
+
+(* Property: streaming states one at a time produces byte-identical
+   files to the one-shot writer (so out-of-core generation artifacts
+   are indistinguishable from in-RAM ones). *)
+let stream_identity_prop =
+  let gen =
+    QCheck2.Gen.(
+      let* nb_states = int_range 1 15 in
+      let* transitions =
+        list_size (int_bound 40)
+          (triple (int_bound (nb_states - 1))
+             (oneofl [ "a"; "b"; "i"; "G !1"; "rate 2.5" ])
+             (int_bound (nb_states - 1)))
+      in
+      return (nb_states, transitions))
+  in
+  QCheck2.Test.make ~name:"streamed .mvb = materialized .mvb" ~count:100 gen
+    (fun (nb_states, transitions) ->
+       in_sandbox (fun dir ->
+           let lts = build ~nb_states ~initial:0 transitions in
+           let whole = Filename.concat dir "whole.mvb" in
+           let streamed = Filename.concat dir "streamed.mvb" in
+           Mvb.write_file whole lts;
+           let w = Mvb.Stream.create ~labels:(Lts.labels lts) streamed in
+           for s = 0 to Lts.nb_states lts - 1 do
+             let moves = ref [] in
+             Lts.iter_out lts s (fun l d -> moves := (l, d) :: !moves);
+             (* reversed, deliberately: add_state must canonicalize *)
+             Mvb.Stream.add_state w (Array.of_list !moves)
+           done;
+           Mvb.Stream.finish w ~initial:(Lts.initial lts);
+           read_file whole = read_file streamed))
+
+let test_stream_canonicalizes () =
+  in_sandbox (fun dir ->
+      let lts =
+        build ~nb_states:2 ~initial:0 [ (0, "a", 1); (0, "b", 1); (1, "a", 0) ]
+      in
+      let whole = Filename.concat dir "whole.mvb" in
+      let streamed = Filename.concat dir "streamed.mvb" in
+      Mvb.write_file whole lts;
+      let labels = Lts.labels lts in
+      let a = Mv_lts.Label.intern labels "a"
+      and b = Mv_lts.Label.intern labels "b" in
+      let w = Mvb.Stream.create ~labels streamed in
+      (* out of order and duplicated: the writer must sort + dedup
+         exactly like Lts.make *)
+      Mvb.Stream.add_state w [| (b, 1); (a, 1); (a, 1) |];
+      Mvb.Stream.add_state w [| (a, 0) |];
+      Mvb.Stream.finish w ~initial:0;
+      Alcotest.(check string) "identical bytes" (read_file whole)
+        (read_file streamed))
+
+let test_stream_validates () =
+  in_sandbox (fun dir ->
+      let path = Filename.concat dir "bad.mvb" in
+      let labels = Mv_lts.Label.create () in
+      let a = Mv_lts.Label.intern labels "a" in
+      let w = Mvb.Stream.create ~labels path in
+      Mvb.Stream.add_state w [| (a, 7) |];
+      (* same contract as [Lts.make]: a dangling target is a caller
+         bug, signalled as Invalid_argument, not file corruption *)
+      (match Mvb.Stream.finish w ~initial:0 with
+       | () -> Alcotest.fail "expected Invalid_argument: dangling target"
+       | exception Invalid_argument _ -> ());
+      (* a failed finish must leave no file and no scratch behind *)
+      Alcotest.(check (array string)) "nothing left" [||] (Sys.readdir dir))
+
+let test_segment_reader () =
+  in_sandbox (fun dir ->
+      (* > 2 directory strides (1024 states each), cyclic, irregular
+         degrees: exercises skip-decoding from mid-stride offsets *)
+      let n = 2500 in
+      let transitions = ref [] in
+      for s = 0 to n - 1 do
+        transitions := (s, "step", (s + 1) mod n) :: !transitions;
+        if s mod 3 = 0 then transitions := (s, "hop", (s + 7) mod n) :: !transitions
+      done;
+      let lts = build ~nb_states:n ~initial:0 !transitions in
+      let path = Filename.concat dir "big.mvb" in
+      Mvb.write_file path lts;
+      let seg = Mvb.Segment.openfile path in
+      Alcotest.(check int) "states" n (Mvb.Segment.nb_states seg);
+      Alcotest.(check int) "initial" 0 (Mvb.Segment.initial seg);
+      Alcotest.(check int) "transitions" (Lts.nb_transitions lts)
+        (Mvb.Segment.nb_transitions seg);
+      (* random access across stride boundaries *)
+      List.iter
+        (fun s ->
+           Alcotest.(check int)
+             (Printf.sprintf "degree of %d" s)
+             (Lts.out_degree lts s)
+             (Mvb.Segment.out_degree seg s);
+           let expected = ref [] and got = ref [] in
+           Lts.iter_out lts s (fun l d -> expected := (l, d) :: !expected);
+           Mvb.Segment.iter_out seg s (fun l d -> got := (l, d) :: !got);
+           Alcotest.(check (list (pair int int)))
+             (Printf.sprintf "moves of %d" s)
+             (List.rev !expected) (List.rev !got))
+        [ 0; 1; 1023; 1024; 1025; 2047; 2048; n - 1 ];
+      (* full sweep agrees with the in-RAM iteration *)
+      let all = ref [] in
+      Mvb.Segment.iter_all seg (fun s l d -> all := (s, l, d) :: !all);
+      let reference = ref [] in
+      Lts.iter_transitions lts (fun s l d -> reference := (s, l, d) :: !reference);
+      Alcotest.(check int) "sweep size" (List.length !reference)
+        (List.length !all);
+      Alcotest.(check bool) "sweep identical" true (!all = !reference))
+
+let test_mvb_stats () =
+  in_sandbox (fun dir ->
+      let lts = sample_lts () in
+      let path = Filename.concat dir "t.mvb" in
+      Mvb.write_file path lts;
+      let s = Mvb.stats path in
+      Alcotest.(check int) "states" (Lts.nb_states lts) s.Mvb.s_nb_states;
+      Alcotest.(check int) "initial" (Lts.initial lts) s.Mvb.s_initial;
+      Alcotest.(check int) "labels"
+        (Mv_lts.Label.count (Lts.labels lts))
+        s.Mvb.s_nb_labels;
+      Alcotest.(check int) "transitions" (Lts.nb_transitions lts)
+        s.Mvb.s_nb_transitions;
+      Alcotest.(check int) "file bytes"
+        (in_channel_length (open_in_bin path))
+        s.Mvb.s_file_bytes)
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                               *)
@@ -364,12 +540,85 @@ let test_svl_unwritable_target () =
       | Svl.Passed _ | Svl.Failed_check ->
         Alcotest.fail "expected Hard_error")
 
+(* ------------------------------------------------------------------ *)
+(* Out-of-core flow (generate_mvb / minimize_mvb)                      *)
+
+(* The acceptance contract of the out-of-core pipeline: the streamed
+   artifact and the minimized artifact are byte-identical to their
+   in-RAM counterparts, at every pool size, even when the seen set is
+   forced to spill. *)
+let check_ooc_flow ~pool () =
+  in_sandbox (fun dir ->
+      let spec = Flow.model_of_text queue_model in
+      let config =
+        { Flow.Config.default with
+          pool;
+          scratch_dir = Some dir;
+          (* tiny hot budget: forces spill runs + batched cold lookups *)
+          mem_budget_mb = Some 1;
+        }
+      in
+      let ram = Flow.Run.generate { Flow.Config.default with pool } spec in
+      let ram_path = Filename.concat dir "ram.mvb" in
+      Mvb.write_file ram_path ram;
+      let ooc_path = Filename.concat dir "ooc.mvb" in
+      let outcome = Flow.Run.generate_mvb config spec ~out:ooc_path in
+      Alcotest.(check int) "states" (Lts.nb_states ram)
+        outcome.Mv_lts.Explore.ooc_states;
+      Alcotest.(check string) "generated bytes identical" (read_file ram_path)
+        (read_file ooc_path);
+      let ram_min =
+        Flow.Run.minimize { Flow.Config.default with pool } Flow.Strong ram
+      in
+      let ram_min_path = Filename.concat dir "ram_min.mvb" in
+      Mvb.write_file ram_min_path ram_min;
+      let ooc_min_path = Filename.concat dir "ooc_min.mvb" in
+      let minimized =
+        Flow.Run.minimize_mvb config Flow.Strong ~src:ooc_path ~dst:ooc_min_path
+      in
+      Alcotest.(check string) "minimized bytes identical"
+        (read_file ram_min_path) (read_file ooc_min_path);
+      Alcotest.(check int) "minimized states" (Lts.nb_states ram_min)
+        (Lts.nb_states minimized);
+      (* only the four artifacts remain: every spill run, mmap scratch
+         and stream temp file has been cleaned up *)
+      Alcotest.(check (list string)) "no scratch left"
+        [ "ooc.mvb"; "ooc_min.mvb"; "ram.mvb"; "ram_min.mvb" ]
+        (List.sort compare (Array.to_list (Sys.readdir dir))))
+
+let test_ooc_flow_sequential () = check_ooc_flow ~pool:None ()
+
+let test_ooc_flow_parallel () =
+  Mv_par.Pool.scope ~domains:4 (fun pool -> check_ooc_flow ~pool:(Some pool) ())
+
+let test_minimize_mvb_strong_only () =
+  in_sandbox (fun dir ->
+      let path = Filename.concat dir "t.mvb" in
+      Mvb.write_file path (sample_lts ());
+      match
+        Flow.Run.minimize_mvb Flow.Config.default Flow.Branching ~src:path
+          ~dst:(Filename.concat dir "o.mvb")
+      with
+      | (_ : Lts.t) -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
 let suite =
   [
     QCheck_alcotest.to_alcotest mvb_round_trip_prop;
     Alcotest.test_case "mvb file round trip" `Quick test_mvb_file_round_trip;
     Alcotest.test_case "mvb corruption detection" `Quick test_mvb_corruption;
     Alcotest.test_case "mvb empty lts" `Quick test_mvb_empty_lts;
+    QCheck_alcotest.to_alcotest varint_round_trip_prop;
+    Alcotest.test_case "varint edges" `Quick test_varint_edges;
+    QCheck_alcotest.to_alcotest stream_identity_prop;
+    Alcotest.test_case "stream canonicalizes" `Quick test_stream_canonicalizes;
+    Alcotest.test_case "stream validates" `Quick test_stream_validates;
+    Alcotest.test_case "segment reader" `Quick test_segment_reader;
+    Alcotest.test_case "mvb stats" `Quick test_mvb_stats;
+    Alcotest.test_case "ooc flow sequential" `Quick test_ooc_flow_sequential;
+    Alcotest.test_case "ooc flow parallel" `Quick test_ooc_flow_parallel;
+    Alcotest.test_case "minimize_mvb strong only" `Quick
+      test_minimize_mvb_strong_only;
     Alcotest.test_case "cache memoize" `Quick test_cache_memoize;
     Alcotest.test_case "cache repairs corruption" `Quick
       test_cache_repairs_corruption;
